@@ -1,0 +1,174 @@
+// Ablation: DAG-aware lease propagation (§3.2, Fig 5).
+//
+// Jiffy's lease renewal exploits the address DAG: renewing one prefix also
+// renews its immediate parents (the data the task consumes) and all its
+// descendants. This bench quantifies what that buys, against two ablated
+// policies, on two workload shapes:
+//
+//  (A) streaming pipeline: all n stages active simultaneously; the master
+//      renews the minimum set of prefixes that keeps every stage's data
+//      alive. Fewer explicit renewal messages = less control-plane traffic.
+//  (B) sequential batch chain: only the currently-running task renews (its
+//      own prefix); if its input's lease lapses mid-stage, the stage stalls
+//      on a reload from the persistent tier (premature eviction).
+//
+// Policies: none (renew only the named prefix), parents-only, paper
+// (parents + all descendants).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/client/jiffy_client.h"
+
+using namespace jiffy;
+
+namespace {
+
+constexpr int kStages = 16;
+
+const char* PolicyName(LeasePropagation p) {
+  switch (p) {
+    case LeasePropagation::kNone:
+      return "none";
+    case LeasePropagation::kParentsOnly:
+      return "parents-only";
+    case LeasePropagation::kPaper:
+      return "paper (Fig 5)";
+  }
+  return "?";
+}
+
+std::unique_ptr<JiffyCluster> MakeCluster(LeasePropagation policy,
+                                          SimClock* clock) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 2;
+  opts.config.blocks_per_server = 64;
+  opts.config.block_size_bytes = 16 << 10;
+  opts.config.lease_duration = 1 * kSecond;
+  opts.config.lease_propagation = policy;
+  opts.clock = clock;
+  return std::make_unique<JiffyCluster>(opts);
+}
+
+// Builds the chain DAG t0 → t1 → ... with a DS under every prefix.
+void BuildChain(JiffyClient* client) {
+  client->RegisterJob("job");
+  std::vector<std::pair<std::string, std::vector<std::string>>> dag;
+  for (int i = 0; i < kStages; ++i) {
+    dag.emplace_back("t" + std::to_string(i),
+                     i == 0 ? std::vector<std::string>{}
+                            : std::vector<std::string>{
+                                  "t" + std::to_string(i - 1)});
+  }
+  client->CreateHierarchy("job", dag);
+  CreateOptions ds;
+  for (int i = 0; i < kStages; ++i) {
+    Controller* ctl = client->cluster()->ControllerFor("job");
+    ctl->InitDataStructure("job", "t" + std::to_string(i), DsType::kFile, 0);
+  }
+}
+
+// (A) Streaming: every 0.5 s (< 1 s lease), renew the cheapest set of
+// prefixes that keeps ALL stages alive under the policy, for 30 s. Reports
+// renewal messages sent and whether anything was evicted.
+void StreamingScenario(LeasePropagation policy) {
+  SimClock clock;
+  auto cluster = MakeCluster(policy, &clock);
+  JiffyClient client(cluster.get());
+  BuildChain(&client);
+  Controller* ctl = cluster->ControllerFor("job");
+
+  uint64_t messages = 0;
+  for (TimeNs now = 0; now <= 30 * kSecond; now += 500 * kMillisecond) {
+    clock.AdvanceTo(now);
+    if (policy == LeasePropagation::kPaper) {
+      // One renewal at the root covers every descendant.
+      ctl->RenewLease("job", "t0");
+      messages += 1;
+    } else {
+      // Without descendant propagation each active prefix needs its own
+      // renewal message.
+      for (int i = 0; i < kStages; ++i) {
+        ctl->RenewLease("job", "t" + std::to_string(i));
+        messages += 1;
+      }
+    }
+    ctl->RunExpiryScan();
+  }
+  uint64_t evicted = ctl->Stats().prefixes_expired;
+  std::printf("  %-14s renewal msgs=%6llu   evictions=%llu\n",
+              PolicyName(policy), static_cast<unsigned long long>(messages),
+              static_cast<unsigned long long>(evicted));
+}
+
+// (B) Sequential chain: stage i runs for 3 s (3× the lease), renewing only
+// its OWN prefix every 0.5 s; it reads stage i-1's output at the end.
+// Counts premature evictions of the input (each one costs a persistent-tier
+// reload).
+void BatchScenario(LeasePropagation policy) {
+  SimClock clock;
+  auto cluster = MakeCluster(policy, &clock);
+  JiffyClient client(cluster.get());
+  client.RegisterJob("job");
+  Controller* ctl = cluster->ControllerFor("job");
+
+  uint64_t reloads = 0;
+  uint64_t messages = 0;
+  TimeNs now = 0;
+  for (int stage = 0; stage < kStages; ++stage) {
+    const std::string self = "t" + std::to_string(stage);
+    // Tasks register on the fly (§3.1: hierarchy deduced during task
+    // registration when no plan is given).
+    clock.AdvanceTo(now);
+    CreateOptions ds;
+    ds.init_ds = true;
+    ctl->CreateAddrPrefix(
+        "job", self,
+        stage == 0 ? std::vector<std::string>{}
+                   : std::vector<std::string>{"t" + std::to_string(stage - 1)},
+        ds);
+    for (int tick = 0; tick < 6; ++tick) {  // 3 s of work, 0.5 s renewals.
+      clock.AdvanceTo(now);
+      ctl->RenewLease("job", self);
+      messages++;
+      ctl->RunExpiryScan();
+      now += 500 * kMillisecond;
+    }
+    // Stage consumes its input: was it still in memory?
+    if (stage > 0) {
+      const std::string input = "t" + std::to_string(stage - 1);
+      auto expired = ctl->IsExpired("job", input);
+      if (expired.ok() && *expired) {
+        reloads++;
+        ctl->LoadAddrPrefix("job", input, "jiffy/job/" + input);
+      }
+    }
+  }
+  std::printf("  %-14s renewal msgs=%6llu   input reloads=%llu/%d\n",
+              PolicyName(policy), static_cast<unsigned long long>(messages),
+              static_cast<unsigned long long>(reloads), kStages - 1);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation", "Lease propagation policy (none / parents / paper)");
+  std::printf("(%d-stage chain DAG, 1 s leases, 0.5 s renewal period)\n",
+              kStages);
+
+  std::printf("\n(A) Streaming pipeline: messages to keep all stages alive\n");
+  for (auto policy : {LeasePropagation::kNone, LeasePropagation::kParentsOnly,
+                      LeasePropagation::kPaper}) {
+    StreamingScenario(policy);
+  }
+
+  std::printf("\n(B) Sequential batch chain: premature input evictions\n");
+  for (auto policy : {LeasePropagation::kNone, LeasePropagation::kParentsOnly,
+                      LeasePropagation::kPaper}) {
+    BatchScenario(policy);
+  }
+  std::printf(
+      "\npaper (§3.2): DAG-aware renewal 'significantly reduces the number of\n"
+      "lease renewal messages' and keeps consumed-by-running-task data alive.\n");
+  return 0;
+}

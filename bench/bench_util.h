@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction benches: consistent headers and
+// series printing so every binary emits the same self-describing format.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace jiffy {
+
+inline void PrintHeader(const char* figure, const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s: %s\n", figure, title);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintCdf(const char* label, const Histogram& h, double scale,
+                     const char* unit, size_t max_points = 24) {
+  auto cdf = h.Cdf();
+  std::printf("# CDF %s (%s)\n", label, unit);
+  const size_t stride = cdf.size() > max_points ? cdf.size() / max_points : 1;
+  for (size_t i = 0; i < cdf.size(); i += stride) {
+    std::printf("  %10.3f %6.4f\n",
+                static_cast<double>(cdf[i].first) / scale, cdf[i].second);
+  }
+  if (!cdf.empty()) {
+    std::printf("  %10.3f %6.4f\n",
+                static_cast<double>(cdf.back().first) / scale, 1.0);
+  }
+}
+
+inline std::string HumanBytes(double bytes) {
+  char buf[32];
+  if (bytes >= (1 << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1fGB", bytes / (1 << 30));
+  } else if (bytes >= (1 << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", bytes / (1 << 20));
+  } else if (bytes >= (1 << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace jiffy
+
+#endif  // BENCH_BENCH_UTIL_H_

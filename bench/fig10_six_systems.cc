@@ -1,0 +1,166 @@
+// Fig 10 reproduction: latency and throughput vs object size for six
+// systems (§6.2): S3, DynamoDB, Apache Crail, ElastiCache, Pocket (service
+// models calibrated to the paper's Lambda-client measurements) and Jiffy
+// (the real KV data path + the EC2 network model).
+//
+// As in the paper: synchronous ops from a single-threaded client, no
+// pipelining. Latency = modeled wire/service time + measured in-process
+// store time; MB/s = object_size / latency. Shapes to reproduce: persistent
+// stores (S3, DynamoDB) orders of magnitude slower; DynamoDB capped at
+// 128 KB objects; Jiffy at least matching Pocket/ElastiCache/Crail.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baselines/remote_models.h"
+#include "src/client/jiffy_client.h"
+
+using namespace jiffy;
+
+namespace {
+
+struct Row {
+  double read_ns = 0.0;
+  double write_ns = 0.0;
+  bool supported = true;
+};
+
+constexpr size_t kSizes[] = {8,        128,       2 << 10, 32 << 10,
+                             512 << 10, 8 << 20,  128 << 20};
+constexpr const char* kSizeNames[] = {"8B",    "128B", "2KB", "32KB",
+                                      "512KB", "8MB",  "128MB"};
+
+int OpsForSize(size_t size) { return size >= (8 << 20) ? 8 : 40; }
+
+Row MeasureModel(RemoteKvModel* model, size_t size) {
+  Row row;
+  const std::string value(size, 'v');
+  if (model->max_object_bytes() != 0 && size > model->max_object_bytes()) {
+    row.supported = false;
+    return row;
+  }
+  const int ops = OpsForSize(size);
+  double write_sum = 0.0, read_sum = 0.0;
+  for (int i = 0; i < ops; ++i) {
+    DurationNs lat = 0;
+    model->Put("bench-key", value, &lat);
+    write_sum += static_cast<double>(lat);
+    auto v = model->Get("bench-key", &lat);
+    (void)v;
+    read_sum += static_cast<double>(lat);
+  }
+  row.write_ns = write_sum / ops;
+  row.read_ns = read_sum / ops;
+  return row;
+}
+
+// Jiffy: real KV-store ops; wire time comes from the data transport's
+// accounting delta around each op.
+Row MeasureJiffy(KvClient* kv, Transport* net, size_t size) {
+  Row row;
+  const std::string value(size, 'v');
+  const int ops = OpsForSize(size);
+  double write_sum = 0.0, read_sum = 0.0;
+  RealClock* clock = RealClock::Instance();
+  for (int i = 0; i < ops; ++i) {
+    DurationNs wire0 = net->total_time();
+    TimeNs t0 = clock->Now();
+    kv->Put("bench-key", value);
+    write_sum += static_cast<double>((clock->Now() - t0) +
+                                     (net->total_time() - wire0));
+    wire0 = net->total_time();
+    t0 = clock->Now();
+    auto v = kv->Get("bench-key");
+    (void)v;
+    read_sum += static_cast<double>((clock->Now() - t0) +
+                                    (net->total_time() - wire0));
+  }
+  row.write_ns = write_sum / ops;
+  row.read_ns = read_sum / ops;
+  return row;
+}
+
+void PrintTable(const char* title, const std::vector<std::string>& systems,
+                const std::vector<std::vector<Row>>& rows, bool read,
+                bool mbps) {
+  std::printf("\n%s\n%10s", title, "size");
+  for (const auto& s : systems) {
+    std::printf(" %12s", s.c_str());
+  }
+  std::printf("\n");
+  for (size_t si = 0; si < std::size(kSizes); ++si) {
+    std::printf("%10s", kSizeNames[si]);
+    for (size_t sys = 0; sys < systems.size(); ++sys) {
+      const Row& r = rows[sys][si];
+      if (!r.supported) {
+        std::printf(" %12s", "n/a");
+        continue;
+      }
+      const double ns = read ? r.read_ns : r.write_ns;
+      if (mbps) {
+        const double mbps_val =
+            static_cast<double>(kSizes[si]) / (ns / 1e9) / 1e6;
+        std::printf(" %12.2f", mbps_val);
+      } else {
+        std::printf(" %12.3f", ns / 1e6);  // ms.
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig 10", "Six-system comparison: latency and MB/s vs object size");
+
+  const Transport::Mode mode = Transport::Mode::kZero;
+  RemoteKvModel s3(RemoteKvModel::S3(), mode, nullptr, 11);
+  RemoteKvModel dynamo(RemoteKvModel::DynamoDb(), mode, nullptr, 12);
+  RemoteKvModel crail(RemoteKvModel::ApacheCrail(), mode, nullptr, 13);
+  RemoteKvModel ec(RemoteKvModel::ElastiCache(), mode, nullptr, 14);
+  RemoteKvModel pocket(RemoteKvModel::Pocket(), mode, nullptr, 15);
+
+  // Jiffy: real cluster; blocks sized to hold the largest object.
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 4;
+  opts.config.blocks_per_server = 8;
+  opts.config.block_size_bytes = 512u << 20;
+  opts.config.lease_duration = 3600 * kSecond;
+  opts.net_mode = mode;
+  opts.net_model = NetworkModel::Ec2IntraDc();
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  client.RegisterJob("bench");
+  client.CreateAddrPrefix("/bench/kv", {});
+  auto kv = client.OpenKv("/bench/kv");
+  if (!kv.ok()) {
+    std::fprintf(stderr, "failed to open kv: %s\n",
+                 kv.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> systems = {"s3",  "dynamodb",    "crail",
+                                            "elasticache", "pocket", "jiffy"};
+  std::vector<std::vector<Row>> rows(systems.size());
+  for (size_t si = 0; si < std::size(kSizes); ++si) {
+    rows[0].push_back(MeasureModel(&s3, kSizes[si]));
+    rows[1].push_back(MeasureModel(&dynamo, kSizes[si]));
+    rows[2].push_back(MeasureModel(&crail, kSizes[si]));
+    rows[3].push_back(MeasureModel(&ec, kSizes[si]));
+    rows[4].push_back(MeasureModel(&pocket, kSizes[si]));
+    rows[5].push_back(
+        MeasureJiffy(kv->get(), cluster.data_transport(), kSizes[si]));
+  }
+
+  PrintTable("(a) Read latency (ms)", systems, rows, /*read=*/true, false);
+  PrintTable("(a) Write latency (ms)", systems, rows, /*read=*/false, false);
+  PrintTable("(b) Read MB/s", systems, rows, true, /*mbps=*/true);
+  PrintTable("(b) Write MB/s", systems, rows, false, true);
+  std::printf(
+      "\npaper: in-memory stores sub-ms + tens of MB/s; S3/DynamoDB 10-100x\n"
+      "slower; DynamoDB n/a above 128KB; Jiffy matches or beats Pocket/EC.\n");
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Fig 11(a) reproduction: fine-grained elasticity via lease-based lifetime
+// management (§6.3).
+//
+// For each built-in data structure (FIFO queue, File, KV-store), a single
+// tenant's Snowflake-like trace is replayed with REAL data-structure writes
+// on a virtual clock: each job stage writes its intermediate data under its
+// own address prefix, the producing/consuming tasks renew leases while
+// active, and the lease expiry worker reclaims blocks once the data's
+// consumers stop renewing. The bench samples allocated vs used capacity
+// every simulated second.
+//
+// Paper shapes: allocated tracks used closely for queue and file (small gap
+// for per-item metadata / partially-filled tail blocks); the KV-store under
+// Zipf keys over-allocates (skewed slots split early, blocks stay
+// half-empty) but the lease mechanism keeps the overhead short-lived.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/client/jiffy_client.h"
+#include "src/workload/snowflake.h"
+
+using namespace jiffy;
+
+namespace {
+
+struct Sample {
+  TimeNs t;
+  uint64_t allocated;
+  uint64_t used;
+};
+
+// Scaled single-tenant trace: the 60-minute window maps to 60 simulated
+// seconds; stage sizes scaled to a few MB so real bytes are written.
+SnowflakeParams ScaledParams() {
+  SnowflakeParams p;
+  p.num_tenants = 1;
+  p.window = 60 * kSecond;
+  p.mean_job_interarrival = 4 * kSecond;
+  p.mean_stage_duration = 3 * kSecond;
+  p.min_stages = 1;
+  p.max_stages = 4;
+  p.stage_bytes_mu = 12.2;  // ≈200 KB median.
+  p.stage_bytes_sigma = 1.6;
+  p.min_stage_bytes = 8 << 10;
+  p.max_stage_bytes = 4 << 20;
+  return p;
+}
+
+std::vector<Sample> RunDs(DsType type, const TenantTrace& trace) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 4;
+  opts.config.blocks_per_server = 512;
+  opts.config.block_size_bytes = 256 << 10;
+  opts.config.lease_duration = 1 * kSecond;
+  SimClock clock;
+  opts.clock = &clock;
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  client.RegisterJob("tenant");
+
+  struct LiveStage {
+    std::string prefix;
+    TimeNs release_at;
+    std::unique_ptr<KvClient> kv;  // Keep handles alive for the KV case.
+  };
+  std::vector<LiveStage> live;
+  ZipfSampler zipf(100000, 0.99, 77);
+  const std::string payload(1024, 'x');
+
+  // Event list: (write_time, release_time, bytes).
+  struct Ev {
+    TimeNs t;
+    TimeNs release;
+    uint64_t bytes;
+  };
+  std::vector<Ev> evs;
+  for (const JobSpec& job : trace.jobs) {
+    for (size_t s = 0; s < job.stages.size(); ++s) {
+      Ev ev;
+      ev.t = job.submit_time + job.stages[s].start_offset;
+      ev.release = s + 1 < job.stages.size()
+                       ? job.submit_time + job.stages[s + 1].start_offset +
+                             job.stages[s + 1].duration
+                       : job.EndTime();
+      ev.bytes = job.stages[s].bytes;
+      evs.push_back(ev);
+    }
+  }
+  std::sort(evs.begin(), evs.end(),
+            [](const Ev& a, const Ev& b) { return a.t < b.t; });
+
+  std::vector<Sample> samples;
+  size_t next = 0;
+  int stage_id = 0;
+  for (TimeNs now = 0; now <= 70 * kSecond; now += kSecond) {
+    clock.AdvanceTo(now);
+    // New stage writes.
+    while (next < evs.size() && evs[next].t <= now) {
+      const Ev& ev = evs[next++];
+      const std::string prefix = "stage" + std::to_string(stage_id++);
+      const std::string addr = "/tenant/" + prefix;
+      if (!client.CreateAddrPrefix(addr, {}).ok()) {
+        continue;
+      }
+      LiveStage stage;
+      stage.prefix = prefix;
+      stage.release_at = ev.release;
+      const uint64_t chunks = std::max<uint64_t>(1, ev.bytes / payload.size());
+      switch (type) {
+        case DsType::kFile: {
+          auto file = client.OpenFile(addr);
+          if (!file.ok()) {
+            continue;
+          }
+          for (uint64_t c = 0; c < chunks; ++c) {
+            (*file)->Append(payload);
+          }
+          break;
+        }
+        case DsType::kQueue: {
+          auto q = client.OpenQueue(addr);
+          if (!q.ok()) {
+            continue;
+          }
+          for (uint64_t c = 0; c < chunks; ++c) {
+            (*q)->Enqueue(std::string(payload));
+          }
+          break;
+        }
+        case DsType::kKvStore: {
+          auto kv = client.OpenKv(addr);
+          if (!kv.ok()) {
+            continue;
+          }
+          for (uint64_t c = 0; c < chunks; ++c) {
+            (*kv)->Put("key" + std::to_string(zipf.Next()), payload);
+          }
+          stage.kv = std::move(*kv);
+          break;
+        }
+      }
+      live.push_back(std::move(stage));
+    }
+    // Renew leases for stages still live; drop released ones.
+    for (auto it = live.begin(); it != live.end();) {
+      if (it->release_at <= now) {
+        it = live.erase(it);
+      } else {
+        client.RenewLease("/tenant/" + it->prefix);
+        ++it;
+      }
+    }
+    cluster.controller_shard(0)->RunExpiryScan();
+    samples.push_back({now, cluster.AllocatedBytes(), cluster.UsedBytes()});
+  }
+  return samples;
+}
+
+void PrintSeries(const char* name, const std::vector<Sample>& samples) {
+  uint64_t peak = 1;
+  for (const auto& s : samples) {
+    peak = std::max(peak, s.allocated);
+  }
+  std::printf("\n%s (normalized by peak allocated = %s)\n", name,
+              HumanBytes(static_cast<double>(peak)).c_str());
+  std::printf("%6s %12s %12s\n", "sec", "allocated", "used");
+  for (size_t i = 0; i < samples.size(); i += 2) {
+    std::printf("%6lld %12.3f %12.3f\n",
+                static_cast<long long>(samples[i].t / kSecond),
+                static_cast<double>(samples[i].allocated) / peak,
+                static_cast<double>(samples[i].used) / peak);
+  }
+  // Time-averaged allocated/used ratio (the over-allocation factor).
+  double alloc_sum = 0, used_sum = 0;
+  for (const auto& s : samples) {
+    alloc_sum += static_cast<double>(s.allocated);
+    used_sum += static_cast<double>(s.used);
+  }
+  std::printf("  avg allocated/used = %.2fx\n",
+              used_sum > 0 ? alloc_sum / used_sum : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig 11(a)",
+              "Lease-based lifetime management: allocated vs used over time");
+  SnowflakeTraceGen gen(ScaledParams(), /*seed=*/5);
+  TenantTrace trace = gen.GenerateTenant(0);
+  std::printf("trace: %zu jobs over 60 simulated seconds\n", trace.jobs.size());
+
+  PrintSeries("FIFO Queue", RunDs(DsType::kQueue, trace));
+  PrintSeries("File", RunDs(DsType::kFile, trace));
+  PrintSeries("KV-store (Zipf keys; worst case)",
+              RunDs(DsType::kKvStore, trace));
+  std::printf(
+      "\npaper: queue/file allocated ≈ used (+item metadata); KV over-\n"
+      "allocates under Zipf skew but leases reclaim the excess quickly.\n");
+  return 0;
+}

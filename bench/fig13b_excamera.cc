@@ -1,0 +1,145 @@
+// Fig 13(b) reproduction: video encoding on ExCamera (§6.5).
+//
+// ExCamera tasks encode chunks in parallel and exchange encoder state along
+// a chain: task i cannot finish until the state from task i-1 arrives. The
+// paper compares the original design — a dedicated rendezvous server that
+// workers poll for forwarded messages — against state exchange via Jiffy
+// queues, whose notifications wake the consumer the moment the state
+// arrives. Jiffy cuts the wait component of task latency by 10-20 %.
+//
+// Tasks run as real threads on the real clock; encode time is a calibrated
+// sleep (the encoder itself is out of scope), state messages are 256 KB.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baselines/rendezvous.h"
+#include "src/client/jiffy_client.h"
+#include "src/workload/excamera.h"
+
+using namespace jiffy;
+
+namespace {
+
+struct TaskResult {
+  DurationNs latency = 0;  // Total task latency.
+  DurationNs wait = 0;     // Time spent waiting for upstream state.
+};
+
+// Finishing pass once upstream state is in hand (rebase + emit).
+constexpr DurationNs kFinishTime = 40 * kMillisecond;
+
+std::vector<TaskResult> RunRendezvous(const std::vector<ExCameraTask>& tasks) {
+  Transport net(NetworkModel::Ec2IntraDc(), Transport::Mode::kSleep,
+                RealClock::Instance(), 99);
+  // ExCamera workers poll the rendezvous server for forwarded state.
+  RendezvousServer server(&net, /*poll_interval=*/30 * kMillisecond);
+  std::vector<TaskResult> results(tasks.size());
+  std::vector<std::thread> workers;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    workers.emplace_back([&, i] {
+      RealClock* clock = RealClock::Instance();
+      const TimeNs start = clock->Now();
+      clock->SleepFor(tasks[i].encode_time);
+      if (i > 0) {
+        const TimeNs wait_start = clock->Now();
+        auto state = server.Receive("task" + std::to_string(i), 120 * kSecond);
+        (void)state;
+        results[i].wait = clock->Now() - wait_start;
+        clock->SleepFor(kFinishTime);
+      }
+      if (i + 1 < tasks.size()) {
+        server.Send("task" + std::to_string(i + 1),
+                    std::string(tasks[i].state_bytes, 's'));
+      }
+      results[i].latency = clock->Now() - start;
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  return results;
+}
+
+std::vector<TaskResult> RunJiffy(const std::vector<ExCameraTask>& tasks) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 2;
+  opts.config.blocks_per_server = 256;
+  opts.config.block_size_bytes = 1 << 20;
+  opts.config.lease_duration = 3600 * kSecond;
+  opts.net_mode = Transport::Mode::kSleep;
+  opts.net_model = NetworkModel::Ec2IntraDc();
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  client.RegisterJob("excamera");
+  for (size_t i = 1; i < tasks.size(); ++i) {
+    client.CreateAddrPrefix("/excamera/state" + std::to_string(i), {});
+  }
+  std::vector<TaskResult> results(tasks.size());
+  std::vector<std::thread> workers;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    workers.emplace_back([&, i] {
+      RealClock* clock = RealClock::Instance();
+      const TimeNs start = clock->Now();
+      clock->SleepFor(tasks[i].encode_time);
+      if (i > 0) {
+        auto in = client.OpenQueue("/excamera/state" + std::to_string(i));
+        const TimeNs wait_start = clock->Now();
+        // Queue notifications wake the consumer immediately (§5.2).
+        auto state = (*in)->DequeueWait(120 * kSecond);
+        (void)state;
+        results[i].wait = clock->Now() - wait_start;
+        clock->SleepFor(kFinishTime);
+      }
+      if (i + 1 < tasks.size()) {
+        auto out = client.OpenQueue("/excamera/state" + std::to_string(i + 1));
+        (*out)->Enqueue(std::string(tasks[i].state_bytes, 's'));
+      }
+      results[i].latency = clock->Now() - start;
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  return results;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig 13(b)", "ExCamera task latency: rendezvous server vs Jiffy");
+
+  ExCameraParams params;
+  auto tasks = MakeExCameraTasks(params, /*seed=*/6);
+  std::printf("(%d encode tasks, %s state messages, chain dependency)\n",
+              params.num_tasks,
+              HumanBytes(static_cast<double>(params.state_bytes)).c_str());
+
+  auto rendezvous = RunRendezvous(tasks);
+  auto jiffy = RunJiffy(tasks);
+
+  std::printf("\n%6s %14s %14s %12s %12s\n", "task", "ExCamera(ms)",
+              "+Jiffy(ms)", "wait-EC(ms)", "wait-J(ms)");
+  double total_rdv_wait = 0, total_jiffy_wait = 0;
+  double total_rdv_lat = 0, total_jiffy_lat = 0;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    std::printf("%6zu %14.1f %14.1f %12.1f %12.1f\n", i,
+                static_cast<double>(rendezvous[i].latency) / 1e6,
+                static_cast<double>(jiffy[i].latency) / 1e6,
+                static_cast<double>(rendezvous[i].wait) / 1e6,
+                static_cast<double>(jiffy[i].wait) / 1e6);
+    total_rdv_wait += static_cast<double>(rendezvous[i].wait);
+    total_jiffy_wait += static_cast<double>(jiffy[i].wait);
+    total_rdv_lat += static_cast<double>(rendezvous[i].latency);
+    total_jiffy_lat += static_cast<double>(jiffy[i].latency);
+  }
+  std::printf("\nwait-time reduction with Jiffy queues: %.1f%%\n",
+              (1.0 - total_jiffy_wait / total_rdv_wait) * 100.0);
+  std::printf("task-latency reduction with Jiffy queues: %.1f%%\n",
+              (1.0 - total_jiffy_lat / total_rdv_lat) * 100.0);
+  std::printf("\npaper: Jiffy reduces task wait times by 10-20%% via queue\n"
+              "notifications (vs polling the rendezvous server).\n");
+  return 0;
+}

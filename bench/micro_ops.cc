@@ -1,0 +1,171 @@
+// Microbenchmarks (google-benchmark) for Jiffy's hot paths: raw data
+// structure operators, the cuckoo hash map, controller control-plane ops,
+// and address-hierarchy operations. These complement the figure benches:
+// they measure the in-process cost floor with no network model attached.
+
+#include <benchmark/benchmark.h>
+
+#include "src/client/jiffy_client.h"
+#include "src/ds/cuckoo_hash.h"
+#include "src/workload/snowflake.h"
+
+namespace jiffy {
+namespace {
+
+std::unique_ptr<JiffyCluster> MakeCluster() {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 4;
+  opts.config.blocks_per_server = 1024;
+  opts.config.block_size_bytes = 1 << 20;
+  opts.config.lease_duration = 3600 * kSecond;
+  return std::make_unique<JiffyCluster>(opts);
+}
+
+void BM_CuckooPut(benchmark::State& state) {
+  CuckooHashMap map;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    map.Put("key" + std::to_string(i++ % 100000), "value");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CuckooPut);
+
+void BM_CuckooGet(benchmark::State& state) {
+  CuckooHashMap map;
+  for (int i = 0; i < 100000; ++i) {
+    map.Put("key" + std::to_string(i), "value");
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Get("key" + std::to_string(i++ % 100000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CuckooGet);
+
+void BM_KvPut(benchmark::State& state) {
+  auto cluster = MakeCluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("bench");
+  client.CreateAddrPrefix("/bench/kv", {});
+  auto kv = client.OpenKv("/bench/kv");
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    (*kv)->Put("key" + std::to_string(i++ % 4096), value);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KvPut)->Arg(64)->Arg(1024)->Arg(16 << 10);
+
+void BM_KvGet(benchmark::State& state) {
+  auto cluster = MakeCluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("bench");
+  client.CreateAddrPrefix("/bench/kv", {});
+  auto kv = client.OpenKv("/bench/kv");
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  for (int i = 0; i < 4096; ++i) {
+    (*kv)->Put("key" + std::to_string(i), value);
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*kv)->Get("key" + std::to_string(i++ % 4096)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KvGet)->Arg(64)->Arg(1024)->Arg(16 << 10);
+
+void BM_FileAppend(benchmark::State& state) {
+  auto cluster = MakeCluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("bench");
+  client.CreateAddrPrefix("/bench/f", {});
+  auto file = client.OpenFile("/bench/f");
+  const std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    auto r = (*file)->Append(payload);
+    if (!r.ok()) {
+      state.SkipWithError("append failed (pool exhausted)");
+      break;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FileAppend)->Arg(1024)->Arg(64 << 10);
+
+void BM_QueueEnqueueDequeue(benchmark::State& state) {
+  auto cluster = MakeCluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("bench");
+  client.CreateAddrPrefix("/bench/q", {});
+  auto q = client.OpenQueue("/bench/q");
+  const std::string item(static_cast<size_t>(state.range(0)), 'q');
+  for (auto _ : state) {
+    (*q)->Enqueue(std::string(item));
+    benchmark::DoNotOptimize((*q)->Dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueEnqueueDequeue)->Arg(64)->Arg(4096);
+
+void BM_ControllerRenewLease(benchmark::State& state) {
+  auto cluster = MakeCluster();
+  Controller* ctl = cluster->controller_shard(0);
+  ctl->RegisterJob("job");
+  ctl->CreateAddrPrefix("job", "task", {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl->RenewLease("job", "task"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerRenewLease);
+
+void BM_LeaseRenewalFanout(benchmark::State& state) {
+  // Renewal over a deep chain: cost of the ancestor/descendant closure.
+  auto cluster = MakeCluster();
+  Controller* ctl = cluster->controller_shard(0);
+  ctl->RegisterJob("job");
+  const int depth = static_cast<int>(state.range(0));
+  std::vector<std::string> parents;
+  for (int i = 0; i < depth; ++i) {
+    const std::string name = "t" + std::to_string(i);
+    ctl->CreateAddrPrefix("job", name, parents);
+    parents = {name};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl->RenewLease("job", "t0"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeaseRenewalFanout)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_HierarchyResolve(benchmark::State& state) {
+  JobHierarchy h("job", 0, kSecond);
+  h.CreateNode("a", {}, 0, 0);
+  h.CreateNode("b", {"a"}, 0, 0);
+  h.CreateNode("c", {"b"}, 0, 0);
+  auto path = *AddressPath::Parse("a/b/c");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Resolve(path));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyResolve);
+
+void BM_SnowflakeTraceGen(benchmark::State& state) {
+  SnowflakeParams params;
+  params.num_tenants = 1;
+  SnowflakeTraceGen gen(params, 1);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.GenerateTenant(i++));
+  }
+}
+BENCHMARK(BM_SnowflakeTraceGen);
+
+}  // namespace
+}  // namespace jiffy
+
+BENCHMARK_MAIN();

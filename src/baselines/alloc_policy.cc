@@ -1,0 +1,275 @@
+#include "src/baselines/alloc_policy.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace jiffy {
+
+// --- ElastiCache ---------------------------------------------------------------
+
+ElasticachePolicy::ElasticachePolicy(uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+Status ElasticachePolicy::RegisterJob(const std::string& job,
+                                      uint64_t declared_bytes) {
+  (void)declared_bytes;  // Static provisioning: hints are irrelevant.
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_[job];
+  return Status::Ok();
+}
+
+TierSplit ElasticachePolicy::WriteStage(const std::string& job,
+                                        const std::string& stage,
+                                        uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TierSplit split;
+  const uint64_t free = capacity_ - std::min(capacity_, resident_);
+  split.dram_bytes = std::min(bytes, free);
+  split.spill_bytes = bytes - split.dram_bytes;
+  resident_ += split.dram_bytes;
+  live_ += split.dram_bytes;
+  jobs_[job][stage] += split.dram_bytes;
+  return split;
+}
+
+void ElasticachePolicy::ReleaseStage(const std::string& job,
+                                     const std::string& stage) {
+  // No fine-grained lifetime management: the space stays occupied until the
+  // job ends — only the live-data accounting changes.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto jit = jobs_.find(job);
+  if (jit == jobs_.end()) {
+    return;
+  }
+  auto sit = jit->second.find(stage);
+  if (sit == jit->second.end() || released_[job][stage]) {
+    return;
+  }
+  released_[job][stage] = true;
+  live_ -= sit->second;
+}
+
+void ElasticachePolicy::EndJob(const std::string& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return;
+  }
+  for (const auto& [stage, bytes] : it->second) {
+    resident_ -= bytes;
+    if (!released_[job][stage]) {
+      live_ -= bytes;
+    }
+  }
+  released_.erase(job);
+  jobs_.erase(it);
+}
+
+uint64_t ElasticachePolicy::UsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+uint64_t ElasticachePolicy::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_;
+}
+
+// --- Pocket ----------------------------------------------------------------------
+
+PocketPolicy::PocketPolicy(uint64_t capacity_bytes, uint64_t block_bytes)
+    : capacity_(capacity_bytes), block_bytes_(block_bytes) {}
+
+Status PocketPolicy::RegisterJob(const std::string& job,
+                                 uint64_t declared_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JobState& state = jobs_[job];
+  // Reserve the declared demand, rounded to blocks, for the job's lifetime
+  // — as much of it as the remaining capacity admits. The shortfall is
+  // permanently SSD-backed for this job.
+  const uint64_t want =
+      (declared_bytes + block_bytes_ - 1) / block_bytes_ * block_bytes_;
+  const uint64_t free = capacity_ - std::min(capacity_, reserved_total_);
+  state.reserved = std::min(want, free);
+  reserved_total_ += state.reserved;
+  return Status::Ok();
+}
+
+TierSplit PocketPolicy::WriteStage(const std::string& job,
+                                   const std::string& stage, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JobState& state = jobs_[job];
+  TierSplit split;
+  const uint64_t headroom = state.reserved - std::min(state.reserved, state.used);
+  split.dram_bytes = std::min(bytes, headroom);
+  split.spill_bytes = bytes - split.dram_bytes;
+  state.used += split.dram_bytes;
+  state.stages[stage] = split;
+  return split;
+}
+
+void PocketPolicy::ReleaseStage(const std::string& job,
+                                const std::string& stage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto jit = jobs_.find(job);
+  if (jit == jobs_.end()) {
+    return;
+  }
+  auto sit = jit->second.stages.find(stage);
+  if (sit == jit->second.stages.end()) {
+    return;
+  }
+  // Space returns to the job's own reservation (usable by its later
+  // stages) but NOT to the shared pool — that release happens only when
+  // the job deregisters. This is exactly the coarse granularity Fig 9
+  // penalizes.
+  jit->second.used -= sit->second.dram_bytes;
+  jit->second.stages.erase(sit);
+}
+
+void PocketPolicy::EndJob(const std::string& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return;
+  }
+  reserved_total_ -= it->second.reserved;
+  jobs_.erase(it);
+}
+
+uint64_t PocketPolicy::UsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t used = 0;
+  for (const auto& [job, state] : jobs_) {
+    (void)job;
+    used += state.used;
+  }
+  return used;
+}
+
+uint64_t PocketPolicy::AllocatedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_total_;
+}
+
+// --- Jiffy ------------------------------------------------------------------------
+
+JiffyPolicy::JiffyPolicy(const JiffyConfig& config, SimClock* clock) {
+  JiffyCluster::Options opts;
+  opts.config = config;
+  opts.clock = clock;
+  cluster_ = std::make_unique<JiffyCluster>(opts);
+}
+
+Status JiffyPolicy::RegisterJob(const std::string& job,
+                                uint64_t declared_bytes) {
+  (void)declared_bytes;  // Jiffy needs no a-priori demand (§3).
+  return cluster_->ControllerFor(job)->RegisterJob(job);
+}
+
+TierSplit JiffyPolicy::WriteStage(const std::string& job,
+                                  const std::string& stage, uint64_t bytes) {
+  Controller* ctl = cluster_->ControllerFor(job);
+  TierSplit split;
+  CreateOptions opts;
+  opts.init_ds = true;
+  opts.ds_type = DsType::kFile;
+  Status st = ctl->CreateAddrPrefix(job, stage, {}, opts);
+  if (!st.ok()) {
+    // kOutOfMemory here means not even one block was free: the whole stage
+    // spills — routine under the constrained-capacity sweeps.
+    JIFFY_LOG(DEBUG) << "jiffy policy: create prefix failed: " << st;
+    split.spill_bytes = bytes;
+    return split;
+  }
+  const uint64_t block = cluster_->config().block_size_bytes;
+  // First block came with the init; grow block-by-block as data "arrives",
+  // spilling whatever the free list cannot cover.
+  uint64_t granted = std::min<uint64_t>(bytes, block);
+  uint64_t next_lo = block;
+  while (granted < bytes) {
+    auto added = ctl->AddBlock(job, stage, next_lo, next_lo + block);
+    if (!added.ok()) {
+      break;  // Pool exhausted: the rest spills.
+    }
+    next_lo += block;
+    granted = std::min<uint64_t>(bytes, granted + block);
+  }
+  split.dram_bytes = granted;
+  split.spill_bytes = bytes - granted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_[job].insert(stage);
+    stage_bytes_[job][stage] = split.dram_bytes;
+    used_ += split.dram_bytes;
+  }
+  return split;
+}
+
+void JiffyPolicy::ReleaseStage(const std::string& job,
+                               const std::string& stage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(job);
+  if (it != active_.end()) {
+    it->second.erase(stage);  // Lease lapses; expiry reclaims the blocks.
+  }
+  auto jit = stage_bytes_.find(job);
+  if (jit != stage_bytes_.end()) {
+    auto sit = jit->second.find(stage);
+    if (sit != jit->second.end()) {
+      used_ -= sit->second;
+      jit->second.erase(sit);
+    }
+  }
+}
+
+void JiffyPolicy::EndJob(const std::string& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(job);
+    auto jit = stage_bytes_.find(job);
+    if (jit != stage_bytes_.end()) {
+      for (const auto& [stage, bytes] : jit->second) {
+        (void)stage;
+        used_ -= bytes;
+      }
+      stage_bytes_.erase(jit);
+    }
+  }
+  cluster_->ControllerFor(job)->DeregisterJob(job);
+}
+
+void JiffyPolicy::Tick() {
+  // Renew leases for all stages still producing/consuming, then run the
+  // expiry worker across shards.
+  std::map<std::string, std::set<std::string>> active;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active = active_;
+  }
+  for (const auto& [job, stages] : active) {
+    Controller* ctl = cluster_->ControllerFor(job);
+    for (const auto& stage : stages) {
+      ctl->RenewLease(job, stage);
+    }
+  }
+  for (uint32_t i = 0; i < cluster_->num_controller_shards(); ++i) {
+    cluster_->controller_shard(i)->RunExpiryScan();
+  }
+}
+
+uint64_t JiffyPolicy::UsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+uint64_t JiffyPolicy::AllocatedBytes() const {
+  return cluster_->AllocatedBytes();
+}
+
+uint64_t JiffyPolicy::CapacityBytes() const {
+  return cluster_->TotalCapacityBytes();
+}
+
+}  // namespace jiffy

@@ -1,0 +1,167 @@
+// Allocation-policy harness for the Fig 9 elasticity experiment (§6.1).
+//
+// The experiment replays a multi-tenant Snowflake-like trace against three
+// intermediate stores under constrained capacity:
+//   - ElasticachePolicy: statically provisioned shared pool; data is freed
+//     only at job end; overflow goes to S3 (the slowest tier).
+//   - PocketPolicy: job-granularity reservation — a job's declared (peak)
+//     demand is reserved at registration and held for its lifetime; demand
+//     beyond what could be reserved lands on the SSD spill tier.
+//   - JiffyPolicy: the real Jiffy controller — block-granularity allocation
+//     per stage, lease-based reclamation between stages, SSD spill only
+//     when the free list is exhausted.
+//
+// The policies manage placement (DRAM vs spill tier); the bench computes
+// job slowdowns from the byte split using tier cost models and reads the
+// used/allocated counters for the utilization plot.
+
+#ifndef SRC_BASELINES_ALLOC_POLICY_H_
+#define SRC_BASELINES_ALLOC_POLICY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/common/clock.h"
+
+namespace jiffy {
+
+// How a stage's intermediate data was placed.
+struct TierSplit {
+  uint64_t dram_bytes = 0;
+  uint64_t spill_bytes = 0;
+};
+
+class AllocPolicy {
+ public:
+  virtual ~AllocPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  // Job submission with the job's declared demand (its peak intermediate
+  // data size — what Pocket reserves; Jiffy ignores the hint entirely).
+  virtual Status RegisterJob(const std::string& job,
+                             uint64_t declared_bytes) = 0;
+
+  // A stage writes `bytes` of intermediate data, held until released.
+  virtual TierSplit WriteStage(const std::string& job,
+                               const std::string& stage, uint64_t bytes) = 0;
+
+  // The stage's output has been consumed; the policy may reclaim it (at its
+  // own granularity — immediately, at lease expiry, or never until job end).
+  virtual void ReleaseStage(const std::string& job,
+                            const std::string& stage) = 0;
+
+  virtual void EndJob(const std::string& job) = 0;
+
+  // Called once per simulated tick (lease renewal + expiry for Jiffy).
+  virtual void Tick() {}
+
+  // Live intermediate bytes actually resident in DRAM.
+  virtual uint64_t UsedBytes() const = 0;
+  // DRAM bytes held (reserved/allocated) regardless of contents.
+  virtual uint64_t AllocatedBytes() const = 0;
+  virtual uint64_t CapacityBytes() const = 0;
+};
+
+// --- ElastiCache: static shared provisioning, job-lifetime data ---------------
+
+class ElasticachePolicy : public AllocPolicy {
+ public:
+  ElasticachePolicy(uint64_t capacity_bytes);
+
+  const char* name() const override { return "elasticache"; }
+  Status RegisterJob(const std::string& job, uint64_t declared_bytes) override;
+  TierSplit WriteStage(const std::string& job, const std::string& stage,
+                       uint64_t bytes) override;
+  void ReleaseStage(const std::string& job, const std::string& stage) override;
+  void EndJob(const std::string& job) override;
+  uint64_t UsedBytes() const override;
+  uint64_t AllocatedBytes() const override { return capacity_; }
+  uint64_t CapacityBytes() const override { return capacity_; }
+
+  // Bytes occupying DRAM (freed only at job end).
+  uint64_t ResidentBytes() const;
+
+ private:
+  const uint64_t capacity_;
+  mutable std::mutex mu_;
+  // resident_: bytes occupying DRAM (held until EndJob).
+  // live_: the subset not yet consumed — what UsedBytes() reports, since
+  // consumed-but-unreleased data is pure waste (Fig 9(b)).
+  uint64_t resident_ = 0;
+  uint64_t live_ = 0;
+  // job → stage → dram bytes held (freed only at EndJob: no fine-grained
+  // lifetime management).
+  std::map<std::string, std::map<std::string, uint64_t>> jobs_;
+  std::map<std::string, std::map<std::string, bool>> released_;
+};
+
+// --- Pocket: job-granularity reservation with SSD spill -----------------------
+
+class PocketPolicy : public AllocPolicy {
+ public:
+  PocketPolicy(uint64_t capacity_bytes, uint64_t block_bytes);
+
+  const char* name() const override { return "pocket"; }
+  Status RegisterJob(const std::string& job, uint64_t declared_bytes) override;
+  TierSplit WriteStage(const std::string& job, const std::string& stage,
+                       uint64_t bytes) override;
+  void ReleaseStage(const std::string& job, const std::string& stage) override;
+  void EndJob(const std::string& job) override;
+  uint64_t UsedBytes() const override;
+  uint64_t AllocatedBytes() const override;
+  uint64_t CapacityBytes() const override { return capacity_; }
+
+ private:
+  struct JobState {
+    uint64_t reserved = 0;   // DRAM bytes reserved for the job's lifetime.
+    uint64_t used = 0;       // Live bytes within the reservation.
+    std::map<std::string, TierSplit> stages;
+  };
+
+  const uint64_t capacity_;
+  const uint64_t block_bytes_;
+  mutable std::mutex mu_;
+  uint64_t reserved_total_ = 0;
+  std::map<std::string, JobState> jobs_;
+};
+
+// --- Jiffy: the real controller, block-granularity + leases -------------------
+
+class JiffyPolicy : public AllocPolicy {
+ public:
+  // `clock` must be the SimClock driving the replay.
+  JiffyPolicy(const JiffyConfig& config, SimClock* clock);
+
+  const char* name() const override { return "jiffy"; }
+  Status RegisterJob(const std::string& job, uint64_t declared_bytes) override;
+  TierSplit WriteStage(const std::string& job, const std::string& stage,
+                       uint64_t bytes) override;
+  void ReleaseStage(const std::string& job, const std::string& stage) override;
+  void EndJob(const std::string& job) override;
+  void Tick() override;
+  uint64_t UsedBytes() const override;
+  uint64_t AllocatedBytes() const override;
+  uint64_t CapacityBytes() const override;
+
+  JiffyCluster* cluster() { return cluster_.get(); }
+
+ private:
+  std::unique_ptr<JiffyCluster> cluster_;
+  mutable std::mutex mu_;
+  // Stages whose leases are still being renewed: job → active stage names.
+  std::map<std::string, std::set<std::string>> active_;
+  // Live DRAM bytes per (job, stage) for the used counter (payloads are
+  // metadata-only in this replay).
+  std::map<std::string, std::map<std::string, uint64_t>> stage_bytes_;
+  uint64_t used_ = 0;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_BASELINES_ALLOC_POLICY_H_

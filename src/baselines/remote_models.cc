@@ -1,0 +1,129 @@
+#include "src/baselines/remote_models.h"
+
+namespace jiffy {
+
+RemoteKvModel::RemoteKvModel(const Spec& spec, Transport::Mode mode,
+                             Clock* clock, uint64_t seed)
+    : spec_(spec), transport_(spec.net, mode, clock, seed) {}
+
+Status RemoteKvModel::Put(std::string_view key, std::string_view value,
+                          DurationNs* latency_out) {
+  if (spec_.max_object_bytes != 0 && value.size() > spec_.max_object_bytes) {
+    return InvalidArgument(std::string(spec_.name) + " rejects objects over " +
+                           std::to_string(spec_.max_object_bytes) + " bytes");
+  }
+  const TimeNs start = RealClock::Instance()->Now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = store_.find(std::string(key));
+    if (it != store_.end()) {
+      total_bytes_ -= it->second.size();
+      it->second.assign(value.data(), value.size());
+      total_bytes_ += value.size();
+    } else {
+      total_bytes_ += value.size();
+      store_.emplace(std::string(key), std::string(value));
+    }
+  }
+  const DurationNs store_time = RealClock::Instance()->Now() - start;
+  const DurationNs wire = transport_.RoundTrip(key.size() + value.size(), 64);
+  if (latency_out != nullptr) {
+    *latency_out = wire + store_time;
+  }
+  return Status::Ok();
+}
+
+Result<std::string> RemoteKvModel::Get(std::string_view key,
+                                       DurationNs* latency_out) {
+  const TimeNs start = RealClock::Instance()->Now();
+  std::string value;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = store_.find(std::string(key));
+    if (it != store_.end()) {
+      value = it->second;
+      found = true;
+    }
+  }
+  const DurationNs store_time = RealClock::Instance()->Now() - start;
+  const DurationNs wire =
+      transport_.RoundTrip(key.size() + 64, found ? value.size() : 64);
+  if (latency_out != nullptr) {
+    *latency_out = wire + store_time;
+  }
+  if (!found) {
+    return NotFound("no object '" + std::string(key) + "' in " + spec_.name);
+  }
+  return value;
+}
+
+Status RemoteKvModel::Delete(std::string_view key) {
+  transport_.RoundTrip(key.size() + 64, 64);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = store_.find(std::string(key));
+  if (it == store_.end()) {
+    return NotFound("no object '" + std::string(key) + "' in " + spec_.name);
+  }
+  total_bytes_ -= it->second.size();
+  store_.erase(it);
+  return Status::Ok();
+}
+
+size_t RemoteKvModel::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+RemoteKvModel::Spec RemoteKvModel::S3() {
+  Spec s;
+  s.name = "s3";
+  s.net.base_latency = 12 * kMillisecond;
+  s.net.bandwidth_bytes_per_sec = 80e6;
+  s.net.jitter = 4 * kMillisecond;
+  s.net.service_floor = 2 * kMillisecond;
+  return s;
+}
+
+RemoteKvModel::Spec RemoteKvModel::DynamoDb() {
+  Spec s;
+  s.name = "dynamodb";
+  s.net.base_latency = 3 * kMillisecond;
+  s.net.bandwidth_bytes_per_sec = 40e6;
+  s.net.jitter = 2 * kMillisecond;
+  s.net.service_floor = 1 * kMillisecond;
+  s.max_object_bytes = 128 << 10;  // Paper: "objects up to 128KB".
+  return s;
+}
+
+RemoteKvModel::Spec RemoteKvModel::ElastiCache() {
+  Spec s;
+  s.name = "elasticache";
+  s.net.base_latency = 90 * kMicrosecond;
+  s.net.bandwidth_bytes_per_sec = 1.25e9;
+  s.net.jitter = 30 * kMicrosecond;
+  s.net.service_floor = 50 * kMicrosecond;
+  return s;
+}
+
+RemoteKvModel::Spec RemoteKvModel::ApacheCrail() {
+  Spec s;
+  s.name = "crail";
+  s.net.base_latency = 70 * kMicrosecond;
+  s.net.bandwidth_bytes_per_sec = 1.25e9;
+  s.net.jitter = 25 * kMicrosecond;
+  s.net.service_floor = 40 * kMicrosecond;
+  return s;
+}
+
+RemoteKvModel::Spec RemoteKvModel::Pocket() {
+  Spec s;
+  s.name = "pocket";
+  s.net.base_latency = 80 * kMicrosecond;
+  s.net.bandwidth_bytes_per_sec = 1.25e9;
+  s.net.jitter = 30 * kMicrosecond;
+  s.net.service_floor = 45 * kMicrosecond;
+  return s;
+}
+
+}  // namespace jiffy

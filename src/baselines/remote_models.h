@@ -1,0 +1,73 @@
+// Service models for the five systems Jiffy is compared against in §6.2
+// (Fig 10): S3, DynamoDB, ElastiCache, Apache Crail, and Pocket.
+//
+// Each model is a real in-memory KV store behind a latency/bandwidth
+// envelope calibrated to the paper's measurements from a Lambda client:
+//   - S3:        ~15-25 ms floor, ~80 MB/s effective transfer.
+//   - DynamoDB:  ~4-10 ms floor, objects capped at 128 KB (as in the paper).
+//   - ElastiCache / Crail / Pocket: sub-millisecond in-memory stores over
+//     the EC2 network; Pocket and Crail carry slightly higher RPC overhead
+//     than Jiffy's optimized Thrift layer (§6.2's explanation of the gap).
+//
+// Latency for an op = modeled envelope + measured in-process store time, so
+// throughput/latency curves have the paper's shape without real sleeping
+// (callers can opt into kSleep for wall-clock realism).
+
+#ifndef SRC_BASELINES_REMOTE_MODELS_H_
+#define SRC_BASELINES_REMOTE_MODELS_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/net/network.h"
+
+namespace jiffy {
+
+// An in-memory object/KV store behind a modeled service envelope.
+class RemoteKvModel {
+ public:
+  struct Spec {
+    const char* name;
+    NetworkModel net;
+    // 0 = unlimited. DynamoDB rejects objects above 128 KB (§6.2).
+    size_t max_object_bytes = 0;
+  };
+
+  RemoteKvModel(const Spec& spec, Transport::Mode mode, Clock* clock,
+                uint64_t seed);
+
+  // Stores `value`; returns the modeled+measured latency via `latency_out`
+  // when non-null. kInvalidArgument when the object exceeds the size cap.
+  Status Put(std::string_view key, std::string_view value,
+             DurationNs* latency_out = nullptr);
+  Result<std::string> Get(std::string_view key,
+                          DurationNs* latency_out = nullptr);
+  Status Delete(std::string_view key);
+
+  const char* name() const { return spec_.name; }
+  size_t max_object_bytes() const { return spec_.max_object_bytes; }
+  size_t total_bytes() const;
+
+  // --- Canned specs calibrated to Fig 10 ----------------------------------
+  static Spec S3();
+  static Spec DynamoDb();
+  static Spec ElastiCache();
+  static Spec ApacheCrail();
+  static Spec Pocket();
+
+ private:
+  Spec spec_;
+  Transport transport_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> store_;
+  size_t total_bytes_ = 0;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_BASELINES_REMOTE_MODELS_H_

@@ -1,0 +1,55 @@
+#include "src/baselines/rendezvous.h"
+
+namespace jiffy {
+
+RendezvousServer::RendezvousServer(Transport* transport,
+                                   DurationNs poll_interval)
+    : transport_(transport), poll_interval_(poll_interval) {}
+
+void RendezvousServer::Send(const std::string& key, std::string payload) {
+  transport_->RoundTrip(key.size() + payload.size(), 64);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mailboxes_[key].push_back(std::move(payload));
+  }
+}
+
+Result<std::string> RendezvousServer::Receive(const std::string& key,
+                                              DurationNs timeout) {
+  RealClock* clock = RealClock::Instance();
+  const TimeNs deadline = clock->Now() + timeout;
+  for (;;) {
+    total_polls_.fetch_add(1, std::memory_order_relaxed);
+    std::string payload;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = mailboxes_.find(key);
+      if (it != mailboxes_.end() && !it->second.empty()) {
+        payload = std::move(it->second.front());
+        it->second.pop_front();
+        found = true;
+      }
+    }
+    transport_->RoundTrip(key.size() + 64, found ? payload.size() : 64);
+    if (found) {
+      return payload;
+    }
+    if (clock->Now() + poll_interval_ > deadline) {
+      return Timeout("no rendezvous message for '" + key + "'");
+    }
+    clock->SleepFor(poll_interval_);
+  }
+}
+
+size_t RendezvousServer::Pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, box] : mailboxes_) {
+    (void)key;
+    n += box.size();
+  }
+  return n;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,51 @@
+// Rendezvous server baseline for the ExCamera experiment (§6.5, Fig 13(b)).
+//
+// ExCamera's serverless encode workers exchange state through a dedicated
+// rendezvous server that forwards messages between them. Receivers poll the
+// server; the poll interval quantizes wait time — which is exactly the
+// 10-20 % task-latency overhead Jiffy's queue notifications eliminate.
+
+#ifndef SRC_BASELINES_RENDEZVOUS_H_
+#define SRC_BASELINES_RENDEZVOUS_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/net/network.h"
+
+namespace jiffy {
+
+class RendezvousServer {
+ public:
+  // `transport` models the worker↔server link (charged per message and per
+  // poll); `poll_interval` is how often a receiver re-asks the server.
+  RendezvousServer(Transport* transport, DurationNs poll_interval);
+
+  // Deposits a message for `key` (one round trip).
+  void Send(const std::string& key, std::string payload);
+
+  // Polls until a message for `key` arrives or `timeout` elapses. Each poll
+  // costs a round trip; between polls the caller sleeps `poll_interval` of
+  // real time.
+  Result<std::string> Receive(const std::string& key, DurationNs timeout);
+
+  // Messages currently parked at the server.
+  size_t Pending() const;
+  uint64_t total_polls() const { return total_polls_; }
+
+ private:
+  Transport* transport_;
+  DurationNs poll_interval_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::deque<std::string>> mailboxes_;
+  std::atomic<uint64_t> total_polls_{0};
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_BASELINES_RENDEZVOUS_H_

@@ -1,0 +1,97 @@
+#include "src/block/block.h"
+
+namespace jiffy {
+
+const char* DsTypeName(DsType type) {
+  switch (type) {
+    case DsType::kFile:
+      return "file";
+    case DsType::kQueue:
+      return "queue";
+    case DsType::kKvStore:
+      return "kv";
+    case DsType::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+Block::Block(BlockId id, size_t capacity_bytes)
+    : id_(id), capacity_(capacity_bytes) {}
+
+void Block::InstallContent(std::unique_ptr<BlockContent> content) {
+  content_ = std::move(content);
+}
+
+std::unique_ptr<BlockContent> Block::RemoveContent() {
+  return std::move(content_);
+}
+
+void Block::SetOwner(const std::string& job_id, const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(owner_mu_);
+  owner_job_ = job_id;
+  owner_prefix_ = prefix;
+}
+
+std::string Block::owner_job() const {
+  std::lock_guard<std::mutex> lock(owner_mu_);
+  return owner_job_;
+}
+
+std::string Block::owner_prefix() const {
+  std::lock_guard<std::mutex> lock(owner_mu_);
+  return owner_prefix_;
+}
+
+double Block::UsageFraction() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (content_ == nullptr || capacity_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(content_->used_bytes()) /
+         static_cast<double>(capacity_);
+}
+
+size_t Block::UsedBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return content_ == nullptr ? 0 : content_->used_bytes();
+}
+
+MemoryServer::MemoryServer(uint32_t server_id, uint32_t num_blocks,
+                           size_t block_size)
+    : server_id_(server_id), block_size_(block_size) {
+  blocks_.reserve(num_blocks);
+  for (uint32_t slot = 0; slot < num_blocks; ++slot) {
+    blocks_.push_back(
+        std::make_unique<Block>(BlockId{server_id, slot}, block_size));
+  }
+}
+
+Block* MemoryServer::block(uint32_t slot) {
+  if (slot >= blocks_.size()) {
+    return nullptr;
+  }
+  return blocks_[slot].get();
+}
+
+size_t MemoryServer::UsedBytes() {
+  size_t total = 0;
+  for (auto& b : blocks_) {
+    if (b->allocated()) {
+      total += b->UsedBytes();
+    }
+  }
+  return total;
+}
+
+uint32_t MemoryServer::AllocatedBlocks() const {
+  uint32_t n = 0;
+  for (auto& b : blocks_) {
+    if (b->allocated()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace jiffy

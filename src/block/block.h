@@ -1,0 +1,142 @@
+// Block and MemoryServer: Jiffy's data plane (§4.2.2).
+//
+// The data-plane memory pool is partitioned into fixed-size blocks — the unit
+// of allocation, the analogue of a virtual-memory page. A MemoryServer owns a
+// table of blocks; each block carries (a) data-structure-specific content
+// installed when the block is allocated to an address prefix, (b) a
+// subscription map for notifications, and (c) an operation sequence number
+// used to execute individual operators atomically (§4.1).
+//
+// The data-structure operator implementations (readOp/writeOp/deleteOp per
+// Fig 6) live in src/ds/ as BlockContent subclasses; the block layer is
+// deliberately ignorant of their layout.
+
+#ifndef SRC_BLOCK_BLOCK_H_
+#define SRC_BLOCK_BLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/block/block_id.h"
+#include "src/block/notification.h"
+#include "src/common/status.h"
+
+namespace jiffy {
+
+// Data structures a block can host (Table 2).
+enum class DsType : uint8_t {
+  kFile = 0,
+  kQueue = 1,
+  kKvStore = 2,
+  // Application-defined data structure built on the internal block API
+  // (Fig 6); resolved by name via CustomDsRegistry (src/ds/custom.h).
+  kCustom = 3,
+};
+
+const char* DsTypeName(DsType type);
+
+// Data-structure-specific block payload. Implementations live in src/ds/.
+class BlockContent {
+ public:
+  virtual ~BlockContent() = default;
+
+  virtual DsType type() const = 0;
+
+  // Bytes of block capacity currently holding data (drives the repartition
+  // thresholds, §3.3).
+  virtual size_t used_bytes() const = 0;
+
+  // Serializes the content for flushing to persistent storage on lease
+  // expiry (§3.2). Deserialization is data-structure-specific (src/ds/).
+  virtual std::string Serialize() const = 0;
+};
+
+// One fixed-size memory block. Thread-safety: callers must hold mu() across
+// content access; seq numbers and metadata fields are atomic.
+class Block {
+ public:
+  Block(BlockId id, size_t capacity_bytes);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  BlockId id() const { return id_; }
+  size_t capacity() const { return capacity_; }
+
+  // Per-block operation mutex: Jiffy executes individual data-structure
+  // operators atomically (§4.1).
+  std::mutex& mu() { return mu_; }
+
+  // Content management (call with mu() held unless single-threaded setup).
+  BlockContent* content() { return content_.get(); }
+  const BlockContent* content() const { return content_.get(); }
+  void InstallContent(std::unique_ptr<BlockContent> content);
+  std::unique_ptr<BlockContent> RemoveContent();
+
+  bool allocated() const { return allocated_.load(std::memory_order_acquire); }
+  void set_allocated(bool v) { allocated_.store(v, std::memory_order_release); }
+
+  // Owner bookkeeping for diagnostics and flush paths.
+  void SetOwner(const std::string& job_id, const std::string& prefix);
+  std::string owner_job() const;
+  std::string owner_prefix() const;
+
+  // Fraction of capacity in use; 0 when no content installed. Takes mu().
+  double UsageFraction();
+  size_t UsedBytes();
+
+  // Monotonic per-block operation sequence number.
+  uint64_t NextSeqNo() { return seq_no_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t seq_no() const { return seq_no_.load(std::memory_order_relaxed); }
+
+  SubscriptionMap& subscriptions() { return subs_; }
+
+ private:
+  const BlockId id_;
+  const size_t capacity_;
+  std::mutex mu_;
+  std::unique_ptr<BlockContent> content_;
+  std::atomic<bool> allocated_{false};
+  std::atomic<uint64_t> seq_no_{0};
+  mutable std::mutex owner_mu_;
+  std::string owner_job_;
+  std::string owner_prefix_;
+  SubscriptionMap subs_;
+};
+
+// A memory server: hosts `num_blocks` blocks of `block_size` bytes each.
+class MemoryServer {
+ public:
+  MemoryServer(uint32_t server_id, uint32_t num_blocks, size_t block_size);
+
+  uint32_t server_id() const { return server_id_; }
+  uint32_t num_blocks() const { return static_cast<uint32_t>(blocks_.size()); }
+  size_t block_size() const { return block_size_; }
+
+  // Block by local slot; nullptr when out of range.
+  Block* block(uint32_t slot);
+
+  // Total bytes in use across allocated blocks (for utilization reporting).
+  size_t UsedBytes();
+  uint32_t AllocatedBlocks() const;
+
+  // Failure injection: a failed server stops serving its blocks (clients
+  // fail over to chain replicas, §4.2.2).
+  void Fail() { failed_.store(true, std::memory_order_release); }
+  void Recover() { failed_.store(false, std::memory_order_release); }
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+ private:
+  const uint32_t server_id_;
+  const size_t block_size_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_BLOCK_BLOCK_H_

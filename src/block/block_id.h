@@ -1,0 +1,45 @@
+// BlockId: globally unique identifier for a fixed-size memory block at the
+// data plane, encoding the memory server that hosts it and the slot within
+// that server. Packed into 64 bits so it is cheap to ship through partition
+// maps and the controller's free list.
+
+#ifndef SRC_BLOCK_BLOCK_ID_H_
+#define SRC_BLOCK_BLOCK_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace jiffy {
+
+struct BlockId {
+  uint32_t server_id = 0;
+  uint32_t slot = 0;
+
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(server_id) << 32) | slot;
+  }
+  static BlockId FromPacked(uint64_t v) {
+    return BlockId{static_cast<uint32_t>(v >> 32), static_cast<uint32_t>(v)};
+  }
+
+  std::string ToString() const {
+    return std::to_string(server_id) + ":" + std::to_string(slot);
+  }
+
+  bool operator==(const BlockId& o) const {
+    return server_id == o.server_id && slot == o.slot;
+  }
+  bool operator!=(const BlockId& o) const { return !(*this == o); }
+  bool operator<(const BlockId& o) const { return Packed() < o.Packed(); }
+};
+
+struct BlockIdHash {
+  size_t operator()(const BlockId& id) const {
+    return std::hash<uint64_t>()(id.Packed());
+  }
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_BLOCK_BLOCK_ID_H_

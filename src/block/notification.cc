@@ -1,0 +1,84 @@
+#include "src/block/notification.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace jiffy {
+
+Result<Notification> Listener::Get(DurationNs timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, std::chrono::nanoseconds(timeout),
+                    [&] { return !queue_.empty(); })) {
+    return Timeout("no notification within timeout");
+  }
+  Notification n = std::move(queue_.front());
+  queue_.pop_front();
+  return n;
+}
+
+Result<Notification> Listener::TryGet() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) {
+    return Timeout("no notification pending");
+  }
+  Notification n = std::move(queue_.front());
+  queue_.pop_front();
+  return n;
+}
+
+size_t Listener::Pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Listener::Push(Notification n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(n));
+  }
+  cv_.notify_one();
+}
+
+std::shared_ptr<Listener> SubscriptionMap::Subscribe(const std::string& op) {
+  auto listener = std::make_shared<Listener>();
+  std::lock_guard<std::mutex> lock(mu_);
+  subs_[op].push_back(listener);
+  return listener;
+}
+
+void SubscriptionMap::Unsubscribe(const std::string& op,
+                                  const std::shared_ptr<Listener>& l) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subs_.find(op);
+  if (it == subs_.end()) {
+    return;
+  }
+  auto& vec = it->second;
+  vec.erase(std::remove(vec.begin(), vec.end(), l), vec.end());
+  if (vec.empty()) {
+    subs_.erase(it);
+  }
+}
+
+void SubscriptionMap::Publish(const Notification& n) {
+  std::vector<std::shared_ptr<Listener>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subs_.find(n.op);
+    if (it == subs_.end()) {
+      return;
+    }
+    targets = it->second;
+  }
+  for (auto& l : targets) {
+    l->Push(n);
+  }
+}
+
+size_t SubscriptionMap::SubscriberCount(const std::string& op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subs_.find(op);
+  return it == subs_.end() ? 0 : it->second.size();
+}
+
+}  // namespace jiffy

@@ -1,0 +1,73 @@
+// Notification plumbing for Jiffy data structures (paper Table 1:
+// ds.subscribe(op) → listener; listener.get(timeout) → notification).
+//
+// Consumers of intermediate data subscribe to operations (e.g. "enqueue") on
+// a data structure; the data plane pushes a Notification into each
+// subscriber's queue when a matching operation commits. In the paper this
+// rides the RPC layer asynchronously; here the queue itself is the channel
+// and the Transport charges delivery cost at subscription granularity.
+
+#ifndef SRC_BLOCK_NOTIFICATION_H_
+#define SRC_BLOCK_NOTIFICATION_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace jiffy {
+
+struct Notification {
+  std::string op;       // Operation that fired ("enqueue", "put", ...).
+  std::string subject;  // Address prefix of the data structure.
+  std::string payload;  // Op-specific detail (key, item size, ...).
+  TimeNs timestamp = 0;
+};
+
+// Blocking MPSC queue handed to a subscriber. Thread-safe.
+class Listener {
+ public:
+  // Waits up to `timeout` (real time) for the next notification.
+  Result<Notification> Get(DurationNs timeout);
+
+  // Non-blocking: returns kTimeout immediately when empty.
+  Result<Notification> TryGet();
+
+  // Number of queued, unconsumed notifications.
+  size_t Pending() const;
+
+  // Producer side (data plane).
+  void Push(Notification n);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Notification> queue_;
+};
+
+// Per-data-structure subscription map: op name → listeners. The data plane
+// consults it after each committed operation (§4.2.2 "subscription map").
+class SubscriptionMap {
+ public:
+  std::shared_ptr<Listener> Subscribe(const std::string& op);
+  void Unsubscribe(const std::string& op, const std::shared_ptr<Listener>& l);
+
+  // Fan-out `n` to all listeners subscribed to `n.op`.
+  void Publish(const Notification& n);
+
+  size_t SubscriberCount(const std::string& op) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<std::shared_ptr<Listener>>> subs_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_BLOCK_NOTIFICATION_H_

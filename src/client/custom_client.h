@@ -1,0 +1,57 @@
+// Client handle for application-defined data structures (§4.1, Fig 6;
+// Table 2 "Custom data structures").
+//
+// Operations are dispatched by name through the registered CustomDsSpec:
+// getBlock routing picks the partition entry, and the block executes
+// writeOp/readOp/deleteOp atomically under its lock. Write and delete
+// operators propagate down the replica chain like the built-ins; growth is
+// explicit (Grow) or driven by the implementation returning kStaleMetadata
+// to push clients to refresh after it changes the map itself.
+
+#ifndef SRC_CLIENT_CUSTOM_CLIENT_H_
+#define SRC_CLIENT_CUSTOM_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/client/ds_client.h"
+#include "src/ds/custom.h"
+
+namespace jiffy {
+
+class CustomDsClient : public DsClient {
+ public:
+  CustomDsClient(JiffyCluster* cluster, std::string job, std::string prefix,
+                 PartitionMap initial_map);
+
+  // The registered type name this handle operates on.
+  const std::string& custom_type() const { return type_name_; }
+
+  // Fig 6 operators, routed via the registered getBlock function.
+  Result<std::string> WriteOp(const std::string& op,
+                              const std::vector<std::string>& args);
+  Result<std::string> ReadOp(const std::string& op,
+                             const std::vector<std::string>& args);
+  Result<std::string> DeleteOp(const std::string& op,
+                               const std::vector<std::string>& args);
+
+  // Explicit scale-up: appends a block with responsibility [lo, hi).
+  Status Grow(uint64_t lo, uint64_t hi);
+
+  // Append-style scale-up: caps the current tail entry's range at
+  // `tail_end` and appends a new block covering [lo, hi) in one atomic map
+  // update (the same shape FileClient uses for tail growth).
+  Status CapAndGrow(uint64_t tail_end, uint64_t lo, uint64_t hi);
+
+ private:
+  enum class OpKind { kWrite, kRead, kDelete };
+  Result<std::string> RunOp(OpKind kind, const std::string& op,
+                            const std::vector<std::string>& args);
+
+  std::string type_name_;
+  const CustomDsSpec* spec_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CLIENT_CUSTOM_CLIENT_H_

@@ -1,0 +1,105 @@
+#include "src/client/ds_client.h"
+
+namespace jiffy {
+
+DsClient::DsClient(JiffyCluster* cluster, std::string job, std::string prefix,
+                   PartitionMap initial_map)
+    : map_(std::move(initial_map)),
+      cluster_(cluster),
+      job_(std::move(job)),
+      prefix_(std::move(prefix)) {
+  state_ = cluster_->registry()->GetOrCreate(job_, prefix_);
+}
+
+std::shared_ptr<Listener> DsClient::Subscribe(const std::string& op) {
+  // One control-plane round trip to register the subscription.
+  control_net()->RoundTrip(64, 64);
+  return state_->subscriptions.Subscribe(op);
+}
+
+void DsClient::Unsubscribe(const std::string& op,
+                           const std::shared_ptr<Listener>& l) {
+  control_net()->RoundTrip(64, 64);
+  state_->subscriptions.Unsubscribe(op, l);
+}
+
+PartitionMap DsClient::CachedMap() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  return map_;
+}
+
+uint64_t DsClient::map_version() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  return map_.version;
+}
+
+Status DsClient::RefreshMap() { return RefreshMapInternal(); }
+
+Status DsClient::RefreshMapInternal() {
+  control_net()->RoundTrip(64, 256);
+  auto map = controller()->GetPartitionMap(job_, prefix_);
+  if (!map.ok()) {
+    return map.status();
+  }
+  std::lock_guard<std::mutex> lock(map_mu_);
+  map_ = std::move(*map);
+  return Status::Ok();
+}
+
+void DsClient::ChargeRepartitionControl() {
+  if (control_net()->mode() == Transport::Mode::kSleep) {
+    clock()->SleepFor(1200 * kMicrosecond);  // Controller connection setup.
+  }
+  control_net()->RoundTrip(128, 128);  // Overload/underload signal → alloc.
+  control_net()->RoundTrip(128, 128);  // Partition-metadata update.
+}
+
+Status DsClient::FailOver(const PartitionEntry& entry) {
+  control_net()->RoundTrip(128, 128);
+  Status st = controller()->RepairEntry(job_, prefix_, entry.block);
+  if (!st.ok() && st.code() != StatusCode::kNotFound) {
+    return st;  // kUnavailable: all replicas lost.
+  }
+  // kNotFound means the entry was removed (e.g. merged away) — the refresh
+  // below sorts the client out either way.
+  return RefreshMapInternal();
+}
+
+void DsClient::MaybePersist(const PartitionEntry& entry) {
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    if (!map_.persist_writes) {
+      return;
+    }
+  }
+  if (backing() == nullptr) {
+    return;
+  }
+  Block* block = Resolve(entry.block);
+  if (block == nullptr) {
+    return;
+  }
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(block->mu());
+    if (block->content() == nullptr) {
+      return;
+    }
+    payload = block->content()->Serialize();
+  }
+  std::string object = std::to_string(entry.lo) + " " +
+                       std::to_string(entry.hi) + "\n" + payload;
+  backing()->Put("sync/" + job_ + "/" + prefix_ + "/" + entry.block.ToString(),
+                 std::move(object));
+}
+
+void DsClient::Publish(const std::string& op, const std::string& payload) {
+  Notification n;
+  n.op = op;
+  n.subject = "/" + job_ + "/" + prefix_;
+  n.payload = payload;
+  n.timestamp = clock()->Now();
+  state_->subscriptions.Publish(n);
+}
+
+}  // namespace jiffy

@@ -1,0 +1,140 @@
+// Shared machinery for data-structure client handles (§4.1 "handle ds that
+// encapsulates physical locations of allocated blocks").
+//
+// A DsClient caches the data structure's partition map (block locations +
+// responsibility ranges). Operations route directly to memory-server blocks
+// through the data-plane transport; when the data plane reports
+// kStaleMetadata (the map version moved because blocks were added/removed,
+// §4.2.1), the client refetches the map from the controller and retries —
+// exactly the paper's client protocol.
+
+#ifndef SRC_CLIENT_DS_CLIENT_H_
+#define SRC_CLIENT_DS_CLIENT_H_
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/cluster/cluster.h"
+#include "src/core/hierarchy.h"
+
+namespace jiffy {
+
+class DsClient {
+ public:
+  DsClient(JiffyCluster* cluster, std::string job, std::string prefix,
+           PartitionMap initial_map);
+  virtual ~DsClient() = default;
+
+  const std::string& job() const { return job_; }
+  const std::string& prefix() const { return prefix_; }
+
+  // Subscribe to notifications for `op` on this data structure (Table 1).
+  std::shared_ptr<Listener> Subscribe(const std::string& op);
+  void Unsubscribe(const std::string& op, const std::shared_ptr<Listener>& l);
+
+  // Snapshot of the cached partition map.
+  PartitionMap CachedMap() const;
+  uint64_t map_version() const;
+
+  // Forces a metadata refresh from the controller.
+  Status RefreshMap();
+
+ protected:
+  // Charges one control-plane round trip and refetches the map.
+  Status RefreshMapInternal();
+
+  // Charges the control-plane cost of one repartition event (§6.3: the
+  // memory server spends ~1-1.5 ms connecting to the controller plus two
+  // round trips to trigger allocation/reclamation and update partition
+  // metadata). Sleeps only in kSleep transports.
+  void ChargeRepartitionControl();
+
+  // Publishes a notification to subscribers of `op`.
+  void Publish(const std::string& op, const std::string& payload);
+
+  Block* Resolve(BlockId id) { return cluster_->ResolveBlock(id); }
+  Controller* controller() { return cluster_->ControllerFor(job_); }
+  Transport* data_net() { return cluster_->data_transport(); }
+  Transport* control_net() { return cluster_->control_transport(); }
+  const JiffyConfig& config() const { return cluster_->config(); }
+  Clock* clock() { return cluster_->clock(); }
+  DsState* state() { return state_.get(); }
+  PersistentStore* backing() { return cluster_->backing(); }
+
+  // --- Chain replication (§4.2.2) -------------------------------------------
+
+  // Applies `mutate` to each live replica of `entry` in chain order (the
+  // caller already mutated the primary), charging one chain hop per
+  // replica. Replicas whose content vanished are skipped — RepairEntry /
+  // ReReplicate rebuild them.
+  template <typename ContentT, typename Fn>
+  void PropagateToReplicas(const PartitionEntry& entry, size_t bytes,
+                           Fn&& mutate) {
+    for (const BlockId& rid : entry.replicas) {
+      Block* rb = Resolve(rid);
+      if (rb == nullptr) {
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(rb->mu());
+        auto* content = dynamic_cast<ContentT*>(rb->content());
+        if (content != nullptr) {
+          mutate(content);
+        }
+      }
+      data_net()->RoundTrip(bytes + 64, 64);
+    }
+  }
+
+  // Chain reads are served by the tail replica for strong consistency.
+  BlockId ReadTarget(const PartitionEntry& entry) const {
+    return entry.replicas.empty() ? entry.block : entry.replicas.back();
+  }
+
+  // Invoked when a block of `entry` turned out to be dead: asks the
+  // controller to repair the chain (promote the first live replica) and
+  // refreshes the map. kUnavailable when every replica is gone.
+  Status FailOver(const PartitionEntry& entry);
+
+  // Synchronous persistence (§4.2.2): when the prefix is configured with
+  // persist_writes, writes through the just-mutated block to the external
+  // store.
+  void MaybePersist(const PartitionEntry& entry);
+
+  // Map access under the client's map lock.
+  mutable std::mutex map_mu_;
+  PartitionMap map_;
+
+  // Bounded retries for stale-metadata loops; exceeding this indicates a
+  // livelock bug rather than routine scaling.
+  static constexpr int kMaxStaleRetries = 64;
+
+  // Progressive backoff between stale retries. Retries typically wait for
+  // another client's in-flight scaling op; on a busy machine that client
+  // may not be scheduled for a while, so spin first, then sleep briefly.
+  static void BackoffRetry(int attempt) {
+    if (attempt == 0) {
+      return;
+    }
+    if (attempt < 4) {
+      std::this_thread::yield();
+      return;
+    }
+    RealClock::Instance()->SleepFor(
+        std::min<DurationNs>(200 * kMicrosecond,
+                             static_cast<DurationNs>(attempt) * 10 * kMicrosecond));
+  }
+
+ private:
+  JiffyCluster* cluster_;
+  std::string job_;
+  std::string prefix_;
+  std::shared_ptr<DsState> state_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CLIENT_DS_CLIENT_H_

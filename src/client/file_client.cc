@@ -1,0 +1,183 @@
+#include "src/client/file_client.h"
+
+#include "src/ds/file_content.h"
+
+namespace jiffy {
+
+constexpr char FileClient::kWriteOp[];
+
+Status FileClient::GrowTail(BlockId tail_block, uint64_t tail_lo,
+                            uint64_t end_offset) {
+  // Serialize growth across clients: losers refresh and find the new tail.
+  bool expected = false;
+  if (!state()->scaling_in_progress.compare_exchange_strong(expected, true)) {
+    return RefreshMapInternal();
+  }
+  const TimeNs start = clock()->Now();
+  ChargeRepartitionControl();
+  // Cap the old tail entry at its true end, then append the next block.
+  Status st = controller()->UpdateEntryRange(job(), prefix(), tail_block,
+                                             tail_lo, end_offset);
+  if (st.ok()) {
+    auto added = controller()->AddBlock(job(), prefix(), end_offset,
+                                        end_offset + config().block_size_bytes);
+    st = added.ok() ? Status::Ok() : added.status();
+  }
+  state()->repartition_latency.Record(clock()->Now() - start);
+  state()->splits.fetch_add(1);
+  state()->scaling_in_progress.store(false);
+  if (!st.ok()) {
+    return st;
+  }
+  return RefreshMapInternal();
+}
+
+Result<uint64_t> FileClient::Append(std::string_view data) {
+  std::string_view remaining = data;
+  uint64_t start_offset = 0;
+  bool start_set = false;
+  for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
+    BackoffRetry(attempt);
+    PartitionMap map = CachedMap();
+    if (map.entries.empty()) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    const PartitionEntry tail = map.entries.back();
+    Block* block = Resolve(tail.block);
+    if (block == nullptr) {
+      JIFFY_RETURN_IF_ERROR(FailOver(tail));
+      continue;
+    }
+    size_t accepted = 0;
+    uint64_t end_offset = 0;
+    bool grow = false;
+    bool content_gone = false;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* chunk = dynamic_cast<FileChunk*>(block->content());
+      if (chunk == nullptr) {
+        // Content was reclaimed (lease expiry) or remapped under us. The
+        // refresh happens outside the block lock (lock order is always
+        // controller mutex → block mutex; never the reverse).
+        content_gone = true;
+      } else {
+        accepted = chunk->Append(remaining);
+        end_offset = chunk->end_offset();
+        const double usage = static_cast<double>(chunk->used_bytes()) /
+                             static_cast<double>(chunk->capacity());
+        if (accepted > 0 && !start_set) {
+          start_offset = end_offset - accepted;
+          start_set = true;
+        }
+        // Early allocation at the high threshold (Fig 14(c)), and forced
+        // allocation when the write outgrew the chunk: seal so stale
+        // writers bounce, then grow outside the block lock.
+        if (!chunk->capped() && (usage >= config().repartition_high_threshold ||
+                                 accepted < remaining.size())) {
+          chunk->Cap();
+          grow = true;
+        }
+      }
+    }
+    if (content_gone) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (accepted > 0) {
+      data_net()->RoundTrip(accepted + 64, 64);
+      const std::string_view written = remaining.substr(0, accepted);
+      PropagateToReplicas<FileChunk>(tail, accepted, [&](FileChunk* c) {
+        c->Append(written);
+        if (grow) {
+          c->Cap();
+        }
+      });
+      MaybePersist(tail);
+      Publish(kWriteOp, std::to_string(accepted));
+      remaining.remove_prefix(accepted);
+    } else if (grow) {
+      // Threshold crossed with nothing accepted: still seal the replicas.
+      PropagateToReplicas<FileChunk>(tail, 0, [&](FileChunk* c) { c->Cap(); });
+    }
+    if (grow) {
+      JIFFY_RETURN_IF_ERROR(GrowTail(tail.block, tail.lo, end_offset));
+    }
+    if (remaining.empty()) {
+      return start_offset;
+    }
+    if (accepted == 0 && !grow) {
+      // Tail was already capped by another client; pick up the new map.
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+    }
+  }
+  return Unavailable("file append livelock (too many stale retries)");
+}
+
+Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
+  std::string out;
+  bool refreshed = false;
+  while (out.size() < len) {
+    const uint64_t cur = offset + out.size();
+    PartitionMap map = CachedMap();
+    const PartitionEntry* entry = nullptr;
+    for (const auto& e : map.entries) {
+      if (cur >= e.lo && cur < e.hi) {
+        entry = &e;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      if (!refreshed) {
+        JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+        refreshed = true;
+        continue;
+      }
+      break;  // Past EOF.
+    }
+    Block* block = Resolve(ReadTarget(*entry));
+    if (block == nullptr) {
+      JIFFY_RETURN_IF_ERROR(FailOver(*entry));
+      continue;
+    }
+    std::string piece;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* chunk = dynamic_cast<FileChunk*>(block->content());
+      if (chunk == nullptr) {
+        return LeaseExpired("file block reclaimed; load the prefix first");
+      }
+      JIFFY_ASSIGN_OR_RETURN(piece, chunk->ReadAt(cur, len - out.size()));
+    }
+    data_net()->RoundTrip(64, piece.size() + 64);
+    if (piece.empty()) {
+      break;  // EOF inside this chunk.
+    }
+    out += piece;
+    refreshed = false;
+  }
+  return out;
+}
+
+Result<uint64_t> FileClient::Size() {
+  JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+  PartitionMap map = CachedMap();
+  if (map.entries.empty()) {
+    return uint64_t{0};
+  }
+  const PartitionEntry tail = map.entries.back();
+  Block* block = Resolve(ReadTarget(tail));
+  if (block == nullptr) {
+    JIFFY_RETURN_IF_ERROR(FailOver(tail));
+    return Size();
+  }
+  std::lock_guard<std::mutex> lock(block->mu());
+  auto* chunk = dynamic_cast<FileChunk*>(block->content());
+  if (chunk == nullptr) {
+    return LeaseExpired("file block reclaimed; load the prefix first");
+  }
+  data_net()->RoundTrip(64, 64);
+  return chunk->end_offset();
+}
+
+}  // namespace jiffy

@@ -1,0 +1,46 @@
+// Client handle for the Jiffy File data structure (§5.1).
+//
+// Files are append-only collections of fixed-size chunks, one per block.
+// Appends route to the tail block; when the tail crosses the high usage
+// threshold the client triggers early allocation of the next block through
+// the controller (Fig 8) — the residual tail space is abandoned, which is
+// the fragmentation the Fig 14(c) threshold sweep measures. Reads route per
+// offset through the cached partition map. Files never repartition data
+// (Table 2).
+
+#ifndef SRC_CLIENT_FILE_CLIENT_H_
+#define SRC_CLIENT_FILE_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/client/ds_client.h"
+
+namespace jiffy {
+
+class FileClient : public DsClient {
+ public:
+  using DsClient::DsClient;
+
+  // Appends `data`, growing the file across blocks as needed. Returns the
+  // logical offset at which the data begins.
+  Result<uint64_t> Append(std::string_view data);
+
+  // Reads up to `len` bytes starting at `offset`; short reads indicate EOF.
+  Result<std::string> Read(uint64_t offset, size_t len);
+
+  // Current logical size (refreshes metadata).
+  Result<uint64_t> Size();
+
+  // Notification op names.
+  static constexpr char kWriteOp[] = "write";
+
+ private:
+  // Caps the tail chunk and allocates the next block (scale-up, Fig 8).
+  // `end_offset` is the tail's current logical end.
+  Status GrowTail(BlockId tail_block, uint64_t tail_lo, uint64_t end_offset);
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CLIENT_FILE_CLIENT_H_

@@ -1,0 +1,105 @@
+// JiffyClient: the user-facing API (Table 1).
+//
+//   connect(jiffyAddress)            → JiffyClient(cluster)
+//   createAddrPrefix(addr, parent)   → CreateAddrPrefix
+//   createHierarchy(dag)             → CreateHierarchy
+//   flush/loadAddrPrefix             → FlushAddrPrefix / LoadAddrPrefix
+//   getLeaseDuration / renewLease    → GetLeaseDuration / RenewLease
+//   initDataStructure(addr, type)    → OpenFile / OpenQueue / OpenKv
+//   ds.subscribe / listener.get      → DsClient::Subscribe / Listener::Get
+//
+// Every call charges one control-plane round trip on the cluster's
+// transport, then executes against the controller shard owning the job.
+
+#ifndef SRC_CLIENT_JIFFY_CLIENT_H_
+#define SRC_CLIENT_JIFFY_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/custom_client.h"
+#include "src/client/file_client.h"
+#include "src/client/kv_client.h"
+#include "src/client/queue_client.h"
+#include "src/cluster/cluster.h"
+
+namespace jiffy {
+
+class JiffyClient {
+ public:
+  // "connect(jiffyAddress)": binds this client to a cluster. `principal`
+  // is the job identity this client authenticates as for access control
+  // (Fig 7 permissions); empty = act as the owning job of whatever it
+  // touches (trusted in-job clients).
+  explicit JiffyClient(JiffyCluster* cluster, std::string principal = "");
+
+  // --- Job + hierarchy -------------------------------------------------------
+
+  Status RegisterJob(const std::string& job);
+  Status DeregisterJob(const std::string& job);
+
+  // Creates address prefix `addr` (full path "/job/task") under parent
+  // prefixes named in `parents` (task names within the job; empty = root).
+  Status CreateAddrPrefix(const std::string& addr,
+                          const std::vector<std::string>& parents,
+                          const CreateOptions& opts = {});
+
+  // Creates the whole hierarchy from an execution DAG.
+  Status CreateHierarchy(
+      const std::string& job,
+      const std::vector<std::pair<std::string, std::vector<std::string>>>& dag,
+      const CreateOptions& opts = {});
+
+  // --- Leases ---------------------------------------------------------------
+
+  Result<DurationNs> GetLeaseDuration(const std::string& addr);
+  Status RenewLease(const std::string& addr);
+
+  // --- Flush / load -----------------------------------------------------------
+
+  Status FlushAddrPrefix(const std::string& addr,
+                         const std::string& external_path);
+  Status LoadAddrPrefix(const std::string& addr,
+                        const std::string& external_path);
+  // Marks a freshly created prefix as a block-less data structure of `type`
+  // so LoadAddrPrefix can restore a checkpoint into it (e.g. in a new job).
+  Status PrepareForLoad(const std::string& addr, DsType type);
+
+  // --- Data structures ---------------------------------------------------------
+
+  // initDataStructure + handle. `initial_capacity_bytes` rounds up to whole
+  // blocks (min 1). When the data structure already exists, Open* attaches
+  // to it instead (so many tasks can share one DS).
+  Result<std::unique_ptr<FileClient>> OpenFile(
+      const std::string& addr, uint64_t initial_capacity_bytes = 0);
+  Result<std::unique_ptr<QueueClient>> OpenQueue(
+      const std::string& addr, uint64_t initial_capacity_bytes = 0);
+  Result<std::unique_ptr<KvClient>> OpenKv(
+      const std::string& addr, uint64_t initial_capacity_bytes = 0);
+
+  // Opens an application-defined data structure (Fig 6 / Table 2):
+  // `type_name` must be registered in CustomDsRegistry.
+  Result<std::unique_ptr<CustomDsClient>> OpenCustom(
+      const std::string& addr, const std::string& type_name,
+      uint64_t initial_capacity_bytes = 0);
+
+  JiffyCluster* cluster() { return cluster_; }
+
+ private:
+  // Splits "/job/task[/task...]" into (job, leaf task), validating the path
+  // against the hierarchy.
+  Result<std::pair<std::string, std::string>> SplitAddr(
+      const std::string& addr);
+
+  template <typename ClientT>
+  Result<std::unique_ptr<ClientT>> OpenDs(const std::string& addr, DsType type,
+                                          uint64_t initial_capacity_bytes);
+
+  JiffyCluster* cluster_;
+  std::string principal_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CLIENT_JIFFY_CLIENT_H_

@@ -1,0 +1,448 @@
+#include "src/client/kv_client.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/ds/kv_content.h"
+
+namespace jiffy {
+
+constexpr char KvClient::kPutOp[];
+constexpr char KvClient::kDeleteOp[];
+
+bool KvClient::RouteSlot(uint32_t slot, PartitionEntry* out) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  for (const auto& e : map_.entries) {
+    if (slot >= e.lo && slot < e.hi) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status KvClient::Put(std::string_view key, std::string_view value) {
+  const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
+  for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
+    BackoffRetry(attempt);
+    PartitionEntry entry;
+    if (!RouteSlot(slot, &entry)) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    Block* block = Resolve(entry.block);
+    if (block == nullptr) {
+      // Primary's server failed: promote a chain replica and retry.
+      JIFFY_RETURN_IF_ERROR(FailOver(entry));
+      continue;
+    }
+    Status st;
+    double usage = 0.0;
+    uint32_t span = 0;
+    bool content_gone = false;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* shard = dynamic_cast<KvShard*>(block->content());
+      if (shard == nullptr) {
+        content_gone = true;
+      } else {
+        st = shard->Put(key, value);
+        usage = static_cast<double>(shard->used_bytes()) /
+                static_cast<double>(shard->capacity());
+        span = shard->slot_span();
+      }
+    }
+    if (content_gone || st.code() == StatusCode::kStaleMetadata) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (!st.ok()) {
+      return st;
+    }
+    data_net()->RoundTrip(key.size() + value.size() + 64, 64);
+    PropagateToReplicas<KvShard>(entry, key.size() + value.size(),
+                                 [&](KvShard* s) { s->Put(key, value); });
+    MaybePersist(entry);
+    Publish(kPutOp, std::string(key));
+    if (usage >= config().repartition_high_threshold && span > 1 &&
+        entry.replicas.empty()) {
+      // Overload: hand the upper half of the slot range to a new block.
+      // Failure to scale (e.g. kOutOfMemory) does not fail the put — the
+      // data is already stored; the block simply stays hot. Replicated
+      // prefixes do not repartition (see DESIGN.md).
+      TrySplit(entry);
+    }
+    return Status::Ok();
+  }
+  return Unavailable("kv put livelock (too many stale retries)");
+}
+
+Result<std::string> KvClient::Get(std::string_view key) {
+  const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
+  for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
+    BackoffRetry(attempt);
+    PartitionEntry entry;
+    if (!RouteSlot(slot, &entry)) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    // Chain reads are served by the tail replica (§4.2.2).
+    Block* block = Resolve(ReadTarget(entry));
+    if (block == nullptr) {
+      JIFFY_RETURN_IF_ERROR(FailOver(entry));
+      continue;
+    }
+    Result<std::string> r = NotFound("");
+    bool content_gone = false;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* shard = dynamic_cast<KvShard*>(block->content());
+      if (shard == nullptr) {
+        content_gone = true;
+      } else {
+        r = shard->Get(key);
+      }
+    }
+    if (content_gone) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (r.ok()) {
+      data_net()->RoundTrip(key.size() + 64, r.value().size() + 64);
+      return r;
+    }
+    if (r.status().code() == StatusCode::kStaleMetadata) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    data_net()->RoundTrip(key.size() + 64, 64);
+    return r.status();
+  }
+  return Unavailable("kv get livelock (too many stale retries)");
+}
+
+Status KvClient::Delete(std::string_view key) {
+  const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
+  for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
+    BackoffRetry(attempt);
+    PartitionEntry entry;
+    if (!RouteSlot(slot, &entry)) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    Block* block = Resolve(entry.block);
+    if (block == nullptr) {
+      JIFFY_RETURN_IF_ERROR(FailOver(entry));
+      continue;
+    }
+    Status st;
+    double usage = 0.0;
+    bool content_gone = false;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* shard = dynamic_cast<KvShard*>(block->content());
+      if (shard == nullptr) {
+        content_gone = true;
+      } else {
+        st = shard->Delete(key);
+        usage = static_cast<double>(shard->used_bytes()) /
+                static_cast<double>(shard->capacity());
+      }
+    }
+    if (content_gone || st.code() == StatusCode::kStaleMetadata) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (!st.ok()) {
+      return st;
+    }
+    data_net()->RoundTrip(key.size() + 64, 64);
+    PropagateToReplicas<KvShard>(entry, key.size(),
+                                 [&](KvShard* s) { s->Delete(key); });
+    MaybePersist(entry);
+    Publish(kDeleteOp, std::string(key));
+    if (usage <= config().repartition_low_threshold &&
+        CachedMap().entries.size() > 1 && entry.replicas.empty()) {
+      TryMerge(entry);
+    }
+    return Status::Ok();
+  }
+  return Unavailable("kv delete livelock (too many stale retries)");
+}
+
+Status KvClient::Accumulate(std::string_view key, std::string_view update,
+                            const MergeFn& merge) {
+  const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
+  for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
+    BackoffRetry(attempt);
+    PartitionEntry entry;
+    if (!RouteSlot(slot, &entry)) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    Block* block = Resolve(entry.block);
+    if (block == nullptr) {
+      JIFFY_RETURN_IF_ERROR(FailOver(entry));
+      continue;
+    }
+    Status st;
+    double usage = 0.0;
+    uint32_t span = 0;
+    bool content_gone = false;
+    std::string merged;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* shard = dynamic_cast<KvShard*>(block->content());
+      if (shard == nullptr) {
+        content_gone = true;
+      } else if (!shard->OwnsKey(key)) {
+        st = StaleMetadata("slot moved");
+      } else {
+        auto old = shard->Get(key);
+        merged = merge(old.ok() ? *old : std::string(), std::string(update));
+        st = shard->Put(key, merged);
+        usage = static_cast<double>(shard->used_bytes()) /
+                static_cast<double>(shard->capacity());
+        span = shard->slot_span();
+      }
+    }
+    if (content_gone || st.code() == StatusCode::kStaleMetadata) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (!st.ok()) {
+      return st;
+    }
+    data_net()->RoundTrip(key.size() + update.size() + 64, 64);
+    // The primary resolved the accumulator; replicas receive the merged
+    // value so the chain stays byte-identical.
+    PropagateToReplicas<KvShard>(entry, key.size() + merged.size(),
+                                 [&](KvShard* s) { s->Put(key, merged); });
+    MaybePersist(entry);
+    Publish(kPutOp, std::string(key));
+    if (usage >= config().repartition_high_threshold && span > 1 &&
+        entry.replicas.empty()) {
+      TrySplit(entry);
+    }
+    return Status::Ok();
+  }
+  return Unavailable("kv accumulate livelock (too many stale retries)");
+}
+
+Result<bool> KvClient::Exists(std::string_view key) {
+  auto r = Get(key);
+  if (r.ok()) {
+    return true;
+  }
+  if (r.status().code() == StatusCode::kNotFound) {
+    return false;
+  }
+  return r.status();
+}
+
+Status KvClient::TrySplit(const PartitionEntry& entry) {
+  bool expected = false;
+  if (!state()->scaling_in_progress.compare_exchange_strong(expected, true)) {
+    return Status::Ok();  // Another client is already repartitioning.
+  }
+  const TimeNs start = clock()->Now();
+  ChargeRepartitionControl();
+  Status st = [&]() -> Status {
+    Block* block = Resolve(entry.block);
+    if (block == nullptr) {
+      return Internal("kv split: block missing");
+    }
+    uint32_t lo = 0, hi = 0;
+    {
+      // Re-validate against the live shard: a racing split may already have
+      // relieved the pressure.
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* shard = dynamic_cast<KvShard*>(block->content());
+      if (shard == nullptr || shard->slot_span() < 2) {
+        return Status::Ok();
+      }
+      const double usage = static_cast<double>(shard->used_bytes()) /
+                           static_cast<double>(shard->capacity());
+      if (usage < config().repartition_high_threshold) {
+        return Status::Ok();
+      }
+      lo = shard->slot_lo();
+      hi = shard->slot_hi();
+    }
+    const uint32_t mid = lo + (hi - lo) / 2;
+    // Phase 1: allocate and initialize the new block, unmapped.
+    auto new_id = controller()->AllocateUnmapped(job(), prefix(), mid, hi);
+    if (!new_id.ok()) {
+      return new_id.status();
+    }
+    // Phase 2: move the affected pairs block-to-block (the compute task
+    // never sees the data — §3.3).
+    Block* new_block = Resolve(*new_id);
+    if (new_block == nullptr) {
+      controller()->AbortUnmapped(*new_id);
+      return Internal("kv split: new block missing");
+    }
+    Block* first = block;
+    Block* second = new_block;
+    if (second->id() < first->id()) {
+      std::swap(first, second);
+    }
+    size_t moved_bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock1(first->mu());
+      std::lock_guard<std::mutex> lock2(second->mu());
+      auto* old_shard = dynamic_cast<KvShard*>(block->content());
+      auto* fresh = dynamic_cast<KvShard*>(new_block->content());
+      if (old_shard == nullptr || fresh == nullptr) {
+        controller()->AbortUnmapped(*new_id);
+        return Internal("kv split: shard vanished during move");
+      }
+      std::vector<std::pair<std::string, std::string>> pairs;
+      old_shard->SplitOff(mid, &pairs);
+      for (auto& [k, v] : pairs) {
+        moved_bytes += k.size() + v.size();
+        JIFFY_RETURN_IF_ERROR(fresh->Put(k, v));
+      }
+    }
+    // Server-to-server transfer of half a block (Fig 11(b): a few hundred
+    // ms at paper scale over 10 Gbps).
+    data_net()->RoundTrip(moved_bytes, 64);
+    // Phase 3: publish the new ownership atomically.
+    PartitionEntry new_entry;
+    new_entry.block = *new_id;
+    new_entry.lo = mid;
+    new_entry.hi = hi;
+    JIFFY_RETURN_IF_ERROR(controller()->CommitSplit(job(), prefix(),
+                                                    entry.block, lo, mid,
+                                                    new_entry));
+    state()->splits.fetch_add(1);
+    return Status::Ok();
+  }();
+  state()->repartition_latency.Record(clock()->Now() - start);
+  state()->scaling_in_progress.store(false);
+  if (st.ok()) {
+    return RefreshMapInternal();
+  }
+  return st;
+}
+
+Status KvClient::TryMerge(const PartitionEntry& entry) {
+  bool expected = false;
+  if (!state()->scaling_in_progress.compare_exchange_strong(expected, true)) {
+    return Status::Ok();
+  }
+  const TimeNs start = clock()->Now();
+  ChargeRepartitionControl();
+  Status st = [&]() -> Status {
+    // Refresh to get an up-to-date view of sibling ranges.
+    JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+    PartitionMap map = CachedMap();
+    const PartitionEntry* self = nullptr;
+    for (const auto& e : map.entries) {
+      if (e.block == entry.block) {
+        self = &e;
+        break;
+      }
+    }
+    if (self == nullptr || map.entries.size() < 2) {
+      return Status::Ok();  // Already merged away or last block.
+    }
+    // Pick the slot-adjacent sibling with the most headroom.
+    const PartitionEntry* sibling = nullptr;
+    for (const auto& e : map.entries) {
+      if (e.block == self->block) {
+        continue;
+      }
+      if (e.hi == self->lo || e.lo == self->hi) {
+        if (sibling == nullptr) {
+          sibling = &e;
+        } else {
+          Block* a = Resolve(e.block);
+          Block* b = Resolve(sibling->block);
+          if (a != nullptr && b != nullptr &&
+              a->UsedBytes() < b->UsedBytes()) {
+            sibling = &e;
+          }
+        }
+      }
+    }
+    if (sibling == nullptr) {
+      return Status::Ok();
+    }
+    Block* dying = Resolve(self->block);
+    Block* target = Resolve(sibling->block);
+    if (dying == nullptr || target == nullptr) {
+      return Internal("kv merge: block missing");
+    }
+    // Merge only when the combined contents leave slack below the high
+    // threshold, else we would immediately re-split.
+    const size_t combined = dying->UsedBytes() + target->UsedBytes();
+    if (static_cast<double>(combined) >
+        config().repartition_high_threshold * 0.75 *
+            static_cast<double>(config().block_size_bytes)) {
+      return Status::Ok();
+    }
+    Block* first = dying;
+    Block* second = target;
+    if (second->id() < first->id()) {
+      std::swap(first, second);
+    }
+    uint64_t new_lo = 0, new_hi = 0;
+    size_t moved_bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock1(first->mu());
+      std::lock_guard<std::mutex> lock2(second->mu());
+      auto* src = dynamic_cast<KvShard*>(dying->content());
+      auto* dst = dynamic_cast<KvShard*>(target->content());
+      if (src == nullptr || dst == nullptr) {
+        return Status::Ok();  // Raced with expiry; nothing to do.
+      }
+      // Ranges may have moved since the snapshot; re-check adjacency.
+      if (src->slot_hi() != dst->slot_lo() && dst->slot_hi() != src->slot_lo()) {
+        return Status::Ok();
+      }
+      const uint32_t src_lo = src->slot_lo();
+      const uint32_t src_hi = src->slot_hi();
+      std::vector<std::pair<std::string, std::string>> pairs;
+      src->SplitOff(src_lo, &pairs);  // Extract everything; range → empty.
+      for (const auto& [k, v] : pairs) {
+        moved_bytes += k.size() + v.size();
+      }
+      JIFFY_RETURN_IF_ERROR(dst->Absorb(src_lo, src_hi, std::move(pairs)));
+      new_lo = dst->slot_lo();
+      new_hi = dst->slot_hi();
+    }
+    data_net()->RoundTrip(moved_bytes, 64);
+    JIFFY_RETURN_IF_ERROR(controller()->CommitMerge(
+        job(), prefix(), self->block, sibling->block, new_lo, new_hi));
+    state()->merges.fetch_add(1);
+    return Status::Ok();
+  }();
+  state()->repartition_latency.Record(clock()->Now() - start);
+  state()->scaling_in_progress.store(false);
+  if (st.ok()) {
+    return RefreshMapInternal();
+  }
+  return st;
+}
+
+Result<size_t> KvClient::CountPairs() {
+  JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+  PartitionMap map = CachedMap();
+  size_t total = 0;
+  for (const auto& e : map.entries) {
+    Block* block = Resolve(e.block);
+    if (block == nullptr) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(block->mu());
+    auto* shard = dynamic_cast<KvShard*>(block->content());
+    if (shard != nullptr) {
+      total += shard->pair_count();
+    }
+  }
+  return total;
+}
+
+}  // namespace jiffy

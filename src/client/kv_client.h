@@ -1,0 +1,61 @@
+// Client handle for the Jiffy KV-store (§5.3).
+//
+// Keys hash to one of H slots; each block owns a contiguous slot range and
+// stores pairs in a cuckoo hash map. The client routes get/put/delete by key
+// hash through its cached partition map. When a put drives a block past the
+// high usage threshold, the client (acting as the overloaded block's
+// repartition handler, Fig 8) splits the upper half of the slot range onto a
+// freshly allocated block and moves the affected pairs inside the store —
+// the task never reads the data back (partition-function shipping, §3.3).
+// Deletes that leave a block nearly empty trigger the symmetric merge.
+
+#ifndef SRC_CLIENT_KV_CLIENT_H_
+#define SRC_CLIENT_KV_CLIENT_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/client/ds_client.h"
+
+namespace jiffy {
+
+class KvClient : public DsClient {
+ public:
+  using DsClient::DsClient;
+
+  Status Put(std::string_view key, std::string_view value);
+  Result<std::string> Get(std::string_view key);
+  Status Delete(std::string_view key);
+  Result<bool> Exists(std::string_view key);
+
+  // Atomic read-modify-write executed as a single data-structure operator
+  // under the block lock: `merge(old, update)` produces the new value
+  // (old is empty when the key is absent). This is how Piccolo's
+  // user-defined accumulators resolve concurrent updates (§5.3).
+  using MergeFn = std::function<std::string(const std::string& old_value,
+                                            const std::string& update)>;
+  Status Accumulate(std::string_view key, std::string_view update,
+                    const MergeFn& merge);
+
+  static constexpr char kPutOp[] = "put";
+  static constexpr char kDeleteOp[] = "delete";
+
+  // Total pairs across all shards (test/diagnostic helper; O(blocks)).
+  Result<size_t> CountPairs();
+
+ private:
+  // Finds the cached entry owning `slot`; returns false when absent (map
+  // stale).
+  bool RouteSlot(uint32_t slot, PartitionEntry* out) const;
+
+  // Splits `entry`'s block: upper half of its slots move to a new block.
+  Status TrySplit(const PartitionEntry& entry);
+
+  // Merges `entry`'s block into an adjacent block when both fit.
+  Status TryMerge(const PartitionEntry& entry);
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CLIENT_KV_CLIENT_H_

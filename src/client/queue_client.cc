@@ -1,0 +1,222 @@
+#include "src/client/queue_client.h"
+
+#include "src/ds/queue_content.h"
+
+namespace jiffy {
+
+constexpr char QueueClient::kEnqueueOp[];
+constexpr char QueueClient::kDequeueOp[];
+
+void QueueClient::SetMaxQueueLength(uint64_t n) {
+  state()->max_queue_length.store(n);
+}
+
+Status QueueClient::GrowTail(BlockId tail_block, uint64_t last_index) {
+  bool expected = false;
+  if (!state()->scaling_in_progress.compare_exchange_strong(expected, true)) {
+    return RefreshMapInternal();
+  }
+  const TimeNs start = clock()->Now();
+  ChargeRepartitionControl();
+  auto added = controller()->AddBlockIfTail(job(), prefix(), tail_block,
+                                            last_index + 1, last_index + 1);
+  if (added.ok()) {
+    state()->repartition_latency.Record(clock()->Now() - start);
+    state()->splits.fetch_add(1);
+  }
+  state()->scaling_in_progress.store(false);
+  if (!added.ok() &&
+      added.status().code() != StatusCode::kFailedPrecondition) {
+    return added.status();
+  }
+  // kFailedPrecondition: another producer already grew the tail — just pick
+  // up the new map.
+  return RefreshMapInternal();
+}
+
+Status QueueClient::ShrinkHead(BlockId head_block) {
+  bool expected = false;
+  if (!state()->scaling_in_progress.compare_exchange_strong(expected, true)) {
+    return RefreshMapInternal();
+  }
+  const TimeNs start = clock()->Now();
+  ChargeRepartitionControl();
+  Status st = controller()->RemoveBlock(job(), prefix(), head_block);
+  state()->repartition_latency.Record(clock()->Now() - start);
+  state()->merges.fetch_add(1);
+  state()->scaling_in_progress.store(false);
+  if (!st.ok() && st.code() != StatusCode::kNotFound) {
+    return st;  // kNotFound: another client already removed it.
+  }
+  return RefreshMapInternal();
+}
+
+Status QueueClient::Enqueue(std::string item) {
+  const uint64_t bound = state()->max_queue_length.load();
+  if (bound > 0 &&
+      state()->queue_items.load(std::memory_order_relaxed) >=
+          static_cast<int64_t>(bound)) {
+    return Unavailable("queue at maxQueueLength=" + std::to_string(bound));
+  }
+  const size_t item_size = item.size();
+  for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
+    BackoffRetry(attempt);
+    PartitionMap map = CachedMap();
+    if (map.entries.empty()) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    const PartitionEntry tail = map.entries.back();
+    Block* block = Resolve(tail.block);
+    if (block == nullptr) {
+      JIFFY_RETURN_IF_ERROR(FailOver(tail));
+      continue;
+    }
+    bool accepted = false;
+    bool content_gone = false;
+    std::string replica_copy;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* seg = dynamic_cast<QueueSegment*>(block->content());
+      if (seg == nullptr) {
+        // Refresh outside the block lock (lock order: controller → block).
+        content_gone = true;
+      } else if (!seg->sealed()) {
+        // On failure the segment seals itself and leaves `item` intact for
+        // the retry against the new tail. Copy first so replicas can receive
+        // the same bytes.
+        if (!tail.replicas.empty()) {
+          replica_copy = item;
+        }
+        accepted = seg->Enqueue(std::move(item));
+      }
+    }
+    if (content_gone) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (accepted) {
+      data_net()->RoundTrip(item_size + 64, 64);
+      if (!tail.replicas.empty()) {
+        PropagateToReplicas<QueueSegment>(tail, item_size, [&](QueueSegment* s) {
+          std::string copy = replica_copy;
+          s->Enqueue(std::move(copy));
+        });
+        MaybePersist(tail);
+      }
+      state()->queue_items.fetch_add(1, std::memory_order_relaxed);
+      Publish(kEnqueueOp, std::to_string(item_size));
+      return Status::Ok();
+    }
+    // Tail full: grow, then retry. QueueSegment::Enqueue only moves from
+    // `item` on success, so the string is still intact here.
+    JIFFY_RETURN_IF_ERROR(GrowTail(tail.block, tail.lo));
+    PartitionMap refreshed = CachedMap();
+    if (!refreshed.entries.empty() &&
+        refreshed.entries.back().block == tail.block) {
+      // Growth raced and we still see the old tail; force one more refresh.
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+    }
+  }
+  return Unavailable("queue enqueue livelock (too many stale retries)");
+}
+
+Result<std::string> QueueClient::Dequeue() {
+  for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
+    BackoffRetry(attempt);
+    PartitionMap map = CachedMap();
+    if (map.entries.empty()) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    const PartitionEntry head = map.entries.front();
+    Block* block = Resolve(head.block);
+    if (block == nullptr) {
+      JIFFY_RETURN_IF_ERROR(FailOver(head));
+      continue;
+    }
+    bool drained = false;
+    bool sealed = false;
+    bool head_is_tail = map.entries.size() == 1;
+    std::string item;
+    bool got = false;
+    bool content_gone = false;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* seg = dynamic_cast<QueueSegment*>(block->content());
+      if (seg == nullptr) {
+        content_gone = true;
+      } else {
+        auto popped = seg->Dequeue();
+        if (popped.ok()) {
+          item = std::move(*popped);
+          got = true;
+        }
+        drained = seg->Drained();
+        sealed = seg->sealed();
+      }
+    }
+    if (content_gone) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (got) {
+      data_net()->RoundTrip(64, item.size() + 64);
+      PropagateToReplicas<QueueSegment>(head, 8, [](QueueSegment* s) {
+        s->Dequeue();
+      });
+      MaybePersist(head);
+      state()->queue_items.fetch_sub(1, std::memory_order_relaxed);
+      Publish(kDequeueOp, std::to_string(item.size()));
+      if (drained && !head_is_tail) {
+        // Opportunistically reclaim the drained head block.
+        JIFFY_RETURN_IF_ERROR(ShrinkHead(head.block));
+      }
+      return item;
+    }
+    if (drained && !head_is_tail) {
+      JIFFY_RETURN_IF_ERROR(ShrinkHead(head.block));
+      continue;  // Retry against the next segment.
+    }
+    if (sealed) {
+      // The head is sealed, so a successor segment exists (or is being
+      // allocated right now) — our single-entry map is stale. Refresh and
+      // retry rather than reporting an empty queue.
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    data_net()->RoundTrip(64, 64);
+    return NotFound("queue empty");
+  }
+  return Unavailable("queue dequeue livelock (too many stale retries)");
+}
+
+Result<std::string> QueueClient::DequeueWait(DurationNs timeout) {
+  auto listener = Subscribe(kEnqueueOp);
+  const TimeNs deadline = RealClock::Instance()->Now() + timeout;
+  for (;;) {
+    auto item = Dequeue();
+    if (item.ok() || item.status().code() != StatusCode::kNotFound) {
+      Unsubscribe(kEnqueueOp, listener);
+      return item;
+    }
+    const DurationNs remaining = deadline - RealClock::Instance()->Now();
+    if (remaining <= 0) {
+      Unsubscribe(kEnqueueOp, listener);
+      return Timeout("queue stayed empty for the full timeout");
+    }
+    auto n = listener->Get(remaining);
+    if (!n.ok()) {
+      Unsubscribe(kEnqueueOp, listener);
+      return Timeout("queue stayed empty for the full timeout");
+    }
+  }
+}
+
+int64_t QueueClient::ApproxSize() const {
+  // `state()` is non-const in the base; go through the registry snapshot.
+  return const_cast<QueueClient*>(this)->state()->queue_items.load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace jiffy

@@ -1,0 +1,53 @@
+// Client handle for the Jiffy FIFO queue (§5.2).
+//
+// The queue is a linked list of segments, one per block: enqueues go to the
+// tail segment (allocating a new tail when it fills), dequeues to the head
+// segment (freeing it once drained). Queues never repartition data; blocks
+// are only added at the tail and removed at the head (Table 2). Consumers
+// use notifications ("enqueue"/"dequeue") to detect data or space
+// availability without polling (§5.2).
+
+#ifndef SRC_CLIENT_QUEUE_CLIENT_H_
+#define SRC_CLIENT_QUEUE_CLIENT_H_
+
+#include <string>
+
+#include "src/client/ds_client.h"
+
+namespace jiffy {
+
+class QueueClient : public DsClient {
+ public:
+  using DsClient::DsClient;
+
+  // Bounds the queue to `n` items (0 = unbounded); enqueue returns
+  // kUnavailable when full (paper's maxQueueLength).
+  void SetMaxQueueLength(uint64_t n);
+
+  // Adds an item at the tail. kUnavailable when the queue is at its bound.
+  Status Enqueue(std::string item);
+
+  // Removes the oldest item. kNotFound when the queue is empty.
+  Result<std::string> Dequeue();
+
+  // Blocking convenience: waits (real time) for an item using an "enqueue"
+  // subscription, up to `timeout`.
+  Result<std::string> DequeueWait(DurationNs timeout);
+
+  // Approximate live item count.
+  int64_t ApproxSize() const;
+
+  static constexpr char kEnqueueOp[] = "enqueue";
+  static constexpr char kDequeueOp[] = "dequeue";
+
+ private:
+  // Allocates a new tail segment after `last_index`, conditional on
+  // `tail_block` still being the queue's tail (stale growers no-op).
+  Status GrowTail(BlockId tail_block, uint64_t last_index);
+  // Frees the drained head segment.
+  Status ShrinkHead(BlockId head_block);
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CLIENT_QUEUE_CLIENT_H_

@@ -1,0 +1,199 @@
+#include "src/cluster/cluster.h"
+
+#include "src/common/hash.h"
+#include "src/ds/custom.h"
+#include "src/ds/file_content.h"
+#include "src/ds/kv_content.h"
+#include "src/ds/queue_content.h"
+
+namespace jiffy {
+
+JiffyCluster::JiffyCluster(const Options& options)
+    : config_(options.config), clock_(options.clock) {
+  if (options.backing != nullptr) {
+    backing_ = options.backing;
+  } else {
+    owned_backing_ = MakeLocalStore();
+    backing_ = owned_backing_.get();
+  }
+  allocator_ = std::make_shared<BlockAllocator>(config_.num_memory_servers,
+                                                config_.blocks_per_server);
+  servers_.reserve(config_.num_memory_servers);
+  for (uint32_t s = 0; s < config_.num_memory_servers; ++s) {
+    servers_.push_back(std::make_unique<MemoryServer>(
+        s, config_.blocks_per_server, config_.block_size_bytes));
+  }
+  const uint32_t shards = std::max<uint32_t>(config_.controller_shards, 1);
+  controllers_.reserve(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    controllers_.push_back(std::make_unique<Controller>(
+        config_, clock_, allocator_, this, backing_));
+  }
+  control_transport_ = std::make_unique<Transport>(
+      options.net_model, options.net_mode, clock_, /*seed=*/7);
+  data_transport_ = std::make_unique<Transport>(
+      options.net_model, options.net_mode, clock_, /*seed=*/8);
+}
+
+JiffyCluster::~JiffyCluster() = default;
+
+Controller* JiffyCluster::ControllerFor(const std::string& job) {
+  const size_t idx = Fnv1a64(job) % controllers_.size();
+  return controllers_[idx].get();
+}
+
+Block* JiffyCluster::ResolveBlock(BlockId id) {
+  if (id.server_id >= servers_.size() || servers_[id.server_id]->failed()) {
+    return nullptr;
+  }
+  return servers_[id.server_id]->block(id.slot);
+}
+
+bool JiffyCluster::IsBlockLive(BlockId id) {
+  return id.server_id < servers_.size() && !servers_[id.server_id]->failed() &&
+         id.slot < servers_[id.server_id]->num_blocks();
+}
+
+void JiffyCluster::FailServer(uint32_t i) {
+  if (i >= servers_.size()) {
+    return;
+  }
+  servers_[i]->Fail();
+  allocator_->MarkServerDead(i);
+}
+
+size_t JiffyCluster::AllocatedBytes() const {
+  return static_cast<size_t>(allocator_->allocated_count()) *
+         config_.block_size_bytes;
+}
+
+size_t JiffyCluster::UsedBytes() {
+  size_t total = 0;
+  for (auto& s : servers_) {
+    total += s->UsedBytes();
+  }
+  return total;
+}
+
+Status JiffyCluster::InitBlock(BlockId id, DsType type, uint64_t lo,
+                               uint64_t hi, const std::string& job,
+                               const std::string& prefix,
+                               const std::string& custom_type) {
+  Block* block = ResolveBlock(id);
+  if (block == nullptr) {
+    return Internal("InitBlock: unknown block " + id.ToString());
+  }
+  std::unique_ptr<BlockContent> content;
+  switch (type) {
+    case DsType::kFile:
+      content = std::make_unique<FileChunk>(block->capacity(), lo);
+      break;
+    case DsType::kQueue:
+      content = std::make_unique<QueueSegment>(block->capacity());
+      break;
+    case DsType::kKvStore:
+      content = std::make_unique<KvShard>(block->capacity(),
+                                          static_cast<uint32_t>(lo),
+                                          static_cast<uint32_t>(hi),
+                                          config_.kv_hash_slots);
+      break;
+    case DsType::kCustom: {
+      const CustomDsSpec* spec = CustomDsRegistry::Instance()->Find(custom_type);
+      if (spec == nullptr) {
+        return InvalidArgument("unknown custom data structure '" +
+                               custom_type + "'");
+      }
+      content = spec->factory(block->capacity(), lo, hi);
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(block->mu());
+  block->InstallContent(std::move(content));
+  block->set_allocated(true);
+  block->SetOwner(job, prefix);
+  return Status::Ok();
+}
+
+Result<std::string> JiffyCluster::SerializeBlock(BlockId id) {
+  Block* block = ResolveBlock(id);
+  if (block == nullptr) {
+    return Internal("SerializeBlock: unknown block " + id.ToString());
+  }
+  std::lock_guard<std::mutex> lock(block->mu());
+  if (block->content() == nullptr) {
+    return FailedPrecondition("block " + id.ToString() + " has no content");
+  }
+  return block->content()->Serialize();
+}
+
+Status JiffyCluster::RestoreBlock(BlockId id, DsType type,
+                                  const std::string& data, uint64_t lo,
+                                  uint64_t hi, const std::string& job,
+                                  const std::string& prefix,
+                                  const std::string& custom_type) {
+  Block* block = ResolveBlock(id);
+  if (block == nullptr) {
+    return Internal("RestoreBlock: unknown block " + id.ToString());
+  }
+  std::unique_ptr<BlockContent> content;
+  switch (type) {
+    case DsType::kFile: {
+      auto chunk = FileChunk::Deserialize(block->capacity(), lo, data);
+      if (!chunk.ok()) {
+        return chunk.status();
+      }
+      content = std::move(*chunk);
+      break;
+    }
+    case DsType::kQueue: {
+      auto seg = QueueSegment::Deserialize(block->capacity(), data);
+      if (!seg.ok()) {
+        return seg.status();
+      }
+      content = std::move(*seg);
+      break;
+    }
+    case DsType::kKvStore: {
+      auto shard = KvShard::Deserialize(
+          block->capacity(), static_cast<uint32_t>(lo),
+          static_cast<uint32_t>(hi), config_.kv_hash_slots, data);
+      if (!shard.ok()) {
+        return shard.status();
+      }
+      content = std::move(*shard);
+      break;
+    }
+    case DsType::kCustom: {
+      const CustomDsSpec* spec = CustomDsRegistry::Instance()->Find(custom_type);
+      if (spec == nullptr) {
+        return InvalidArgument("unknown custom data structure '" +
+                               custom_type + "'");
+      }
+      auto restored = spec->deserialize(block->capacity(), lo, hi, data);
+      if (!restored.ok()) {
+        return restored.status();
+      }
+      content = std::move(*restored);
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(block->mu());
+  block->InstallContent(std::move(content));
+  block->set_allocated(true);
+  block->SetOwner(job, prefix);
+  return Status::Ok();
+}
+
+Status JiffyCluster::ResetBlock(BlockId id) {
+  Block* block = ResolveBlock(id);
+  if (block == nullptr) {
+    return Internal("ResetBlock: unknown block " + id.ToString());
+  }
+  std::lock_guard<std::mutex> lock(block->mu());
+  block->RemoveContent();
+  block->set_allocated(false);
+  block->SetOwner("", "");
+  return Status::Ok();
+}
+
+}  // namespace jiffy

@@ -1,0 +1,117 @@
+// Cluster assembly: builds the simulated Jiffy deployment (DESIGN.md §1).
+//
+// A JiffyCluster wires together the data plane (MemoryServers), the unified
+// control plane (one or more Controller shards sharing a BlockAllocator),
+// the persistent backing tier used on lease expiry, the per-DS registry
+// (subscriptions, queue accounting), and the two Transports every client
+// charges: control-plane RPCs and data-plane reads/writes.
+//
+// It also implements DataPlaneHooks — the controller-to-data-plane calls
+// that install, serialize, restore, and reset block contents — because the
+// assembly is the one layer that knows both the block table and each data
+// structure's content class.
+
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/block/block.h"
+#include "src/common/config.h"
+#include "src/core/controller.h"
+#include "src/ds/registry.h"
+#include "src/net/network.h"
+#include "src/persistent/persistent_store.h"
+
+namespace jiffy {
+
+class JiffyCluster : public DataPlaneHooks {
+ public:
+  struct Options {
+    JiffyConfig config;
+    Clock* clock = RealClock::Instance();
+    // Network handling for client↔cluster RPCs. kZero = unit tests /
+    // virtual-time replay; kSleep = real-time microbenchmarks.
+    Transport::Mode net_mode = Transport::Mode::kZero;
+    NetworkModel net_model = NetworkModel::Loopback();
+    // Persistent tier for expiry flushes. When null an internal zero-cost
+    // local store is created (tests); benches pass an S3/SSD model.
+    PersistentStore* backing = nullptr;
+  };
+
+  explicit JiffyCluster(const Options& options);
+  ~JiffyCluster() override;
+
+  JiffyCluster(const JiffyCluster&) = delete;
+  JiffyCluster& operator=(const JiffyCluster&) = delete;
+
+  // --- Topology -------------------------------------------------------------
+
+  const JiffyConfig& config() const { return config_; }
+  Clock* clock() { return clock_; }
+
+  uint32_t num_controller_shards() const {
+    return static_cast<uint32_t>(controllers_.size());
+  }
+  Controller* controller_shard(uint32_t i) { return controllers_[i].get(); }
+  // Shard responsible for `job` (hash partitioning, §4.2.1).
+  Controller* ControllerFor(const std::string& job);
+
+  MemoryServer* memory_server(uint32_t i) { return servers_[i].get(); }
+  uint32_t num_memory_servers() const {
+    return static_cast<uint32_t>(servers_.size());
+  }
+
+  Block* ResolveBlock(BlockId id);
+
+  DsRegistry* registry() { return &registry_; }
+  PersistentStore* backing() { return backing_; }
+  std::shared_ptr<BlockAllocator> allocator() { return allocator_; }
+
+  Transport* control_transport() { return control_transport_.get(); }
+  Transport* data_transport() { return data_transport_.get(); }
+
+  // --- Capacity accounting (Fig 9(b), Fig 11(a)) ----------------------------
+
+  size_t TotalCapacityBytes() const { return config_.TotalCapacityBytes(); }
+  size_t AllocatedBytes() const;  // Blocks held × block size.
+  size_t UsedBytes();             // Actual content bytes across blocks.
+
+  // --- DataPlaneHooks --------------------------------------------------------
+
+  Status InitBlock(BlockId id, DsType type, uint64_t lo, uint64_t hi,
+                   const std::string& job, const std::string& prefix,
+                   const std::string& custom_type = "") override;
+  Result<std::string> SerializeBlock(BlockId id) override;
+  Status RestoreBlock(BlockId id, DsType type, const std::string& data,
+                      uint64_t lo, uint64_t hi, const std::string& job,
+                      const std::string& prefix,
+                      const std::string& custom_type = "") override;
+  Status ResetBlock(BlockId id) override;
+  bool IsBlockLive(BlockId id) override;
+
+  // --- Failure injection (§4.2.2 chain replication) --------------------------
+
+  // Fails memory server `i`: ResolveBlock returns nullptr for its blocks,
+  // the allocator retires its free list, and every controller shard learns
+  // to avoid it.
+  void FailServer(uint32_t i);
+
+ private:
+  JiffyConfig config_;
+  Clock* clock_;
+  std::unique_ptr<SimObjectStore> owned_backing_;
+  PersistentStore* backing_;
+  std::shared_ptr<BlockAllocator> allocator_;
+  std::vector<std::unique_ptr<MemoryServer>> servers_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+  DsRegistry registry_;
+  std::unique_ptr<Transport> control_transport_;
+  std::unique_ptr<Transport> data_transport_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,58 @@
+#include "src/common/clock.h"
+
+#include <thread>
+
+namespace jiffy {
+
+TimeNs RealClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::SleepFor(DurationNs d) {
+  if (d <= 0) {
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+}
+
+RealClock* RealClock::Instance() {
+  static RealClock clock;
+  return &clock;
+}
+
+TimeNs SimClock::Now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void SimClock::SleepFor(DurationNs d) {
+  if (d <= 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  const TimeNs deadline = now_ + d;
+  cv_.wait(lock, [&] { return now_ >= deadline; });
+}
+
+void SimClock::AdvanceTo(TimeNs t) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (t <= now_) {
+      return;
+    }
+    now_ = t;
+  }
+  cv_.notify_all();
+}
+
+void SimClock::AdvanceBy(DurationNs d) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += d;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace jiffy

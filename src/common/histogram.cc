@@ -1,0 +1,162 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace jiffy {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < (1u << kSubBucketBits)) {
+    return static_cast<int>(v);  // Exact buckets for tiny values.
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBucketBits;
+  const int sub = static_cast<int>((v >> shift) & ((1 << kSubBucketBits) - 1));
+  const int bucket = (msb - kSubBucketBits + 1) * (1 << kSubBucketBits) + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketMidpoint(int bucket) {
+  if (bucket < (1 << kSubBucketBits)) {
+    return bucket;
+  }
+  const int octave = bucket / (1 << kSubBucketBits);
+  const int sub = bucket % (1 << kSubBucketBits);
+  const int shift = octave - 1;
+  const int64_t base =
+      (static_cast<int64_t>((1 << kSubBucketBits) + sub)) << shift;
+  const int64_t width = static_cast<int64_t>(1) << shift;
+  return base + width / 2;
+}
+
+void Histogram::Record(int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (value < 0) {
+    value = 0;
+  }
+  buckets_[BucketFor(value)]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  // Snapshot `other` first to avoid holding both locks at once.
+  std::vector<uint64_t> other_buckets;
+  uint64_t other_count;
+  int64_t other_min, other_max;
+  double other_sum;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    other_buckets = other.buckets_;
+    other_count = other.count_;
+    other_min = other.min_;
+    other_max = other.max_;
+    other_sum = other.sum_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other_buckets[i];
+  }
+  if (other_count > 0) {
+    if (count_ == 0) {
+      min_ = other_min;
+      max_ = other_max;
+    } else {
+      min_ = std::min(min_, other_min);
+      max_ = std::max(max_, other_max);
+    }
+  }
+  count_ += other_count;
+  sum_ += other_sum;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+int64_t Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+int64_t Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<int64_t, double>> Histogram::Cdf() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<int64_t, double>> out;
+  if (count_ == 0) {
+    return out;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    seen += buckets_[i];
+    out.emplace_back(BucketMidpoint(i),
+                     static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+std::string Histogram::Summary(double scale, const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "p50=%.1f%s p90=%.1f%s p99=%.1f%s max=%.1f%s (n=%llu)",
+                static_cast<double>(Percentile(0.50)) / scale, unit.c_str(),
+                static_cast<double>(Percentile(0.90)) / scale, unit.c_str(),
+                static_cast<double>(Percentile(0.99)) / scale, unit.c_str(),
+                static_cast<double>(max()) / scale, unit.c_str(),
+                static_cast<unsigned long long>(count()));
+  return buf;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,63 @@
+// Latency/size histograms with percentile queries and CDF export.
+//
+// Benchmarks record nanosecond samples into a Histogram and print either
+// percentiles (p50/p99/...) or a full CDF in the same form as the paper's
+// figures. Log-bucketed to cover 1 ns .. ~100 s with bounded memory while
+// keeping relative error under ~1 %.
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jiffy {
+
+class Histogram {
+ public:
+  Histogram();
+
+  // Adds one sample (negative samples are clamped to 0). Thread-safe.
+  void Record(int64_t value);
+
+  // Merges `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const;
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+
+  // Value at quantile q in [0, 1]; returns 0 for an empty histogram.
+  int64_t Percentile(double q) const;
+
+  // (value, cumulative_fraction) pairs, one per non-empty bucket — ready to
+  // plot as a CDF.
+  std::vector<std::pair<int64_t, double>> Cdf() const;
+
+  // "p50=... p90=... p99=... max=..." with values divided by `scale`
+  // (e.g. 1000 for microseconds) and suffixed with `unit`.
+  std::string Summary(double scale, const std::string& unit) const;
+
+  void Reset();
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave.
+  static constexpr int kNumBuckets = 64 * (1 << kSubBucketBits);
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketMidpoint(int bucket);
+
+  mutable std::mutex mu_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

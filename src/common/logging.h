@@ -1,0 +1,82 @@
+// Minimal leveled logger. Logging in Jiffy is diagnostic only — no component
+// depends on log output — so the implementation favors simplicity: a single
+// process-wide level, stderr sink, and stream-style call sites:
+//
+//   JIFFY_LOG(INFO) << "allocated block " << id;
+//
+// Messages below the active level are compiled to a no-op-ish dead stream.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace jiffy {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kFatal = 5,
+};
+
+// Sets/gets the process-wide minimum level that is emitted. Default: kWarning
+// (quiet for tests and benches).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// One log statement. Buffers the message and flushes to stderr in the
+// destructor; kFatal aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed values when the statement is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+#define JIFFY_LOG_TRACE ::jiffy::LogLevel::kTrace
+#define JIFFY_LOG_DEBUG ::jiffy::LogLevel::kDebug
+#define JIFFY_LOG_INFO ::jiffy::LogLevel::kInfo
+#define JIFFY_LOG_WARNING ::jiffy::LogLevel::kWarning
+#define JIFFY_LOG_ERROR ::jiffy::LogLevel::kError
+#define JIFFY_LOG_FATAL ::jiffy::LogLevel::kFatal
+
+#define JIFFY_LOG(severity)                                             \
+  if (JIFFY_LOG_##severity < ::jiffy::GetLogLevel())                    \
+    ;                                                                   \
+  else                                                                  \
+    ::jiffy::LogMessage(JIFFY_LOG_##severity, __FILE__, __LINE__).stream()
+
+// Invariant check that is active in all build modes. Prefer this over assert
+// for data-plane invariants whose violation would corrupt user data.
+#define JIFFY_CHECK(cond)                                                   \
+  if (cond)                                                                 \
+    ;                                                                       \
+  else                                                                      \
+    ::jiffy::LogMessage(::jiffy::LogLevel::kFatal, __FILE__, __LINE__)      \
+        .stream()                                                           \
+        << "Check failed: " #cond " "
+
+}  // namespace jiffy
+
+#endif  // SRC_COMMON_LOGGING_H_

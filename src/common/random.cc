@@ -1,0 +1,110 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace jiffy {
+
+uint64_t Rng::Next() {
+  // splitmix64 (Vigna). Public domain reference constants.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  JIFFY_CHECK(bound > 0);
+  // Rejection to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  JIFFY_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(span == 0 ? Next() : NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+double Rng::NextExponential(double rate) {
+  double u = NextDouble();
+  if (u < 1e-300) {
+    u = 1e-300;
+  }
+  return -std::log(u) / rate;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta == 1.0 ? 1.0 - 1e-9 : theta), rng_(seed) {
+  JIFFY_CHECK(n >= 1);
+  JIFFY_CHECK(theta > 0.0);
+  h_integral_x1_ = H(1.5) - 1.0;
+  h_integral_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of x^-theta: (x^(1-theta) - 1) / (1 - theta).
+  const double one_minus = 1.0 - theta_;
+  return (std::pow(x, one_minus) - 1.0) / one_minus;
+}
+
+double ZipfSampler::HInverse(double x) const {
+  const double one_minus = 1.0 - theta_;
+  return std::pow(1.0 + x * one_minus, 1.0 / one_minus);
+}
+
+uint64_t ZipfSampler::Next() {
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996), as used by
+  // Apache Commons RandomUtils. Ranks are 1-based internally; we return a
+  // 0-based index so callers can use it directly as a key id.
+  for (;;) {
+    const double u =
+        h_integral_n_ + rng_.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(n_)) {
+      k = static_cast<double>(n_);
+    }
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace jiffy

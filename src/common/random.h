@@ -1,0 +1,76 @@
+// Deterministic randomness for workloads and tests.
+//
+// Benchmarks must be reproducible run-to-run, so all stochastic components
+// (trace generation, Zipf key sampling, network jitter) draw from explicitly
+// seeded Rng instances rather than global entropy.
+
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace jiffy {
+
+// splitmix64-based generator: tiny state, excellent statistical quality for
+// workload generation, and trivially seedable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi]. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Standard normal via Box–Muller.
+  double NextGaussian();
+
+  // Log-normal with the given parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma);
+
+  // Exponential with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+ private:
+  uint64_t state_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// Zipf(θ) sampler over [0, n). Uses the rejection-inversion method of
+// Hörmann & Derflinger, which is O(1) per sample and exact — important when
+// benchmarks draw hundreds of millions of skewed keys.
+class ZipfSampler {
+ public:
+  // Precondition: n >= 1, theta > 0 (theta != 1 handled; theta == 1 uses a
+  // nearby value to keep the closed forms finite).
+  ZipfSampler(uint64_t n, double theta, uint64_t seed = 1);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+  Rng rng_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_COMMON_RANDOM_H_

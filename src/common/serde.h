@@ -1,0 +1,79 @@
+// Tiny length-prefixed serialization helpers for flushing block contents to
+// persistent storage and restoring them (§3.2). Format is little-endian,
+// bounds-checked on read.
+
+#ifndef SRC_COMMON_SERDE_H_
+#define SRC_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace jiffy {
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+inline void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// Cursor-based reader over a serialized buffer.
+class SerdeReader {
+ public:
+  explicit SerdeReader(std::string_view data) : data_(data) {}
+
+  Result<uint32_t> ReadU32() {
+    if (pos_ + 4 > data_.size()) {
+      return Internal("serde: truncated u32");
+    }
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (pos_ + 8 > data_.size()) {
+      return Internal("serde: truncated u64");
+    }
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    JIFFY_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    if (pos_ + len > data_.size()) {
+      return Internal("serde: truncated string");
+    }
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_COMMON_SERDE_H_

@@ -1,0 +1,85 @@
+#include "src/common/status.h"
+
+namespace jiffy {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfMemory:
+      return "OUT_OF_MEMORY";
+    case StatusCode::kLeaseExpired:
+      return "LEASE_EXPIRED";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kStaleMetadata:
+      return "STALE_METADATA";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status OutOfMemory(std::string msg) {
+  return Status(StatusCode::kOutOfMemory, std::move(msg));
+}
+Status LeaseExpired(std::string msg) {
+  return Status(StatusCode::kLeaseExpired, std::move(msg));
+}
+Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+Status StaleMetadata(std::string msg) {
+  return Status(StatusCode::kStaleMetadata, std::move(msg));
+}
+Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+Status Timeout(std::string msg) {
+  return Status(StatusCode::kTimeout, std::move(msg));
+}
+Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+}  // namespace jiffy

@@ -1,0 +1,133 @@
+// Status and Result<T>: lightweight error propagation used throughout Jiffy.
+//
+// Jiffy's control and data planes report failures as values rather than
+// exceptions, mirroring the style of large systems codebases. A `Status`
+// carries an error code and a human-readable message; `Result<T>` carries
+// either a value or a `Status`.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace jiffy {
+
+// Error codes for Jiffy operations. Codes are stable across the RPC boundary:
+// a server-side Status is reconstructed verbatim at the client.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,          // Address prefix, block, or key does not exist.
+  kAlreadyExists,     // Create of an address prefix that already exists.
+  kInvalidArgument,   // Malformed path, bad DAG, out-of-range offset, ...
+  kOutOfMemory,       // Free block list exhausted (data spills to persistent tier).
+  kLeaseExpired,      // Operation on a prefix whose lease has expired.
+  kPermissionDenied,  // Access-control failure on an address prefix.
+  kStaleMetadata,     // Client's cached partition map is out of date; refetch.
+  kUnavailable,       // Transient: server busy / repartition in flight.
+  kFailedPrecondition,// Operation not valid in the current state.
+  kTimeout,           // Blocking call (e.g. Listener::Get) timed out.
+  kInternal,          // Invariant violation; indicates a bug.
+};
+
+// Returns a stable human-readable name for `code` (e.g. "NOT_FOUND").
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic error indicator. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders as "CODE: message" for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Convenience constructors, one per error code.
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status InvalidArgument(std::string msg);
+Status OutOfMemory(std::string msg);
+Status LeaseExpired(std::string msg);
+Status PermissionDenied(std::string msg);
+Status StaleMetadata(std::string msg);
+Status Unavailable(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status Timeout(std::string msg);
+Status Internal(std::string msg);
+
+// Result<T> holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : rep_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  // Precondition: ok(). Accessing the value of a failed Result aborts.
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define JIFFY_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::jiffy::Status _st = (expr);              \
+    if (!_st.ok()) {                           \
+      return _st;                              \
+    }                                          \
+  } while (0)
+
+// Evaluates `rexpr` (a Result<T>), propagating its Status on failure and
+// otherwise assigning the value to `lhs`.
+#define JIFFY_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  auto JIFFY_CONCAT_(_res_, __LINE__) = (rexpr);            \
+  if (!JIFFY_CONCAT_(_res_, __LINE__).ok()) {               \
+    return JIFFY_CONCAT_(_res_, __LINE__).status();         \
+  }                                                         \
+  lhs = std::move(JIFFY_CONCAT_(_res_, __LINE__)).value()
+
+#define JIFFY_CONCAT_IMPL_(a, b) a##b
+#define JIFFY_CONCAT_(a, b) JIFFY_CONCAT_IMPL_(a, b)
+
+}  // namespace jiffy
+
+#endif  // SRC_COMMON_STATUS_H_

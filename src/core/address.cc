@@ -1,0 +1,82 @@
+#include "src/core/address.h"
+
+#include <cctype>
+
+namespace jiffy {
+
+bool IsValidPathSegment(std::string_view segment) {
+  if (segment.empty()) {
+    return false;
+  }
+  for (const char c : segment) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<AddressPath> AddressPath::Parse(std::string_view raw) {
+  AddressPath path;
+  size_t start = 0;
+  if (!raw.empty() && raw.front() == '/') {
+    start = 1;
+  }
+  while (start <= raw.size()) {
+    const size_t slash = raw.find('/', start);
+    const std::string_view seg =
+        slash == std::string_view::npos
+            ? raw.substr(start)
+            : raw.substr(start, slash - start);
+    if (seg.empty()) {
+      if (slash == std::string_view::npos) {
+        break;  // Trailing empty segment (e.g. trailing '/') is tolerated.
+      }
+      return InvalidArgument("empty path segment in '" + std::string(raw) + "'");
+    }
+    if (!IsValidPathSegment(seg)) {
+      return InvalidArgument("bad path segment '" + std::string(seg) + "'");
+    }
+    path.segments_.emplace_back(seg);
+    if (slash == std::string_view::npos) {
+      break;
+    }
+    start = slash + 1;
+  }
+  if (path.segments_.empty()) {
+    return InvalidArgument("empty address path");
+  }
+  return path;
+}
+
+AddressPath AddressPath::FromSegments(std::vector<std::string> segments) {
+  AddressPath path;
+  path.segments_ = std::move(segments);
+  return path;
+}
+
+AddressPath AddressPath::Parent() const {
+  AddressPath p;
+  if (segments_.size() > 1) {
+    p.segments_.assign(segments_.begin(), segments_.end() - 1);
+  }
+  return p;
+}
+
+AddressPath AddressPath::Child(std::string segment) const {
+  AddressPath p = *this;
+  p.segments_.push_back(std::move(segment));
+  return p;
+}
+
+std::string AddressPath::ToString() const {
+  std::string out;
+  for (const auto& seg : segments_) {
+    out += '/';
+    out += seg;
+  }
+  return out;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,62 @@
+// Hierarchical addresses (§3.1).
+//
+// Jiffy organizes intermediate data in a per-job "virtual" address hierarchy
+// whose internal nodes are tasks and whose leaves are blocks. Because a task
+// may have several parents in the execution DAG, a node — and hence a block —
+// can be reachable by multiple addresses (the paper's B7_1 example), like an
+// inode with several pathnames. An AddressPath is one such path: a job id
+// followed by a chain of task names, e.g. "/job1/T4/T6/T7".
+
+#ifndef SRC_CORE_ADDRESS_H_
+#define SRC_CORE_ADDRESS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace jiffy {
+
+class AddressPath {
+ public:
+  AddressPath() = default;
+
+  // Parses "/seg/seg/..." (a leading '/' is optional; empty segments are
+  // rejected). Segment charset: alnum, '_', '-', '.'.
+  static Result<AddressPath> Parse(std::string_view raw);
+
+  // Builds from explicit segments (assumed valid).
+  static AddressPath FromSegments(std::vector<std::string> segments);
+
+  const std::vector<std::string>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+  size_t depth() const { return segments_.size(); }
+
+  // First segment: the job id.
+  const std::string& job() const { return segments_.front(); }
+
+  // Last segment: the task (address-prefix) this path names.
+  const std::string& leaf() const { return segments_.back(); }
+
+  // Path without its last segment.
+  AddressPath Parent() const;
+
+  // Path with `segment` appended.
+  AddressPath Child(std::string segment) const;
+
+  // Canonical "/a/b/c" form.
+  std::string ToString() const;
+
+  bool operator==(const AddressPath& o) const { return segments_ == o.segments_; }
+
+ private:
+  std::vector<std::string> segments_;
+};
+
+// True iff `segment` is a legal path segment.
+bool IsValidPathSegment(std::string_view segment);
+
+}  // namespace jiffy
+
+#endif  // SRC_CORE_ADDRESS_H_

@@ -1,0 +1,149 @@
+#include "src/core/allocator.h"
+
+#include <algorithm>
+
+namespace jiffy {
+
+BlockAllocator::BlockAllocator(uint32_t num_servers, uint32_t blocks_per_server)
+    : total_(num_servers * blocks_per_server),
+      free_(num_servers),
+      free_total_(total_),
+      server_dead_(num_servers, false) {
+  for (uint32_t s = 0; s < num_servers; ++s) {
+    free_[s].reserve(blocks_per_server);
+    // Push in reverse so low slots pop first (stable, readable diagnostics).
+    for (uint32_t slot = blocks_per_server; slot > 0; --slot) {
+      free_[s].push_back(slot - 1);
+    }
+  }
+}
+
+Result<BlockId> BlockAllocator::AllocateLocked(const std::string& owner) {
+  return AllocateAvoidingLocked(owner, {});
+}
+
+Result<BlockId> BlockAllocator::AllocateAvoidingLocked(
+    const std::string& owner, const std::vector<uint32_t>& avoid) {
+  if (free_total_ == 0) {
+    return OutOfMemory("free block list exhausted (" +
+                       std::to_string(total_) + " blocks all allocated)");
+  }
+  auto avoided = [&avoid](size_t s) {
+    for (const uint32_t a : avoid) {
+      if (a == s) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Least-loaded placement among preferred (non-avoided, live) servers;
+  // fall back to any live server with capacity.
+  size_t best = free_.size();
+  for (int pass = 0; pass < 2 && best == free_.size(); ++pass) {
+    for (size_t s = 0; s < free_.size(); ++s) {
+      if (server_dead_[s] || free_[s].empty() ||
+          (pass == 0 && avoided(s))) {
+        continue;
+      }
+      if (best == free_.size() || free_[s].size() > free_[best].size()) {
+        best = s;
+      }
+    }
+  }
+  if (best == free_.size()) {
+    return OutOfMemory("no live server has free blocks");
+  }
+  const uint32_t slot = free_[best].back();
+  free_[best].pop_back();
+  free_total_--;
+  const BlockId id{static_cast<uint32_t>(best), slot};
+  owner_of_[id.Packed()] = owner;
+  owner_counts_[owner]++;
+  peak_allocated_ = std::max(peak_allocated_, total_ - free_total_);
+  return id;
+}
+
+Result<BlockId> BlockAllocator::Allocate(const std::string& owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AllocateLocked(owner);
+}
+
+Result<std::vector<BlockId>> BlockAllocator::AllocateN(const std::string& owner,
+                                                       uint32_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_total_ < n) {
+    return OutOfMemory("need " + std::to_string(n) + " blocks, only " +
+                       std::to_string(free_total_) + " free");
+  }
+  std::vector<BlockId> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto r = AllocateLocked(owner);
+    // Cannot fail: we checked free_total_ under the same lock.
+    out.push_back(*r);
+  }
+  return out;
+}
+
+Status BlockAllocator::Free(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owner_of_.find(id.Packed());
+  if (it == owner_of_.end()) {
+    return InvalidArgument("double free of block " + id.ToString());
+  }
+  auto oc = owner_counts_.find(it->second);
+  if (oc != owner_counts_.end() && --oc->second == 0) {
+    owner_counts_.erase(oc);
+  }
+  owner_of_.erase(it);
+  if (id.server_id >= free_.size()) {
+    return InvalidArgument("block " + id.ToString() + " from unknown server");
+  }
+  if (server_dead_[id.server_id]) {
+    // The block's server is gone; retire the block instead of returning it
+    // to the pool.
+    return Status::Ok();
+  }
+  free_[id.server_id].push_back(id.slot);
+  free_total_++;
+  return Status::Ok();
+}
+
+void BlockAllocator::MarkServerDead(uint32_t server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (server_id >= free_.size() || server_dead_[server_id]) {
+    return;
+  }
+  server_dead_[server_id] = true;
+  free_total_ -= static_cast<uint32_t>(free_[server_id].size());
+  free_[server_id].clear();
+}
+
+bool BlockAllocator::IsServerDead(uint32_t server_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return server_id < server_dead_.size() && server_dead_[server_id];
+}
+
+Result<BlockId> BlockAllocator::AllocateAvoiding(
+    const std::string& owner, const std::vector<uint32_t>& avoid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AllocateAvoidingLocked(owner, avoid);
+}
+
+uint32_t BlockAllocator::free_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_total_;
+}
+
+uint32_t BlockAllocator::OwnerCount(const std::string& owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owner_counts_.find(owner);
+  return it == owner_counts_.end() ? 0 : it->second;
+}
+
+uint32_t BlockAllocator::peak_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_allocated_;
+}
+
+}  // namespace jiffy

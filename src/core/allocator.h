@@ -1,0 +1,81 @@
+// Block allocator (§4.2.1): the controller's free-block list.
+//
+// Jiffy multiplexes the data-plane memory pool across address prefixes at
+// block granularity, like an OS multiplexing physical pages across virtual
+// address spaces. The allocator keeps a per-server free list and places new
+// blocks on the server with the most free capacity, spreading load the way
+// the paper's controller does with its global view.
+//
+// Thread-safe: all methods take an internal mutex (the allocator is shared
+// by every controller shard and by the Pocket/Elasticache baselines).
+
+#ifndef SRC_CORE_ALLOCATOR_H_
+#define SRC_CORE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/block/block_id.h"
+#include "src/common/status.h"
+
+namespace jiffy {
+
+class BlockAllocator {
+ public:
+  // `num_servers` servers × `blocks_per_server` blocks each, all free.
+  BlockAllocator(uint32_t num_servers, uint32_t blocks_per_server);
+
+  // Allocates one block for `owner` (a "job/prefix" tag used only for
+  // accounting). Fails with kOutOfMemory when the pool is exhausted — the
+  // caller then spills to the persistent tier.
+  Result<BlockId> Allocate(const std::string& owner);
+
+  // Allocates `n` blocks atomically: either all succeed or none are taken.
+  Result<std::vector<BlockId>> AllocateN(const std::string& owner, uint32_t n);
+
+  // Returns a block to the free pool. Fails with kInvalidArgument when the
+  // block is already free (double-free guard).
+  Status Free(BlockId id);
+
+  uint32_t free_count() const;
+  uint32_t total_count() const { return total_; }
+  uint32_t allocated_count() const { return total_ - free_count(); }
+
+  // Blocks currently held per owner tag.
+  uint32_t OwnerCount(const std::string& owner) const;
+
+  // Lifetime high-water mark of simultaneously allocated blocks.
+  uint32_t peak_allocated() const;
+
+  // Retires a failed server: its free blocks leave the pool, future
+  // placements avoid it, and frees of its blocks are dropped silently.
+  void MarkServerDead(uint32_t server_id);
+  bool IsServerDead(uint32_t server_id) const;
+
+  // Allocates one block, preferring a server NOT in `avoid` (for replica
+  // placement across failure domains). Falls back to any live server.
+  Result<BlockId> AllocateAvoiding(const std::string& owner,
+                                   const std::vector<uint32_t>& avoid);
+
+ private:
+  Result<BlockId> AllocateLocked(const std::string& owner);
+  Result<BlockId> AllocateAvoidingLocked(const std::string& owner,
+                                         const std::vector<uint32_t>& avoid);
+
+  mutable std::mutex mu_;
+  std::vector<bool> server_dead_;
+  uint32_t total_;
+  // free_[server] = stack of free slots on that server.
+  std::vector<std::vector<uint32_t>> free_;
+  uint32_t free_total_;
+  std::unordered_map<uint64_t, std::string> owner_of_;  // packed id → owner
+  std::unordered_map<std::string, uint32_t> owner_counts_;
+  uint32_t peak_allocated_ = 0;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CORE_ALLOCATOR_H_

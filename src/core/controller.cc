@@ -1,0 +1,955 @@
+#include "src/core/controller.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/serde.h"
+
+namespace jiffy {
+
+Controller::Controller(const JiffyConfig& config, Clock* clock,
+                       std::shared_ptr<BlockAllocator> allocator,
+                       DataPlaneHooks* hooks, PersistentStore* backing)
+    : config_(config),
+      clock_(clock),
+      allocator_(std::move(allocator)),
+      hooks_(hooks),
+      backing_(backing) {}
+
+void Controller::ChargeOp() {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.ops++;
+  }
+  if (config_.controller_service_time > 0) {
+    if (config_.controller_service_sleeps) {
+      RealClock::Instance()->SleepFor(config_.controller_service_time);
+    } else {
+      // Busy-wait so emulated service time consumes a core, making
+      // multi-shard scaling CPU-bound as in the real system.
+      const TimeNs start = RealClock::Instance()->Now();
+      while (RealClock::Instance()->Now() - start <
+             config_.controller_service_time) {
+      }
+    }
+  }
+}
+
+Result<JobHierarchy*> Controller::GetJobLocked(const std::string& job) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return NotFound("job '" + job + "' is not registered");
+  }
+  return it->second.get();
+}
+
+Result<TaskNode*> Controller::GetNodeLocked(const std::string& job,
+                                            const std::string& prefix) {
+  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
+  return hier->GetNode(prefix);
+}
+
+Status Controller::RegisterJob(const std::string& job_id) {
+  ChargeOp();
+  if (!IsValidPathSegment(job_id)) {
+    return InvalidArgument("bad job id '" + job_id + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (jobs_.count(job_id) > 0) {
+    return AlreadyExists("job '" + job_id + "' already registered");
+  }
+  jobs_.emplace(job_id, std::make_unique<JobHierarchy>(
+                            job_id, clock_->Now(), config_.lease_duration,
+                            config_.lease_propagation));
+  return Status::Ok();
+}
+
+Status Controller::DeregisterJob(const std::string& job_id) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return NotFound("job '" + job_id + "' is not registered");
+  }
+  // Release every block the job still holds.
+  for (const auto& name : it->second->NodeNames()) {
+    auto node_r = it->second->GetNode(name);
+    if (!node_r.ok()) {
+      continue;
+    }
+    TaskNode* node = *node_r;
+    for (const auto& entry : node->partition.entries) {
+      ReleaseBlockLocked(entry.block);
+      for (const BlockId& r : entry.replicas) {
+        ReleaseBlockLocked(r);
+      }
+    }
+    node->partition.entries.clear();
+  }
+  jobs_.erase(it);
+  return Status::Ok();
+}
+
+bool Controller::HasJob(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.count(job_id) > 0;
+}
+
+Status Controller::CreateAddrPrefix(const std::string& job,
+                                    const std::string& name,
+                                    const std::vector<std::string>& parents,
+                                    const CreateOptions& opts) {
+  ChargeOp();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
+    JIFFY_RETURN_IF_ERROR(
+        hier->CreateNode(name, parents, clock_->Now(), opts.lease_duration));
+    JIFFY_ASSIGN_OR_RETURN(TaskNode * node, hier->GetNode(name));
+    node->replication_factor = std::max<uint32_t>(opts.replication_factor, 1);
+    node->persist_writes = opts.persist_writes;
+    node->perms.world_readable = opts.world_readable;
+    node->perms.world_writable = opts.world_writable;
+  }
+  if (opts.init_ds) {
+    auto map = InitDataStructure(job, name, opts.ds_type,
+                                 opts.initial_capacity_bytes,
+                                 opts.custom_type);
+    if (!map.ok()) {
+      return map.status();
+    }
+  }
+  return Status::Ok();
+}
+
+Status Controller::CreateHierarchy(
+    const std::string& job,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>& dag,
+    const CreateOptions& opts) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
+  return hier->CreateFromDag(dag, clock_->Now(), opts.lease_duration);
+}
+
+Status Controller::ValidatePath(const AddressPath& path) {
+  ChargeOp();
+  if (path.depth() < 2) {
+    return InvalidArgument("path must be /job/task...: " + path.ToString());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(path.job()));
+  std::vector<std::string> rest(path.segments().begin() + 1,
+                                path.segments().end());
+  auto node = hier->Resolve(AddressPath::FromSegments(std::move(rest)));
+  if (!node.ok()) {
+    return node.status();
+  }
+  return Status::Ok();
+}
+
+Result<DurationNs> Controller::GetLeaseDuration(const std::string& job,
+                                                const std::string& prefix) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  return node->lease_duration;
+}
+
+Result<uint64_t> Controller::RenewLease(const std::string& job,
+                                        const std::string& prefix) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
+  JIFFY_ASSIGN_OR_RETURN(std::vector<std::string> renewed,
+                         hier->RenewLease(prefix, clock_->Now()));
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.lease_renewals++;
+  }
+  return static_cast<uint64_t>(renewed.size());
+}
+
+uint64_t Controller::RunExpiryScan() {
+  ChargeOp();
+  const TimeNs now = clock_->Now();
+  uint64_t reclaimed = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [job_id, hier] : jobs_) {
+    for (const auto& name : hier->CollectExpired(now)) {
+      auto node_r = hier->GetNode(name);
+      if (!node_r.ok()) {
+        continue;
+      }
+      TaskNode* node = *node_r;
+      // Flush to persistent storage before reclaiming so data survives even
+      // a spurious expiry (§3.2: "the data is not lost").
+      Status st = FlushNodeLocked(hier.get(), node,
+                                  DefaultFlushPath(job_id, name),
+                                  /*evict=*/true);
+      if (!st.ok()) {
+        JIFFY_LOG(WARNING) << "expiry flush failed for " << job_id << "/"
+                           << name << ": " << st;
+        continue;
+      }
+      node->expired = true;
+      reclaimed++;
+    }
+  }
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.expiry_scans++;
+  stats_.prefixes_expired += reclaimed;
+  return reclaimed;
+}
+
+void Controller::ReleaseBlockLocked(BlockId id) {
+  if (hooks_ != nullptr && hooks_->IsBlockLive(id)) {
+    hooks_->ResetBlock(id);
+  }
+  allocator_->Free(id);
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.blocks_reclaimed++;
+}
+
+Status Controller::FillReplicasLocked(TaskNode* node, PartitionEntry* entry,
+                                      const std::string& job,
+                                      const std::string& prefix,
+                                      bool copy_primary) {
+  while (1 + entry->replicas.size() < node->replication_factor) {
+    // Spread the chain across servers: avoid every server the entry already
+    // touches.
+    std::vector<uint32_t> avoid = {entry->block.server_id};
+    for (const BlockId& r : entry->replicas) {
+      avoid.push_back(r.server_id);
+    }
+    JIFFY_ASSIGN_OR_RETURN(
+        BlockId replica,
+        allocator_->AllocateAvoiding(OwnerTag(job, prefix), avoid));
+    Status st = Status::Ok();
+    if (hooks_ != nullptr) {
+      if (copy_primary) {
+        auto data = hooks_->SerializeBlock(entry->block);
+        if (data.ok()) {
+          st = hooks_->RestoreBlock(replica, node->partition.type, *data,
+                                    entry->lo, entry->hi, job, prefix,
+                                    node->partition.custom_type);
+        } else {
+          st = data.status();
+        }
+      } else {
+        st = hooks_->InitBlock(replica, node->partition.type, entry->lo,
+                               entry->hi, job, prefix,
+                               node->partition.custom_type);
+      }
+    }
+    if (!st.ok()) {
+      allocator_->Free(replica);
+      return st;
+    }
+    entry->replicas.push_back(replica);
+    node->blocks_ever_allocated++;
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.blocks_allocated++;
+  }
+  return Status::Ok();
+}
+
+Status Controller::FlushNodeLocked(JobHierarchy* hier, TaskNode* node,
+                                   const std::string& external_path,
+                                   bool evict) {
+  (void)hier;
+  if (!node->has_ds) {
+    return Status::Ok();  // Nothing stored under this prefix.
+  }
+  for (size_t i = 0; i < node->partition.entries.size(); ++i) {
+    const PartitionEntry& entry = node->partition.entries[i];
+    std::string data;
+    if (hooks_ != nullptr && backing_ != nullptr) {
+      // Serialize from the primary, falling back to a live replica when the
+      // primary's server failed.
+      BlockId source = entry.block;
+      if (!hooks_->IsBlockLive(source)) {
+        bool found = false;
+        for (const BlockId& r : entry.replicas) {
+          if (hooks_->IsBlockLive(r)) {
+            source = r;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Unavailable("no live replica to flush for block " +
+                             entry.block.ToString());
+        }
+      }
+      auto ser = hooks_->SerializeBlock(source);
+      if (!ser.ok()) {
+        return ser.status();
+      }
+      data = std::move(*ser);
+      // Record entry metadata alongside so LoadAddrPrefix can rebuild the
+      // partition map: "<lo> <hi>\n<payload>".
+      std::string object = std::to_string(entry.lo) + " " +
+                           std::to_string(entry.hi) + "\n" + data;
+      JIFFY_RETURN_IF_ERROR(
+          backing_->Put(external_path + "/" + std::to_string(i),
+                        std::move(object)));
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.bytes_flushed += data.size();
+    }
+    if (evict) {
+      ReleaseBlockLocked(entry.block);
+      for (const BlockId& r : entry.replicas) {
+        ReleaseBlockLocked(r);
+      }
+    }
+  }
+  if (evict) {
+    node->partition.entries.clear();
+    node->partition.version++;
+  }
+  return Status::Ok();
+}
+
+Result<PartitionMap> Controller::InitDataStructure(
+    const std::string& job, const std::string& prefix, DsType type,
+    uint64_t initial_capacity_bytes, const std::string& custom_type) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  if (node->has_ds) {
+    return AlreadyExists("data structure already initialized under '" +
+                         prefix + "'");
+  }
+  uint32_t initial_blocks = static_cast<uint32_t>(
+      (initial_capacity_bytes + config_.block_size_bytes - 1) /
+      config_.block_size_bytes);
+  initial_blocks = std::max<uint32_t>(initial_blocks, 1);
+
+  JIFFY_ASSIGN_OR_RETURN(
+      std::vector<BlockId> blocks,
+      allocator_->AllocateN(OwnerTag(job, prefix), initial_blocks));
+
+  PartitionMap map;
+  map.type = type;
+  map.version = 1;
+  for (uint32_t i = 0; i < initial_blocks; ++i) {
+    PartitionEntry entry;
+    entry.block = blocks[i];
+    switch (type) {
+      case DsType::kFile:
+        entry.lo = static_cast<uint64_t>(i) * config_.block_size_bytes;
+        entry.hi = entry.lo + config_.block_size_bytes;
+        break;
+      case DsType::kQueue:
+        entry.lo = i;  // Segment index.
+        entry.hi = i;
+        break;
+      case DsType::kKvStore: {
+        // Even slot split across the initial blocks.
+        const uint64_t slots = config_.kv_hash_slots;
+        entry.lo = slots * i / initial_blocks;
+        entry.hi = slots * (i + 1) / initial_blocks;
+        break;
+      }
+      case DsType::kCustom:
+        // Custom structures interpret [lo, hi) themselves; default to file-
+        // style contiguous ranges.
+        entry.lo = static_cast<uint64_t>(i) * config_.block_size_bytes;
+        entry.hi = entry.lo + config_.block_size_bytes;
+        break;
+    }
+    if (hooks_ != nullptr) {
+      JIFFY_RETURN_IF_ERROR(hooks_->InitBlock(entry.block, type, entry.lo,
+                                              entry.hi, job, prefix,
+                                              custom_type));
+    }
+    node->partition.type = type;  // FillReplicas reads the DS type.
+    node->partition.custom_type = custom_type;
+    JIFFY_RETURN_IF_ERROR(
+        FillReplicasLocked(node, &entry, job, prefix, /*copy_primary=*/false));
+    map.entries.push_back(entry);
+  }
+  map.persist_writes = node->persist_writes;
+  map.custom_type = custom_type;
+  node->has_ds = true;
+  node->partition = map;
+  node->blocks_ever_allocated += initial_blocks;
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.blocks_allocated += initial_blocks;
+  }
+  return map;
+}
+
+Result<PartitionMap> Controller::GetPartitionMap(const std::string& job,
+                                                 const std::string& prefix) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  if (!node->has_ds) {
+    return FailedPrecondition("no data structure under '" + prefix + "'");
+  }
+  if (node->expired) {
+    return LeaseExpired("prefix '" + prefix +
+                        "' expired; data is on persistent storage");
+  }
+  return node->partition;
+}
+
+Result<BlockId> Controller::AddBlock(const std::string& job,
+                                     const std::string& prefix, uint64_t lo,
+                                     uint64_t hi) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  if (!node->has_ds) {
+    return FailedPrecondition("no data structure under '" + prefix + "'");
+  }
+  JIFFY_ASSIGN_OR_RETURN(BlockId id,
+                         allocator_->Allocate(OwnerTag(job, prefix)));
+  if (hooks_ != nullptr) {
+    Status st = hooks_->InitBlock(id, node->partition.type, lo, hi, job,
+                                  prefix, node->partition.custom_type);
+    if (!st.ok()) {
+      allocator_->Free(id);
+      return st;
+    }
+  }
+  PartitionEntry entry;
+  entry.block = id;
+  entry.lo = lo;
+  entry.hi = hi;
+  JIFFY_RETURN_IF_ERROR(
+      FillReplicasLocked(node, &entry, job, prefix, /*copy_primary=*/false));
+  node->partition.entries.push_back(entry);
+  node->partition.version++;
+  node->blocks_ever_allocated++;
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.blocks_allocated++;
+    stats_.overload_signals++;
+  }
+  return id;
+}
+
+Result<BlockId> Controller::AddBlockIfTail(const std::string& job,
+                                           const std::string& prefix,
+                                           BlockId expected_tail, uint64_t lo,
+                                           uint64_t hi) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+    if (!node->has_ds) {
+      return FailedPrecondition("no data structure under '" + prefix + "'");
+    }
+    if (node->partition.entries.empty() ||
+        node->partition.entries.back().block != expected_tail) {
+      return FailedPrecondition("tail moved: another client already grew '" +
+                                prefix + "'");
+    }
+  }
+  // The check and the append race only with other AddBlockIfTail calls on
+  // the same prefix, which the per-DS scaling guard already serializes.
+  return AddBlock(job, prefix, lo, hi);
+}
+
+Status Controller::UpdateEntryRange(const std::string& job,
+                                    const std::string& prefix, BlockId block,
+                                    uint64_t lo, uint64_t hi) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  for (auto& entry : node->partition.entries) {
+    if (entry.block == block) {
+      entry.lo = lo;
+      entry.hi = hi;
+      node->partition.version++;
+      return Status::Ok();
+    }
+  }
+  return NotFound("block " + block.ToString() + " is not mapped under '" +
+                  prefix + "'");
+}
+
+Status Controller::RemoveBlock(const std::string& job,
+                               const std::string& prefix, BlockId block) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  auto& entries = node->partition.entries;
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [&](const PartitionEntry& e) { return e.block == block; });
+  if (it == entries.end()) {
+    return NotFound("block " + block.ToString() + " is not mapped under '" +
+                    prefix + "'");
+  }
+  const std::vector<BlockId> replicas = it->replicas;
+  entries.erase(it);
+  node->partition.version++;
+  ReleaseBlockLocked(block);
+  for (const BlockId& r : replicas) {
+    ReleaseBlockLocked(r);
+  }
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.underload_signals++;
+  return Status::Ok();
+}
+
+Status Controller::PrepareForLoad(const std::string& job,
+                                  const std::string& prefix, DsType type) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  if (node->has_ds) {
+    return AlreadyExists("data structure already initialized under '" +
+                         prefix + "'");
+  }
+  node->has_ds = true;
+  node->partition.type = type;
+  node->partition.version = 1;
+  // Block-less until LoadAddrPrefix restores the flushed contents; mark the
+  // prefix expired so reads fail with kLeaseExpired rather than routing
+  // into an empty map.
+  node->expired = true;
+  return Status::Ok();
+}
+
+Result<BlockId> Controller::AllocateUnmapped(const std::string& job,
+                                             const std::string& prefix,
+                                             uint64_t lo, uint64_t hi) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  if (!node->has_ds) {
+    return FailedPrecondition("no data structure under '" + prefix + "'");
+  }
+  JIFFY_ASSIGN_OR_RETURN(BlockId id,
+                         allocator_->Allocate(OwnerTag(job, prefix)));
+  if (hooks_ != nullptr) {
+    Status st = hooks_->InitBlock(id, node->partition.type, lo, hi, job,
+                                  prefix, node->partition.custom_type);
+    if (!st.ok()) {
+      allocator_->Free(id);
+      return st;
+    }
+  }
+  node->blocks_ever_allocated++;
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.blocks_allocated++;
+  }
+  return id;
+}
+
+Status Controller::CommitSplit(const std::string& job,
+                               const std::string& prefix, BlockId old_block,
+                               uint64_t old_lo, uint64_t old_hi,
+                               const PartitionEntry& new_entry) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  bool found = false;
+  for (auto& entry : node->partition.entries) {
+    if (entry.block == old_block) {
+      entry.lo = old_lo;
+      entry.hi = old_hi;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return NotFound("split source block " + old_block.ToString() +
+                    " is not mapped under '" + prefix + "'");
+  }
+  node->partition.entries.push_back(new_entry);
+  node->partition.version++;
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.overload_signals++;
+  return Status::Ok();
+}
+
+Status Controller::CommitMerge(const std::string& job,
+                               const std::string& prefix, BlockId removed,
+                               BlockId sibling, uint64_t sib_lo,
+                               uint64_t sib_hi) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  auto& entries = node->partition.entries;
+  auto rit = std::find_if(entries.begin(), entries.end(),
+                          [&](const PartitionEntry& e) { return e.block == removed; });
+  if (rit == entries.end()) {
+    return NotFound("merge source block " + removed.ToString() +
+                    " is not mapped under '" + prefix + "'");
+  }
+  bool found = false;
+  for (auto& entry : entries) {
+    if (entry.block == sibling) {
+      entry.lo = sib_lo;
+      entry.hi = sib_hi;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return NotFound("merge sibling block " + sibling.ToString() +
+                    " is not mapped under '" + prefix + "'");
+  }
+  const std::vector<BlockId> removed_replicas = rit->replicas;
+  entries.erase(std::find_if(entries.begin(), entries.end(),
+                             [&](const PartitionEntry& e) {
+                               return e.block == removed;
+                             }));
+  node->partition.version++;
+  ReleaseBlockLocked(removed);
+  for (const BlockId& r : removed_replicas) {
+    ReleaseBlockLocked(r);
+  }
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.underload_signals++;
+  return Status::Ok();
+}
+
+Status Controller::AbortUnmapped(BlockId block) {
+  ChargeOp();
+  if (hooks_ != nullptr) {
+    JIFFY_RETURN_IF_ERROR(hooks_->ResetBlock(block));
+  }
+  return allocator_->Free(block);
+}
+
+Status Controller::SetQueueHead(const std::string& job,
+                                const std::string& prefix,
+                                uint32_t head_index) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  if (node->partition.type != DsType::kQueue) {
+    return FailedPrecondition("'" + prefix + "' is not a queue");
+  }
+  node->partition.queue_head = head_index;
+  node->partition.version++;
+  return Status::Ok();
+}
+
+Status Controller::FlushAddrPrefix(const std::string& job,
+                                   const std::string& prefix,
+                                   const std::string& external_path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, hier->GetNode(prefix));
+  return FlushNodeLocked(hier, node, external_path, /*evict=*/false);
+}
+
+Status Controller::LoadAddrPrefix(const std::string& job,
+                                  const std::string& prefix,
+                                  const std::string& external_path) {
+  ChargeOp();
+  if (backing_ == nullptr || hooks_ == nullptr) {
+    return FailedPrecondition("no persistent backing configured");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  if (!node->has_ds) {
+    return FailedPrecondition("no data structure under '" + prefix + "'");
+  }
+  if (!node->partition.entries.empty()) {
+    return FailedPrecondition("prefix '" + prefix +
+                              "' already has in-memory blocks");
+  }
+  const std::vector<std::string> objects = backing_->List(external_path + "/");
+  if (objects.empty()) {
+    return NotFound("nothing flushed at '" + external_path + "'");
+  }
+  for (const auto& obj_path : objects) {
+    JIFFY_ASSIGN_OR_RETURN(std::string object, backing_->Get(obj_path));
+    // Parse "<lo> <hi>\n<payload>".
+    const size_t nl = object.find('\n');
+    if (nl == std::string::npos) {
+      return Internal("corrupt flushed object at '" + obj_path + "'");
+    }
+    uint64_t lo = 0, hi = 0;
+    if (sscanf(object.c_str(), "%lu %lu", &lo, &hi) != 2) {
+      return Internal("corrupt flushed header at '" + obj_path + "'");
+    }
+    const std::string payload = object.substr(nl + 1);
+    JIFFY_ASSIGN_OR_RETURN(BlockId id,
+                           allocator_->Allocate(OwnerTag(job, prefix)));
+    Status st = hooks_->RestoreBlock(id, node->partition.type, payload, lo, hi,
+                                     job, prefix, node->partition.custom_type);
+    if (!st.ok()) {
+      allocator_->Free(id);
+      return st;
+    }
+    node->partition.entries.push_back(PartitionEntry{id, lo, hi});
+    node->blocks_ever_allocated++;
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.blocks_allocated++;
+  }
+  node->partition.version++;
+  node->expired = false;
+  node->lease_renewed_at = clock_->Now();
+  return Status::Ok();
+}
+
+Status Controller::RepairEntry(const std::string& job,
+                               const std::string& prefix, BlockId hint) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  for (auto& entry : node->partition.entries) {
+    bool match = entry.block == hint;
+    for (const BlockId& r : entry.replicas) {
+      match |= r == hint;
+    }
+    if (!match) {
+      continue;
+    }
+    // Collect the live chain in order (primary first).
+    std::vector<BlockId> live;
+    if (hooks_ == nullptr || hooks_->IsBlockLive(entry.block)) {
+      live.push_back(entry.block);
+    }
+    for (const BlockId& r : entry.replicas) {
+      if (hooks_ == nullptr || hooks_->IsBlockLive(r)) {
+        live.push_back(r);
+      }
+    }
+    if (live.empty()) {
+      return Unavailable("all replicas of block " + entry.block.ToString() +
+                         " lost; reload '" + prefix +
+                         "' from persistent storage");
+    }
+    if (live.size() == 1 + entry.replicas.size() && live[0] == entry.block) {
+      return Status::Ok();  // Nothing dead; spurious repair request.
+    }
+    entry.block = live.front();
+    entry.replicas.assign(live.begin() + 1, live.end());
+    node->partition.version++;
+    return Status::Ok();
+  }
+  return NotFound("no partition entry contains block " + hint.ToString() +
+                  " under '" + prefix + "'");
+}
+
+Result<uint32_t> Controller::ReReplicate(const std::string& job,
+                                         const std::string& prefix) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  uint32_t created = 0;
+  bool changed = false;
+  for (auto& entry : node->partition.entries) {
+    // First drop dead chain members (a dead primary may linger when reads
+    // kept succeeding off the tail and no write forced a failover).
+    std::vector<BlockId> live;
+    if (hooks_ == nullptr || hooks_->IsBlockLive(entry.block)) {
+      live.push_back(entry.block);
+    }
+    for (const BlockId& r : entry.replicas) {
+      if (hooks_ == nullptr || hooks_->IsBlockLive(r)) {
+        live.push_back(r);
+      }
+    }
+    if (live.empty()) {
+      return Unavailable("all replicas of block " + entry.block.ToString() +
+                         " lost; reload '" + prefix +
+                         "' from persistent storage");
+    }
+    if (live.size() != 1 + entry.replicas.size() || live[0] != entry.block) {
+      entry.block = live.front();
+      entry.replicas.assign(live.begin() + 1, live.end());
+      changed = true;
+    }
+    const size_t before = entry.replicas.size();
+    JIFFY_RETURN_IF_ERROR(
+        FillReplicasLocked(node, &entry, job, prefix, /*copy_primary=*/true));
+    created += static_cast<uint32_t>(entry.replicas.size() - before);
+  }
+  if (created > 0 || changed) {
+    node->partition.version++;
+  }
+  return created;
+}
+
+void Controller::MarkServerDead(uint32_t server_id) {
+  ChargeOp();
+  allocator_->MarkServerDead(server_id);
+}
+
+Result<PartitionMap> Controller::GetPartitionMapAs(const std::string& principal,
+                                                   const std::string& job,
+                                                   const std::string& prefix,
+                                                   bool for_write) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+    if (principal != node->perms.owner &&
+        (for_write ? !node->perms.world_writable
+                   : !node->perms.world_readable)) {
+      return PermissionDenied("principal '" + principal + "' may not " +
+                              (for_write ? "write" : "read") + " '" + prefix +
+                              "' of job " + node->perms.owner);
+    }
+  }
+  return GetPartitionMap(job, prefix);
+}
+
+std::string Controller::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  PutU32(&out, 1);  // Snapshot format version.
+  PutU32(&out, static_cast<uint32_t>(jobs_.size()));
+  for (const auto& [job_id, hier] : jobs_) {
+    PutString(&out, job_id);
+    const auto names = hier->NodeNames();
+    PutU32(&out, static_cast<uint32_t>(names.size()));
+    for (const auto& name : names) {
+      auto node_r = const_cast<JobHierarchy*>(hier.get())->GetNode(name);
+      const TaskNode* node = *node_r;
+      PutString(&out, node->name);
+      PutU32(&out, static_cast<uint32_t>(node->parents.size()));
+      for (const auto& p : node->parents) {
+        PutString(&out, p);
+      }
+      PutU64(&out, static_cast<uint64_t>(node->lease_renewed_at));
+      PutU64(&out, static_cast<uint64_t>(node->lease_duration));
+      PutU32(&out, (node->expired ? 1u : 0u) | (node->has_ds ? 2u : 0u) |
+                       (node->persist_writes ? 4u : 0u) |
+                       (node->perms.world_readable ? 8u : 0u) |
+                       (node->perms.world_writable ? 16u : 0u));
+      PutU32(&out, node->replication_factor);
+      PutString(&out, node->perms.owner);
+      // Partition map.
+      PutU64(&out, node->partition.version);
+      PutU32(&out, static_cast<uint32_t>(node->partition.type));
+      PutString(&out, node->partition.custom_type);
+      PutU32(&out, static_cast<uint32_t>(node->partition.entries.size()));
+      for (const auto& entry : node->partition.entries) {
+        PutU64(&out, entry.block.Packed());
+        PutU64(&out, entry.lo);
+        PutU64(&out, entry.hi);
+        PutU32(&out, static_cast<uint32_t>(entry.replicas.size()));
+        for (const BlockId& r : entry.replicas) {
+          PutU64(&out, r.Packed());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status Controller::Restore(const std::string& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!jobs_.empty()) {
+    return FailedPrecondition(
+        "Restore requires a fresh standby controller (jobs present)");
+  }
+  SerdeReader reader(snapshot);
+  JIFFY_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != 1) {
+    return InvalidArgument("unknown snapshot version " +
+                           std::to_string(version));
+  }
+  JIFFY_ASSIGN_OR_RETURN(uint32_t num_jobs, reader.ReadU32());
+  for (uint32_t j = 0; j < num_jobs; ++j) {
+    JIFFY_ASSIGN_OR_RETURN(std::string job_id, reader.ReadString());
+    auto hier = std::make_unique<JobHierarchy>(job_id, clock_->Now(),
+                                               config_.lease_duration,
+                                               config_.lease_propagation);
+    JIFFY_ASSIGN_OR_RETURN(uint32_t num_nodes, reader.ReadU32());
+    // First pass data, applied in dependency order below.
+    struct NodeRec {
+      std::string name;
+      std::vector<std::string> parents;
+      TimeNs renewed;
+      DurationNs lease;
+      uint32_t flags;
+      uint32_t replication;
+      std::string owner;
+      PartitionMap partition;
+    };
+    std::vector<NodeRec> recs;
+    recs.reserve(num_nodes);
+    for (uint32_t n = 0; n < num_nodes; ++n) {
+      NodeRec rec;
+      JIFFY_ASSIGN_OR_RETURN(rec.name, reader.ReadString());
+      JIFFY_ASSIGN_OR_RETURN(uint32_t num_parents, reader.ReadU32());
+      for (uint32_t p = 0; p < num_parents; ++p) {
+        JIFFY_ASSIGN_OR_RETURN(std::string parent, reader.ReadString());
+        rec.parents.push_back(std::move(parent));
+      }
+      JIFFY_ASSIGN_OR_RETURN(uint64_t renewed, reader.ReadU64());
+      JIFFY_ASSIGN_OR_RETURN(uint64_t lease, reader.ReadU64());
+      rec.renewed = static_cast<TimeNs>(renewed);
+      rec.lease = static_cast<DurationNs>(lease);
+      JIFFY_ASSIGN_OR_RETURN(rec.flags, reader.ReadU32());
+      JIFFY_ASSIGN_OR_RETURN(rec.replication, reader.ReadU32());
+      JIFFY_ASSIGN_OR_RETURN(rec.owner, reader.ReadString());
+      JIFFY_ASSIGN_OR_RETURN(rec.partition.version, reader.ReadU64());
+      JIFFY_ASSIGN_OR_RETURN(uint32_t type, reader.ReadU32());
+      rec.partition.type = static_cast<DsType>(type);
+      JIFFY_ASSIGN_OR_RETURN(rec.partition.custom_type, reader.ReadString());
+      rec.partition.persist_writes = (rec.flags & 4u) != 0;
+      JIFFY_ASSIGN_OR_RETURN(uint32_t num_entries, reader.ReadU32());
+      for (uint32_t e = 0; e < num_entries; ++e) {
+        PartitionEntry entry;
+        JIFFY_ASSIGN_OR_RETURN(uint64_t packed, reader.ReadU64());
+        entry.block = BlockId::FromPacked(packed);
+        JIFFY_ASSIGN_OR_RETURN(entry.lo, reader.ReadU64());
+        JIFFY_ASSIGN_OR_RETURN(entry.hi, reader.ReadU64());
+        JIFFY_ASSIGN_OR_RETURN(uint32_t num_replicas, reader.ReadU32());
+        for (uint32_t r = 0; r < num_replicas; ++r) {
+          JIFFY_ASSIGN_OR_RETURN(uint64_t rpacked, reader.ReadU64());
+          entry.replicas.push_back(BlockId::FromPacked(rpacked));
+        }
+        rec.partition.entries.push_back(std::move(entry));
+      }
+      recs.push_back(std::move(rec));
+    }
+    // Insert nodes in dependency order (a node's parents first).
+    std::vector<std::pair<std::string, std::vector<std::string>>> dag;
+    dag.reserve(recs.size());
+    for (const NodeRec& rec : recs) {
+      dag.emplace_back(rec.name, rec.parents);
+    }
+    JIFFY_RETURN_IF_ERROR(hier->CreateFromDag(dag, clock_->Now(), 0));
+    for (NodeRec& rec : recs) {
+      JIFFY_ASSIGN_OR_RETURN(TaskNode * node, hier->GetNode(rec.name));
+      node->lease_renewed_at = rec.renewed;
+      node->lease_duration = rec.lease;
+      node->expired = (rec.flags & 1u) != 0;
+      node->has_ds = (rec.flags & 2u) != 0;
+      node->persist_writes = (rec.flags & 4u) != 0;
+      node->perms.world_readable = (rec.flags & 8u) != 0;
+      node->perms.world_writable = (rec.flags & 16u) != 0;
+      node->replication_factor = rec.replication;
+      node->perms.owner = rec.owner;
+      node->partition = std::move(rec.partition);
+    }
+    jobs_.emplace(job_id, std::move(hier));
+  }
+  return Status::Ok();
+}
+
+ControllerStats Controller::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+Result<size_t> Controller::JobMetadataBytes(const std::string& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
+  return hier->MetadataBytes();
+}
+
+Result<bool> Controller::IsExpired(const std::string& job,
+                                   const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  return node->expired;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,339 @@
+// Jiffy unified control plane (§4.2.1, Fig 7).
+//
+// One Controller instance is one shard: it owns the address hierarchies of
+// the jobs hashed to it, performs block allocation against the (shared)
+// free-block list, tracks partition metadata for every data structure, and
+// runs lease bookkeeping. Multiple shards scale the control plane across
+// cores/servers by hash-partitioning jobs (Fig 12(b)); shards share the
+// BlockAllocator, which is the only cross-shard state.
+//
+// The data plane is reached through DataPlaneHooks so the controller never
+// touches block contents directly — mirroring the paper's controller, which
+// only exchanges signals and block addresses with memory servers (Fig 8).
+
+#ifndef SRC_CORE_CONTROLLER_H_
+#define SRC_CORE_CONTROLLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/config.h"
+#include "src/common/status.h"
+#include "src/core/allocator.h"
+#include "src/core/hierarchy.h"
+#include "src/persistent/persistent_store.h"
+
+namespace jiffy {
+
+// Controller → data plane callbacks. Implemented by the cluster assembly
+// (src/cluster/), which knows how to reach MemoryServers and how each data
+// structure initializes / serializes / restores block content.
+class DataPlaneHooks {
+ public:
+  virtual ~DataPlaneHooks() = default;
+
+  // Installs fresh content of `type` into block `id`, owning responsibility
+  // range [lo, hi) (file offsets / queue segment index / KV hash slots).
+  // `custom_type` names the registered implementation when type == kCustom.
+  virtual Status InitBlock(BlockId id, DsType type, uint64_t lo, uint64_t hi,
+                           const std::string& job, const std::string& prefix,
+                           const std::string& custom_type = "") = 0;
+
+  // Serializes block content for flushing to persistent storage.
+  virtual Result<std::string> SerializeBlock(BlockId id) = 0;
+
+  // Restores serialized content into a freshly allocated block.
+  virtual Status RestoreBlock(BlockId id, DsType type,
+                              const std::string& data, uint64_t lo,
+                              uint64_t hi, const std::string& job,
+                              const std::string& prefix,
+                              const std::string& custom_type = "") = 0;
+
+  // Drops content and marks the block unallocated.
+  virtual Status ResetBlock(BlockId id) = 0;
+
+  // True when the block's memory server is reachable. Default: always live
+  // (control-plane-only tests).
+  virtual bool IsBlockLive(BlockId id) {
+    (void)id;
+    return true;
+  }
+};
+
+// Options for createAddrPrefix (Table 1 optionalArgs).
+struct CreateOptions {
+  // When set, a data structure is initialized immediately.
+  bool init_ds = false;
+  DsType ds_type = DsType::kFile;
+  // Initial capacity in bytes; rounded up to whole blocks, min 1 block.
+  uint64_t initial_capacity_bytes = 0;
+  // Per-prefix lease override; 0 = system default.
+  DurationNs lease_duration = 0;
+  // Chain replication factor for this prefix's blocks (§4.2.2); 1 = off.
+  uint32_t replication_factor = 1;
+  // Synchronously persist every committed write to the external store
+  // (§4.2.2), at address-prefix granularity.
+  bool persist_writes = false;
+  // Access control (Fig 7 "permissions"): restrict reads/writes to the
+  // owning job's clients.
+  bool world_readable = true;
+  bool world_writable = true;
+  // Registered implementation name when ds_type == kCustom.
+  std::string custom_type;
+};
+
+struct ControllerStats {
+  uint64_t ops = 0;                // Control-plane requests served.
+  uint64_t lease_renewals = 0;     // Renewal requests (not fan-out count).
+  uint64_t expiry_scans = 0;
+  uint64_t prefixes_expired = 0;
+  uint64_t blocks_reclaimed = 0;
+  uint64_t blocks_allocated = 0;   // Cumulative.
+  uint64_t bytes_flushed = 0;      // To persistent storage on expiry/flush.
+  uint64_t overload_signals = 0;   // Fig 8 scale-up signals handled.
+  uint64_t underload_signals = 0;
+};
+
+class Controller {
+ public:
+  // `allocator` is shared across shards; `hooks` and `backing` (persistent
+  // store used on lease expiry and flushAddrPrefix) must outlive the
+  // controller. `hooks` may be null in control-plane-only tests.
+  Controller(const JiffyConfig& config, Clock* clock,
+             std::shared_ptr<BlockAllocator> allocator, DataPlaneHooks* hooks,
+             PersistentStore* backing);
+
+  // --- Job lifecycle ------------------------------------------------------
+
+  Status RegisterJob(const std::string& job_id);
+  // Releases all blocks and metadata of the job.
+  Status DeregisterJob(const std::string& job_id);
+  bool HasJob(const std::string& job_id) const;
+
+  // --- Address hierarchy (Table 1) ----------------------------------------
+
+  // Creates prefix `name` under `parents` in `job` (empty parents = root).
+  Status CreateAddrPrefix(const std::string& job, const std::string& name,
+                          const std::vector<std::string>& parents,
+                          const CreateOptions& opts = {});
+
+  // Creates the whole hierarchy from an execution DAG (task, parents) list.
+  Status CreateHierarchy(
+      const std::string& job,
+      const std::vector<std::pair<std::string, std::vector<std::string>>>& dag,
+      const CreateOptions& opts = {});
+
+  // Resolves a full path ("/job/T1/T5" etc.) to its job + node name,
+  // validating DAG edges. Exposed for the client library.
+  Status ValidatePath(const AddressPath& path);
+
+  // --- Leases (§3.2) --------------------------------------------------------
+
+  Result<DurationNs> GetLeaseDuration(const std::string& job,
+                                      const std::string& prefix);
+  // Renews `prefix` plus immediate parents and all descendants (Fig 5);
+  // returns how many prefixes were renewed by this one request.
+  Result<uint64_t> RenewLease(const std::string& job,
+                              const std::string& prefix);
+
+  // One pass of the lease expiry worker: flushes and reclaims every prefix
+  // whose lease has lapsed. Returns the number of prefixes reclaimed.
+  // Driven by a LeaseExpiryWorker thread (real time) or directly by
+  // trace-replay benches (virtual time).
+  uint64_t RunExpiryScan();
+
+  // --- Data structures & partition metadata --------------------------------
+
+  // Initializes a data structure under `prefix` and returns its block map.
+  // `custom_type` selects the registered implementation for kCustom.
+  Result<PartitionMap> InitDataStructure(const std::string& job,
+                                         const std::string& prefix,
+                                         DsType type,
+                                         uint64_t initial_capacity_bytes = 0,
+                                         const std::string& custom_type = "");
+
+  // Current block map (clients call this on kStaleMetadata).
+  Result<PartitionMap> GetPartitionMap(const std::string& job,
+                                       const std::string& prefix);
+
+  // Marks `prefix` as holding a data structure of `type` without allocating
+  // any blocks — the shape LoadAddrPrefix expects when restoring a flushed
+  // checkpoint into a fresh job (e.g. Piccolo restore, §5.3).
+  Status PrepareForLoad(const std::string& job, const std::string& prefix,
+                        DsType type);
+
+  // Scale-up path (Fig 8): allocates a block for [lo, hi), initializes it at
+  // the data plane, appends a partition entry, bumps the map version.
+  Result<BlockId> AddBlock(const std::string& job, const std::string& prefix,
+                           uint64_t lo, uint64_t hi);
+
+  // Tail-conditional variant for append-style structures (queue/file):
+  // fails with kFailedPrecondition when the current tail is no longer
+  // `expected_tail` — i.e. another client already grew the structure — so
+  // stale clients can never append a duplicate tail.
+  Result<BlockId> AddBlockIfTail(const std::string& job,
+                                 const std::string& prefix,
+                                 BlockId expected_tail, uint64_t lo,
+                                 uint64_t hi);
+
+  // Shrinks/extends an existing entry's responsibility range (used by KV
+  // split: the overloaded block hands the upper half of its slots to the new
+  // block). Bumps version.
+  Status UpdateEntryRange(const std::string& job, const std::string& prefix,
+                          BlockId block, uint64_t lo, uint64_t hi);
+
+  // Scale-down path: removes the entry, resets and frees the block.
+  Status RemoveBlock(const std::string& job, const std::string& prefix,
+                     BlockId block);
+
+  // Two-phase repartitioning used by the KV split/merge (§3.3, Fig 8). The
+  // new block is allocated and initialized but NOT yet published in the
+  // partition map, so clients never route to it before its data arrives;
+  // once the overloaded block has moved the affected pairs, CommitSplit
+  // publishes the new ownership in a single version bump.
+  Result<BlockId> AllocateUnmapped(const std::string& job,
+                                   const std::string& prefix, uint64_t lo,
+                                   uint64_t hi);
+  // Atomically shrinks `old_block`'s range to [old_lo, old_hi) and maps
+  // `new_entry`.
+  Status CommitSplit(const std::string& job, const std::string& prefix,
+                     BlockId old_block, uint64_t old_lo, uint64_t old_hi,
+                     const PartitionEntry& new_entry);
+  // Atomically unmaps `removed` (resetting + freeing it) and extends
+  // `sibling` to [sib_lo, sib_hi).
+  Status CommitMerge(const std::string& job, const std::string& prefix,
+                     BlockId removed, BlockId sibling, uint64_t sib_lo,
+                     uint64_t sib_hi);
+  // Releases a block obtained via AllocateUnmapped when the move fails.
+  Status AbortUnmapped(BlockId block);
+
+  // --- Replication & fault handling (§4.2.2) --------------------------------
+
+  // Repairs the partition entry containing `hint` after a memory-server
+  // failure: the first live block in chain order becomes the primary, dead
+  // blocks are dropped from the chain, and the map version bumps. Returns
+  // kUnavailable when no replica of the entry survived (the data must be
+  // reloaded from the persistent tier).
+  Status RepairEntry(const std::string& job, const std::string& prefix,
+                     BlockId hint);
+
+  // Restores each entry of `prefix` to its configured replication factor by
+  // allocating fresh replicas and copying the primary's content. Returns
+  // the number of replicas created.
+  Result<uint32_t> ReReplicate(const std::string& job,
+                               const std::string& prefix);
+
+  // Marks a memory server dead: its free blocks leave the pool and future
+  // placements avoid it.
+  void MarkServerDead(uint32_t server_id);
+
+  // --- Access control (Fig 7) ------------------------------------------------
+
+  // Enforced on data-plane metadata fetches: `principal` is the job id the
+  // client authenticated as.
+  Result<PartitionMap> GetPartitionMapAs(const std::string& principal,
+                                         const std::string& job,
+                                         const std::string& prefix,
+                                         bool for_write);
+
+  // Queue-only: advances the head segment index after a segment drains.
+  Status SetQueueHead(const std::string& job, const std::string& prefix,
+                      uint32_t head_index);
+
+  // --- Flush / load (Table 1) ----------------------------------------------
+
+  // Serializes the prefix's blocks to `external_path` on the backing store
+  // (blocks stay allocated — this is a checkpoint, not an eviction).
+  Status FlushAddrPrefix(const std::string& job, const std::string& prefix,
+                         const std::string& external_path);
+
+  // Loads a previously flushed/expired prefix back into freshly allocated
+  // memory blocks and revives its lease.
+  Status LoadAddrPrefix(const std::string& job, const std::string& prefix,
+                        const std::string& external_path);
+
+  // --- Fault tolerance (§4.2.1) ----------------------------------------------
+  //
+  // The paper adopts primary-backup mechanisms from prior work at each
+  // controller server. Here that is realized as full-state checkpointing:
+  // Snapshot() serializes every job hierarchy (nodes, leases, permissions,
+  // partition maps with replica chains); Restore() rebuilds an empty
+  // standby controller to the exact same state against the SAME data plane
+  // — no blocks move, only metadata. A primary can stream snapshots to its
+  // backup (e.g. per lease-scan period), and the backup promotes by simply
+  // starting to serve.
+
+  // Serializes the complete control-plane state.
+  std::string Snapshot() const;
+
+  // Rebuilds state from a snapshot. Precondition: no jobs registered yet
+  // (fresh standby). Does not touch the data plane.
+  Status Restore(const std::string& snapshot);
+
+  // --- Introspection --------------------------------------------------------
+
+  ControllerStats Stats() const;
+  // Bytes of control-plane metadata for `job` (§6.4 accounting).
+  Result<size_t> JobMetadataBytes(const std::string& job);
+  uint32_t AllocatedBlocks() const { return allocator_->allocated_count(); }
+  std::shared_ptr<BlockAllocator> allocator() { return allocator_; }
+  const JiffyConfig& config() const { return config_; }
+
+  // Is `prefix`'s lease currently expired (data on persistent tier)?
+  Result<bool> IsExpired(const std::string& job, const std::string& prefix);
+
+ private:
+  // Emulates per-request control-plane service time when configured
+  // (busy-wait, so multi-shard throughput scaling is CPU-bound as in Fig 12).
+  void ChargeOp();
+
+  Result<JobHierarchy*> GetJobLocked(const std::string& job);
+  Result<TaskNode*> GetNodeLocked(const std::string& job,
+                                  const std::string& prefix);
+
+  // Flush + reclaim one node (lock held). `evict` controls whether blocks
+  // are freed (lease expiry) or kept (explicit flush).
+  Status FlushNodeLocked(JobHierarchy* hier, TaskNode* node,
+                         const std::string& external_path, bool evict);
+
+  // Allocates and initializes chain replicas for `entry` until it reaches
+  // the node's replication factor, copying the primary's content when
+  // `copy_primary` (repair path). Replicas avoid the servers already used
+  // by the entry. Lock held.
+  Status FillReplicasLocked(TaskNode* node, PartitionEntry* entry,
+                            const std::string& job, const std::string& prefix,
+                            bool copy_primary);
+
+  // Resets (if live) and frees one block, tolerating dead servers.
+  void ReleaseBlockLocked(BlockId id);
+
+  std::string OwnerTag(const std::string& job, const std::string& prefix) const {
+    return job + "/" + prefix;
+  }
+  std::string DefaultFlushPath(const std::string& job,
+                               const std::string& prefix) const {
+    return "jiffy/" + job + "/" + prefix;
+  }
+
+  JiffyConfig config_;
+  Clock* clock_;
+  std::shared_ptr<BlockAllocator> allocator_;
+  DataPlaneHooks* hooks_;
+  PersistentStore* backing_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<JobHierarchy>> jobs_;
+
+  mutable std::mutex stats_mu_;
+  ControllerStats stats_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CORE_CONTROLLER_H_

@@ -1,0 +1,207 @@
+#include "src/core/hierarchy.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace jiffy {
+
+JobHierarchy::JobHierarchy(std::string job_id, TimeNs created_at,
+                           DurationNs default_lease,
+                           LeasePropagation propagation)
+    : job_id_(std::move(job_id)),
+      default_lease_(default_lease),
+      propagation_(propagation) {
+  (void)created_at;
+}
+
+Status JobHierarchy::CreateNode(const std::string& name,
+                                const std::vector<std::string>& parents,
+                                TimeNs now, DurationNs lease_duration) {
+  if (!IsValidPathSegment(name)) {
+    return InvalidArgument("bad task name '" + name + "'");
+  }
+  if (nodes_.count(name) > 0) {
+    return AlreadyExists("task '" + name + "' already in hierarchy of job " +
+                         job_id_);
+  }
+  for (const auto& p : parents) {
+    if (p == name) {
+      return InvalidArgument("self edge on task '" + name + "'");
+    }
+    if (nodes_.count(p) == 0) {
+      return InvalidArgument("unknown parent '" + p + "' for task '" + name +
+                             "'");
+    }
+  }
+  TaskNode node;
+  node.name = name;
+  node.parents.insert(parents.begin(), parents.end());
+  node.lease_renewed_at = now;
+  node.lease_duration = lease_duration > 0 ? lease_duration : default_lease_;
+  node.perms.owner = job_id_;
+  nodes_.emplace(name, std::move(node));
+  for (const auto& p : parents) {
+    nodes_[p].children.insert(name);
+  }
+  return Status::Ok();
+}
+
+Status JobHierarchy::CreateFromDag(
+    const std::vector<std::pair<std::string, std::vector<std::string>>>& dag,
+    TimeNs now, DurationNs lease_duration) {
+  // Kahn-style topological insertion: repeatedly insert tasks whose parents
+  // already exist; if a full pass makes no progress the input has a cycle or
+  // dangling parent.
+  std::vector<std::pair<std::string, std::vector<std::string>>> pending = dag;
+  while (!pending.empty()) {
+    bool progressed = false;
+    std::vector<std::pair<std::string, std::vector<std::string>>> next;
+    for (auto& entry : pending) {
+      bool ready = true;
+      for (const auto& p : entry.second) {
+        if (nodes_.count(p) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        JIFFY_RETURN_IF_ERROR(
+            CreateNode(entry.first, entry.second, now, lease_duration));
+        progressed = true;
+      } else {
+        next.push_back(std::move(entry));
+      }
+    }
+    if (!progressed) {
+      return InvalidArgument(
+          "execution DAG has a cycle or references unknown tasks (first stuck "
+          "task: '" +
+          next.front().first + "')");
+    }
+    pending = std::move(next);
+  }
+  return Status::Ok();
+}
+
+Result<TaskNode*> JobHierarchy::GetNode(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return NotFound("no task '" + name + "' in job " + job_id_);
+  }
+  return &it->second;
+}
+
+Result<TaskNode*> JobHierarchy::Resolve(const AddressPath& path) {
+  if (path.empty()) {
+    return InvalidArgument("empty path");
+  }
+  const auto& segs = path.segments();
+  auto it = nodes_.find(segs[0]);
+  if (it == nodes_.end()) {
+    return NotFound("no task '" + segs[0] + "' in job " + job_id_);
+  }
+  // Validate that each hop follows a DAG edge: this is what makes
+  // T1.T5.T7 and T4.T6.T7 both valid addresses of the same node.
+  for (size_t i = 1; i < segs.size(); ++i) {
+    auto next = nodes_.find(segs[i]);
+    if (next == nodes_.end()) {
+      return NotFound("no task '" + segs[i] + "' in job " + job_id_);
+    }
+    if (it->second.children.count(segs[i]) == 0) {
+      return InvalidArgument("'" + segs[i] + "' is not a child of '" +
+                             segs[i - 1] + "' in job " + job_id_);
+    }
+    it = next;
+  }
+  return &it->second;
+}
+
+bool JobHierarchy::HasNode(const std::string& name) const {
+  return nodes_.count(name) > 0;
+}
+
+Result<std::vector<std::string>> JobHierarchy::RenewLease(
+    const std::string& name, TimeNs now) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return NotFound("no task '" + name + "' in job " + job_id_);
+  }
+  std::unordered_set<std::string> to_renew;
+  to_renew.insert(name);
+  if (propagation_ != LeasePropagation::kNone) {
+    // Immediate parents: the data this task directly consumes (Fig 5).
+    for (const auto& p : it->second.parents) {
+      to_renew.insert(p);
+    }
+  }
+  if (propagation_ == LeasePropagation::kPaper) {
+    // All transitive descendants.
+    std::deque<std::string> frontier(it->second.children.begin(),
+                                     it->second.children.end());
+    while (!frontier.empty()) {
+      const std::string cur = std::move(frontier.front());
+      frontier.pop_front();
+      if (!to_renew.insert(cur).second) {
+        continue;
+      }
+      auto cit = nodes_.find(cur);
+      if (cit != nodes_.end()) {
+        for (const auto& c : cit->second.children) {
+          frontier.push_back(c);
+        }
+      }
+    }
+  }
+  std::vector<std::string> renewed;
+  renewed.reserve(to_renew.size());
+  for (const auto& n : to_renew) {
+    auto nit = nodes_.find(n);
+    if (nit == nodes_.end()) {
+      continue;
+    }
+    nit->second.lease_renewed_at = now;
+    nit->second.lease_renewals++;
+    renewed.push_back(n);
+  }
+  return renewed;
+}
+
+std::vector<std::string> JobHierarchy::CollectExpired(TimeNs now) const {
+  std::vector<std::string> expired;
+  for (const auto& [name, node] : nodes_) {
+    if (node.expired) {
+      continue;
+    }
+    if (now - node.lease_renewed_at > node.lease_duration) {
+      expired.push_back(name);
+    }
+  }
+  return expired;
+}
+
+std::vector<std::string> JobHierarchy::NodeNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, node] : nodes_) {
+    (void)node;
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t JobHierarchy::MappedBlockCount() const {
+  size_t n = 0;
+  for (const auto& [name, node] : nodes_) {
+    (void)name;
+    n += node.partition.entries.size();
+  }
+  return n;
+}
+
+size_t JobHierarchy::MetadataBytes() const {
+  return nodes_.size() * kPerTaskMetadataBytes +
+         MappedBlockCount() * kPerBlockMetadataBytes;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,174 @@
+// Per-job address hierarchy (§3.1) and its node metadata (§4.2.1).
+//
+// The hierarchy is a DAG of task nodes (a task may have multiple parents, so
+// one block can have many addresses). Each node carries the metadata Fig 7
+// lists: children, permissions, lease timestamp, and the block map for the
+// data structure stored under this address prefix. The controller owns one
+// JobHierarchy per registered job.
+//
+// Thread-safety: JobHierarchy is externally synchronized by the owning
+// controller shard (one mutex per shard), matching the paper's design of
+// independent per-core hierarchies.
+
+#ifndef SRC_CORE_HIERARCHY_H_
+#define SRC_CORE_HIERARCHY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/block/block.h"
+#include "src/block/block_id.h"
+#include "src/common/clock.h"
+#include "src/common/config.h"
+#include "src/common/status.h"
+#include "src/core/address.h"
+
+namespace jiffy {
+
+// Access control on an address prefix (Fig 7 "permissions").
+struct Permissions {
+  std::string owner;
+  bool world_readable = true;
+  bool world_writable = true;
+};
+
+// One contiguous responsibility range of a block within a data structure:
+//  - File:  byte offsets [lo, hi) of the file covered by this block.
+//  - Queue: monotonically increasing segment index in `lo` (hi unused).
+//  - KV:    hash-slot range [lo, hi) owned by this block.
+//
+// With chain replication enabled (§4.2.2), `replicas` lists the backup
+// blocks in chain order behind the primary `block`: writes propagate
+// primary → replicas, reads are served by the chain tail for strong
+// consistency, and on primary failure the first live replica is promoted.
+struct PartitionEntry {
+  BlockId block;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  std::vector<BlockId> replicas;
+};
+
+// Versioned block map for the data structure under an address prefix.
+// Clients cache it and refresh when the data plane reports kStaleMetadata
+// (version mismatch) after a scaling event (§4.2.1 "metadata manager").
+struct PartitionMap {
+  uint64_t version = 0;
+  DsType type = DsType::kFile;
+  std::vector<PartitionEntry> entries;
+
+  // Queue-only: index into `entries` of the current head segment (segments
+  // before it have been fully consumed and freed).
+  uint32_t queue_head = 0;
+
+  // Mirrors the prefix's synchronous-persistence setting so clients know to
+  // write through to the external store (§4.2.2).
+  bool persist_writes = false;
+
+  // For type == kCustom: the registered custom data structure name.
+  std::string custom_type;
+};
+
+// Node in the per-job address DAG.
+struct TaskNode {
+  std::string name;
+  std::set<std::string> parents;
+  std::set<std::string> children;
+
+  Permissions perms;
+
+  // Lease state (§3.2): data under this prefix stays in memory while
+  // now - lease_renewed_at <= lease_duration.
+  TimeNs lease_renewed_at = 0;
+  DurationNs lease_duration = 0;
+  // True once the expiry worker has flushed and reclaimed this prefix.
+  bool expired = false;
+
+  // Data-structure state; meaningful when has_ds.
+  bool has_ds = false;
+  PartitionMap partition;
+
+  // Chain-replication factor for blocks under this prefix (§4.2.2):
+  // 1 = no replication; r > 1 = primary + (r-1) chained replicas.
+  uint32_t replication_factor = 1;
+
+  // Synchronous persistence (§4.2.2): every committed write is also
+  // persisted to the external store under the prefix's flush path.
+  bool persist_writes = false;
+
+  // Monotonic counters for §6.4-style accounting.
+  uint64_t blocks_ever_allocated = 0;
+  uint64_t lease_renewals = 0;
+};
+
+// The DAG of task nodes for one job.
+class JobHierarchy {
+ public:
+  JobHierarchy(std::string job_id, TimeNs created_at,
+               DurationNs default_lease,
+               LeasePropagation propagation = LeasePropagation::kPaper);
+
+  const std::string& job_id() const { return job_id_; }
+
+  // Adds node `name` with edges from each of `parents` (all of which must
+  // already exist; empty = root task). Fails with kAlreadyExists on
+  // duplicates and kInvalidArgument on unknown parents or self-edges.
+  Status CreateNode(const std::string& name,
+                    const std::vector<std::string>& parents, TimeNs now,
+                    DurationNs lease_duration);
+
+  // Bulk-create from an execution DAG given as (task, parents) pairs in any
+  // order (createHierarchy in Table 1). Validates acyclicity.
+  Status CreateFromDag(
+      const std::vector<std::pair<std::string, std::vector<std::string>>>& dag,
+      TimeNs now, DurationNs lease_duration);
+
+  // Looks up a node by name. The returned pointer is owned by the hierarchy
+  // and stable until the node is erased.
+  Result<TaskNode*> GetNode(const std::string& name);
+
+  // Resolves an address path (task chain, job segment already stripped):
+  // validates that consecutive segments are DAG edges and returns the final
+  // node. This is what gives a multi-parent node its multiple addresses.
+  Result<TaskNode*> Resolve(const AddressPath& path);
+
+  bool HasNode(const std::string& name) const;
+  size_t NodeCount() const { return nodes_.size(); }
+
+  // Lease renewal (§3.2, Fig 5). Under the default kPaper policy this
+  // renews `name`, its *immediate* parents (the data it directly consumes),
+  // and all *transitive* descendants (tasks whose inputs chain back to it) —
+  // matching the paper's T7 example, where renewing T7 renews T3/T5/T6 and
+  // T8/T9 but not T1/T2/T4. kParentsOnly and kNone narrow the fan-out (for
+  // the ablation bench). Returns the set of node names renewed.
+  Result<std::vector<std::string>> RenewLease(const std::string& name,
+                                              TimeNs now);
+
+  // Names of nodes whose lease has lapsed at `now` and that are not yet
+  // marked expired. The expiry worker flushes and reclaims these.
+  std::vector<std::string> CollectExpired(TimeNs now) const;
+
+  // All node names (deterministic order).
+  std::vector<std::string> NodeNames() const;
+
+  // Total blocks currently mapped across all partitions.
+  size_t MappedBlockCount() const;
+
+  // Fixed per-task metadata footprint in bytes (paper §6.4: 64 B per task
+  // plus 8 B per block).
+  static constexpr size_t kPerTaskMetadataBytes = 64;
+  static constexpr size_t kPerBlockMetadataBytes = 8;
+  size_t MetadataBytes() const;
+
+ private:
+  std::string job_id_;
+  DurationNs default_lease_;
+  LeasePropagation propagation_;
+  std::map<std::string, TaskNode> nodes_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CORE_HIERARCHY_H_

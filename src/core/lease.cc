@@ -1,0 +1,47 @@
+#include "src/core/lease.h"
+
+#include <chrono>
+
+namespace jiffy {
+
+LeaseExpiryWorker::LeaseExpiryWorker(std::vector<Controller*> shards,
+                                     DurationNs period)
+    : shards_(std::move(shards)), period_(period) {}
+
+LeaseExpiryWorker::~LeaseExpiryWorker() { Stop(); }
+
+void LeaseExpiryWorker::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  stop_.store(false);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void LeaseExpiryWorker::Stop() {
+  if (!running_.load()) {
+    return;
+  }
+  stop_.store(true);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  running_.store(false);
+}
+
+void LeaseExpiryWorker::Run() {
+  while (!stop_.load()) {
+    for (Controller* shard : shards_) {
+      shard->RunExpiryScan();
+    }
+    // Sleep in small slices so Stop() is responsive even with long periods.
+    DurationNs remaining = period_;
+    while (remaining > 0 && !stop_.load()) {
+      const DurationNs slice = std::min<DurationNs>(remaining, 20 * kMillisecond);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+      remaining -= slice;
+    }
+  }
+}
+
+}  // namespace jiffy

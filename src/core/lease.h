@@ -1,0 +1,46 @@
+// Lease expiry worker (§4.2.1): periodically traverses the address
+// hierarchies, flushing and reclaiming prefixes whose leases have lapsed.
+//
+// Real-time deployments run this on a background thread; virtual-time
+// trace replays skip the worker and call Controller::RunExpiryScan()
+// directly as they advance the SimClock.
+
+#ifndef SRC_CORE_LEASE_H_
+#define SRC_CORE_LEASE_H_
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/controller.h"
+
+namespace jiffy {
+
+class LeaseExpiryWorker {
+ public:
+  // Scans every controller shard in `shards` each `period` (real time).
+  LeaseExpiryWorker(std::vector<Controller*> shards, DurationNs period);
+  ~LeaseExpiryWorker();
+
+  LeaseExpiryWorker(const LeaseExpiryWorker&) = delete;
+  LeaseExpiryWorker& operator=(const LeaseExpiryWorker&) = delete;
+
+  void Start();
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+ private:
+  void Run();
+
+  std::vector<Controller*> shards_;
+  DurationNs period_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CORE_LEASE_H_

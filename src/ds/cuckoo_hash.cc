@@ -1,0 +1,196 @@
+#include "src/ds/cuckoo_hash.h"
+
+#include <bit>
+#include <utility>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace jiffy {
+
+CuckooHashMap::CuckooHashMap(size_t initial_buckets) {
+  size_t n = std::bit_ceil(initial_buckets < 2 ? size_t{2} : initial_buckets);
+  buckets_.resize(n);
+  mask_ = n - 1;
+}
+
+size_t CuckooHashMap::Index1(std::string_view key) const {
+  return HashKey1(key) & mask_;
+}
+
+size_t CuckooHashMap::Index2(std::string_view key) const {
+  return HashKey2(key) & mask_;
+}
+
+const CuckooHashMap::Entry* CuckooHashMap::Find(std::string_view key) const {
+  for (const size_t idx : {Index1(key), Index2(key)}) {
+    for (const Entry& e : buckets_[idx].slots) {
+      if (e.occupied && e.key == key) {
+        return &e;
+      }
+    }
+  }
+  return nullptr;
+}
+
+CuckooHashMap::Entry* CuckooHashMap::FindMutable(std::string_view key) {
+  return const_cast<Entry*>(Find(key));
+}
+
+std::optional<size_t> CuckooHashMap::Put(std::string_view key,
+                                         std::string_view value) {
+  if (Entry* e = FindMutable(key); e != nullptr) {
+    const size_t old_size = e->value.size();
+    e->value.assign(value.data(), value.size());
+    return old_size;
+  }
+  Place(std::string(key), std::string(value));
+  size_++;
+  return std::nullopt;
+}
+
+void CuckooHashMap::Place(std::string key, std::string value) {
+  for (;;) {
+    // Try an empty slot in either candidate bucket.
+    for (const size_t idx : {Index1(key), Index2(key)}) {
+      for (Entry& e : buckets_[idx].slots) {
+        if (!e.occupied) {
+          e.key = std::move(key);
+          e.value = std::move(value);
+          e.occupied = true;
+          return;
+        }
+      }
+    }
+    // Both full: random-walk eviction.
+    std::string cur_key = std::move(key);
+    std::string cur_value = std::move(value);
+    bool placed = false;
+    for (int kick = 0; kick < kMaxKicks; ++kick) {
+      kick_seed_ = Mix64(kick_seed_ + kick);
+      const size_t idx =
+          (kick_seed_ & 1) ? Index2(cur_key) : Index1(cur_key);
+      const int victim_slot =
+          static_cast<int>((kick_seed_ >> 1) % kSlotsPerBucket);
+      Entry& victim = buckets_[idx].slots[victim_slot];
+      if (!victim.occupied) {
+        victim.key = std::move(cur_key);
+        victim.value = std::move(cur_value);
+        victim.occupied = true;
+        placed = true;
+        break;
+      }
+      std::swap(victim.key, cur_key);
+      std::swap(victim.value, cur_value);
+      // Move the displaced entry toward its alternate bucket next round.
+      for (const size_t alt : {Index1(cur_key), Index2(cur_key)}) {
+        if (alt == idx) {
+          continue;
+        }
+        for (Entry& e : buckets_[alt].slots) {
+          if (!e.occupied) {
+            e.key = std::move(cur_key);
+            e.value = std::move(cur_value);
+            e.occupied = true;
+            placed = true;
+            break;
+          }
+        }
+        if (placed) {
+          break;
+        }
+      }
+      if (placed) {
+        break;
+      }
+    }
+    if (placed) {
+      return;
+    }
+    // Kick chain exhausted: grow and retry with the displaced entry.
+    key = std::move(cur_key);
+    value = std::move(cur_value);
+    Rehash();
+  }
+}
+
+void CuckooHashMap::Rehash() {
+  std::vector<Bucket> old = std::move(buckets_);
+  buckets_.clear();
+  buckets_.resize(old.size() * 2);
+  mask_ = buckets_.size() - 1;
+  const size_t expected = size_;
+  size_t moved = 0;
+  for (Bucket& b : old) {
+    for (Entry& e : b.slots) {
+      if (e.occupied) {
+        Place(std::move(e.key), std::move(e.value));
+        moved++;
+      }
+    }
+  }
+  JIFFY_CHECK(moved == expected) << "cuckoo rehash lost entries";
+}
+
+std::optional<std::string> CuckooHashMap::Get(std::string_view key) const {
+  const Entry* e = Find(key);
+  if (e == nullptr) {
+    return std::nullopt;
+  }
+  return e->value;
+}
+
+bool CuckooHashMap::Contains(std::string_view key) const {
+  return Find(key) != nullptr;
+}
+
+std::optional<size_t> CuckooHashMap::Erase(std::string_view key) {
+  Entry* e = FindMutable(key);
+  if (e == nullptr) {
+    return std::nullopt;
+  }
+  const size_t bytes = e->key.size() + e->value.size();
+  e->key.clear();
+  e->value.clear();
+  e->occupied = false;
+  size_--;
+  return bytes;
+}
+
+void CuckooHashMap::ForEach(
+    const std::function<void(const std::string&, const std::string&)>& fn)
+    const {
+  for (const Bucket& b : buckets_) {
+    for (const Entry& e : b.slots) {
+      if (e.occupied) {
+        fn(e.key, e.value);
+      }
+    }
+  }
+}
+
+size_t CuckooHashMap::ExtractIf(
+    const std::function<bool(const std::string&)>& pred,
+    const std::function<void(std::string&&, std::string&&)>& sink) {
+  size_t extracted = 0;
+  for (Bucket& b : buckets_) {
+    for (Entry& e : b.slots) {
+      if (e.occupied && pred(e.key)) {
+        sink(std::move(e.key), std::move(e.value));
+        e.key.clear();
+        e.value.clear();
+        e.occupied = false;
+        size_--;
+        extracted++;
+      }
+    }
+  }
+  return extracted;
+}
+
+double CuckooHashMap::LoadFactor() const {
+  return static_cast<double>(size_) /
+         static_cast<double>(buckets_.size() * kSlotsPerBucket);
+}
+
+}  // namespace jiffy

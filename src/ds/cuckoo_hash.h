@@ -1,0 +1,88 @@
+// Cuckoo hash map for the KV-store block shards (§5.3: "Jiffy employs
+// cuckoo hashing for highly concurrent KV operations").
+//
+// Two hash functions, 4-way set-associative buckets, BFS-free random-walk
+// eviction with a bounded kick chain, and doubling rehash when a chain
+// fails. Within Jiffy a shard is always accessed under its block's
+// operation mutex, so the map itself is single-writer; the cuckoo layout
+// still pays off via O(1) worst-case lookups (at most two buckets probed).
+
+#ifndef SRC_DS_CUCKOO_HASH_H_
+#define SRC_DS_CUCKOO_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jiffy {
+
+class CuckooHashMap {
+ public:
+  // `initial_buckets` is rounded up to a power of two.
+  explicit CuckooHashMap(size_t initial_buckets = 16);
+
+  // Inserts or replaces. Returns the previous value's size if the key was
+  // present (so callers can maintain byte accounting), or nullopt.
+  std::optional<size_t> Put(std::string_view key, std::string_view value);
+
+  std::optional<std::string> Get(std::string_view key) const;
+  bool Contains(std::string_view key) const;
+
+  // Removes the key; returns the erased (key,value) byte size, or nullopt.
+  std::optional<size_t> Erase(std::string_view key);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t bucket_count() const { return buckets_.size(); }
+
+  // Visits every entry. The visitor must not mutate the map.
+  void ForEach(
+      const std::function<void(const std::string&, const std::string&)>& fn)
+      const;
+
+  // Removes every entry matching `pred` and hands it to `sink`. Used by the
+  // KV repartitioner to extract the hash slots being moved to a new block.
+  size_t ExtractIf(
+      const std::function<bool(const std::string&)>& pred,
+      const std::function<void(std::string&&, std::string&&)>& sink);
+
+  // Load factor over bucket slots.
+  double LoadFactor() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool occupied = false;
+  };
+  static constexpr int kSlotsPerBucket = 4;
+  static constexpr int kMaxKicks = 256;
+
+  struct Bucket {
+    Entry slots[kSlotsPerBucket];
+  };
+
+  size_t Index1(std::string_view key) const;
+  size_t Index2(std::string_view key) const;
+
+  // Finds the entry for `key`, or nullptr.
+  const Entry* Find(std::string_view key) const;
+  Entry* FindMutable(std::string_view key);
+
+  // Places (key,value), kicking residents if needed; grows on failure.
+  void Place(std::string key, std::string value);
+
+  void Rehash();
+
+  std::vector<Bucket> buckets_;
+  size_t mask_;
+  size_t size_ = 0;
+  uint64_t kick_seed_ = 0x2545f4914f6cdd1dULL;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_DS_CUCKOO_HASH_H_

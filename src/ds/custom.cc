@@ -1,0 +1,32 @@
+#include "src/ds/custom.h"
+
+namespace jiffy {
+
+CustomDsRegistry* CustomDsRegistry::Instance() {
+  static CustomDsRegistry registry;
+  return &registry;
+}
+
+void CustomDsRegistry::Register(const std::string& name, CustomDsSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_[name] = std::move(spec);
+}
+
+const CustomDsSpec* CustomDsRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = specs_.find(name);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> CustomDsRegistry::RegisteredNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) {
+    (void)spec;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,96 @@
+// Custom data structures over the internal block API (§4.1, Fig 6;
+// Table 2's last row).
+//
+// Jiffy's built-in File/Queue/KV are compiled-in BlockContent classes; this
+// header is the extension point for everything else. A custom data
+// structure supplies:
+//
+//   - a server-side CustomContent implementation exposing the Fig 6
+//     operator interface: writeOp / readOp / deleteOp, dispatched by
+//     operation name with string arguments and executed atomically under
+//     the block lock;
+//   - a getBlock router that picks which partition entry an operation
+//     targets from the client's cached map (Fig 6 getBlock);
+//   - factory + deserializer so the controller can initialize blocks and
+//     the flush/load path can persist them.
+//
+// Implementations register under a type name in the process-wide
+// CustomDsRegistry; clients open them with JiffyClient::OpenCustom.
+
+#ifndef SRC_DS_CUSTOM_H_
+#define SRC_DS_CUSTOM_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/block/block.h"
+#include "src/common/status.h"
+#include "src/core/hierarchy.h"
+
+namespace jiffy {
+
+// Base class for custom block contents: the Fig 6 operator interface.
+class CustomContent : public BlockContent {
+ public:
+  DsType type() const final { return DsType::kCustom; }
+
+  // The registered type name (used on restore-from-flush).
+  virtual const char* custom_type() const = 0;
+
+  // Mutating operator (Fig 6 writeOp). Returns an op-specific result
+  // string. kStaleMetadata signals the client to refresh and re-route.
+  virtual Result<std::string> WriteOp(const std::string& op,
+                                      const std::vector<std::string>& args) = 0;
+
+  // Read-only operator (Fig 6 readOp).
+  virtual Result<std::string> ReadOp(const std::string& op,
+                                     const std::vector<std::string>& args) = 0;
+
+  // Deleting operator (Fig 6 deleteOp).
+  virtual Result<std::string> DeleteOp(
+      const std::string& op, const std::vector<std::string>& args) = 0;
+};
+
+// getBlock (Fig 6): selects the partition entry an op routes to. Returning
+// an out-of-range index makes the client refresh its map and retry.
+using CustomRouteFn = std::function<size_t(
+    const std::string& op, const std::vector<std::string>& args,
+    const PartitionMap& map)>;
+
+struct CustomDsSpec {
+  // Creates fresh content for a block with responsibility range [lo, hi).
+  std::function<std::unique_ptr<CustomContent>(size_t capacity, uint64_t lo,
+                                               uint64_t hi)>
+      factory;
+  // Restores flushed content.
+  std::function<Result<std::unique_ptr<CustomContent>>(
+      size_t capacity, uint64_t lo, uint64_t hi, const std::string& payload)>
+      deserialize;
+  CustomRouteFn route;
+};
+
+// Process-wide registry of custom data structure types.
+class CustomDsRegistry {
+ public:
+  static CustomDsRegistry* Instance();
+
+  // Registers `name`; later registrations replace earlier ones (tests).
+  void Register(const std::string& name, CustomDsSpec spec);
+
+  // nullptr when unknown.
+  const CustomDsSpec* Find(const std::string& name) const;
+
+  std::vector<std::string> RegisteredNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, CustomDsSpec> specs_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_DS_CUSTOM_H_

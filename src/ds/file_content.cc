@@ -1,0 +1,43 @@
+#include "src/ds/file_content.h"
+
+#include <algorithm>
+
+namespace jiffy {
+
+FileChunk::FileChunk(size_t capacity, uint64_t base_offset)
+    : capacity_(capacity), base_offset_(base_offset) {}
+
+std::string FileChunk::Serialize() const { return data_; }
+
+Result<std::unique_ptr<FileChunk>> FileChunk::Deserialize(
+    size_t capacity, uint64_t base_offset, std::string_view payload) {
+  if (payload.size() > capacity) {
+    return Internal("file chunk payload exceeds block capacity");
+  }
+  auto chunk = std::make_unique<FileChunk>(capacity, base_offset);
+  chunk->data_.assign(payload.data(), payload.size());
+  return chunk;
+}
+
+size_t FileChunk::Append(std::string_view data) {
+  if (capped_) {
+    return 0;
+  }
+  const size_t take = std::min(data.size(), FreeBytes());
+  data_.append(data.data(), take);
+  return take;
+}
+
+Result<std::string> FileChunk::ReadAt(uint64_t offset, size_t len) const {
+  if (offset < base_offset_) {
+    return InvalidArgument("offset below chunk base");
+  }
+  const uint64_t rel = offset - base_offset_;
+  if (rel >= data_.size()) {
+    return std::string();
+  }
+  const size_t take = std::min<uint64_t>(len, data_.size() - rel);
+  return data_.substr(rel, take);
+}
+
+}  // namespace jiffy

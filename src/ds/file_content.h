@@ -1,0 +1,68 @@
+// File data structure, block side (§5.1 "Jiffy Files").
+//
+// A Jiffy file is a collection of blocks, each storing a fixed-size chunk of
+// the file. Files support append-only writes and sequential/seeked reads;
+// blocks are only ever added, so files never repartition (Table 2). The
+// chunk here stores [base_offset, base_offset + capacity) of the logical
+// file; the partition entry's [lo, hi) tracks the range actually covered
+// (hi shrinks below base+capacity when the 95 % threshold triggers early
+// allocation of the next block, which is exactly the fragmentation Fig 14(c)
+// measures).
+
+#ifndef SRC_DS_FILE_CONTENT_H_
+#define SRC_DS_FILE_CONTENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/block/block.h"
+#include "src/common/status.h"
+
+namespace jiffy {
+
+class FileChunk : public BlockContent {
+ public:
+  // Chunk covering logical offsets starting at `base_offset`.
+  FileChunk(size_t capacity, uint64_t base_offset);
+
+  DsType type() const override { return DsType::kFile; }
+  size_t used_bytes() const override { return data_.size(); }
+  std::string Serialize() const override;
+
+  static Result<std::unique_ptr<FileChunk>> Deserialize(
+      size_t capacity, uint64_t base_offset, std::string_view payload);
+
+  uint64_t base_offset() const { return base_offset_; }
+
+  // Logical offset one past the last byte written to this chunk.
+  uint64_t end_offset() const { return base_offset_ + data_.size(); }
+
+  // Appends as much of `data` as fits; returns bytes accepted (0 once the
+  // chunk is capped).
+  size_t Append(std::string_view data);
+
+  // Seals the chunk at its current end: the 95 % threshold allocated the
+  // next block early, so the residual space in this chunk is abandoned
+  // (the intra-block fragmentation Fig 14(c) measures). Stale writers get 0
+  // from Append() and refresh their partition map.
+  void Cap() { capped_ = true; }
+  bool capped() const { return capped_; }
+
+  // Reads up to `len` bytes at logical offset `offset`; empty string when
+  // the offset is at/after end_offset().
+  Result<std::string> ReadAt(uint64_t offset, size_t len) const;
+
+  size_t capacity() const { return capacity_; }
+  size_t FreeBytes() const { return capacity_ - data_.size(); }
+
+ private:
+  const size_t capacity_;
+  const uint64_t base_offset_;
+  std::string data_;
+  bool capped_ = false;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_DS_FILE_CONTENT_H_

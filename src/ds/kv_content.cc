@@ -1,0 +1,124 @@
+#include "src/ds/kv_content.h"
+
+#include "src/common/hash.h"
+#include "src/common/serde.h"
+
+namespace jiffy {
+
+uint32_t KvSlotOf(std::string_view key, uint32_t total_slots) {
+  return static_cast<uint32_t>(HashKey1(key) % total_slots);
+}
+
+KvShard::KvShard(size_t capacity, uint32_t slot_lo, uint32_t slot_hi,
+                 uint32_t total_slots)
+    : capacity_(capacity),
+      slot_lo_(slot_lo),
+      slot_hi_(slot_hi),
+      total_slots_(total_slots) {}
+
+std::string KvShard::Serialize() const {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(map_.size()));
+  map_.ForEach([&out](const std::string& k, const std::string& v) {
+    PutString(&out, k);
+    PutString(&out, v);
+  });
+  return out;
+}
+
+Result<std::unique_ptr<KvShard>> KvShard::Deserialize(
+    size_t capacity, uint32_t slot_lo, uint32_t slot_hi, uint32_t total_slots,
+    std::string_view payload) {
+  SerdeReader reader(payload);
+  auto shard =
+      std::make_unique<KvShard>(capacity, slot_lo, slot_hi, total_slots);
+  JIFFY_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    JIFFY_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+    JIFFY_ASSIGN_OR_RETURN(std::string value, reader.ReadString());
+    JIFFY_RETURN_IF_ERROR(shard->Put(key, value));
+  }
+  return shard;
+}
+
+bool KvShard::OwnsKey(std::string_view key) const {
+  return OwnsSlot(KvSlotOf(key, total_slots_));
+}
+
+Status KvShard::Put(std::string_view key, std::string_view value) {
+  if (!OwnsKey(key)) {
+    return StaleMetadata("slot " +
+                         std::to_string(KvSlotOf(key, total_slots_)) +
+                         " not owned by this shard");
+  }
+  const std::optional<size_t> old = map_.Put(key, value);
+  if (old.has_value()) {
+    used_bytes_ += value.size();
+    used_bytes_ -= *old;
+  } else {
+    used_bytes_ += key.size() + value.size() + kPerPairOverhead;
+  }
+  return Status::Ok();
+}
+
+Result<std::string> KvShard::Get(std::string_view key) const {
+  if (!OwnsKey(key)) {
+    return StaleMetadata("slot " +
+                         std::to_string(KvSlotOf(key, total_slots_)) +
+                         " not owned by this shard");
+  }
+  std::optional<std::string> v = map_.Get(key);
+  if (!v.has_value()) {
+    return NotFound("no such key");
+  }
+  return std::move(*v);
+}
+
+Status KvShard::Delete(std::string_view key) {
+  if (!OwnsKey(key)) {
+    return StaleMetadata("slot " +
+                         std::to_string(KvSlotOf(key, total_slots_)) +
+                         " not owned by this shard");
+  }
+  const std::optional<size_t> erased = map_.Erase(key);
+  if (!erased.has_value()) {
+    return NotFound("no such key");
+  }
+  used_bytes_ -= *erased + kPerPairOverhead;
+  return Status::Ok();
+}
+
+size_t KvShard::SplitOff(
+    uint32_t from_slot, std::vector<std::pair<std::string, std::string>>* out) {
+  const uint32_t total = total_slots_;
+  size_t moved_bytes = 0;
+  const size_t moved = map_.ExtractIf(
+      [&](const std::string& key) {
+        const uint32_t slot = KvSlotOf(key, total);
+        return slot >= from_slot && slot < slot_hi_;
+      },
+      [&](std::string&& k, std::string&& v) {
+        moved_bytes += k.size() + v.size() + kPerPairOverhead;
+        out->emplace_back(std::move(k), std::move(v));
+      });
+  used_bytes_ -= moved_bytes;
+  slot_hi_ = from_slot;
+  return moved;
+}
+
+Status KvShard::Absorb(uint32_t other_lo, uint32_t other_hi,
+                       std::vector<std::pair<std::string, std::string>> pairs) {
+  if (other_hi == slot_lo_) {
+    slot_lo_ = other_lo;
+  } else if (other_lo == slot_hi_) {
+    slot_hi_ = other_hi;
+  } else {
+    return InvalidArgument("absorbed slot range is not adjacent");
+  }
+  for (auto& [k, v] : pairs) {
+    JIFFY_RETURN_IF_ERROR(Put(k, v));
+  }
+  return Status::Ok();
+}
+
+}  // namespace jiffy

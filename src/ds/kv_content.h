@@ -1,0 +1,99 @@
+// KV-store data structure, block side (§5.3 "Jiffy KV-store").
+//
+// Keys hash to one of H hash slots (H=1024 by default); each block owns a
+// contiguous slot range [slot_lo, slot_hi) and stores its pairs in a cuckoo
+// hash map. When a block crosses the high usage threshold it hands the upper
+// half of its slot range to a newly allocated block and moves the affected
+// pairs (hash-based repartitioning, Table 2); a nearly-empty block merges
+// its slots into an adjacent block. A shard rejects keys outside its range
+// with kStaleMetadata so clients holding an outdated partition map refresh
+// and re-route.
+
+#ifndef SRC_DS_KV_CONTENT_H_
+#define SRC_DS_KV_CONTENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/block/block.h"
+#include "src/common/status.h"
+#include "src/ds/cuckoo_hash.h"
+
+namespace jiffy {
+
+// Slot for a key given H total slots.
+uint32_t KvSlotOf(std::string_view key, uint32_t total_slots);
+
+class KvShard : public BlockContent {
+ public:
+  // Per-pair metadata overhead charged against capacity.
+  static constexpr size_t kPerPairOverhead = 8;
+
+  KvShard(size_t capacity, uint32_t slot_lo, uint32_t slot_hi,
+          uint32_t total_slots);
+
+  DsType type() const override { return DsType::kKvStore; }
+  size_t used_bytes() const override { return used_bytes_; }
+  std::string Serialize() const override;
+
+  static Result<std::unique_ptr<KvShard>> Deserialize(size_t capacity,
+                                                      uint32_t slot_lo,
+                                                      uint32_t slot_hi,
+                                                      uint32_t total_slots,
+                                                      std::string_view payload);
+
+  // writeOp: inserts/replaces. kStaleMetadata when the key's slot is not
+  // owned by this shard.
+  Status Put(std::string_view key, std::string_view value);
+
+  // readOp.
+  Result<std::string> Get(std::string_view key) const;
+
+  // deleteOp.
+  Status Delete(std::string_view key);
+
+  bool OwnsKey(std::string_view key) const;
+  bool OwnsSlot(uint32_t slot) const {
+    return slot >= slot_lo_ && slot < slot_hi_;
+  }
+
+  uint32_t slot_lo() const { return slot_lo_; }
+  uint32_t slot_hi() const { return slot_hi_; }
+  uint32_t slot_span() const { return slot_hi_ - slot_lo_; }
+  uint32_t total_slots() const { return total_slots_; }
+  size_t pair_count() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // Repartitioning support: removes every pair whose slot is in
+  // [from_slot, slot_hi) and appends it to `out`, then shrinks this shard's
+  // range to [slot_lo, from_slot). Returns pairs moved.
+  size_t SplitOff(uint32_t from_slot,
+                  std::vector<std::pair<std::string, std::string>>* out);
+
+  // Absorbs pairs (from a merging sibling) and extends the owned range to
+  // [min(slot_lo, other_lo), max(slot_hi, other_hi)). The sibling's range
+  // must be adjacent.
+  Status Absorb(uint32_t other_lo, uint32_t other_hi,
+                std::vector<std::pair<std::string, std::string>> pairs);
+
+  // All pairs (for tests and flush verification).
+  void ForEach(const std::function<void(const std::string&,
+                                        const std::string&)>& fn) const {
+    map_.ForEach(fn);
+  }
+
+ private:
+  const size_t capacity_;
+  uint32_t slot_lo_;
+  uint32_t slot_hi_;
+  const uint32_t total_slots_;
+  CuckooHashMap map_;
+  size_t used_bytes_ = 0;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_DS_KV_CONTENT_H_

@@ -1,0 +1,63 @@
+#include "src/ds/queue_content.h"
+
+#include "src/common/serde.h"
+
+namespace jiffy {
+
+QueueSegment::QueueSegment(size_t capacity) : capacity_(capacity) {}
+
+std::string QueueSegment::Serialize() const {
+  std::string out;
+  PutU64(&out, appended_bytes_);
+  PutU32(&out, sealed_ ? 1 : 0);
+  PutU32(&out, static_cast<uint32_t>(items_.size()));
+  for (const auto& item : items_) {
+    PutString(&out, item);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<QueueSegment>> QueueSegment::Deserialize(
+    size_t capacity, std::string_view payload) {
+  SerdeReader reader(payload);
+  auto seg = std::make_unique<QueueSegment>(capacity);
+  JIFFY_ASSIGN_OR_RETURN(uint64_t appended, reader.ReadU64());
+  JIFFY_ASSIGN_OR_RETURN(uint32_t sealed, reader.ReadU32());
+  JIFFY_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  seg->appended_bytes_ = appended;
+  seg->sealed_ = sealed != 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    JIFFY_ASSIGN_OR_RETURN(std::string item, reader.ReadString());
+    seg->items_.push_back(std::move(item));
+  }
+  return seg;
+}
+
+bool QueueSegment::Enqueue(std::string&& item) {
+  const size_t charge = item.size() + kPerItemOverhead;
+  if (appended_bytes_ + charge > capacity_) {
+    sealed_ = true;
+    return false;
+  }
+  appended_bytes_ += charge;
+  items_.push_back(std::move(item));
+  return true;
+}
+
+Result<std::string> QueueSegment::Dequeue() {
+  if (items_.empty()) {
+    return NotFound("queue segment empty");
+  }
+  std::string item = std::move(items_.front());
+  items_.pop_front();
+  return item;
+}
+
+Result<std::string> QueueSegment::Peek() const {
+  if (items_.empty()) {
+    return NotFound("queue segment empty");
+  }
+  return items_.front();
+}
+
+}  // namespace jiffy

@@ -1,0 +1,73 @@
+// FIFO queue data structure, block side (§5.2 "Jiffy Queues").
+//
+// A queue is a growing linked list of segments, one per block: enqueue goes
+// to the tail segment, dequeue to the head segment; a drained head segment
+// is removed and its block freed, a full tail triggers allocation of a new
+// tail (Table 2: queues add and remove blocks but never repartition data).
+// Each item carries a small fixed metadata overhead, which is why Fig 11(a)
+// shows allocated capacity slightly above the raw intermediate-data size.
+
+#ifndef SRC_DS_QUEUE_CONTENT_H_
+#define SRC_DS_QUEUE_CONTENT_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/block/block.h"
+#include "src/common/status.h"
+
+namespace jiffy {
+
+class QueueSegment : public BlockContent {
+ public:
+  // Per-item metadata overhead charged against block capacity (length word +
+  // sequence number, mirroring the paper's "object metadata for the items
+  // enqueued").
+  static constexpr size_t kPerItemOverhead = 16;
+
+  explicit QueueSegment(size_t capacity);
+
+  DsType type() const override { return DsType::kQueue; }
+  size_t used_bytes() const override { return appended_bytes_; }
+  std::string Serialize() const override;
+
+  static Result<std::unique_ptr<QueueSegment>> Deserialize(
+      size_t capacity, std::string_view payload);
+
+  // True when the item was accepted; false when it would overflow the
+  // segment (caller then grows the queue by a new tail block). On failure
+  // `item` is left untouched so the caller can retry against the new tail.
+  bool Enqueue(std::string&& item);
+
+  // Pops the oldest item; kNotFound when this segment has been fully
+  // consumed (caller advances to the next segment).
+  Result<std::string> Dequeue();
+
+  // Oldest item without removing it.
+  Result<std::string> Peek() const;
+
+  size_t item_count() const { return items_.size(); }
+  bool Empty() const { return items_.empty(); }
+
+  // A segment is sealed once an enqueue has been refused; a sealed, empty
+  // segment is drained and can be reclaimed.
+  bool sealed() const { return sealed_; }
+  bool Drained() const { return sealed_ && items_.empty(); }
+  void Seal() { sealed_ = true; }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::deque<std::string> items_;
+  // Total bytes ever appended (capacity is append-bounded: dequeues do not
+  // reopen space, matching the add-at-tail/remove-at-head block lifecycle).
+  size_t appended_bytes_ = 0;
+  bool sealed_ = false;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_DS_QUEUE_CONTENT_H_

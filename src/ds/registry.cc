@@ -1,0 +1,32 @@
+#include "src/ds/registry.h"
+
+namespace jiffy {
+
+std::shared_ptr<DsState> DsRegistry::GetOrCreate(const std::string& job,
+                                                 const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = states_[Key(job, prefix)];
+  if (slot == nullptr) {
+    slot = std::make_shared<DsState>();
+  }
+  return slot;
+}
+
+std::shared_ptr<DsState> DsRegistry::Find(const std::string& job,
+                                          const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(Key(job, prefix));
+  return it == states_.end() ? nullptr : it->second;
+}
+
+void DsRegistry::Remove(const std::string& job, const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  states_.erase(Key(job, prefix));
+}
+
+size_t DsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_.size();
+}
+
+}  // namespace jiffy

@@ -1,0 +1,140 @@
+#include "src/ds/shared_log.h"
+
+#include "src/common/serde.h"
+
+namespace jiffy {
+
+SharedLogBlock::SharedLogBlock(size_t capacity, uint64_t seq_lo,
+                               uint64_t seq_hi)
+    : capacity_(capacity), seq_lo_(seq_lo), seq_hi_(seq_hi), next_seq_(seq_lo) {}
+
+std::string SharedLogBlock::Serialize() const {
+  std::string out;
+  PutU64(&out, next_seq_);
+  PutU32(&out, static_cast<uint32_t>(records_.size()));
+  for (const auto& [seq, record] : records_) {
+    PutU64(&out, seq);
+    PutString(&out, record);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<SharedLogBlock>> SharedLogBlock::Deserialize(
+    size_t capacity, uint64_t lo, uint64_t hi, const std::string& payload) {
+  SerdeReader reader(payload);
+  auto block = std::make_unique<SharedLogBlock>(capacity, lo, hi);
+  JIFFY_ASSIGN_OR_RETURN(uint64_t next_seq, reader.ReadU64());
+  JIFFY_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  block->next_seq_ = next_seq;
+  for (uint32_t i = 0; i < count; ++i) {
+    JIFFY_ASSIGN_OR_RETURN(uint64_t seq, reader.ReadU64());
+    JIFFY_ASSIGN_OR_RETURN(std::string record, reader.ReadString());
+    block->used_bytes_ += record.size() + 16;
+    block->records_.emplace(seq, std::move(record));
+  }
+  return block;
+}
+
+Result<std::string> SharedLogBlock::WriteOp(
+    const std::string& op, const std::vector<std::string>& args) {
+  if (op == "seal") {
+    seq_hi_ = next_seq_;
+    return std::to_string(next_seq_);
+  }
+  if (op != "append") {
+    return InvalidArgument("sharedlog: unknown writeOp '" + op + "'");
+  }
+  if (args.size() != 1) {
+    return InvalidArgument("sharedlog: append takes one record");
+  }
+  if (next_seq_ >= seq_hi_) {
+    // Range exhausted: the client grows the log with a new block.
+    return OutOfMemory("sharedlog block range exhausted at " +
+                       std::to_string(next_seq_));
+  }
+  if (used_bytes_ + args[0].size() + 16 > capacity_) {
+    return OutOfMemory("sharedlog block bytes exhausted");
+  }
+  const uint64_t seq = next_seq_++;
+  used_bytes_ += args[0].size() + 16;
+  records_.emplace(seq, args[0]);
+  return std::to_string(seq);
+}
+
+Result<std::string> SharedLogBlock::ReadOp(
+    const std::string& op, const std::vector<std::string>& args) {
+  if (op == "tail") {
+    return std::to_string(next_seq_);
+  }
+  if (op != "read") {
+    return InvalidArgument("sharedlog: unknown readOp '" + op + "'");
+  }
+  if (args.size() != 1) {
+    return InvalidArgument("sharedlog: read takes one sequence number");
+  }
+  const uint64_t seq = std::stoull(args[0]);
+  if (seq < seq_lo_ || seq >= seq_hi_) {
+    // Outside this block's (possibly sealed) range: the client's map is
+    // stale — refresh and re-route.
+    return StaleMetadata("sequence " + args[0] + " outside this block");
+  }
+  auto it = records_.find(seq);
+  if (it == records_.end()) {
+    return NotFound(seq < next_seq_ ? "record trimmed" : "record not written");
+  }
+  return it->second;
+}
+
+Result<std::string> SharedLogBlock::DeleteOp(
+    const std::string& op, const std::vector<std::string>& args) {
+  if (op != "trim") {
+    return InvalidArgument("sharedlog: unknown deleteOp '" + op + "'");
+  }
+  if (args.size() != 1) {
+    return InvalidArgument("sharedlog: trim takes one sequence number");
+  }
+  const uint64_t upto = std::stoull(args[0]);
+  uint64_t trimmed = 0;
+  for (auto it = records_.begin();
+       it != records_.end() && it->first < upto;) {
+    used_bytes_ -= it->second.size() + 16;
+    it = records_.erase(it);
+    trimmed++;
+  }
+  return std::to_string(trimmed);
+}
+
+const char* RegisterSharedLog() {
+  CustomDsSpec spec;
+  spec.factory = [](size_t capacity, uint64_t lo, uint64_t hi) {
+    return std::make_unique<SharedLogBlock>(capacity, lo, hi);
+  };
+  spec.deserialize = [](size_t capacity, uint64_t lo, uint64_t hi,
+                        const std::string& payload)
+      -> Result<std::unique_ptr<CustomContent>> {
+    auto block = SharedLogBlock::Deserialize(capacity, lo, hi, payload);
+    if (!block.ok()) {
+      return block.status();
+    }
+    return std::unique_ptr<CustomContent>(std::move(*block));
+  };
+  spec.route = [](const std::string& op, const std::vector<std::string>& args,
+                  const PartitionMap& map) -> size_t {
+    if (op == "append" || op == "tail" || op == "seal") {
+      return map.entries.empty() ? 0 : map.entries.size() - 1;
+    }
+    if ((op == "read" || op == "trim") && !args.empty()) {
+      const uint64_t seq = std::stoull(args[0]);
+      for (size_t i = 0; i < map.entries.size(); ++i) {
+        if (seq >= map.entries[i].lo && seq < map.entries[i].hi) {
+          return i;
+        }
+      }
+    }
+    return map.entries.size();  // Out of range → client refreshes.
+  };
+  CustomDsRegistry::Instance()->Register("sharedlog", std::move(spec));
+  return "sharedlog";
+}
+
+}  // namespace jiffy

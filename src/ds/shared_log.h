@@ -1,0 +1,78 @@
+// SharedLog: a sample custom data structure built entirely on the internal
+// block API (§4.1, Fig 6) — the extension mechanism Table 2's last row
+// refers to. It is the kind of substrate stateful-serverless systems like
+// Boki (cited in the paper's intro) build on: a totally ordered, trimmable
+// record log.
+//
+// Layout: each block owns the contiguous sequence range [lo, hi); records
+// append at the global tail and are addressed by sequence number.
+//
+// Operators (dispatched by name through CustomContent):
+//   writeOp  "append" {record}   → assigned sequence number; kOutOfMemory
+//                                  when this block's range is exhausted
+//                                  (the client grows the log and retries).
+//   writeOp  "seal"   {}         → caps the block at its current tail so
+//                                  stale readers/writers beyond it bounce
+//                                  with kStaleMetadata; returns the tail.
+//   readOp   "read"   {seq}      → the record; kStaleMetadata when seq is
+//                                  outside this block's range.
+//   readOp   "tail"   {}         → next sequence number in this block.
+//   deleteOp "trim"   {seq}      → drops records below seq in this block.
+//
+// RegisterSharedLog() installs the type (factory, deserializer, getBlock
+// router) in the process-wide CustomDsRegistry under "sharedlog".
+
+#ifndef SRC_DS_SHARED_LOG_H_
+#define SRC_DS_SHARED_LOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ds/custom.h"
+
+namespace jiffy {
+
+class SharedLogBlock : public CustomContent {
+ public:
+  SharedLogBlock(size_t capacity, uint64_t seq_lo, uint64_t seq_hi);
+
+  const char* custom_type() const override { return "sharedlog"; }
+  size_t used_bytes() const override { return used_bytes_; }
+  std::string Serialize() const override;
+
+  static Result<std::unique_ptr<SharedLogBlock>> Deserialize(
+      size_t capacity, uint64_t lo, uint64_t hi, const std::string& payload);
+
+  Result<std::string> WriteOp(const std::string& op,
+                              const std::vector<std::string>& args) override;
+  Result<std::string> ReadOp(const std::string& op,
+                             const std::vector<std::string>& args) override;
+  Result<std::string> DeleteOp(const std::string& op,
+                               const std::vector<std::string>& args) override;
+
+  uint64_t seq_lo() const { return seq_lo_; }
+  uint64_t seq_hi() const { return seq_hi_; }
+  uint64_t next_seq() const { return next_seq_; }
+  size_t record_count() const { return records_.size(); }
+
+ private:
+  const size_t capacity_;
+  const uint64_t seq_lo_;
+  uint64_t seq_hi_;  // Shrinks when the block is sealed at its tail.
+  uint64_t next_seq_;
+  std::map<uint64_t, std::string> records_;  // seq → record (trim erases).
+  size_t used_bytes_ = 0;
+};
+
+// Registers "sharedlog" in the process-wide registry (idempotent). Returns
+// the type name for convenience.
+const char* RegisterSharedLog();
+
+// Sequence range covered by each log block (records per block). Kept small
+// so tests/examples exercise growth.
+constexpr uint64_t kSharedLogSeqsPerBlock = 64;
+
+}  // namespace jiffy
+
+#endif  // SRC_DS_SHARED_LOG_H_

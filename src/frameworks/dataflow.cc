@@ -1,0 +1,219 @@
+#include "src/frameworks/dataflow.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace jiffy {
+
+FileClient* VertexContext::InputFile(const std::string& from) {
+  auto it = in_files_.find(from);
+  return it == in_files_.end() ? nullptr : it->second;
+}
+
+FileClient* VertexContext::OutputFile(const std::string& to) {
+  auto it = out_files_.find(to);
+  return it == out_files_.end() ? nullptr : it->second;
+}
+
+QueueClient* VertexContext::InputQueue(const std::string& from) {
+  auto it = in_queues_.find(from);
+  return it == in_queues_.end() ? nullptr : it->second;
+}
+
+QueueClient* VertexContext::OutputQueue(const std::string& to) {
+  auto it = out_queues_.find(to);
+  return it == out_queues_.end() ? nullptr : it->second;
+}
+
+bool VertexContext::UpstreamDone(const std::string& from) const {
+  return upstream_done_ ? upstream_done_(from) : true;
+}
+
+DataflowGraph::DataflowGraph(std::string job_id) : job_id_(std::move(job_id)) {}
+
+Status DataflowGraph::AddVertex(const std::string& name, VertexFn fn) {
+  if (!IsValidPathSegment(name)) {
+    return InvalidArgument("bad vertex name '" + name + "'");
+  }
+  if (vertices_.count(name) > 0) {
+    return AlreadyExists("vertex '" + name + "' already in graph");
+  }
+  Vertex v;
+  v.name = name;
+  v.fn = std::move(fn);
+  vertices_.emplace(name, std::move(v));
+  return Status::Ok();
+}
+
+Status DataflowGraph::AddChannel(const std::string& from, const std::string& to,
+                                 ChannelType type) {
+  if (vertices_.count(from) == 0 || vertices_.count(to) == 0) {
+    return InvalidArgument("channel endpoints must be existing vertices");
+  }
+  Channel ch;
+  ch.from = from;
+  ch.to = to;
+  ch.type = type;
+  ch.prefix = "ch-" + from + "-" + to;
+  channels_.push_back(ch);
+  const size_t idx = channels_.size() - 1;
+  vertices_[from].out_channels.push_back(idx);
+  vertices_[to].in_channels.push_back(idx);
+  return Status::Ok();
+}
+
+Status DataflowGraph::Run(JiffyClient* client) {
+  JIFFY_RETURN_IF_ERROR(client->RegisterJob(job_id_));
+  // Hierarchy: vertex nodes; each channel node is a child of its producer
+  // vertex, and the consumer vertex is a child of its input channels — so a
+  // consumer's lease renewal keeps its input data alive (Fig 5).
+  std::vector<std::pair<std::string, std::vector<std::string>>> dag;
+  for (const auto& [name, v] : vertices_) {
+    (void)v;
+    dag.emplace_back("v-" + name, std::vector<std::string>{});
+  }
+  for (const Channel& ch : channels_) {
+    dag.emplace_back(ch.prefix, std::vector<std::string>{"v-" + ch.from});
+  }
+  JIFFY_RETURN_IF_ERROR(client->CreateHierarchy(job_id_, dag));
+
+  // Create the channel data structures and per-vertex client handles.
+  struct VertexRun {
+    VertexContext ctx;
+    std::vector<std::unique_ptr<FileClient>> files;
+    std::vector<std::unique_ptr<QueueClient>> queues;
+    enum class State { kPending, kRunning, kDone, kFailed } state =
+        State::kPending;
+    Status result;
+    std::thread thread;
+  };
+  std::map<std::string, VertexRun> runs;
+  for (const auto& [name, v] : vertices_) {
+    (void)v;
+    runs[name];
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+
+  auto vertex_done = [&](const std::string& name) {
+    // Caller holds `mu`.
+    const auto state = runs[name].state;
+    return state == VertexRun::State::kDone ||
+           state == VertexRun::State::kFailed;
+  };
+  auto vertex_started = [&](const std::string& name) {
+    return runs[name].state != VertexRun::State::kPending;
+  };
+
+  for (const Channel& ch : channels_) {
+    const std::string addr = "/" + job_id_ + "/" + ch.prefix;
+    if (ch.type == ChannelType::kFile) {
+      JIFFY_ASSIGN_OR_RETURN(auto out, client->OpenFile(addr));
+      JIFFY_ASSIGN_OR_RETURN(auto in, client->OpenFile(addr));
+      VertexRun& producer = runs[ch.from];
+      VertexRun& consumer = runs[ch.to];
+      producer.ctx.out_files_[ch.to] = out.get();
+      consumer.ctx.in_files_[ch.from] = in.get();
+      producer.files.push_back(std::move(out));
+      consumer.files.push_back(std::move(in));
+    } else {
+      JIFFY_ASSIGN_OR_RETURN(auto out, client->OpenQueue(addr));
+      JIFFY_ASSIGN_OR_RETURN(auto in, client->OpenQueue(addr));
+      VertexRun& producer = runs[ch.from];
+      VertexRun& consumer = runs[ch.to];
+      producer.ctx.out_queues_[ch.to] = out.get();
+      consumer.ctx.in_queues_[ch.from] = in.get();
+      producer.queues.push_back(std::move(out));
+      consumer.queues.push_back(std::move(in));
+    }
+  }
+  for (auto& [name, run] : runs) {
+    (void)name;
+    run.ctx.upstream_done_ = [&](const std::string& from) {
+      std::lock_guard<std::mutex> inner(mu);
+      return vertex_done(from);
+    };
+  }
+
+  // Scheduler: start a vertex when its file inputs' producers are done and
+  // its queue inputs' producers have started (§5.2 readiness rules).
+  std::unique_lock<std::mutex> lock(mu);
+  Status first_error;
+  for (;;) {
+    size_t done = 0;
+    size_t running = 0;
+    for (auto& [name, run] : runs) {
+      (void)name;
+      if (run.state == VertexRun::State::kDone ||
+          run.state == VertexRun::State::kFailed) {
+        done++;
+      } else if (run.state == VertexRun::State::kRunning) {
+        running++;
+      }
+    }
+    if (done == runs.size()) {
+      break;
+    }
+    bool launched = false;
+    for (auto& [name, run] : runs) {
+      if (run.state != VertexRun::State::kPending) {
+        continue;
+      }
+      bool ready = true;
+      for (size_t ci : vertices_[name].in_channels) {
+        const Channel& ch = channels_[ci];
+        if (ch.type == ChannelType::kFile && !vertex_done(ch.from)) {
+          ready = false;
+          break;
+        }
+        if (ch.type == ChannelType::kQueue && !vertex_started(ch.from)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        continue;
+      }
+      run.state = VertexRun::State::kRunning;
+      launched = true;
+      run.thread = std::thread([&, vertex = name] {
+        Status st = vertices_[vertex].fn(runs[vertex].ctx);
+        std::lock_guard<std::mutex> inner(mu);
+        VertexRun& r = runs[vertex];
+        r.result = st;
+        r.state = st.ok() ? VertexRun::State::kDone : VertexRun::State::kFailed;
+        cv.notify_all();
+      });
+    }
+    if (launched) {
+      continue;  // Re-evaluate: a queue consumer may now be startable.
+    }
+    if (running == 0) {
+      // Pending vertices but nothing running and nothing launchable: the
+      // graph has an unsatisfiable dependency (cycle of file channels).
+      first_error = FailedPrecondition(
+          "dataflow graph deadlocked: file-channel cycle among vertices");
+      break;
+    }
+    cv.wait(lock);
+  }
+  lock.unlock();
+  for (auto& [name, run] : runs) {
+    (void)name;
+    if (run.thread.joinable()) {
+      run.thread.join();
+    }
+  }
+  for (auto& [name, run] : runs) {
+    (void)name;
+    if (first_error.ok() && !run.result.ok()) {
+      first_error = run.result;
+    }
+  }
+  JIFFY_RETURN_IF_ERROR(client->DeregisterJob(job_id_));
+  return first_error;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,91 @@
+// Dryad-style dataflow on Jiffy (§5.2).
+//
+// Programmers describe an application as a DAG: vertices are computations,
+// directed edges are data channels — Jiffy files (batch: ready when fully
+// written) or Jiffy FIFO queues (streaming: ready as soon as any item is
+// available, consumable concurrently with the producer). A master schedules
+// each vertex when its inputs are ready, runs it on a worker thread, and
+// renews Jiffy leases while the job executes. StreamScope-style continuous
+// pipelines are DAGs whose channels are all queues.
+
+#ifndef SRC_FRAMEWORKS_DATAFLOW_H_
+#define SRC_FRAMEWORKS_DATAFLOW_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/jiffy_client.h"
+
+namespace jiffy {
+
+enum class ChannelType {
+  kFile,   // Batch: consumer starts after the producer completes.
+  kQueue,  // Streaming: consumer starts with the producer and overlaps it.
+};
+
+// Handed to a vertex body: its input/output channel handles.
+class VertexContext {
+ public:
+  // Channels are keyed by the peer vertex name.
+  FileClient* InputFile(const std::string& from);
+  FileClient* OutputFile(const std::string& to);
+  QueueClient* InputQueue(const std::string& from);
+  QueueClient* OutputQueue(const std::string& to);
+
+  // True once every producer feeding queue `from` has completed and the
+  // queue is drained — the streaming-consumer termination test.
+  bool UpstreamDone(const std::string& from) const;
+
+ private:
+  friend class DataflowGraph;
+  std::map<std::string, FileClient*> in_files_;
+  std::map<std::string, FileClient*> out_files_;
+  std::map<std::string, QueueClient*> in_queues_;
+  std::map<std::string, QueueClient*> out_queues_;
+  std::function<bool(const std::string&)> upstream_done_;
+};
+
+class DataflowGraph {
+ public:
+  using VertexFn = std::function<Status(VertexContext&)>;
+
+  explicit DataflowGraph(std::string job_id);
+
+  // Adds computation vertex `name`.
+  Status AddVertex(const std::string& name, VertexFn fn);
+
+  // Adds a channel from `from` to `to`. Both vertices must exist.
+  Status AddChannel(const std::string& from, const std::string& to,
+                    ChannelType type);
+
+  // Builds the Jiffy hierarchy (one address prefix per channel, child of its
+  // producer), then schedules: a vertex starts when all its file inputs'
+  // producers have finished and all its queue inputs' producers have
+  // started. Returns the first vertex error, if any.
+  Status Run(JiffyClient* client);
+
+ private:
+  struct Channel {
+    std::string from;
+    std::string to;
+    ChannelType type;
+    std::string prefix;  // Jiffy address prefix name.
+  };
+  struct Vertex {
+    std::string name;
+    VertexFn fn;
+    std::vector<size_t> in_channels;
+    std::vector<size_t> out_channels;
+  };
+
+  std::string job_id_;
+  std::map<std::string, Vertex> vertices_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_FRAMEWORKS_DATAFLOW_H_

@@ -1,0 +1,182 @@
+#include "src/frameworks/mapreduce.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/hash.h"
+#include "src/common/serde.h"
+
+namespace jiffy {
+
+MapReduceJob::MapReduceJob(JiffyClient* client, std::string job_id,
+                           Options options)
+    : client_(client), job_id_(std::move(job_id)), options_(options) {}
+
+std::string MapReduceJob::ShufflePath(int r) const {
+  return "/" + job_id_ + "/shuffle" + std::to_string(r);
+}
+
+Status MapReduceJob::RunMapTask(int task,
+                                const std::vector<std::string>& inputs,
+                                const MapFn& map_fn) {
+  map_attempts_.fetch_add(1);
+  if (task == options_.fail_map_task_once &&
+      !failure_injected_.exchange(true)) {
+    return Internal("injected map task failure");
+  }
+  // Open (attach to) the R shuffle files and buffer output per partition.
+  std::vector<std::string> buffers(options_.num_reduce_tasks);
+  const size_t lo = inputs.size() * task / options_.num_map_tasks;
+  const size_t hi = inputs.size() * (task + 1) / options_.num_map_tasks;
+  auto partition_of = [&](const std::string& key) {
+    if (options_.partitioner) {
+      return options_.partitioner(key, options_.num_reduce_tasks) %
+             options_.num_reduce_tasks;
+    }
+    return static_cast<int>(Fnv1a64(key) %
+                            static_cast<uint64_t>(options_.num_reduce_tasks));
+  };
+  if (options_.combiner) {
+    // Map-side combine: group this task's output by key, pre-reduce, then
+    // emit one pair per key.
+    std::map<std::string, std::vector<std::string>> grouped;
+    for (size_t i = lo; i < hi; ++i) {
+      for (auto& [key, value] : map_fn(inputs[i])) {
+        grouped[key].push_back(std::move(value));
+      }
+    }
+    for (auto& [key, values] : grouped) {
+      const int r = partition_of(key);
+      PutString(&buffers[r], key);
+      PutString(&buffers[r], options_.combiner(key, values));
+    }
+  } else {
+    for (size_t i = lo; i < hi; ++i) {
+      for (auto& [key, value] : map_fn(inputs[i])) {
+        const int r = partition_of(key);
+        PutString(&buffers[r], key);
+        PutString(&buffers[r], value);
+      }
+    }
+  }
+  for (int r = 0; r < options_.num_reduce_tasks; ++r) {
+    if (buffers[r].empty()) {
+      continue;
+    }
+    JIFFY_ASSIGN_OR_RETURN(auto file, client_->OpenFile(ShufflePath(r)));
+    JIFFY_ASSIGN_OR_RETURN(uint64_t off, file->Append(buffers[r]));
+    (void)off;
+    shuffle_bytes_.fetch_add(buffers[r].size());
+  }
+  return Status::Ok();
+}
+
+Result<std::map<std::string, std::string>> MapReduceJob::RunReduceTask(
+    int task, const ReduceFn& reduce_fn) {
+  JIFFY_ASSIGN_OR_RETURN(auto file, client_->OpenFile(ShufflePath(task)));
+  JIFFY_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  JIFFY_ASSIGN_OR_RETURN(std::string data, file->Read(0, size));
+  // Group values by key.
+  std::map<std::string, std::vector<std::string>> groups;
+  SerdeReader reader(data);
+  while (!reader.AtEnd()) {
+    JIFFY_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+    JIFFY_ASSIGN_OR_RETURN(std::string value, reader.ReadString());
+    groups[key].push_back(std::move(value));
+  }
+  std::map<std::string, std::string> out;
+  for (auto& [key, values] : groups) {
+    out[key] = reduce_fn(key, values);
+  }
+  return out;
+}
+
+Result<std::map<std::string, std::string>> MapReduceJob::Run(
+    const std::vector<std::string>& inputs, const MapFn& map_fn,
+    const ReduceFn& reduce_fn) {
+  JIFFY_RETURN_IF_ERROR(client_->RegisterJob(job_id_));
+  // MR address hierarchy: map task prefixes (roots) feed shuffle-file
+  // prefixes, which the reduce tasks consume. Shuffle files have every map
+  // task as a parent — renewing a shuffle lease keeps all upstream map
+  // output alive (Fig 5 semantics).
+  std::vector<std::pair<std::string, std::vector<std::string>>> dag;
+  std::vector<std::string> map_names;
+  for (int m = 0; m < options_.num_map_tasks; ++m) {
+    map_names.push_back("map" + std::to_string(m));
+    dag.emplace_back(map_names.back(), std::vector<std::string>{});
+  }
+  for (int r = 0; r < options_.num_reduce_tasks; ++r) {
+    dag.emplace_back("shuffle" + std::to_string(r), map_names);
+  }
+  JIFFY_RETURN_IF_ERROR(client_->CreateHierarchy(job_id_, dag));
+
+  // --- Map phase (the master retries failed tasks once) --------------------
+  std::vector<Status> map_status(options_.num_map_tasks);
+  auto run_maps = [&](bool retry_pass) {
+    std::vector<std::thread> workers;
+    for (int m = 0; m < options_.num_map_tasks; ++m) {
+      if (retry_pass && map_status[m].ok()) {
+        continue;
+      }
+      auto body = [&, m] { map_status[m] = RunMapTask(m, inputs, map_fn); };
+      if (options_.parallel) {
+        workers.emplace_back(body);
+      } else {
+        body();
+      }
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  };
+  run_maps(/*retry_pass=*/false);
+  bool any_failed = false;
+  for (const Status& st : map_status) {
+    any_failed |= !st.ok();
+  }
+  if (any_failed) {
+    // The failed task's partial state is simply re-written; shuffle appends
+    // are idempotent here because the failed task wrote nothing (it failed
+    // before its buffered append).
+    run_maps(/*retry_pass=*/true);
+  }
+  for (const Status& st : map_status) {
+    JIFFY_RETURN_IF_ERROR(st);
+  }
+  // Master renews shuffle leases between phases (it is the lease owner).
+  for (int r = 0; r < options_.num_reduce_tasks; ++r) {
+    JIFFY_RETURN_IF_ERROR(client_->RenewLease(ShufflePath(r)));
+  }
+
+  // --- Reduce phase -----------------------------------------------------------
+  std::vector<Result<std::map<std::string, std::string>>> partials(
+      options_.num_reduce_tasks, Result<std::map<std::string, std::string>>(
+                                     std::map<std::string, std::string>{}));
+  {
+    std::vector<std::thread> workers;
+    for (int r = 0; r < options_.num_reduce_tasks; ++r) {
+      auto body = [&, r] { partials[r] = RunReduceTask(r, reduce_fn); };
+      if (options_.parallel) {
+        workers.emplace_back(body);
+      } else {
+        body();
+      }
+    }
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+  std::map<std::string, std::string> out;
+  for (auto& partial : partials) {
+    if (!partial.ok()) {
+      return partial.status();
+    }
+    for (auto& [k, v] : *partial) {
+      out[k] = std::move(v);
+    }
+  }
+  JIFFY_RETURN_IF_ERROR(client_->DeregisterJob(job_id_));
+  return out;
+}
+
+}  // namespace jiffy

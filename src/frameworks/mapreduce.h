@@ -1,0 +1,88 @@
+// MapReduce over Jiffy (§5.1).
+//
+// Map and reduce tasks run as (serverless-style) worker threads; a master
+// launches them, tracks progress, renews Jiffy leases, and handles task
+// failure by re-executing the task. Intermediate key-value pairs are
+// shuffled through Jiffy files: shuffle file r holds the partitioned subset
+// (hash(key) % R == r) of pairs from ALL map tasks — multiple map tasks
+// append to the same shuffle file, relying on Jiffy's per-operator atomicity
+// for correctness (§5.1).
+
+#ifndef SRC_FRAMEWORKS_MAPREDUCE_H_
+#define SRC_FRAMEWORKS_MAPREDUCE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/client/jiffy_client.h"
+
+namespace jiffy {
+
+class MapReduceJob {
+ public:
+  // Emits intermediate (key, value) pairs for one input record.
+  using MapFn = std::function<std::vector<std::pair<std::string, std::string>>(
+      const std::string& record)>;
+  // Merges all values of one intermediate key.
+  using ReduceFn = std::function<std::string(
+      const std::string& key, const std::vector<std::string>& values)>;
+  // Routes an intermediate key to one of R shuffle partitions.
+  using PartitionFn =
+      std::function<int(const std::string& key, int num_reduce_tasks)>;
+
+  struct Options {
+    int num_map_tasks = 4;
+    int num_reduce_tasks = 4;
+    // Run tasks on threads (the serverless workers); false = sequential,
+    // useful for deterministic debugging.
+    bool parallel = true;
+    // Fault-injection hook for tests: map task `i` fails on its first
+    // attempt when fail_map_task_once == i (the master retries it).
+    int fail_map_task_once = -1;
+    // Optional map-side combiner: pre-reduces each map task's output before
+    // the shuffle, cutting shuffle traffic (classic MR optimization). Must
+    // be the same associative/commutative function as the reducer for
+    // correctness.
+    ReduceFn combiner;
+    // Optional custom partitioner (default: key-hash modulo R).
+    PartitionFn partitioner;
+  };
+
+  MapReduceJob(JiffyClient* client, std::string job_id, Options options);
+
+  // Executes the job over `inputs` (one record per element) and returns the
+  // reduced key → value map. Registers and deregisters the Jiffy job and
+  // builds the MR address hierarchy (map tasks → shuffle files → reducers).
+  Result<std::map<std::string, std::string>> Run(
+      const std::vector<std::string>& inputs, const MapFn& map_fn,
+      const ReduceFn& reduce_fn);
+
+  // Shuffle statistics from the last Run (for tests/benches).
+  uint64_t shuffle_bytes() const { return shuffle_bytes_; }
+  int map_attempts() const { return map_attempts_; }
+
+ private:
+  // One map worker: applies map_fn to its slice and appends length-prefixed
+  // pairs to the R shuffle files.
+  Status RunMapTask(int task, const std::vector<std::string>& inputs,
+                    const MapFn& map_fn);
+  // One reduce worker: reads shuffle file r, groups by key, reduces.
+  Result<std::map<std::string, std::string>> RunReduceTask(
+      int task, const ReduceFn& reduce_fn);
+
+  std::string ShufflePath(int r) const;
+
+  JiffyClient* client_;
+  std::string job_id_;
+  Options options_;
+  std::atomic<uint64_t> shuffle_bytes_{0};
+  std::atomic<int> map_attempts_{0};
+  std::atomic<bool> failure_injected_{false};
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_FRAMEWORKS_MAPREDUCE_H_

@@ -1,0 +1,106 @@
+#include "src/frameworks/piccolo.h"
+
+#include <thread>
+
+namespace jiffy {
+
+PiccoloTable::PiccoloTable(std::unique_ptr<KvClient> kv,
+                           AccumulatorFn accumulator)
+    : kv_(std::move(kv)), accumulator_(std::move(accumulator)) {}
+
+Status PiccoloTable::Update(std::string_view key, std::string_view value) {
+  return kv_->Accumulate(key, value, accumulator_);
+}
+
+Result<std::string> PiccoloTable::Get(std::string_view key) {
+  return kv_->Get(key);
+}
+
+Status PiccoloTable::Put(std::string_view key, std::string_view value) {
+  return kv_->Put(key, value);
+}
+
+PiccoloController::PiccoloController(JiffyClient* client, std::string job_id)
+    : client_(client), job_id_(std::move(job_id)) {
+  registered_ = client_->RegisterJob(job_id_).ok();
+}
+
+PiccoloController::~PiccoloController() {
+  if (registered_) {
+    client_->DeregisterJob(job_id_);
+  }
+}
+
+Result<PiccoloTable*> PiccoloController::CreateTable(
+    const std::string& name, AccumulatorFn accumulator) {
+  if (!registered_) {
+    return FailedPrecondition("job '" + job_id_ + "' failed to register");
+  }
+  const std::string addr = "/" + job_id_ + "/" + name;
+  JIFFY_RETURN_IF_ERROR(client_->CreateAddrPrefix(addr, {}));
+  JIFFY_ASSIGN_OR_RETURN(auto kv, client_->OpenKv(addr));
+  auto table =
+      std::make_unique<PiccoloTable>(std::move(kv), std::move(accumulator));
+  PiccoloTable* raw = table.get();
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+PiccoloTable* PiccoloController::Table(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status PiccoloController::RunKernels(int num_kernels, const KernelFn& kernel) {
+  std::vector<std::thread> workers;
+  std::vector<Status> results(num_kernels);
+  std::atomic<bool> stop_renewal{false};
+  // Control function renews table leases while kernels execute (§5.3
+  // "master periodically renews leases for Jiffy KV-stores").
+  std::thread renewer([&] {
+    while (!stop_renewal.load()) {
+      for (const auto& [name, table] : tables_) {
+        (void)table;
+        client_->RenewLease("/" + job_id_ + "/" + name);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  for (int k = 0; k < num_kernels; ++k) {
+    workers.emplace_back([&, k] { results[k] = kernel(k); });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  stop_renewal.store(true);
+  renewer.join();
+  for (const Status& st : results) {
+    JIFFY_RETURN_IF_ERROR(st);
+  }
+  return Status::Ok();
+}
+
+Status PiccoloController::Checkpoint(const std::string& table,
+                                     const std::string& path) {
+  return client_->FlushAddrPrefix("/" + job_id_ + "/" + table, path);
+}
+
+Status PiccoloController::Restore(const std::string& table,
+                                  const std::string& path,
+                                  AccumulatorFn accumulator) {
+  const std::string addr = "/" + job_id_ + "/" + table;
+  // Create the prefix in this job if absent and mark it loadable.
+  Status created = client_->CreateAddrPrefix(addr, {});
+  if (created.ok()) {
+    JIFFY_RETURN_IF_ERROR(client_->PrepareForLoad(addr, DsType::kKvStore));
+  } else if (created.code() != StatusCode::kAlreadyExists) {
+    return created;
+  }
+  JIFFY_RETURN_IF_ERROR(client_->LoadAddrPrefix(addr, path));
+  JIFFY_ASSIGN_OR_RETURN(auto kv, client_->OpenKv(addr));
+  tables_[table] =
+      std::make_unique<PiccoloTable>(std::move(kv), std::move(accumulator));
+  return Status::Ok();
+}
+
+}  // namespace jiffy

@@ -1,0 +1,84 @@
+// Piccolo on Jiffy (§5.3).
+//
+// Piccolo is a data-centric model: concurrent kernel functions share mutable
+// state through distributed KV tables, with user-defined accumulators
+// resolving concurrent updates to the same key; centralized control
+// functions create tables, launch kernels, and checkpoint. Here kernels run
+// as worker threads over Jiffy KV-stores; accumulation is a single atomic
+// Jiffy operator (KvClient::Accumulate); checkpointing flushes the table's
+// address prefix to the persistent store (Table 1 flushAddrPrefix).
+
+#ifndef SRC_FRAMEWORKS_PICCOLO_H_
+#define SRC_FRAMEWORKS_PICCOLO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/client/jiffy_client.h"
+
+namespace jiffy {
+
+// Resolves a concurrent update into the stored value (old is "" when the
+// key is absent).
+using AccumulatorFn = std::function<std::string(const std::string& old_value,
+                                                const std::string& update)>;
+
+// A shared Piccolo table backed by a Jiffy KV-store.
+class PiccoloTable {
+ public:
+  PiccoloTable(std::unique_ptr<KvClient> kv, AccumulatorFn accumulator);
+
+  // Applies the table's accumulator atomically.
+  Status Update(std::string_view key, std::string_view value);
+  Result<std::string> Get(std::string_view key);
+  Status Put(std::string_view key, std::string_view value);
+
+  KvClient* kv() { return kv_.get(); }
+
+ private:
+  std::unique_ptr<KvClient> kv_;
+  AccumulatorFn accumulator_;
+};
+
+// Piccolo control process: owns the job, its tables, kernel launch, lease
+// renewal, and checkpoints.
+class PiccoloController {
+ public:
+  // Kernel body: receives its kernel index and the controller (for table
+  // access via Table()).
+  using KernelFn = std::function<Status(int kernel_id)>;
+
+  PiccoloController(JiffyClient* client, std::string job_id);
+  ~PiccoloController();
+
+  // Creates a shared table (a root address prefix + KV-store).
+  Result<PiccoloTable*> CreateTable(const std::string& name,
+                                    AccumulatorFn accumulator);
+
+  PiccoloTable* Table(const std::string& name);
+
+  // Runs `num_kernels` kernel instances on worker threads and waits for all
+  // of them; the controller renews table leases while kernels run.
+  Status RunKernels(int num_kernels, const KernelFn& kernel);
+
+  // Checkpoints the table to the persistent store at `path` (§5.3).
+  Status Checkpoint(const std::string& table, const std::string& path);
+  // Restores a table from a checkpoint (possibly into a fresh job), making
+  // it available via Table(name) with the given accumulator.
+  Status Restore(const std::string& table, const std::string& path,
+                 AccumulatorFn accumulator);
+
+  const std::string& job_id() const { return job_id_; }
+
+ private:
+  JiffyClient* client_;
+  std::string job_id_;
+  bool registered_ = false;
+  std::map<std::string, std::unique_ptr<PiccoloTable>> tables_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_FRAMEWORKS_PICCOLO_H_

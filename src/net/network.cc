@@ -1,0 +1,52 @@
+#include "src/net/network.h"
+
+namespace jiffy {
+
+DurationNs NetworkModel::OneWay(size_t bytes, Rng* rng) const {
+  DurationNs t = base_latency;
+  if (bandwidth_bytes_per_sec > 0.0) {
+    t += static_cast<DurationNs>(static_cast<double>(bytes) /
+                                 bandwidth_bytes_per_sec * 1e9);
+  }
+  if (jitter > 0 && rng != nullptr) {
+    t += static_cast<DurationNs>(rng->NextBelow(static_cast<uint64_t>(jitter) + 1));
+  }
+  return t;
+}
+
+DurationNs NetworkModel::RoundTrip(size_t req_bytes, size_t resp_bytes,
+                                   Rng* rng) const {
+  return OneWay(req_bytes, rng) + OneWay(resp_bytes, rng) + service_floor;
+}
+
+NetworkModel NetworkModel::Loopback() { return NetworkModel{}; }
+
+NetworkModel NetworkModel::Ec2IntraDc() {
+  NetworkModel m;
+  m.base_latency = 60 * kMicrosecond;         // ~120 us RTT before transfer.
+  m.bandwidth_bytes_per_sec = 1.25e9;         // 10 Gbps.
+  m.jitter = 10 * kMicrosecond;
+  m.service_floor = 20 * kMicrosecond;        // RPC handling at the server.
+  return m;
+}
+
+Transport::Transport(NetworkModel model, Mode mode, Clock* clock, uint64_t seed)
+    : model_(model), mode_(mode), clock_(clock), rng_(seed) {}
+
+DurationNs Transport::PeekRoundTrip(size_t req_bytes, size_t resp_bytes) {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return model_.RoundTrip(req_bytes, resp_bytes, &rng_);
+}
+
+DurationNs Transport::RoundTrip(size_t req_bytes, size_t resp_bytes) {
+  const DurationNs cost = PeekRoundTrip(req_bytes, resp_bytes);
+  total_ops_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(req_bytes + resp_bytes, std::memory_order_relaxed);
+  total_time_.fetch_add(cost, std::memory_order_relaxed);
+  if (mode_ == Mode::kSleep && clock_ != nullptr) {
+    clock_->SleepFor(cost);
+  }
+  return cost;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,94 @@
+// Network substitution layer (see DESIGN.md §1).
+//
+// The paper deploys Jiffy across EC2 instances with Lambda clients; here every
+// server is an in-process object, and the wire is modeled by a NetworkModel
+// (propagation latency + bandwidth + jitter). A Transport applies the model
+// either by actually sleeping (real-time microbenchmarks: Fig 10, 12, 13) or
+// by just returning the cost so trace-replay experiments can accumulate
+// virtual time (Fig 9, 11, 14).
+//
+// All Jiffy/baseline RPCs funnel through a Transport, so switching between
+// "no network" (unit tests), "modeled EC2" (benches), and "modeled WAN
+// service" (S3/DynamoDB baselines) is a constructor argument.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace jiffy {
+
+// Cost model for one message direction.
+struct NetworkModel {
+  // One-way propagation + protocol processing latency.
+  DurationNs base_latency = 0;
+  // Link bandwidth; 0 means infinite.
+  double bandwidth_bytes_per_sec = 0.0;
+  // Uniform jitter in [0, jitter] added per one-way traversal.
+  DurationNs jitter = 0;
+  // Fixed per-request service floor at the far end (e.g. an object store's
+  // internal request handling), charged once per round trip.
+  DurationNs service_floor = 0;
+
+  // One-way transfer time for `bytes`.
+  DurationNs OneWay(size_t bytes, Rng* rng) const;
+
+  // Full request/response exchange: request of `req_bytes` out, response of
+  // `resp_bytes` back, plus the service floor.
+  DurationNs RoundTrip(size_t req_bytes, size_t resp_bytes, Rng* rng) const;
+
+  // --- Canned models -----------------------------------------------------
+
+  // Loopback: zero cost (unit tests).
+  static NetworkModel Loopback();
+
+  // Intra-datacenter EC2 link as in the paper's testbed: ~100-200 us RTT,
+  // 10 Gbps, small jitter.
+  static NetworkModel Ec2IntraDc();
+};
+
+// Stateful transport over one NetworkModel.
+class Transport {
+ public:
+  enum class Mode {
+    kZero,   // Compute costs but never sleep (unit tests, virtual time).
+    kSleep,  // Sleep for the computed cost on `clock` (real-time benches).
+  };
+
+  Transport(NetworkModel model, Mode mode, Clock* clock, uint64_t seed = 42);
+
+  // Computes the round-trip cost, applies it per the mode, and returns it.
+  DurationNs RoundTrip(size_t req_bytes, size_t resp_bytes);
+
+  // Cost without applying (for planning / accounting).
+  DurationNs PeekRoundTrip(size_t req_bytes, size_t resp_bytes);
+
+  const NetworkModel& model() const { return model_; }
+  Mode mode() const { return mode_; }
+
+  // Cumulative accounting (bytes on the wire, time charged, ops).
+  uint64_t total_ops() const { return total_ops_.load(); }
+  uint64_t total_bytes() const { return total_bytes_.load(); }
+  DurationNs total_time() const { return total_time_.load(); }
+
+ private:
+  NetworkModel model_;
+  Mode mode_;
+  Clock* clock_;
+  std::mutex rng_mu_;
+  Rng rng_;
+  std::atomic<uint64_t> total_ops_{0};
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<DurationNs> total_time_{0};
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_NET_NETWORK_H_

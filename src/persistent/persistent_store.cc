@@ -1,0 +1,136 @@
+#include "src/persistent/persistent_store.h"
+
+#include <utility>
+
+namespace jiffy {
+
+SimObjectStore::SimObjectStore(const char* name,
+                               std::shared_ptr<Transport> transport)
+    : name_(name), transport_(std::move(transport)) {}
+
+Status SimObjectStore::Put(const std::string& path, std::string data) {
+  if (transport_ != nullptr) {
+    transport_->RoundTrip(data.size() + path.size(), 64);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(path);
+  if (it != objects_.end()) {
+    total_bytes_ -= it->second.size();
+    it->second = std::move(data);
+    total_bytes_ += it->second.size();
+  } else {
+    total_bytes_ += data.size();
+    objects_.emplace(path, std::move(data));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> SimObjectStore::Get(const std::string& path) {
+  size_t resp_size = 0;
+  std::string data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(path);
+    if (it == objects_.end()) {
+      // A miss still costs a round trip on a real object store.
+      if (transport_ != nullptr) {
+        transport_->RoundTrip(path.size(), 64);
+      }
+      return NotFound("no object at " + path);
+    }
+    data = it->second;
+    resp_size = data.size();
+  }
+  if (transport_ != nullptr) {
+    transport_->RoundTrip(path.size(), resp_size);
+  }
+  return data;
+}
+
+Status SimObjectStore::Delete(const std::string& path) {
+  if (transport_ != nullptr) {
+    transport_->RoundTrip(path.size(), 64);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) {
+    return NotFound("no object at " + path);
+  }
+  total_bytes_ -= it->second.size();
+  objects_.erase(it);
+  return Status::Ok();
+}
+
+bool SimObjectStore::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(path) > 0;
+}
+
+std::vector<std::string> SimObjectStore::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+DurationNs SimObjectStore::WriteCost(size_t bytes) const {
+  if (transport_ == nullptr) {
+    return 0;
+  }
+  // Deterministic: model without jitter.
+  NetworkModel m = transport_->model();
+  m.jitter = 0;
+  return m.RoundTrip(bytes, 64, nullptr);
+}
+
+DurationNs SimObjectStore::ReadCost(size_t bytes) const {
+  if (transport_ == nullptr) {
+    return 0;
+  }
+  NetworkModel m = transport_->model();
+  m.jitter = 0;
+  return m.RoundTrip(64, bytes, nullptr);
+}
+
+size_t SimObjectStore::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+size_t SimObjectStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+std::unique_ptr<SimObjectStore> MakeLocalStore() {
+  return std::make_unique<SimObjectStore>("local", nullptr);
+}
+
+std::unique_ptr<SimObjectStore> MakeS3Store(Transport::Mode mode,
+                                            Clock* clock) {
+  NetworkModel m;
+  m.base_latency = 12 * kMillisecond;
+  m.bandwidth_bytes_per_sec = 80e6;
+  m.jitter = 3 * kMillisecond;
+  m.service_floor = 1 * kMillisecond;
+  return std::make_unique<SimObjectStore>(
+      "s3", std::make_shared<Transport>(m, mode, clock, /*seed=*/101));
+}
+
+std::unique_ptr<SimObjectStore> MakeSsdStore(Transport::Mode mode,
+                                             Clock* clock) {
+  NetworkModel m;
+  m.base_latency = 40 * kMicrosecond;
+  m.bandwidth_bytes_per_sec = 500e6;
+  m.jitter = 10 * kMicrosecond;
+  m.service_floor = 20 * kMicrosecond;
+  return std::make_unique<SimObjectStore>(
+      "ssd", std::make_shared<Transport>(m, mode, clock, /*seed=*/102));
+}
+
+}  // namespace jiffy

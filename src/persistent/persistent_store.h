@@ -1,0 +1,95 @@
+// Persistent (secondary) storage tiers.
+//
+// Jiffy flushes expired address-prefix data here (§3.2) and loads it back on
+// demand; Pocket spills to an SSD tier and Elasticache overflows to S3 when
+// DRAM capacity is exhausted (§6.1). All tiers share one interface: a flat
+// object store plus a deterministic cost model, so virtual-time experiments
+// can charge tier access without sleeping.
+
+#ifndef SRC_PERSISTENT_PERSISTENT_STORE_H_
+#define SRC_PERSISTENT_PERSISTENT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/network.h"
+
+namespace jiffy {
+
+class PersistentStore {
+ public:
+  virtual ~PersistentStore() = default;
+
+  // Stores `data` at `path`, replacing any previous object.
+  virtual Status Put(const std::string& path, std::string data) = 0;
+
+  // Reads the object at `path`.
+  virtual Result<std::string> Get(const std::string& path) = 0;
+
+  virtual Status Delete(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) const = 0;
+
+  // Objects stored under a path prefix, sorted (for flush/load of a whole
+  // address prefix).
+  virtual std::vector<std::string> List(const std::string& prefix) const = 0;
+
+  // Deterministic access-cost model for this tier (no jitter), used by
+  // trace-replay experiments to charge slow-tier I/O in virtual time.
+  virtual DurationNs WriteCost(size_t bytes) const = 0;
+  virtual DurationNs ReadCost(size_t bytes) const = 0;
+
+  // Human-readable tier name ("s3", "ssd", "local").
+  virtual const char* name() const = 0;
+};
+
+// In-memory object store with a configurable cost model. `transport` (if
+// non-null) is charged/applied on every access, so in kSleep mode access
+// really takes tier-time — this is how the S3 and SSD tiers are realized.
+class SimObjectStore : public PersistentStore {
+ public:
+  // Takes ownership of nothing; `transport` must outlive the store (pass
+  // nullptr for a free store).
+  SimObjectStore(const char* name, std::shared_ptr<Transport> transport);
+
+  Status Put(const std::string& path, std::string data) override;
+  Result<std::string> Get(const std::string& path) override;
+  Status Delete(const std::string& path) override;
+  bool Exists(const std::string& path) const override;
+  std::vector<std::string> List(const std::string& prefix) const override;
+
+  DurationNs WriteCost(size_t bytes) const override;
+  DurationNs ReadCost(size_t bytes) const override;
+
+  const char* name() const override { return name_; }
+
+  // Totals for utilization reporting.
+  size_t object_count() const;
+  size_t total_bytes() const;
+
+ private:
+  const char* name_;
+  std::shared_ptr<Transport> transport_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> objects_;
+  size_t total_bytes_ = 0;
+};
+
+// Tier factories with cost models calibrated to the paper's Fig 10 envelope.
+
+// Zero-cost local store for unit tests.
+std::unique_ptr<SimObjectStore> MakeLocalStore();
+
+// S3-like object store: ~12 ms one-way floor, ~80 MB/s effective.
+std::unique_ptr<SimObjectStore> MakeS3Store(Transport::Mode mode, Clock* clock);
+
+// SSD spill tier (Pocket's secondary tier): ~80 us access, ~500 MB/s.
+std::unique_ptr<SimObjectStore> MakeSsdStore(Transport::Mode mode, Clock* clock);
+
+}  // namespace jiffy
+
+#endif  // SRC_PERSISTENT_PERSISTENT_STORE_H_

@@ -1,0 +1,23 @@
+#include "src/workload/excamera.h"
+
+namespace jiffy {
+
+std::vector<ExCameraTask> MakeExCameraTasks(const ExCameraParams& params,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ExCameraTask> tasks;
+  tasks.reserve(params.num_tasks);
+  for (int i = 0; i < params.num_tasks; ++i) {
+    ExCameraTask task;
+    task.id = i;
+    const int64_t jitter =
+        rng.NextInRange(-params.encode_jitter, params.encode_jitter);
+    task.encode_time =
+        std::max<DurationNs>(10 * kMillisecond, params.mean_encode_time + jitter);
+    task.state_bytes = params.state_bytes;
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+}  // namespace jiffy

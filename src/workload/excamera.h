@@ -1,0 +1,45 @@
+// Synthetic ExCamera-style video-encoding workload (§6.5, Fig 13(b)).
+//
+// ExCamera encodes a video with fine-grained parallel serverless tasks that
+// exchange encoder state along a chain: task i finishes its chunk, ships its
+// final state to task i+1, which needs it to start its own final pass. Task
+// latency is therefore encode time + wait-for-upstream-state time; the wait
+// component is what the rendezvous-vs-Jiffy-queue comparison measures.
+//
+// We model 4K raw-frame chunks (state messages of a few hundred KB) and
+// per-task encode times drawn around a configurable mean, as in the paper's
+// Sintel clips.
+
+#ifndef SRC_WORKLOAD_EXCAMERA_H_
+#define SRC_WORKLOAD_EXCAMERA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace jiffy {
+
+struct ExCameraTask {
+  int id = 0;
+  // Time to encode this task's chunk before it can consume upstream state.
+  DurationNs encode_time = 0;
+  // Encoder state shipped to the next task.
+  size_t state_bytes = 0;
+};
+
+struct ExCameraParams {
+  int num_tasks = 14;  // Fig 13(b) shows task IDs 0..14.
+  DurationNs mean_encode_time = 300 * kMillisecond;
+  DurationNs encode_jitter = 100 * kMillisecond;
+  size_t state_bytes = 256 << 10;
+};
+
+// Deterministic task list for (params, seed).
+std::vector<ExCameraTask> MakeExCameraTasks(const ExCameraParams& params,
+                                            uint64_t seed);
+
+}  // namespace jiffy
+
+#endif  // SRC_WORKLOAD_EXCAMERA_H_

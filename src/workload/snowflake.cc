@@ -1,0 +1,146 @@
+#include "src/workload/snowflake.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jiffy {
+
+TimeNs JobSpec::EndTime() const {
+  if (stages.empty()) {
+    return submit_time;
+  }
+  const StageSpec& last = stages.back();
+  return submit_time + last.start_offset + last.duration;
+}
+
+uint64_t JobSpec::LiveBytesAt(TimeNs t) const {
+  // Stage i's output is live from the start of stage i until the end of
+  // stage i+1 (its consumer); the last stage's output until job end.
+  uint64_t live = 0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const TimeNs start = submit_time + stages[i].start_offset;
+    TimeNs until;
+    if (i + 1 < stages.size()) {
+      until = submit_time + stages[i + 1].start_offset + stages[i + 1].duration;
+    } else {
+      until = EndTime();
+    }
+    if (t >= start && t < until) {
+      live += stages[i].bytes;
+    }
+  }
+  return live;
+}
+
+uint64_t JobSpec::PeakBytes() const {
+  // Evaluate at stage boundaries — live bytes only change there.
+  uint64_t peak = 0;
+  for (const StageSpec& s : stages) {
+    peak = std::max(peak, LiveBytesAt(submit_time + s.start_offset));
+    peak = std::max(peak,
+                    LiveBytesAt(submit_time + s.start_offset + s.duration - 1));
+  }
+  return peak;
+}
+
+uint64_t JobSpec::TotalBytes() const {
+  uint64_t total = 0;
+  for (const StageSpec& s : stages) {
+    total += s.bytes;
+  }
+  return total;
+}
+
+uint64_t TenantTrace::LiveBytesAt(TimeNs t) const {
+  uint64_t live = 0;
+  for (const JobSpec& job : jobs) {
+    live += job.LiveBytesAt(t);
+  }
+  return live;
+}
+
+SnowflakeTraceGen::SnowflakeTraceGen(const SnowflakeParams& params,
+                                     uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+TenantTrace SnowflakeTraceGen::GenerateTenant(uint32_t i) {
+  Rng rng(seed_ * 1000003 + i);
+  TenantTrace trace;
+  trace.tenant = "tenant" + std::to_string(i);
+  // Tenants differ in intensity: scale the median stage size per tenant so
+  // some tenants are orders of magnitude heavier, as in the real dataset.
+  const double tenant_mu =
+      params_.stage_bytes_mu + rng.NextGaussian() * 0.8;
+
+  TimeNs t = static_cast<TimeNs>(rng.NextExponential(
+      1.0 / static_cast<double>(params_.mean_job_interarrival)));
+  uint32_t job_idx = 0;
+  while (t < params_.window) {
+    JobSpec job;
+    job.id = trace.tenant + "-job" + std::to_string(job_idx++);
+    job.submit_time = t;
+    const uint32_t num_stages = static_cast<uint32_t>(rng.NextInRange(
+        params_.min_stages, params_.max_stages));
+    DurationNs offset = 0;
+    for (uint32_t s = 0; s < num_stages; ++s) {
+      StageSpec stage;
+      stage.start_offset = offset;
+      stage.duration = std::max<DurationNs>(
+          kSecond, static_cast<DurationNs>(rng.NextExponential(
+                       1.0 / static_cast<double>(params_.mean_stage_duration))));
+      stage.bytes = static_cast<uint64_t>(std::clamp(
+          rng.NextLogNormal(tenant_mu, params_.stage_bytes_sigma),
+          static_cast<double>(params_.min_stage_bytes),
+          static_cast<double>(params_.max_stage_bytes)));
+      offset += stage.duration;
+      job.stages.push_back(stage);
+    }
+    trace.jobs.push_back(std::move(job));
+    t += static_cast<TimeNs>(rng.NextExponential(
+        1.0 / static_cast<double>(params_.mean_job_interarrival)));
+  }
+  return trace;
+}
+
+std::vector<TenantTrace> SnowflakeTraceGen::GenerateAll() {
+  std::vector<TenantTrace> traces;
+  traces.reserve(params_.num_tenants);
+  for (uint32_t i = 0; i < params_.num_tenants; ++i) {
+    traces.push_back(GenerateTenant(i));
+  }
+  return traces;
+}
+
+std::vector<std::pair<TimeNs, uint64_t>> SnowflakeTraceGen::DemandSeries(
+    const TenantTrace& trace, DurationNs step, DurationNs window) {
+  std::vector<std::pair<TimeNs, uint64_t>> series;
+  for (TimeNs t = 0; t <= window; t += step) {
+    series.emplace_back(t, trace.LiveBytesAt(t));
+  }
+  return series;
+}
+
+uint64_t SnowflakeTraceGen::SeriesPeak(
+    const std::vector<std::pair<TimeNs, uint64_t>>& series) {
+  uint64_t peak = 0;
+  for (const auto& [t, v] : series) {
+    (void)t;
+    peak = std::max(peak, v);
+  }
+  return peak;
+}
+
+double SnowflakeTraceGen::SeriesMean(
+    const std::vector<std::pair<TimeNs, uint64_t>>& series) {
+  if (series.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& [t, v] : series) {
+    (void)t;
+    sum += static_cast<double>(v);
+  }
+  return sum / static_cast<double>(series.size());
+}
+
+}  // namespace jiffy

@@ -1,0 +1,101 @@
+// Synthetic multi-tenant trace generator standing in for the Snowflake
+// production dataset the paper analyzes (Fig 1) and replays (§6.1, §6.3,
+// §6.6). See DESIGN.md §1 for the substitution argument.
+//
+// The generator is calibrated to the published statistics:
+//   - per-stage intermediate data sizes are heavy-tailed (log-normal with
+//     σ≈2), spanning ~5 orders of magnitude like TPC-DS stage outputs
+//     (0.8 MB–66 GB in the paper, scaled down here);
+//   - the ratio of a tenant's peak to average demand varies by 1–2 orders
+//     of magnitude within minutes (Fig 1(a));
+//   - provisioning every tenant at its peak yields <20 % average
+//     utilization (Fig 1(b)).
+// The Fig 1 bench verifies these properties against the generator.
+
+#ifndef SRC_WORKLOAD_SNOWFLAKE_H_
+#define SRC_WORKLOAD_SNOWFLAKE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+
+namespace jiffy {
+
+// One stage of a job. Its intermediate data is produced over
+// [start_offset, start_offset+duration) and consumed by the next stage, so
+// it stays live until the next stage finishes (the last stage's output
+// lives until job end).
+struct StageSpec {
+  DurationNs start_offset = 0;  // From job submit time.
+  DurationNs duration = 0;
+  uint64_t bytes = 0;
+};
+
+struct JobSpec {
+  std::string id;
+  TimeNs submit_time = 0;
+  std::vector<StageSpec> stages;
+
+  TimeNs EndTime() const;
+  // Declared demand: the peak of concurrently live intermediate bytes —
+  // what a job would have to tell Pocket at submission.
+  uint64_t PeakBytes() const;
+  uint64_t TotalBytes() const;
+
+  // Live intermediate bytes at absolute time `t`.
+  uint64_t LiveBytesAt(TimeNs t) const;
+};
+
+struct TenantTrace {
+  std::string tenant;
+  std::vector<JobSpec> jobs;
+
+  uint64_t LiveBytesAt(TimeNs t) const;
+};
+
+struct SnowflakeParams {
+  uint32_t num_tenants = 4;
+  DurationNs window = 3600 * kSecond;          // Fig 1's one-hour window.
+  DurationNs mean_job_interarrival = 90 * kSecond;
+  DurationNs mean_stage_duration = 20 * kSecond;
+  uint32_t min_stages = 1;
+  uint32_t max_stages = 8;
+  // Log-normal stage sizes: exp(mu) is the median stage size; sigma≈2 gives
+  // the multi-order-of-magnitude spread the paper reports.
+  double stage_bytes_mu = 14.5;   // e^14.5 ≈ 2 MB.
+  double stage_bytes_sigma = 2.4;
+  uint64_t min_stage_bytes = 16 << 10;
+  uint64_t max_stage_bytes = 512u << 20;
+};
+
+class SnowflakeTraceGen {
+ public:
+  SnowflakeTraceGen(const SnowflakeParams& params, uint64_t seed);
+
+  // Trace for tenant `i` (deterministic given (params, seed, i)).
+  TenantTrace GenerateTenant(uint32_t i);
+  std::vector<TenantTrace> GenerateAll();
+
+  const SnowflakeParams& params() const { return params_; }
+
+  // (t, live bytes) samples every `step` across [0, window].
+  static std::vector<std::pair<TimeNs, uint64_t>> DemandSeries(
+      const TenantTrace& trace, DurationNs step, DurationNs window);
+
+  // Peak and mean of a demand series.
+  static uint64_t SeriesPeak(
+      const std::vector<std::pair<TimeNs, uint64_t>>& series);
+  static double SeriesMean(
+      const std::vector<std::pair<TimeNs, uint64_t>>& series);
+
+ private:
+  SnowflakeParams params_;
+  uint64_t seed_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_WORKLOAD_SNOWFLAKE_H_

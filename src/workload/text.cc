@@ -1,0 +1,60 @@
+#include "src/workload/text.h"
+
+namespace jiffy {
+
+SentenceGenerator::SentenceGenerator(uint32_t vocab_size, double zipf_theta,
+                                     uint64_t seed)
+    : vocab_size_(vocab_size),
+      zipf_(vocab_size, zipf_theta, seed),
+      rng_(seed ^ 0xabcdef) {}
+
+std::string SentenceGenerator::Word(uint32_t i) const {
+  // Pad short ranks so common words are short and rare words longer, like
+  // natural text ("w0" vs "w000123").
+  std::string word = "w" + std::to_string(i);
+  if (i >= 1000) {
+    word += "x";
+  }
+  return word;
+}
+
+std::string SentenceGenerator::Sentence(uint32_t min_words,
+                                        uint32_t max_words) {
+  const uint32_t n =
+      static_cast<uint32_t>(rng_.NextInRange(min_words, max_words));
+  std::string out;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += Word(static_cast<uint32_t>(zipf_.Next()));
+  }
+  return out;
+}
+
+std::vector<std::string> SentenceGenerator::Batch(uint32_t sentences) {
+  std::vector<std::string> out;
+  out.reserve(sentences);
+  for (uint32_t i = 0; i < sentences; ++i) {
+    out.push_back(Sentence());
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWords(const std::string& text) {
+  std::vector<std::string> words;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find_first_of(" \n\t", start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    if (end > start) {
+      words.push_back(text.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return words;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,44 @@
+// Synthetic text workload standing in for the Wikipedia sentence stream in
+// the streaming word-count experiment (§6.5, Fig 13(a)). Vocabulary follows
+// a Zipf distribution, matching natural-language word frequencies, so the
+// partition→count pipeline sees realistic key skew.
+
+#ifndef SRC_WORKLOAD_TEXT_H_
+#define SRC_WORKLOAD_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace jiffy {
+
+class SentenceGenerator {
+ public:
+  SentenceGenerator(uint32_t vocab_size, double zipf_theta, uint64_t seed);
+
+  // The i-th vocabulary word ("w<i>" with deterministic length padding so
+  // word sizes vary like real text).
+  std::string Word(uint32_t i) const;
+
+  // One sentence of `min_words`..`max_words` space-separated words.
+  std::string Sentence(uint32_t min_words = 6, uint32_t max_words = 14);
+
+  // A batch of sentences separated by '\n'.
+  std::vector<std::string> Batch(uint32_t sentences);
+
+  uint32_t vocab_size() const { return vocab_size_; }
+
+ private:
+  uint32_t vocab_size_;
+  ZipfSampler zipf_;
+  Rng rng_;
+};
+
+// Splits `text` on whitespace (the word-count map step).
+std::vector<std::string> SplitWords(const std::string& text);
+
+}  // namespace jiffy
+
+#endif  // SRC_WORKLOAD_TEXT_H_

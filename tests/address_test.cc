@@ -1,0 +1,75 @@
+// Unit tests for hierarchical address paths (§3.1).
+
+#include <gtest/gtest.h>
+
+#include "src/core/address.h"
+
+namespace jiffy {
+namespace {
+
+TEST(AddressPathTest, ParsesSimplePath) {
+  auto p = AddressPath::Parse("/job1/T1/T5");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->depth(), 3u);
+  EXPECT_EQ(p->job(), "job1");
+  EXPECT_EQ(p->leaf(), "T5");
+  EXPECT_EQ(p->ToString(), "/job1/T1/T5");
+}
+
+TEST(AddressPathTest, LeadingSlashOptional) {
+  auto p = AddressPath::Parse("job1/T1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "/job1/T1");
+}
+
+TEST(AddressPathTest, TrailingSlashTolerated) {
+  auto p = AddressPath::Parse("/job1/T1/");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->depth(), 2u);
+}
+
+TEST(AddressPathTest, RejectsEmpty) {
+  EXPECT_FALSE(AddressPath::Parse("").ok());
+  EXPECT_FALSE(AddressPath::Parse("/").ok());
+}
+
+TEST(AddressPathTest, RejectsEmptySegment) {
+  EXPECT_FALSE(AddressPath::Parse("/job1//T1").ok());
+}
+
+TEST(AddressPathTest, RejectsBadCharacters) {
+  EXPECT_FALSE(AddressPath::Parse("/job 1/T1").ok());
+  EXPECT_FALSE(AddressPath::Parse("/job*/T1").ok());
+}
+
+TEST(AddressPathTest, AllowsDotsDashesUnderscores) {
+  EXPECT_TRUE(AddressPath::Parse("/job-1/T_1.a").ok());
+}
+
+TEST(AddressPathTest, ParentAndChild) {
+  auto p = AddressPath::Parse("/j/a/b");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Parent().ToString(), "/j/a");
+  EXPECT_EQ(p->Child("c").ToString(), "/j/a/b/c");
+}
+
+TEST(AddressPathTest, ParentOfSingleSegmentIsEmpty) {
+  auto p = AddressPath::Parse("/j");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Parent().empty());
+}
+
+TEST(AddressPathTest, EqualityBySegments) {
+  EXPECT_EQ(*AddressPath::Parse("/a/b"), *AddressPath::Parse("a/b/"));
+}
+
+TEST(PathSegmentTest, Validation) {
+  EXPECT_TRUE(IsValidPathSegment("T1"));
+  EXPECT_TRUE(IsValidPathSegment("map_0.out-1"));
+  EXPECT_FALSE(IsValidPathSegment(""));
+  EXPECT_FALSE(IsValidPathSegment("a/b"));
+  EXPECT_FALSE(IsValidPathSegment("a b"));
+}
+
+}  // namespace
+}  // namespace jiffy

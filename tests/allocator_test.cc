@@ -1,0 +1,115 @@
+// Unit tests for the controller's free-block list (§4.2.1).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/core/allocator.h"
+
+namespace jiffy {
+namespace {
+
+TEST(AllocatorTest, AllocatesUniqueBlocks) {
+  BlockAllocator alloc(2, 4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 8; ++i) {
+    auto id = alloc.Allocate("job/a");
+    ASSERT_TRUE(id.ok());
+    EXPECT_TRUE(seen.insert(id->Packed()).second);
+  }
+  EXPECT_EQ(alloc.free_count(), 0u);
+  EXPECT_EQ(alloc.Allocate("job/a").status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(AllocatorTest, FreeReturnsCapacity) {
+  BlockAllocator alloc(1, 2);
+  auto a = alloc.Allocate("o");
+  auto b = alloc.Allocate("o");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(alloc.Free(*a).ok());
+  EXPECT_EQ(alloc.free_count(), 1u);
+  auto c = alloc.Allocate("o");
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(AllocatorTest, DoubleFreeRejected) {
+  BlockAllocator alloc(1, 2);
+  auto a = alloc.Allocate("o");
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(alloc.Free(*a).ok());
+  EXPECT_EQ(alloc.Free(*a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AllocatorTest, LeastLoadedPlacement) {
+  BlockAllocator alloc(3, 10);
+  // First three allocations land on distinct servers.
+  std::set<uint32_t> servers;
+  for (int i = 0; i < 3; ++i) {
+    auto id = alloc.Allocate("o");
+    ASSERT_TRUE(id.ok());
+    servers.insert(id->server_id);
+  }
+  EXPECT_EQ(servers.size(), 3u);
+}
+
+TEST(AllocatorTest, AllocateNIsAtomic) {
+  BlockAllocator alloc(1, 4);
+  ASSERT_TRUE(alloc.Allocate("o").ok());
+  // Asking for more than free leaves state untouched.
+  EXPECT_EQ(alloc.AllocateN("o", 4).status().code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(alloc.free_count(), 3u);
+  auto got = alloc.AllocateN("o", 3);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 3u);
+  EXPECT_EQ(alloc.free_count(), 0u);
+}
+
+TEST(AllocatorTest, OwnerAccounting) {
+  BlockAllocator alloc(2, 4);
+  auto a = alloc.Allocate("j1/x");
+  auto b = alloc.Allocate("j1/x");
+  auto c = alloc.Allocate("j2/y");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(alloc.OwnerCount("j1/x"), 2u);
+  EXPECT_EQ(alloc.OwnerCount("j2/y"), 1u);
+  EXPECT_EQ(alloc.OwnerCount("nobody"), 0u);
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_EQ(alloc.OwnerCount("j1/x"), 1u);
+}
+
+TEST(AllocatorTest, PeakTracksHighWaterMark) {
+  BlockAllocator alloc(1, 4);
+  auto a = alloc.Allocate("o");
+  auto b = alloc.Allocate("o");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  ASSERT_TRUE(alloc.Free(*b).ok());
+  EXPECT_EQ(alloc.peak_allocated(), 2u);
+  EXPECT_EQ(alloc.allocated_count(), 0u);
+}
+
+TEST(AllocatorTest, ConcurrentAllocateFreeIsConsistent) {
+  BlockAllocator alloc(4, 64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&alloc, t] {
+      const std::string owner = "job" + std::to_string(t);
+      for (int i = 0; i < 500; ++i) {
+        auto id = alloc.Allocate(owner);
+        if (id.ok()) {
+          ASSERT_TRUE(alloc.Free(*id).ok());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(alloc.free_count(), 256u);
+  EXPECT_EQ(alloc.allocated_count(), 0u);
+}
+
+}  // namespace
+}  // namespace jiffy

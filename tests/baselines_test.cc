@@ -1,0 +1,234 @@
+// Tests for the comparison systems: remote service models (Fig 10), the
+// allocation-policy baselines (Fig 9), and the rendezvous server (Fig 13(b)).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/baselines/alloc_policy.h"
+#include "src/baselines/remote_models.h"
+#include "src/baselines/rendezvous.h"
+
+namespace jiffy {
+namespace {
+
+// --- Remote models ----------------------------------------------------------
+
+TEST(RemoteModelTest, PutGetRoundTrip) {
+  RemoteKvModel ec(RemoteKvModel::ElastiCache(), Transport::Mode::kZero,
+                   nullptr, 1);
+  DurationNs put_lat = 0, get_lat = 0;
+  ASSERT_TRUE(ec.Put("k", "value", &put_lat).ok());
+  auto v = ec.Get("k", &get_lat);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "value");
+  EXPECT_GT(put_lat, 0);
+  EXPECT_GT(get_lat, 0);
+  ASSERT_TRUE(ec.Delete("k").ok());
+  EXPECT_EQ(ec.Get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RemoteModelTest, DynamoRejectsLargeObjects) {
+  RemoteKvModel dynamo(RemoteKvModel::DynamoDb(), Transport::Mode::kZero,
+                       nullptr, 1);
+  std::string big(256 << 10, 'x');
+  EXPECT_EQ(dynamo.Put("k", big).code(), StatusCode::kInvalidArgument);
+  std::string ok_obj(64 << 10, 'x');
+  EXPECT_TRUE(dynamo.Put("k", ok_obj).ok());
+}
+
+TEST(RemoteModelTest, LatencyEnvelopeOrdering) {
+  // Persistent stores must be orders of magnitude slower than the
+  // in-memory ones for small objects (the Fig 10 gap).
+  const Transport::Mode mode = Transport::Mode::kZero;
+  RemoteKvModel s3(RemoteKvModel::S3(), mode, nullptr, 1);
+  RemoteKvModel ec(RemoteKvModel::ElastiCache(), mode, nullptr, 2);
+  DurationNs s3_lat = 0, ec_lat = 0;
+  ASSERT_TRUE(s3.Put("k", "small", &s3_lat).ok());
+  ASSERT_TRUE(ec.Put("k", "small", &ec_lat).ok());
+  EXPECT_GT(s3_lat, 20 * ec_lat);
+  EXPECT_LT(ec_lat, 1 * kMillisecond);
+  EXPECT_GT(s3_lat, 10 * kMillisecond);
+}
+
+// --- ElastiCache policy -------------------------------------------------------
+
+TEST(ElasticachePolicyTest, SpillsWhenFull) {
+  ElasticachePolicy ec(1000);
+  ASSERT_TRUE(ec.RegisterJob("j1", 0).ok());
+  TierSplit a = ec.WriteStage("j1", "s0", 600);
+  EXPECT_EQ(a.dram_bytes, 600u);
+  EXPECT_EQ(a.spill_bytes, 0u);
+  TierSplit b = ec.WriteStage("j1", "s1", 600);
+  EXPECT_EQ(b.dram_bytes, 400u);
+  EXPECT_EQ(b.spill_bytes, 200u);
+  EXPECT_EQ(ec.UsedBytes(), 1000u);
+}
+
+TEST(ElasticachePolicyTest, ReleaseStageFreesNothingUntilJobEnd) {
+  ElasticachePolicy ec(1000);
+  ASSERT_TRUE(ec.RegisterJob("j1", 0).ok());
+  ec.WriteStage("j1", "s0", 800);
+  ec.ReleaseStage("j1", "s0");
+  // Live data drops, but the DRAM stays occupied (coarse lifetime): a new
+  // stage only gets the remaining 200 bytes.
+  EXPECT_EQ(ec.UsedBytes(), 0u);
+  EXPECT_EQ(ec.ResidentBytes(), 800u);
+  TierSplit w = ec.WriteStage("j1", "s1", 500);
+  EXPECT_EQ(w.dram_bytes, 200u);
+  EXPECT_EQ(w.spill_bytes, 300u);
+  ec.EndJob("j1");
+  EXPECT_EQ(ec.ResidentBytes(), 0u);
+  EXPECT_EQ(ec.UsedBytes(), 0u);
+}
+
+TEST(ElasticachePolicyTest, AllocatedIsAlwaysFullCapacity) {
+  ElasticachePolicy ec(5000);
+  EXPECT_EQ(ec.AllocatedBytes(), 5000u);  // Statically provisioned.
+}
+
+// --- Pocket policy --------------------------------------------------------------
+
+TEST(PocketPolicyTest, ReservesDeclaredDemandForLifetime) {
+  PocketPolicy pocket(10 * 128, 128);
+  ASSERT_TRUE(pocket.RegisterJob("j1", 512).ok());
+  EXPECT_EQ(pocket.AllocatedBytes(), 512u);  // 4 blocks.
+  // A second job can only reserve what is left.
+  ASSERT_TRUE(pocket.RegisterJob("j2", 1024).ok());
+  EXPECT_EQ(pocket.AllocatedBytes(), 1280u);  // Capped at capacity.
+  TierSplit w = pocket.WriteStage("j2", "s0", 1024);
+  EXPECT_EQ(w.dram_bytes, 768u);
+  EXPECT_EQ(w.spill_bytes, 256u);
+}
+
+TEST(PocketPolicyTest, ReleaseReturnsToJobNotPool) {
+  PocketPolicy pocket(1024, 128);
+  ASSERT_TRUE(pocket.RegisterJob("j1", 1024).ok());
+  pocket.WriteStage("j1", "s0", 512);
+  pocket.ReleaseStage("j1", "s0");
+  EXPECT_EQ(pocket.UsedBytes(), 0u);
+  // Reservation is still held: a second job gets nothing.
+  ASSERT_TRUE(pocket.RegisterJob("j2", 512).ok());
+  TierSplit w = pocket.WriteStage("j2", "s0", 512);
+  EXPECT_EQ(w.dram_bytes, 0u);
+  EXPECT_EQ(w.spill_bytes, 512u);
+  // After j1 ends, the pool frees up for future jobs.
+  pocket.EndJob("j1");
+  EXPECT_EQ(pocket.AllocatedBytes(), 0u);
+}
+
+TEST(PocketPolicyTest, LaterStagesReuseJobReservation) {
+  PocketPolicy pocket(1024, 128);
+  ASSERT_TRUE(pocket.RegisterJob("j1", 512).ok());
+  pocket.WriteStage("j1", "s0", 512);
+  pocket.ReleaseStage("j1", "s0");
+  TierSplit w = pocket.WriteStage("j1", "s1", 512);
+  EXPECT_EQ(w.dram_bytes, 512u);  // Freed space reused within the job.
+}
+
+// --- Jiffy policy ---------------------------------------------------------------
+
+class JiffyPolicyTest : public ::testing::Test {
+ protected:
+  JiffyPolicyTest() {
+    config_.num_memory_servers = 2;
+    config_.blocks_per_server = 8;   // 16 blocks × 1 KiB.
+    config_.block_size_bytes = 1024;
+    config_.lease_duration = 1 * kSecond;
+    policy_ = std::make_unique<JiffyPolicy>(config_, &clock_);
+  }
+
+  JiffyConfig config_;
+  SimClock clock_;
+  std::unique_ptr<JiffyPolicy> policy_;
+};
+
+TEST_F(JiffyPolicyTest, AllocatesAtBlockGranularity) {
+  ASSERT_TRUE(policy_->RegisterJob("j1", /*declared=*/0).ok());
+  TierSplit w = policy_->WriteStage("j1", "s0", 2500);
+  EXPECT_EQ(w.dram_bytes, 2500u);
+  EXPECT_EQ(w.spill_bytes, 0u);
+  EXPECT_EQ(policy_->AllocatedBytes(), 3u * 1024u);  // ceil(2500/1024).
+}
+
+TEST_F(JiffyPolicyTest, SpillsOnlyWhenPoolExhausted) {
+  ASSERT_TRUE(policy_->RegisterJob("j1", 0).ok());
+  TierSplit w = policy_->WriteStage("j1", "s0", 20 * 1024);
+  EXPECT_EQ(w.dram_bytes, 16u * 1024u);
+  EXPECT_EQ(w.spill_bytes, 4u * 1024u);
+}
+
+TEST_F(JiffyPolicyTest, LeaseExpiryReclaimsReleasedStages) {
+  ASSERT_TRUE(policy_->RegisterJob("j1", 0).ok());
+  policy_->WriteStage("j1", "s0", 4 * 1024);
+  EXPECT_EQ(policy_->AllocatedBytes(), 4u * 1024u);
+  policy_->ReleaseStage("j1", "s0");
+  // Lease not yet lapsed.
+  clock_.AdvanceBy(500 * kMillisecond);
+  policy_->Tick();
+  EXPECT_EQ(policy_->AllocatedBytes(), 4u * 1024u);
+  // Lease lapses → blocks return to the pool and another job can use them.
+  clock_.AdvanceBy(600 * kMillisecond);
+  policy_->Tick();
+  EXPECT_EQ(policy_->AllocatedBytes(), 0u);
+  ASSERT_TRUE(policy_->RegisterJob("j2", 0).ok());
+  TierSplit w = policy_->WriteStage("j2", "s0", 16 * 1024);
+  EXPECT_EQ(w.spill_bytes, 0u);
+}
+
+TEST_F(JiffyPolicyTest, ActiveStagesSurviveTicks) {
+  ASSERT_TRUE(policy_->RegisterJob("j1", 0).ok());
+  policy_->WriteStage("j1", "s0", 2 * 1024);
+  for (int i = 0; i < 5; ++i) {
+    clock_.AdvanceBy(800 * kMillisecond);
+    policy_->Tick();  // Renews active stage leases.
+  }
+  EXPECT_EQ(policy_->AllocatedBytes(), 2u * 1024u);
+}
+
+TEST_F(JiffyPolicyTest, EndJobFreesImmediately) {
+  ASSERT_TRUE(policy_->RegisterJob("j1", 0).ok());
+  policy_->WriteStage("j1", "s0", 2 * 1024);
+  policy_->EndJob("j1");
+  EXPECT_EQ(policy_->AllocatedBytes(), 0u);
+  EXPECT_EQ(policy_->UsedBytes(), 0u);
+}
+
+// --- Rendezvous server -----------------------------------------------------------
+
+TEST(RendezvousTest, SendThenReceive) {
+  Transport net(NetworkModel::Loopback(), Transport::Mode::kZero, nullptr);
+  RendezvousServer server(&net, /*poll_interval=*/1 * kMillisecond);
+  server.Send("task1", "state-blob");
+  auto msg = server.Receive("task1", 100 * kMillisecond);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(*msg, "state-blob");
+  EXPECT_EQ(server.Pending(), 0u);
+}
+
+TEST(RendezvousTest, ReceiveTimesOut) {
+  Transport net(NetworkModel::Loopback(), Transport::Mode::kZero, nullptr);
+  RendezvousServer server(&net, 1 * kMillisecond);
+  auto msg = server.Receive("nobody", 10 * kMillisecond);
+  EXPECT_EQ(msg.status().code(), StatusCode::kTimeout);
+  EXPECT_GT(server.total_polls(), 1u);  // It really polled.
+}
+
+TEST(RendezvousTest, PollingQuantizesWaitTime) {
+  Transport net(NetworkModel::Loopback(), Transport::Mode::kZero, nullptr);
+  RendezvousServer server(&net, 20 * kMillisecond);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.Send("t", "m");
+  });
+  const TimeNs start = RealClock::Instance()->Now();
+  auto msg = server.Receive("t", 1 * kSecond);
+  const DurationNs waited = RealClock::Instance()->Now() - start;
+  sender.join();
+  ASSERT_TRUE(msg.ok());
+  // The message arrived ~5 ms in but polling delays pickup to ~20 ms.
+  EXPECT_GE(waited, 15 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace jiffy

@@ -1,0 +1,187 @@
+// Tests for the cluster assembly: DataPlaneHooks, capacity accounting,
+// controller sharding, and the real-time LeaseExpiryWorker thread.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/client/jiffy_client.h"
+#include "src/core/lease.h"
+#include "src/ds/file_content.h"
+
+namespace jiffy {
+namespace {
+
+TEST(ClusterTest, TopologyMatchesConfig) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 3;
+  opts.config.blocks_per_server = 8;
+  opts.config.block_size_bytes = 1024;
+  opts.config.controller_shards = 4;
+  JiffyCluster cluster(opts);
+  EXPECT_EQ(cluster.num_memory_servers(), 3u);
+  EXPECT_EQ(cluster.num_controller_shards(), 4u);
+  EXPECT_EQ(cluster.TotalCapacityBytes(), 3u * 8u * 1024u);
+  EXPECT_EQ(cluster.AllocatedBytes(), 0u);
+}
+
+TEST(ClusterTest, ControllerShardingIsStable) {
+  JiffyCluster::Options opts;
+  opts.config.controller_shards = 4;
+  opts.config.num_memory_servers = 2;
+  opts.config.blocks_per_server = 4;
+  JiffyCluster cluster(opts);
+  // The same job always maps to the same shard; different jobs spread.
+  Controller* a = cluster.ControllerFor("job-a");
+  EXPECT_EQ(a, cluster.ControllerFor("job-a"));
+  std::set<Controller*> shards;
+  for (int i = 0; i < 64; ++i) {
+    shards.insert(cluster.ControllerFor("job" + std::to_string(i)));
+  }
+  EXPECT_GT(shards.size(), 1u);
+}
+
+TEST(ClusterTest, ShardedJobsAreIndependent) {
+  JiffyCluster::Options opts;
+  opts.config.controller_shards = 4;
+  opts.config.num_memory_servers = 2;
+  opts.config.blocks_per_server = 32;
+  opts.config.block_size_bytes = 4096;
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  // Jobs across shards share the data plane (one allocator) but have
+  // independent hierarchies.
+  for (int i = 0; i < 8; ++i) {
+    const std::string job = "job" + std::to_string(i);
+    ASSERT_TRUE(client.RegisterJob(job).ok());
+    ASSERT_TRUE(client.CreateAddrPrefix("/" + job + "/t", {}).ok());
+    auto kv = client.OpenKv("/" + job + "/t");
+    ASSERT_TRUE(kv.ok());
+    ASSERT_TRUE((*kv)->Put("k", job).ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    const std::string job = "job" + std::to_string(i);
+    auto kv = client.OpenKv("/" + job + "/t");
+    ASSERT_TRUE(kv.ok());
+    EXPECT_EQ(*(*kv)->Get("k"), job);
+  }
+  EXPECT_EQ(cluster.allocator()->allocated_count(), 8u);
+}
+
+TEST(ClusterTest, HooksRoundTripAllTypes) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 1;
+  opts.config.blocks_per_server = 8;
+  opts.config.block_size_bytes = 4096;
+  JiffyCluster cluster(opts);
+  // Exercise the hooks directly: init → mutate → serialize → reset →
+  // restore for each DS type.
+  const BlockId id{0, 0};
+  ASSERT_TRUE(cluster.InitBlock(id, DsType::kFile, 0, 4096, "j", "p").ok());
+  Block* block = cluster.ResolveBlock(id);
+  {
+    std::lock_guard<std::mutex> lock(block->mu());
+    dynamic_cast<FileChunk*>(block->content())->Append("hook-bytes");
+  }
+  auto data = cluster.SerializeBlock(id);
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(cluster.ResetBlock(id).ok());
+  EXPECT_FALSE(block->allocated());
+  ASSERT_TRUE(cluster.RestoreBlock(id, DsType::kFile, *data, 0, 4096, "j", "p").ok());
+  {
+    std::lock_guard<std::mutex> lock(block->mu());
+    auto* chunk = dynamic_cast<FileChunk*>(block->content());
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_EQ(*chunk->ReadAt(0, 10), "hook-bytes");
+  }
+  EXPECT_TRUE(cluster.IsBlockLive(id));
+  EXPECT_FALSE(cluster.IsBlockLive(BlockId{9, 0}));
+}
+
+TEST(ClusterTest, UsedBytesTracksContent) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 2;
+  opts.config.blocks_per_server = 8;
+  opts.config.block_size_bytes = 4096;
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  ASSERT_TRUE(client.RegisterJob("j").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/j/f", {}).ok());
+  auto file = client.OpenFile("/j/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(std::string(1000, 'x')).ok());
+  EXPECT_EQ(cluster.UsedBytes(), 1000u);
+  EXPECT_EQ(cluster.AllocatedBytes(), 4096u);
+}
+
+TEST(LeaseWorkerTest, BackgroundThreadReclaimsExpiredPrefixes) {
+  // Real clock: a short lease plus a running expiry worker must reclaim
+  // the prefix without any manual scan.
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 1;
+  opts.config.blocks_per_server = 8;
+  opts.config.block_size_bytes = 1024;
+  opts.config.lease_duration = 60 * kMillisecond;
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  ASSERT_TRUE(client.RegisterJob("j").ok());
+  CreateOptions copts;
+  copts.init_ds = true;
+  ASSERT_TRUE(client.CreateAddrPrefix("/j/t", {}, copts).ok());
+  ASSERT_EQ(cluster.allocator()->allocated_count(), 1u);
+
+  LeaseExpiryWorker worker({cluster.controller_shard(0)},
+                           /*period=*/20 * kMillisecond);
+  worker.Start();
+  EXPECT_TRUE(worker.running());
+  // Renew for a while: the worker must NOT reclaim a live lease.
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(client.RenewLease("/j/t").ok());
+  }
+  EXPECT_EQ(cluster.allocator()->allocated_count(), 1u);
+  // Stop renewing: reclaimed within a few scan periods.
+  const TimeNs deadline = RealClock::Instance()->Now() + 2 * kSecond;
+  while (cluster.allocator()->allocated_count() > 0 &&
+         RealClock::Instance()->Now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(cluster.allocator()->allocated_count(), 0u);
+  worker.Stop();
+  EXPECT_FALSE(worker.running());
+}
+
+TEST(LeaseWorkerTest, StartStopIdempotent) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 1;
+  opts.config.blocks_per_server = 2;
+  JiffyCluster cluster(opts);
+  LeaseExpiryWorker worker({cluster.controller_shard(0)}, 10 * kMillisecond);
+  worker.Start();
+  worker.Start();  // No-op.
+  worker.Stop();
+  worker.Stop();  // No-op.
+  worker.Start();  // Restartable.
+  worker.Stop();
+}
+
+TEST(ClusterTest, TransportAccountingVisible) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 1;
+  opts.config.blocks_per_server = 4;
+  opts.net_model = NetworkModel::Ec2IntraDc();
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  ASSERT_TRUE(client.RegisterJob("j").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/j/kv", {}).ok());
+  auto kv = client.OpenKv("/j/kv");
+  ASSERT_TRUE(kv.ok());
+  const uint64_t data_ops_before = cluster.data_transport()->total_ops();
+  ASSERT_TRUE((*kv)->Put("k", "v").ok());
+  EXPECT_GT(cluster.data_transport()->total_ops(), data_ops_before);
+  EXPECT_GT(cluster.control_transport()->total_ops(), 0u);
+  EXPECT_GT(cluster.data_transport()->total_time(), 0);
+}
+
+}  // namespace
+}  // namespace jiffy

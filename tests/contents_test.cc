@@ -1,0 +1,243 @@
+// Unit tests for block contents: FileChunk, QueueSegment, KvShard, and
+// their flush/restore serialization (§3.2, §5).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/ds/file_content.h"
+#include "src/ds/kv_content.h"
+#include "src/ds/queue_content.h"
+#include "src/common/serde.h"
+
+namespace jiffy {
+namespace {
+
+// --- FileChunk ---------------------------------------------------------------
+
+TEST(FileChunkTest, AppendAndRead) {
+  FileChunk chunk(64, /*base_offset=*/0);
+  EXPECT_EQ(chunk.Append("hello "), 6u);
+  EXPECT_EQ(chunk.Append("world"), 5u);
+  EXPECT_EQ(chunk.used_bytes(), 11u);
+  auto r = chunk.ReadAt(0, 11);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello world");
+  EXPECT_EQ(*chunk.ReadAt(6, 5), "world");
+}
+
+TEST(FileChunkTest, PartialAppendAtCapacity) {
+  FileChunk chunk(8, 0);
+  EXPECT_EQ(chunk.Append("0123456789"), 8u);
+  EXPECT_EQ(chunk.used_bytes(), 8u);
+  EXPECT_EQ(chunk.Append("x"), 0u);
+}
+
+TEST(FileChunkTest, BaseOffsetRespected) {
+  FileChunk chunk(64, /*base_offset=*/100);
+  chunk.Append("abcdef");
+  EXPECT_EQ(chunk.end_offset(), 106u);
+  EXPECT_EQ(*chunk.ReadAt(102, 2), "cd");
+  EXPECT_EQ(chunk.ReadAt(50, 4).status().code(), StatusCode::kInvalidArgument);
+  // Reads past the end return empty (EOF), not an error.
+  EXPECT_EQ(*chunk.ReadAt(106, 4), "");
+}
+
+TEST(FileChunkTest, CapStopsAppends) {
+  FileChunk chunk(64, 0);
+  chunk.Append("data");
+  chunk.Cap();
+  EXPECT_TRUE(chunk.capped());
+  EXPECT_EQ(chunk.Append("more"), 0u);
+  EXPECT_EQ(*chunk.ReadAt(0, 4), "data");
+}
+
+TEST(FileChunkTest, SerializeRoundTrip) {
+  FileChunk chunk(64, 10);
+  chunk.Append("persisted-bytes");
+  auto restored = FileChunk::Deserialize(64, 10, chunk.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->used_bytes(), chunk.used_bytes());
+  EXPECT_EQ(*(*restored)->ReadAt(10, 15), "persisted-bytes");
+}
+
+TEST(FileChunkTest, DeserializeRejectsOversizedPayload) {
+  std::string big(100, 'x');
+  EXPECT_FALSE(FileChunk::Deserialize(64, 0, big).ok());
+}
+
+// --- QueueSegment ------------------------------------------------------------
+
+TEST(QueueSegmentTest, FifoOrder) {
+  QueueSegment seg(1024);
+  EXPECT_TRUE(seg.Enqueue("a"));
+  EXPECT_TRUE(seg.Enqueue("b"));
+  EXPECT_TRUE(seg.Enqueue("c"));
+  EXPECT_EQ(*seg.Dequeue(), "a");
+  EXPECT_EQ(*seg.Peek(), "b");
+  EXPECT_EQ(*seg.Dequeue(), "b");
+  EXPECT_EQ(*seg.Dequeue(), "c");
+  EXPECT_EQ(seg.Dequeue().status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueueSegmentTest, CapacitySealsSegment) {
+  QueueSegment seg(2 * (4 + QueueSegment::kPerItemOverhead));
+  EXPECT_TRUE(seg.Enqueue("aaaa"));
+  EXPECT_TRUE(seg.Enqueue("bbbb"));
+  std::string item = "cccc";
+  EXPECT_FALSE(seg.Enqueue(std::move(item)));
+  EXPECT_EQ(item, "cccc");  // Rejected item is left intact for retry.
+  EXPECT_TRUE(seg.sealed());
+  EXPECT_FALSE(seg.Drained());
+  (void)seg.Dequeue();
+  (void)seg.Dequeue();
+  EXPECT_TRUE(seg.Drained());
+}
+
+TEST(QueueSegmentTest, DequeueDoesNotReopenCapacity) {
+  QueueSegment seg(1 * (4 + QueueSegment::kPerItemOverhead));
+  EXPECT_TRUE(seg.Enqueue("aaaa"));
+  (void)seg.Dequeue();
+  // Capacity is append-bounded: the drained space is not reused.
+  EXPECT_FALSE(seg.Enqueue("bbbb"));
+}
+
+TEST(QueueSegmentTest, SerializeRoundTrip) {
+  QueueSegment seg(1024);
+  seg.Enqueue("one");
+  seg.Enqueue("two");
+  seg.Seal();
+  auto restored = QueueSegment::Deserialize(1024, seg.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->item_count(), 2u);
+  EXPECT_TRUE((*restored)->sealed());
+  EXPECT_EQ(*(*restored)->Dequeue(), "one");
+  EXPECT_EQ(*(*restored)->Dequeue(), "two");
+}
+
+TEST(QueueSegmentTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(QueueSegment::Deserialize(1024, "nonsense").ok());
+}
+
+// --- KvShard -----------------------------------------------------------------
+
+KvShard FullRangeShard(size_t capacity = 1 << 16) {
+  return KvShard(capacity, 0, 1024, 1024);
+}
+
+TEST(KvShardTest, PutGetDelete) {
+  KvShard shard = FullRangeShard();
+  ASSERT_TRUE(shard.Put("key", "value").ok());
+  EXPECT_EQ(*shard.Get("key"), "value");
+  EXPECT_TRUE(shard.Delete("key").ok());
+  EXPECT_EQ(shard.Get("key").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(shard.Delete("key").code(), StatusCode::kNotFound);
+}
+
+TEST(KvShardTest, UsedBytesAccounting) {
+  KvShard shard = FullRangeShard();
+  ASSERT_TRUE(shard.Put("abc", "defg").ok());
+  EXPECT_EQ(shard.used_bytes(), 3 + 4 + KvShard::kPerPairOverhead);
+  ASSERT_TRUE(shard.Put("abc", "xy").ok());  // Replace with shorter value.
+  EXPECT_EQ(shard.used_bytes(), 3 + 2 + KvShard::kPerPairOverhead);
+  ASSERT_TRUE(shard.Delete("abc").ok());
+  EXPECT_EQ(shard.used_bytes(), 0u);
+}
+
+TEST(KvShardTest, RejectsKeysOutsideSlotRange) {
+  // Shard owning no slots rejects everything with kStaleMetadata.
+  KvShard shard(1 << 16, 0, 0, 1024);
+  EXPECT_EQ(shard.Put("k", "v").code(), StatusCode::kStaleMetadata);
+  EXPECT_EQ(shard.Get("k").status().code(), StatusCode::kStaleMetadata);
+  EXPECT_EQ(shard.Delete("k").code(), StatusCode::kStaleMetadata);
+}
+
+TEST(KvShardTest, SplitOffMovesUpperSlots) {
+  KvShard shard = FullRangeShard();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(shard.Put("key" + std::to_string(i), "v").ok());
+  }
+  const size_t before = shard.pair_count();
+  std::vector<std::pair<std::string, std::string>> moved;
+  const size_t n = shard.SplitOff(512, &moved);
+  EXPECT_EQ(n, moved.size());
+  EXPECT_EQ(shard.pair_count() + moved.size(), before);
+  EXPECT_EQ(shard.slot_hi(), 512u);
+  // Every moved key hashes to the upper half, every kept key to the lower.
+  for (const auto& [k, v] : moved) {
+    (void)v;
+    EXPECT_GE(KvSlotOf(k, 1024), 512u);
+  }
+  shard.ForEach([](const std::string& k, const std::string& v) {
+    (void)v;
+    EXPECT_LT(KvSlotOf(k, 1024), 512u);
+  });
+  // Roughly half the keys should move under a uniform hash.
+  EXPECT_NEAR(static_cast<double>(n), 500.0, 120.0);
+}
+
+TEST(KvShardTest, AbsorbExtendsRange) {
+  KvShard left(1 << 16, 0, 512, 1024);
+  KvShard right(1 << 16, 512, 1024, 1024);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (KvSlotOf(key, 1024) < 512) {
+      ASSERT_TRUE(left.Put(key, "v").ok());
+    } else {
+      ASSERT_TRUE(right.Put(key, "v").ok());
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> pairs;
+  right.SplitOff(512, &pairs);  // Extract everything.
+  ASSERT_TRUE(left.Absorb(512, 1024, std::move(pairs)).ok());
+  EXPECT_EQ(left.slot_hi(), 1024u);
+  EXPECT_EQ(left.pair_count(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(left.Get("k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(KvShardTest, AbsorbRejectsNonAdjacent) {
+  KvShard shard(1 << 16, 0, 100, 1024);
+  EXPECT_EQ(shard.Absorb(500, 600, {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KvShardTest, SerializeRoundTrip) {
+  KvShard shard = FullRangeShard();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(shard.Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  auto restored =
+      KvShard::Deserialize(1 << 16, 0, 1024, 1024, shard.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->pair_count(), 100u);
+  EXPECT_EQ((*restored)->used_bytes(), shard.used_bytes());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*(*restored)->Get("k" + std::to_string(i)),
+              "v" + std::to_string(i));
+  }
+}
+
+// --- serde -------------------------------------------------------------------
+
+TEST(SerdeTest, RoundTrip) {
+  std::string buf;
+  PutU32(&buf, 7);
+  PutU64(&buf, 1ULL << 40);
+  PutString(&buf, "payload");
+  SerdeReader r(buf);
+  EXPECT_EQ(*r.ReadU32(), 7u);
+  EXPECT_EQ(*r.ReadU64(), 1ULL << 40);
+  EXPECT_EQ(*r.ReadString(), "payload");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, TruncationDetected) {
+  std::string buf;
+  PutString(&buf, "hello");
+  SerdeReader r(buf.substr(0, buf.size() - 2));
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace jiffy

@@ -1,0 +1,229 @@
+// Control-plane tests: job lifecycle, prefix creation, data-structure
+// initialization, partition-map maintenance, lease expiry with flush to the
+// persistent tier, and flush/load (§4.2.1, Table 1). Runs against a real
+// cluster with a SimClock so expiry is driven deterministically.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/common/clock.h"
+#include "src/ds/file_content.h"
+
+namespace jiffy {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() {
+    JiffyCluster::Options opts;
+    opts.config.num_memory_servers = 2;
+    opts.config.blocks_per_server = 8;
+    opts.config.block_size_bytes = 1024;
+    opts.config.lease_duration = 1 * kSecond;
+    opts.clock = &clock_;
+    cluster_ = std::make_unique<JiffyCluster>(opts);
+    ctl_ = cluster_->controller_shard(0);
+  }
+
+  SimClock clock_;
+  std::unique_ptr<JiffyCluster> cluster_;
+  Controller* ctl_;
+};
+
+TEST_F(ControllerTest, RegisterDeregisterJob) {
+  EXPECT_TRUE(ctl_->RegisterJob("job1").ok());
+  EXPECT_TRUE(ctl_->HasJob("job1"));
+  EXPECT_EQ(ctl_->RegisterJob("job1").code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(ctl_->DeregisterJob("job1").ok());
+  EXPECT_FALSE(ctl_->HasJob("job1"));
+  EXPECT_EQ(ctl_->DeregisterJob("job1").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ControllerTest, RejectsBadJobId) {
+  EXPECT_EQ(ctl_->RegisterJob("bad job").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ControllerTest, CreatePrefixAndValidatePath) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "map", {}).ok());
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "reduce", {"map"}).ok());
+  EXPECT_TRUE(ctl_->ValidatePath(*AddressPath::Parse("/j/map/reduce")).ok());
+  EXPECT_FALSE(ctl_->ValidatePath(*AddressPath::Parse("/j/reduce/map")).ok());
+  EXPECT_EQ(ctl_->ValidatePath(*AddressPath::Parse("/nope/map")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ControllerTest, InitDataStructureAllocatesBlocks) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "t", {}).ok());
+  // 3000 bytes @ 1024-byte blocks → 3 blocks.
+  auto map = ctl_->InitDataStructure("j", "t", DsType::kFile, 3000);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->entries.size(), 3u);
+  EXPECT_EQ(map->version, 1u);
+  EXPECT_EQ(map->entries[0].lo, 0u);
+  EXPECT_EQ(map->entries[0].hi, 1024u);
+  EXPECT_EQ(map->entries[2].lo, 2048u);
+  EXPECT_EQ(ctl_->AllocatedBlocks(), 3u);
+  // Double init is rejected.
+  EXPECT_EQ(ctl_->InitDataStructure("j", "t", DsType::kFile, 0).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ControllerTest, KvInitSplitsSlotSpace) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "kv", {}).ok());
+  auto map = ctl_->InitDataStructure("j", "kv", DsType::kKvStore, 2 * 1024);
+  ASSERT_TRUE(map.ok());
+  ASSERT_EQ(map->entries.size(), 2u);
+  EXPECT_EQ(map->entries[0].lo, 0u);
+  EXPECT_EQ(map->entries[0].hi, 512u);
+  EXPECT_EQ(map->entries[1].lo, 512u);
+  EXPECT_EQ(map->entries[1].hi, 1024u);
+}
+
+TEST_F(ControllerTest, AddRemoveBlockBumpsVersion) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "f", {}).ok());
+  ASSERT_TRUE(ctl_->InitDataStructure("j", "f", DsType::kFile, 0).ok());
+  auto added = ctl_->AddBlock("j", "f", 1024, 2048);
+  ASSERT_TRUE(added.ok());
+  auto map = ctl_->GetPartitionMap("j", "f");
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->entries.size(), 2u);
+  EXPECT_EQ(map->version, 2u);
+  ASSERT_TRUE(ctl_->RemoveBlock("j", "f", *added).ok());
+  map = ctl_->GetPartitionMap("j", "f");
+  EXPECT_EQ(map->entries.size(), 1u);
+  EXPECT_EQ(map->version, 3u);
+  EXPECT_EQ(ctl_->RemoveBlock("j", "f", *added).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ControllerTest, OutOfMemoryWhenPoolExhausted) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "f", {}).ok());
+  // Pool has 16 blocks total.
+  auto map = ctl_->InitDataStructure("j", "f", DsType::kFile, 16 * 1024);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(ctl_->AddBlock("j", "f", 16 * 1024, 17 * 1024).status().code(),
+            StatusCode::kOutOfMemory);
+}
+
+TEST_F(ControllerTest, LeaseExpiryFlushesAndReclaims) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  CreateOptions opts;
+  opts.init_ds = true;
+  opts.ds_type = DsType::kFile;
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "t", {}, opts).ok());
+  EXPECT_EQ(ctl_->AllocatedBlocks(), 1u);
+  // Write something so the flush has content.
+  Block* block = cluster_->ResolveBlock(
+      ctl_->GetPartitionMap("j", "t")->entries[0].block);
+  {
+    std::lock_guard<std::mutex> lock(block->mu());
+    auto* chunk = dynamic_cast<FileChunk*>(block->content());
+    ASSERT_NE(chunk, nullptr);
+    chunk->Append("ephemeral-state");
+  }
+  // Within the lease: no reclamation.
+  clock_.AdvanceBy(500 * kMillisecond);
+  EXPECT_EQ(ctl_->RunExpiryScan(), 0u);
+  // Past the lease: flushed and reclaimed.
+  clock_.AdvanceBy(600 * kMillisecond);
+  EXPECT_EQ(ctl_->RunExpiryScan(), 1u);
+  EXPECT_EQ(ctl_->AllocatedBlocks(), 0u);
+  EXPECT_TRUE(*ctl_->IsExpired("j", "t"));
+  EXPECT_EQ(ctl_->GetPartitionMap("j", "t").status().code(),
+            StatusCode::kLeaseExpired);
+  // The data survived on the persistent tier.
+  EXPECT_TRUE(cluster_->backing()->Exists("jiffy/j/t/0"));
+}
+
+TEST_F(ControllerTest, RenewalPreventsExpiry) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  CreateOptions opts;
+  opts.init_ds = true;
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "t", {}, opts).ok());
+  for (int i = 0; i < 5; ++i) {
+    clock_.AdvanceBy(800 * kMillisecond);
+    ASSERT_TRUE(ctl_->RenewLease("j", "t").ok());
+    EXPECT_EQ(ctl_->RunExpiryScan(), 0u);
+  }
+  EXPECT_EQ(ctl_->AllocatedBlocks(), 1u);
+}
+
+TEST_F(ControllerTest, LoadRevivesExpiredPrefix) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  CreateOptions opts;
+  opts.init_ds = true;
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "t", {}, opts).ok());
+  auto map = ctl_->GetPartitionMap("j", "t");
+  Block* block = cluster_->ResolveBlock(map->entries[0].block);
+  {
+    std::lock_guard<std::mutex> lock(block->mu());
+    dynamic_cast<FileChunk*>(block->content())->Append("revive-me");
+  }
+  clock_.AdvanceBy(2 * kSecond);
+  ASSERT_EQ(ctl_->RunExpiryScan(), 1u);
+  ASSERT_TRUE(ctl_->LoadAddrPrefix("j", "t", "jiffy/j/t").ok());
+  EXPECT_FALSE(*ctl_->IsExpired("j", "t"));
+  auto revived = ctl_->GetPartitionMap("j", "t");
+  ASSERT_TRUE(revived.ok());
+  ASSERT_EQ(revived->entries.size(), 1u);
+  Block* nb = cluster_->ResolveBlock(revived->entries[0].block);
+  std::lock_guard<std::mutex> lock(nb->mu());
+  auto* chunk = dynamic_cast<FileChunk*>(nb->content());
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_EQ(*chunk->ReadAt(0, 9), "revive-me");
+}
+
+TEST_F(ControllerTest, ExplicitFlushKeepsBlocks) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  CreateOptions opts;
+  opts.init_ds = true;
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "t", {}, opts).ok());
+  ASSERT_TRUE(ctl_->FlushAddrPrefix("j", "t", "checkpoints/t").ok());
+  EXPECT_EQ(ctl_->AllocatedBlocks(), 1u);  // Checkpoint, not eviction.
+  EXPECT_TRUE(cluster_->backing()->Exists("checkpoints/t/0"));
+}
+
+TEST_F(ControllerTest, DeregisterReleasesBlocks) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  CreateOptions opts;
+  opts.init_ds = true;
+  opts.initial_capacity_bytes = 4 * 1024;
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "t", {}, opts).ok());
+  EXPECT_EQ(ctl_->AllocatedBlocks(), 4u);
+  ASSERT_TRUE(ctl_->DeregisterJob("j").ok());
+  EXPECT_EQ(ctl_->AllocatedBlocks(), 0u);
+}
+
+TEST_F(ControllerTest, StatsAreTracked) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  CreateOptions opts;
+  opts.init_ds = true;
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "t", {}, opts).ok());
+  ASSERT_TRUE(ctl_->RenewLease("j", "t").ok());
+  clock_.AdvanceBy(2 * kSecond);
+  ctl_->RunExpiryScan();
+  const ControllerStats stats = ctl_->Stats();
+  EXPECT_GE(stats.ops, 4u);
+  EXPECT_EQ(stats.lease_renewals, 1u);
+  EXPECT_EQ(stats.expiry_scans, 1u);
+  EXPECT_EQ(stats.prefixes_expired, 1u);
+  EXPECT_EQ(stats.blocks_allocated, 1u);
+  EXPECT_EQ(stats.blocks_reclaimed, 1u);
+}
+
+TEST_F(ControllerTest, MetadataBytesMatchPaperAccounting) {
+  ASSERT_TRUE(ctl_->RegisterJob("j").ok());
+  CreateOptions opts;
+  opts.init_ds = true;
+  opts.initial_capacity_bytes = 2 * 1024;
+  ASSERT_TRUE(ctl_->CreateAddrPrefix("j", "t", {}, opts).ok());
+  // 1 task × 64 B + 2 blocks × 8 B (§6.4).
+  EXPECT_EQ(*ctl_->JobMetadataBytes("j"), 64u + 16u);
+}
+
+}  // namespace
+}  // namespace jiffy

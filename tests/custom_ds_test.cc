@@ -1,0 +1,172 @@
+// Tests for the custom data-structure extension point (Fig 6 / Table 2
+// "Custom data structures"), exercised through the SharedLog sample type.
+
+#include <gtest/gtest.h>
+
+#include "src/client/jiffy_client.h"
+#include "src/ds/shared_log.h"
+
+namespace jiffy {
+namespace {
+
+// Append helper handling the cap-and-grow dance when a block fills.
+Result<uint64_t> LogAppend(CustomDsClient* log, const std::string& record) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    auto r = log->WriteOp("append", {record});
+    if (r.ok()) {
+      return std::stoull(*r);
+    }
+    if (r.status().code() != StatusCode::kOutOfMemory) {
+      return r.status();
+    }
+    // Block exhausted: seal it at the true tail (so stale clients bounce),
+    // then cap the map entry and grow by a fresh range.
+    auto tail = log->WriteOp("seal", {});
+    if (!tail.ok()) {
+      return tail.status();
+    }
+    const uint64_t t = std::stoull(*tail);
+    JIFFY_RETURN_IF_ERROR(
+        log->CapAndGrow(t, t, t + kSharedLogSeqsPerBlock));
+  }
+  return Unavailable("log append kept failing");
+}
+
+class CustomDsTest : public ::testing::Test {
+ protected:
+  CustomDsTest() {
+    RegisterSharedLog();
+    JiffyCluster::Options opts;
+    opts.config.num_memory_servers = 4;
+    opts.config.blocks_per_server = 32;
+    opts.config.block_size_bytes = 8 << 10;
+    opts.config.lease_duration = 3600 * kSecond;
+    cluster_ = std::make_unique<JiffyCluster>(opts);
+    client_ = std::make_unique<JiffyClient>(cluster_.get());
+    EXPECT_TRUE(client_->RegisterJob("job").ok());
+    EXPECT_TRUE(client_->CreateAddrPrefix("/job/log", {}).ok());
+  }
+
+  std::unique_ptr<JiffyCluster> cluster_;
+  std::unique_ptr<JiffyClient> client_;
+};
+
+TEST_F(CustomDsTest, UnregisteredTypeRejected) {
+  EXPECT_EQ(client_->OpenCustom("/job/log", "no-such-type").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CustomDsTest, AppendAssignsMonotonicSequences) {
+  auto log = client_->OpenCustom("/job/log", "sharedlog");
+  ASSERT_TRUE(log.ok()) << log.status();
+  for (uint64_t i = 0; i < 20; ++i) {
+    auto seq = LogAppend(log->get(), "record" + std::to_string(i));
+    ASSERT_TRUE(seq.ok()) << seq.status();
+    EXPECT_EQ(*seq, i);
+  }
+  EXPECT_EQ(*(*log)->ReadOp("read", {"7"}), "record7");
+  EXPECT_EQ(*(*log)->ReadOp("read", {"19"}), "record19");
+}
+
+TEST_F(CustomDsTest, TypeMismatchDetected) {
+  ASSERT_TRUE(client_->OpenCustom("/job/log", "sharedlog").ok());
+  EXPECT_EQ(client_->OpenKv("/job/log").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CustomDsTest, GrowsAcrossBlocksAndRoutesReads) {
+  auto log = client_->OpenCustom("/job/log", "sharedlog");
+  ASSERT_TRUE(log.ok());
+  // Write enough records to force several block-range exhaustions. The
+  // initial block covers a byte-sized range but only holds ~8 KiB of
+  // records, so CapAndGrow fires on byte exhaustion too.
+  const int n = 600;
+  for (int i = 0; i < n; ++i) {
+    auto seq = LogAppend(log->get(), "payload-" + std::to_string(i) +
+                                         std::string(40, 'L'));
+    ASSERT_TRUE(seq.ok()) << i << ": " << seq.status();
+    ASSERT_EQ(*seq, static_cast<uint64_t>(i));
+  }
+  EXPECT_GT((*log)->CachedMap().entries.size(), 2u);
+  // Reads route across blocks through the registered getBlock function.
+  for (int i = 0; i < n; i += 37) {
+    auto r = (*log)->ReadOp("read", {std::to_string(i)});
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status();
+    const std::string want = "payload-" + std::to_string(i);
+    EXPECT_EQ(r->substr(0, want.size()), want);
+  }
+}
+
+TEST_F(CustomDsTest, TrimReclaimsRecords) {
+  auto log = client_->OpenCustom("/job/log", "sharedlog");
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(LogAppend(log->get(), "r" + std::to_string(i)).ok());
+  }
+  auto trimmed = (*log)->DeleteOp("trim", {"10"});
+  ASSERT_TRUE(trimmed.ok());
+  EXPECT_EQ(*trimmed, "10");
+  EXPECT_EQ((*log)->ReadOp("read", {"5"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(*(*log)->ReadOp("read", {"15"}), "r15");
+}
+
+TEST_F(CustomDsTest, StaleReaderRefreshesAfterGrowth) {
+  auto writer = client_->OpenCustom("/job/log", "sharedlog");
+  auto reader = client_->OpenCustom("/job/log", "sharedlog");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(reader.ok());
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        LogAppend(writer->get(), std::string(60, 'x') + std::to_string(i)).ok());
+  }
+  // Reader still holds the single-block map; the router's out-of-range
+  // signal makes it refresh transparently.
+  auto r = (*reader)->ReadOp("read", {std::to_string(n - 1)});
+  ASSERT_TRUE(r.ok()) << r.status();
+}
+
+TEST_F(CustomDsTest, FlushAndLoadRoundTrip) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 2;
+  opts.config.blocks_per_server = 16;
+  opts.config.block_size_bytes = 8 << 10;
+  opts.config.lease_duration = 1 * kSecond;
+  SimClock clock;
+  opts.clock = &clock;
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  ASSERT_TRUE(client.RegisterJob("j").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/j/log", {}).ok());
+  auto log = client.OpenCustom("/j/log", "sharedlog");
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(LogAppend(log->get(), "persist" + std::to_string(i)).ok());
+  }
+  // Lease lapses: the custom content is flushed via its Serialize().
+  clock.AdvanceBy(2 * kSecond);
+  ASSERT_EQ(cluster.controller_shard(0)->RunExpiryScan(), 1u);
+  ASSERT_TRUE(client.LoadAddrPrefix("/j/log", "jiffy/j/log").ok());
+  auto revived = client.OpenCustom("/j/log", "sharedlog");
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ(*(*revived)->ReadOp("read", {"25"}), "persist25");
+}
+
+TEST_F(CustomDsTest, ReplicatedLogSurvivesServerFailure) {
+  CreateOptions copts;
+  copts.replication_factor = 2;
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/rlog", {}, copts).ok());
+  auto log = client_->OpenCustom("/job/rlog", "sharedlog");
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(LogAppend(log->get(), "replicated" + std::to_string(i)).ok());
+  }
+  cluster_->FailServer((*log)->CachedMap().entries[0].block.server_id);
+  auto r = (*log)->ReadOp("read", {"3"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, "replicated3");
+}
+
+}  // namespace
+}  // namespace jiffy

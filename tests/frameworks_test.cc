@@ -1,0 +1,369 @@
+// Integration tests for the programming models on Jiffy (§5): MapReduce
+// with shuffle files, Dryad-style dataflow with file/queue channels, and
+// Piccolo with accumulator tables + checkpoint/restore.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/frameworks/dataflow.h"
+#include "src/frameworks/mapreduce.h"
+#include "src/frameworks/piccolo.h"
+#include "src/workload/text.h"
+
+namespace jiffy {
+namespace {
+
+class FrameworksTest : public ::testing::Test {
+ protected:
+  FrameworksTest() {
+    JiffyCluster::Options opts;
+    opts.config.num_memory_servers = 4;
+    opts.config.blocks_per_server = 128;
+    opts.config.block_size_bytes = 8192;
+    opts.config.lease_duration = 60 * kSecond;
+    cluster_ = std::make_unique<JiffyCluster>(opts);
+    client_ = std::make_unique<JiffyClient>(cluster_.get());
+  }
+
+  std::unique_ptr<JiffyCluster> cluster_;
+  std::unique_ptr<JiffyClient> client_;
+};
+
+MapReduceJob::MapFn WordCountMap() {
+  return [](const std::string& record) {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto& word : SplitWords(record)) {
+      out.emplace_back(word, "1");
+    }
+    return out;
+  };
+}
+
+MapReduceJob::ReduceFn WordCountReduce() {
+  return [](const std::string& key, const std::vector<std::string>& values) {
+    (void)key;
+    uint64_t sum = 0;
+    for (const auto& v : values) {
+      sum += std::stoull(v);
+    }
+    return std::to_string(sum);
+  };
+}
+
+TEST_F(FrameworksTest, MapReduceWordCount) {
+  MapReduceJob::Options opts;
+  opts.num_map_tasks = 4;
+  opts.num_reduce_tasks = 3;
+  MapReduceJob job(client_.get(), "wc", opts);
+  const std::vector<std::string> inputs = {
+      "the quick brown fox", "the lazy dog", "the fox jumps",
+      "dog and fox again"};
+  auto result = job.Run(inputs, WordCountMap(), WordCountReduce());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ((*result)["the"], "3");
+  EXPECT_EQ((*result)["fox"], "3");
+  EXPECT_EQ((*result)["dog"], "2");
+  EXPECT_EQ((*result)["jumps"], "1");
+  EXPECT_GT(job.shuffle_bytes(), 0u);
+  // The job deregistered: all blocks returned to the pool.
+  EXPECT_EQ(cluster_->allocator()->allocated_count(), 0u);
+}
+
+TEST_F(FrameworksTest, MapReduceSequentialMatchesParallel) {
+  const std::vector<std::string> inputs = {"a b c", "a a", "c b a"};
+  MapReduceJob::Options par;
+  MapReduceJob::Options seq;
+  seq.parallel = false;
+  auto r1 = MapReduceJob(client_.get(), "wc-par", par)
+                .Run(inputs, WordCountMap(), WordCountReduce());
+  auto r2 = MapReduceJob(client_.get(), "wc-seq", seq)
+                .Run(inputs, WordCountMap(), WordCountReduce());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);
+}
+
+TEST_F(FrameworksTest, MapReduceRecoversFromTaskFailure) {
+  MapReduceJob::Options opts;
+  opts.num_map_tasks = 3;
+  opts.num_reduce_tasks = 2;
+  opts.fail_map_task_once = 1;  // Task 1 dies once; the master re-runs it.
+  MapReduceJob job(client_.get(), "wc-fail", opts);
+  const std::vector<std::string> inputs = {"x y", "y z", "z x"};
+  auto result = job.Run(inputs, WordCountMap(), WordCountReduce());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ((*result)["x"], "2");
+  EXPECT_EQ((*result)["y"], "2");
+  EXPECT_EQ((*result)["z"], "2");
+  EXPECT_GT(job.map_attempts(), 3);
+}
+
+TEST_F(FrameworksTest, MapReduceLargeInput) {
+  SentenceGenerator gen(200, 0.9, 17);
+  std::vector<std::string> inputs;
+  for (int i = 0; i < 200; ++i) {
+    inputs.push_back(gen.Sentence());
+  }
+  MapReduceJob::Options opts;
+  opts.num_map_tasks = 8;
+  opts.num_reduce_tasks = 4;
+  MapReduceJob job(client_.get(), "wc-big", opts);
+  auto result = job.Run(inputs, WordCountMap(), WordCountReduce());
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Cross-check against a local count.
+  std::map<std::string, uint64_t> expect;
+  for (const auto& s : inputs) {
+    for (const auto& w : SplitWords(s)) {
+      expect[w]++;
+    }
+  }
+  ASSERT_EQ(result->size(), expect.size());
+  for (const auto& [w, c] : expect) {
+    EXPECT_EQ((*result)[w], std::to_string(c)) << w;
+  }
+}
+
+TEST_F(FrameworksTest, MapReduceCombinerCutsShuffleTraffic) {
+  SentenceGenerator gen(50, 1.1, 3);  // Small, skewed vocab: combining pays.
+  std::vector<std::string> inputs;
+  for (int i = 0; i < 150; ++i) {
+    inputs.push_back(gen.Sentence());
+  }
+  MapReduceJob::Options plain;
+  MapReduceJob::Options combined;
+  combined.combiner = WordCountReduce();
+  MapReduceJob job_plain(client_.get(), "wc-plain", plain);
+  MapReduceJob job_combined(client_.get(), "wc-comb", combined);
+  auto r1 = job_plain.Run(inputs, WordCountMap(), WordCountReduce());
+  auto r2 = job_combined.Run(inputs, WordCountMap(), WordCountReduce());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);  // Same answer...
+  // ...with significantly less shuffle traffic.
+  EXPECT_LT(job_combined.shuffle_bytes(), job_plain.shuffle_bytes() / 2);
+}
+
+TEST_F(FrameworksTest, MapReduceCustomPartitioner) {
+  // Route every key to partition 0: one reducer sees everything, output
+  // unchanged.
+  MapReduceJob::Options opts;
+  opts.num_reduce_tasks = 4;
+  opts.partitioner = [](const std::string& key, int r) {
+    (void)key;
+    (void)r;
+    return 0;
+  };
+  MapReduceJob job(client_.get(), "wc-part", opts);
+  const std::vector<std::string> inputs = {"a b", "b c", "c a"};
+  auto result = job.Run(inputs, WordCountMap(), WordCountReduce());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ((*result)["a"], "2");
+  EXPECT_EQ((*result)["b"], "2");
+  EXPECT_EQ((*result)["c"], "2");
+}
+
+TEST_F(FrameworksTest, DataflowFileChannelOrdering) {
+  // producer --file--> transformer --file--> sink.
+  DataflowGraph graph("df1");
+  std::string sink_saw;
+  ASSERT_TRUE(graph
+                  .AddVertex("producer",
+                             [](VertexContext& ctx) -> Status {
+                               auto r = ctx.OutputFile("transformer")
+                                            ->Append("1,2,3,4");
+                               return r.ok() ? Status::Ok() : r.status();
+                             })
+                  .ok());
+  ASSERT_TRUE(graph
+                  .AddVertex("transformer",
+                             [](VertexContext& ctx) -> Status {
+                               auto in = ctx.InputFile("producer")->Read(0, 100);
+                               if (!in.ok()) {
+                                 return in.status();
+                               }
+                               std::string doubled;
+                               for (char c : *in) {
+                                 if (c != ',') {
+                                   doubled += c;
+                                   doubled += c;
+                                 }
+                               }
+                               auto w = ctx.OutputFile("sink")->Append(doubled);
+                               return w.ok() ? Status::Ok() : w.status();
+                             })
+                  .ok());
+  ASSERT_TRUE(graph
+                  .AddVertex("sink",
+                             [&](VertexContext& ctx) -> Status {
+                               auto in = ctx.InputFile("transformer")->Read(0, 100);
+                               if (!in.ok()) {
+                                 return in.status();
+                               }
+                               sink_saw = *in;
+                               return Status::Ok();
+                             })
+                  .ok());
+  ASSERT_TRUE(graph.AddChannel("producer", "transformer", ChannelType::kFile).ok());
+  ASSERT_TRUE(graph.AddChannel("transformer", "sink", ChannelType::kFile).ok());
+  auto st = graph.Run(client_.get());
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(sink_saw, "11223344");
+}
+
+TEST_F(FrameworksTest, DataflowQueueChannelStreams) {
+  // Streaming producer/consumer overlap on a queue channel.
+  DataflowGraph graph("df2");
+  std::vector<std::string> received;
+  ASSERT_TRUE(graph
+                  .AddVertex("src",
+                             [](VertexContext& ctx) -> Status {
+                               for (int i = 0; i < 20; ++i) {
+                                 JIFFY_RETURN_IF_ERROR(
+                                     ctx.OutputQueue("snk")->Enqueue(
+                                         std::to_string(i)));
+                               }
+                               return Status::Ok();
+                             })
+                  .ok());
+  ASSERT_TRUE(graph
+                  .AddVertex("snk",
+                             [&](VertexContext& ctx) -> Status {
+                               for (;;) {
+                                 auto item = ctx.InputQueue("src")->Dequeue();
+                                 if (item.ok()) {
+                                   received.push_back(*item);
+                                   continue;
+                                 }
+                                 if (item.status().code() !=
+                                     StatusCode::kNotFound) {
+                                   return item.status();
+                                 }
+                                 if (ctx.UpstreamDone("src")) {
+                                   return Status::Ok();
+                                 }
+                                 std::this_thread::sleep_for(
+                                     std::chrono::milliseconds(1));
+                               }
+                             })
+                  .ok());
+  ASSERT_TRUE(graph.AddChannel("src", "snk", ChannelType::kQueue).ok());
+  auto st = graph.Run(client_.get());
+  ASSERT_TRUE(st.ok()) << st;
+  ASSERT_EQ(received.size(), 20u);
+  EXPECT_EQ(received.front(), "0");
+  EXPECT_EQ(received.back(), "19");
+}
+
+TEST_F(FrameworksTest, DataflowDiamondTopology) {
+  // src fans out to two workers whose outputs join at a sink.
+  DataflowGraph graph("df3");
+  std::string joined;
+  auto pass = [](const char* from, const char* to, int factor) {
+    return [from, to, factor](VertexContext& ctx) -> Status {
+      auto in = ctx.InputFile(from)->Read(0, 100);
+      if (!in.ok()) {
+        return in.status();
+      }
+      std::string out;
+      for (int i = 0; i < factor; ++i) {
+        out += *in;
+      }
+      auto w = ctx.OutputFile(to)->Append(out);
+      return w.ok() ? Status::Ok() : w.status();
+    };
+  };
+  ASSERT_TRUE(graph
+                  .AddVertex("src",
+                             [](VertexContext& ctx) -> Status {
+                               auto r = ctx.OutputFile("left")->Append("ab");
+                               if (!r.ok()) {
+                                 return r.status();
+                               }
+                               auto r2 = ctx.OutputFile("right")->Append("cd");
+                               return r2.ok() ? Status::Ok() : r2.status();
+                             })
+                  .ok());
+  ASSERT_TRUE(graph.AddVertex("left", pass("src", "sink", 1)).ok());
+  ASSERT_TRUE(graph.AddVertex("right", pass("src", "sink", 2)).ok());
+  ASSERT_TRUE(graph
+                  .AddVertex("sink",
+                             [&](VertexContext& ctx) -> Status {
+                               auto a = ctx.InputFile("left")->Read(0, 100);
+                               auto b = ctx.InputFile("right")->Read(0, 100);
+                               if (!a.ok() || !b.ok()) {
+                                 return a.ok() ? b.status() : a.status();
+                               }
+                               joined = *a + "|" + *b;
+                               return Status::Ok();
+                             })
+                  .ok());
+  ASSERT_TRUE(graph.AddChannel("src", "left", ChannelType::kFile).ok());
+  ASSERT_TRUE(graph.AddChannel("src", "right", ChannelType::kFile).ok());
+  ASSERT_TRUE(graph.AddChannel("left", "sink", ChannelType::kFile).ok());
+  ASSERT_TRUE(graph.AddChannel("right", "sink", ChannelType::kFile).ok());
+  auto st = graph.Run(client_.get());
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(joined, "ab|cdcd");
+}
+
+TEST_F(FrameworksTest, DataflowVertexErrorPropagates) {
+  DataflowGraph graph("df4");
+  ASSERT_TRUE(graph
+                  .AddVertex("bad",
+                             [](VertexContext&) -> Status {
+                               return Internal("vertex exploded");
+                             })
+                  .ok());
+  auto st = graph.Run(client_.get());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST_F(FrameworksTest, PiccoloAccumulatorResolvesConcurrentUpdates) {
+  PiccoloController piccolo(client_.get(), "pic1");
+  auto sum_acc = [](const std::string& old_value, const std::string& update) {
+    const uint64_t a = old_value.empty() ? 0 : std::stoull(old_value);
+    return std::to_string(a + std::stoull(update));
+  };
+  auto table = piccolo.CreateTable("counts", sum_acc);
+  ASSERT_TRUE(table.ok()) << table.status();
+  // 4 kernels × 100 increments on shared keys.
+  auto st = piccolo.RunKernels(4, [&](int kernel_id) -> Status {
+    (void)kernel_id;
+    for (int i = 0; i < 100; ++i) {
+      JIFFY_RETURN_IF_ERROR(
+          (*table)->Update("key" + std::to_string(i % 10), "1"));
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+  for (int k = 0; k < 10; ++k) {
+    auto v = (*table)->Get("key" + std::to_string(k));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, "40");  // 4 kernels × 10 hits each.
+  }
+}
+
+TEST_F(FrameworksTest, PiccoloCheckpointRestore) {
+  auto acc = [](const std::string& old_value, const std::string& update) {
+    return old_value.empty() ? update : old_value + "," + update;
+  };
+  {
+    PiccoloController piccolo(client_.get(), "pic2");
+    auto table = piccolo.CreateTable("state", acc);
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE((*table)->Put("k1", "v1").ok());
+    ASSERT_TRUE((*table)->Put("k2", "v2").ok());
+    ASSERT_TRUE(piccolo.Checkpoint("state", "ckpt/state").ok());
+  }  // Controller gone; job deregistered, memory released.
+  EXPECT_EQ(cluster_->allocator()->allocated_count(), 0u);
+  PiccoloController revived(client_.get(), "pic3");
+  ASSERT_TRUE(revived.Restore("state", "ckpt/state", acc).ok());
+  PiccoloTable* table = revived.Table("state");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(*table->Get("k1"), "v1");
+  EXPECT_EQ(*table->Get("k2"), "v2");
+}
+
+}  // namespace
+}  // namespace jiffy

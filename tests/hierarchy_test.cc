@@ -1,0 +1,181 @@
+// Unit tests for the per-job address DAG and lease propagation (§3.1, §3.2).
+//
+// The DAG used throughout matches the paper's running example (Fig 3/4):
+//   T1→T5, T2→T5, T3→T7, T4→T6, T5→T7, T6→T7, T7→T8, T7→T9.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/hierarchy.h"
+
+namespace jiffy {
+namespace {
+
+constexpr DurationNs kLease = 1 * kSecond;
+
+std::vector<std::pair<std::string, std::vector<std::string>>> PaperDag() {
+  return {
+      {"T1", {}},           {"T2", {}},           {"T3", {}},
+      {"T4", {}},           {"T5", {"T1", "T2"}}, {"T6", {"T4"}},
+      {"T7", {"T3", "T5", "T6"}},                 {"T8", {"T7"}},
+      {"T9", {"T7"}},
+  };
+}
+
+JobHierarchy MakePaperHierarchy() {
+  JobHierarchy h("job1", 0, kLease);
+  auto st = h.CreateFromDag(PaperDag(), /*now=*/0, kLease);
+  EXPECT_TRUE(st.ok()) << st;
+  return h;
+}
+
+TEST(HierarchyTest, CreateNodeBasics) {
+  JobHierarchy h("j", 0, kLease);
+  EXPECT_TRUE(h.CreateNode("a", {}, 0, kLease).ok());
+  EXPECT_TRUE(h.CreateNode("b", {"a"}, 0, kLease).ok());
+  EXPECT_TRUE(h.HasNode("a"));
+  EXPECT_TRUE(h.HasNode("b"));
+  EXPECT_EQ(h.NodeCount(), 2u);
+}
+
+TEST(HierarchyTest, DuplicateNodeRejected) {
+  JobHierarchy h("j", 0, kLease);
+  ASSERT_TRUE(h.CreateNode("a", {}, 0, kLease).ok());
+  EXPECT_EQ(h.CreateNode("a", {}, 0, kLease).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(HierarchyTest, UnknownParentRejected) {
+  JobHierarchy h("j", 0, kLease);
+  EXPECT_EQ(h.CreateNode("b", {"nope"}, 0, kLease).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyTest, SelfEdgeRejected) {
+  JobHierarchy h("j", 0, kLease);
+  EXPECT_EQ(h.CreateNode("a", {"a"}, 0, kLease).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyTest, BadNameRejected) {
+  JobHierarchy h("j", 0, kLease);
+  EXPECT_EQ(h.CreateNode("a b", {}, 0, kLease).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyTest, CreateFromDagOutOfOrder) {
+  // Children listed before parents: the topological insertion must cope.
+  JobHierarchy h("j", 0, kLease);
+  auto st = h.CreateFromDag(
+      {{"c", {"b"}}, {"b", {"a"}}, {"a", {}}}, 0, kLease);
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(h.NodeCount(), 3u);
+}
+
+TEST(HierarchyTest, CreateFromDagDetectsCycle) {
+  JobHierarchy h("j", 0, kLease);
+  auto st = h.CreateFromDag({{"a", {"b"}}, {"b", {"a"}}}, 0, kLease);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyTest, MultiParentNodeHasMultipleAddresses) {
+  JobHierarchy h = MakePaperHierarchy();
+  // T7 is reachable via T3, T1.T5, T2.T5, and T4.T6 (paper's B7_1 example).
+  for (const char* path : {"T3/T7", "T1/T5/T7", "T2/T5/T7", "T4/T6/T7"}) {
+    auto r = h.Resolve(*AddressPath::Parse(path));
+    ASSERT_TRUE(r.ok()) << path << ": " << r.status();
+    EXPECT_EQ((*r)->name, "T7");
+  }
+}
+
+TEST(HierarchyTest, ResolveRejectsNonEdges) {
+  JobHierarchy h = MakePaperHierarchy();
+  // T1→T6 is not an edge.
+  auto r = h.Resolve(*AddressPath::Parse("T1/T6"));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyTest, ResolveUnknownTask) {
+  JobHierarchy h = MakePaperHierarchy();
+  EXPECT_EQ(h.Resolve(*AddressPath::Parse("T42")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(HierarchyTest, LeaseRenewalMatchesPaperExample) {
+  // Renewing T7 renews T7, its immediate parents T3/T5/T6, and descendants
+  // T8/T9 — but NOT T1, T2, T4 (paper §3.2 example, Fig 5).
+  JobHierarchy h = MakePaperHierarchy();
+  auto renewed = h.RenewLease("T7", /*now=*/500);
+  ASSERT_TRUE(renewed.ok());
+  std::vector<std::string> got = *renewed;
+  std::sort(got.begin(), got.end());
+  const std::vector<std::string> want = {"T3", "T5", "T6", "T7", "T8", "T9"};
+  EXPECT_EQ(got, want);
+  for (const char* name : {"T3", "T5", "T6", "T7", "T8", "T9"}) {
+    EXPECT_EQ((*h.GetNode(name))->lease_renewed_at, 500) << name;
+  }
+  for (const char* name : {"T1", "T2", "T4"}) {
+    EXPECT_EQ((*h.GetNode(name))->lease_renewed_at, 0) << name;
+  }
+}
+
+TEST(HierarchyTest, RenewLeaseUnknownTask) {
+  JobHierarchy h = MakePaperHierarchy();
+  EXPECT_EQ(h.RenewLease("TX", 0).status().code(), StatusCode::kNotFound);
+}
+
+TEST(HierarchyTest, CollectExpiredRespectsLeaseDuration) {
+  JobHierarchy h = MakePaperHierarchy();
+  // At t = lease (inclusive boundary): nothing expired yet.
+  EXPECT_TRUE(h.CollectExpired(kLease).empty());
+  // Just past the lease: everything (created at t=0) expires.
+  EXPECT_EQ(h.CollectExpired(kLease + 1).size(), 9u);
+  // Renew T7's closure; the rest stay expired.
+  ASSERT_TRUE(h.RenewLease("T7", kLease + 1).ok());
+  auto expired = h.CollectExpired(kLease + 2);
+  std::sort(expired.begin(), expired.end());
+  const std::vector<std::string> want = {"T1", "T2", "T4"};
+  EXPECT_EQ(expired, want);
+}
+
+TEST(HierarchyTest, ExpiredNodesNotRecollected) {
+  JobHierarchy h("j", 0, kLease);
+  ASSERT_TRUE(h.CreateNode("a", {}, 0, kLease).ok());
+  auto expired = h.CollectExpired(kLease + 1);
+  ASSERT_EQ(expired.size(), 1u);
+  (*h.GetNode("a"))->expired = true;
+  EXPECT_TRUE(h.CollectExpired(kLease + 1).empty());
+}
+
+TEST(HierarchyTest, PerPrefixLeaseOverride) {
+  JobHierarchy h("j", 0, kLease);
+  ASSERT_TRUE(h.CreateNode("fast", {}, 0, 100).ok());
+  ASSERT_TRUE(h.CreateNode("slow", {}, 0, 10 * kSecond).ok());
+  auto expired = h.CollectExpired(200);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], "fast");
+}
+
+TEST(HierarchyTest, MetadataAccounting) {
+  JobHierarchy h = MakePaperHierarchy();
+  // 9 tasks, no blocks yet: 9 × 64 B.
+  EXPECT_EQ(h.MetadataBytes(), 9u * 64u);
+  (*h.GetNode("T7"))->partition.entries.push_back(PartitionEntry{});
+  EXPECT_EQ(h.MetadataBytes(), 9u * 64u + 8u);
+  EXPECT_EQ(h.MappedBlockCount(), 1u);
+}
+
+TEST(HierarchyTest, RenewalOfRootRenewsAllDescendants) {
+  JobHierarchy h = MakePaperHierarchy();
+  auto renewed = h.RenewLease("T1", 777);
+  ASSERT_TRUE(renewed.ok());
+  // T1 → T5 → T7 → {T8, T9}: all renewed; T1 has no parents.
+  std::vector<std::string> got = *renewed;
+  std::sort(got.begin(), got.end());
+  const std::vector<std::string> want = {"T1", "T5", "T7", "T8", "T9"};
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace jiffy

@@ -1,0 +1,116 @@
+// Unit tests for the network model / transport layer and persistent tiers.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/net/network.h"
+#include "src/persistent/persistent_store.h"
+
+namespace jiffy {
+namespace {
+
+TEST(NetworkModelTest, LoopbackIsFree) {
+  NetworkModel m = NetworkModel::Loopback();
+  EXPECT_EQ(m.RoundTrip(1 << 20, 1 << 20, nullptr), 0);
+}
+
+TEST(NetworkModelTest, LatencyScalesWithBytes) {
+  NetworkModel m;
+  m.base_latency = 100 * kMicrosecond;
+  m.bandwidth_bytes_per_sec = 1e9;  // 1 GB/s.
+  const DurationNs small = m.RoundTrip(64, 64, nullptr);
+  const DurationNs large = m.RoundTrip(1 << 20, 64, nullptr);
+  EXPECT_GT(large, small);
+  // 1 MiB at 1 GB/s ≈ 1.05 ms of transfer on top of the base.
+  EXPECT_NEAR(static_cast<double>(large - small), 1.048e6, 1e5);
+}
+
+TEST(NetworkModelTest, JitterBounded) {
+  NetworkModel m;
+  m.base_latency = 0;
+  m.jitter = 1000;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const DurationNs t = m.OneWay(0, &rng);
+    EXPECT_GE(t, 0);
+    EXPECT_LE(t, 1000);
+  }
+}
+
+TEST(TransportTest, AccountsOpsBytesTime) {
+  Transport t(NetworkModel::Ec2IntraDc(), Transport::Mode::kZero, nullptr);
+  t.RoundTrip(1000, 500);
+  t.RoundTrip(200, 100);
+  EXPECT_EQ(t.total_ops(), 2u);
+  EXPECT_EQ(t.total_bytes(), 1800u);
+  EXPECT_GT(t.total_time(), 0);
+}
+
+TEST(TransportTest, ZeroModeDoesNotSleep) {
+  RealClock* clock = RealClock::Instance();
+  Transport t(NetworkModel::Ec2IntraDc(), Transport::Mode::kZero, clock);
+  const TimeNs start = clock->Now();
+  for (int i = 0; i < 100; ++i) {
+    t.RoundTrip(1 << 20, 1 << 20);
+  }
+  // 100 × ~1.8 ms modeled; real elapsed must be far less.
+  EXPECT_LT(clock->Now() - start, 50 * kMillisecond);
+}
+
+TEST(TransportTest, SleepModeSleeps) {
+  RealClock* clock = RealClock::Instance();
+  NetworkModel m;
+  m.base_latency = 2 * kMillisecond;
+  Transport t(m, Transport::Mode::kSleep, clock);
+  const TimeNs start = clock->Now();
+  t.RoundTrip(0, 0);
+  EXPECT_GE(clock->Now() - start, 4 * kMillisecond);
+}
+
+TEST(PersistentStoreTest, PutGetDeleteList) {
+  auto store = MakeLocalStore();
+  ASSERT_TRUE(store->Put("a/1", "one").ok());
+  ASSERT_TRUE(store->Put("a/2", "two").ok());
+  ASSERT_TRUE(store->Put("b/1", "other").ok());
+  EXPECT_EQ(*store->Get("a/1"), "one");
+  EXPECT_TRUE(store->Exists("a/2"));
+  EXPECT_FALSE(store->Exists("a/3"));
+  auto listed = store->List("a/");
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0], "a/1");
+  EXPECT_EQ(store->total_bytes(), 11u);
+  ASSERT_TRUE(store->Delete("a/1").ok());
+  EXPECT_EQ(store->Get("a/1").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store->total_bytes(), 8u);
+}
+
+TEST(PersistentStoreTest, OverwriteAdjustsBytes) {
+  auto store = MakeLocalStore();
+  ASSERT_TRUE(store->Put("k", "12345").ok());
+  ASSERT_TRUE(store->Put("k", "12").ok());
+  EXPECT_EQ(store->total_bytes(), 2u);
+}
+
+TEST(PersistentStoreTest, TierCostOrdering) {
+  // S3 must be far slower than SSD at every size (this is what separates
+  // Elasticache's spill penalty from Pocket's in Fig 9).
+  auto s3 = MakeS3Store(Transport::Mode::kZero, nullptr);
+  auto ssd = MakeSsdStore(Transport::Mode::kZero, nullptr);
+  auto local = MakeLocalStore();
+  for (size_t bytes : {size_t{64}, size_t{1} << 20, size_t{64} << 20}) {
+    // Latency-dominated sizes gap by >10×; at bandwidth-dominated sizes the
+    // gap narrows toward the 500/80 MB/s ratio but stays >4×.
+    const int factor = bytes <= (1 << 20) ? 10 : 4;
+    EXPECT_GT(s3->ReadCost(bytes), factor * ssd->ReadCost(bytes)) << bytes;
+    EXPECT_GT(ssd->WriteCost(bytes), 0) << bytes;
+    EXPECT_EQ(local->ReadCost(bytes), 0) << bytes;
+  }
+}
+
+TEST(PersistentStoreTest, CostsAreDeterministic) {
+  auto s3 = MakeS3Store(Transport::Mode::kZero, nullptr);
+  EXPECT_EQ(s3->ReadCost(1 << 20), s3->ReadCost(1 << 20));
+}
+
+}  // namespace
+}  // namespace jiffy

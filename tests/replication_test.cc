@@ -1,0 +1,259 @@
+// Tests for chain replication at block granularity, memory-server failure
+// handling, access control, and synchronous persistence (§4.2.2, Fig 7).
+
+#include <gtest/gtest.h>
+
+#include "src/client/jiffy_client.h"
+#include "src/ds/kv_content.h"
+
+namespace jiffy {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest() {
+    JiffyCluster::Options opts;
+    opts.config.num_memory_servers = 4;
+    opts.config.blocks_per_server = 32;
+    opts.config.block_size_bytes = 16 << 10;
+    opts.config.lease_duration = 3600 * kSecond;
+    cluster_ = std::make_unique<JiffyCluster>(opts);
+    client_ = std::make_unique<JiffyClient>(cluster_.get());
+    EXPECT_TRUE(client_->RegisterJob("job").ok());
+  }
+
+  CreateOptions Replicated(uint32_t r) {
+    CreateOptions opts;
+    opts.replication_factor = r;
+    return opts;
+  }
+
+  std::unique_ptr<JiffyCluster> cluster_;
+  std::unique_ptr<JiffyClient> client_;
+};
+
+TEST_F(ReplicationTest, ReplicasAllocatedOnDistinctServers) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}, Replicated(3)).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  auto map = (*kv)->CachedMap();
+  ASSERT_EQ(map.entries.size(), 1u);
+  ASSERT_EQ(map.entries[0].replicas.size(), 2u);
+  // Chain spread across servers (4 servers, 3 chain members).
+  std::set<uint32_t> servers = {map.entries[0].block.server_id};
+  for (const auto& r : map.entries[0].replicas) {
+    servers.insert(r.server_id);
+  }
+  EXPECT_EQ(servers.size(), 3u);
+  // 3 blocks held for 1 logical block.
+  EXPECT_EQ(cluster_->allocator()->allocated_count(), 3u);
+}
+
+TEST_F(ReplicationTest, WritesReachAllReplicas) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}, Replicated(3)).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*kv)->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  auto map = (*kv)->CachedMap();
+  for (const BlockId& rid : map.entries[0].replicas) {
+    Block* rb = cluster_->ResolveBlock(rid);
+    ASSERT_NE(rb, nullptr);
+    std::lock_guard<std::mutex> lock(rb->mu());
+    auto* shard = dynamic_cast<KvShard*>(rb->content());
+    ASSERT_NE(shard, nullptr);
+    EXPECT_EQ(shard->pair_count(), 20u);
+    EXPECT_EQ(*shard->Get("k7"), "v7");
+  }
+}
+
+TEST_F(ReplicationTest, KvSurvivesPrimaryServerFailure) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}, Replicated(2)).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE((*kv)->Put("k" + std::to_string(i), "payload").ok());
+  }
+  const BlockId primary = (*kv)->CachedMap().entries[0].block;
+  cluster_->FailServer(primary.server_id);
+  // Reads and writes fail over to the surviving replica transparently.
+  for (int i = 0; i < 30; ++i) {
+    auto v = (*kv)->Get("k" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << i << ": " << v.status();
+    EXPECT_EQ(*v, "payload");
+  }
+  ASSERT_TRUE((*kv)->Put("post-failure", "still-writable").ok());
+  EXPECT_EQ(*(*kv)->Get("post-failure"), "still-writable");
+  // The promoted chain no longer references the dead server.
+  auto map = (*kv)->CachedMap();
+  EXPECT_NE(map.entries[0].block.server_id, primary.server_id);
+}
+
+TEST_F(ReplicationTest, UnreplicatedDataIsLostOnFailure) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}).ok());  // r = 1.
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->Put("k", "v").ok());
+  cluster_->FailServer((*kv)->CachedMap().entries[0].block.server_id);
+  auto v = (*kv)->Get("k");
+  EXPECT_EQ(v.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ReplicationTest, ReReplicationRestoresFactor) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}, Replicated(2)).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*kv)->Put("k" + std::to_string(i), "v").ok());
+  }
+  const BlockId primary = (*kv)->CachedMap().entries[0].block;
+  cluster_->FailServer(primary.server_id);
+  ASSERT_TRUE((*kv)->Get("k0").ok());  // Triggers failover.
+  // Chain is down to one member; repair it.
+  Controller* ctl = cluster_->ControllerFor("job");
+  auto created = ctl->ReReplicate("job", "kv");
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_EQ(*created, 1u);
+  ASSERT_TRUE((*kv)->RefreshMap().ok());
+  auto map = (*kv)->CachedMap();
+  ASSERT_EQ(map.entries[0].replicas.size(), 1u);
+  // The new replica holds a full copy.
+  Block* rb = cluster_->ResolveBlock(map.entries[0].replicas[0]);
+  ASSERT_NE(rb, nullptr);
+  std::lock_guard<std::mutex> lock(rb->mu());
+  auto* shard = dynamic_cast<KvShard*>(rb->content());
+  ASSERT_NE(shard, nullptr);
+  EXPECT_EQ(shard->pair_count(), 10u);
+}
+
+TEST_F(ReplicationTest, FileSurvivesPrimaryFailure) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/f", {}, Replicated(2)).ok());
+  auto file = client_->OpenFile("/job/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("replicated-bytes").ok());
+  cluster_->FailServer((*file)->CachedMap().entries[0].block.server_id);
+  auto r = (*file)->Read(0, 16);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, "replicated-bytes");
+  // Appends continue against the promoted primary.
+  ASSERT_TRUE((*file)->Append("+more").ok());
+  EXPECT_EQ(*(*file)->Read(16, 5), "+more");
+}
+
+TEST_F(ReplicationTest, QueueSurvivesPrimaryFailure) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/q", {}, Replicated(2)).ok());
+  auto q = client_->OpenQueue("/job/q");
+  ASSERT_TRUE(q.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*q)->Enqueue("item" + std::to_string(i)).ok());
+  }
+  ASSERT_EQ(*(*q)->Dequeue(), "item0");  // Replica mirrors the pop.
+  cluster_->FailServer((*q)->CachedMap().entries[0].block.server_id);
+  for (int i = 1; i < 5; ++i) {
+    auto item = (*q)->Dequeue();
+    ASSERT_TRUE(item.ok()) << i << ": " << item.status();
+    EXPECT_EQ(*item, "item" + std::to_string(i));
+  }
+}
+
+TEST_F(ReplicationTest, ExpiryReclaimsReplicasToo) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 4;
+  opts.config.blocks_per_server = 16;
+  opts.config.block_size_bytes = 16 << 10;
+  opts.config.lease_duration = 1 * kSecond;
+  SimClock clock;
+  opts.clock = &clock;
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  ASSERT_TRUE(client.RegisterJob("j").ok());
+  CreateOptions copts;
+  copts.replication_factor = 3;
+  ASSERT_TRUE(client.CreateAddrPrefix("/j/kv", {}, copts).ok());
+  ASSERT_TRUE(client.OpenKv("/j/kv").ok());
+  EXPECT_EQ(cluster.allocator()->allocated_count(), 3u);
+  clock.AdvanceBy(2 * kSecond);
+  EXPECT_EQ(cluster.controller_shard(0)->RunExpiryScan(), 1u);
+  EXPECT_EQ(cluster.allocator()->allocated_count(), 0u);
+}
+
+TEST_F(ReplicationTest, DeadServerBlocksAreNotReallocated) {
+  BlockAllocator alloc(2, 4);
+  auto a = alloc.Allocate("o");
+  ASSERT_TRUE(a.ok());
+  alloc.MarkServerDead(a->server_id);
+  EXPECT_TRUE(alloc.IsServerDead(a->server_id));
+  // Freeing a dead server's block retires it instead of recycling it.
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  for (int i = 0; i < 4; ++i) {
+    auto id = alloc.Allocate("o");
+    ASSERT_TRUE(id.ok());
+    EXPECT_NE(id->server_id, a->server_id);
+  }
+  EXPECT_EQ(alloc.Allocate("o").status().code(), StatusCode::kOutOfMemory);
+}
+
+// --- Access control (Fig 7) ----------------------------------------------------
+
+TEST_F(ReplicationTest, ForeignPrincipalDeniedOnPrivatePrefix) {
+  CreateOptions opts;
+  opts.init_ds = true;
+  opts.ds_type = DsType::kKvStore;
+  opts.world_readable = false;
+  opts.world_writable = false;
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/private", {}, opts).ok());
+  JiffyClient intruder(cluster_.get(), "other-job");
+  auto denied = intruder.OpenKv("/job/private");
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  // The owner (in-job client) still gets through.
+  EXPECT_TRUE(client_->OpenKv("/job/private").ok());
+}
+
+TEST_F(ReplicationTest, WorldReadablePrefixAllowsForeignReaders) {
+  CreateOptions opts;
+  opts.init_ds = true;
+  opts.ds_type = DsType::kKvStore;
+  opts.world_readable = true;
+  opts.world_writable = false;
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/shared", {}, opts).ok());
+  auto owner_kv = client_->OpenKv("/job/shared");
+  ASSERT_TRUE(owner_kv.ok());
+  ASSERT_TRUE((*owner_kv)->Put("k", "published").ok());
+  JiffyClient reader(cluster_.get(), "consumer-job");
+  auto kv = reader.OpenKv("/job/shared");
+  ASSERT_TRUE(kv.ok()) << kv.status();
+  EXPECT_EQ(*(*kv)->Get("k"), "published");
+}
+
+// --- Synchronous persistence (§4.2.2) --------------------------------------------
+
+TEST_F(ReplicationTest, SynchronousPersistenceWritesThrough) {
+  CreateOptions opts;
+  opts.persist_writes = true;
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/durable", {}, opts).ok());
+  auto kv = client_->OpenKv("/job/durable");
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->Put("k1", "v1").ok());
+  // Every committed write landed on the external store synchronously.
+  auto objects = cluster_->backing()->List("sync/job/durable/");
+  ASSERT_EQ(objects.size(), 1u);
+  auto object = cluster_->backing()->Get(objects[0]);
+  ASSERT_TRUE(object.ok());
+  EXPECT_NE(object->find("v1"), std::string::npos);
+  // Later writes refresh the same object.
+  ASSERT_TRUE((*kv)->Put("k2", "v2").ok());
+  object = cluster_->backing()->Get(objects[0]);
+  EXPECT_NE(object->find("v2"), std::string::npos);
+}
+
+TEST_F(ReplicationTest, UnpersistedPrefixWritesNothing) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/volatile", {}).ok());
+  auto kv = client_->OpenKv("/job/volatile");
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->Put("k", "v").ok());
+  EXPECT_TRUE(cluster_->backing()->List("sync/job/volatile/").empty());
+}
+
+}  // namespace
+}  // namespace jiffy

@@ -1,0 +1,171 @@
+// Tests for the workload generators, including the calibration properties
+// the Snowflake substitute must satisfy (DESIGN.md §1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/workload/excamera.h"
+#include "src/workload/snowflake.h"
+#include "src/workload/text.h"
+
+namespace jiffy {
+namespace {
+
+SnowflakeParams SmallParams() {
+  SnowflakeParams p;
+  p.num_tenants = 4;
+  p.window = 3600 * kSecond;
+  return p;
+}
+
+TEST(SnowflakeTest, DeterministicForSeed) {
+  SnowflakeTraceGen a(SmallParams(), 42), b(SmallParams(), 42);
+  TenantTrace ta = a.GenerateTenant(0);
+  TenantTrace tb = b.GenerateTenant(0);
+  ASSERT_EQ(ta.jobs.size(), tb.jobs.size());
+  for (size_t i = 0; i < ta.jobs.size(); ++i) {
+    EXPECT_EQ(ta.jobs[i].submit_time, tb.jobs[i].submit_time);
+    EXPECT_EQ(ta.jobs[i].TotalBytes(), tb.jobs[i].TotalBytes());
+  }
+}
+
+TEST(SnowflakeTest, JobsFitWindowAndHaveStages) {
+  SnowflakeTraceGen gen(SmallParams(), 7);
+  for (const TenantTrace& trace : gen.GenerateAll()) {
+    EXPECT_FALSE(trace.jobs.empty());
+    for (const JobSpec& job : trace.jobs) {
+      EXPECT_LT(job.submit_time, SmallParams().window);
+      EXPECT_GE(job.stages.size(), 1u);
+      EXPECT_LE(job.stages.size(), 8u);
+      for (const StageSpec& s : job.stages) {
+        EXPECT_GE(s.bytes, SmallParams().min_stage_bytes);
+        EXPECT_LE(s.bytes, SmallParams().max_stage_bytes);
+        EXPECT_GT(s.duration, 0);
+      }
+    }
+  }
+}
+
+TEST(SnowflakeTest, LiveBytesRiseAndFall) {
+  JobSpec job;
+  job.submit_time = 100;
+  job.stages = {{0, 10, 1000}, {10, 10, 2000}};
+  // During stage 0: its output is live.
+  EXPECT_EQ(job.LiveBytesAt(105), 1000u);
+  // During stage 1: both stage 0's output (being consumed) and stage 1's.
+  EXPECT_EQ(job.LiveBytesAt(115), 3000u);
+  // After job end: nothing.
+  EXPECT_EQ(job.LiveBytesAt(125), 0u);
+  EXPECT_EQ(job.PeakBytes(), 3000u);
+  EXPECT_EQ(job.EndTime(), 120);
+}
+
+TEST(SnowflakeTest, PeakToAverageRatioIsHigh) {
+  // Fig 1(a): peak/avg demand varies by an order of magnitude or more.
+  SnowflakeTraceGen gen(SmallParams(), 11);
+  double max_ratio = 0.0;
+  for (const TenantTrace& trace : gen.GenerateAll()) {
+    auto series = SnowflakeTraceGen::DemandSeries(trace, 10 * kSecond,
+                                                  SmallParams().window);
+    const double mean = SnowflakeTraceGen::SeriesMean(series);
+    const uint64_t peak = SnowflakeTraceGen::SeriesPeak(series);
+    if (mean > 0) {
+      max_ratio = std::max(max_ratio, static_cast<double>(peak) / mean);
+    }
+  }
+  EXPECT_GT(max_ratio, 10.0);
+}
+
+TEST(SnowflakeTest, PeakProvisioningWastesMostCapacity) {
+  // Fig 1(b): provisioning at peak yields well under half utilization on
+  // average (the paper reports 19 % across tenants).
+  SnowflakeParams p = SmallParams();
+  p.num_tenants = 8;
+  SnowflakeTraceGen gen(p, 23);
+  double util_sum = 0.0;
+  int counted = 0;
+  for (const TenantTrace& trace : gen.GenerateAll()) {
+    auto series = SnowflakeTraceGen::DemandSeries(trace, 10 * kSecond, p.window);
+    const uint64_t peak = SnowflakeTraceGen::SeriesPeak(series);
+    if (peak == 0) {
+      continue;
+    }
+    util_sum += SnowflakeTraceGen::SeriesMean(series) /
+                static_cast<double>(peak);
+    counted++;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LT(util_sum / counted, 0.5);
+}
+
+TEST(SnowflakeTest, StageSizesSpanOrdersOfMagnitude) {
+  SnowflakeParams p = SmallParams();
+  p.num_tenants = 8;
+  SnowflakeTraceGen gen(p, 31);
+  uint64_t smallest = UINT64_MAX, largest = 0;
+  for (const TenantTrace& trace : gen.GenerateAll()) {
+    for (const JobSpec& job : trace.jobs) {
+      for (const StageSpec& s : job.stages) {
+        smallest = std::min(smallest, s.bytes);
+        largest = std::max(largest, s.bytes);
+      }
+    }
+  }
+  // ≥3 orders of magnitude spread (paper: 5 orders for TPC-DS).
+  EXPECT_GT(largest / std::max<uint64_t>(smallest, 1), 1000u);
+}
+
+TEST(TextTest, SentencesHaveWordsFromVocab) {
+  SentenceGenerator gen(100, 0.99, 5);
+  for (int i = 0; i < 50; ++i) {
+    auto words = SplitWords(gen.Sentence());
+    EXPECT_GE(words.size(), 6u);
+    EXPECT_LE(words.size(), 14u);
+    for (const auto& w : words) {
+      EXPECT_EQ(w[0], 'w');
+    }
+  }
+}
+
+TEST(TextTest, WordFrequencyIsSkewed) {
+  SentenceGenerator gen(1000, 0.99, 9);
+  std::map<std::string, int> counts;
+  for (const auto& s : gen.Batch(2000)) {
+    for (const auto& w : SplitWords(s)) {
+      counts[w]++;
+    }
+  }
+  // The most common word should dominate the median word by a wide margin.
+  int max_count = 0;
+  for (const auto& [w, c] : counts) {
+    (void)w;
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, 100);
+}
+
+TEST(TextTest, SplitWordsHandlesSeparators) {
+  auto words = SplitWords("a b\nc\td  e");
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(words[0], "a");
+  EXPECT_EQ(words[4], "e");
+  EXPECT_TRUE(SplitWords("").empty());
+  EXPECT_TRUE(SplitWords("   ").empty());
+}
+
+TEST(ExCameraTest, TasksAreDeterministicAndBounded) {
+  ExCameraParams p;
+  auto a = MakeExCameraTasks(p, 3);
+  auto b = MakeExCameraTasks(p, 3);
+  ASSERT_EQ(a.size(), static_cast<size_t>(p.num_tasks));
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].encode_time, b[i].encode_time);
+    EXPECT_GE(a[i].encode_time, 10 * kMillisecond);
+    EXPECT_LE(a[i].encode_time, p.mean_encode_time + p.encode_jitter);
+    EXPECT_EQ(a[i].state_bytes, p.state_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace jiffy
