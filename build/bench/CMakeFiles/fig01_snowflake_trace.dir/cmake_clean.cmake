@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_snowflake_trace.dir/fig01_snowflake_trace.cc.o"
+  "CMakeFiles/fig01_snowflake_trace.dir/fig01_snowflake_trace.cc.o.d"
+  "fig01_snowflake_trace"
+  "fig01_snowflake_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_snowflake_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

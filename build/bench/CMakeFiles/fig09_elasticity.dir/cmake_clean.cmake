@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_elasticity.dir/fig09_elasticity.cc.o"
+  "CMakeFiles/fig09_elasticity.dir/fig09_elasticity.cc.o.d"
+  "fig09_elasticity"
+  "fig09_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

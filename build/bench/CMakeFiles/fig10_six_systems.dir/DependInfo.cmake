@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_six_systems.cc" "bench/CMakeFiles/fig10_six_systems.dir/fig10_six_systems.cc.o" "gcc" "bench/CMakeFiles/fig10_six_systems.dir/fig10_six_systems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/jiffy_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/jiffy_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jiffy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/jiffy_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/jiffy_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/jiffy_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jiffy_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/persistent/CMakeFiles/jiffy_persistent.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jiffy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/jiffy_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jiffy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

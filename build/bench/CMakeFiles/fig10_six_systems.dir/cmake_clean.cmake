@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_six_systems.dir/fig10_six_systems.cc.o"
+  "CMakeFiles/fig10_six_systems.dir/fig10_six_systems.cc.o.d"
+  "fig10_six_systems"
+  "fig10_six_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_six_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_lifetime.dir/fig11a_lifetime.cc.o"
+  "CMakeFiles/fig11a_lifetime.dir/fig11a_lifetime.cc.o.d"
+  "fig11a_lifetime"
+  "fig11a_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_repartition.dir/fig11b_repartition.cc.o"
+  "CMakeFiles/fig11b_repartition.dir/fig11b_repartition.cc.o.d"
+  "fig11b_repartition"
+  "fig11b_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_controller.dir/fig12_controller.cc.o"
+  "CMakeFiles/fig12_controller.dir/fig12_controller.cc.o.d"
+  "fig12_controller"
+  "fig12_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_wordcount.dir/fig13a_wordcount.cc.o"
+  "CMakeFiles/fig13a_wordcount.dir/fig13a_wordcount.cc.o.d"
+  "fig13a_wordcount"
+  "fig13a_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

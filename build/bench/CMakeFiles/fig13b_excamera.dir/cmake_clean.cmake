@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_excamera.dir/fig13b_excamera.cc.o"
+  "CMakeFiles/fig13b_excamera.dir/fig13b_excamera.cc.o.d"
+  "fig13b_excamera"
+  "fig13b_excamera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_excamera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piccolo_pagerank.dir/piccolo_pagerank.cpp.o"
+  "CMakeFiles/piccolo_pagerank.dir/piccolo_pagerank.cpp.o.d"
+  "piccolo_pagerank"
+  "piccolo_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piccolo_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_baselines.dir/alloc_policy.cc.o"
+  "CMakeFiles/jiffy_baselines.dir/alloc_policy.cc.o.d"
+  "CMakeFiles/jiffy_baselines.dir/remote_models.cc.o"
+  "CMakeFiles/jiffy_baselines.dir/remote_models.cc.o.d"
+  "CMakeFiles/jiffy_baselines.dir/rendezvous.cc.o"
+  "CMakeFiles/jiffy_baselines.dir/rendezvous.cc.o.d"
+  "libjiffy_baselines.a"
+  "libjiffy_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjiffy_baselines.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_block.dir/block.cc.o"
+  "CMakeFiles/jiffy_block.dir/block.cc.o.d"
+  "CMakeFiles/jiffy_block.dir/notification.cc.o"
+  "CMakeFiles/jiffy_block.dir/notification.cc.o.d"
+  "libjiffy_block.a"
+  "libjiffy_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/custom_client.cc" "src/client/CMakeFiles/jiffy_client.dir/custom_client.cc.o" "gcc" "src/client/CMakeFiles/jiffy_client.dir/custom_client.cc.o.d"
+  "/root/repo/src/client/ds_client.cc" "src/client/CMakeFiles/jiffy_client.dir/ds_client.cc.o" "gcc" "src/client/CMakeFiles/jiffy_client.dir/ds_client.cc.o.d"
+  "/root/repo/src/client/file_client.cc" "src/client/CMakeFiles/jiffy_client.dir/file_client.cc.o" "gcc" "src/client/CMakeFiles/jiffy_client.dir/file_client.cc.o.d"
+  "/root/repo/src/client/jiffy_client.cc" "src/client/CMakeFiles/jiffy_client.dir/jiffy_client.cc.o" "gcc" "src/client/CMakeFiles/jiffy_client.dir/jiffy_client.cc.o.d"
+  "/root/repo/src/client/kv_client.cc" "src/client/CMakeFiles/jiffy_client.dir/kv_client.cc.o" "gcc" "src/client/CMakeFiles/jiffy_client.dir/kv_client.cc.o.d"
+  "/root/repo/src/client/queue_client.cc" "src/client/CMakeFiles/jiffy_client.dir/queue_client.cc.o" "gcc" "src/client/CMakeFiles/jiffy_client.dir/queue_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/jiffy_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jiffy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/jiffy_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/jiffy_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/persistent/CMakeFiles/jiffy_persistent.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jiffy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jiffy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_client.dir/custom_client.cc.o"
+  "CMakeFiles/jiffy_client.dir/custom_client.cc.o.d"
+  "CMakeFiles/jiffy_client.dir/ds_client.cc.o"
+  "CMakeFiles/jiffy_client.dir/ds_client.cc.o.d"
+  "CMakeFiles/jiffy_client.dir/file_client.cc.o"
+  "CMakeFiles/jiffy_client.dir/file_client.cc.o.d"
+  "CMakeFiles/jiffy_client.dir/jiffy_client.cc.o"
+  "CMakeFiles/jiffy_client.dir/jiffy_client.cc.o.d"
+  "CMakeFiles/jiffy_client.dir/kv_client.cc.o"
+  "CMakeFiles/jiffy_client.dir/kv_client.cc.o.d"
+  "CMakeFiles/jiffy_client.dir/queue_client.cc.o"
+  "CMakeFiles/jiffy_client.dir/queue_client.cc.o.d"
+  "libjiffy_client.a"
+  "libjiffy_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/jiffy_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/jiffy_cluster.dir/cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jiffy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/jiffy_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jiffy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/persistent/CMakeFiles/jiffy_persistent.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/jiffy_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jiffy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_cluster.dir/cluster.cc.o"
+  "CMakeFiles/jiffy_cluster.dir/cluster.cc.o.d"
+  "libjiffy_cluster.a"
+  "libjiffy_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_common.dir/clock.cc.o"
+  "CMakeFiles/jiffy_common.dir/clock.cc.o.d"
+  "CMakeFiles/jiffy_common.dir/histogram.cc.o"
+  "CMakeFiles/jiffy_common.dir/histogram.cc.o.d"
+  "CMakeFiles/jiffy_common.dir/logging.cc.o"
+  "CMakeFiles/jiffy_common.dir/logging.cc.o.d"
+  "CMakeFiles/jiffy_common.dir/random.cc.o"
+  "CMakeFiles/jiffy_common.dir/random.cc.o.d"
+  "CMakeFiles/jiffy_common.dir/status.cc.o"
+  "CMakeFiles/jiffy_common.dir/status.cc.o.d"
+  "libjiffy_common.a"
+  "libjiffy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_core.dir/address.cc.o"
+  "CMakeFiles/jiffy_core.dir/address.cc.o.d"
+  "CMakeFiles/jiffy_core.dir/allocator.cc.o"
+  "CMakeFiles/jiffy_core.dir/allocator.cc.o.d"
+  "CMakeFiles/jiffy_core.dir/controller.cc.o"
+  "CMakeFiles/jiffy_core.dir/controller.cc.o.d"
+  "CMakeFiles/jiffy_core.dir/hierarchy.cc.o"
+  "CMakeFiles/jiffy_core.dir/hierarchy.cc.o.d"
+  "CMakeFiles/jiffy_core.dir/lease.cc.o"
+  "CMakeFiles/jiffy_core.dir/lease.cc.o.d"
+  "libjiffy_core.a"
+  "libjiffy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

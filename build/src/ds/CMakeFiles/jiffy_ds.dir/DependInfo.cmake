@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ds/cuckoo_hash.cc" "src/ds/CMakeFiles/jiffy_ds.dir/cuckoo_hash.cc.o" "gcc" "src/ds/CMakeFiles/jiffy_ds.dir/cuckoo_hash.cc.o.d"
+  "/root/repo/src/ds/custom.cc" "src/ds/CMakeFiles/jiffy_ds.dir/custom.cc.o" "gcc" "src/ds/CMakeFiles/jiffy_ds.dir/custom.cc.o.d"
+  "/root/repo/src/ds/file_content.cc" "src/ds/CMakeFiles/jiffy_ds.dir/file_content.cc.o" "gcc" "src/ds/CMakeFiles/jiffy_ds.dir/file_content.cc.o.d"
+  "/root/repo/src/ds/kv_content.cc" "src/ds/CMakeFiles/jiffy_ds.dir/kv_content.cc.o" "gcc" "src/ds/CMakeFiles/jiffy_ds.dir/kv_content.cc.o.d"
+  "/root/repo/src/ds/queue_content.cc" "src/ds/CMakeFiles/jiffy_ds.dir/queue_content.cc.o" "gcc" "src/ds/CMakeFiles/jiffy_ds.dir/queue_content.cc.o.d"
+  "/root/repo/src/ds/registry.cc" "src/ds/CMakeFiles/jiffy_ds.dir/registry.cc.o" "gcc" "src/ds/CMakeFiles/jiffy_ds.dir/registry.cc.o.d"
+  "/root/repo/src/ds/shared_log.cc" "src/ds/CMakeFiles/jiffy_ds.dir/shared_log.cc.o" "gcc" "src/ds/CMakeFiles/jiffy_ds.dir/shared_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jiffy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/jiffy_block.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_ds.dir/cuckoo_hash.cc.o"
+  "CMakeFiles/jiffy_ds.dir/cuckoo_hash.cc.o.d"
+  "CMakeFiles/jiffy_ds.dir/custom.cc.o"
+  "CMakeFiles/jiffy_ds.dir/custom.cc.o.d"
+  "CMakeFiles/jiffy_ds.dir/file_content.cc.o"
+  "CMakeFiles/jiffy_ds.dir/file_content.cc.o.d"
+  "CMakeFiles/jiffy_ds.dir/kv_content.cc.o"
+  "CMakeFiles/jiffy_ds.dir/kv_content.cc.o.d"
+  "CMakeFiles/jiffy_ds.dir/queue_content.cc.o"
+  "CMakeFiles/jiffy_ds.dir/queue_content.cc.o.d"
+  "CMakeFiles/jiffy_ds.dir/registry.cc.o"
+  "CMakeFiles/jiffy_ds.dir/registry.cc.o.d"
+  "CMakeFiles/jiffy_ds.dir/shared_log.cc.o"
+  "CMakeFiles/jiffy_ds.dir/shared_log.cc.o.d"
+  "libjiffy_ds.a"
+  "libjiffy_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

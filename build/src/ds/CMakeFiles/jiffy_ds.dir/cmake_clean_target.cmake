@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjiffy_ds.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_frameworks.dir/dataflow.cc.o"
+  "CMakeFiles/jiffy_frameworks.dir/dataflow.cc.o.d"
+  "CMakeFiles/jiffy_frameworks.dir/mapreduce.cc.o"
+  "CMakeFiles/jiffy_frameworks.dir/mapreduce.cc.o.d"
+  "CMakeFiles/jiffy_frameworks.dir/piccolo.cc.o"
+  "CMakeFiles/jiffy_frameworks.dir/piccolo.cc.o.d"
+  "libjiffy_frameworks.a"
+  "libjiffy_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

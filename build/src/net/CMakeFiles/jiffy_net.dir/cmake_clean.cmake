@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_net.dir/network.cc.o"
+  "CMakeFiles/jiffy_net.dir/network.cc.o.d"
+  "libjiffy_net.a"
+  "libjiffy_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

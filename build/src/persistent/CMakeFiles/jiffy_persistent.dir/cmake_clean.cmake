@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_persistent.dir/persistent_store.cc.o"
+  "CMakeFiles/jiffy_persistent.dir/persistent_store.cc.o.d"
+  "libjiffy_persistent.a"
+  "libjiffy_persistent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_persistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

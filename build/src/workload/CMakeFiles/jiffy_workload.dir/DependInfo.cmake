@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/excamera.cc" "src/workload/CMakeFiles/jiffy_workload.dir/excamera.cc.o" "gcc" "src/workload/CMakeFiles/jiffy_workload.dir/excamera.cc.o.d"
+  "/root/repo/src/workload/snowflake.cc" "src/workload/CMakeFiles/jiffy_workload.dir/snowflake.cc.o" "gcc" "src/workload/CMakeFiles/jiffy_workload.dir/snowflake.cc.o.d"
+  "/root/repo/src/workload/text.cc" "src/workload/CMakeFiles/jiffy_workload.dir/text.cc.o" "gcc" "src/workload/CMakeFiles/jiffy_workload.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jiffy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

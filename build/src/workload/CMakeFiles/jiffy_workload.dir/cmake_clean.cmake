@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jiffy_workload.dir/excamera.cc.o"
+  "CMakeFiles/jiffy_workload.dir/excamera.cc.o.d"
+  "CMakeFiles/jiffy_workload.dir/snowflake.cc.o"
+  "CMakeFiles/jiffy_workload.dir/snowflake.cc.o.d"
+  "CMakeFiles/jiffy_workload.dir/text.cc.o"
+  "CMakeFiles/jiffy_workload.dir/text.cc.o.d"
+  "libjiffy_workload.a"
+  "libjiffy_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jiffy_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

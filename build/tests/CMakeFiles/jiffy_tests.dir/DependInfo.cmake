@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/address_test.cc" "tests/CMakeFiles/jiffy_tests.dir/address_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/address_test.cc.o.d"
+  "/root/repo/tests/allocator_test.cc" "tests/CMakeFiles/jiffy_tests.dir/allocator_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/allocator_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/jiffy_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/client_test.cc" "tests/CMakeFiles/jiffy_tests.dir/client_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/client_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/jiffy_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/jiffy_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/contents_test.cc" "tests/CMakeFiles/jiffy_tests.dir/contents_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/contents_test.cc.o.d"
+  "/root/repo/tests/controller_test.cc" "tests/CMakeFiles/jiffy_tests.dir/controller_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/controller_test.cc.o.d"
+  "/root/repo/tests/cuckoo_test.cc" "tests/CMakeFiles/jiffy_tests.dir/cuckoo_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/cuckoo_test.cc.o.d"
+  "/root/repo/tests/custom_ds_test.cc" "tests/CMakeFiles/jiffy_tests.dir/custom_ds_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/custom_ds_test.cc.o.d"
+  "/root/repo/tests/failover_test.cc" "tests/CMakeFiles/jiffy_tests.dir/failover_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/failover_test.cc.o.d"
+  "/root/repo/tests/frameworks_test.cc" "tests/CMakeFiles/jiffy_tests.dir/frameworks_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/frameworks_test.cc.o.d"
+  "/root/repo/tests/hierarchy_test.cc" "tests/CMakeFiles/jiffy_tests.dir/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/hierarchy_test.cc.o.d"
+  "/root/repo/tests/network_test.cc" "tests/CMakeFiles/jiffy_tests.dir/network_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/network_test.cc.o.d"
+  "/root/repo/tests/notification_test.cc" "tests/CMakeFiles/jiffy_tests.dir/notification_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/notification_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/jiffy_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/replication_test.cc" "tests/CMakeFiles/jiffy_tests.dir/replication_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/replication_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/jiffy_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/jiffy_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/jiffy_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/jiffy_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/jiffy_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jiffy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/jiffy_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/jiffy_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/jiffy_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jiffy_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/persistent/CMakeFiles/jiffy_persistent.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jiffy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/jiffy_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jiffy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
