@@ -5,10 +5,13 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace jiffy {
 
@@ -45,6 +48,33 @@ inline std::string HumanBytes(double bytes) {
     std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
   }
   return buf;
+}
+
+// Dumps a cluster metrics snapshot under a labelled header.
+inline void PrintMetricsSnapshot(const char* label,
+                                 const obs::MetricsSnapshot& snap) {
+  std::printf("\n# metrics snapshot: %s\n", label);
+  std::printf("%s", snap.ToString().c_str());
+}
+
+// Writes the process-global trace ring to Chrome trace_event JSON.
+// `default_path` is used unless env JIFFY_TRACE_FILE overrides it; empty
+// JIFFY_TRACE_FILE suppresses the dump.
+inline void DumpTrace(const std::string& default_path) {
+  std::string path = default_path;
+  if (const char* env = std::getenv("JIFFY_TRACE_FILE")) {
+    path = env;
+  }
+  if (path.empty()) {
+    return;
+  }
+  obs::Tracer* tracer = obs::Tracer::Global();
+  if (tracer->WriteChromeJson(path)) {
+    std::printf("\n# trace: %zu events -> %s (chrome://tracing)\n",
+                tracer->EventCount(), path.c_str());
+  } else {
+    std::printf("\n# trace: failed to write %s\n", path.c_str());
+  }
 }
 
 }  // namespace jiffy

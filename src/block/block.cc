@@ -21,9 +21,11 @@ Block::Block(BlockId id, size_t capacity_bytes)
 
 void Block::InstallContent(std::unique_ptr<BlockContent> content) {
   content_ = std::move(content);
+  obs::Inc(m_installs_);
 }
 
 std::unique_ptr<BlockContent> Block::RemoveContent() {
+  obs::Inc(m_resets_);
   return std::move(content_);
 }
 
@@ -64,6 +66,18 @@ MemoryServer::MemoryServer(uint32_t server_id, uint32_t num_blocks,
   for (uint32_t slot = 0; slot < num_blocks; ++slot) {
     blocks_.push_back(
         std::make_unique<Block>(BlockId{server_id, slot}, block_size));
+  }
+}
+
+void MemoryServer::BindMetrics(obs::MetricsRegistry* registry) {
+  const std::string ns = "server." + std::to_string(server_id_) + ".";
+  obs::Counter* ops = registry->GetCounter(ns + "block_ops_total");
+  obs::Counter* installs = registry->GetCounter(ns + "content_installs_total");
+  obs::Counter* resets = registry->GetCounter(ns + "content_resets_total");
+  for (auto& b : blocks_) {
+    b->m_ops_ = ops;
+    b->m_installs_ = installs;
+    b->m_resets_ = resets;
   }
 }
 

@@ -24,6 +24,7 @@
 #include "src/block/block_id.h"
 #include "src/block/notification.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 
 namespace jiffy {
 
@@ -95,7 +96,14 @@ class Block {
 
   SubscriptionMap& subscriptions() { return subs_; }
 
+  // Counts one data-structure operator executed against this block. Called
+  // by the client layer inside its locked section; feeds the hosting
+  // server's "server.<id>.block_ops_total" once MemoryServer::BindMetrics
+  // has run.
+  void CountOp() { obs::Inc(m_ops_); }
+
  private:
+  friend class MemoryServer;  // Wires m_*_ pointers at BindMetrics time.
   const BlockId id_;
   const size_t capacity_;
   std::mutex mu_;
@@ -106,12 +114,23 @@ class Block {
   std::string owner_job_;
   std::string owner_prefix_;
   SubscriptionMap subs_;
+
+  // Observability (null until the hosting server's BindMetrics; shared by
+  // all blocks of one server).
+  obs::Counter* m_ops_ = nullptr;
+  obs::Counter* m_installs_ = nullptr;
+  obs::Counter* m_resets_ = nullptr;
 };
 
 // A memory server: hosts `num_blocks` blocks of `block_size` bytes each.
 class MemoryServer {
  public:
   MemoryServer(uint32_t server_id, uint32_t num_blocks, size_t block_size);
+
+  // Registers this server's metrics ("server.<id>.*") in `registry` and
+  // wires every block to record into them. Optional; call during assembly,
+  // before traffic.
+  void BindMetrics(obs::MetricsRegistry* registry);
 
   uint32_t server_id() const { return server_id_; }
   uint32_t num_blocks() const { return static_cast<uint32_t>(blocks_.size()); }

@@ -1,6 +1,7 @@
 #include "src/client/file_client.h"
 
 #include "src/ds/file_content.h"
+#include "src/obs/trace.h"
 
 namespace jiffy {
 
@@ -33,6 +34,7 @@ Status FileClient::GrowTail(BlockId tail_block, uint64_t tail_lo,
 }
 
 Result<uint64_t> FileClient::Append(std::string_view data) {
+  JIFFY_TRACE_SPAN("file.append", "client");
   std::string_view remaining = data;
   uint64_t start_offset = 0;
   bool start_set = false;
@@ -62,6 +64,7 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
         // controller mutex → block mutex; never the reverse).
         content_gone = true;
       } else {
+        block->CountOp();
         accepted = chunk->Append(remaining);
         end_offset = chunk->end_offset();
         const double usage = static_cast<double>(chunk->used_bytes()) /
@@ -115,6 +118,7 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
 }
 
 Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
+  JIFFY_TRACE_SPAN("file.read", "client");
   std::string out;
   bool refreshed = false;
   while (out.size() < len) {
@@ -147,6 +151,7 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
       if (chunk == nullptr) {
         return LeaseExpired("file block reclaimed; load the prefix first");
       }
+      block->CountOp();
       JIFFY_ASSIGN_OR_RETURN(piece, chunk->ReadAt(cur, len - out.size()));
     }
     data_net()->RoundTrip(64, piece.size() + 64);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/ds/kv_content.h"
+#include "src/obs/trace.h"
 
 namespace jiffy {
 
@@ -23,6 +24,7 @@ bool KvClient::RouteSlot(uint32_t slot, PartitionEntry* out) const {
 }
 
 Status KvClient::Put(std::string_view key, std::string_view value) {
+  JIFFY_TRACE_SPAN("kv.put", "client");
   const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
     BackoffRetry(attempt);
@@ -47,6 +49,7 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
       if (shard == nullptr) {
         content_gone = true;
       } else {
+        block->CountOp();
         st = shard->Put(key, value);
         usage = static_cast<double>(shard->used_bytes()) /
                 static_cast<double>(shard->capacity());
@@ -79,6 +82,7 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
 }
 
 Result<std::string> KvClient::Get(std::string_view key) {
+  JIFFY_TRACE_SPAN("kv.get", "client");
   const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
     BackoffRetry(attempt);
@@ -101,6 +105,7 @@ Result<std::string> KvClient::Get(std::string_view key) {
       if (shard == nullptr) {
         content_gone = true;
       } else {
+        block->CountOp();
         r = shard->Get(key);
       }
     }
@@ -123,6 +128,7 @@ Result<std::string> KvClient::Get(std::string_view key) {
 }
 
 Status KvClient::Delete(std::string_view key) {
+  JIFFY_TRACE_SPAN("kv.delete", "client");
   const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
     BackoffRetry(attempt);
@@ -145,6 +151,7 @@ Status KvClient::Delete(std::string_view key) {
       if (shard == nullptr) {
         content_gone = true;
       } else {
+        block->CountOp();
         st = shard->Delete(key);
         usage = static_cast<double>(shard->used_bytes()) /
                 static_cast<double>(shard->capacity());
@@ -199,6 +206,7 @@ Status KvClient::Accumulate(std::string_view key, std::string_view update,
       } else if (!shard->OwnsKey(key)) {
         st = StaleMetadata("slot moved");
       } else {
+        block->CountOp();
         auto old = shard->Get(key);
         merged = merge(old.ok() ? *old : std::string(), std::string(update));
         st = shard->Put(key, merged);

@@ -1,6 +1,7 @@
 #include "src/client/queue_client.h"
 
 #include "src/ds/queue_content.h"
+#include "src/obs/trace.h"
 
 namespace jiffy {
 
@@ -52,6 +53,7 @@ Status QueueClient::ShrinkHead(BlockId head_block) {
 }
 
 Status QueueClient::Enqueue(std::string item) {
+  JIFFY_TRACE_SPAN("queue.enqueue", "client");
   const uint64_t bound = state()->max_queue_length.load();
   if (bound > 0 &&
       state()->queue_items.load(std::memory_order_relaxed) >=
@@ -82,6 +84,7 @@ Status QueueClient::Enqueue(std::string item) {
         // Refresh outside the block lock (lock order: controller → block).
         content_gone = true;
       } else if (!seg->sealed()) {
+        block->CountOp();
         // On failure the segment seals itself and leaves `item` intact for
         // the retry against the new tail. Copy first so replicas can receive
         // the same bytes.
@@ -122,6 +125,7 @@ Status QueueClient::Enqueue(std::string item) {
 }
 
 Result<std::string> QueueClient::Dequeue() {
+  JIFFY_TRACE_SPAN("queue.dequeue", "client");
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
     BackoffRetry(attempt);
     PartitionMap map = CachedMap();
@@ -147,6 +151,7 @@ Result<std::string> QueueClient::Dequeue() {
       if (seg == nullptr) {
         content_gone = true;
       } else {
+        block->CountOp();
         auto popped = seg->Dequeue();
         if (popped.ok()) {
           item = std::move(*popped);

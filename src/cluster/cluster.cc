@@ -5,6 +5,7 @@
 #include "src/ds/file_content.h"
 #include "src/ds/kv_content.h"
 #include "src/ds/queue_content.h"
+#include "src/obs/trace.h"
 
 namespace jiffy {
 
@@ -33,6 +34,21 @@ JiffyCluster::JiffyCluster(const Options& options)
       options.net_model, options.net_mode, clock_, /*seed=*/7);
   data_transport_ = std::make_unique<Transport>(
       options.net_model, options.net_mode, clock_, /*seed=*/8);
+
+  // Bind every component to the cluster-wide metrics registry.
+  allocator_->BindMetrics(&metrics_);
+  for (auto& server : servers_) {
+    server->BindMetrics(&metrics_);
+  }
+  for (uint32_t i = 0; i < shards; ++i) {
+    controllers_[i]->BindMetrics(&metrics_, i);
+  }
+  control_transport_->BindMetrics(&metrics_, "control");
+  data_transport_->BindMetrics(&metrics_, "data");
+  m_init_blocks_ = metrics_.GetCounter("cluster.init_blocks_total");
+  m_serialize_blocks_ = metrics_.GetCounter("cluster.serialize_blocks_total");
+  m_restore_blocks_ = metrics_.GetCounter("cluster.restore_blocks_total");
+  m_reset_blocks_ = metrics_.GetCounter("cluster.reset_blocks_total");
 }
 
 JiffyCluster::~JiffyCluster() = default;
@@ -79,6 +95,8 @@ Status JiffyCluster::InitBlock(BlockId id, DsType type, uint64_t lo,
                                uint64_t hi, const std::string& job,
                                const std::string& prefix,
                                const std::string& custom_type) {
+  JIFFY_TRACE_SPAN("data.init_block", "data");
+  obs::Inc(m_init_blocks_);
   Block* block = ResolveBlock(id);
   if (block == nullptr) {
     return Internal("InitBlock: unknown block " + id.ToString());
@@ -115,6 +133,8 @@ Status JiffyCluster::InitBlock(BlockId id, DsType type, uint64_t lo,
 }
 
 Result<std::string> JiffyCluster::SerializeBlock(BlockId id) {
+  JIFFY_TRACE_SPAN("data.serialize_block", "data");
+  obs::Inc(m_serialize_blocks_);
   Block* block = ResolveBlock(id);
   if (block == nullptr) {
     return Internal("SerializeBlock: unknown block " + id.ToString());
@@ -131,6 +151,8 @@ Status JiffyCluster::RestoreBlock(BlockId id, DsType type,
                                   uint64_t hi, const std::string& job,
                                   const std::string& prefix,
                                   const std::string& custom_type) {
+  JIFFY_TRACE_SPAN("data.restore_block", "data");
+  obs::Inc(m_restore_blocks_);
   Block* block = ResolveBlock(id);
   if (block == nullptr) {
     return Internal("RestoreBlock: unknown block " + id.ToString());
@@ -185,6 +207,8 @@ Status JiffyCluster::RestoreBlock(BlockId id, DsType type,
 }
 
 Status JiffyCluster::ResetBlock(BlockId id) {
+  JIFFY_TRACE_SPAN("data.reset_block", "data");
+  obs::Inc(m_reset_blocks_);
   Block* block = ResolveBlock(id);
   if (block == nullptr) {
     return Internal("ResetBlock: unknown block " + id.ToString());

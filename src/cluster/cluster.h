@@ -23,6 +23,7 @@
 #include "src/core/controller.h"
 #include "src/ds/registry.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 #include "src/persistent/persistent_store.h"
 
 namespace jiffy {
@@ -73,6 +74,16 @@ class JiffyCluster : public DataPlaneHooks {
   Transport* control_transport() { return control_transport_.get(); }
   Transport* data_transport() { return data_transport_.get(); }
 
+  // --- Observability --------------------------------------------------------
+  //
+  // Every component of this cluster registers its metrics in one registry at
+  // construction: "allocator.*", "controller.<shard>.*", "server.<id>.*",
+  // "transport.control.*", "transport.data.*", "cluster.*".
+
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  obs::MetricsSnapshot MetricsSnapshot() { return metrics_.Snapshot(); }
+  std::string MetricsPrometheusText() { return metrics_.PrometheusText(); }
+
   // --- Capacity accounting (Fig 9(b), Fig 11(a)) ----------------------------
 
   size_t TotalCapacityBytes() const { return config_.TotalCapacityBytes(); }
@@ -110,6 +121,16 @@ class JiffyCluster : public DataPlaneHooks {
   DsRegistry registry_;
   std::unique_ptr<Transport> control_transport_;
   std::unique_ptr<Transport> data_transport_;
+
+  // Owned per cluster (no process-global registry) so tests that build
+  // several clusters never share metrics. Bound components cache raw metric
+  // pointers but never record from destructors, so member order is not
+  // load-bearing.
+  obs::MetricsRegistry metrics_;
+  obs::Counter* m_init_blocks_ = nullptr;
+  obs::Counter* m_serialize_blocks_ = nullptr;
+  obs::Counter* m_restore_blocks_ = nullptr;
+  obs::Counter* m_reset_blocks_ = nullptr;
 };
 
 }  // namespace jiffy

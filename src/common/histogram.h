@@ -23,6 +23,17 @@ class Histogram {
   void Record(int64_t value);
 
   // Merges `other` into this histogram.
+  //
+  // Locking contract (audited — keep it this way): Merge snapshots `other`
+  // under other.mu_ FIRST, releases it, and only then takes this->mu_ to
+  // apply the snapshot. The two locks are never held simultaneously, so
+  //   - concurrent cross-merges (T1: a.Merge(b) while T2: b.Merge(a)) cannot
+  //     deadlock regardless of ordering;
+  //   - self-merge h.Merge(h) is safe (the non-recursive mutex is taken
+  //     twice but sequentially) and, by design, doubles every count;
+  //   - a merge is NOT atomic with respect to concurrent Record() on
+  //     `other`: samples recorded after the snapshot are not copied. Merge
+  //     quiesced histograms when an exact total matters.
   void Merge(const Histogram& other);
 
   uint64_t count() const;

@@ -1,8 +1,10 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace jiffy {
@@ -28,13 +30,37 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-// Serializes concurrent log lines so they do not interleave mid-line.
+// Serializes concurrent log lines; each line is also emitted with a single
+// fwrite so lines cannot tear even without the lock (e.g. child processes
+// sharing stderr).
 std::mutex& SinkMutex() {
   static std::mutex mu;
   return mu;
 }
 
+// "2026-08-06 12:34:56.789" in local time.
+void FormatTimestamp(char* buf, size_t len) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf;
+  localtime_r(&secs, &tm_buf);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%d %H:%M:%S", &tm_buf);
+  std::snprintf(buf, len, "%s.%03d", date, static_cast<int>(ms));
+}
+
 }  // namespace
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local const uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 
@@ -49,13 +75,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
       base = p + 1;
     }
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  char ts[48];
+  FormatTimestamp(ts, sizeof(ts));
+  stream_ << "[" << ts << " " << LevelName(level) << " tid=" << CurrentThreadId()
+          << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
+  std::string line = stream_.str();
+  line.push_back('\n');
   {
     std::lock_guard<std::mutex> lock(SinkMutex());
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    // Single write per line to avoid tearing.
+    std::fwrite(line.data(), 1, line.size(), stderr);
     std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {

@@ -9,10 +9,16 @@
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 namespace jiffy {
+
+// Small dense id for the calling thread (1-based, assigned on first use,
+// stable for the thread's lifetime). Used to attribute interleaved log lines
+// and trace events; much shorter than std::thread::id.
+uint32_t CurrentThreadId();
 
 enum class LogLevel : int {
   kTrace = 0,
@@ -29,7 +35,10 @@ void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 // One log statement. Buffers the message and flushes to stderr in the
-// destructor; kFatal aborts the process after flushing.
+// destructor as a single write (no mid-line interleaving even across
+// processes sharing the fd); each line carries a wall-clock timestamp and
+// the thread id so multi-threaded logs stay attributable. kFatal aborts the
+// process after flushing.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

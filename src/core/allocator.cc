@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
+
 namespace jiffy {
 
 BlockAllocator::BlockAllocator(uint32_t num_servers, uint32_t blocks_per_server)
@@ -18,6 +20,16 @@ BlockAllocator::BlockAllocator(uint32_t num_servers, uint32_t blocks_per_server)
   }
 }
 
+void BlockAllocator::BindMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  m_allocations_ = registry->GetCounter("allocator.allocations_total");
+  m_alloc_failures_ = registry->GetCounter("allocator.alloc_failures_total");
+  m_frees_ = registry->GetCounter("allocator.frees_total");
+  m_free_blocks_ = registry->GetGauge("allocator.free_blocks");
+  m_alloc_ns_ = registry->GetHistogram("allocator.alloc_ns");
+  m_free_blocks_->Set(free_total_);
+}
+
 Result<BlockId> BlockAllocator::AllocateLocked(const std::string& owner) {
   return AllocateAvoidingLocked(owner, {});
 }
@@ -25,6 +37,7 @@ Result<BlockId> BlockAllocator::AllocateLocked(const std::string& owner) {
 Result<BlockId> BlockAllocator::AllocateAvoidingLocked(
     const std::string& owner, const std::vector<uint32_t>& avoid) {
   if (free_total_ == 0) {
+    obs::Inc(m_alloc_failures_);
     return OutOfMemory("free block list exhausted (" +
                        std::to_string(total_) + " blocks all allocated)");
   }
@@ -51,6 +64,7 @@ Result<BlockId> BlockAllocator::AllocateAvoidingLocked(
     }
   }
   if (best == free_.size()) {
+    obs::Inc(m_alloc_failures_);
     return OutOfMemory("no live server has free blocks");
   }
   const uint32_t slot = free_[best].back();
@@ -60,18 +74,27 @@ Result<BlockId> BlockAllocator::AllocateAvoidingLocked(
   owner_of_[id.Packed()] = owner;
   owner_counts_[owner]++;
   peak_allocated_ = std::max(peak_allocated_, total_ - free_total_);
+  obs::Inc(m_allocations_);
+  if (m_free_blocks_ != nullptr) {
+    m_free_blocks_->Set(free_total_);
+  }
   return id;
 }
 
 Result<BlockId> BlockAllocator::Allocate(const std::string& owner) {
+  JIFFY_TRACE_SPAN("alloc.allocate", "alloc");
+  obs::ScopedTimer timer(m_alloc_ns_);
   std::lock_guard<std::mutex> lock(mu_);
   return AllocateLocked(owner);
 }
 
 Result<std::vector<BlockId>> BlockAllocator::AllocateN(const std::string& owner,
                                                        uint32_t n) {
+  JIFFY_TRACE_SPAN("alloc.allocate_n", "alloc");
+  obs::ScopedTimer timer(m_alloc_ns_);
   std::lock_guard<std::mutex> lock(mu_);
   if (free_total_ < n) {
+    obs::Inc(m_alloc_failures_);
     return OutOfMemory("need " + std::to_string(n) + " blocks, only " +
                        std::to_string(free_total_) + " free");
   }
@@ -102,10 +125,15 @@ Status BlockAllocator::Free(BlockId id) {
   if (server_dead_[id.server_id]) {
     // The block's server is gone; retire the block instead of returning it
     // to the pool.
+    obs::Inc(m_frees_);
     return Status::Ok();
   }
   free_[id.server_id].push_back(id.slot);
   free_total_++;
+  obs::Inc(m_frees_);
+  if (m_free_blocks_ != nullptr) {
+    m_free_blocks_->Set(free_total_);
+  }
   return Status::Ok();
 }
 

@@ -20,6 +20,7 @@
 
 #include "src/block/block_id.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 
 namespace jiffy {
 
@@ -27,6 +28,10 @@ class BlockAllocator {
  public:
   // `num_servers` servers × `blocks_per_server` blocks each, all free.
   BlockAllocator(uint32_t num_servers, uint32_t blocks_per_server);
+
+  // Registers this allocator's metrics ("allocator.*") in `registry` and
+  // starts recording into them. Optional; never bound = no recording.
+  void BindMetrics(obs::MetricsRegistry* registry);
 
   // Allocates one block for `owner` (a "job/prefix" tag used only for
   // accounting). Fails with kOutOfMemory when the pool is exhausted — the
@@ -64,6 +69,13 @@ class BlockAllocator {
   Result<BlockId> AllocateLocked(const std::string& owner);
   Result<BlockId> AllocateAvoidingLocked(const std::string& owner,
                                          const std::vector<uint32_t>& avoid);
+
+  // Observability (null until BindMetrics).
+  obs::Counter* m_allocations_ = nullptr;
+  obs::Counter* m_alloc_failures_ = nullptr;
+  obs::Counter* m_frees_ = nullptr;
+  obs::Gauge* m_free_blocks_ = nullptr;
+  Histogram* m_alloc_ns_ = nullptr;
 
   mutable std::mutex mu_;
   std::vector<bool> server_dead_;

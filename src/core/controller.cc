@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/serde.h"
+#include "src/obs/trace.h"
 
 namespace jiffy {
 
@@ -16,7 +17,25 @@ Controller::Controller(const JiffyConfig& config, Clock* clock,
       hooks_(hooks),
       backing_(backing) {}
 
+void Controller::BindMetrics(obs::MetricsRegistry* registry,
+                             uint32_t shard_id) {
+  const std::string ns = "controller." + std::to_string(shard_id) + ".";
+  m_ops_ = registry->GetCounter(ns + "ops_total");
+  m_lease_renewals_ = registry->GetCounter(ns + "lease_renewals_total");
+  m_lease_fanout_ = registry->GetCounter(ns + "lease_renewal_fanout_total");
+  m_expiry_scans_ = registry->GetCounter(ns + "expiry_scans_total");
+  m_prefixes_expired_ = registry->GetCounter(ns + "prefixes_expired_total");
+  m_blocks_allocated_ = registry->GetCounter(ns + "blocks_allocated_total");
+  m_blocks_reclaimed_ = registry->GetCounter(ns + "blocks_reclaimed_total");
+  m_bytes_flushed_ = registry->GetCounter(ns + "bytes_flushed_total");
+  m_splits_ = registry->GetCounter(ns + "repartition_splits_total");
+  m_merges_ = registry->GetCounter(ns + "repartition_merges_total");
+  m_renew_ns_ = registry->GetHistogram(ns + "renew_ns");
+  m_alloc_block_ns_ = registry->GetHistogram(ns + "alloc_block_ns");
+}
+
 void Controller::ChargeOp() {
+  obs::Inc(m_ops_);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.ops++;
@@ -99,6 +118,7 @@ Status Controller::CreateAddrPrefix(const std::string& job,
                                     const std::string& name,
                                     const std::vector<std::string>& parents,
                                     const CreateOptions& opts) {
+  JIFFY_TRACE_SPAN("ctl.create_prefix", "control");
   ChargeOp();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -158,11 +178,15 @@ Result<DurationNs> Controller::GetLeaseDuration(const std::string& job,
 
 Result<uint64_t> Controller::RenewLease(const std::string& job,
                                         const std::string& prefix) {
+  JIFFY_TRACE_SPAN("ctl.renew_lease", "control");
+  obs::ScopedTimer timer(m_renew_ns_);
   ChargeOp();
   std::lock_guard<std::mutex> lock(mu_);
   JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
   JIFFY_ASSIGN_OR_RETURN(std::vector<std::string> renewed,
                          hier->RenewLease(prefix, clock_->Now()));
+  obs::Inc(m_lease_renewals_);
+  obs::Inc(m_lease_fanout_, renewed.size());
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.lease_renewals++;
@@ -171,6 +195,7 @@ Result<uint64_t> Controller::RenewLease(const std::string& job,
 }
 
 uint64_t Controller::RunExpiryScan() {
+  JIFFY_TRACE_SPAN("ctl.expiry_scan", "control");
   ChargeOp();
   const TimeNs now = clock_->Now();
   uint64_t reclaimed = 0;
@@ -196,6 +221,8 @@ uint64_t Controller::RunExpiryScan() {
       reclaimed++;
     }
   }
+  obs::Inc(m_expiry_scans_);
+  obs::Inc(m_prefixes_expired_, reclaimed);
   std::lock_guard<std::mutex> slock(stats_mu_);
   stats_.expiry_scans++;
   stats_.prefixes_expired += reclaimed;
@@ -207,6 +234,7 @@ void Controller::ReleaseBlockLocked(BlockId id) {
     hooks_->ResetBlock(id);
   }
   allocator_->Free(id);
+  obs::Inc(m_blocks_reclaimed_);
   std::lock_guard<std::mutex> slock(stats_mu_);
   stats_.blocks_reclaimed++;
 }
@@ -248,6 +276,7 @@ Status Controller::FillReplicasLocked(TaskNode* node, PartitionEntry* entry,
     }
     entry->replicas.push_back(replica);
     node->blocks_ever_allocated++;
+    obs::Inc(m_blocks_allocated_);
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.blocks_allocated++;
   }
@@ -294,6 +323,7 @@ Status Controller::FlushNodeLocked(JobHierarchy* hier, TaskNode* node,
       JIFFY_RETURN_IF_ERROR(
           backing_->Put(external_path + "/" + std::to_string(i),
                         std::move(object)));
+      obs::Inc(m_bytes_flushed_, data.size());
       std::lock_guard<std::mutex> slock(stats_mu_);
       stats_.bytes_flushed += data.size();
     }
@@ -314,6 +344,7 @@ Status Controller::FlushNodeLocked(JobHierarchy* hier, TaskNode* node,
 Result<PartitionMap> Controller::InitDataStructure(
     const std::string& job, const std::string& prefix, DsType type,
     uint64_t initial_capacity_bytes, const std::string& custom_type) {
+  JIFFY_TRACE_SPAN("ctl.init_ds", "control");
   ChargeOp();
   std::lock_guard<std::mutex> lock(mu_);
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
@@ -375,6 +406,7 @@ Result<PartitionMap> Controller::InitDataStructure(
   node->has_ds = true;
   node->partition = map;
   node->blocks_ever_allocated += initial_blocks;
+  obs::Inc(m_blocks_allocated_, initial_blocks);
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.blocks_allocated += initial_blocks;
@@ -400,6 +432,8 @@ Result<PartitionMap> Controller::GetPartitionMap(const std::string& job,
 Result<BlockId> Controller::AddBlock(const std::string& job,
                                      const std::string& prefix, uint64_t lo,
                                      uint64_t hi) {
+  JIFFY_TRACE_SPAN("ctl.add_block", "control");
+  obs::ScopedTimer timer(m_alloc_block_ns_);
   ChargeOp();
   std::lock_guard<std::mutex> lock(mu_);
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
@@ -425,6 +459,7 @@ Result<BlockId> Controller::AddBlock(const std::string& job,
   node->partition.entries.push_back(entry);
   node->partition.version++;
   node->blocks_ever_allocated++;
+  obs::Inc(m_blocks_allocated_);
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.blocks_allocated++;
@@ -518,6 +553,7 @@ Status Controller::PrepareForLoad(const std::string& job,
 Result<BlockId> Controller::AllocateUnmapped(const std::string& job,
                                              const std::string& prefix,
                                              uint64_t lo, uint64_t hi) {
+  JIFFY_TRACE_SPAN("ctl.allocate_unmapped", "control");
   ChargeOp();
   std::lock_guard<std::mutex> lock(mu_);
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
@@ -535,6 +571,7 @@ Result<BlockId> Controller::AllocateUnmapped(const std::string& job,
     }
   }
   node->blocks_ever_allocated++;
+  obs::Inc(m_blocks_allocated_);
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.blocks_allocated++;
@@ -546,6 +583,7 @@ Status Controller::CommitSplit(const std::string& job,
                                const std::string& prefix, BlockId old_block,
                                uint64_t old_lo, uint64_t old_hi,
                                const PartitionEntry& new_entry) {
+  JIFFY_TRACE_SPAN("ctl.commit_split", "control");
   ChargeOp();
   std::lock_guard<std::mutex> lock(mu_);
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
@@ -564,6 +602,7 @@ Status Controller::CommitSplit(const std::string& job,
   }
   node->partition.entries.push_back(new_entry);
   node->partition.version++;
+  obs::Inc(m_splits_);
   std::lock_guard<std::mutex> slock(stats_mu_);
   stats_.overload_signals++;
   return Status::Ok();
@@ -573,6 +612,7 @@ Status Controller::CommitMerge(const std::string& job,
                                const std::string& prefix, BlockId removed,
                                BlockId sibling, uint64_t sib_lo,
                                uint64_t sib_hi) {
+  JIFFY_TRACE_SPAN("ctl.commit_merge", "control");
   ChargeOp();
   std::lock_guard<std::mutex> lock(mu_);
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
@@ -606,6 +646,7 @@ Status Controller::CommitMerge(const std::string& job,
   for (const BlockId& r : removed_replicas) {
     ReleaseBlockLocked(r);
   }
+  obs::Inc(m_merges_);
   std::lock_guard<std::mutex> slock(stats_mu_);
   stats_.underload_signals++;
   return Status::Ok();
@@ -636,6 +677,7 @@ Status Controller::SetQueueHead(const std::string& job,
 Status Controller::FlushAddrPrefix(const std::string& job,
                                    const std::string& prefix,
                                    const std::string& external_path) {
+  JIFFY_TRACE_SPAN("ctl.flush_prefix", "control");
   ChargeOp();
   std::lock_guard<std::mutex> lock(mu_);
   JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
@@ -646,6 +688,7 @@ Status Controller::FlushAddrPrefix(const std::string& job,
 Status Controller::LoadAddrPrefix(const std::string& job,
                                   const std::string& prefix,
                                   const std::string& external_path) {
+  JIFFY_TRACE_SPAN("ctl.load_prefix", "control");
   ChargeOp();
   if (backing_ == nullptr || hooks_ == nullptr) {
     return FailedPrecondition("no persistent backing configured");
@@ -685,6 +728,7 @@ Status Controller::LoadAddrPrefix(const std::string& job,
     }
     node->partition.entries.push_back(PartitionEntry{id, lo, hi});
     node->blocks_ever_allocated++;
+    obs::Inc(m_blocks_allocated_);
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.blocks_allocated++;
   }

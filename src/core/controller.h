@@ -109,6 +109,11 @@ class Controller {
              std::shared_ptr<BlockAllocator> allocator, DataPlaneHooks* hooks,
              PersistentStore* backing);
 
+  // Registers this shard's metrics under "controller.<shard_id>.*" in
+  // `registry` and starts recording into them. Optional; never bound = no
+  // recording (ControllerStats keeps working either way).
+  void BindMetrics(obs::MetricsRegistry* registry, uint32_t shard_id);
+
   // --- Job lifecycle ------------------------------------------------------
 
   Status RegisterJob(const std::string& job_id);
@@ -332,6 +337,21 @@ class Controller {
 
   mutable std::mutex stats_mu_;
   ControllerStats stats_;
+
+  // Observability (null until BindMetrics). Mirrors ControllerStats but is
+  // exported through the cluster-wide MetricsRegistry per shard.
+  obs::Counter* m_ops_ = nullptr;
+  obs::Counter* m_lease_renewals_ = nullptr;
+  obs::Counter* m_lease_fanout_ = nullptr;
+  obs::Counter* m_expiry_scans_ = nullptr;
+  obs::Counter* m_prefixes_expired_ = nullptr;
+  obs::Counter* m_blocks_allocated_ = nullptr;
+  obs::Counter* m_blocks_reclaimed_ = nullptr;
+  obs::Counter* m_bytes_flushed_ = nullptr;
+  obs::Counter* m_splits_ = nullptr;
+  obs::Counter* m_merges_ = nullptr;
+  Histogram* m_renew_ns_ = nullptr;
+  Histogram* m_alloc_block_ns_ = nullptr;
 };
 
 }  // namespace jiffy

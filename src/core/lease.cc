@@ -2,11 +2,18 @@
 
 #include <chrono>
 
+#include "src/obs/trace.h"
+
 namespace jiffy {
 
 LeaseExpiryWorker::LeaseExpiryWorker(std::vector<Controller*> shards,
                                      DurationNs period)
     : shards_(std::move(shards)), period_(period) {}
+
+void LeaseExpiryWorker::BindMetrics(obs::MetricsRegistry* registry) {
+  m_scans_ = registry->GetCounter("lease.worker_scans_total");
+  m_scan_pass_ns_ = registry->GetHistogram("lease.scan_pass_ns");
+}
 
 LeaseExpiryWorker::~LeaseExpiryWorker() { Stop(); }
 
@@ -31,8 +38,13 @@ void LeaseExpiryWorker::Stop() {
 
 void LeaseExpiryWorker::Run() {
   while (!stop_.load()) {
-    for (Controller* shard : shards_) {
-      shard->RunExpiryScan();
+    {
+      JIFFY_TRACE_SPAN("lease.scan_pass", "control");
+      obs::ScopedTimer timer(m_scan_pass_ns_);
+      for (Controller* shard : shards_) {
+        shard->RunExpiryScan();
+      }
+      obs::Inc(m_scans_);
     }
     // Sleep in small slices so Stop() is responsive even with long periods.
     DurationNs remaining = period_;

@@ -23,6 +23,10 @@ class LeaseExpiryWorker {
   LeaseExpiryWorker(std::vector<Controller*> shards, DurationNs period);
   ~LeaseExpiryWorker();
 
+  // Registers the worker's metrics ("lease.*") in `registry` and starts
+  // recording into them. Call before Start(); optional.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
   LeaseExpiryWorker(const LeaseExpiryWorker&) = delete;
   LeaseExpiryWorker& operator=(const LeaseExpiryWorker&) = delete;
 
@@ -36,6 +40,9 @@ class LeaseExpiryWorker {
 
   std::vector<Controller*> shards_;
   DurationNs period_;
+  // Observability (null until BindMetrics).
+  obs::Counter* m_scans_ = nullptr;
+  Histogram* m_scan_pass_ns_ = nullptr;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::thread thread_;

@@ -1,5 +1,7 @@
 #include "src/net/network.h"
 
+#include "src/obs/trace.h"
+
 namespace jiffy {
 
 DurationNs NetworkModel::OneWay(size_t bytes, Rng* rng) const {
@@ -33,6 +35,14 @@ NetworkModel NetworkModel::Ec2IntraDc() {
 Transport::Transport(NetworkModel model, Mode mode, Clock* clock, uint64_t seed)
     : model_(model), mode_(mode), clock_(clock), rng_(seed) {}
 
+void Transport::BindMetrics(obs::MetricsRegistry* registry,
+                            const std::string& name) {
+  const std::string ns = "transport." + name + ".";
+  m_ops_ = registry->GetCounter(ns + "ops_total");
+  m_bytes_ = registry->GetCounter(ns + "bytes_total");
+  m_rtt_ns_ = registry->GetHistogram(ns + "rtt_ns");
+}
+
 DurationNs Transport::PeekRoundTrip(size_t req_bytes, size_t resp_bytes) {
   std::lock_guard<std::mutex> lock(rng_mu_);
   return model_.RoundTrip(req_bytes, resp_bytes, &rng_);
@@ -43,6 +53,16 @@ DurationNs Transport::RoundTrip(size_t req_bytes, size_t resp_bytes) {
   total_ops_.fetch_add(1, std::memory_order_relaxed);
   total_bytes_.fetch_add(req_bytes + resp_bytes, std::memory_order_relaxed);
   total_time_.fetch_add(cost, std::memory_order_relaxed);
+  obs::Inc(m_ops_);
+  obs::Inc(m_bytes_, req_bytes + resp_bytes);
+  obs::Observe(m_rtt_ns_, cost);
+  obs::Tracer* tracer = obs::Tracer::Global();
+  if (tracer->enabled()) {
+    // Record the modeled cost as the span duration so kZero-mode traces
+    // still show where network time would have gone.
+    tracer->RecordComplete("net.rtt", "net", RealClock::Instance()->Now(),
+                           cost);
+  }
   if (mode_ == Mode::kSleep && clock_ != nullptr) {
     clock_->SleepFor(cost);
   }

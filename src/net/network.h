@@ -22,6 +22,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/random.h"
+#include "src/obs/metrics.h"
 
 namespace jiffy {
 
@@ -64,6 +65,11 @@ class Transport {
 
   Transport(NetworkModel model, Mode mode, Clock* clock, uint64_t seed = 42);
 
+  // Registers this transport's metrics under "transport.<name>.*" in
+  // `registry` and starts recording into them. Optional; never bound = only
+  // the built-in atomic totals below are kept.
+  void BindMetrics(obs::MetricsRegistry* registry, const std::string& name);
+
   // Computes the round-trip cost, applies it per the mode, and returns it.
   DurationNs RoundTrip(size_t req_bytes, size_t resp_bytes);
 
@@ -87,6 +93,13 @@ class Transport {
   std::atomic<uint64_t> total_ops_{0};
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<DurationNs> total_time_{0};
+
+  // Observability (null until BindMetrics). The RTT histogram records the
+  // modeled round-trip cost, which is meaningful in both modes (kZero never
+  // sleeps but still computes the cost).
+  obs::Counter* m_ops_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  Histogram* m_rtt_ns_ = nullptr;
 };
 
 }  // namespace jiffy

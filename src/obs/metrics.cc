@@ -1,0 +1,186 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jiffy {
+namespace obs {
+namespace {
+
+bool InitialEnabled() {
+  const char* env = std::getenv("JIFFY_OBS");
+  return env == nullptr || std::string(env) != "0";
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; we map everything else
+// (notably the '.' namespace separators) to '_'.
+std::string SanitizeName(const std::string& name) {
+  std::string out = "jiffy_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// Applies the JIFFY_OBS env override before main. g_enabled itself is
+// constant-initialized, so this runs strictly after its initialization
+// regardless of TU order.
+[[maybe_unused]] const bool g_enabled_env_applied = [] {
+  g_enabled.store(InitialEnabled(), std::memory_order_relaxed);
+  return true;
+}();
+
+}  // namespace
+
+void SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+uint64_t MetricsSnapshot::SumCounters(const std::string& substr) const {
+  uint64_t total = 0;
+  for (const auto& [name, value] : counters) {
+    if (name.find(substr) != std::string::npos) {
+      total += value;
+    }
+  }
+  return total;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "counter %-44s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(buf, sizeof(buf), "gauge   %-44s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "hist    %-44s n=%llu mean=%.1f p50=%lld p90=%lld "
+                  "p99=%lld max=%lld\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean, static_cast<long long>(h.p50),
+                  static_cast<long long>(h.p90), static_cast<long long>(h.p99),
+                  static_cast<long long>(h.max));
+    out += buf;
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->Value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->Value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s;
+    s.count = h->count();
+    s.min = h->min();
+    s.max = h->max();
+    s.mean = h->mean();
+    s.p50 = h->Percentile(0.50);
+    s.p90 = h->Percentile(0.90);
+    s.p99 = h->Percentile(0.99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  char buf[320];
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = SanitizeName(name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %llu\n", p.c_str(),
+                  p.c_str(), static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = SanitizeName(name);
+    std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %lld\n", p.c_str(),
+                  p.c_str(), static_cast<long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = SanitizeName(name);
+    std::snprintf(buf, sizeof(buf),
+                  "# TYPE %s summary\n"
+                  "%s{quantile=\"0.5\"} %lld\n"
+                  "%s{quantile=\"0.9\"} %lld\n"
+                  "%s{quantile=\"0.99\"} %lld\n"
+                  "%s_sum %.0f\n"
+                  "%s_count %llu\n",
+                  p.c_str(), p.c_str(), static_cast<long long>(h.p50),
+                  p.c_str(), static_cast<long long>(h.p90), p.c_str(),
+                  static_cast<long long>(h.p99), p.c_str(),
+                  h.mean * static_cast<double>(h.count), p.c_str(),
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace jiffy

@@ -1,0 +1,127 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+
+namespace jiffy {
+namespace obs {
+namespace {
+
+bool InitialTracingEnabled() {
+  const char* env = std::getenv("JIFFY_TRACE");
+  return env != nullptr && std::string(env) == "1";
+}
+
+// Applies the JIFFY_TRACE env override before main (g_trace_enabled is
+// constant-initialized, so ordering is safe regardless of TU order).
+[[maybe_unused]] const bool g_trace_env_applied = [] {
+  g_trace_enabled.store(InitialTracingEnabled(), std::memory_order_relaxed);
+  return true;
+}();
+
+}  // namespace
+
+Tracer* Tracer::Global() {
+  static Tracer tracer;
+  return &tracer;
+}
+
+Tracer::ThreadRing* Tracer::MyRing() {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    auto owned = std::make_unique<ThreadRing>(CurrentThreadId());
+    ring = owned.get();
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings_.push_back(std::move(owned));
+  }
+  return ring;
+}
+
+void Tracer::RecordComplete(const char* name, const char* category,
+                            TimeNs start_ns, DurationNs duration_ns) {
+  if (!enabled()) {
+    return;
+  }
+  ThreadRing* ring = MyRing();
+  const uint64_t slot = ring->count.load(std::memory_order_relaxed);
+  ring->events[slot % kRingCapacity] =
+      TraceEvent{name, category, start_ns, duration_ns, ring->tid};
+  ring->count.store(slot + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto& ring : rings_) {
+      const uint64_t total = ring->count.load(std::memory_order_acquire);
+      const uint64_t n = std::min<uint64_t>(total, kRingCapacity);
+      for (uint64_t i = 0; i < n; ++i) {
+        // Oldest surviving event first when the ring has wrapped.
+        const TraceEvent& ev = ring->events[(total - n + i) % kRingCapacity];
+        if (ev.name != nullptr) {
+          out.push_back(ev);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+size_t Tracer::EventCount() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  size_t total = 0;
+  for (const auto& ring : rings_) {
+    total += static_cast<size_t>(std::min<uint64_t>(
+        ring->count.load(std::memory_order_acquire), kRingCapacity));
+  }
+  return total;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Collect();
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                  first ? "" : ",", ev.name, ev.category,
+                  static_cast<double>(ev.start_ns) / 1e3,
+                  static_cast<double>(ev.duration_ns) / 1e3, ev.tid);
+    out += buf;
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (auto& ring : rings_) {
+    ring->count.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace obs
+}  // namespace jiffy

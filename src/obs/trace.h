@@ -1,0 +1,139 @@
+// Request-lifecycle tracing (see DESIGN.md §6 "Observability").
+//
+// A span covers one stage of a request's life — a client data-structure op,
+// a transport round trip, a memory-server block op, or a controller path
+// (create/allocate → InitBlock, lease renewal, repartition trigger →
+// split/merge). Completed spans are recorded into fixed-size per-thread ring
+// buffers (lock-free on the record path; oldest events are overwritten) and
+// exported as Chrome trace_event JSON, loadable in chrome://tracing or
+// Perfetto.
+//
+// Tracing is off by default (env JIFFY_TRACE=1 or SetEnabled(true) turns it
+// on) and additionally gated on the obs master flag: when either is off, a
+// JIFFY_TRACE_SPAN costs one relaxed atomic load and no clock reads.
+//
+// Collect()/ToChromeJson() read the rings without stopping writers; call
+// them after worker threads quiesce for an exact export. Exported `name` /
+// `category` strings must be string literals (the ring stores pointers).
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"
+
+namespace jiffy {
+namespace obs {
+
+// Tracing opt-in flag, additionally gated on the obs master flag. Constant-
+// initialized; the env override JIFFY_TRACE=1 is applied before main by an
+// initializer in trace.cc. Inline so a disabled JIFFY_TRACE_SPAN compiles to
+// two relaxed loads and a branch — no static-init guards, no clock reads.
+inline std::atomic<bool> g_trace_enabled{false};
+
+inline bool TracingEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed) && Enabled();
+}
+
+struct TraceEvent {
+  const char* name = nullptr;      // Static string (literal).
+  const char* category = nullptr;  // Static string (literal).
+  TimeNs start_ns = 0;             // RealClock timestamp.
+  DurationNs duration_ns = 0;
+  uint32_t tid = 0;
+};
+
+// Process-wide tracer. One ring buffer per recording thread, registered on
+// first use and owned by the tracer for the process lifetime.
+class Tracer {
+ public:
+  static constexpr size_t kRingCapacity = 16384;  // Events per thread.
+
+  static Tracer* Global();
+
+  bool enabled() const { return TracingEnabled(); }
+  void SetEnabled(bool on) {
+    g_trace_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  // Records one completed span. `name`/`category` must be string literals.
+  void RecordComplete(const char* name, const char* category, TimeNs start_ns,
+                      DurationNs duration_ns);
+
+  // All buffered events across threads, sorted by start time.
+  std::vector<TraceEvent> Collect() const;
+
+  // Total events currently buffered (capped at kRingCapacity per thread).
+  size_t EventCount() const;
+
+  // Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
+  std::string ToChromeJson() const;
+
+  // Writes ToChromeJson() to `path`; false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+  // Drops all buffered events (ring registrations survive).
+  void Clear();
+
+ private:
+  struct ThreadRing {
+    explicit ThreadRing(uint32_t thread_id) : tid(thread_id) {
+      events.resize(kRingCapacity);
+    }
+    uint32_t tid;
+    // Total events ever recorded by this thread; slot = count % capacity.
+    std::atomic<uint64_t> count{0};
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer() = default;
+  ThreadRing* MyRing();
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+};
+
+// RAII span: samples the clock on construction iff tracing is enabled, and
+// records a complete event on destruction. `name`/`category` must be string
+// literals.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : name_(name),
+        category_(category),
+        start_(TracingEnabled() ? RealClock::Instance()->Now() : kInactive) {}
+  ~TraceSpan() {
+    if (start_ != kInactive) {
+      Tracer::Global()->RecordComplete(
+          name_, category_, start_, RealClock::Instance()->Now() - start_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  static constexpr TimeNs kInactive = -1;
+  const char* name_;
+  const char* category_;
+  TimeNs start_;
+};
+
+#define JIFFY_OBS_CONCAT_INNER(a, b) a##b
+#define JIFFY_OBS_CONCAT(a, b) JIFFY_OBS_CONCAT_INNER(a, b)
+
+// One scoped span. Usage: JIFFY_TRACE_SPAN("kv.put", "client");
+#define JIFFY_TRACE_SPAN(name, category)       \
+  ::jiffy::obs::TraceSpan JIFFY_OBS_CONCAT(    \
+      jiffy_trace_span_, __LINE__)(name, category)
+
+}  // namespace obs
+}  // namespace jiffy
+
+#endif  // SRC_OBS_TRACE_H_

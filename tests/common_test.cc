@@ -236,6 +236,108 @@ TEST(HashTest, StableAndSpread) {
   EXPECT_NE(HashKey1("key"), HashKey2("key"));
 }
 
+TEST(HistogramTest, EmptySummaryAndCdfEdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+  EXPECT_TRUE(h.Cdf().empty());
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  // Summary of an empty histogram must not divide by zero.
+  EXPECT_FALSE(h.Summary(1000.0, "us").empty());
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 777);
+  EXPECT_EQ(h.max(), 777);
+  EXPECT_NEAR(h.mean(), 777.0, 1e-9);
+  // Every quantile of a one-sample distribution is that sample (within
+  // bucket resolution for large values; 777 is in the exact range).
+  EXPECT_EQ(h.Percentile(0.0), 777);
+  EXPECT_EQ(h.Percentile(0.5), 777);
+  EXPECT_EQ(h.Percentile(1.0), 777);
+  auto cdf = h.Cdf();
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_NEAR(cdf[0].second, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, MinMaxAfterReset) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500000);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  // Stale extrema must not leak into post-reset samples.
+  h.Record(42);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+}
+
+TEST(HistogramTest, MergeDisjointRanges) {
+  Histogram lo, hi;
+  for (int i = 1; i <= 100; ++i) {
+    lo.Record(i);              // [1, 100]
+    hi.Record(1000000 + i);    // [1000001, 1000100]
+  }
+  lo.Merge(hi);
+  EXPECT_EQ(lo.count(), 200u);
+  EXPECT_EQ(lo.min(), 1);
+  EXPECT_EQ(lo.max(), 1000100);
+  // The median sits at the boundary between the two populations.
+  EXPECT_LE(lo.Percentile(0.49), 100);
+  EXPECT_GE(lo.Percentile(0.51), 1000000);
+  // Merging into an empty histogram adopts the source's extrema.
+  Histogram empty;
+  empty.Merge(lo);
+  EXPECT_EQ(empty.count(), 200u);
+  EXPECT_EQ(empty.min(), 1);
+  EXPECT_EQ(empty.max(), 1000100);
+}
+
+TEST(HistogramTest, SelfMergeDoublesCounts) {
+  // Documented in the Merge locking contract: h.Merge(h) is safe (the lock
+  // is taken twice sequentially, never recursively) and doubles counts.
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Merge(h);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 20);
+}
+
+TEST(HistogramTest, ConcurrentCrossMergeDoesNotDeadlock) {
+  // T1 runs a.Merge(b) while T2 runs b.Merge(a): the snapshot-then-apply
+  // locking (never holding both mutexes) makes any interleaving safe.
+  Histogram a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.Record(i);
+    b.Record(1000000 + i);
+  }
+  // Few iterations on purpose: cross-merges compound counts Fibonacci-style
+  // (each merge re-adds everything the other side absorbed so far).
+  std::thread t1([&] {
+    for (int i = 0; i < 10; ++i) {
+      a.Merge(b);
+    }
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 10; ++i) {
+      b.Merge(a);
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(a.count(), 1000u + 10 * 1000u);
+  EXPECT_GE(b.count(), 1000u + 10 * 1000u);
+}
+
 TEST(HistogramTest, ThreadSafeRecording) {
   Histogram h;
   std::vector<std::thread> threads;

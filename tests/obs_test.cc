@@ -1,0 +1,403 @@
+// Observability subsystem tests: metrics registry semantics, concurrent
+// recording, snapshot consistency, trace-span nesting, disabled-mode cost
+// paths, and the end-to-end cluster wiring (acceptance criteria: a KV /
+// File / Queue workload leaves non-zero allocation, lease, and transport
+// metrics in Cluster::MetricsSnapshot()).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/client/jiffy_client.h"
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace jiffy {
+namespace {
+
+// Restores the master flag and tracer state on scope exit so a failing test
+// cannot poison the rest of the suite.
+class ObsStateGuard {
+ public:
+  ObsStateGuard()
+      : enabled_(obs::Enabled()),
+        trace_enabled_(obs::Tracer::Global()->enabled()) {}
+  ~ObsStateGuard() {
+    obs::SetEnabled(enabled_);
+    obs::Tracer::Global()->SetEnabled(trace_enabled_);
+    obs::Tracer::Global()->Clear();
+  }
+
+ private:
+  bool enabled_;
+  bool trace_enabled_;
+};
+
+// --- Counter / gauge / histogram ---------------------------------------------
+
+TEST(ObsMetrics, CounterConcurrentIncrements) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(ObsMetrics, RegistryReturnsStableSharedPointers) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("x.ops_total");
+  obs::Counter* b = registry.GetCounter("x.ops_total");
+  EXPECT_EQ(a, b);  // Same name → same instance.
+  EXPECT_NE(a, registry.GetCounter("y.ops_total"));
+  EXPECT_EQ(registry.GetGauge("x.depth"), registry.GetGauge("x.depth"));
+  EXPECT_EQ(registry.GetHistogram("x.ns"), registry.GetHistogram("x.ns"));
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::MetricsRegistry registry;
+  obs::Gauge* g = registry.GetGauge("pool.free");
+  g->Set(128);
+  EXPECT_EQ(g->Value(), 128);
+  g->Add(-28);
+  EXPECT_EQ(g->Value(), 100);
+  auto snap = registry.Snapshot();
+  EXPECT_EQ(snap.GaugeValue("pool.free"), 100);
+}
+
+TEST(ObsMetrics, HistogramThroughRegistry) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("op.latency_ns");
+  for (int i = 1; i <= 100; ++i) {
+    obs::Observe(h, i * 1000);
+  }
+  auto snap = registry.Snapshot();
+  const auto& summary = snap.histograms.at("op.latency_ns");
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_EQ(summary.min, 1000);
+  EXPECT_GE(summary.p99, summary.p50);
+  EXPECT_GT(summary.mean, 0.0);
+}
+
+TEST(ObsMetrics, SnapshotIsConsistentUnderConcurrentRecording) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("c");
+  Histogram* h = registry.GetHistogram("h");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    // do-while guarantees at least one increment even if the main thread
+    // finishes its snapshot loop before this thread is first scheduled.
+    do {
+      c->Increment();
+      h->Record(42);
+    } while (!stop.load());
+  });
+  // Snapshots taken mid-traffic must never observe impossible values.
+  for (int i = 0; i < 50; ++i) {
+    auto snap = registry.Snapshot();
+    EXPECT_LE(snap.CounterValue("c"), c->Value());
+    const auto& hs = snap.histograms.at("h");
+    if (hs.count > 0) {
+      EXPECT_EQ(hs.min, 42);
+      EXPECT_EQ(hs.max, 42);
+    }
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(registry.Snapshot().CounterValue("c"), 0u);
+}
+
+TEST(ObsMetrics, DisabledModeRecordsNothing) {
+  ObsStateGuard guard;
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("c");
+  obs::Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  obs::SetEnabled(false);
+  c->Increment(7);
+  g->Set(9);
+  obs::Observe(h, 1234);
+  { obs::ScopedTimer timer(h); }
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  obs::SetEnabled(true);
+  c->Increment(7);
+  EXPECT_EQ(c->Value(), 7u);
+}
+
+TEST(ObsMetrics, NullToleranceOfHelpers) {
+  // Components that never got BindMetrics record through null pointers.
+  obs::Inc(nullptr);
+  obs::Inc(nullptr, 5);
+  obs::Observe(nullptr, 123);
+  { obs::ScopedTimer timer(nullptr); }
+}
+
+TEST(ObsMetrics, PrometheusTextExposition) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::MetricsRegistry registry;
+  registry.GetCounter("allocator.allocations_total")->Increment(3);
+  registry.GetGauge("allocator.free_blocks")->Set(61);
+  registry.GetHistogram("allocator.alloc_ns")->Record(500);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE jiffy_allocator_allocations_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("jiffy_allocator_allocations_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE jiffy_allocator_free_blocks gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("jiffy_allocator_alloc_ns_count 1"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+}
+
+// --- Tracing ----------------------------------------------------------------
+
+TEST(ObsTrace, SpanNestingIsContained) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::Tracer* tracer = obs::Tracer::Global();
+  tracer->Clear();
+  tracer->SetEnabled(true);
+  {
+    JIFFY_TRACE_SPAN("outer", "test");
+    {
+      JIFFY_TRACE_SPAN("inner", "test");
+      RealClock::Instance()->SleepFor(1 * kMillisecond);
+    }
+    RealClock::Instance()->SleepFor(1 * kMillisecond);
+  }
+  const auto events = tracer->Collect();
+  const obs::TraceEvent* outer = nullptr;
+  const obs::TraceEvent* inner = nullptr;
+  for (const auto& e : events) {
+    if (std::string_view(e.name) == "outer") {
+      outer = &e;
+    } else if (std::string_view(e.name) == "inner") {
+      inner = &e;
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The inner span starts after and ends before the outer one.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->duration_ns,
+            outer->start_ns + outer->duration_ns);
+  EXPECT_EQ(inner->tid, outer->tid);  // Same thread.
+}
+
+TEST(ObsTrace, DisabledTracerRecordsNothing) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::Tracer* tracer = obs::Tracer::Global();
+  tracer->Clear();
+  tracer->SetEnabled(false);
+  { JIFFY_TRACE_SPAN("ghost", "test"); }
+  EXPECT_EQ(tracer->EventCount(), 0u);
+  // The master flag also gates tracing even when the tracer itself is on.
+  tracer->SetEnabled(true);
+  obs::SetEnabled(false);
+  { JIFFY_TRACE_SPAN("ghost2", "test"); }
+  EXPECT_EQ(tracer->EventCount(), 0u);
+}
+
+TEST(ObsTrace, ChromeJsonIsStructurallyValid) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::Tracer* tracer = obs::Tracer::Global();
+  tracer->Clear();
+  tracer->SetEnabled(true);
+  { JIFFY_TRACE_SPAN("alpha", "cat1"); }
+  { JIFFY_TRACE_SPAN("beta", "cat2"); }
+  const std::string json = tracer->ToChromeJson();
+  EXPECT_EQ(json.front(), '{');
+  // Output ends with "}\n" (trailing newline for file-friendly output).
+  const size_t last = json.find_last_not_of(" \t\n");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_EQ(json[last], '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"cat2\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // Balanced braces/brackets (cheap structural check without a JSON parser).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (ch == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+    } else if (!in_string) {
+      braces += (ch == '{') - (ch == '}');
+      brackets += (ch == '[') - (ch == ']');
+    }
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ObsTrace, RingOverwritesOldestEvents) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::Tracer* tracer = obs::Tracer::Global();
+  tracer->Clear();
+  tracer->SetEnabled(true);
+  const size_t n = obs::Tracer::kRingCapacity + 100;
+  for (size_t i = 0; i < n; ++i) {
+    tracer->RecordComplete("evt", "test", static_cast<TimeNs>(i), 1);
+  }
+  // This thread's ring is full but not over-full.
+  EXPECT_LE(tracer->EventCount(), obs::Tracer::kRingCapacity + 1);
+  const auto events = tracer->Collect();
+  ASSERT_FALSE(events.empty());
+  // Oldest surviving event is one of the most recent kRingCapacity.
+  EXPECT_GE(events.front().start_ns, static_cast<TimeNs>(n) -
+                                         static_cast<TimeNs>(
+                                             obs::Tracer::kRingCapacity) -
+                                         1);
+}
+
+// --- End-to-end cluster wiring ----------------------------------------------
+
+TEST(ObsCluster, WorkloadPopulatesMetricsSnapshot) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  SimClock clock;
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 4;
+  opts.config.blocks_per_server = 64;
+  opts.config.block_size_bytes = 4096;
+  opts.config.lease_duration = 60 * kSecond;
+  opts.clock = &clock;
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  ASSERT_TRUE(client.RegisterJob("job").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/job/kv", {}).ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/job/file", {}).ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/job/queue", {}).ok());
+
+  auto kv = client.OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE((*kv)->Put("key" + std::to_string(i), "value").ok());
+  }
+  EXPECT_EQ(*(*kv)->Get("key7"), "value");
+
+  auto file = client.OpenFile("/job/file");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello observability").ok());
+  EXPECT_EQ(*(*file)->Read(0, 5), "hello");
+
+  auto queue = client.OpenQueue("/job/queue");
+  ASSERT_TRUE(queue.ok());
+  ASSERT_TRUE((*queue)->Enqueue("item").ok());
+  EXPECT_EQ(*(*queue)->Dequeue(), "item");
+
+  ASSERT_TRUE(client.RenewLease("/job/kv").ok());
+  cluster.controller_shard(0)->RunExpiryScan();
+
+  auto snap = cluster.MetricsSnapshot();
+  // Allocation: one block per data structure at minimum.
+  EXPECT_GE(snap.CounterValue("allocator.allocations_total"), 3u);
+  EXPECT_GT(snap.GaugeValue("allocator.free_blocks"), 0);
+  // Lease + expiry activity on the (single) controller shard.
+  EXPECT_GE(snap.SumCounters("lease_renewals_total"), 1u);
+  EXPECT_GE(snap.SumCounters("expiry_scans_total"), 1u);
+  EXPECT_GT(snap.SumCounters(".ops_total"), 0u);
+  // Transports charged data- and control-plane round trips.
+  EXPECT_GT(snap.CounterValue("transport.data.ops_total"), 0u);
+  EXPECT_GT(snap.CounterValue("transport.data.bytes_total"), 0u);
+  EXPECT_GT(snap.CounterValue("transport.control.ops_total"), 0u);
+  EXPECT_GT(snap.histograms.at("transport.data.rtt_ns").count, 0u);
+  // Data-plane block ops counted by the hosting servers.
+  EXPECT_GT(snap.SumCounters("block_ops_total"), 0u);
+  EXPECT_GE(snap.CounterValue("cluster.init_blocks_total"), 3u);
+
+  // The text expositions render the same data.
+  EXPECT_NE(snap.ToString().find("allocator.allocations_total"),
+            std::string::npos);
+  EXPECT_NE(cluster.MetricsPrometheusText().find(
+                "jiffy_allocator_allocations_total"),
+            std::string::npos);
+}
+
+TEST(ObsCluster, ClustersDoNotShareMetrics) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  SimClock clock;
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 1;
+  opts.config.blocks_per_server = 8;
+  opts.config.block_size_bytes = 4096;
+  opts.clock = &clock;
+  JiffyCluster a(opts);
+  JiffyCluster b(opts);
+  JiffyClient client(&a);
+  ASSERT_TRUE(client.RegisterJob("job").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/job/t", {}).ok());
+  ASSERT_TRUE(client.OpenKv("/job/t").ok());
+  EXPECT_GT(a.MetricsSnapshot().CounterValue("allocator.allocations_total"),
+            0u);
+  EXPECT_EQ(b.MetricsSnapshot().CounterValue("allocator.allocations_total"),
+            0u);
+}
+
+TEST(ObsCluster, TraceCapturesClientAndControlSpans) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::Tracer* tracer = obs::Tracer::Global();
+  tracer->Clear();
+  tracer->SetEnabled(true);
+  SimClock clock;
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 1;
+  opts.config.blocks_per_server = 8;
+  opts.config.block_size_bytes = 4096;
+  opts.clock = &clock;
+  JiffyCluster cluster(opts);
+  JiffyClient client(&cluster);
+  ASSERT_TRUE(client.RegisterJob("job").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/job/t", {}).ok());
+  auto kv = client.OpenKv("/job/t");
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->Put("k", "v").ok());
+  std::set<std::string> names;
+  for (const auto& e : tracer->Collect()) {
+    names.insert(e.name);
+  }
+  EXPECT_TRUE(names.count("kv.put"));
+  EXPECT_TRUE(names.count("ctl.create_prefix"));
+  EXPECT_TRUE(names.count("ctl.init_ds"));
+  EXPECT_TRUE(names.count("alloc.allocate_n"));
+  EXPECT_TRUE(names.count("data.init_block"));
+  EXPECT_TRUE(names.count("net.rtt"));
+}
+
+}  // namespace
+}  // namespace jiffy
