@@ -11,14 +11,21 @@
 // envelope). The paper's claim: despite managing memory elastically, Jiffy
 // matches the over-provisioned cluster. Task counts are scaled 50→8 per
 // stage to fit one machine.
+//
+// The data plane uses the batched/pipelined path (DESIGN.md §7): the driver
+// and partition tasks coalesce per-destination runs into EnqueueBatch calls
+// overlapped through a Pipeline; consumers drain queues with DequeueBatch.
+// `--smoke` runs a reduced configuration for CI.
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/client/jiffy_client.h"
+#include "src/client/pipeline.h"
 #include "src/common/hash.h"
 #include "src/workload/text.h"
 
@@ -28,8 +35,9 @@ namespace {
 
 constexpr int kPartitionTasks = 8;
 constexpr int kCountTasks = 8;
-constexpr int kBatches = 40;
-constexpr int kSentencesPerBatch = 64;
+// Max items pulled per DequeueBatch drain on the consumer side.
+constexpr size_t kDrainBatch = 64;
+constexpr size_t kPipelineDepth = 4;
 
 struct PipelineResult {
   Histogram batch_latency;
@@ -37,7 +45,8 @@ struct PipelineResult {
 };
 
 void RunPipeline(const NetworkModel& net, size_t block_size,
-                 const char* job_name, PipelineResult* result) {
+                 const char* job_name, int batches, int sentences_per_batch,
+                 PipelineResult* result) {
   JiffyCluster::Options opts;
   opts.config.num_memory_servers = 4;
   opts.config.blocks_per_server = 512;
@@ -62,8 +71,8 @@ void RunPipeline(const NetworkModel& net, size_t block_size,
 
   // Per-batch completion accounting: a batch is done when every one of its
   // words has been applied to the KV.
-  std::vector<std::atomic<int>> outstanding(kBatches);
-  std::vector<TimeNs> batch_start(kBatches), batch_end(kBatches);
+  std::vector<std::atomic<int>> outstanding(batches);
+  std::vector<TimeNs> batch_start(batches), batch_end(batches);
   std::atomic<int> batches_done{0};
 
   auto sum_acc = [](const std::string& old_value, const std::string& update) {
@@ -73,28 +82,46 @@ void RunPipeline(const NetworkModel& net, size_t block_size,
 
   std::vector<std::thread> workers;
   // Count tasks: consume "<batch>|<word>" items, accumulate, acknowledge.
+  // The first item arrives via the blocking DequeueWait; whatever else is
+  // already queued is drained in one DequeueBatch exchange.
   for (int c = 0; c < kCountTasks; ++c) {
     workers.emplace_back([&, c] {
       auto in = client.OpenQueue(job + "/words" + std::to_string(c));
       auto counts = client.OpenKv(job + "/counts");
       RealClock* clock = RealClock::Instance();
-      for (;;) {
-        auto item = (*in)->DequeueWait(10 * kSecond);
-        if (!item.ok() || *item == "__stop__") {
+      bool stop = false;
+      while (!stop) {
+        auto first = (*in)->DequeueWait(10 * kSecond);
+        if (!first.ok()) {
           break;
         }
-        const size_t bar = item->find('|');
-        const int batch = std::atoi(item->substr(0, bar).c_str());
-        const std::string word = item->substr(bar + 1);
-        (*counts)->Accumulate(word, "1", sum_acc);
-        if (outstanding[batch].fetch_sub(1) == 1) {
-          batch_end[batch] = clock->Now();
-          batches_done.fetch_add(1);
+        std::vector<std::string> items;
+        items.push_back(std::move(*first));
+        auto more = (*in)->DequeueBatch(kDrainBatch - 1);
+        if (more.ok()) {
+          for (auto& m : *more) {
+            items.push_back(std::move(m));
+          }
+        }
+        for (const std::string& item : items) {
+          if (item == "__stop__") {
+            stop = true;  // Always the queue's last item.
+            break;
+          }
+          const size_t bar = item.find('|');
+          const int batch = std::atoi(item.substr(0, bar).c_str());
+          const std::string word = item.substr(bar + 1);
+          (*counts)->Accumulate(word, "1", sum_acc);
+          if (outstanding[batch].fetch_sub(1) == 1) {
+            batch_end[batch] = clock->Now();
+            batches_done.fetch_add(1);
+          }
         }
       }
     });
   }
-  // Partition tasks: split sentences and route words by hash.
+  // Partition tasks: split sentences, bucket words per count task, and ship
+  // each bucket as one EnqueueBatch; buckets overlap through a Pipeline.
   for (int p = 0; p < kPartitionTasks; ++p) {
     workers.emplace_back([&, p] {
       auto in = client.OpenQueue(job + "/in" + std::to_string(p));
@@ -103,22 +130,51 @@ void RunPipeline(const NetworkModel& net, size_t block_size,
         outs.push_back(
             std::move(*client.OpenQueue(job + "/words" + std::to_string(c))));
       }
-      for (;;) {
-        auto item = (*in)->DequeueWait(10 * kSecond);
-        if (!item.ok() || *item == "__stop__") {
+      Pipeline pipe(kPipelineDepth);
+      bool stop = false;
+      while (!stop) {
+        auto first = (*in)->DequeueWait(10 * kSecond);
+        if (!first.ok()) {
           break;
         }
-        const size_t bar = item->find('|');
-        const std::string batch_tag = item->substr(0, bar);
-        for (const auto& word : SplitWords(item->substr(bar + 1))) {
-          const int c = static_cast<int>(Fnv1a64(word) % kCountTasks);
-          outs[c]->Enqueue(batch_tag + "|" + word);
+        std::vector<std::string> items;
+        items.push_back(std::move(*first));
+        auto more = (*in)->DequeueBatch(kDrainBatch - 1);
+        if (more.ok()) {
+          for (auto& m : *more) {
+            items.push_back(std::move(m));
+          }
         }
+        std::vector<std::vector<std::string>> buckets(kCountTasks);
+        for (const std::string& item : items) {
+          if (item == "__stop__") {
+            stop = true;
+            break;
+          }
+          const size_t bar = item.find('|');
+          const std::string batch_tag = item.substr(0, bar);
+          for (const auto& word : SplitWords(item.substr(bar + 1))) {
+            const int c = static_cast<int>(Fnv1a64(word) % kCountTasks);
+            buckets[c].push_back(batch_tag + "|" + word);
+          }
+        }
+        for (int c = 0; c < kCountTasks; ++c) {
+          if (buckets[c].empty()) {
+            continue;
+          }
+          QueueClient* out = outs[c].get();
+          pipe.Submit([out, bucket = std::move(buckets[c])]() mutable {
+            return out->EnqueueBatch(std::move(bucket));
+          });
+        }
+        pipe.Flush();
       }
+      pipe.Flush();
     });
   }
 
-  // Driver: inject batches closed-loop (per-batch latency, as in the paper).
+  // Driver: inject batches closed-loop (per-batch latency, as in the paper),
+  // grouping each batch's sentences per input queue into one EnqueueBatch.
   {
     SentenceGenerator gen(2000, 0.98, 4242);
     std::vector<std::unique_ptr<QueueClient>> ins;
@@ -127,19 +183,31 @@ void RunPipeline(const NetworkModel& net, size_t block_size,
           std::move(*client.OpenQueue(job + "/in" + std::to_string(p))));
     }
     RealClock* clock = RealClock::Instance();
-    for (int b = 0; b < kBatches; ++b) {
-      auto sentences = gen.Batch(kSentencesPerBatch);
+    Pipeline pipe(kPipelineDepth);
+    for (int b = 0; b < batches; ++b) {
+      auto sentences = gen.Batch(sentences_per_batch);
       int words = 0;
       for (const auto& s : sentences) {
         words += static_cast<int>(SplitWords(s).size());
       }
       outstanding[b].store(words);
       result->total_words += static_cast<uint64_t>(words);
-      batch_start[b] = clock->Now();
+      std::vector<std::vector<std::string>> per_in(kPartitionTasks);
       for (size_t s = 0; s < sentences.size(); ++s) {
-        ins[s % kPartitionTasks]->Enqueue(std::to_string(b) + "|" +
-                                          sentences[s]);
+        per_in[s % kPartitionTasks].push_back(std::to_string(b) + "|" +
+                                              sentences[s]);
       }
+      batch_start[b] = clock->Now();
+      for (int p = 0; p < kPartitionTasks; ++p) {
+        if (per_in[p].empty()) {
+          continue;
+        }
+        QueueClient* in = ins[p].get();
+        pipe.Submit([in, group = std::move(per_in[p])]() mutable {
+          return in->EnqueueBatch(std::move(group));
+        });
+      }
+      pipe.Flush();
       while (batches_done.load() <= b) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
@@ -156,28 +224,39 @@ void RunPipeline(const NetworkModel& net, size_t block_size,
   for (auto& w : workers) {
     w.join();
   }
-  for (int b = 0; b < kBatches; ++b) {
+  for (int b = 0; b < batches; ++b) {
     result->batch_latency.Record(batch_end[b] - batch_start[b]);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  const int batches = smoke ? 8 : 40;
+  const int sentences_per_batch = smoke ? 16 : 64;
+
   PrintHeader("Fig 13(a)",
               "Streaming word-count: per-batch latency, Jiffy vs ElastiCache");
-  std::printf("(%d partition + %d count tasks, %d batches x %d sentences)\n",
-              kPartitionTasks, kCountTasks, kBatches, kSentencesPerBatch);
+  std::printf("(%d partition + %d count tasks, %d batches x %d sentences%s)\n",
+              kPartitionTasks, kCountTasks, batches, sentences_per_batch,
+              smoke ? ", --smoke" : "");
 
   PipelineResult jiffy;
-  RunPipeline(NetworkModel::Ec2IntraDc(), 64 << 10, "jiffy", &jiffy);
+  RunPipeline(NetworkModel::Ec2IntraDc(), 64 << 10, "jiffy", batches,
+              sentences_per_batch, &jiffy);
   // Over-provisioned EC: same pipeline, EC network envelope, big blocks so
   // no elastic scaling ever triggers.
   NetworkModel ec_net = NetworkModel::Ec2IntraDc();
   ec_net.base_latency = 90 * kMicrosecond;
   ec_net.service_floor = 50 * kMicrosecond;
   PipelineResult ec;
-  RunPipeline(ec_net, 16 << 20, "ec", &ec);
+  RunPipeline(ec_net, 16 << 20, "ec", batches, sentences_per_batch, &ec);
 
   std::printf("\nJiffy  (%llu words): %s\n",
               static_cast<unsigned long long>(jiffy.total_words),

@@ -21,6 +21,34 @@ std::unique_ptr<JiffyCluster> MakeCluster() {
   return std::make_unique<JiffyCluster>(opts);
 }
 
+// Modeled EC2 cluster for the batch-amortization benches: the kZero
+// transport computes (but never sleeps) the Ec2IntraDc cost, and the bench
+// reports that modeled time via UseManualTime — so ops/s below is modeled
+// network throughput, deterministic and CPU-independent.
+std::unique_ptr<JiffyCluster> MakeEc2Cluster() {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 4;
+  opts.config.blocks_per_server = 1024;
+  opts.config.block_size_bytes = 1 << 20;
+  opts.config.lease_duration = 3600 * kSecond;
+  opts.net_model = NetworkModel::Ec2IntraDc();
+  opts.net_mode = Transport::Mode::kZero;
+  return std::make_unique<JiffyCluster>(opts);
+}
+
+// Pre-built key set shared by the KV benches: key churn (std::to_string +
+// concat) must not pollute the measured op cost.
+constexpr size_t kBenchKeys = 4096;
+
+std::vector<std::string> MakeKeys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("key" + std::to_string(i));
+  }
+  return keys;
+}
+
 void BM_CuckooPut(benchmark::State& state) {
   CuckooHashMap map;
   uint64_t i = 0;
@@ -33,12 +61,13 @@ BENCHMARK(BM_CuckooPut);
 
 void BM_CuckooGet(benchmark::State& state) {
   CuckooHashMap map;
-  for (int i = 0; i < 100000; ++i) {
-    map.Put("key" + std::to_string(i), "value");
+  const std::vector<std::string> keys = MakeKeys(100000);
+  for (const std::string& k : keys) {
+    map.Put(k, "value");
   }
   uint64_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(map.Get("key" + std::to_string(i++ % 100000)));
+    benchmark::DoNotOptimize(map.Get(keys[i++ % keys.size()]));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -51,9 +80,10 @@ void BM_KvPut(benchmark::State& state) {
   client.CreateAddrPrefix("/bench/kv", {});
   auto kv = client.OpenKv("/bench/kv");
   const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  const std::vector<std::string> keys = MakeKeys(kBenchKeys);
   uint64_t i = 0;
   for (auto _ : state) {
-    (*kv)->Put("key" + std::to_string(i++ % 4096), value);
+    (*kv)->Put(keys[i++ % kBenchKeys], value);
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
@@ -66,16 +96,117 @@ void BM_KvGet(benchmark::State& state) {
   client.CreateAddrPrefix("/bench/kv", {});
   auto kv = client.OpenKv("/bench/kv");
   const std::string value(static_cast<size_t>(state.range(0)), 'v');
-  for (int i = 0; i < 4096; ++i) {
-    (*kv)->Put("key" + std::to_string(i), value);
+  const std::vector<std::string> keys = MakeKeys(kBenchKeys);
+  for (const std::string& k : keys) {
+    (*kv)->Put(k, value);
   }
   uint64_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize((*kv)->Get("key" + std::to_string(i++ % 4096)));
+    benchmark::DoNotOptimize((*kv)->Get(keys[i++ % kBenchKeys]));
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_KvGet)->Arg(64)->Arg(1024)->Arg(16 << 10);
+
+// --- Batch amortization under the modeled Ec2IntraDc transport --------------
+//
+// These benches report MODELED network time (UseManualTime over the data
+// transport's total_time() delta): one looped single-op round trip vs one
+// coalesced RoundTripBatch per destination block. The ratio is the paper-
+// style amortization the batched data plane buys (DESIGN.md §7).
+
+void BM_KvPutEc2(benchmark::State& state) {
+  auto cluster = MakeEc2Cluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("bench");
+  client.CreateAddrPrefix("/bench/kv", {});
+  auto kv = client.OpenKv("/bench/kv");
+  const std::string value(64, 'v');
+  const std::vector<std::string> keys = MakeKeys(kBenchKeys);
+  Transport* net = cluster->data_transport();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const DurationNs t0 = net->total_time();
+    (*kv)->Put(keys[i++ % kBenchKeys], value);
+    state.SetIterationTime(static_cast<double>(net->total_time() - t0) * 1e-9);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvPutEc2)->UseManualTime();
+
+void BM_KvMultiPut(benchmark::State& state) {
+  auto cluster = MakeEc2Cluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("bench");
+  client.CreateAddrPrefix("/bench/kv", {});
+  auto kv = client.OpenKv("/bench/kv");
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const std::string value(64, 'v');
+  const std::vector<std::string> keys = MakeKeys(kBenchKeys);
+  Transport* net = cluster->data_transport();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    pairs.reserve(batch);
+    for (size_t b = 0; b < batch; ++b) {
+      pairs.emplace_back(keys[i++ % kBenchKeys], value);
+    }
+    const DurationNs t0 = net->total_time();
+    (*kv)->MultiPut(pairs);
+    state.SetIterationTime(static_cast<double>(net->total_time() - t0) * 1e-9);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_KvMultiPut)->Arg(8)->Arg(64)->Arg(512)->UseManualTime();
+
+void BM_KvMultiGet(benchmark::State& state) {
+  auto cluster = MakeEc2Cluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("bench");
+  client.CreateAddrPrefix("/bench/kv", {});
+  auto kv = client.OpenKv("/bench/kv");
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const std::string value(64, 'v');
+  const std::vector<std::string> keys = MakeKeys(kBenchKeys);
+  for (const std::string& k : keys) {
+    (*kv)->Put(k, value);
+  }
+  Transport* net = cluster->data_transport();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    std::vector<std::string> lookup;
+    lookup.reserve(batch);
+    for (size_t b = 0; b < batch; ++b) {
+      lookup.push_back(keys[i++ % kBenchKeys]);
+    }
+    const DurationNs t0 = net->total_time();
+    benchmark::DoNotOptimize((*kv)->MultiGet(lookup));
+    state.SetIterationTime(static_cast<double>(net->total_time() - t0) * 1e-9);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_KvMultiGet)->Arg(8)->Arg(64)->Arg(512)->UseManualTime();
+
+void BM_QueueEnqueueBatch(benchmark::State& state) {
+  auto cluster = MakeEc2Cluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("bench");
+  client.CreateAddrPrefix("/bench/q", {});
+  auto q = client.OpenQueue("/bench/q");
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const std::string item(64, 'q');
+  Transport* net = cluster->data_transport();
+  for (auto _ : state) {
+    std::vector<std::string> items(batch, item);
+    const DurationNs t0 = net->total_time();
+    (*q)->EnqueueBatch(std::move(items));
+    state.SetIterationTime(static_cast<double>(net->total_time() - t0) * 1e-9);
+    // Drain outside the measured window so the queue stays small.
+    (*q)->DequeueBatch(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_QueueEnqueueBatch)->Arg(8)->Arg(64)->Arg(512)->UseManualTime();
 
 void BM_FileAppend(benchmark::State& state) {
   auto cluster = MakeCluster();

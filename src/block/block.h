@@ -56,6 +56,20 @@ class BlockContent {
   virtual std::string Serialize() const = 0;
 };
 
+// Cheap typed downcast for data-path content access: a content's DsType tag
+// check plus static_cast replaces RTTI (dynamic_cast) on every operation.
+// ContentT must declare `static constexpr DsType kContentType` and derive
+// from BlockContent (the custom-DS base CustomContent tags kCustom, so all
+// application-defined contents resolve through it). Returns nullptr when the
+// block holds no content or content of another type — exactly the
+// "content vanished / remapped" signal the clients already handle.
+template <typename ContentT>
+ContentT* ContentAs(BlockContent* content) {
+  return content != nullptr && content->type() == ContentT::kContentType
+             ? static_cast<ContentT*>(content)
+             : nullptr;
+}
+
 // One fixed-size memory block. Thread-safety: callers must hold mu() across
 // content access; seq numbers and metadata fields are atomic.
 class Block {
@@ -101,6 +115,9 @@ class Block {
   // server's "server.<id>.block_ops_total" once MemoryServer::BindMetrics
   // has run.
   void CountOp() { obs::Inc(m_ops_); }
+
+  // Counts `n` operators applied as one batch under a single mu() hold.
+  void CountOps(uint64_t n) { obs::Inc(m_ops_, n); }
 
  private:
   friend class MemoryServer;  // Wires m_*_ pointers at BindMetrics time.

@@ -45,7 +45,7 @@ Result<std::string> CustomDsClient::RunOp(
     bool content_gone = false;
     {
       std::lock_guard<std::mutex> lock(block->mu());
-      auto* content = dynamic_cast<CustomContent*>(block->content());
+      auto* content = ContentAs<CustomContent>(block->content());
       if (content == nullptr) {
         content_gone = true;
       } else {

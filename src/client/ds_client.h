@@ -80,12 +80,37 @@ class DsClient {
       }
       {
         std::lock_guard<std::mutex> lock(rb->mu());
-        auto* content = dynamic_cast<ContentT*>(rb->content());
+        auto* content = ContentAs<ContentT>(rb->content());
         if (content != nullptr) {
           mutate(content);
         }
       }
       data_net()->RoundTrip(bytes + 64, 64);
+    }
+  }
+
+  // Batched chain propagation: the caller applied a group of `n_ops`
+  // mutations totalling `bytes` to the primary under one lock hold; each
+  // replica receives the whole group as one coalesced chain hop.
+  template <typename ContentT, typename Fn>
+  void PropagateBatchToReplicas(const PartitionEntry& entry, size_t n_ops,
+                                size_t bytes, Fn&& mutate) {
+    if (n_ops == 0) {
+      return;
+    }
+    for (const BlockId& rid : entry.replicas) {
+      Block* rb = Resolve(rid);
+      if (rb == nullptr) {
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(rb->mu());
+        auto* content = ContentAs<ContentT>(rb->content());
+        if (content != nullptr) {
+          mutate(content);
+        }
+      }
+      data_net()->RoundTripBatch(n_ops, bytes + 64, 64);
     }
   }
 

@@ -1,5 +1,9 @@
 #include "src/client/file_client.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "src/ds/file_content.h"
 #include "src/obs/trace.h"
 
@@ -57,7 +61,7 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
     bool content_gone = false;
     {
       std::lock_guard<std::mutex> lock(block->mu());
-      auto* chunk = dynamic_cast<FileChunk*>(block->content());
+      auto* chunk = ContentAs<FileChunk>(block->content());
       if (chunk == nullptr) {
         // Content was reclaimed (lease expiry) or remapped under us. The
         // refresh happens outside the block lock (lock order is always
@@ -117,6 +121,135 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
   return Unavailable("file append livelock (too many stale retries)");
 }
 
+Result<uint64_t> FileClient::AppendVec(
+    const std::vector<std::string_view>& pieces) {
+  JIFFY_TRACE_SPAN("file.append_vec", "client");
+  size_t total = 0;
+  for (std::string_view p : pieces) {
+    total += p.size();
+  }
+  if (total == 0) {
+    return uint64_t{0};
+  }
+  // Cursor into the scatter list: pieces before `piece_idx` (and the first
+  // `piece_off` bytes of pieces[piece_idx]) are already durable.
+  size_t piece_idx = 0;
+  size_t piece_off = 0;
+  uint64_t start_offset = 0;
+  bool start_set = false;
+  for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
+    BackoffRetry(attempt);
+    PartitionMap map = CachedMap();
+    if (map.entries.empty()) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    const PartitionEntry tail = map.entries.back();
+    Block* block = Resolve(tail.block);
+    if (block == nullptr) {
+      JIFFY_RETURN_IF_ERROR(FailOver(tail));
+      continue;
+    }
+    std::vector<std::string_view> views;
+    size_t remaining_total = 0;
+    for (size_t i = piece_idx; i < pieces.size(); ++i) {
+      std::string_view v = pieces[i];
+      if (i == piece_idx) {
+        v = v.substr(piece_off);
+      }
+      if (!v.empty()) {
+        views.push_back(v);
+        remaining_total += v.size();
+      }
+    }
+    size_t accepted = 0;
+    uint64_t end_offset = 0;
+    bool grow = false;
+    bool content_gone = false;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* chunk = ContentAs<FileChunk>(block->content());
+      if (chunk == nullptr) {
+        content_gone = true;
+      } else {
+        accepted = chunk->AppendVec(views);
+        end_offset = chunk->end_offset();
+        const double usage = static_cast<double>(chunk->used_bytes()) /
+                             static_cast<double>(chunk->capacity());
+        if (accepted > 0 && !start_set) {
+          start_offset = end_offset - accepted;
+          start_set = true;
+        }
+        if (!chunk->capped() && (usage >= config().repartition_high_threshold ||
+                                 accepted < remaining_total)) {
+          chunk->Cap();
+          grow = true;
+        }
+      }
+    }
+    if (content_gone) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (accepted > 0) {
+      // The prefix of the scatter list this chunk absorbed, for replicas.
+      std::vector<std::string_view> written;
+      size_t left = accepted;
+      for (std::string_view v : views) {
+        const size_t k = std::min(left, v.size());
+        written.push_back(v.substr(0, k));
+        left -= k;
+        if (left == 0) {
+          break;
+        }
+      }
+      block->CountOps(written.size());
+      data_net()->RoundTripBatch(written.size(), accepted + 64, 64);
+      PropagateBatchToReplicas<FileChunk>(
+          tail, written.size(), accepted, [&](FileChunk* c) {
+            for (std::string_view w : written) {
+              c->Append(w);
+            }
+            if (grow) {
+              c->Cap();
+            }
+          });
+      MaybePersist(tail);
+      Publish(kWriteOp, std::to_string(accepted));
+      // Advance the cursor by the accepted byte count.
+      size_t adv = accepted;
+      while (adv > 0 && piece_idx < pieces.size()) {
+        const size_t avail = pieces[piece_idx].size() - piece_off;
+        const size_t k = std::min(adv, avail);
+        piece_off += k;
+        adv -= k;
+        if (piece_off == pieces[piece_idx].size()) {
+          ++piece_idx;
+          piece_off = 0;
+        }
+      }
+    } else if (grow) {
+      PropagateToReplicas<FileChunk>(tail, 0, [&](FileChunk* c) { c->Cap(); });
+    }
+    if (grow) {
+      JIFFY_RETURN_IF_ERROR(GrowTail(tail.block, tail.lo, end_offset));
+    }
+    // Skip any empty (or now-exhausted) pieces at the cursor.
+    while (piece_idx < pieces.size() &&
+           piece_off == pieces[piece_idx].size()) {
+      ++piece_idx;
+      piece_off = 0;
+    }
+    if (piece_idx >= pieces.size()) {
+      return start_offset;
+    }
+    if (accepted == 0 && !grow) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+    }
+  }
+  return Unavailable("file append-vec livelock (too many stale retries)");
+}
+
 Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
   JIFFY_TRACE_SPAN("file.read", "client");
   std::string out;
@@ -147,7 +280,7 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
     std::string piece;
     {
       std::lock_guard<std::mutex> lock(block->mu());
-      auto* chunk = dynamic_cast<FileChunk*>(block->content());
+      auto* chunk = ContentAs<FileChunk>(block->content());
       if (chunk == nullptr) {
         return LeaseExpired("file block reclaimed; load the prefix first");
       }
@@ -164,6 +297,166 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
   return out;
 }
 
+std::vector<Result<std::string>> FileClient::ReadVec(
+    const std::vector<std::pair<uint64_t, size_t>>& ranges) {
+  JIFFY_TRACE_SPAN("file.read_vec", "client");
+  std::vector<Result<std::string>> results(ranges.size(), std::string());
+  std::vector<std::string> acc(ranges.size());
+  std::vector<bool> done(ranges.size(), false);
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].second == 0) {
+      done[i] = true;
+    }
+  }
+  bool refreshed = false;
+  for (;;) {
+    const PartitionMap map = CachedMap();
+    auto entry_for = [&map](uint64_t off) -> size_t {
+      for (size_t e = 0; e < map.entries.size(); ++e) {
+        if (off >= map.entries[e].lo && off < map.entries[e].hi) {
+          return e;
+        }
+      }
+      return static_cast<size_t>(-1);
+    };
+    // Each active range contributes its next-needed sub-read, grouped by
+    // the chunk owning that offset; each group is one coalesced exchange.
+    struct Sub {
+      size_t i;
+      uint64_t off;
+      size_t len;
+    };
+    std::vector<std::vector<Sub>> groups(map.entries.size());
+    std::vector<size_t> unrouted;
+    bool any_active = false;
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      if (done[i]) {
+        continue;
+      }
+      any_active = true;
+      const uint64_t cur = ranges[i].first + acc[i].size();
+      const size_t need = ranges[i].second - acc[i].size();
+      const size_t e = entry_for(cur);
+      if (e == static_cast<size_t>(-1)) {
+        unrouted.push_back(i);
+      } else {
+        groups[e].push_back(
+            {i, cur,
+             static_cast<size_t>(std::min<uint64_t>(
+                 need, map.entries[e].hi - cur))});
+      }
+    }
+    if (!any_active) {
+      break;
+    }
+    bool progress = false;
+    for (size_t e = 0; e < groups.size(); ++e) {
+      const std::vector<Sub>& g = groups[e];
+      if (g.empty()) {
+        continue;
+      }
+      const PartitionEntry& entry = map.entries[e];
+      Block* block = Resolve(ReadTarget(entry));
+      if (block == nullptr) {
+        const Status fo = FailOver(entry);
+        if (!fo.ok()) {
+          for (const Sub& s : g) {
+            results[s.i] = fo;
+            done[s.i] = true;
+          }
+        }
+        progress = true;  // Either the chain was repaired or the range died.
+        continue;
+      }
+      std::vector<std::pair<uint64_t, size_t>> subs;
+      subs.reserve(g.size());
+      size_t req_bytes = 64;
+      for (const Sub& s : g) {
+        subs.emplace_back(s.off, s.len);
+        req_bytes += 16;
+      }
+      std::vector<Result<std::string>> outs;
+      bool content_gone = false;
+      {
+        std::lock_guard<std::mutex> lock(block->mu());
+        auto* chunk = ContentAs<FileChunk>(block->content());
+        if (chunk == nullptr) {
+          content_gone = true;
+        } else {
+          block->CountOps(subs.size());
+          chunk->ReadVec(subs, &outs);
+        }
+      }
+      if (content_gone) {
+        const Status st =
+            LeaseExpired("file block reclaimed; load the prefix first");
+        for (const Sub& s : g) {
+          results[s.i] = st;
+          done[s.i] = true;
+        }
+        progress = true;
+        continue;
+      }
+      size_t resp_bytes = 64;
+      for (const auto& r : outs) {
+        resp_bytes += (r.ok() ? r.value().size() : 0) + 8;
+      }
+      data_net()->RoundTripBatch(subs.size(), req_bytes, resp_bytes);
+      for (size_t k = 0; k < g.size(); ++k) {
+        const Sub& s = g[k];
+        if (!outs[k].ok()) {
+          results[s.i] = outs[k].status();
+          done[s.i] = true;
+          progress = true;
+          continue;
+        }
+        const std::string& piece = outs[k].value();
+        if (!piece.empty()) {
+          acc[s.i] += piece;
+          progress = true;
+        }
+        if (piece.size() < s.len) {
+          done[s.i] = true;  // EOF inside this chunk: short read.
+          progress = true;
+        } else if (acc[s.i].size() == ranges[s.i].second) {
+          done[s.i] = true;
+        }
+      }
+    }
+    if (!unrouted.empty()) {
+      if (!refreshed) {
+        const Status rs = RefreshMapInternal();
+        if (!rs.ok()) {
+          for (size_t i = 0; i < ranges.size(); ++i) {
+            if (!done[i]) {
+              results[i] = rs;
+              done[i] = true;
+            }
+          }
+          break;
+        }
+        refreshed = true;
+        progress = true;
+      } else {
+        for (size_t i : unrouted) {
+          done[i] = true;  // Past EOF even after a refresh: short read.
+        }
+        progress = true;
+        refreshed = false;
+      }
+    }
+    if (!progress) {
+      break;  // Stall guard: return what we have.
+    }
+  }
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (results[i].ok()) {
+      results[i] = std::move(acc[i]);
+    }
+  }
+  return results;
+}
+
 Result<uint64_t> FileClient::Size() {
   JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
   PartitionMap map = CachedMap();
@@ -177,7 +470,7 @@ Result<uint64_t> FileClient::Size() {
     return Size();
   }
   std::lock_guard<std::mutex> lock(block->mu());
-  auto* chunk = dynamic_cast<FileChunk*>(block->content());
+  auto* chunk = ContentAs<FileChunk>(block->content());
   if (chunk == nullptr) {
     return LeaseExpired("file block reclaimed; load the prefix first");
   }

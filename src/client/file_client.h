@@ -13,6 +13,8 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/client/ds_client.h"
 
@@ -28,6 +30,22 @@ class FileClient : public DsClient {
 
   // Reads up to `len` bytes starting at `offset`; short reads indicate EOF.
   Result<std::string> Read(uint64_t offset, size_t len);
+
+  // --- Batched operations (DESIGN.md §7) ------------------------------------
+
+  // Appends the scatter list `pieces` back-to-back as one logical write.
+  // The run of pieces landing in each tail chunk travels as one coalesced
+  // transport exchange (Transport::RoundTripBatch) and is applied under a
+  // single lock hold; when the tail fills mid-batch only the remaining
+  // suffix moves to the next chunk. Returns the logical offset of the
+  // first byte written.
+  Result<uint64_t> AppendVec(const std::vector<std::string_view>& pieces);
+
+  // Reads each (offset, len) range; per-range results follow Read semantics
+  // (short reads at EOF). Ranges needing the same chunk share one coalesced
+  // exchange and one lock hold.
+  std::vector<Result<std::string>> ReadVec(
+      const std::vector<std::pair<uint64_t, size_t>>& ranges);
 
   // Current logical size (refreshes metadata).
   Result<uint64_t> Size();

@@ -1,6 +1,7 @@
 #include "src/client/kv_client.h"
 
 #include <algorithm>
+#include <numeric>
 #include <utility>
 #include <vector>
 
@@ -8,6 +9,22 @@
 #include "src/obs/trace.h"
 
 namespace jiffy {
+
+namespace {
+
+constexpr size_t kNoEntry = static_cast<size_t>(-1);
+
+// Index of the map entry owning `slot`; kNoEntry when the map is stale.
+size_t EntryIndexForSlot(const PartitionMap& map, uint32_t slot) {
+  for (size_t e = 0; e < map.entries.size(); ++e) {
+    if (slot >= map.entries[e].lo && slot < map.entries[e].hi) {
+      return e;
+    }
+  }
+  return kNoEntry;
+}
+
+}  // namespace
 
 constexpr char KvClient::kPutOp[];
 constexpr char KvClient::kDeleteOp[];
@@ -45,7 +62,7 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
     bool content_gone = false;
     {
       std::lock_guard<std::mutex> lock(block->mu());
-      auto* shard = dynamic_cast<KvShard*>(block->content());
+      auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
         content_gone = true;
       } else {
@@ -101,7 +118,7 @@ Result<std::string> KvClient::Get(std::string_view key) {
     bool content_gone = false;
     {
       std::lock_guard<std::mutex> lock(block->mu());
-      auto* shard = dynamic_cast<KvShard*>(block->content());
+      auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
         content_gone = true;
       } else {
@@ -147,7 +164,7 @@ Status KvClient::Delete(std::string_view key) {
     bool content_gone = false;
     {
       std::lock_guard<std::mutex> lock(block->mu());
-      auto* shard = dynamic_cast<KvShard*>(block->content());
+      auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
         content_gone = true;
       } else {
@@ -200,7 +217,7 @@ Status KvClient::Accumulate(std::string_view key, std::string_view update,
     std::string merged;
     {
       std::lock_guard<std::mutex> lock(block->mu());
-      auto* shard = dynamic_cast<KvShard*>(block->content());
+      auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
         content_gone = true;
       } else if (!shard->OwnsKey(key)) {
@@ -249,6 +266,368 @@ Result<bool> KvClient::Exists(std::string_view key) {
   return r.status();
 }
 
+std::vector<Status> KvClient::MultiPut(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  JIFFY_TRACE_SPAN("kv.multi_put", "client");
+  std::vector<Status> statuses(pairs.size(), Status::Ok());
+  if (pairs.empty()) {
+    return statuses;
+  }
+  std::vector<uint32_t> slots(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    slots[i] = KvSlotOf(pairs[i].first, config().kv_hash_slots);
+  }
+  // Indices still awaiting a definitive status. A concurrent split only
+  // re-pends the items whose slots moved — the rest of the batch is done.
+  std::vector<size_t> pending(pairs.size());
+  std::iota(pending.begin(), pending.end(), 0);
+  for (int attempt = 0; attempt < kMaxStaleRetries && !pending.empty();
+       ++attempt) {
+    BackoffRetry(attempt);
+    const PartitionMap map = CachedMap();
+    bool need_refresh = false;
+    std::vector<std::vector<size_t>> groups(map.entries.size());
+    std::vector<size_t> still_pending;
+    for (size_t i : pending) {
+      const size_t e = EntryIndexForSlot(map, slots[i]);
+      if (e == kNoEntry) {
+        need_refresh = true;
+        still_pending.push_back(i);
+      } else {
+        groups[e].push_back(i);
+      }
+    }
+    for (size_t e = 0; e < groups.size(); ++e) {
+      const std::vector<size_t>& group = groups[e];
+      if (group.empty()) {
+        continue;
+      }
+      const PartitionEntry& entry = map.entries[e];
+      Block* block = Resolve(entry.block);
+      if (block == nullptr) {
+        const Status fo = FailOver(entry);
+        if (!fo.ok()) {
+          for (size_t i : group) {
+            statuses[i] = fo;
+          }
+        } else {
+          // FailOver already refreshed the map; just re-route this group.
+          still_pending.insert(still_pending.end(), group.begin(), group.end());
+        }
+        continue;
+      }
+      std::vector<std::pair<std::string_view, std::string_view>> ops;
+      ops.reserve(group.size());
+      size_t req_bytes = 64;
+      for (size_t i : group) {
+        ops.emplace_back(pairs[i].first, pairs[i].second);
+        req_bytes += pairs[i].first.size() + pairs[i].second.size() + 8;
+      }
+      std::vector<Status> item_status;
+      bool content_gone = false;
+      double usage = 0.0;
+      uint32_t span = 0;
+      {
+        std::lock_guard<std::mutex> lock(block->mu());
+        auto* shard = ContentAs<KvShard>(block->content());
+        if (shard == nullptr) {
+          content_gone = true;
+        } else {
+          block->CountOps(ops.size());
+          shard->MultiPut(ops, &item_status);
+          usage = static_cast<double>(shard->used_bytes()) /
+                  static_cast<double>(shard->capacity());
+          span = shard->slot_span();
+        }
+      }
+      if (content_gone) {
+        need_refresh = true;
+        still_pending.insert(still_pending.end(), group.begin(), group.end());
+        continue;
+      }
+      // One coalesced exchange for the whole group regardless of outcome:
+      // the server saw and answered every item.
+      data_net()->RoundTripBatch(ops.size(), req_bytes, 64 + 8 * ops.size());
+      std::vector<size_t> applied;
+      size_t applied_bytes = 0;
+      for (size_t g = 0; g < group.size(); ++g) {
+        const size_t i = group[g];
+        if (item_status[g].code() == StatusCode::kStaleMetadata) {
+          need_refresh = true;
+          still_pending.push_back(i);
+        } else {
+          statuses[i] = item_status[g];
+          if (item_status[g].ok()) {
+            applied.push_back(i);
+            applied_bytes += pairs[i].first.size() + pairs[i].second.size();
+          }
+        }
+      }
+      if (!applied.empty()) {
+        PropagateBatchToReplicas<KvShard>(
+            entry, applied.size(), applied_bytes, [&](KvShard* s) {
+              for (size_t i : applied) {
+                s->Put(pairs[i].first, pairs[i].second);
+              }
+            });
+        MaybePersist(entry);
+        for (size_t i : applied) {
+          Publish(kPutOp, pairs[i].first);
+        }
+        if (usage >= config().repartition_high_threshold && span > 1 &&
+            entry.replicas.empty()) {
+          TrySplit(entry);
+        }
+      }
+    }
+    pending = std::move(still_pending);
+    if (!pending.empty() && need_refresh) {
+      const Status rs = RefreshMapInternal();
+      if (!rs.ok()) {
+        for (size_t i : pending) {
+          statuses[i] = rs;
+        }
+        return statuses;
+      }
+    }
+  }
+  for (size_t i : pending) {
+    statuses[i] = Unavailable("kv multi-put livelock (too many stale retries)");
+  }
+  return statuses;
+}
+
+std::vector<Result<std::string>> KvClient::MultiGet(
+    const std::vector<std::string>& keys) {
+  JIFFY_TRACE_SPAN("kv.multi_get", "client");
+  std::vector<Result<std::string>> results(keys.size(), NotFound(""));
+  if (keys.empty()) {
+    return results;
+  }
+  std::vector<uint32_t> slots(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    slots[i] = KvSlotOf(keys[i], config().kv_hash_slots);
+  }
+  std::vector<size_t> pending(keys.size());
+  std::iota(pending.begin(), pending.end(), 0);
+  for (int attempt = 0; attempt < kMaxStaleRetries && !pending.empty();
+       ++attempt) {
+    BackoffRetry(attempt);
+    const PartitionMap map = CachedMap();
+    bool need_refresh = false;
+    std::vector<std::vector<size_t>> groups(map.entries.size());
+    std::vector<size_t> still_pending;
+    for (size_t i : pending) {
+      const size_t e = EntryIndexForSlot(map, slots[i]);
+      if (e == kNoEntry) {
+        need_refresh = true;
+        still_pending.push_back(i);
+      } else {
+        groups[e].push_back(i);
+      }
+    }
+    for (size_t e = 0; e < groups.size(); ++e) {
+      const std::vector<size_t>& group = groups[e];
+      if (group.empty()) {
+        continue;
+      }
+      const PartitionEntry& entry = map.entries[e];
+      // Chain reads are served by the tail replica (§4.2.2).
+      Block* block = Resolve(ReadTarget(entry));
+      if (block == nullptr) {
+        const Status fo = FailOver(entry);
+        if (!fo.ok()) {
+          for (size_t i : group) {
+            results[i] = fo;
+          }
+        } else {
+          still_pending.insert(still_pending.end(), group.begin(), group.end());
+        }
+        continue;
+      }
+      std::vector<std::string_view> ops;
+      ops.reserve(group.size());
+      size_t req_bytes = 64;
+      for (size_t i : group) {
+        ops.emplace_back(keys[i]);
+        req_bytes += keys[i].size() + 8;
+      }
+      std::vector<Result<std::string>> item_results;
+      bool content_gone = false;
+      {
+        std::lock_guard<std::mutex> lock(block->mu());
+        auto* shard = ContentAs<KvShard>(block->content());
+        if (shard == nullptr) {
+          content_gone = true;
+        } else {
+          block->CountOps(ops.size());
+          shard->MultiGet(ops, &item_results);
+        }
+      }
+      if (content_gone) {
+        need_refresh = true;
+        still_pending.insert(still_pending.end(), group.begin(), group.end());
+        continue;
+      }
+      size_t resp_bytes = 64;
+      for (size_t g = 0; g < group.size(); ++g) {
+        const size_t i = group[g];
+        if (!item_results[g].ok() &&
+            item_results[g].status().code() == StatusCode::kStaleMetadata) {
+          need_refresh = true;
+          still_pending.push_back(i);
+        } else {
+          if (item_results[g].ok()) {
+            resp_bytes += item_results[g].value().size() + 8;
+          } else {
+            resp_bytes += 8;  // per-item miss marker
+          }
+          results[i] = std::move(item_results[g]);
+        }
+      }
+      data_net()->RoundTripBatch(ops.size(), req_bytes, resp_bytes);
+    }
+    pending = std::move(still_pending);
+    if (!pending.empty() && need_refresh) {
+      const Status rs = RefreshMapInternal();
+      if (!rs.ok()) {
+        for (size_t i : pending) {
+          results[i] = rs;
+        }
+        return results;
+      }
+    }
+  }
+  for (size_t i : pending) {
+    results[i] = Unavailable("kv multi-get livelock (too many stale retries)");
+  }
+  return results;
+}
+
+std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) {
+  JIFFY_TRACE_SPAN("kv.multi_delete", "client");
+  std::vector<Status> statuses(keys.size(), Status::Ok());
+  if (keys.empty()) {
+    return statuses;
+  }
+  std::vector<uint32_t> slots(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    slots[i] = KvSlotOf(keys[i], config().kv_hash_slots);
+  }
+  std::vector<size_t> pending(keys.size());
+  std::iota(pending.begin(), pending.end(), 0);
+  for (int attempt = 0; attempt < kMaxStaleRetries && !pending.empty();
+       ++attempt) {
+    BackoffRetry(attempt);
+    const PartitionMap map = CachedMap();
+    bool need_refresh = false;
+    std::vector<std::vector<size_t>> groups(map.entries.size());
+    std::vector<size_t> still_pending;
+    for (size_t i : pending) {
+      const size_t e = EntryIndexForSlot(map, slots[i]);
+      if (e == kNoEntry) {
+        need_refresh = true;
+        still_pending.push_back(i);
+      } else {
+        groups[e].push_back(i);
+      }
+    }
+    for (size_t e = 0; e < groups.size(); ++e) {
+      const std::vector<size_t>& group = groups[e];
+      if (group.empty()) {
+        continue;
+      }
+      const PartitionEntry& entry = map.entries[e];
+      Block* block = Resolve(entry.block);
+      if (block == nullptr) {
+        const Status fo = FailOver(entry);
+        if (!fo.ok()) {
+          for (size_t i : group) {
+            statuses[i] = fo;
+          }
+        } else {
+          still_pending.insert(still_pending.end(), group.begin(), group.end());
+        }
+        continue;
+      }
+      std::vector<std::string_view> ops;
+      ops.reserve(group.size());
+      size_t req_bytes = 64;
+      for (size_t i : group) {
+        ops.emplace_back(keys[i]);
+        req_bytes += keys[i].size() + 8;
+      }
+      std::vector<Status> item_status;
+      bool content_gone = false;
+      double usage = 0.0;
+      {
+        std::lock_guard<std::mutex> lock(block->mu());
+        auto* shard = ContentAs<KvShard>(block->content());
+        if (shard == nullptr) {
+          content_gone = true;
+        } else {
+          block->CountOps(ops.size());
+          shard->MultiDelete(ops, &item_status);
+          usage = static_cast<double>(shard->used_bytes()) /
+                  static_cast<double>(shard->capacity());
+        }
+      }
+      if (content_gone) {
+        need_refresh = true;
+        still_pending.insert(still_pending.end(), group.begin(), group.end());
+        continue;
+      }
+      data_net()->RoundTripBatch(ops.size(), req_bytes, 64 + 8 * ops.size());
+      std::vector<size_t> applied;
+      size_t applied_bytes = 0;
+      for (size_t g = 0; g < group.size(); ++g) {
+        const size_t i = group[g];
+        if (item_status[g].code() == StatusCode::kStaleMetadata) {
+          need_refresh = true;
+          still_pending.push_back(i);
+        } else {
+          statuses[i] = item_status[g];
+          if (item_status[g].ok()) {
+            applied.push_back(i);
+            applied_bytes += keys[i].size();
+          }
+        }
+      }
+      if (!applied.empty()) {
+        PropagateBatchToReplicas<KvShard>(
+            entry, applied.size(), applied_bytes, [&](KvShard* s) {
+              for (size_t i : applied) {
+                s->Delete(keys[i]);
+              }
+            });
+        MaybePersist(entry);
+        for (size_t i : applied) {
+          Publish(kDeleteOp, keys[i]);
+        }
+        if (usage <= config().repartition_low_threshold &&
+            CachedMap().entries.size() > 1 && entry.replicas.empty()) {
+          TryMerge(entry);
+        }
+      }
+    }
+    pending = std::move(still_pending);
+    if (!pending.empty() && need_refresh) {
+      const Status rs = RefreshMapInternal();
+      if (!rs.ok()) {
+        for (size_t i : pending) {
+          statuses[i] = rs;
+        }
+        return statuses;
+      }
+    }
+  }
+  for (size_t i : pending) {
+    statuses[i] =
+        Unavailable("kv multi-delete livelock (too many stale retries)");
+  }
+  return statuses;
+}
+
 Status KvClient::TrySplit(const PartitionEntry& entry) {
   bool expected = false;
   if (!state()->scaling_in_progress.compare_exchange_strong(expected, true)) {
@@ -266,7 +645,7 @@ Status KvClient::TrySplit(const PartitionEntry& entry) {
       // Re-validate against the live shard: a racing split may already have
       // relieved the pressure.
       std::lock_guard<std::mutex> lock(block->mu());
-      auto* shard = dynamic_cast<KvShard*>(block->content());
+      auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr || shard->slot_span() < 2) {
         return Status::Ok();
       }
@@ -300,8 +679,8 @@ Status KvClient::TrySplit(const PartitionEntry& entry) {
     {
       std::lock_guard<std::mutex> lock1(first->mu());
       std::lock_guard<std::mutex> lock2(second->mu());
-      auto* old_shard = dynamic_cast<KvShard*>(block->content());
-      auto* fresh = dynamic_cast<KvShard*>(new_block->content());
+      auto* old_shard = ContentAs<KvShard>(block->content());
+      auto* fresh = ContentAs<KvShard>(new_block->content());
       if (old_shard == nullptr || fresh == nullptr) {
         controller()->AbortUnmapped(*new_id);
         return Internal("kv split: shard vanished during move");
@@ -401,8 +780,8 @@ Status KvClient::TryMerge(const PartitionEntry& entry) {
     {
       std::lock_guard<std::mutex> lock1(first->mu());
       std::lock_guard<std::mutex> lock2(second->mu());
-      auto* src = dynamic_cast<KvShard*>(dying->content());
-      auto* dst = dynamic_cast<KvShard*>(target->content());
+      auto* src = ContentAs<KvShard>(dying->content());
+      auto* dst = ContentAs<KvShard>(target->content());
       if (src == nullptr || dst == nullptr) {
         return Status::Ok();  // Raced with expiry; nothing to do.
       }
@@ -445,7 +824,7 @@ Result<size_t> KvClient::CountPairs() {
       continue;
     }
     std::lock_guard<std::mutex> lock(block->mu());
-    auto* shard = dynamic_cast<KvShard*>(block->content());
+    auto* shard = ContentAs<KvShard>(block->content());
     if (shard != nullptr) {
       total += shard->pair_count();
     }

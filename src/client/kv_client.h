@@ -15,6 +15,8 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/client/ds_client.h"
 
@@ -28,6 +30,21 @@ class KvClient : public DsClient {
   Result<std::string> Get(std::string_view key);
   Status Delete(std::string_view key);
   Result<bool> Exists(std::string_view key);
+
+  // --- Batched operations (DESIGN.md §7) ------------------------------------
+  //
+  // Operands are grouped by destination block via the cached partition map;
+  // each group travels as one coalesced transport exchange
+  // (Transport::RoundTripBatch) and is applied under a single block-lock
+  // hold. Results align index-for-index with the input. Stale-metadata
+  // retries are merged per item: when a concurrent split moves some keys,
+  // only those keys are re-sent after the map refresh — never the whole
+  // batch. An item reports success only if its operator was applied.
+  std::vector<Status> MultiPut(
+      const std::vector<std::pair<std::string, std::string>>& pairs);
+  std::vector<Result<std::string>> MultiGet(
+      const std::vector<std::string>& keys);
+  std::vector<Status> MultiDelete(const std::vector<std::string>& keys);
 
   // Atomic read-modify-write executed as a single data-structure operator
   // under the block lock: `merge(old, update)` produces the new value

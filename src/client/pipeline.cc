@@ -1,0 +1,72 @@
+#include "src/client/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace jiffy {
+
+Pipeline::Pipeline(size_t depth) : depth_(std::max<size_t>(1, depth)) {
+  workers_.reserve(depth_);
+  for (size_t i = 0; i < depth_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Pipeline::~Pipeline() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_drain_.wait(lock, [this] { return in_flight_ == 0; });
+    stop_ = true;
+  }
+  cv_worker_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void Pipeline::Submit(std::function<Status()> op) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_submit_.wait(lock, [this] { return in_flight_ < depth_; });
+    queue_.push_back(std::move(op));
+    ++in_flight_;
+  }
+  cv_worker_.notify_one();
+}
+
+Status Pipeline::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_drain_.wait(lock, [this] { return in_flight_ == 0; });
+  Status st = std::move(first_error_);
+  first_error_ = Status::Ok();
+  return st;
+}
+
+void Pipeline::WorkerLoop() {
+  for (;;) {
+    std::function<Status()> op;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_worker_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ and drained
+      }
+      op = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const Status st = op();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!st.ok() && first_error_.ok()) {
+        first_error_ = st;
+      }
+      --in_flight_;
+      if (in_flight_ == 0) {
+        cv_drain_.notify_all();
+      }
+    }
+    cv_submit_.notify_one();
+  }
+}
+
+}  // namespace jiffy

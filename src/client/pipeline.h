@@ -1,0 +1,61 @@
+// Client-side write pipelining (DESIGN.md §7).
+//
+// A Pipeline overlaps up to `depth` in-flight operations — typically batched
+// writes to different blocks/data structures — so a producer is not
+// serialized on one round trip at a time. Jiffy's data plane already
+// tolerates concurrent clients, so pipelining is purely a client-side
+// latency-hiding construct: submitted ops run on worker threads while the
+// producer keeps building the next batch. Flush() drains the window and
+// reports the first error (ordering across Submit() calls is NOT preserved
+// between different destinations; callers needing FIFO per destination
+// must serialize those submissions themselves).
+
+#ifndef SRC_CLIENT_PIPELINE_H_
+#define SRC_CLIENT_PIPELINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace jiffy {
+
+class Pipeline {
+ public:
+  // Up to `depth` submitted operations may be queued or running at once;
+  // Submit() blocks while the window is full (backpressure).
+  explicit Pipeline(size_t depth);
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  // Schedules `op`; blocks until a window slot frees up.
+  void Submit(std::function<Status()> op);
+
+  // Drains every in-flight op and returns the first error recorded since
+  // the previous Flush() (Ok when all succeeded).
+  Status Flush();
+
+ private:
+  void WorkerLoop();
+
+  const size_t depth_;
+  std::mutex mu_;
+  std::condition_variable cv_submit_;  // A window slot freed.
+  std::condition_variable cv_worker_;  // Work queued (or stopping).
+  std::condition_variable cv_drain_;   // in_flight_ hit zero.
+  std::deque<std::function<Status()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running
+  Status first_error_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_CLIENT_PIPELINE_H_

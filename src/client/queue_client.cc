@@ -1,5 +1,9 @@
 #include "src/client/queue_client.h"
 
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
 #include "src/ds/queue_content.h"
 #include "src/obs/trace.h"
 
@@ -79,7 +83,7 @@ Status QueueClient::Enqueue(std::string item) {
     std::string replica_copy;
     {
       std::lock_guard<std::mutex> lock(block->mu());
-      auto* seg = dynamic_cast<QueueSegment*>(block->content());
+      auto* seg = ContentAs<QueueSegment>(block->content());
       if (seg == nullptr) {
         // Refresh outside the block lock (lock order: controller → block).
         content_gone = true;
@@ -124,6 +128,101 @@ Status QueueClient::Enqueue(std::string item) {
   return Unavailable("queue enqueue livelock (too many stale retries)");
 }
 
+Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
+  JIFFY_TRACE_SPAN("queue.enqueue_batch", "client");
+  if (items.empty()) {
+    return Status::Ok();
+  }
+  const uint64_t bound = state()->max_queue_length.load();
+  if (bound > 0 &&
+      state()->queue_items.load(std::memory_order_relaxed) +
+              static_cast<int64_t>(items.size()) >
+          static_cast<int64_t>(bound)) {
+    return Unavailable("queue at maxQueueLength=" + std::to_string(bound));
+  }
+  // Sizes recorded up front: the segment moves the strings out on accept.
+  std::vector<size_t> sizes(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    sizes[i] = items[i].size();
+  }
+  size_t done = 0;
+  for (int attempt = 0; attempt < kMaxStaleRetries && done < items.size();
+       ++attempt) {
+    BackoffRetry(attempt);
+    PartitionMap map = CachedMap();
+    if (map.entries.empty()) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    const PartitionEntry tail = map.entries.back();
+    Block* block = Resolve(tail.block);
+    if (block == nullptr) {
+      JIFFY_RETURN_IF_ERROR(FailOver(tail));
+      continue;
+    }
+    // Copy the candidate suffix before locking so replicas can receive the
+    // same bytes (the primary consumes the originals).
+    std::vector<std::string> replica_copies;
+    if (!tail.replicas.empty()) {
+      replica_copies.assign(items.begin() + done, items.end());
+    }
+    size_t accepted = 0;
+    bool content_gone = false;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* seg = ContentAs<QueueSegment>(block->content());
+      if (seg == nullptr) {
+        content_gone = true;
+      } else if (!seg->sealed()) {
+        // Moves a prefix of items[done..] into the segment; on overflow the
+        // segment seals and the remainder stays intact for the new tail.
+        accepted = seg->EnqueueBatch(&items, done);
+        block->CountOps(accepted);
+      }
+    }
+    if (content_gone) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (accepted > 0) {
+      size_t bytes = 0;
+      for (size_t i = done; i < done + accepted; ++i) {
+        bytes += sizes[i];
+      }
+      data_net()->RoundTripBatch(accepted, bytes + 64, 64);
+      if (!tail.replicas.empty()) {
+        PropagateBatchToReplicas<QueueSegment>(
+            tail, accepted, bytes, [&](QueueSegment* s) {
+              for (size_t i = 0; i < accepted; ++i) {
+                std::string copy = replica_copies[i];
+                s->Enqueue(std::move(copy));
+              }
+            });
+        MaybePersist(tail);
+      }
+      state()->queue_items.fetch_add(static_cast<int64_t>(accepted),
+                                     std::memory_order_relaxed);
+      for (size_t i = done; i < done + accepted; ++i) {
+        Publish(kEnqueueOp, std::to_string(sizes[i]));
+      }
+      done += accepted;
+    }
+    if (done < items.size()) {
+      // Tail sealed mid-batch: grow, then re-send only the suffix.
+      JIFFY_RETURN_IF_ERROR(GrowTail(tail.block, tail.lo));
+      PartitionMap refreshed = CachedMap();
+      if (!refreshed.entries.empty() &&
+          refreshed.entries.back().block == tail.block) {
+        JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      }
+    }
+  }
+  if (done < items.size()) {
+    return Unavailable("queue enqueue-batch livelock (too many stale retries)");
+  }
+  return Status::Ok();
+}
+
 Result<std::string> QueueClient::Dequeue() {
   JIFFY_TRACE_SPAN("queue.dequeue", "client");
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
@@ -147,7 +246,7 @@ Result<std::string> QueueClient::Dequeue() {
     bool content_gone = false;
     {
       std::lock_guard<std::mutex> lock(block->mu());
-      auto* seg = dynamic_cast<QueueSegment*>(block->content());
+      auto* seg = ContentAs<QueueSegment>(block->content());
       if (seg == nullptr) {
         content_gone = true;
       } else {
@@ -194,6 +293,90 @@ Result<std::string> QueueClient::Dequeue() {
     return NotFound("queue empty");
   }
   return Unavailable("queue dequeue livelock (too many stale retries)");
+}
+
+Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
+  JIFFY_TRACE_SPAN("queue.dequeue_batch", "client");
+  std::vector<std::string> out;
+  if (max_n == 0) {
+    return out;
+  }
+  for (int attempt = 0; attempt < kMaxStaleRetries && out.size() < max_n;
+       ++attempt) {
+    BackoffRetry(attempt);
+    PartitionMap map = CachedMap();
+    if (map.entries.empty()) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    const PartitionEntry head = map.entries.front();
+    Block* block = Resolve(head.block);
+    if (block == nullptr) {
+      JIFFY_RETURN_IF_ERROR(FailOver(head));
+      continue;
+    }
+    bool drained = false;
+    bool sealed = false;
+    const bool head_is_tail = map.entries.size() == 1;
+    std::vector<std::string> popped;
+    bool content_gone = false;
+    {
+      std::lock_guard<std::mutex> lock(block->mu());
+      auto* seg = ContentAs<QueueSegment>(block->content());
+      if (seg == nullptr) {
+        content_gone = true;
+      } else {
+        const size_t n = seg->DequeueBatch(max_n - out.size(), &popped);
+        block->CountOps(n);
+        drained = seg->Drained();
+        sealed = seg->sealed();
+      }
+    }
+    if (content_gone) {
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (!popped.empty()) {
+      const size_t n = popped.size();
+      size_t bytes = 0;
+      for (const std::string& s : popped) {
+        bytes += s.size();
+      }
+      data_net()->RoundTripBatch(n, 64, bytes + 64);
+      PropagateBatchToReplicas<QueueSegment>(head, n, 8 * n,
+                                             [n](QueueSegment* s) {
+                                               for (size_t i = 0; i < n; ++i) {
+                                                 s->Dequeue();
+                                               }
+                                             });
+      MaybePersist(head);
+      state()->queue_items.fetch_sub(static_cast<int64_t>(n),
+                                     std::memory_order_relaxed);
+      for (const std::string& s : popped) {
+        Publish(kDequeueOp, std::to_string(s.size()));
+      }
+      std::move(popped.begin(), popped.end(), std::back_inserter(out));
+    }
+    if (drained && !head_is_tail) {
+      // Reclaim the drained head and keep filling from the next segment.
+      JIFFY_RETURN_IF_ERROR(ShrinkHead(head.block));
+      continue;
+    }
+    if (out.size() >= max_n) {
+      break;
+    }
+    if (sealed) {
+      // Sealed but not drained-and-removable: a successor exists; refresh.
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    // Live tail segment is (now) empty: the queue is exhausted for this call.
+    if (out.empty()) {
+      data_net()->RoundTrip(64, 64);
+    }
+    break;
+  }
+  return out;
 }
 
 Result<std::string> QueueClient::DequeueWait(DurationNs timeout) {

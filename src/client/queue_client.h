@@ -11,6 +11,7 @@
 #define SRC_CLIENT_QUEUE_CLIENT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/client/ds_client.h"
 
@@ -33,6 +34,20 @@ class QueueClient : public DsClient {
   // Blocking convenience: waits (real time) for an item using an "enqueue"
   // subscription, up to `timeout`.
   Result<std::string> DequeueWait(DurationNs timeout);
+
+  // --- Batched operations (DESIGN.md §7) ------------------------------------
+
+  // Appends `items` at the tail in order, coalescing the run landing in each
+  // tail segment into one transport exchange (Transport::RoundTripBatch) and
+  // one lock hold. When the tail seals mid-batch, only the remaining suffix
+  // is re-sent to the grown tail. All-or-nothing against maxQueueLength:
+  // kUnavailable up front when the whole batch would exceed the bound.
+  Status EnqueueBatch(std::vector<std::string> items);
+
+  // Removes up to `max_n` oldest items in FIFO order, draining whole head
+  // segments per exchange. Returns the items removed — possibly fewer than
+  // `max_n`, and empty (not kNotFound) when the queue is empty.
+  Result<std::vector<std::string>> DequeueBatch(size_t max_n);
 
   // Approximate live item count.
   int64_t ApproxSize() const;

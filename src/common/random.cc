@@ -27,6 +27,30 @@ uint64_t Rng::NextBelow(uint64_t bound) {
   }
 }
 
+uint64_t AtomicRng::Next() {
+  // splitmix64 with an atomic state advance: fetch_add returns the prior
+  // state, so mixing (prior + increment) yields the same value a sequential
+  // Rng would produce for that state.
+  const uint64_t s =
+      state_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed) +
+      0x9e3779b97f4a7c15ULL;
+  uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t AtomicRng::NextBelow(uint64_t bound) {
+  JIFFY_CHECK(bound > 0);
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
 int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
   JIFFY_CHECK(lo <= hi);
   const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;

@@ -7,6 +7,7 @@
 #ifndef SRC_COMMON_RANDOM_H_
 #define SRC_COMMON_RANDOM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -43,6 +44,25 @@ class Rng {
   uint64_t state_;
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
+};
+
+// Lock-free shared splitmix64 generator for hot paths sampled from many
+// threads concurrently (e.g. network jitter). The state advance is a single
+// atomic fetch_add, so concurrent samplers never serialize; each sampler
+// still gets a distinct, well-mixed value. Single-threaded use produces
+// exactly the same sequence as an `Rng` with the same seed, which keeps
+// seeded benchmarks reproducible.
+class AtomicRng {
+ public:
+  explicit AtomicRng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+ private:
+  std::atomic<uint64_t> state_;
 };
 
 // Zipf(θ) sampler over [0, n). Uses the rejection-inversion method of

@@ -36,6 +36,11 @@ namespace jiffy {
 // Base class for custom block contents: the Fig 6 operator interface.
 class CustomContent : public BlockContent {
  public:
+  // Tag for ContentAs<CustomContent> (block.h): every application-defined
+  // content derives from this base, so the kCustom tag is sufficient to
+  // downcast safely.
+  static constexpr DsType kContentType = DsType::kCustom;
+
   DsType type() const final { return DsType::kCustom; }
 
   // The registered type name (used on restore-from-flush).

@@ -28,6 +28,27 @@ size_t FileChunk::Append(std::string_view data) {
   return take;
 }
 
+size_t FileChunk::AppendVec(const std::vector<std::string_view>& pieces) {
+  size_t accepted = 0;
+  for (const std::string_view piece : pieces) {
+    const size_t took = Append(piece);
+    accepted += took;
+    if (took < piece.size()) {
+      break;  // Chunk full (or capped); the rest goes to the next block.
+    }
+  }
+  return accepted;
+}
+
+void FileChunk::ReadVec(const std::vector<std::pair<uint64_t, size_t>>& ranges,
+                        std::vector<Result<std::string>>* out) const {
+  out->clear();
+  out->reserve(ranges.size());
+  for (const auto& [offset, len] : ranges) {
+    out->push_back(ReadAt(offset, len));
+  }
+}
+
 Result<std::string> FileChunk::ReadAt(uint64_t offset, size_t len) const {
   if (offset < base_offset_) {
     return InvalidArgument("offset below chunk base");

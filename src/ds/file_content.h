@@ -15,6 +15,8 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/block/block.h"
 #include "src/common/status.h"
@@ -23,6 +25,9 @@ namespace jiffy {
 
 class FileChunk : public BlockContent {
  public:
+  // Tag for ContentAs<FileChunk> (block.h).
+  static constexpr DsType kContentType = DsType::kFile;
+
   // Chunk covering logical offsets starting at `base_offset`.
   FileChunk(size_t capacity, uint64_t base_offset);
 
@@ -52,6 +57,18 @@ class FileChunk : public BlockContent {
   // Reads up to `len` bytes at logical offset `offset`; empty string when
   // the offset is at/after end_offset().
   Result<std::string> ReadAt(uint64_t offset, size_t len) const;
+
+  // --- Batch operators (DESIGN.md §7) ---------------------------------------
+
+  // Appends the scatter list `pieces` back-to-back until the chunk fills;
+  // returns total bytes accepted (a trailing piece may be split mid-way,
+  // exactly as a single Append of the concatenation would be).
+  size_t AppendVec(const std::vector<std::string_view>& pieces);
+
+  // Reads each (offset, len) range under one operator; per-range results
+  // follow ReadAt semantics (short/empty at EOF, error below chunk base).
+  void ReadVec(const std::vector<std::pair<uint64_t, size_t>>& ranges,
+               std::vector<Result<std::string>>* out) const;
 
   size_t capacity() const { return capacity_; }
   size_t FreeBytes() const { return capacity_ - data_.size(); }

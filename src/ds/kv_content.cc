@@ -88,6 +88,34 @@ Status KvShard::Delete(std::string_view key) {
   return Status::Ok();
 }
 
+void KvShard::MultiPut(
+    const std::vector<std::pair<std::string_view, std::string_view>>& pairs,
+    std::vector<Status>* statuses) {
+  statuses->clear();
+  statuses->reserve(pairs.size());
+  for (const auto& [key, value] : pairs) {
+    statuses->push_back(Put(key, value));
+  }
+}
+
+void KvShard::MultiGet(const std::vector<std::string_view>& keys,
+                       std::vector<Result<std::string>>* out) const {
+  out->clear();
+  out->reserve(keys.size());
+  for (const std::string_view key : keys) {
+    out->push_back(Get(key));
+  }
+}
+
+void KvShard::MultiDelete(const std::vector<std::string_view>& keys,
+                          std::vector<Status>* statuses) {
+  statuses->clear();
+  statuses->reserve(keys.size());
+  for (const std::string_view key : keys) {
+    statuses->push_back(Delete(key));
+  }
+}
+
 size_t KvShard::SplitOff(
     uint32_t from_slot, std::vector<std::pair<std::string, std::string>>* out) {
   const uint32_t total = total_slots_;

@@ -32,6 +32,9 @@ class KvShard : public BlockContent {
   // Per-pair metadata overhead charged against capacity.
   static constexpr size_t kPerPairOverhead = 8;
 
+  // Tag for ContentAs<KvShard> (block.h).
+  static constexpr DsType kContentType = DsType::kKvStore;
+
   KvShard(size_t capacity, uint32_t slot_lo, uint32_t slot_hi,
           uint32_t total_slots);
 
@@ -54,6 +57,20 @@ class KvShard : public BlockContent {
 
   // deleteOp.
   Status Delete(std::string_view key);
+
+  // --- Batch operators (DESIGN.md §7) ---------------------------------------
+  //
+  // Each applies a whole group under the caller's single block-lock hold and
+  // reports per-item outcomes aligned with the input; an item's status is
+  // exactly what the corresponding single op would have returned, so a batch
+  // never reports success for an item that was not applied.
+  void MultiPut(
+      const std::vector<std::pair<std::string_view, std::string_view>>& pairs,
+      std::vector<Status>* statuses);
+  void MultiGet(const std::vector<std::string_view>& keys,
+                std::vector<Result<std::string>>* out) const;
+  void MultiDelete(const std::vector<std::string_view>& keys,
+                   std::vector<Status>* statuses);
 
   bool OwnsKey(std::string_view key) const;
   bool OwnsSlot(uint32_t slot) const {

@@ -1,5 +1,7 @@
 #include "src/ds/queue_content.h"
 
+#include <algorithm>
+
 #include "src/common/serde.h"
 
 namespace jiffy {
@@ -51,6 +53,27 @@ Result<std::string> QueueSegment::Dequeue() {
   std::string item = std::move(items_.front());
   items_.pop_front();
   return item;
+}
+
+size_t QueueSegment::EnqueueBatch(std::vector<std::string>* items,
+                                  size_t from) {
+  size_t accepted = 0;
+  for (size_t i = from; i < items->size(); ++i) {
+    if (!Enqueue(std::move((*items)[i]))) {
+      break;
+    }
+    ++accepted;
+  }
+  return accepted;
+}
+
+size_t QueueSegment::DequeueBatch(size_t max_n, std::vector<std::string>* out) {
+  const size_t n = std::min(max_n, items_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  return n;
 }
 
 Result<std::string> QueueSegment::Peek() const {

@@ -27,6 +27,9 @@ class QueueSegment : public BlockContent {
   // enqueued").
   static constexpr size_t kPerItemOverhead = 16;
 
+  // Tag for ContentAs<QueueSegment> (block.h).
+  static constexpr DsType kContentType = DsType::kQueue;
+
   explicit QueueSegment(size_t capacity);
 
   DsType type() const override { return DsType::kQueue; }
@@ -47,6 +50,17 @@ class QueueSegment : public BlockContent {
 
   // Oldest item without removing it.
   Result<std::string> Peek() const;
+
+  // --- Batch operators (DESIGN.md §7) ---------------------------------------
+
+  // Enqueues (*items)[from..] in order until one would overflow (that item
+  // and its successors are left intact and the segment seals, as Enqueue).
+  // Returns the number of items accepted.
+  size_t EnqueueBatch(std::vector<std::string>* items, size_t from);
+
+  // Pops up to `max_n` oldest items into `out` (appended in FIFO order);
+  // returns the number popped (0 when this segment is empty).
+  size_t DequeueBatch(size_t max_n, std::vector<std::string>* out);
 
   size_t item_count() const { return items_.size(); }
   bool Empty() const { return items_.empty(); }

@@ -1,10 +1,59 @@
 #include "src/frameworks/dataflow.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 namespace jiffy {
+
+QueueChannelWriter::QueueChannelWriter(QueueClient* queue, Pipeline* pipe,
+                                       size_t batch_size)
+    : queue_(queue), pipe_(pipe), batch_size_(std::max<size_t>(1, batch_size)) {
+  buffer_.reserve(batch_size_);
+}
+
+void QueueChannelWriter::Write(std::string item) {
+  buffer_.push_back(std::move(item));
+  if (buffer_.size() >= batch_size_) {
+    SubmitBuffered();
+  }
+}
+
+void QueueChannelWriter::SubmitBuffered() {
+  if (buffer_.empty()) {
+    return;
+  }
+  std::vector<std::string> batch;
+  batch.swap(buffer_);
+  buffer_.reserve(batch_size_);
+  {
+    // One in-flight batch per channel keeps the queue's FIFO order.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !batch_in_flight_; });
+    batch_in_flight_ = true;
+  }
+  pipe_->Submit([this, batch = std::move(batch)]() mutable -> Status {
+    const Status st = queue_->EnqueueBatch(std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!st.ok() && error_.ok()) {
+        error_ = st;
+      }
+      batch_in_flight_ = false;
+    }
+    cv_.notify_all();
+    return st;
+  });
+}
+
+Status QueueChannelWriter::Flush() {
+  SubmitBuffered();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !batch_in_flight_; });
+  return error_;
+}
 
 FileClient* VertexContext::InputFile(const std::string& from) {
   auto it = in_files_.find(from);
@@ -24,6 +73,37 @@ QueueClient* VertexContext::InputQueue(const std::string& from) {
 QueueClient* VertexContext::OutputQueue(const std::string& to) {
   auto it = out_queues_.find(to);
   return it == out_queues_.end() ? nullptr : it->second;
+}
+
+QueueChannelWriter* VertexContext::BatchWriter(const std::string& to) {
+  auto it = writers_.find(to);
+  if (it != writers_.end()) {
+    return it->second.get();
+  }
+  QueueClient* queue = OutputQueue(to);
+  if (queue == nullptr) {
+    return nullptr;
+  }
+  if (pipe_ == nullptr) {
+    pipe_ = std::make_unique<Pipeline>(kChannelPipelineDepth);
+  }
+  auto writer =
+      std::make_unique<QueueChannelWriter>(queue, pipe_.get(), kChannelBatchSize);
+  QueueChannelWriter* raw = writer.get();
+  writers_.emplace(to, std::move(writer));
+  return raw;
+}
+
+Status VertexContext::FlushWriters() {
+  Status first;
+  for (auto& [to, writer] : writers_) {
+    (void)to;
+    const Status st = writer->Flush();
+    if (first.ok() && !st.ok()) {
+      first = st;
+    }
+  }
+  return first;
 }
 
 bool VertexContext::UpstreamDone(const std::string& from) const {
@@ -180,6 +260,12 @@ Status DataflowGraph::Run(JiffyClient* client) {
       launched = true;
       run.thread = std::thread([&, vertex = name] {
         Status st = vertices_[vertex].fn(runs[vertex].ctx);
+        // Drain any batched channel writers the body left open; a flush
+        // error fails the vertex like any other write error.
+        const Status fst = runs[vertex].ctx.FlushWriters();
+        if (st.ok()) {
+          st = fst;
+        }
         std::lock_guard<std::mutex> inner(mu);
         VertexRun& r = runs[vertex];
         r.result = st;

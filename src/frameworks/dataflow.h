@@ -11,19 +11,55 @@
 #ifndef SRC_FRAMEWORKS_DATAFLOW_H_
 #define SRC_FRAMEWORKS_DATAFLOW_H_
 
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/client/jiffy_client.h"
+#include "src/client/pipeline.h"
 
 namespace jiffy {
 
 enum class ChannelType {
   kFile,   // Batch: consumer starts after the producer completes.
   kQueue,  // Streaming: consumer starts with the producer and overlaps it.
+};
+
+// Batched, pipelined producer side of a streaming (queue) channel
+// (DESIGN.md §7). Write() buffers items; every `batch_size` items one
+// QueueClient::EnqueueBatch is issued through the shared Pipeline. The
+// writer never has two of its own batches in flight at once — channel FIFO
+// order is preserved — but batches of *different* channels overlap through
+// the shared pipeline, which is where the round-trip hiding comes from.
+class QueueChannelWriter {
+ public:
+  QueueChannelWriter(QueueClient* queue, Pipeline* pipe, size_t batch_size);
+
+  QueueChannelWriter(const QueueChannelWriter&) = delete;
+  QueueChannelWriter& operator=(const QueueChannelWriter&) = delete;
+
+  // Buffers `item`; submits a pipelined EnqueueBatch when full.
+  void Write(std::string item);
+
+  // Submits any buffered remainder and waits for this writer's outstanding
+  // batch; returns the first enqueue error seen on this channel.
+  Status Flush();
+
+ private:
+  void SubmitBuffered();  // Caller must NOT hold mu_.
+
+  QueueClient* const queue_;
+  Pipeline* const pipe_;
+  const size_t batch_size_;
+  std::vector<std::string> buffer_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool batch_in_flight_ = false;
+  Status error_;
 };
 
 // Handed to a vertex body: its input/output channel handles.
@@ -35,17 +71,33 @@ class VertexContext {
   QueueClient* InputQueue(const std::string& from);
   QueueClient* OutputQueue(const std::string& to);
 
+  // Batched, pipelined writer over the output queue channel to `to`
+  // (created on first use, shared Pipeline per vertex). Writers are flushed
+  // automatically when the vertex body returns; flush errors fail the
+  // vertex. nullptr when no queue channel to `to` exists.
+  QueueChannelWriter* BatchWriter(const std::string& to);
+
   // True once every producer feeding queue `from` has completed and the
   // queue is drained — the streaming-consumer termination test.
   bool UpstreamDone(const std::string& from) const;
 
  private:
   friend class DataflowGraph;
+
+  // Flushes every BatchWriter; returns the first error.
+  Status FlushWriters();
+
   std::map<std::string, FileClient*> in_files_;
   std::map<std::string, FileClient*> out_files_;
   std::map<std::string, QueueClient*> in_queues_;
   std::map<std::string, QueueClient*> out_queues_;
   std::function<bool(const std::string&)> upstream_done_;
+  std::unique_ptr<Pipeline> pipe_;
+  std::map<std::string, std::unique_ptr<QueueChannelWriter>> writers_;
+
+  // Channel batching knobs (kept modest: streaming latency vs. batching).
+  static constexpr size_t kChannelBatchSize = 64;
+  static constexpr size_t kChannelPipelineDepth = 4;
 };
 
 class DataflowGraph {

@@ -49,6 +49,10 @@ class MapReduceJob {
     ReduceFn combiner;
     // Optional custom partitioner (default: key-hash modulo R).
     PartitionFn partitioner;
+    // Shuffle writes from one map task to its R shuffle files are issued
+    // through a Pipeline of this depth, overlapping the per-file append
+    // round trips (DESIGN.md §7). 1 = fully serialized (legacy behavior).
+    int shuffle_pipeline_depth = 4;
   };
 
   MapReduceJob(JiffyClient* client, std::string job_id, Options options);

@@ -4,20 +4,39 @@
 
 namespace jiffy {
 
-DurationNs NetworkModel::OneWay(size_t bytes, Rng* rng) const {
-  DurationNs t = base_latency;
-  if (bandwidth_bytes_per_sec > 0.0) {
+namespace {
+
+template <typename RngT>
+DurationNs OneWayCost(const NetworkModel& m, size_t bytes, RngT* rng) {
+  DurationNs t = m.base_latency;
+  if (m.bandwidth_bytes_per_sec > 0.0) {
     t += static_cast<DurationNs>(static_cast<double>(bytes) /
-                                 bandwidth_bytes_per_sec * 1e9);
+                                 m.bandwidth_bytes_per_sec * 1e9);
   }
-  if (jitter > 0 && rng != nullptr) {
-    t += static_cast<DurationNs>(rng->NextBelow(static_cast<uint64_t>(jitter) + 1));
+  if (m.jitter > 0 && rng != nullptr) {
+    t += static_cast<DurationNs>(
+        rng->NextBelow(static_cast<uint64_t>(m.jitter) + 1));
   }
   return t;
 }
 
+}  // namespace
+
+DurationNs NetworkModel::OneWay(size_t bytes, Rng* rng) const {
+  return OneWayCost(*this, bytes, rng);
+}
+
+DurationNs NetworkModel::OneWay(size_t bytes, AtomicRng* rng) const {
+  return OneWayCost(*this, bytes, rng);
+}
+
 DurationNs NetworkModel::RoundTrip(size_t req_bytes, size_t resp_bytes,
                                    Rng* rng) const {
+  return OneWay(req_bytes, rng) + OneWay(resp_bytes, rng) + service_floor;
+}
+
+DurationNs NetworkModel::RoundTrip(size_t req_bytes, size_t resp_bytes,
+                                   AtomicRng* rng) const {
   return OneWay(req_bytes, rng) + OneWay(resp_bytes, rng) + service_floor;
 }
 
@@ -41,19 +60,22 @@ void Transport::BindMetrics(obs::MetricsRegistry* registry,
   m_ops_ = registry->GetCounter(ns + "ops_total");
   m_bytes_ = registry->GetCounter(ns + "bytes_total");
   m_rtt_ns_ = registry->GetHistogram(ns + "rtt_ns");
+  m_batch_ops_ = registry->GetCounter(ns + "batch_ops");
+  m_batch_size_ = registry->GetHistogram(ns + "batch_size");
 }
 
 DurationNs Transport::PeekRoundTrip(size_t req_bytes, size_t resp_bytes) {
-  std::lock_guard<std::mutex> lock(rng_mu_);
   return model_.RoundTrip(req_bytes, resp_bytes, &rng_);
 }
 
-DurationNs Transport::RoundTrip(size_t req_bytes, size_t resp_bytes) {
+DurationNs Transport::ApplyExchange(size_t n_ops, size_t req_bytes,
+                                    size_t resp_bytes) {
   const DurationNs cost = PeekRoundTrip(req_bytes, resp_bytes);
-  total_ops_.fetch_add(1, std::memory_order_relaxed);
+  total_ops_.fetch_add(n_ops, std::memory_order_relaxed);
+  total_rpcs_.fetch_add(1, std::memory_order_relaxed);
   total_bytes_.fetch_add(req_bytes + resp_bytes, std::memory_order_relaxed);
   total_time_.fetch_add(cost, std::memory_order_relaxed);
-  obs::Inc(m_ops_);
+  obs::Inc(m_ops_, n_ops);
   obs::Inc(m_bytes_, req_bytes + resp_bytes);
   obs::Observe(m_rtt_ns_, cost);
   obs::Tracer* tracer = obs::Tracer::Global();
@@ -67,6 +89,20 @@ DurationNs Transport::RoundTrip(size_t req_bytes, size_t resp_bytes) {
     clock_->SleepFor(cost);
   }
   return cost;
+}
+
+DurationNs Transport::RoundTrip(size_t req_bytes, size_t resp_bytes) {
+  return ApplyExchange(1, req_bytes, resp_bytes);
+}
+
+DurationNs Transport::RoundTripBatch(size_t n_ops, size_t req_bytes,
+                                     size_t resp_bytes) {
+  if (n_ops == 0) {
+    return 0;
+  }
+  obs::Inc(m_batch_ops_, n_ops);
+  obs::Observe(m_batch_size_, static_cast<int64_t>(n_ops));
+  return ApplyExchange(n_ops, req_bytes, resp_bytes);
 }
 
 }  // namespace jiffy

@@ -18,7 +18,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "src/common/clock.h"
 #include "src/common/random.h"
@@ -40,10 +39,20 @@ struct NetworkModel {
 
   // One-way transfer time for `bytes`.
   DurationNs OneWay(size_t bytes, Rng* rng) const;
+  DurationNs OneWay(size_t bytes, AtomicRng* rng) const;
+  DurationNs OneWay(size_t bytes, std::nullptr_t) const {
+    return OneWay(bytes, static_cast<Rng*>(nullptr));
+  }
 
   // Full request/response exchange: request of `req_bytes` out, response of
   // `resp_bytes` back, plus the service floor.
   DurationNs RoundTrip(size_t req_bytes, size_t resp_bytes, Rng* rng) const;
+  DurationNs RoundTrip(size_t req_bytes, size_t resp_bytes,
+                       AtomicRng* rng) const;
+  DurationNs RoundTrip(size_t req_bytes, size_t resp_bytes,
+                       std::nullptr_t) const {
+    return RoundTrip(req_bytes, resp_bytes, static_cast<Rng*>(nullptr));
+  }
 
   // --- Canned models -----------------------------------------------------
 
@@ -73,24 +82,42 @@ class Transport {
   // Computes the round-trip cost, applies it per the mode, and returns it.
   DurationNs RoundTrip(size_t req_bytes, size_t resp_bytes);
 
+  // Batched exchange: `n_ops` data-structure operations coalesced into one
+  // request/response pair whose payloads are the group's summed bytes. The
+  // wire amortizes exactly what a real pipelined RPC stack amortizes — one
+  // propagation + service-floor charge for the whole group — while transfer
+  // time still scales with the bytes moved. Counts as ONE exchange in
+  // total_rpcs() and `n_ops` operations in total_ops().
+  DurationNs RoundTripBatch(size_t n_ops, size_t req_bytes, size_t resp_bytes);
+
   // Cost without applying (for planning / accounting).
   DurationNs PeekRoundTrip(size_t req_bytes, size_t resp_bytes);
 
   const NetworkModel& model() const { return model_; }
   Mode mode() const { return mode_; }
 
-  // Cumulative accounting (bytes on the wire, time charged, ops).
+  // Cumulative accounting (bytes on the wire, time charged, ops). `ops`
+  // counts data-structure operations carried; `rpcs` counts wire exchanges
+  // (a batch is one exchange carrying many ops).
   uint64_t total_ops() const { return total_ops_.load(); }
+  uint64_t total_rpcs() const { return total_rpcs_.load(); }
   uint64_t total_bytes() const { return total_bytes_.load(); }
   DurationNs total_time() const { return total_time_.load(); }
 
  private:
+  // Records accounting/metrics for one exchange carrying `n_ops` operations
+  // and applies the cost per the mode.
+  DurationNs ApplyExchange(size_t n_ops, size_t req_bytes, size_t resp_bytes);
+
   NetworkModel model_;
   Mode mode_;
   Clock* clock_;
-  std::mutex rng_mu_;
-  Rng rng_;
+  // Jitter sampling is lock-free so concurrent closed-loop clients don't
+  // serialize on the transport (single-threaded sequences stay identical to
+  // the seeded mutex-free Rng).
+  AtomicRng rng_;
   std::atomic<uint64_t> total_ops_{0};
+  std::atomic<uint64_t> total_rpcs_{0};
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<DurationNs> total_time_{0};
 
@@ -100,6 +127,9 @@ class Transport {
   obs::Counter* m_ops_ = nullptr;
   obs::Counter* m_bytes_ = nullptr;
   Histogram* m_rtt_ns_ = nullptr;
+  // Batch-path metrics: operations carried in batches + batch-size shape.
+  obs::Counter* m_batch_ops_ = nullptr;
+  Histogram* m_batch_size_ = nullptr;
 };
 
 }  // namespace jiffy

@@ -1,0 +1,348 @@
+// Tests for the batched data plane (DESIGN.md §7): multi-op client APIs,
+// per-block coalescing on the wire (RoundTripBatch accounting), per-item
+// statuses, merged stale-metadata retries under concurrent repartitioning,
+// replicated batches, and degenerate (empty/oversized) batches.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/client/jiffy_client.h"
+#include "src/ds/kv_content.h"
+#include "src/ds/queue_content.h"
+
+namespace jiffy {
+namespace {
+
+class BatchOpsTest : public ::testing::Test {
+ protected:
+  explicit BatchOpsTest(size_t block_size = 4096) {
+    JiffyCluster::Options opts;
+    opts.config.num_memory_servers = 4;
+    opts.config.blocks_per_server = 64;
+    opts.config.block_size_bytes = block_size;
+    opts.config.lease_duration = 3600 * kSecond;
+    cluster_ = std::make_unique<JiffyCluster>(opts);
+    client_ = std::make_unique<JiffyClient>(cluster_.get());
+    EXPECT_TRUE(client_->RegisterJob("job").ok());
+  }
+
+  CreateOptions Replicated(uint32_t r) {
+    CreateOptions opts;
+    opts.replication_factor = r;
+    return opts;
+  }
+
+  std::unique_ptr<JiffyCluster> cluster_;
+  std::unique_ptr<JiffyClient> client_;
+};
+
+// Large blocks: no repartitioning noise, exact wire accounting.
+class BatchOpsBigBlockTest : public BatchOpsTest {
+ protected:
+  BatchOpsBigBlockTest() : BatchOpsTest(1 << 20) {}
+};
+
+// --- KV ----------------------------------------------------------------------
+
+TEST_F(BatchOpsBigBlockTest, MultiPutCoalescesToOneExchangePerBlock) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  ASSERT_EQ((*kv)->CachedMap().entries.size(), 1u);
+
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 32; ++i) {
+    pairs.emplace_back("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  Transport* net = cluster_->data_transport();
+  const uint64_t rpcs0 = net->total_rpcs();
+  const uint64_t ops0 = net->total_ops();
+  for (const Status& st : (*kv)->MultiPut(pairs)) {
+    EXPECT_TRUE(st.ok());
+  }
+  // One destination block → one coalesced exchange carrying all 32 ops.
+  EXPECT_EQ(net->total_rpcs() - rpcs0, 1u);
+  EXPECT_EQ(net->total_ops() - ops0, 32u);
+
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : pairs) {
+    (void)v;
+    keys.push_back(k);
+  }
+  const uint64_t rpcs1 = net->total_rpcs();
+  auto results = (*kv)->MultiGet(keys);
+  EXPECT_EQ(net->total_rpcs() - rpcs1, 1u);
+  ASSERT_EQ(results.size(), keys.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_EQ(*results[i], pairs[i].second);
+  }
+}
+
+TEST_F(BatchOpsBigBlockTest, MultiGetReportsPerItemHitAndMiss) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE((*kv)->Put("present", "x").ok());
+  auto results = (*kv)->MultiGet({"present", "absent", "present"});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(*results[0], "x");
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST_F(BatchOpsBigBlockTest, MultiDeleteReportsPerItemStatus) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE((*kv)->Put("a", "1").ok());
+  ASSERT_TRUE((*kv)->Put("b", "2").ok());
+  auto statuses = (*kv)->MultiDelete({"a", "missing", "b"});
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_EQ(statuses[1].code(), StatusCode::kNotFound);
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_EQ((*kv)->Get("a").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BatchOpsTest, MultiPutSpansMultipleBlocks) {
+  // 4 KiB blocks: enough pairs split the slot range across several blocks;
+  // the batch must land every item regardless of how the map fragments.
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 300; ++i) {
+    pairs.emplace_back("key" + std::to_string(i), std::string(32, 'v'));
+  }
+  for (const Status& st : (*kv)->MultiPut(pairs)) {
+    ASSERT_TRUE(st.ok());
+  }
+  EXPECT_GT((*kv)->CachedMap().entries.size(), 1u);
+  auto results = (*kv)->MultiGet({"key0", "key150", "key299"});
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 32u);
+  }
+}
+
+TEST_F(BatchOpsTest, MultiPutRacingConcurrentSplitNeverDropsAppliedItems) {
+  // Writer A's cached map goes stale when writer B's traffic splits the
+  // shard mid-run. The per-item retry merge must re-send ONLY displaced
+  // items, and a status of Ok must mean the item is actually readable.
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}).ok());
+  auto kv_a = client_->OpenKv("/job/kv");
+  auto kv_b = client_->OpenKv("/job/kv");
+  ASSERT_TRUE(kv_a.ok());
+  ASSERT_TRUE(kv_b.ok());
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    int i = 0;
+    while (!stop.load()) {
+      (*kv_b)->Put("churn" + std::to_string(i++ % 512), std::string(64, 'c'));
+    }
+  });
+
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int round = 0; round < 20; ++round) {
+    pairs.clear();
+    for (int i = 0; i < 64; ++i) {
+      pairs.emplace_back("batch" + std::to_string(round) + "-" +
+                             std::to_string(i),
+                         "v" + std::to_string(round));
+    }
+    auto statuses = (*kv_a)->MultiPut(pairs);
+    ASSERT_EQ(statuses.size(), pairs.size());
+    for (size_t i = 0; i < statuses.size(); ++i) {
+      ASSERT_TRUE(statuses[i].ok()) << statuses[i].ToString();
+      // Success must imply the item was applied, split races included.
+      auto got = (*kv_a)->Get(pairs[i].first);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(*got, pairs[i].second);
+    }
+  }
+  stop.store(true);
+  churn.join();
+}
+
+TEST_F(BatchOpsBigBlockTest, ReplicatedMultiPutReachesAllReplicas) {
+  ASSERT_TRUE(
+      client_->CreateAddrPrefix("/job/kv", {}, Replicated(3)).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 16; ++i) {
+    pairs.emplace_back("r" + std::to_string(i), "val" + std::to_string(i));
+  }
+  Transport* net = cluster_->data_transport();
+  const uint64_t rpcs0 = net->total_rpcs();
+  for (const Status& st : (*kv)->MultiPut(pairs)) {
+    ASSERT_TRUE(st.ok());
+  }
+  // Primary exchange + one coalesced chain hop per replica.
+  EXPECT_EQ(net->total_rpcs() - rpcs0, 3u);
+  auto map = (*kv)->CachedMap();
+  ASSERT_EQ(map.entries.size(), 1u);
+  ASSERT_EQ(map.entries[0].replicas.size(), 2u);
+  for (const BlockId& rid : map.entries[0].replicas) {
+    Block* rb = cluster_->ResolveBlock(rid);
+    ASSERT_NE(rb, nullptr);
+    auto* shard = ContentAs<KvShard>(rb->content());
+    ASSERT_NE(shard, nullptr);
+    for (const auto& [k, v] : pairs) {
+      EXPECT_EQ(*shard->Get(k), v);
+    }
+  }
+}
+
+TEST_F(BatchOpsBigBlockTest, EmptyBatchesAreNoOps) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}).ok());
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/q", {}).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  auto q = client_->OpenQueue("/job/q");
+  Transport* net = cluster_->data_transport();
+  const uint64_t rpcs0 = net->total_rpcs();
+  EXPECT_TRUE((*kv)->MultiPut({}).empty());
+  EXPECT_TRUE((*kv)->MultiGet({}).empty());
+  EXPECT_TRUE((*kv)->MultiDelete({}).empty());
+  EXPECT_TRUE((*q)->EnqueueBatch({}).ok());
+  auto drained = (*q)->DequeueBatch(0);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(drained->empty());
+  EXPECT_EQ(net->total_rpcs() - rpcs0, 0u);
+}
+
+// --- Queue -------------------------------------------------------------------
+
+TEST_F(BatchOpsTest, EnqueueBatchSpansSegmentsAndDequeueBatchKeepsFifo) {
+  // 4 KiB segments force the batch to grow the tail mid-way; the suffix
+  // (not the whole batch) must move to the new segment, preserving order.
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/q", {}).ok());
+  auto q = client_->OpenQueue("/job/q");
+  ASSERT_TRUE(q.ok());
+  std::vector<std::string> items;
+  for (int i = 0; i < 200; ++i) {
+    items.push_back("item" + std::to_string(i) + std::string(48, 'x'));
+  }
+  ASSERT_TRUE((*q)->EnqueueBatch(items).ok());
+  EXPECT_GT((*q)->CachedMap().entries.size(), 1u);
+
+  std::vector<std::string> out;
+  while (out.size() < items.size()) {
+    auto batch = (*q)->DequeueBatch(64);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_FALSE(batch->empty()) << "queue drained early at " << out.size();
+    for (auto& item : *batch) {
+      out.push_back(std::move(item));
+    }
+  }
+  EXPECT_EQ(out, items);
+  auto empty = (*q)->DequeueBatch(8);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(BatchOpsBigBlockTest, EnqueueBatchCoalescesAndRespectsBound) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/q", {}).ok());
+  auto q = client_->OpenQueue("/job/q");
+  (*q)->SetMaxQueueLength(10);
+  // Oversized vs the bound: rejected up front, queue untouched.
+  std::vector<std::string> too_many(11, "x");
+  EXPECT_EQ((*q)->EnqueueBatch(too_many).code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*q)->ApproxSize(), 0);
+
+  Transport* net = cluster_->data_transport();
+  const uint64_t rpcs0 = net->total_rpcs();
+  const uint64_t ops0 = net->total_ops();
+  std::vector<std::string> ten(10, "y");
+  ASSERT_TRUE((*q)->EnqueueBatch(ten).ok());
+  EXPECT_EQ(net->total_rpcs() - rpcs0, 1u);
+  EXPECT_EQ(net->total_ops() - ops0, 10u);
+  EXPECT_EQ((*q)->ApproxSize(), 10);
+}
+
+TEST_F(BatchOpsBigBlockTest, ReplicatedQueueBatchesStayInSync) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/q", {}, Replicated(2)).ok());
+  auto q = client_->OpenQueue("/job/q");
+  ASSERT_TRUE(q.ok());
+  std::vector<std::string> items;
+  for (int i = 0; i < 24; ++i) {
+    items.push_back("it" + std::to_string(i));
+  }
+  ASSERT_TRUE((*q)->EnqueueBatch(items).ok());
+  auto map = (*q)->CachedMap();
+  ASSERT_EQ(map.entries[0].replicas.size(), 1u);
+  {
+    Block* rb = cluster_->ResolveBlock(map.entries[0].replicas[0]);
+    ASSERT_NE(rb, nullptr);
+    auto* seg = ContentAs<QueueSegment>(rb->content());
+    ASSERT_NE(seg, nullptr);
+    EXPECT_EQ(seg->item_count(), items.size());
+  }
+  auto half = (*q)->DequeueBatch(12);
+  ASSERT_TRUE(half.ok());
+  ASSERT_EQ(half->size(), 12u);
+  {
+    Block* rb = cluster_->ResolveBlock(map.entries[0].replicas[0]);
+    auto* seg = ContentAs<QueueSegment>(rb->content());
+    ASSERT_NE(seg, nullptr);
+    EXPECT_EQ(seg->item_count(), items.size() - 12);
+  }
+}
+
+// --- File --------------------------------------------------------------------
+
+TEST_F(BatchOpsTest, AppendVecSpansChunksAndReadVecStitches) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/f", {}).ok());
+  auto file = client_->OpenFile("/job/f");
+  ASSERT_TRUE(file.ok());
+  std::vector<std::string> pieces;
+  std::string expect;
+  for (int i = 0; i < 40; ++i) {
+    pieces.push_back(std::string(200, static_cast<char>('a' + i % 26)));
+    expect += pieces.back();
+  }
+  std::vector<std::string_view> views(pieces.begin(), pieces.end());
+  auto off = (*file)->AppendVec(views);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(*off, 0u);
+  // 40 × 200 B ≫ one 4 KiB chunk: the scatter list crossed chunks.
+  EXPECT_GT((*file)->CachedMap().entries.size(), 1u);
+  auto whole = (*file)->Read(0, expect.size());
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(*whole, expect);
+
+  auto parts = (*file)->ReadVec(
+      {{0, 100}, {3500, 1000}, {expect.size() - 10, 100}, {expect.size() + 5000, 7}});
+  ASSERT_EQ(parts.size(), 4u);
+  ASSERT_TRUE(parts[0].ok());
+  EXPECT_EQ(*parts[0], expect.substr(0, 100));
+  ASSERT_TRUE(parts[1].ok());
+  EXPECT_EQ(*parts[1], expect.substr(3500, 1000));
+  ASSERT_TRUE(parts[2].ok());
+  EXPECT_EQ(*parts[2], expect.substr(expect.size() - 10));  // Short at EOF.
+  ASSERT_TRUE(parts[3].ok());
+  EXPECT_TRUE(parts[3]->empty());  // Entirely past EOF.
+}
+
+TEST_F(BatchOpsBigBlockTest, AppendVecEmptyAndReadVecCoalesce) {
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/f", {}).ok());
+  auto file = client_->OpenFile("/job/f");
+  auto off = (*file)->AppendVec({});
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE((*file)->AppendVec({"hello ", "", "world"}).ok());
+  Transport* net = cluster_->data_transport();
+  const uint64_t rpcs0 = net->total_rpcs();
+  auto parts = (*file)->ReadVec({{0, 5}, {6, 5}});
+  EXPECT_EQ(net->total_rpcs() - rpcs0, 1u);  // Same chunk → one exchange.
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(*parts[0], "hello");
+  EXPECT_EQ(*parts[1], "world");
+}
+
+}  // namespace
+}  // namespace jiffy

@@ -235,7 +235,9 @@ TEST(SerdeTest, RoundTrip) {
 TEST(SerdeTest, TruncationDetected) {
   std::string buf;
   PutString(&buf, "hello");
-  SerdeReader r(buf.substr(0, buf.size() - 2));
+  // Keep the truncated buffer alive: SerdeReader holds a view, not a copy.
+  const std::string truncated = buf.substr(0, buf.size() - 2);
+  SerdeReader r(truncated);
   EXPECT_EQ(r.ReadString().status().code(), StatusCode::kInternal);
 }
 
