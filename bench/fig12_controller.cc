@@ -9,14 +9,24 @@
 //  (b) Aggregate throughput scaling with shard count (the paper's per-core
 //      hash partitioning of address hierarchies): near-linear up to the
 //      machine's cores.
+//  (c) Same-shard multi-job concurrency: all jobs hash to ONE shard, each
+//      with a 16-node DAG, no emulated service time — measuring the raw
+//      control-plane synchronization cost (two-level job locking + memoized
+//      renewal fan-out, DESIGN.md §8). Under the old single global mutex
+//      every renewal re-walked the DAG closure while holding the shard-wide
+//      lock; results are written to BENCH_fig12_controller.json so the
+//      committed baseline tracks regressions.
 //  (§6.4) Per-task/per-block metadata overhead measured from the live
 //      hierarchy (paper: 64 B/task + 8 B/block, <0.0001 % of data).
+//
+// Flags: --smoke  (short durations for CI; skips nothing, shrinks duration)
 //
 // NOTE: this bench runs real threads against the real controller; expect it
 // to take a few seconds.
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -90,6 +100,71 @@ LoadPoint RunClosedLoop(JiffyCluster* cluster, int clients,
   return p;
 }
 
+// Section (c): `clients` jobs, ALL on shard 0, each owning a 16-node chain
+// DAG. 3:1 renewals (rotating over all 16 prefixes, so every renewal has a
+// multi-node fan-out) to map fetches. No emulated service time: the measured
+// cost is the controller's own synchronization.
+LoadPoint RunSameShardLoop(JiffyCluster* cluster, int clients,
+                           DurationNs duration) {
+  constexpr int kDagNodes = 16;
+  Controller* ctl = cluster->controller_shard(0);
+  for (int c = 0; c < clients; ++c) {
+    const std::string job = "mjob" + std::to_string(c);
+    ctl->RegisterJob(job);
+    std::vector<std::pair<std::string, std::vector<std::string>>> dag;
+    for (int n = 0; n < kDagNodes; ++n) {
+      std::vector<std::string> parents;
+      if (n > 0) {
+        parents.push_back("n" + std::to_string(n - 1));
+      }
+      dag.emplace_back("n" + std::to_string(n), std::move(parents));
+    }
+    ctl->CreateHierarchy(job, dag);
+    ctl->InitDataStructure(job, "n0", DsType::kKvStore, 0);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<uint64_t> total_latency_ns{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::string job = "mjob" + std::to_string(c);
+      RealClock* clock = RealClock::Instance();
+      uint64_t ops = 0, lat = 0;
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const TimeNs t0 = clock->Now();
+        if (i % 4 == 3) {
+          ctl->GetPartitionMap(job, "n0");
+        } else {
+          ctl->RenewLease(job, "n" + std::to_string(i % kDagNodes));
+        }
+        i++;
+        lat += static_cast<uint64_t>(clock->Now() - t0);
+        ops++;
+      }
+      total_ops.fetch_add(ops);
+      total_latency_ns.fetch_add(lat);
+    });
+  }
+  RealClock::Instance()->SleepFor(duration);
+  stop.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int c = 0; c < clients; ++c) {
+    ctl->DeregisterJob("mjob" + std::to_string(c));
+  }
+  LoadPoint p;
+  const double secs = static_cast<double>(duration) / 1e9;
+  p.kops = static_cast<double>(total_ops.load()) / secs / 1e3;
+  p.mean_latency_us = total_ops.load() > 0
+                          ? static_cast<double>(total_latency_ns.load()) /
+                                static_cast<double>(total_ops.load()) / 1e3
+                          : 0.0;
+  return p;
+}
+
 std::unique_ptr<JiffyCluster> MakeCluster(uint32_t shards,
                                           bool service_sleeps = false) {
   JiffyCluster::Options opts;
@@ -107,7 +182,15 @@ std::unique_ptr<JiffyCluster> MakeCluster(uint32_t shards,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  const DurationNs round = (smoke ? 60 : 400) * kMillisecond;
+
   PrintHeader("Fig 12", "Controller throughput/latency and multi-core scaling");
   // Trace the whole run; exported as Chrome trace_event JSON at the end.
   obs::Tracer::Global()->SetEnabled(true);
@@ -115,8 +198,11 @@ int main() {
   std::printf("\n(a) Single shard (1 core): throughput vs latency\n");
   std::printf("%10s %12s %16s\n", "clients", "KOps", "mean latency(us)");
   for (int clients : {1, 2, 4, 8, 16, 32}) {
+    if (smoke && clients > 8) {
+      continue;
+    }
     auto cluster = MakeCluster(1);
-    LoadPoint p = RunClosedLoop(cluster.get(), clients, 400 * kMillisecond);
+    LoadPoint p = RunClosedLoop(cluster.get(), clients, round);
     std::printf("%10d %12.1f %16.1f\n", clients, p.kops, p.mean_latency_us);
   }
 
@@ -137,13 +223,53 @@ int main() {
     auto cluster = MakeCluster(shards, sleeps);
     // 2 closed-loop clients per shard keeps every shard saturated.
     LoadPoint p =
-        RunClosedLoop(cluster.get(), static_cast<int>(shards) * 2,
-                      400 * kMillisecond);
+        RunClosedLoop(cluster.get(), static_cast<int>(shards) * 2, round);
     if (shards == 1) {
       base_kops = p.kops;
     }
     std::printf("%10u %12.1f %13.2fx\n", shards, p.kops,
                 base_kops > 0 ? p.kops / base_kops : 0.0);
+  }
+
+  std::printf(
+      "\n(c) Same-shard multi-job concurrency (1 shard, no emulated service\n"
+      "    time, 16-node DAG per job, 3:1 renew:getPartitionMap)\n");
+  std::printf("%10s %12s %16s\n", "clients", "KOps", "mean latency(us)");
+  std::string json = "{\n  \"bench\": \"fig12_controller\",\n"
+                     "  \"section_c\": {\n    \"shards\": 1,\n"
+                     "    \"dag_nodes\": 16,\n"
+                     "    \"mix\": \"3:1 renewLease:getPartitionMap\",\n"
+                     "    \"points\": [\n";
+  bool first = true;
+  for (int clients : {1, 2, 4, 8}) {
+    // No per-op service-time emulation: measure synchronization itself.
+    // (MakeCluster sets 20us; use a dedicated config instead.)
+    JiffyCluster::Options opts;
+    opts.config.num_memory_servers = 4;
+    opts.config.blocks_per_server = 1024;
+    opts.config.block_size_bytes = 64 << 10;
+    opts.config.lease_duration = 3600 * kSecond;
+    opts.config.controller_shards = 1;
+    opts.config.controller_service_time = 0;
+    auto raw = std::make_unique<JiffyCluster>(opts);
+    LoadPoint p = RunSameShardLoop(raw.get(), clients, round);
+    std::printf("%10d %12.1f %16.1f\n", clients, p.kops, p.mean_latency_us);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s      {\"clients\": %d, \"kops\": %.1f, "
+                  "\"mean_latency_us\": %.2f}",
+                  first ? "" : ",\n", clients, p.kops, p.mean_latency_us);
+    json += buf;
+    first = false;
+  }
+  json += "\n    ]\n  }\n}\n";
+  {
+    const char* out_path = "BENCH_fig12_controller.json";
+    if (FILE* f = std::fopen(out_path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("  -> %s\n", out_path);
+    }
   }
 
   // §6.4 storage overhead.

@@ -8,40 +8,77 @@ namespace jiffy {
 
 BlockAllocator::BlockAllocator(uint32_t num_servers, uint32_t blocks_per_server)
     : total_(num_servers * blocks_per_server),
-      free_(num_servers),
-      free_total_(total_),
-      server_dead_(num_servers, false) {
+      shards_(num_servers),
+      free_total_(total_) {
   for (uint32_t s = 0; s < num_servers; ++s) {
-    free_[s].reserve(blocks_per_server);
+    shards_[s].free_slots.reserve(blocks_per_server);
     // Push in reverse so low slots pop first (stable, readable diagnostics).
     for (uint32_t slot = blocks_per_server; slot > 0; --slot) {
-      free_[s].push_back(slot - 1);
+      shards_[s].free_slots.push_back(slot - 1);
     }
+    shards_[s].free_hint.store(blocks_per_server, std::memory_order_relaxed);
   }
 }
 
 void BlockAllocator::BindMetrics(obs::MetricsRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mu_);
   m_allocations_ = registry->GetCounter("allocator.allocations_total");
   m_alloc_failures_ = registry->GetCounter("allocator.alloc_failures_total");
   m_frees_ = registry->GetCounter("allocator.frees_total");
   m_free_blocks_ = registry->GetGauge("allocator.free_blocks");
   m_alloc_ns_ = registry->GetHistogram("allocator.alloc_ns");
-  m_free_blocks_->Set(free_total_);
+  m_free_blocks_->Set(free_total_.load(std::memory_order_relaxed));
 }
 
-Result<BlockId> BlockAllocator::AllocateLocked(const std::string& owner) {
-  return AllocateAvoidingLocked(owner, {});
-}
-
-Result<BlockId> BlockAllocator::AllocateAvoidingLocked(
-    const std::string& owner, const std::vector<uint32_t>& avoid) {
-  if (free_total_ == 0) {
-    obs::Inc(m_alloc_failures_);
-    return OutOfMemory("free block list exhausted (" +
-                       std::to_string(total_) + " blocks all allocated)");
+void BlockAllocator::NoteAllocated() {
+  const uint32_t allocated =
+      total_ - free_total_.load(std::memory_order_relaxed);
+  uint32_t prev = peak_allocated_.load(std::memory_order_relaxed);
+  while (prev < allocated &&
+         !peak_allocated_.compare_exchange_weak(prev, allocated,
+                                                std::memory_order_relaxed)) {
   }
-  auto avoided = [&avoid](size_t s) {
+  obs::Inc(m_allocations_);
+  if (m_free_blocks_ != nullptr) {
+    m_free_blocks_->Set(free_total_.load(std::memory_order_relaxed));
+  }
+}
+
+bool BlockAllocator::TryAllocateFrom(uint32_t s, const std::string& owner,
+                                     BlockId* out) {
+  Shard& shard = shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.dead.load(std::memory_order_relaxed) || shard.free_slots.empty()) {
+    return false;
+  }
+  const uint32_t slot = shard.free_slots.back();
+  shard.free_slots.pop_back();
+  shard.free_hint.store(static_cast<uint32_t>(shard.free_slots.size()),
+                        std::memory_order_relaxed);
+  shard.owner_of[slot] = owner;
+  shard.owner_counts[owner]++;
+  // Decrement under the shard lock so this shard's contribution to the
+  // aggregate can never go negative (MarkServerDead subtracts under the
+  // same lock).
+  free_total_.fetch_sub(1, std::memory_order_relaxed);
+  *out = BlockId{s, slot};
+  return true;
+}
+
+Result<BlockId> BlockAllocator::Allocate(const std::string& owner) {
+  return AllocateAvoiding(owner, {});
+}
+
+Result<BlockId> BlockAllocator::AllocateAvoiding(
+    const std::string& owner, const std::vector<uint32_t>& avoid) {
+  JIFFY_TRACE_SPAN("alloc.allocate", "alloc");
+  obs::ScopedTimer timer(m_alloc_ns_);
+  const uint32_t n = static_cast<uint32_t>(shards_.size());
+  if (free_total_.load(std::memory_order_relaxed) == 0) {
+    obs::Inc(m_alloc_failures_);
+    return OutOfMemory("free block list exhausted (" + std::to_string(total_) +
+                       " blocks all allocated)");
+  }
+  auto avoided = [&avoid](uint32_t s) {
     for (const uint32_t a : avoid) {
       if (a == s) {
         return true;
@@ -49,129 +86,173 @@ Result<BlockId> BlockAllocator::AllocateAvoidingLocked(
     }
     return false;
   };
-  // Least-loaded placement among preferred (non-avoided, live) servers;
-  // fall back to any live server with capacity.
-  size_t best = free_.size();
-  for (int pass = 0; pass < 2 && best == free_.size(); ++pass) {
-    for (size_t s = 0; s < free_.size(); ++s) {
-      if (server_dead_[s] || free_[s].empty() ||
+  const uint32_t start = rotor_.fetch_add(1, std::memory_order_relaxed) % n;
+  const uint32_t samples = std::min(kPlacementSamples, n);
+  // Pass 0 places only on preferred (non-avoided) servers; pass 1 falls back
+  // to any live server.
+  for (int pass = 0; pass < 2; ++pass) {
+    // Best-of-K: compare free hints without taking any lock, then lock only
+    // the winner. A stale hint just means a retry below.
+    uint32_t best = n;
+    uint32_t best_free = 0;
+    for (uint32_t i = 0; i < samples; ++i) {
+      const uint32_t s = (start + i) % n;
+      if (shards_[s].dead.load(std::memory_order_relaxed) ||
           (pass == 0 && avoided(s))) {
         continue;
       }
-      if (best == free_.size() || free_[s].size() > free_[best].size()) {
+      const uint32_t f = shards_[s].free_hint.load(std::memory_order_relaxed);
+      if (f > best_free) {
+        best_free = f;
         best = s;
       }
     }
+    BlockId id;
+    if (best < n && TryAllocateFrom(best, owner, &id)) {
+      NoteAllocated();
+      return id;
+    }
+    // Sample missed (stale hint or all sampled servers empty): walk every
+    // eligible shard, locking one at a time.
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t s = (start + i) % n;
+      if (shards_[s].dead.load(std::memory_order_relaxed) ||
+          (pass == 0 && avoided(s))) {
+        continue;
+      }
+      if (TryAllocateFrom(s, owner, &id)) {
+        NoteAllocated();
+        return id;
+      }
+    }
   }
-  if (best == free_.size()) {
-    obs::Inc(m_alloc_failures_);
-    return OutOfMemory("no live server has free blocks");
+  obs::Inc(m_alloc_failures_);
+  if (free_total_.load(std::memory_order_relaxed) == 0) {
+    return OutOfMemory("free block list exhausted (" + std::to_string(total_) +
+                       " blocks all allocated)");
   }
-  const uint32_t slot = free_[best].back();
-  free_[best].pop_back();
-  free_total_--;
-  const BlockId id{static_cast<uint32_t>(best), slot};
-  owner_of_[id.Packed()] = owner;
-  owner_counts_[owner]++;
-  peak_allocated_ = std::max(peak_allocated_, total_ - free_total_);
-  obs::Inc(m_allocations_);
-  if (m_free_blocks_ != nullptr) {
-    m_free_blocks_->Set(free_total_);
-  }
-  return id;
-}
-
-Result<BlockId> BlockAllocator::Allocate(const std::string& owner) {
-  JIFFY_TRACE_SPAN("alloc.allocate", "alloc");
-  obs::ScopedTimer timer(m_alloc_ns_);
-  std::lock_guard<std::mutex> lock(mu_);
-  return AllocateLocked(owner);
+  return OutOfMemory("no live server has free blocks");
 }
 
 Result<std::vector<BlockId>> BlockAllocator::AllocateN(const std::string& owner,
                                                        uint32_t n) {
   JIFFY_TRACE_SPAN("alloc.allocate_n", "alloc");
   obs::ScopedTimer timer(m_alloc_ns_);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (free_total_ < n) {
+  // All-or-nothing requires a consistent view of every free list, so this is
+  // the one operation that locks all shards — in ascending server-id order
+  // (the documented multi-shard lock order). Cold path: initial sizing only.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    locks.emplace_back(shard.mu);
+  }
+  uint32_t free_live = 0;
+  for (const Shard& shard : shards_) {
+    if (!shard.dead.load(std::memory_order_relaxed)) {
+      free_live += static_cast<uint32_t>(shard.free_slots.size());
+    }
+  }
+  if (free_live < n) {
     obs::Inc(m_alloc_failures_);
     return OutOfMemory("need " + std::to_string(n) + " blocks, only " +
-                       std::to_string(free_total_) + " free");
+                       std::to_string(free_live) + " free");
   }
   std::vector<BlockId> out;
   out.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    auto r = AllocateLocked(owner);
-    // Cannot fail: we checked free_total_ under the same lock.
-    out.push_back(*r);
+    // Least-loaded placement under the locks (spreads the initial blocks
+    // across servers like repeated single allocations would).
+    uint32_t best = static_cast<uint32_t>(shards_.size());
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].dead.load(std::memory_order_relaxed) ||
+          shards_[s].free_slots.empty()) {
+        continue;
+      }
+      if (best == shards_.size() ||
+          shards_[s].free_slots.size() > shards_[best].free_slots.size()) {
+        best = s;
+      }
+    }
+    Shard& shard = shards_[best];
+    const uint32_t slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
+    shard.free_hint.store(static_cast<uint32_t>(shard.free_slots.size()),
+                          std::memory_order_relaxed);
+    shard.owner_of[slot] = owner;
+    shard.owner_counts[owner]++;
+    free_total_.fetch_sub(1, std::memory_order_relaxed);
+    out.push_back(BlockId{best, slot});
+    NoteAllocated();
   }
   return out;
 }
 
 Status BlockAllocator::Free(BlockId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = owner_of_.find(id.Packed());
-  if (it == owner_of_.end()) {
-    return InvalidArgument("double free of block " + id.ToString());
-  }
-  auto oc = owner_counts_.find(it->second);
-  if (oc != owner_counts_.end() && --oc->second == 0) {
-    owner_counts_.erase(oc);
-  }
-  owner_of_.erase(it);
-  if (id.server_id >= free_.size()) {
+  if (id.server_id >= shards_.size()) {
     return InvalidArgument("block " + id.ToString() + " from unknown server");
   }
-  if (server_dead_[id.server_id]) {
+  Shard& shard = shards_[id.server_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.owner_of.find(id.slot);
+  if (it == shard.owner_of.end()) {
+    return InvalidArgument("double free of block " + id.ToString());
+  }
+  auto oc = shard.owner_counts.find(it->second);
+  if (oc != shard.owner_counts.end() && --oc->second == 0) {
+    shard.owner_counts.erase(oc);
+  }
+  shard.owner_of.erase(it);
+  if (shard.dead.load(std::memory_order_relaxed)) {
     // The block's server is gone; retire the block instead of returning it
     // to the pool.
     obs::Inc(m_frees_);
     return Status::Ok();
   }
-  free_[id.server_id].push_back(id.slot);
-  free_total_++;
+  shard.free_slots.push_back(id.slot);
+  shard.free_hint.store(static_cast<uint32_t>(shard.free_slots.size()),
+                        std::memory_order_relaxed);
+  free_total_.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(m_frees_);
   if (m_free_blocks_ != nullptr) {
-    m_free_blocks_->Set(free_total_);
+    m_free_blocks_->Set(free_total_.load(std::memory_order_relaxed));
   }
   return Status::Ok();
 }
 
 void BlockAllocator::MarkServerDead(uint32_t server_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (server_id >= free_.size() || server_dead_[server_id]) {
+  if (server_id >= shards_.size()) {
     return;
   }
-  server_dead_[server_id] = true;
-  free_total_ -= static_cast<uint32_t>(free_[server_id].size());
-  free_[server_id].clear();
+  Shard& shard = shards_[server_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.dead.load(std::memory_order_relaxed)) {
+    return;
+  }
+  shard.dead.store(true, std::memory_order_relaxed);
+  free_total_.fetch_sub(static_cast<uint32_t>(shard.free_slots.size()),
+                        std::memory_order_relaxed);
+  shard.free_slots.clear();
+  shard.free_hint.store(0, std::memory_order_relaxed);
+  if (m_free_blocks_ != nullptr) {
+    m_free_blocks_->Set(free_total_.load(std::memory_order_relaxed));
+  }
 }
 
 bool BlockAllocator::IsServerDead(uint32_t server_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return server_id < server_dead_.size() && server_dead_[server_id];
-}
-
-Result<BlockId> BlockAllocator::AllocateAvoiding(
-    const std::string& owner, const std::vector<uint32_t>& avoid) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return AllocateAvoidingLocked(owner, avoid);
-}
-
-uint32_t BlockAllocator::free_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return free_total_;
+  return server_id < shards_.size() &&
+         shards_[server_id].dead.load(std::memory_order_relaxed);
 }
 
 uint32_t BlockAllocator::OwnerCount(const std::string& owner) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = owner_counts_.find(owner);
-  return it == owner_counts_.end() ? 0 : it->second;
-}
-
-uint32_t BlockAllocator::peak_allocated() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return peak_allocated_;
+  uint32_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.owner_counts.find(owner);
+    if (it != shard.owner_counts.end()) {
+      count += it->second;
+    }
+  }
+  return count;
 }
 
 }  // namespace jiffy

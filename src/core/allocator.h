@@ -3,15 +3,32 @@
 // Jiffy multiplexes the data-plane memory pool across address prefixes at
 // block granularity, like an OS multiplexing physical pages across virtual
 // address spaces. The allocator keeps a per-server free list and places new
-// blocks on the server with the most free capacity, spreading load the way
-// the paper's controller does with its global view.
+// blocks on lightly loaded servers, spreading load the way the paper's
+// controller does with its global view.
 //
-// Thread-safe: all methods take an internal mutex (the allocator is shared
-// by every controller shard and by the Pocket/Elasticache baselines).
+// Concurrency: the allocator is shared by every controller shard (it is the
+// only cross-shard state), so it is itself sharded — one lock-protected
+// free list + owner table per memory server, with a lock-free aggregate
+// (`free_total_`, `peak_allocated_`, per-server free hints) layered on top:
+//
+//   - Allocate/AllocateAvoiding sample the per-server free hints and lock
+//     only the chosen server's shard (best-of-K placement instead of a
+//     global scan), so allocations against different servers never contend.
+//   - AllocateN is all-or-nothing: it locks every shard in ascending
+//     server-id order (the one multi-shard operation; cold path — initial
+//     data-structure sizing only).
+//   - free_count()/allocated_count()/peak_allocated() read atomics;
+//     OwnerCount() sums sharded counters. None of them serialize the
+//     allocation hot path.
+//
+// Lock order (see DESIGN.md §8): allocator shard locks are leaves — no
+// other lock is ever taken while one is held, and multi-shard acquisition
+// (AllocateN) is always in ascending server id.
 
 #ifndef SRC_CORE_ALLOCATOR_H_
 #define SRC_CORE_ALLOCATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -31,6 +48,7 @@ class BlockAllocator {
 
   // Registers this allocator's metrics ("allocator.*") in `registry` and
   // starts recording into them. Optional; never bound = no recording.
+  // Must be called before concurrent use (cluster construction).
   void BindMetrics(obs::MetricsRegistry* registry);
 
   // Allocates one block for `owner` (a "job/prefix" tag used only for
@@ -45,15 +63,19 @@ class BlockAllocator {
   // block is already free (double-free guard).
   Status Free(BlockId id);
 
-  uint32_t free_count() const;
+  uint32_t free_count() const {
+    return free_total_.load(std::memory_order_relaxed);
+  }
   uint32_t total_count() const { return total_; }
   uint32_t allocated_count() const { return total_ - free_count(); }
 
-  // Blocks currently held per owner tag.
+  // Blocks currently held per owner tag (sums sharded counters).
   uint32_t OwnerCount(const std::string& owner) const;
 
   // Lifetime high-water mark of simultaneously allocated blocks.
-  uint32_t peak_allocated() const;
+  uint32_t peak_allocated() const {
+    return peak_allocated_.load(std::memory_order_relaxed);
+  }
 
   // Retires a failed server: its free blocks leave the pool, future
   // placements avoid it, and frees of its blocks are dropped silently.
@@ -65,10 +87,29 @@ class BlockAllocator {
   Result<BlockId> AllocateAvoiding(const std::string& owner,
                                    const std::vector<uint32_t>& avoid);
 
+  // Placement samples this many servers (clamped to the server count) and
+  // picks the one with the most free blocks, approximating the paper's
+  // least-loaded policy without a global scan.
+  static constexpr uint32_t kPlacementSamples = 8;
+
  private:
-  Result<BlockId> AllocateLocked(const std::string& owner);
-  Result<BlockId> AllocateAvoidingLocked(const std::string& owner,
-                                         const std::vector<uint32_t>& avoid);
+  // Per-memory-server shard: free list + owner accounting for that server's
+  // blocks, guarded by the shard mutex. `free_hint` mirrors
+  // free_slots.size() so placement can compare loads without locking.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<uint32_t> free_slots;                      // guarded by mu
+    std::unordered_map<uint32_t, std::string> owner_of;    // slot → owner
+    std::unordered_map<std::string, uint32_t> owner_counts;
+    std::atomic<uint32_t> free_hint{0};
+    std::atomic<bool> dead{false};
+  };
+
+  // Pops one slot from shard `s` and records ownership; returns false when
+  // the shard is dead or empty. Takes only shard `s`'s lock.
+  bool TryAllocateFrom(uint32_t s, const std::string& owner, BlockId* out);
+
+  void NoteAllocated();  // peak high-water update + metrics.
 
   // Observability (null until BindMetrics).
   obs::Counter* m_allocations_ = nullptr;
@@ -77,15 +118,16 @@ class BlockAllocator {
   obs::Gauge* m_free_blocks_ = nullptr;
   Histogram* m_alloc_ns_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::vector<bool> server_dead_;
   uint32_t total_;
-  // free_[server] = stack of free slots on that server.
-  std::vector<std::vector<uint32_t>> free_;
-  uint32_t free_total_;
-  std::unordered_map<uint64_t, std::string> owner_of_;  // packed id → owner
-  std::unordered_map<std::string, uint32_t> owner_counts_;
-  uint32_t peak_allocated_ = 0;
+  std::vector<Shard> shards_;
+  // Blocks currently free across all live shards. Updated while holding the
+  // shard lock that produced the change, so each shard's contribution never
+  // goes negative; read lock-free by stats and fast-fail paths.
+  std::atomic<uint32_t> free_total_;
+  std::atomic<uint32_t> peak_allocated_{0};
+  // Rotates the placement sample window so independent allocators spread
+  // across servers instead of all hammering server 0.
+  mutable std::atomic<uint32_t> rotor_{0};
 };
 
 }  // namespace jiffy

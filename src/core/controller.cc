@@ -36,16 +36,14 @@ void Controller::BindMetrics(obs::MetricsRegistry* registry,
 
 void Controller::ChargeOp() {
   obs::Inc(m_ops_);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.ops++;
-  }
+  stats_.ops.fetch_add(1, std::memory_order_relaxed);
   if (config_.controller_service_time > 0) {
     if (config_.controller_service_sleeps) {
       RealClock::Instance()->SleepFor(config_.controller_service_time);
     } else {
       // Busy-wait so emulated service time consumes a core, making
-      // multi-shard scaling CPU-bound as in the real system.
+      // multi-shard scaling CPU-bound as in the real system. Holds no lock,
+      // so concurrent requests for different jobs burn cores in parallel.
       const TimeNs start = RealClock::Instance()->Now();
       while (RealClock::Instance()->Now() - start <
              config_.controller_service_time) {
@@ -54,18 +52,36 @@ void Controller::ChargeOp() {
   }
 }
 
-Result<JobHierarchy*> Controller::GetJobLocked(const std::string& job) {
-  auto it = jobs_.find(job);
-  if (it == jobs_.end()) {
+Result<Controller::LockedJob> Controller::LockJob(
+    const std::string& job) const {
+  std::shared_ptr<JobSlot> slot;
+  {
+    std::shared_lock<std::shared_mutex> table(jobs_mu_);
+    auto it = jobs_.find(job);
+    if (it == jobs_.end()) {
+      return NotFound("job '" + job + "' is not registered");
+    }
+    slot = it->second;
+  }
+  // Lock order: the table lock is released before the job mutex blocks, so
+  // a long-running job operation never stalls lookups of other jobs.
+  std::unique_lock<std::mutex> lock(slot->mu);
+  if (slot->defunct) {
     return NotFound("job '" + job + "' is not registered");
   }
-  return it->second.get();
+  return LockedJob(std::move(slot), std::move(lock));
 }
 
-Result<TaskNode*> Controller::GetNodeLocked(const std::string& job,
-                                            const std::string& prefix) {
-  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
-  return hier->GetNode(prefix);
+std::vector<std::shared_ptr<Controller::JobSlot>> Controller::PinAllJobs()
+    const {
+  std::vector<std::shared_ptr<JobSlot>> slots;
+  std::shared_lock<std::shared_mutex> table(jobs_mu_);
+  slots.reserve(jobs_.size());
+  for (const auto& [job_id, slot] : jobs_) {
+    (void)job_id;
+    slots.push_back(slot);
+  }
+  return slots;
 }
 
 Status Controller::RegisterJob(const std::string& job_id) {
@@ -73,11 +89,11 @@ Status Controller::RegisterJob(const std::string& job_id) {
   if (!IsValidPathSegment(job_id)) {
     return InvalidArgument("bad job id '" + job_id + "'");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> table(jobs_mu_);
   if (jobs_.count(job_id) > 0) {
     return AlreadyExists("job '" + job_id + "' already registered");
   }
-  jobs_.emplace(job_id, std::make_unique<JobHierarchy>(
+  jobs_.emplace(job_id, std::make_shared<JobSlot>(
                             job_id, clock_->Now(), config_.lease_duration,
                             config_.lease_propagation));
   return Status::Ok();
@@ -85,14 +101,23 @@ Status Controller::RegisterJob(const std::string& job_id) {
 
 Status Controller::DeregisterJob(const std::string& job_id) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) {
-    return NotFound("job '" + job_id + "' is not registered");
+  std::shared_ptr<JobSlot> slot;
+  {
+    std::unique_lock<std::shared_mutex> table(jobs_mu_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) {
+      return NotFound("job '" + job_id + "' is not registered");
+    }
+    slot = std::move(it->second);
+    jobs_.erase(it);
   }
-  // Release every block the job still holds.
-  for (const auto& name : it->second->NodeNames()) {
-    auto node_r = it->second->GetNode(name);
+  // The job is no longer routable; quiesce in-flight requests (they hold the
+  // job mutex) and release every block it still holds. Requests that pinned
+  // the slot before the erase see `defunct` and fail with kNotFound.
+  std::lock_guard<std::mutex> lock(slot->mu);
+  slot->defunct = true;
+  for (const auto& name : slot->hier.NodeNames()) {
+    auto node_r = slot->hier.GetNode(name);
     if (!node_r.ok()) {
       continue;
     }
@@ -105,12 +130,11 @@ Status Controller::DeregisterJob(const std::string& job_id) {
     }
     node->partition.entries.clear();
   }
-  jobs_.erase(it);
   return Status::Ok();
 }
 
 bool Controller::HasJob(const std::string& job_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> table(jobs_mu_);
   return jobs_.count(job_id) > 0;
 }
 
@@ -121,11 +145,11 @@ Status Controller::CreateAddrPrefix(const std::string& job,
   JIFFY_TRACE_SPAN("ctl.create_prefix", "control");
   ChargeOp();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
-    JIFFY_RETURN_IF_ERROR(
-        hier->CreateNode(name, parents, clock_->Now(), opts.lease_duration));
-    JIFFY_ASSIGN_OR_RETURN(TaskNode * node, hier->GetNode(name));
+    JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+    JIFFY_RETURN_IF_ERROR(locked.hier()->CreateNode(name, parents,
+                                                    clock_->Now(),
+                                                    opts.lease_duration));
+    JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(name));
     node->replication_factor = std::max<uint32_t>(opts.replication_factor, 1);
     node->persist_writes = opts.persist_writes;
     node->perms.world_readable = opts.world_readable;
@@ -147,9 +171,8 @@ Status Controller::CreateHierarchy(
     const std::vector<std::pair<std::string, std::vector<std::string>>>& dag,
     const CreateOptions& opts) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
-  return hier->CreateFromDag(dag, clock_->Now(), opts.lease_duration);
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  return locked.hier()->CreateFromDag(dag, clock_->Now(), opts.lease_duration);
 }
 
 Status Controller::ValidatePath(const AddressPath& path) {
@@ -157,11 +180,10 @@ Status Controller::ValidatePath(const AddressPath& path) {
   if (path.depth() < 2) {
     return InvalidArgument("path must be /job/task...: " + path.ToString());
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(path.job()));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(path.job()));
   std::vector<std::string> rest(path.segments().begin() + 1,
                                 path.segments().end());
-  auto node = hier->Resolve(AddressPath::FromSegments(std::move(rest)));
+  auto node = locked.hier()->Resolve(AddressPath::FromSegments(std::move(rest)));
   if (!node.ok()) {
     return node.status();
   }
@@ -171,8 +193,8 @@ Status Controller::ValidatePath(const AddressPath& path) {
 Result<DurationNs> Controller::GetLeaseDuration(const std::string& job,
                                                 const std::string& prefix) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   return node->lease_duration;
 }
 
@@ -181,17 +203,13 @@ Result<uint64_t> Controller::RenewLease(const std::string& job,
   JIFFY_TRACE_SPAN("ctl.renew_lease", "control");
   obs::ScopedTimer timer(m_renew_ns_);
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
-  JIFFY_ASSIGN_OR_RETURN(std::vector<std::string> renewed,
-                         hier->RenewLease(prefix, clock_->Now()));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(const std::vector<std::string>* renewed,
+                         locked.hier()->RenewLease(prefix, clock_->Now()));
   obs::Inc(m_lease_renewals_);
-  obs::Inc(m_lease_fanout_, renewed.size());
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.lease_renewals++;
-  }
-  return static_cast<uint64_t>(renewed.size());
+  obs::Inc(m_lease_fanout_, renewed->size());
+  stats_.lease_renewals.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<uint64_t>(renewed->size());
 }
 
 uint64_t Controller::RunExpiryScan() {
@@ -199,8 +217,14 @@ uint64_t Controller::RunExpiryScan() {
   ChargeOp();
   const TimeNs now = clock_->Now();
   uint64_t reclaimed = 0;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [job_id, hier] : jobs_) {
+  // Quiesce one job at a time: pin the current job list, then visit each
+  // under its own mutex so live traffic to other jobs keeps flowing.
+  for (const auto& slot : PinAllJobs()) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->defunct) {
+      continue;
+    }
+    JobHierarchy* hier = &slot->hier;
     for (const auto& name : hier->CollectExpired(now)) {
       auto node_r = hier->GetNode(name);
       if (!node_r.ok()) {
@@ -209,12 +233,12 @@ uint64_t Controller::RunExpiryScan() {
       TaskNode* node = *node_r;
       // Flush to persistent storage before reclaiming so data survives even
       // a spurious expiry (§3.2: "the data is not lost").
-      Status st = FlushNodeLocked(hier.get(), node,
-                                  DefaultFlushPath(job_id, name),
+      Status st = FlushNodeLocked(hier, node,
+                                  DefaultFlushPath(hier->job_id(), name),
                                   /*evict=*/true);
       if (!st.ok()) {
-        JIFFY_LOG(WARNING) << "expiry flush failed for " << job_id << "/"
-                           << name << ": " << st;
+        JIFFY_LOG(WARNING) << "expiry flush failed for " << hier->job_id()
+                           << "/" << name << ": " << st;
         continue;
       }
       node->expired = true;
@@ -223,9 +247,8 @@ uint64_t Controller::RunExpiryScan() {
   }
   obs::Inc(m_expiry_scans_);
   obs::Inc(m_prefixes_expired_, reclaimed);
-  std::lock_guard<std::mutex> slock(stats_mu_);
-  stats_.expiry_scans++;
-  stats_.prefixes_expired += reclaimed;
+  stats_.expiry_scans.fetch_add(1, std::memory_order_relaxed);
+  stats_.prefixes_expired.fetch_add(reclaimed, std::memory_order_relaxed);
   return reclaimed;
 }
 
@@ -235,8 +258,7 @@ void Controller::ReleaseBlockLocked(BlockId id) {
   }
   allocator_->Free(id);
   obs::Inc(m_blocks_reclaimed_);
-  std::lock_guard<std::mutex> slock(stats_mu_);
-  stats_.blocks_reclaimed++;
+  stats_.blocks_reclaimed.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status Controller::FillReplicasLocked(TaskNode* node, PartitionEntry* entry,
@@ -277,8 +299,7 @@ Status Controller::FillReplicasLocked(TaskNode* node, PartitionEntry* entry,
     entry->replicas.push_back(replica);
     node->blocks_ever_allocated++;
     obs::Inc(m_blocks_allocated_);
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.blocks_allocated++;
+    stats_.blocks_allocated.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::Ok();
 }
@@ -324,8 +345,7 @@ Status Controller::FlushNodeLocked(JobHierarchy* hier, TaskNode* node,
           backing_->Put(external_path + "/" + std::to_string(i),
                         std::move(object)));
       obs::Inc(m_bytes_flushed_, data.size());
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      stats_.bytes_flushed += data.size();
+      stats_.bytes_flushed.fetch_add(data.size(), std::memory_order_relaxed);
     }
     if (evict) {
       ReleaseBlockLocked(entry.block);
@@ -346,8 +366,8 @@ Result<PartitionMap> Controller::InitDataStructure(
     uint64_t initial_capacity_bytes, const std::string& custom_type) {
   JIFFY_TRACE_SPAN("ctl.init_ds", "control");
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   if (node->has_ds) {
     return AlreadyExists("data structure already initialized under '" +
                          prefix + "'");
@@ -407,18 +427,15 @@ Result<PartitionMap> Controller::InitDataStructure(
   node->partition = map;
   node->blocks_ever_allocated += initial_blocks;
   obs::Inc(m_blocks_allocated_, initial_blocks);
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.blocks_allocated += initial_blocks;
-  }
+  stats_.blocks_allocated.fetch_add(initial_blocks, std::memory_order_relaxed);
   return map;
 }
 
 Result<PartitionMap> Controller::GetPartitionMap(const std::string& job,
                                                  const std::string& prefix) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   if (!node->has_ds) {
     return FailedPrecondition("no data structure under '" + prefix + "'");
   }
@@ -429,17 +446,10 @@ Result<PartitionMap> Controller::GetPartitionMap(const std::string& job,
   return node->partition;
 }
 
-Result<BlockId> Controller::AddBlock(const std::string& job,
-                                     const std::string& prefix, uint64_t lo,
-                                     uint64_t hi) {
-  JIFFY_TRACE_SPAN("ctl.add_block", "control");
-  obs::ScopedTimer timer(m_alloc_block_ns_);
-  ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
-  if (!node->has_ds) {
-    return FailedPrecondition("no data structure under '" + prefix + "'");
-  }
+Result<BlockId> Controller::AddBlockLocked(TaskNode* node,
+                                           const std::string& job,
+                                           const std::string& prefix,
+                                           uint64_t lo, uint64_t hi) {
   JIFFY_ASSIGN_OR_RETURN(BlockId id,
                          allocator_->Allocate(OwnerTag(job, prefix)));
   if (hooks_ != nullptr) {
@@ -460,41 +470,53 @@ Result<BlockId> Controller::AddBlock(const std::string& job,
   node->partition.version++;
   node->blocks_ever_allocated++;
   obs::Inc(m_blocks_allocated_);
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.blocks_allocated++;
-    stats_.overload_signals++;
-  }
+  stats_.blocks_allocated.fetch_add(1, std::memory_order_relaxed);
+  stats_.overload_signals.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+Result<BlockId> Controller::AddBlock(const std::string& job,
+                                     const std::string& prefix, uint64_t lo,
+                                     uint64_t hi) {
+  JIFFY_TRACE_SPAN("ctl.add_block", "control");
+  obs::ScopedTimer timer(m_alloc_block_ns_);
+  ChargeOp();
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
+  if (!node->has_ds) {
+    return FailedPrecondition("no data structure under '" + prefix + "'");
+  }
+  return AddBlockLocked(node, job, prefix, lo, hi);
 }
 
 Result<BlockId> Controller::AddBlockIfTail(const std::string& job,
                                            const std::string& prefix,
                                            BlockId expected_tail, uint64_t lo,
                                            uint64_t hi) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
-    if (!node->has_ds) {
-      return FailedPrecondition("no data structure under '" + prefix + "'");
-    }
-    if (node->partition.entries.empty() ||
-        node->partition.entries.back().block != expected_tail) {
-      return FailedPrecondition("tail moved: another client already grew '" +
-                                prefix + "'");
-    }
+  JIFFY_TRACE_SPAN("ctl.add_block", "control");
+  obs::ScopedTimer timer(m_alloc_block_ns_);
+  ChargeOp();
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
+  if (!node->has_ds) {
+    return FailedPrecondition("no data structure under '" + prefix + "'");
   }
-  // The check and the append race only with other AddBlockIfTail calls on
-  // the same prefix, which the per-DS scaling guard already serializes.
-  return AddBlock(job, prefix, lo, hi);
+  if (node->partition.entries.empty() ||
+      node->partition.entries.back().block != expected_tail) {
+    return FailedPrecondition("tail moved: another client already grew '" +
+                              prefix + "'");
+  }
+  // Check and append run under one job-lock acquisition, so two concurrent
+  // growers can never both observe the same tail.
+  return AddBlockLocked(node, job, prefix, lo, hi);
 }
 
 Status Controller::UpdateEntryRange(const std::string& job,
                                     const std::string& prefix, BlockId block,
                                     uint64_t lo, uint64_t hi) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   for (auto& entry : node->partition.entries) {
     if (entry.block == block) {
       entry.lo = lo;
@@ -510,8 +532,8 @@ Status Controller::UpdateEntryRange(const std::string& job,
 Status Controller::RemoveBlock(const std::string& job,
                                const std::string& prefix, BlockId block) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   auto& entries = node->partition.entries;
   auto it = std::find_if(entries.begin(), entries.end(),
                          [&](const PartitionEntry& e) { return e.block == block; });
@@ -526,16 +548,15 @@ Status Controller::RemoveBlock(const std::string& job,
   for (const BlockId& r : replicas) {
     ReleaseBlockLocked(r);
   }
-  std::lock_guard<std::mutex> slock(stats_mu_);
-  stats_.underload_signals++;
+  stats_.underload_signals.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status Controller::PrepareForLoad(const std::string& job,
                                   const std::string& prefix, DsType type) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   if (node->has_ds) {
     return AlreadyExists("data structure already initialized under '" +
                          prefix + "'");
@@ -555,8 +576,8 @@ Result<BlockId> Controller::AllocateUnmapped(const std::string& job,
                                              uint64_t lo, uint64_t hi) {
   JIFFY_TRACE_SPAN("ctl.allocate_unmapped", "control");
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   if (!node->has_ds) {
     return FailedPrecondition("no data structure under '" + prefix + "'");
   }
@@ -572,10 +593,7 @@ Result<BlockId> Controller::AllocateUnmapped(const std::string& job,
   }
   node->blocks_ever_allocated++;
   obs::Inc(m_blocks_allocated_);
-  {
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.blocks_allocated++;
-  }
+  stats_.blocks_allocated.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
@@ -585,8 +603,8 @@ Status Controller::CommitSplit(const std::string& job,
                                const PartitionEntry& new_entry) {
   JIFFY_TRACE_SPAN("ctl.commit_split", "control");
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   bool found = false;
   for (auto& entry : node->partition.entries) {
     if (entry.block == old_block) {
@@ -603,8 +621,7 @@ Status Controller::CommitSplit(const std::string& job,
   node->partition.entries.push_back(new_entry);
   node->partition.version++;
   obs::Inc(m_splits_);
-  std::lock_guard<std::mutex> slock(stats_mu_);
-  stats_.overload_signals++;
+  stats_.overload_signals.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -614,8 +631,8 @@ Status Controller::CommitMerge(const std::string& job,
                                uint64_t sib_hi) {
   JIFFY_TRACE_SPAN("ctl.commit_merge", "control");
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   auto& entries = node->partition.entries;
   auto rit = std::find_if(entries.begin(), entries.end(),
                           [&](const PartitionEntry& e) { return e.block == removed; });
@@ -647,8 +664,7 @@ Status Controller::CommitMerge(const std::string& job,
     ReleaseBlockLocked(r);
   }
   obs::Inc(m_merges_);
-  std::lock_guard<std::mutex> slock(stats_mu_);
-  stats_.underload_signals++;
+  stats_.underload_signals.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -664,8 +680,8 @@ Status Controller::SetQueueHead(const std::string& job,
                                 const std::string& prefix,
                                 uint32_t head_index) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   if (node->partition.type != DsType::kQueue) {
     return FailedPrecondition("'" + prefix + "' is not a queue");
   }
@@ -679,10 +695,9 @@ Status Controller::FlushAddrPrefix(const std::string& job,
                                    const std::string& external_path) {
   JIFFY_TRACE_SPAN("ctl.flush_prefix", "control");
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, hier->GetNode(prefix));
-  return FlushNodeLocked(hier, node, external_path, /*evict=*/false);
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
+  return FlushNodeLocked(locked.hier(), node, external_path, /*evict=*/false);
 }
 
 Status Controller::LoadAddrPrefix(const std::string& job,
@@ -693,8 +708,8 @@ Status Controller::LoadAddrPrefix(const std::string& job,
   if (backing_ == nullptr || hooks_ == nullptr) {
     return FailedPrecondition("no persistent backing configured");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   if (!node->has_ds) {
     return FailedPrecondition("no data structure under '" + prefix + "'");
   }
@@ -729,8 +744,7 @@ Status Controller::LoadAddrPrefix(const std::string& job,
     node->partition.entries.push_back(PartitionEntry{id, lo, hi});
     node->blocks_ever_allocated++;
     obs::Inc(m_blocks_allocated_);
-    std::lock_guard<std::mutex> slock(stats_mu_);
-    stats_.blocks_allocated++;
+    stats_.blocks_allocated.fetch_add(1, std::memory_order_relaxed);
   }
   node->partition.version++;
   node->expired = false;
@@ -741,8 +755,8 @@ Status Controller::LoadAddrPrefix(const std::string& job,
 Status Controller::RepairEntry(const std::string& job,
                                const std::string& prefix, BlockId hint) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   for (auto& entry : node->partition.entries) {
     bool match = entry.block == hint;
     for (const BlockId& r : entry.replicas) {
@@ -781,8 +795,8 @@ Status Controller::RepairEntry(const std::string& job,
 Result<uint32_t> Controller::ReReplicate(const std::string& job,
                                          const std::string& prefix) {
   ChargeOp();
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   uint32_t created = 0;
   bool changed = false;
   for (auto& entry : node->partition.entries) {
@@ -827,66 +841,85 @@ Result<PartitionMap> Controller::GetPartitionMapAs(const std::string& principal,
                                                    const std::string& job,
                                                    const std::string& prefix,
                                                    bool for_write) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
-    if (principal != node->perms.owner &&
-        (for_write ? !node->perms.world_writable
-                   : !node->perms.world_readable)) {
-      return PermissionDenied("principal '" + principal + "' may not " +
-                              (for_write ? "write" : "read") + " '" + prefix +
-                              "' of job " + node->perms.owner);
-    }
+  ChargeOp();
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
+  if (principal != node->perms.owner &&
+      (for_write ? !node->perms.world_writable
+                 : !node->perms.world_readable)) {
+    return PermissionDenied("principal '" + principal + "' may not " +
+                            (for_write ? "write" : "read") + " '" + prefix +
+                            "' of job " + node->perms.owner);
   }
-  return GetPartitionMap(job, prefix);
+  if (!node->has_ds) {
+    return FailedPrecondition("no data structure under '" + prefix + "'");
+  }
+  if (node->expired) {
+    return LeaseExpired("prefix '" + prefix +
+                        "' expired; data is on persistent storage");
+  }
+  return node->partition;
 }
 
 std::string Controller::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::string out;
-  PutU32(&out, 1);  // Snapshot format version.
-  PutU32(&out, static_cast<uint32_t>(jobs_.size()));
-  for (const auto& [job_id, hier] : jobs_) {
-    PutString(&out, job_id);
+  // Serialize each job under its own mutex (quiesce one job at a time), then
+  // assemble. Per-job state is exactly consistent; the job set is the set
+  // pinned at the start of the snapshot minus jobs deregistered meanwhile.
+  std::vector<std::string> job_blobs;
+  for (const auto& slot : PinAllJobs()) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->defunct) {
+      continue;
+    }
+    JobHierarchy* hier = &slot->hier;
+    std::string blob;
+    PutString(&blob, hier->job_id());
     const auto names = hier->NodeNames();
-    PutU32(&out, static_cast<uint32_t>(names.size()));
+    PutU32(&blob, static_cast<uint32_t>(names.size()));
     for (const auto& name : names) {
-      auto node_r = const_cast<JobHierarchy*>(hier.get())->GetNode(name);
+      auto node_r = hier->GetNode(name);
       const TaskNode* node = *node_r;
-      PutString(&out, node->name);
-      PutU32(&out, static_cast<uint32_t>(node->parents.size()));
+      PutString(&blob, node->name);
+      PutU32(&blob, static_cast<uint32_t>(node->parents.size()));
       for (const auto& p : node->parents) {
-        PutString(&out, p);
+        PutString(&blob, p);
       }
-      PutU64(&out, static_cast<uint64_t>(node->lease_renewed_at));
-      PutU64(&out, static_cast<uint64_t>(node->lease_duration));
-      PutU32(&out, (node->expired ? 1u : 0u) | (node->has_ds ? 2u : 0u) |
-                       (node->persist_writes ? 4u : 0u) |
-                       (node->perms.world_readable ? 8u : 0u) |
-                       (node->perms.world_writable ? 16u : 0u));
-      PutU32(&out, node->replication_factor);
-      PutString(&out, node->perms.owner);
+      PutU64(&blob, static_cast<uint64_t>(node->lease_renewed_at));
+      PutU64(&blob, static_cast<uint64_t>(node->lease_duration));
+      PutU32(&blob, (node->expired ? 1u : 0u) | (node->has_ds ? 2u : 0u) |
+                        (node->persist_writes ? 4u : 0u) |
+                        (node->perms.world_readable ? 8u : 0u) |
+                        (node->perms.world_writable ? 16u : 0u));
+      PutU32(&blob, node->replication_factor);
+      PutString(&blob, node->perms.owner);
       // Partition map.
-      PutU64(&out, node->partition.version);
-      PutU32(&out, static_cast<uint32_t>(node->partition.type));
-      PutString(&out, node->partition.custom_type);
-      PutU32(&out, static_cast<uint32_t>(node->partition.entries.size()));
+      PutU64(&blob, node->partition.version);
+      PutU32(&blob, static_cast<uint32_t>(node->partition.type));
+      PutString(&blob, node->partition.custom_type);
+      PutU32(&blob, static_cast<uint32_t>(node->partition.entries.size()));
       for (const auto& entry : node->partition.entries) {
-        PutU64(&out, entry.block.Packed());
-        PutU64(&out, entry.lo);
-        PutU64(&out, entry.hi);
-        PutU32(&out, static_cast<uint32_t>(entry.replicas.size()));
+        PutU64(&blob, entry.block.Packed());
+        PutU64(&blob, entry.lo);
+        PutU64(&blob, entry.hi);
+        PutU32(&blob, static_cast<uint32_t>(entry.replicas.size()));
         for (const BlockId& r : entry.replicas) {
-          PutU64(&out, r.Packed());
+          PutU64(&blob, r.Packed());
         }
       }
     }
+    job_blobs.push_back(std::move(blob));
+  }
+  std::string out;
+  PutU32(&out, 1);  // Snapshot format version.
+  PutU32(&out, static_cast<uint32_t>(job_blobs.size()));
+  for (const std::string& blob : job_blobs) {
+    out += blob;
   }
   return out;
 }
 
 Status Controller::Restore(const std::string& snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> table(jobs_mu_);
   if (!jobs_.empty()) {
     return FailedPrecondition(
         "Restore requires a fresh standby controller (jobs present)");
@@ -900,9 +933,10 @@ Status Controller::Restore(const std::string& snapshot) {
   JIFFY_ASSIGN_OR_RETURN(uint32_t num_jobs, reader.ReadU32());
   for (uint32_t j = 0; j < num_jobs; ++j) {
     JIFFY_ASSIGN_OR_RETURN(std::string job_id, reader.ReadString());
-    auto hier = std::make_unique<JobHierarchy>(job_id, clock_->Now(),
-                                               config_.lease_duration,
-                                               config_.lease_propagation);
+    auto slot = std::make_shared<JobSlot>(job_id, clock_->Now(),
+                                          config_.lease_duration,
+                                          config_.lease_propagation);
+    JobHierarchy* hier = &slot->hier;
     JIFFY_ASSIGN_OR_RETURN(uint32_t num_nodes, reader.ReadU32());
     // First pass data, applied in dependency order below.
     struct NodeRec {
@@ -973,26 +1007,39 @@ Status Controller::Restore(const std::string& snapshot) {
       node->perms.owner = rec.owner;
       node->partition = std::move(rec.partition);
     }
-    jobs_.emplace(job_id, std::move(hier));
+    jobs_.emplace(job_id, std::move(slot));
   }
   return Status::Ok();
 }
 
 ControllerStats Controller::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ControllerStats out;
+  out.ops = stats_.ops.load(std::memory_order_relaxed);
+  out.lease_renewals = stats_.lease_renewals.load(std::memory_order_relaxed);
+  out.expiry_scans = stats_.expiry_scans.load(std::memory_order_relaxed);
+  out.prefixes_expired =
+      stats_.prefixes_expired.load(std::memory_order_relaxed);
+  out.blocks_reclaimed =
+      stats_.blocks_reclaimed.load(std::memory_order_relaxed);
+  out.blocks_allocated =
+      stats_.blocks_allocated.load(std::memory_order_relaxed);
+  out.bytes_flushed = stats_.bytes_flushed.load(std::memory_order_relaxed);
+  out.overload_signals =
+      stats_.overload_signals.load(std::memory_order_relaxed);
+  out.underload_signals =
+      stats_.underload_signals.load(std::memory_order_relaxed);
+  return out;
 }
 
 Result<size_t> Controller::JobMetadataBytes(const std::string& job) {
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(JobHierarchy * hier, GetJobLocked(job));
-  return hier->MetadataBytes();
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  return locked.hier()->MetadataBytes();
 }
 
 Result<bool> Controller::IsExpired(const std::string& job,
                                    const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
-  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, GetNodeLocked(job, prefix));
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
   return node->expired;
 }
 

@@ -7,6 +7,26 @@
 // cores/servers by hash-partitioning jobs (Fig 12(b)); shards share the
 // BlockAllocator, which is the only cross-shard state.
 //
+// Concurrency (DESIGN.md §8): within a shard, synchronization is two-level
+// so requests for *different jobs never contend*:
+//
+//   1. `jobs_mu_` (std::shared_mutex) guards only the job table itself.
+//      Job lookups take it shared; RegisterJob/DeregisterJob/Restore take
+//      it exclusive. It is held only long enough to pin a JobSlot.
+//   2. One std::mutex per JobSlot guards that job's entire hierarchy
+//      (DAG, leases, partition maps). Every per-job operation — renewals,
+//      map fetches, splits, flushes — runs under its job's mutex only.
+//
+// Cross-job passes (RunExpiryScan, Snapshot) quiesce one job at a time:
+// they pin the slot list under the shared table lock, then visit jobs
+// sequentially under each job's own mutex — never the whole world.
+//
+// Lock order (never acquired backwards):
+//     jobs_mu_ (shared or exclusive) → JobSlot::mu → allocator shard lock
+// ChargeOp's emulated service time burns CPU while holding no lock, and
+// ControllerStats is per-field atomics, so the only serialization a request
+// experiences is its own job's mutex.
+//
 // The data plane is reached through DataPlaneHooks so the controller never
 // touches block contents directly — mirroring the paper's controller, which
 // only exchanges signals and block addresses with memory servers (Fig 8).
@@ -19,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -150,7 +171,7 @@ class Controller {
   // One pass of the lease expiry worker: flushes and reclaims every prefix
   // whose lease has lapsed. Returns the number of prefixes reclaimed.
   // Driven by a LeaseExpiryWorker thread (real time) or directly by
-  // trace-replay benches (virtual time).
+  // trace-replay benches (virtual time). Quiesces one job at a time.
   uint64_t RunExpiryScan();
 
   // --- Data structures & partition metadata --------------------------------
@@ -274,7 +295,10 @@ class Controller {
   // backup (e.g. per lease-scan period), and the backup promotes by simply
   // starting to serve.
 
-  // Serializes the complete control-plane state.
+  // Serializes the complete control-plane state. Quiesces one job at a time
+  // (each job's state is internally consistent; jobs deregistered while the
+  // snapshot runs are omitted, jobs registered meanwhile may be missed —
+  // the same guarantee a streaming primary gives its backup).
   std::string Snapshot() const;
 
   // Rebuilds state from a snapshot. Precondition: no jobs registered yet
@@ -294,23 +318,75 @@ class Controller {
   Result<bool> IsExpired(const std::string& job, const std::string& prefix);
 
  private:
+  // One registered job: its hierarchy plus the mutex that serializes all
+  // operations touching it. Held by shared_ptr so an in-flight request can
+  // keep the slot alive while DeregisterJob removes it from the table; the
+  // `defunct` flag (set under `mu`) tells such stragglers the job is gone.
+  struct JobSlot {
+    JobSlot(std::string job_id, TimeNs now, DurationNs lease,
+            LeasePropagation propagation)
+        : hier(std::move(job_id), now, lease, propagation) {}
+    mutable std::mutex mu;
+    bool defunct = false;  // guarded by mu
+    JobHierarchy hier;     // guarded by mu
+  };
+
+  // RAII pin of one job: holds the slot shared_ptr and its locked mutex.
+  class LockedJob {
+   public:
+    LockedJob() = default;
+    LockedJob(std::shared_ptr<JobSlot> slot, std::unique_lock<std::mutex> lock)
+        : slot_(std::move(slot)), lock_(std::move(lock)) {}
+    JobHierarchy* hier() const { return &slot_->hier; }
+
+   private:
+    std::shared_ptr<JobSlot> slot_;
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  // Pins and locks `job`: shared table lock to find the slot, then the
+  // per-job mutex. Fails with kNotFound when the job is unknown or was
+  // deregistered while we waited for its mutex.
+  Result<LockedJob> LockJob(const std::string& job) const;
+
+  // Pins every current job (shared table lock only), in deterministic job-id
+  // order, for sequential per-job passes (expiry scan, snapshot).
+  std::vector<std::shared_ptr<JobSlot>> PinAllJobs() const;
+
+  // Mirrors ControllerStats with per-field atomics so no request ever takes
+  // a stats lock.
+  struct AtomicStats {
+    std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> lease_renewals{0};
+    std::atomic<uint64_t> expiry_scans{0};
+    std::atomic<uint64_t> prefixes_expired{0};
+    std::atomic<uint64_t> blocks_reclaimed{0};
+    std::atomic<uint64_t> blocks_allocated{0};
+    std::atomic<uint64_t> bytes_flushed{0};
+    std::atomic<uint64_t> overload_signals{0};
+    std::atomic<uint64_t> underload_signals{0};
+  };
+
   // Emulates per-request control-plane service time when configured
   // (busy-wait, so multi-shard throughput scaling is CPU-bound as in Fig 12).
+  // Runs while holding no lock.
   void ChargeOp();
 
-  Result<JobHierarchy*> GetJobLocked(const std::string& job);
-  Result<TaskNode*> GetNodeLocked(const std::string& job,
-                                  const std::string& prefix);
+  // Allocates, initializes, maps and replicates one block for `node`
+  // (scale-up path shared by AddBlock / AddBlockIfTail). Job lock held.
+  Result<BlockId> AddBlockLocked(TaskNode* node, const std::string& job,
+                                 const std::string& prefix, uint64_t lo,
+                                 uint64_t hi);
 
-  // Flush + reclaim one node (lock held). `evict` controls whether blocks
-  // are freed (lease expiry) or kept (explicit flush).
+  // Flush + reclaim one node (job lock held). `evict` controls whether
+  // blocks are freed (lease expiry) or kept (explicit flush).
   Status FlushNodeLocked(JobHierarchy* hier, TaskNode* node,
                          const std::string& external_path, bool evict);
 
   // Allocates and initializes chain replicas for `entry` until it reaches
   // the node's replication factor, copying the primary's content when
   // `copy_primary` (repair path). Replicas avoid the servers already used
-  // by the entry. Lock held.
+  // by the entry. Job lock held.
   Status FillReplicasLocked(TaskNode* node, PartitionEntry* entry,
                             const std::string& job, const std::string& prefix,
                             bool copy_primary);
@@ -332,11 +408,12 @@ class Controller {
   DataPlaneHooks* hooks_;
   PersistentStore* backing_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<JobHierarchy>> jobs_;
+  // Level 1: the job table (see the locking hierarchy at the top of this
+  // file). std::map keeps PinAllJobs/Snapshot order deterministic.
+  mutable std::shared_mutex jobs_mu_;
+  std::map<std::string, std::shared_ptr<JobSlot>> jobs_;
 
-  mutable std::mutex stats_mu_;
-  ControllerStats stats_;
+  AtomicStats stats_;
 
   // Observability (null until BindMetrics). Mirrors ControllerStats but is
   // exported through the cluster-wide MetricsRegistry per shard.

@@ -44,6 +44,9 @@ Status JobHierarchy::CreateNode(const std::string& name,
   for (const auto& p : parents) {
     nodes_[p].children.insert(name);
   }
+  // The DAG changed: every memoized renewal fan-out may now be stale (the
+  // new node can be a descendant of any existing prefix).
+  renewal_plans_.clear();
   return Status::Ok();
 }
 
@@ -121,50 +124,60 @@ bool JobHierarchy::HasNode(const std::string& name) const {
   return nodes_.count(name) > 0;
 }
 
-Result<std::vector<std::string>> JobHierarchy::RenewLease(
+Result<const std::vector<std::string>*> JobHierarchy::RenewLease(
     const std::string& name, TimeNs now) {
   auto it = nodes_.find(name);
   if (it == nodes_.end()) {
     return NotFound("no task '" + name + "' in job " + job_id_);
   }
-  std::unordered_set<std::string> to_renew;
-  to_renew.insert(name);
-  if (propagation_ != LeasePropagation::kNone) {
-    // Immediate parents: the data this task directly consumes (Fig 5).
-    for (const auto& p : it->second.parents) {
-      to_renew.insert(p);
-    }
-  }
-  if (propagation_ == LeasePropagation::kPaper) {
-    // All transitive descendants.
-    std::deque<std::string> frontier(it->second.children.begin(),
-                                     it->second.children.end());
-    while (!frontier.empty()) {
-      const std::string cur = std::move(frontier.front());
-      frontier.pop_front();
-      if (!to_renew.insert(cur).second) {
-        continue;
+  auto pit = renewal_plans_.find(name);
+  if (pit == renewal_plans_.end()) {
+    // First renewal of this prefix since the last DAG mutation: walk the DAG
+    // once and memoize the closure.
+    std::unordered_set<std::string> to_renew;
+    to_renew.insert(name);
+    if (propagation_ != LeasePropagation::kNone) {
+      // Immediate parents: the data this task directly consumes (Fig 5).
+      for (const auto& p : it->second.parents) {
+        to_renew.insert(p);
       }
-      auto cit = nodes_.find(cur);
-      if (cit != nodes_.end()) {
-        for (const auto& c : cit->second.children) {
-          frontier.push_back(c);
+    }
+    if (propagation_ == LeasePropagation::kPaper) {
+      // All transitive descendants.
+      std::deque<std::string> frontier(it->second.children.begin(),
+                                       it->second.children.end());
+      while (!frontier.empty()) {
+        const std::string cur = std::move(frontier.front());
+        frontier.pop_front();
+        if (!to_renew.insert(cur).second) {
+          continue;
+        }
+        auto cit = nodes_.find(cur);
+        if (cit != nodes_.end()) {
+          for (const auto& c : cit->second.children) {
+            frontier.push_back(c);
+          }
         }
       }
     }
-  }
-  std::vector<std::string> renewed;
-  renewed.reserve(to_renew.size());
-  for (const auto& n : to_renew) {
-    auto nit = nodes_.find(n);
-    if (nit == nodes_.end()) {
-      continue;
+    RenewalPlan plan;
+    plan.nodes.reserve(to_renew.size());
+    plan.names.reserve(to_renew.size());
+    for (const auto& n : to_renew) {
+      auto nit = nodes_.find(n);
+      if (nit == nodes_.end()) {
+        continue;
+      }
+      plan.nodes.push_back(&nit->second);
+      plan.names.push_back(n);
     }
-    nit->second.lease_renewed_at = now;
-    nit->second.lease_renewals++;
-    renewed.push_back(n);
+    pit = renewal_plans_.emplace(name, std::move(plan)).first;
   }
-  return renewed;
+  for (TaskNode* node : pit->second.nodes) {
+    node->lease_renewed_at = now;
+    node->lease_renewals++;
+  }
+  return &pit->second.names;
 }
 
 std::vector<std::string> JobHierarchy::CollectExpired(TimeNs now) const {

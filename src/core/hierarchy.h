@@ -7,8 +7,9 @@
 // JobHierarchy per registered job.
 //
 // Thread-safety: JobHierarchy is externally synchronized by the owning
-// controller shard (one mutex per shard), matching the paper's design of
-// independent per-core hierarchies.
+// controller shard (one mutex per *job*, see src/core/controller.h), matching
+// the paper's design of independent per-core hierarchies while letting
+// different jobs on the same shard proceed in parallel.
 
 #ifndef SRC_CORE_HIERARCHY_H_
 #define SRC_CORE_HIERARCHY_H_
@@ -17,6 +18,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/block/block.h"
@@ -142,9 +144,16 @@ class JobHierarchy {
   // and all *transitive* descendants (tasks whose inputs chain back to it) —
   // matching the paper's T7 example, where renewing T7 renews T3/T5/T6 and
   // T8/T9 but not T1/T2/T4. kParentsOnly and kNone narrow the fan-out (for
-  // the ablation bench). Returns the set of node names renewed.
-  Result<std::vector<std::string>> RenewLease(const std::string& name,
-                                              TimeNs now);
+  // the ablation bench).
+  //
+  // The renewal set of a prefix depends only on the DAG shape, so it is
+  // computed once per prefix and memoized; every later renewal just stamps
+  // the cached node list (the §6.4 mix is renewal-dominated, so this is the
+  // control plane's hottest path). CreateNode/CreateFromDag invalidate the
+  // memo. Returns a pointer to the memoized set of renewed node names,
+  // valid until the next DAG mutation.
+  Result<const std::vector<std::string>*> RenewLease(const std::string& name,
+                                                     TimeNs now);
 
   // Names of nodes whose lease has lapsed at `now` and that are not yet
   // marked expired. The expiry worker flushes and reclaims these.
@@ -163,10 +172,20 @@ class JobHierarchy {
   size_t MetadataBytes() const;
 
  private:
+  // Memoized renewal fan-out for one prefix: the nodes to stamp (stable
+  // pointers into nodes_ — std::map never relocates, and nodes are never
+  // erased) plus their names for callers.
+  struct RenewalPlan {
+    std::vector<TaskNode*> nodes;
+    std::vector<std::string> names;
+  };
+
   std::string job_id_;
   DurationNs default_lease_;
   LeasePropagation propagation_;
   std::map<std::string, TaskNode> nodes_;
+  // Cleared whenever the DAG mutates (CreateNode).
+  std::unordered_map<std::string, RenewalPlan> renewal_plans_;
 };
 
 }  // namespace jiffy

@@ -108,7 +108,7 @@ TEST(HierarchyTest, LeaseRenewalMatchesPaperExample) {
   JobHierarchy h = MakePaperHierarchy();
   auto renewed = h.RenewLease("T7", /*now=*/500);
   ASSERT_TRUE(renewed.ok());
-  std::vector<std::string> got = *renewed;
+  std::vector<std::string> got = **renewed;
   std::sort(got.begin(), got.end());
   const std::vector<std::string> want = {"T3", "T5", "T6", "T7", "T8", "T9"};
   EXPECT_EQ(got, want);
@@ -171,7 +171,7 @@ TEST(HierarchyTest, RenewalOfRootRenewsAllDescendants) {
   auto renewed = h.RenewLease("T1", 777);
   ASSERT_TRUE(renewed.ok());
   // T1 → T5 → T7 → {T8, T9}: all renewed; T1 has no parents.
-  std::vector<std::string> got = *renewed;
+  std::vector<std::string> got = **renewed;
   std::sort(got.begin(), got.end());
   const std::vector<std::string> want = {"T1", "T5", "T7", "T8", "T9"};
   EXPECT_EQ(got, want);

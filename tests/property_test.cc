@@ -192,7 +192,7 @@ TEST(LeasePolicyTest, NoneRenewsOnlySelf) {
   ASSERT_TRUE(h.CreateNode("c", {"b"}, 0, 0).ok());
   auto renewed = h.RenewLease("b", 100);
   ASSERT_TRUE(renewed.ok());
-  EXPECT_EQ(renewed->size(), 1u);
+  EXPECT_EQ((*renewed)->size(), 1u);
   EXPECT_EQ((*h.GetNode("a"))->lease_renewed_at, 0);
   EXPECT_EQ((*h.GetNode("b"))->lease_renewed_at, 100);
   EXPECT_EQ((*h.GetNode("c"))->lease_renewed_at, 0);
@@ -205,7 +205,7 @@ TEST(LeasePolicyTest, ParentsOnlySkipsDescendants) {
   ASSERT_TRUE(h.CreateNode("c", {"b"}, 0, 0).ok());
   auto renewed = h.RenewLease("b", 100);
   ASSERT_TRUE(renewed.ok());
-  EXPECT_EQ(renewed->size(), 2u);
+  EXPECT_EQ((*renewed)->size(), 2u);
   EXPECT_EQ((*h.GetNode("a"))->lease_renewed_at, 100);
   EXPECT_EQ((*h.GetNode("c"))->lease_renewed_at, 0);
 }
