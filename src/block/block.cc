@@ -26,6 +26,9 @@ void Block::InstallContent(std::unique_ptr<BlockContent> content) {
 
 std::unique_ptr<BlockContent> Block::RemoveContent() {
   obs::Inc(m_resets_);
+  // A reset block carries no pressure; a stale hint would make the
+  // repartitioner touch a block that may be re-mapped to another prefix.
+  ClearRepartitionFlag();
   return std::move(content_);
 }
 

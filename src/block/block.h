@@ -119,6 +119,23 @@ class Block {
   // Counts `n` operators applied as one batch under a single mu() hold.
   void CountOps(uint64_t n) { obs::Inc(m_ops_, n); }
 
+  // Repartition pressure hint (§3.3 off the critical path): a data-path op
+  // that observes usage beyond a threshold flags the block instead of
+  // splitting inline. The CAS dedupes enqueues — only the op that flips the
+  // flag hands the block to the background repartitioner, which clears it
+  // when done (re-flagging itself if the block is still over threshold).
+  bool TryFlagRepartition() {
+    bool expected = false;
+    return repartition_flagged_.compare_exchange_strong(
+        expected, true, std::memory_order_acq_rel);
+  }
+  void ClearRepartitionFlag() {
+    repartition_flagged_.store(false, std::memory_order_release);
+  }
+  bool repartition_flagged() const {
+    return repartition_flagged_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class MemoryServer;  // Wires m_*_ pointers at BindMetrics time.
   const BlockId id_;
@@ -126,6 +143,7 @@ class Block {
   std::mutex mu_;
   std::unique_ptr<BlockContent> content_;
   std::atomic<bool> allocated_{false};
+  std::atomic<bool> repartition_flagged_{false};
   std::atomic<uint64_t> seq_no_{0};
   mutable std::mutex owner_mu_;
   std::string owner_job_;

@@ -63,6 +63,8 @@ class DsClient {
   Clock* clock() { return cluster_->clock(); }
   DsState* state() { return state_.get(); }
   PersistentStore* backing() { return cluster_->backing(); }
+  // Null when background repartitioning is disabled (inline fallback).
+  Repartitioner* repartitioner() { return cluster_->repartitioner(); }
 
   // --- Chain replication (§4.2.2) -------------------------------------------
 

@@ -18,6 +18,23 @@ Status FileClient::GrowTail(BlockId tail_block, uint64_t tail_lo,
   if (!state()->scaling_in_progress.compare_exchange_strong(expected, true)) {
     return RefreshMapInternal();
   }
+  // Re-validate under the guard. GrowTail is now also called by retries that
+  // merely *observe* a capped tail (the capper may have lost this CAS to the
+  // background worker declining a stale hint, dropping the grow on the
+  // floor), so a raced grow may already have published a fresh tail —
+  // growing again would append an overlapping entry.
+  {
+    const Status rs = RefreshMapInternal();
+    if (!rs.ok()) {
+      state()->scaling_in_progress.store(false);
+      return rs;
+    }
+    const PartitionMap cur = CachedMap();
+    if (cur.entries.empty() || cur.entries.back().block != tail_block) {
+      state()->scaling_in_progress.store(false);
+      return Status::Ok();  // Someone else already grew past this tail.
+    }
+  }
   const TimeNs start = clock()->Now();
   ChargeRepartitionControl();
   // Cap the old tail entry at its true end, then append the next block.
@@ -58,7 +75,9 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
     size_t accepted = 0;
     uint64_t end_offset = 0;
     bool grow = false;
+    bool flag_bg = false;
     bool content_gone = false;
+    bool tail_capped = false;
     {
       std::lock_guard<std::mutex> lock(block->mu());
       auto* chunk = ContentAs<FileChunk>(block->content());
@@ -71,19 +90,30 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
         block->CountOp();
         accepted = chunk->Append(remaining);
         end_offset = chunk->end_offset();
+        tail_capped = chunk->capped();
         const double usage = static_cast<double>(chunk->used_bytes()) /
                              static_cast<double>(chunk->capacity());
         if (accepted > 0 && !start_set) {
           start_offset = end_offset - accepted;
           start_set = true;
         }
-        // Early allocation at the high threshold (Fig 14(c)), and forced
-        // allocation when the write outgrew the chunk: seal so stale
-        // writers bounce, then grow outside the block lock.
-        if (!chunk->capped() && (usage >= config().repartition_high_threshold ||
-                                 accepted < remaining.size())) {
-          chunk->Cap();
-          grow = true;
+        if (!chunk->capped()) {
+          if (accepted < remaining.size()) {
+            // The write outgrew the chunk: seal so stale writers bounce,
+            // then grow inline — the remainder cannot land anywhere else.
+            chunk->Cap();
+            grow = true;
+          } else if (usage >= config().repartition_high_threshold) {
+            // Early allocation at the high threshold (Fig 14(c)). With a
+            // background worker the chunk stays open (writes keep landing)
+            // and the worker caps + grows off the critical path.
+            if (repartitioner() != nullptr && tail.replicas.empty()) {
+              flag_bg = true;
+            } else {
+              chunk->Cap();
+              grow = true;
+            }
+          }
         }
       }
     }
@@ -109,12 +139,27 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
     }
     if (grow) {
       JIFFY_RETURN_IF_ERROR(GrowTail(tail.block, tail.lo, end_offset));
+    } else if (flag_bg) {
+      Repartitioner::Hint hint;
+      hint.job = job();
+      hint.prefix = prefix();
+      hint.block = tail.block;
+      hint.type = DsType::kFile;
+      hint.pressure = Repartitioner::Pressure::kOverload;
+      repartitioner()->Flag(block, std::move(hint));
     }
     if (remaining.empty()) {
       return start_offset;
     }
     if (accepted == 0 && !grow) {
-      // Tail was already capped by another client; pick up the new map.
+      if (tail_capped) {
+        // A capped tail with no successor means the capper's grow was
+        // dropped (it lost the scaling CAS, possibly to the background
+        // worker declining a stale hint). Growth is idempotent now — retry
+        // it here instead of waiting on a grow that may never come.
+        JIFFY_RETURN_IF_ERROR(GrowTail(tail.block, tail.lo, end_offset));
+      }
+      // Pick up whichever map the winning grower published.
       JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
     }
   }
@@ -165,7 +210,9 @@ Result<uint64_t> FileClient::AppendVec(
     size_t accepted = 0;
     uint64_t end_offset = 0;
     bool grow = false;
+    bool flag_bg = false;
     bool content_gone = false;
+    bool tail_capped = false;
     {
       std::lock_guard<std::mutex> lock(block->mu());
       auto* chunk = ContentAs<FileChunk>(block->content());
@@ -174,16 +221,25 @@ Result<uint64_t> FileClient::AppendVec(
       } else {
         accepted = chunk->AppendVec(views);
         end_offset = chunk->end_offset();
+        tail_capped = chunk->capped();
         const double usage = static_cast<double>(chunk->used_bytes()) /
                              static_cast<double>(chunk->capacity());
         if (accepted > 0 && !start_set) {
           start_offset = end_offset - accepted;
           start_set = true;
         }
-        if (!chunk->capped() && (usage >= config().repartition_high_threshold ||
-                                 accepted < remaining_total)) {
-          chunk->Cap();
-          grow = true;
+        if (!chunk->capped()) {
+          if (accepted < remaining_total) {
+            chunk->Cap();
+            grow = true;
+          } else if (usage >= config().repartition_high_threshold) {
+            if (repartitioner() != nullptr && tail.replicas.empty()) {
+              flag_bg = true;  // Cap + grow happen off the critical path.
+            } else {
+              chunk->Cap();
+              grow = true;
+            }
+          }
         }
       }
     }
@@ -233,6 +289,14 @@ Result<uint64_t> FileClient::AppendVec(
     }
     if (grow) {
       JIFFY_RETURN_IF_ERROR(GrowTail(tail.block, tail.lo, end_offset));
+    } else if (flag_bg) {
+      Repartitioner::Hint hint;
+      hint.job = job();
+      hint.prefix = prefix();
+      hint.block = tail.block;
+      hint.type = DsType::kFile;
+      hint.pressure = Repartitioner::Pressure::kOverload;
+      repartitioner()->Flag(block, std::move(hint));
     }
     // Skip any empty (or now-exhausted) pieces at the cursor.
     while (piece_idx < pieces.size() &&
@@ -244,6 +308,11 @@ Result<uint64_t> FileClient::AppendVec(
       return start_offset;
     }
     if (accepted == 0 && !grow) {
+      if (tail_capped) {
+        // Same as Append: the capper's grow may have been dropped; growth
+        // is idempotent, so retry it rather than spinning on refreshes.
+        JIFFY_RETURN_IF_ERROR(GrowTail(tail.block, tail.lo, end_offset));
+      }
       JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
     }
   }

@@ -91,7 +91,7 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
       // Failure to scale (e.g. kOutOfMemory) does not fail the put — the
       // data is already stored; the block simply stays hot. Replicated
       // prefixes do not repartition (see DESIGN.md).
-      TrySplit(entry);
+      SignalOverload(block, entry);
     }
     return Status::Ok();
   }
@@ -188,7 +188,7 @@ Status KvClient::Delete(std::string_view key) {
     Publish(kDeleteOp, std::string(key));
     if (usage <= config().repartition_low_threshold &&
         CachedMap().entries.size() > 1 && entry.replicas.empty()) {
-      TryMerge(entry);
+      SignalUnderload(block, entry);
     }
     return Status::Ok();
   }
@@ -248,7 +248,7 @@ Status KvClient::Accumulate(std::string_view key, std::string_view update,
     Publish(kPutOp, std::string(key));
     if (usage >= config().repartition_high_threshold && span > 1 &&
         entry.replicas.empty()) {
-      TrySplit(entry);
+      SignalOverload(block, entry);
     }
     return Status::Ok();
   }
@@ -376,7 +376,7 @@ std::vector<Status> KvClient::MultiPut(
         }
         if (usage >= config().repartition_high_threshold && span > 1 &&
             entry.replicas.empty()) {
-          TrySplit(entry);
+          SignalOverload(block, entry);
         }
       }
     }
@@ -606,7 +606,7 @@ std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) 
         }
         if (usage <= config().repartition_low_threshold &&
             CachedMap().entries.size() > 1 && entry.replicas.empty()) {
-          TryMerge(entry);
+          SignalUnderload(block, entry);
         }
       }
     }
@@ -626,6 +626,36 @@ std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) 
         Unavailable("kv multi-delete livelock (too many stale retries)");
   }
   return statuses;
+}
+
+void KvClient::SignalOverload(Block* block, const PartitionEntry& entry) {
+  Repartitioner* rp = repartitioner();
+  if (rp == nullptr) {
+    TrySplit(entry);
+    return;
+  }
+  Repartitioner::Hint hint;
+  hint.job = job();
+  hint.prefix = prefix();
+  hint.block = entry.block;
+  hint.type = DsType::kKvStore;
+  hint.pressure = Repartitioner::Pressure::kOverload;
+  rp->Flag(block, std::move(hint));
+}
+
+void KvClient::SignalUnderload(Block* block, const PartitionEntry& entry) {
+  Repartitioner* rp = repartitioner();
+  if (rp == nullptr) {
+    TryMerge(entry);
+    return;
+  }
+  Repartitioner::Hint hint;
+  hint.job = job();
+  hint.prefix = prefix();
+  hint.block = entry.block;
+  hint.type = DsType::kKvStore;
+  hint.pressure = Repartitioner::Pressure::kUnderload;
+  rp->Flag(block, std::move(hint));
 }
 
 Status KvClient::TrySplit(const PartitionEntry& entry) {
@@ -675,7 +705,6 @@ Status KvClient::TrySplit(const PartitionEntry& entry) {
     if (second->id() < first->id()) {
       std::swap(first, second);
     }
-    size_t moved_bytes = 0;
     {
       std::lock_guard<std::mutex> lock1(first->mu());
       std::lock_guard<std::mutex> lock2(second->mu());
@@ -687,14 +716,25 @@ Status KvClient::TrySplit(const PartitionEntry& entry) {
       }
       std::vector<std::pair<std::string, std::string>> pairs;
       old_shard->SplitOff(mid, &pairs);
-      for (auto& [k, v] : pairs) {
+      size_t moved_bytes = 0;
+      for (const auto& [k, v] : pairs) {
         moved_bytes += k.size() + v.size();
-        JIFFY_RETURN_IF_ERROR(fresh->Put(k, v));
       }
+      const Status moved = fresh->MoveInPairs(mid, hi, &pairs);
+      if (!moved.ok()) {
+        // All-or-nothing insert failed, so `pairs` is intact: put the range
+        // and its data back on the source so nothing is lost, and release
+        // the unmapped block.
+        old_shard->Absorb(mid, hi, &pairs);
+        controller()->AbortUnmapped(*new_id);
+        return moved;
+      }
+      // Server-to-server transfer of half a block (Fig 11(b): a few hundred
+      // ms at paper scale over 10 Gbps). Charged while both blocks are
+      // locked — this is precisely the blocking migration the background
+      // repartitioner exists to avoid.
+      data_net()->RoundTrip(moved_bytes, 64);
     }
-    // Server-to-server transfer of half a block (Fig 11(b): a few hundred
-    // ms at paper scale over 10 Gbps).
-    data_net()->RoundTrip(moved_bytes, 64);
     // Phase 3: publish the new ownership atomically.
     PartitionEntry new_entry;
     new_entry.block = *new_id;
@@ -776,7 +816,6 @@ Status KvClient::TryMerge(const PartitionEntry& entry) {
       std::swap(first, second);
     }
     uint64_t new_lo = 0, new_hi = 0;
-    size_t moved_bytes = 0;
     {
       std::lock_guard<std::mutex> lock1(first->mu());
       std::lock_guard<std::mutex> lock2(second->mu());
@@ -793,14 +832,23 @@ Status KvClient::TryMerge(const PartitionEntry& entry) {
       const uint32_t src_hi = src->slot_hi();
       std::vector<std::pair<std::string, std::string>> pairs;
       src->SplitOff(src_lo, &pairs);  // Extract everything; range → empty.
+      size_t moved_bytes = 0;
       for (const auto& [k, v] : pairs) {
         moved_bytes += k.size() + v.size();
       }
-      JIFFY_RETURN_IF_ERROR(dst->Absorb(src_lo, src_hi, std::move(pairs)));
+      const Status absorbed = dst->Absorb(src_lo, src_hi, &pairs);
+      if (!absorbed.ok()) {
+        // All-or-nothing, so `pairs` is intact: give the range and its data
+        // back to the source and leave both blocks as they were.
+        src->Absorb(src_lo, src_hi, &pairs);
+        return absorbed;
+      }
       new_lo = dst->slot_lo();
       new_hi = dst->slot_hi();
+      // Charged while both blocks are locked, like the split: the blocking
+      // baseline pays the transfer on the data path.
+      data_net()->RoundTrip(moved_bytes, 64);
     }
-    data_net()->RoundTrip(moved_bytes, 64);
     JIFFY_RETURN_IF_ERROR(controller()->CommitMerge(
         job(), prefix(), self->block, sibling->block, new_lo, new_hi));
     state()->merges.fetch_add(1);

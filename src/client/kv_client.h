@@ -66,7 +66,14 @@ class KvClient : public DsClient {
   // stale).
   bool RouteSlot(uint32_t slot, PartitionEntry* out) const;
 
+  // Overload/underload dispatch: hands the pressure hint to the background
+  // repartitioner when one is running (DESIGN.md §9), else falls back to the
+  // legacy inline split/merge on this thread.
+  void SignalOverload(Block* block, const PartitionEntry& entry);
+  void SignalUnderload(Block* block, const PartitionEntry& entry);
+
   // Splits `entry`'s block: upper half of its slots move to a new block.
+  // Inline (blocking) path — the data move happens under both block locks.
   Status TrySplit(const PartitionEntry& entry);
 
   // Merges `entry`'s block into an adjacent block when both fit.

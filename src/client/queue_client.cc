@@ -16,6 +16,22 @@ void QueueClient::SetMaxQueueLength(uint64_t n) {
   state()->max_queue_length.store(n);
 }
 
+bool QueueClient::FlagPressure(Block* block, BlockId id,
+                               Repartitioner::Pressure p) {
+  Repartitioner* rp = repartitioner();
+  if (rp == nullptr) {
+    return false;
+  }
+  Repartitioner::Hint hint;
+  hint.job = job();
+  hint.prefix = prefix();
+  hint.block = id;
+  hint.type = DsType::kQueue;
+  hint.pressure = p;
+  rp->Flag(block, std::move(hint));
+  return true;
+}
+
 Status QueueClient::GrowTail(BlockId tail_block, uint64_t last_index) {
   bool expected = false;
   if (!state()->scaling_in_progress.compare_exchange_strong(expected, true)) {
@@ -80,6 +96,7 @@ Status QueueClient::Enqueue(std::string item) {
     }
     bool accepted = false;
     bool content_gone = false;
+    double usage = 0.0;
     std::string replica_copy;
     {
       std::lock_guard<std::mutex> lock(block->mu());
@@ -96,6 +113,8 @@ Status QueueClient::Enqueue(std::string item) {
           replica_copy = item;
         }
         accepted = seg->Enqueue(std::move(item));
+        usage = static_cast<double>(seg->used_bytes()) /
+                static_cast<double>(seg->capacity());
       }
     }
     if (content_gone) {
@@ -113,6 +132,12 @@ Status QueueClient::Enqueue(std::string item) {
       }
       state()->queue_items.fetch_add(1, std::memory_order_relaxed);
       Publish(kEnqueueOp, std::to_string(item_size));
+      if (usage >= config().repartition_high_threshold &&
+          tail.replicas.empty()) {
+        // Proactive growth: ask the background worker to seal this tail and
+        // append a fresh one before producers hit the overflow path.
+        FlagPressure(block, tail.block, Repartitioner::Pressure::kOverload);
+      }
       return Status::Ok();
     }
     // Tail full: grow, then retry. QueueSegment::Enqueue only moves from
@@ -168,6 +193,7 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
     }
     size_t accepted = 0;
     bool content_gone = false;
+    double usage = 0.0;
     {
       std::lock_guard<std::mutex> lock(block->mu());
       auto* seg = ContentAs<QueueSegment>(block->content());
@@ -178,6 +204,8 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
         // segment seals and the remainder stays intact for the new tail.
         accepted = seg->EnqueueBatch(&items, done);
         block->CountOps(accepted);
+        usage = static_cast<double>(seg->used_bytes()) /
+                static_cast<double>(seg->capacity());
       }
     }
     if (content_gone) {
@@ -206,6 +234,13 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
         Publish(kEnqueueOp, std::to_string(sizes[i]));
       }
       done += accepted;
+      if (done == items.size() &&
+          usage >= config().repartition_high_threshold &&
+          tail.replicas.empty()) {
+        // Whole batch landed but the tail is nearly full — grow it in the
+        // background before the next producer overflows.
+        FlagPressure(block, tail.block, Repartitioner::Pressure::kOverload);
+      }
     }
     if (done < items.size()) {
       // Tail sealed mid-batch: grow, then re-send only the suffix.
@@ -273,7 +308,13 @@ Result<std::string> QueueClient::Dequeue() {
       state()->queue_items.fetch_sub(1, std::memory_order_relaxed);
       Publish(kDequeueOp, std::to_string(item.size()));
       if (drained && !head_is_tail) {
-        // Opportunistically reclaim the drained head block.
+        // The dequeue itself succeeded; reclaiming the drained head is pure
+        // cleanup, so hand it to the background worker when one is running.
+        if (head.replicas.empty() &&
+            FlagPressure(block, head.block,
+                         Repartitioner::Pressure::kUnderload)) {
+          return item;
+        }
         JIFFY_RETURN_IF_ERROR(ShrinkHead(head.block));
       }
       return item;
@@ -286,6 +327,14 @@ Result<std::string> QueueClient::Dequeue() {
       // The head is sealed, so a successor segment exists (or is being
       // allocated right now) — our single-entry map is stale. Refresh and
       // retry rather than reporting an empty queue.
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (!head_is_tail) {
+      // A non-tail segment is sealed by construction (growth always seals
+      // the predecessor first). An unsealed, empty segment where our map
+      // expects an interior head means the head block was reclaimed and its
+      // block reused as a fresh tail — the map is stale, not the queue empty.
       JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
       continue;
     }
@@ -367,6 +416,13 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
     }
     if (sealed) {
       // Sealed but not drained-and-removable: a successor exists; refresh.
+      JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
+      continue;
+    }
+    if (!head_is_tail) {
+      // Unsealed yet interior per our map: the head block was reclaimed and
+      // reused as a fresh tail (see Dequeue) — refresh rather than treating
+      // the queue as exhausted.
       JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
       continue;
     }

@@ -21,6 +21,7 @@
 #include "src/block/block.h"
 #include "src/common/config.h"
 #include "src/core/controller.h"
+#include "src/core/repartitioner.h"
 #include "src/ds/registry.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
@@ -74,6 +75,11 @@ class JiffyCluster : public DataPlaneHooks {
   Transport* control_transport() { return control_transport_.get(); }
   Transport* data_transport() { return data_transport_.get(); }
 
+  // Background repartition worker (DESIGN.md §9). Null when
+  // config.background_repartition is false — clients then fall back to the
+  // legacy inline split/merge paths.
+  Repartitioner* repartitioner() { return repartitioner_.get(); }
+
   // --- Observability --------------------------------------------------------
   //
   // Every component of this cluster registers its metrics in one registry at
@@ -121,6 +127,9 @@ class JiffyCluster : public DataPlaneHooks {
   DsRegistry registry_;
   std::unique_ptr<Transport> control_transport_;
   std::unique_ptr<Transport> data_transport_;
+  // Stopped explicitly at the top of ~JiffyCluster so its worker thread never
+  // touches servers/controllers mid-teardown.
+  std::unique_ptr<Repartitioner> repartitioner_;
 
   // Owned per cluster (no process-global registry) so tests that build
   // several clusters never share metrics. Bound components cache raw metric

@@ -231,6 +231,16 @@ uint64_t Controller::RunExpiryScan() {
         continue;
       }
       TaskNode* node = *node_r;
+      // Defer prefixes with a chunked migration in flight to the next scan
+      // (FlushNodeLocked would refuse anyway; see BeginMigration) — the
+      // migration finishes in milliseconds, the scan period is much longer.
+      bool migrating = false;
+      for (const PartitionEntry& e : node->partition.entries) {
+        migrating = migrating || e.migrating;
+      }
+      if (migrating) {
+        continue;
+      }
       // Flush to persistent storage before reclaiming so data survives even
       // a spurious expiry (§3.2: "the data is not lost").
       Status st = FlushNodeLocked(hier, node,
@@ -310,6 +320,15 @@ Status Controller::FlushNodeLocked(JobHierarchy* hier, TaskNode* node,
   (void)hier;
   if (!node->has_ds) {
     return Status::Ok();  // Nothing stored under this prefix.
+  }
+  // A chunked migration in flight makes the mapped state non-serializable:
+  // a merge target may hold foreign pairs for a range it does not own yet,
+  // and evicting would leak the unmapped destination block. Callers defer
+  // (expiry scan) or fail (explicit flush) and retry after the migration.
+  for (const PartitionEntry& entry : node->partition.entries) {
+    if (entry.migrating) {
+      return FailedPrecondition("migration in flight under this prefix");
+    }
   }
   for (size_t i = 0; i < node->partition.entries.size(); ++i) {
     const PartitionEntry& entry = node->partition.entries[i];
@@ -610,6 +629,7 @@ Status Controller::CommitSplit(const std::string& job,
     if (entry.block == old_block) {
       entry.lo = old_lo;
       entry.hi = old_hi;
+      entry.migrating = false;
       found = true;
       break;
     }
@@ -645,6 +665,7 @@ Status Controller::CommitMerge(const std::string& job,
     if (entry.block == sibling) {
       entry.lo = sib_lo;
       entry.hi = sib_hi;
+      entry.migrating = false;
       found = true;
       break;
     }
@@ -674,6 +695,41 @@ Status Controller::AbortUnmapped(BlockId block) {
     JIFFY_RETURN_IF_ERROR(hooks_->ResetBlock(block));
   }
   return allocator_->Free(block);
+}
+
+Status Controller::BeginMigration(const std::string& job,
+                                  const std::string& prefix, BlockId block) {
+  JIFFY_TRACE_SPAN("ctl.begin_migration", "control");
+  ChargeOp();
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
+  for (auto& entry : node->partition.entries) {
+    if (entry.block == block) {
+      if (entry.migrating) {
+        return FailedPrecondition("block " + block.ToString() +
+                                  " is already migrating");
+      }
+      entry.migrating = true;
+      return Status::Ok();
+    }
+  }
+  return NotFound("migration source block " + block.ToString() +
+                  " is not mapped under '" + prefix + "'");
+}
+
+Status Controller::EndMigration(const std::string& job,
+                                const std::string& prefix, BlockId block) {
+  ChargeOp();
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
+  for (auto& entry : node->partition.entries) {
+    if (entry.block == block) {
+      entry.migrating = false;
+      return Status::Ok();
+    }
+  }
+  return NotFound("migration source block " + block.ToString() +
+                  " is not mapped under '" + prefix + "'");
 }
 
 Status Controller::SetQueueHead(const std::string& job,

@@ -239,6 +239,21 @@ class Controller {
   // Releases a block obtained via AllocateUnmapped when the move fails.
   Status AbortUnmapped(BlockId block);
 
+  // Chunked-migration bracket (DESIGN.md §9). BeginMigration marks the
+  // mapped entry owning `block` as migrating, which (a) defers lease-expiry
+  // eviction of the prefix — evicting mid-move would flush half-moved state
+  // and leak the unmapped destination — and (b) fails explicit flushes with
+  // kFailedPrecondition (a merge target may hold foreign pairs for a range
+  // it does not own yet). Fails with kFailedPrecondition when the entry is
+  // already migrating (one migration per entry at a time). The mark is
+  // cleared by CommitSplit/CommitMerge on success or EndMigration on abort;
+  // it is deliberately not serialized in Snapshot — a standby promoted
+  // mid-migration abandons the in-flight move (the source keeps all data).
+  Status BeginMigration(const std::string& job, const std::string& prefix,
+                        BlockId block);
+  Status EndMigration(const std::string& job, const std::string& prefix,
+                      BlockId block);
+
   // --- Replication & fault handling (§4.2.2) --------------------------------
 
   // Repairs the partition entry containing `hint` after a memory-server

@@ -51,6 +51,15 @@ struct PartitionEntry {
   uint64_t lo = 0;
   uint64_t hi = 0;
   std::vector<BlockId> replicas;
+
+  // True while a chunked migration (DESIGN.md §9) is draining part of this
+  // entry's range into an unmapped destination block. The controller defers
+  // lease-expiry eviction and explicit flushes for prefixes with a migrating
+  // entry (a flush would serialize half-moved state and leak the unmapped
+  // destination). Cleared by CommitSplit/CommitMerge/EndMigration. Not
+  // serialized in snapshots: a standby promoted mid-migration simply
+  // abandons the in-flight move (the source still holds all data).
+  bool migrating = false;
 };
 
 // Versioned block map for the data structure under an address prefix.

@@ -49,6 +49,18 @@ std::optional<size_t> CuckooHashMap::Put(std::string_view key,
   return std::nullopt;
 }
 
+std::optional<size_t> CuckooHashMap::PutOwned(std::string key,
+                                              std::string value) {
+  if (Entry* e = FindMutable(key); e != nullptr) {
+    const size_t old_size = e->value.size();
+    e->value = std::move(value);
+    return old_size;
+  }
+  Place(std::move(key), std::move(value));
+  size_++;
+  return std::nullopt;
+}
+
 void CuckooHashMap::Place(std::string key, std::string value) {
   for (;;) {
     // Try an empty slot in either candidate bucket.

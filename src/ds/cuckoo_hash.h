@@ -28,6 +28,11 @@ class CuckooHashMap {
   // present (so callers can maintain byte accounting), or nullopt.
   std::optional<size_t> Put(std::string_view key, std::string_view value);
 
+  // Move-insert variant: consumes the caller's strings instead of copying
+  // them (repartitioning moves block-halves of pairs at a time; the copies
+  // were pure waste). Same return contract as Put.
+  std::optional<size_t> PutOwned(std::string key, std::string value);
+
   std::optional<std::string> Get(std::string_view key) const;
   bool Contains(std::string_view key) const;
 

@@ -46,9 +46,9 @@ bool KvShard::OwnsKey(std::string_view key) const {
 }
 
 Status KvShard::Put(std::string_view key, std::string_view value) {
-  if (!OwnsKey(key)) {
-    return StaleMetadata("slot " +
-                         std::to_string(KvSlotOf(key, total_slots_)) +
+  const uint32_t slot = KvSlotOf(key, total_slots_);
+  if (!OwnsSlot(slot)) {
+    return StaleMetadata("slot " + std::to_string(slot) +
                          " not owned by this shard");
   }
   const std::optional<size_t> old = map_.Put(key, value);
@@ -58,6 +58,7 @@ Status KvShard::Put(std::string_view key, std::string_view value) {
   } else {
     used_bytes_ += key.size() + value.size() + kPerPairOverhead;
   }
+  NoteDirty(key, slot);
   return Status::Ok();
 }
 
@@ -75,9 +76,9 @@ Result<std::string> KvShard::Get(std::string_view key) const {
 }
 
 Status KvShard::Delete(std::string_view key) {
-  if (!OwnsKey(key)) {
-    return StaleMetadata("slot " +
-                         std::to_string(KvSlotOf(key, total_slots_)) +
+  const uint32_t slot = KvSlotOf(key, total_slots_);
+  if (!OwnsSlot(slot)) {
+    return StaleMetadata("slot " + std::to_string(slot) +
                          " not owned by this shard");
   }
   const std::optional<size_t> erased = map_.Erase(key);
@@ -85,6 +86,7 @@ Status KvShard::Delete(std::string_view key) {
     return NotFound("no such key");
   }
   used_bytes_ -= *erased + kPerPairOverhead;
+  NoteDirty(key, slot);
   return Status::Ok();
 }
 
@@ -120,6 +122,9 @@ size_t KvShard::SplitOff(
     uint32_t from_slot, std::vector<std::pair<std::string, std::string>>* out) {
   const uint32_t total = total_slots_;
   size_t moved_bytes = 0;
+  // Upper bound — a split typically moves about half the pairs, but one
+  // reserve beats log2(moved) relocations of string pairs.
+  out->reserve(out->size() + map_.size());
   const size_t moved = map_.ExtractIf(
       [&](const std::string& key) {
         const uint32_t slot = KvSlotOf(key, total);
@@ -135,18 +140,147 @@ size_t KvShard::SplitOff(
 }
 
 Status KvShard::Absorb(uint32_t other_lo, uint32_t other_hi,
-                       std::vector<std::pair<std::string, std::string>> pairs) {
+                       std::vector<std::pair<std::string, std::string>>* pairs) {
+  if (other_hi != slot_lo_ && other_lo != slot_hi_) {
+    return InvalidArgument("absorbed slot range is not adjacent");
+  }
+  // Validates every pair before inserting any and before the range moves,
+  // so a failed absorb leaves both the shard and `*pairs` untouched.
+  JIFFY_RETURN_IF_ERROR(MoveInPairs(other_lo, other_hi, pairs));
+  if (other_hi == slot_lo_) {
+    slot_lo_ = other_lo;
+  } else {
+    slot_hi_ = other_hi;
+  }
+  return Status::Ok();
+}
+
+Status KvShard::BeginMigration(uint32_t from_slot) {
+  if (migrating_) {
+    return FailedPrecondition("shard migration already in flight");
+  }
+  if (from_slot < slot_lo_ || from_slot > slot_hi_) {
+    return InvalidArgument("migration start slot outside owned range");
+  }
+  migrating_ = true;
+  migrate_from_ = from_slot;
+  snapshot_keys_.clear();
+  snapshot_keys_.reserve(map_.size());
+  map_.ForEach([&](const std::string& k, const std::string& v) {
+    (void)v;
+    const uint32_t slot = KvSlotOf(k, total_slots_);
+    if (slot >= from_slot && slot < slot_hi_) {
+      snapshot_keys_.push_back(k);
+    }
+  });
+  dirty_.clear();
+  return Status::Ok();
+}
+
+bool KvShard::SplitOffChunk(
+    size_t* cursor, size_t max_bytes,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  size_t bytes = 0;
+  while (*cursor < snapshot_keys_.size() && bytes < max_bytes) {
+    const std::string& key = snapshot_keys_[*cursor];
+    ++*cursor;
+    std::optional<std::string> value = map_.Get(key);
+    if (!value.has_value()) {
+      continue;  // Deleted since the snapshot; nothing to copy.
+    }
+    bytes += key.size() + value->size() + kPerPairOverhead;
+    out->emplace_back(key, std::move(*value));
+  }
+  return *cursor >= snapshot_keys_.size();
+}
+
+std::vector<std::string> KvShard::TakeDirtyKeys() {
+  std::vector<std::string> keys;
+  keys.reserve(dirty_.size());
+  for (auto it = dirty_.begin(); it != dirty_.end();) {
+    keys.push_back(std::move(dirty_.extract(it++).value()));
+  }
+  return keys;
+}
+
+size_t KvShard::FinishMigration() {
+  const size_t dropped = DropRange(migrate_from_, slot_hi_);
+  slot_hi_ = migrate_from_;
+  AbortMigration();  // Clears snapshot + dirty state.
+  return dropped;
+}
+
+void KvShard::AbortMigration() {
+  migrating_ = false;
+  snapshot_keys_.clear();
+  snapshot_keys_.shrink_to_fit();
+  dirty_.clear();
+}
+
+Status KvShard::MoveInPairs(
+    uint32_t lo, uint32_t hi,
+    std::vector<std::pair<std::string, std::string>>* pairs) {
+  for (const auto& [k, v] : *pairs) {
+    const uint32_t slot = KvSlotOf(k, total_slots_);
+    if (slot < lo || slot >= hi) {
+      return InvalidArgument("migrated pair in slot " + std::to_string(slot) +
+                             " outside range [" + std::to_string(lo) + ", " +
+                             std::to_string(hi) + ")");
+    }
+  }
+  for (auto& [k, v] : *pairs) {
+    const size_t key_size = k.size();
+    const size_t value_size = v.size();
+    const std::optional<size_t> old = map_.PutOwned(std::move(k), std::move(v));
+    if (old.has_value()) {
+      used_bytes_ += value_size;
+      used_bytes_ -= *old;
+    } else {
+      used_bytes_ += key_size + value_size + kPerPairOverhead;
+    }
+  }
+  pairs->clear();
+  return Status::Ok();
+}
+
+bool KvShard::EraseMigrated(std::string_view key) {
+  const std::optional<size_t> erased = map_.Erase(key);
+  if (!erased.has_value()) {
+    return false;
+  }
+  used_bytes_ -= *erased + kPerPairOverhead;
+  return true;
+}
+
+size_t KvShard::DropRange(uint32_t lo, uint32_t hi) {
+  size_t dropped_bytes = 0;
+  const size_t dropped = map_.ExtractIf(
+      [&](const std::string& key) {
+        const uint32_t slot = KvSlotOf(key, total_slots_);
+        return slot >= lo && slot < hi;
+      },
+      [&](std::string&& k, std::string&& v) {
+        dropped_bytes += k.size() + v.size() + kPerPairOverhead;
+      });
+  used_bytes_ -= dropped_bytes;
+  return dropped;
+}
+
+Status KvShard::ExtendRange(uint32_t other_lo, uint32_t other_hi) {
   if (other_hi == slot_lo_) {
     slot_lo_ = other_lo;
   } else if (other_lo == slot_hi_) {
     slot_hi_ = other_hi;
   } else {
-    return InvalidArgument("absorbed slot range is not adjacent");
-  }
-  for (auto& [k, v] : pairs) {
-    JIFFY_RETURN_IF_ERROR(Put(k, v));
+    return InvalidArgument("extended slot range is not adjacent");
   }
   return Status::Ok();
+}
+
+void KvShard::NoteDirty(std::string_view key, uint32_t slot) {
+  if (migrating_ && slot >= migrate_from_ && slot < slot_hi_) {
+    dirty_.insert(std::string(key));
+  }
 }
 
 }  // namespace jiffy

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "src/block/block.h"
@@ -92,9 +93,64 @@ class KvShard : public BlockContent {
 
   // Absorbs pairs (from a merging sibling) and extends the owned range to
   // [min(slot_lo, other_lo), max(slot_hi, other_hi)). The sibling's range
-  // must be adjacent.
+  // must be adjacent. All-or-nothing: any pair outside [other_lo, other_hi)
+  // fails the whole call before anything is inserted or the range moves,
+  // leaving `*pairs` untouched so the caller can restore them to their
+  // source; on success `*pairs` is consumed.
   Status Absorb(uint32_t other_lo, uint32_t other_hi,
-                std::vector<std::pair<std::string, std::string>> pairs);
+                std::vector<std::pair<std::string, std::string>>* pairs);
+
+  // --- Chunked live migration (DESIGN.md §9) --------------------------------
+  //
+  // Source side. BeginMigration(from_slot) snapshots the keys currently in
+  // [from_slot, slot_hi) and starts dirty tracking: every Put/Delete that
+  // lands in the migrating range records its key. SplitOffChunk *copies*
+  // bounded chunks of the snapshot — the source stays authoritative for the
+  // full range, so concurrent Get/Put/Delete keep working between chunks.
+  // In the final catch-up (caller holds this block's mutex): TakeDirtyKeys
+  // → re-read each via Get and reconcile at the destination → then
+  // FinishMigration drops the range's pairs and shrinks slot_hi. All calls
+  // must run under the owning block's mutex.
+  Status BeginMigration(uint32_t from_slot);
+  bool migrating() const { return migrating_; }
+  uint32_t migrate_from() const { return migrate_from_; }
+
+  // Copies snapshot pairs into `out` until ~max_bytes, advancing `*cursor`
+  // (an index into the internal snapshot; start at 0). Keys deleted since
+  // the snapshot are skipped. Returns true when the snapshot is exhausted.
+  bool SplitOffChunk(size_t* cursor, size_t max_bytes,
+                     std::vector<std::pair<std::string, std::string>>* out);
+
+  // Drains the set of keys mutated in the migrating range since
+  // BeginMigration (or the previous drain).
+  std::vector<std::string> TakeDirtyKeys();
+
+  // Drops every pair in [migrate_from, slot_hi), shrinks the owned range to
+  // [slot_lo, migrate_from) and ends the migration. Returns pairs dropped.
+  size_t FinishMigration();
+
+  // Ends the migration leaving the shard untouched (the source kept all its
+  // data, so aborting is free).
+  void AbortMigration();
+
+  // Destination side. MoveInPairs bulk-upserts pairs whose slots lie in
+  // [lo, hi) *without* the ownership check — during a migration the
+  // destination holds data for a range it does not own yet. All-or-nothing:
+  // validation runs before any insert, so on failure `*pairs` is untouched
+  // (restorable at the caller); on success it is consumed.
+  Status MoveInPairs(uint32_t lo, uint32_t hi,
+                     std::vector<std::pair<std::string, std::string>>* pairs);
+
+  // Erase without the ownership check (dirty-delete reconciliation on a
+  // destination that does not own the range yet). False when absent.
+  bool EraseMigrated(std::string_view key);
+
+  // Removes every pair whose slot is in [lo, hi) regardless of ownership
+  // (abort cleanup on a live merge target). Returns pairs dropped.
+  size_t DropRange(uint32_t lo, uint32_t hi);
+
+  // Commits ownership of an adjacent slot range (migration final hold).
+  Status ExtendRange(uint32_t other_lo, uint32_t other_hi);
 
   // All pairs (for tests and flush verification).
   void ForEach(const std::function<void(const std::string&,
@@ -103,12 +159,22 @@ class KvShard : public BlockContent {
   }
 
  private:
+  // Records `key` in the dirty set when a migration is tracking its slot.
+  void NoteDirty(std::string_view key, uint32_t slot);
+
   const size_t capacity_;
   uint32_t slot_lo_;
   uint32_t slot_hi_;
   const uint32_t total_slots_;
   CuckooHashMap map_;
   size_t used_bytes_ = 0;
+
+  // Chunked-migration state (guarded by the owning block's mutex, like
+  // everything else in the shard).
+  bool migrating_ = false;
+  uint32_t migrate_from_ = 0;
+  std::vector<std::string> snapshot_keys_;
+  std::unordered_set<std::string> dirty_;
 };
 
 }  // namespace jiffy

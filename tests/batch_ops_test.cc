@@ -121,6 +121,10 @@ TEST_F(BatchOpsTest, MultiPutSpansMultipleBlocks) {
   for (const Status& st : (*kv)->MultiPut(pairs)) {
     ASSERT_TRUE(st.ok());
   }
+  if (cluster_->repartitioner() != nullptr) {
+    cluster_->repartitioner()->WaitIdle();
+  }
+  ASSERT_TRUE((*kv)->RefreshMap().ok());
   EXPECT_GT((*kv)->CachedMap().entries.size(), 1u);
   auto results = (*kv)->MultiGet({"key0", "key150", "key299"});
   for (const auto& r : results) {

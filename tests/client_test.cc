@@ -27,6 +27,14 @@ class ClientTest : public ::testing::Test {
     EXPECT_TRUE(client_->RegisterJob("job").ok());
   }
 
+  // Lets the background repartitioner finish every pending split/merge so
+  // assertions about the partition map are deterministic.
+  void DrainRepartitioner() {
+    if (cluster_->repartitioner() != nullptr) {
+      cluster_->repartitioner()->WaitIdle();
+    }
+  }
+
   SimClock clock_;
   std::unique_ptr<JiffyCluster> cluster_;
   std::unique_ptr<JiffyClient> client_;
@@ -285,6 +293,8 @@ TEST_F(ClientTest, KvSplitsUnderLoadAndKeepsAllData) {
         (*kv)->Put("key" + std::to_string(i), std::string(80, 'v')).ok())
         << i;
   }
+  DrainRepartitioner();
+  ASSERT_TRUE((*kv)->RefreshMap().ok());
   EXPECT_GT((*kv)->CachedMap().entries.size(), 4u);
   for (int i = 0; i < 400; ++i) {
     auto v = (*kv)->Get("key" + std::to_string(i));
@@ -301,6 +311,7 @@ TEST_F(ClientTest, KvSlotRangesStayDisjointAndComplete) {
   for (int i = 0; i < 600; ++i) {
     ASSERT_TRUE((*kv)->Put("k" + std::to_string(i), std::string(64, 'd')).ok());
   }
+  DrainRepartitioner();
   ASSERT_TRUE((*kv)->RefreshMap().ok());
   auto map = (*kv)->CachedMap();
   // Sorted entries must tile [0, 1024) exactly.
@@ -325,11 +336,14 @@ TEST_F(ClientTest, KvMergesAfterDeletes) {
   for (int i = 0; i < 400; ++i) {
     ASSERT_TRUE((*kv)->Put("k" + std::to_string(i), std::string(80, 'm')).ok());
   }
+  DrainRepartitioner();
+  ASSERT_TRUE((*kv)->RefreshMap().ok());
   const size_t blocks_at_peak = (*kv)->CachedMap().entries.size();
   ASSERT_GT(blocks_at_peak, 2u);
   for (int i = 0; i < 400; ++i) {
     ASSERT_TRUE((*kv)->Delete("k" + std::to_string(i)).ok()) << i;
   }
+  DrainRepartitioner();
   ASSERT_TRUE((*kv)->RefreshMap().ok());
   EXPECT_LT((*kv)->CachedMap().entries.size(), blocks_at_peak);
   EXPECT_EQ(*(*kv)->CountPairs(), 0u);
@@ -346,6 +360,8 @@ TEST_F(ClientTest, KvStaleClientRoutesAfterSplit) {
     ASSERT_TRUE(
         (*writer)->Put("key" + std::to_string(i), std::string(80, 's')).ok());
   }
+  DrainRepartitioner();
+  ASSERT_TRUE((*writer)->RefreshMap().ok());
   ASSERT_GT((*writer)->CachedMap().entries.size(),
             (*reader)->CachedMap().entries.size());
   // Reader transparently refreshes on stale routes.

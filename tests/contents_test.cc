@@ -189,7 +189,7 @@ TEST(KvShardTest, AbsorbExtendsRange) {
   }
   std::vector<std::pair<std::string, std::string>> pairs;
   right.SplitOff(512, &pairs);  // Extract everything.
-  ASSERT_TRUE(left.Absorb(512, 1024, std::move(pairs)).ok());
+  ASSERT_TRUE(left.Absorb(512, 1024, &pairs).ok());
   EXPECT_EQ(left.slot_hi(), 1024u);
   EXPECT_EQ(left.pair_count(), 200u);
   for (int i = 0; i < 200; ++i) {
@@ -199,7 +199,9 @@ TEST(KvShardTest, AbsorbExtendsRange) {
 
 TEST(KvShardTest, AbsorbRejectsNonAdjacent) {
   KvShard shard(1 << 16, 0, 100, 1024);
-  EXPECT_EQ(shard.Absorb(500, 600, {}).code(), StatusCode::kInvalidArgument);
+  std::vector<std::pair<std::string, std::string>> none;
+  EXPECT_EQ(shard.Absorb(500, 600, &none).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(KvShardTest, SerializeRoundTrip) {

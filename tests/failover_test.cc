@@ -102,6 +102,11 @@ TEST_F(FailoverTest, PromotedStandbyServesLiveData) {
   for (int i = 0; i < 300; ++i) {
     ASSERT_TRUE((*kv)->Put("k" + std::to_string(i), std::string(60, 'f')).ok());
   }
+  // Let in-flight background splits publish before snapshotting the
+  // control plane (in-flight migration state is not serialized).
+  if (cluster_->repartitioner() != nullptr) {
+    cluster_->repartitioner()->WaitIdle();
+  }
   const std::string snap = primary->Snapshot();
 
   auto standby = MakeStandby();

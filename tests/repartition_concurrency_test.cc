@@ -1,0 +1,254 @@
+// Background-repartitioner concurrency tests: clients keep reading and
+// writing while chunked live migrations (splits and merges) are in flight.
+// Chunk sizes are set tiny relative to the block size so every migration
+// spans many chunk copies plus a dirty catch-up — the windows where data
+// could be lost or duplicated if the protocol were wrong.
+//
+// Suite name contains "Concurrency" so the TSan CI job picks it up.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/client/jiffy_client.h"
+#include "src/common/random.h"
+
+namespace jiffy {
+namespace {
+
+std::unique_ptr<JiffyCluster> MigrationCluster(size_t chunk_bytes) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 4;
+  opts.config.blocks_per_server = 256;
+  opts.config.block_size_bytes = 4096;
+  opts.config.repartition_chunk_bytes = chunk_bytes;
+  opts.config.lease_duration = 3600 * kSecond;
+  return std::make_unique<JiffyCluster>(opts);
+}
+
+void DrainRepartitioner(JiffyCluster* cluster) {
+  ASSERT_NE(cluster->repartitioner(), nullptr);
+  cluster->repartitioner()->WaitIdle();
+}
+
+TEST(RepartitionConcurrencyTest, WritersDuringChunkedSplitLoseNoPairs) {
+  auto cluster = MigrationCluster(/*chunk_bytes=*/512);
+  JiffyClient client(cluster.get());
+  ASSERT_TRUE(client.RegisterJob("job").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/job/kv", {}).ok());
+  // Disjoint per-writer key spaces with unique values: a lost pair fails the
+  // per-key read-back, a duplicated pair inflates CountPairs.
+  constexpr int kWriters = 4;
+  constexpr int kKeysPerWriter = 250;
+  auto key_of = [](int w, int i) {
+    return "w" + std::to_string(w) + "-" + std::to_string(i);
+  };
+  auto value_of = [](int w, int i) {
+    return "v" + std::to_string(w) + ":" + std::to_string(i) +
+           std::string(48, 'd');
+  };
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto kv = client.OpenKv("/job/kv");
+      ASSERT_TRUE(kv.ok());
+      for (int i = 0; i < kKeysPerWriter; ++i) {
+        ASSERT_TRUE((*kv)->Put(key_of(w, i), value_of(w, i)).ok())
+            << key_of(w, i);
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  DrainRepartitioner(cluster.get());
+  // The write volume (~60 KiB into 4 KiB blocks) guarantees real splits ran
+  // concurrently with the writers above.
+  EXPECT_GT(cluster->repartitioner()->splits(), 0u);
+  auto kv = client.OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->RefreshMap().ok());
+  EXPECT_GT((*kv)->CachedMap().entries.size(), 1u);
+  EXPECT_EQ(*(*kv)->CountPairs(),
+            static_cast<size_t>(kWriters) * kKeysPerWriter);
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kKeysPerWriter; ++i) {
+      auto got = (*kv)->Get(key_of(w, i));
+      ASSERT_TRUE(got.ok()) << key_of(w, i) << ": " << got.status();
+      EXPECT_EQ(*got, value_of(w, i)) << key_of(w, i);
+    }
+  }
+}
+
+TEST(RepartitionConcurrencyTest, ReadersSeeStableValuesThroughMigrations) {
+  auto cluster = MigrationCluster(/*chunk_bytes=*/512);
+  JiffyClient client(cluster.get());
+  ASSERT_TRUE(client.RegisterJob("job").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/job/kv", {}).ok());
+  // Stable keys that never change; their slots ride along as churn forces
+  // splits (grow) and merges (shrink) underneath the readers.
+  constexpr int kStable = 24;
+  {
+    auto kv = client.OpenKv("/job/kv");
+    ASSERT_TRUE(kv.ok());
+    for (int i = 0; i < kStable; ++i) {
+      ASSERT_TRUE(
+          (*kv)->Put("stable" + std::to_string(i), "constant-value").ok());
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    auto kv = client.OpenKv("/job/kv");
+    ASSERT_TRUE(kv.ok());
+    Rng rng(11);
+    const TimeNs until = RealClock::Instance()->Now() + 100 * kMillisecond;
+    for (int round = 0; RealClock::Instance()->Now() < until || round < 2;
+         ++round) {
+      for (int i = 0; i < 250; ++i) {
+        ASSERT_TRUE((*kv)
+                        ->Put("churn" + std::to_string(i),
+                              std::string(80 + rng.NextBelow(40), 'c'))
+                        .ok());
+      }
+      for (int i = 0; i < 250; ++i) {
+        ASSERT_TRUE((*kv)->Delete("churn" + std::to_string(i)).ok());
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  std::atomic<uint64_t> reads{0};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      auto kv = client.OpenKv("/job/kv");
+      ASSERT_TRUE(kv.ok());
+      Rng rng(100 + r);
+      while (!stop.load()) {
+        auto v = (*kv)->Get("stable" + std::to_string(rng.NextBelow(kStable)));
+        ASSERT_TRUE(v.ok()) << v.status();
+        ASSERT_EQ(*v, "constant-value");
+        reads.fetch_add(1);
+      }
+    });
+  }
+  churner.join();
+  stop.store(true);
+  for (auto& t : readers) {
+    t.join();
+  }
+  DrainRepartitioner(cluster.get());
+  EXPECT_GT(reads.load(), 10u);
+  EXPECT_GT(cluster->repartitioner()->splits() +
+                cluster->repartitioner()->merges(),
+            0u);
+}
+
+TEST(RepartitionConcurrencyTest, MixedChurnConvergesThroughSplitsAndMerges) {
+  auto cluster = MigrationCluster(/*chunk_bytes=*/256);
+  JiffyClient client(cluster.get());
+  ASSERT_TRUE(client.RegisterJob("job").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/job/kv", {}).ok());
+  // Each thread fills then thins its own key space, so overload flags
+  // (splits) and underload flags (merges) are both raised while every
+  // thread's survivors must come through untouched.
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto kv = client.OpenKv("/job/kv");
+      ASSERT_TRUE(kv.ok());
+      for (int i = 0; i < kKeys; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE((*kv)->Put(key, std::string(90, 'a' + t)).ok()) << key;
+      }
+      // Delete everything but every 10th key: drains most blocks below the
+      // low threshold while siblings still hold live data.
+      for (int i = 0; i < kKeys; ++i) {
+        if (i % 10 == 0) {
+          continue;
+        }
+        const std::string key =
+            "t" + std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE((*kv)->Delete(key).ok()) << key;
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  DrainRepartitioner(cluster.get());
+  auto kv = client.OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->RefreshMap().ok());
+  const size_t survivors_per_thread = (kKeys + 9) / 10;
+  EXPECT_EQ(*(*kv)->CountPairs(), kThreads * survivors_per_thread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kKeys; i += 10) {
+      const std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+      auto got = (*kv)->Get(key);
+      ASSERT_TRUE(got.ok()) << key << ": " << got.status();
+      EXPECT_EQ(*got, std::string(90, 'a' + t)) << key;
+    }
+  }
+}
+
+TEST(RepartitionConcurrencyTest, QueueBackgroundScalingKeepsExactlyOnce) {
+  auto cluster = MigrationCluster(/*chunk_bytes=*/512);
+  JiffyClient client(cluster.get());
+  ASSERT_TRUE(client.RegisterJob("job").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/job/q", {}).ok());
+  // Background tail growth + head reclaim run while producers and consumers
+  // race; every item must be delivered exactly once.
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kItems = 300;
+  std::vector<std::thread> threads;
+  std::mutex seen_mu;
+  std::multiset<std::string> seen;
+  std::atomic<int> consumed{0};
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      auto q = client.OpenQueue("/job/q");
+      ASSERT_TRUE(q.ok());
+      for (int i = 0; i < kItems; ++i) {
+        std::string item = "p" + std::to_string(p) + ":" + std::to_string(i) +
+                           std::string(40, '.');
+        ASSERT_TRUE((*q)->Enqueue(std::move(item)).ok());
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      auto q = client.OpenQueue("/job/q");
+      ASSERT_TRUE(q.ok());
+      while (consumed.load() < kProducers * kItems) {
+        auto item = (*q)->DequeueWait(3 * kSecond);
+        if (!item.ok()) {
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> lock(seen_mu);
+          seen.insert(item->substr(0, item->find('.')));
+        }
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  DrainRepartitioner(cluster.get());
+  EXPECT_EQ(consumed.load(), kProducers * kItems);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers) * kItems);
+  for (const auto& item : seen) {
+    EXPECT_EQ(seen.count(item), 1u) << item;
+  }
+}
+
+}  // namespace
+}  // namespace jiffy
