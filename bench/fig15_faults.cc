@@ -1,0 +1,283 @@
+// Fig 15 (extension): end-to-end fault tolerance under an unreliable wire.
+//
+// Left panel: per-RPC fault-rate sweep — closed-loop KV / Queue / File
+// workloads against a transport that drops or errors a fraction of all
+// exchanges. The retry layer (exponential backoff + deadline + shared
+// budget) must mask every injected fault: availability stays 1.0 while p50
+// stays flat and p99 grows with the injected timeout charges.
+//
+// Right panel: recovery after a memory-server kill — a replicated KV under
+// closed-loop readers loses the server hosting its primary. FailServer
+// repairs the metadata plane eagerly (promote survivors, re-replicate), so
+// the client-visible error window is bounded by the repair, not by clients
+// tripping over dead addresses one by one.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/client/jiffy_client.h"
+
+using namespace jiffy;
+
+namespace {
+
+std::unique_ptr<JiffyCluster> MakeCluster(uint32_t replication_unused = 1) {
+  (void)replication_unused;
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 4;
+  opts.config.blocks_per_server = 256;
+  opts.config.block_size_bytes = 64 << 10;
+  opts.config.lease_duration = 3600 * kSecond;
+  opts.net_mode = Transport::Mode::kSleep;
+  opts.net_model = NetworkModel::Ec2IntraDc();
+  return std::make_unique<JiffyCluster>(opts);
+}
+
+struct SweepPoint {
+  double rate = 0.0;
+  uint64_t ops = 0;
+  uint64_t visible_errors = 0;
+  uint64_t faults_injected = 0;
+  uint64_t masked = 0;
+  uint64_t retries = 0;
+  Histogram lat;
+
+  double availability() const {
+    return ops == 0 ? 1.0
+                    : static_cast<double>(ops - visible_errors) /
+                          static_cast<double>(ops);
+  }
+};
+
+// Closed-loop mixed workload (KV put/get + queue enq/deq + file append/read)
+// under a per-exchange fault rate, measuring client-visible availability.
+// Fills `point` in place (Histogram is not movable).
+void RunSweepPoint(double rate, int ops, SweepPoint* point) {
+  auto cluster = MakeCluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("job");
+  client.CreateAddrPrefix("/job/kv", {});
+  client.CreateAddrPrefix("/job/q", {});
+  client.CreateAddrPrefix("/job/f", {});
+  auto kv = client.OpenKv("/job/kv");
+  auto q = client.OpenQueue("/job/q");
+  auto f = client.OpenFile("/job/f");
+
+  // Preload (faults off) so every closed-loop read hits existing data: any
+  // non-OK status during the measured loop is a genuine visible error.
+  const std::string seed_value(256, 's');
+  for (int k = 0; k < 64; ++k) {
+    (*kv)->Put("k" + std::to_string(k), seed_value);
+  }
+  (*f)->Append(seed_value);
+
+  if (rate > 0.0) {
+    FaultPlan plan;
+    plan.drop_prob = rate / 2;
+    plan.error_prob = rate / 2;
+    plan.seed = 0xf15f;
+    cluster->data_transport()->InstallFaultPlan(plan);
+    cluster->control_transport()->InstallFaultPlan(plan);
+  }
+
+  point->rate = rate;
+  RealClock* clock = RealClock::Instance();
+  const std::string value(256, 'v');
+  for (int i = 0; i < ops; ++i) {
+    const std::string key = "k" + std::to_string(i % 64);
+    const TimeNs t0 = clock->Now();
+    bool ok = true;
+    switch (i % 6) {
+      case 0:
+        ok = (*kv)->Put(key, value).ok();
+        break;
+      case 1:
+        ok = (*kv)->Get(key).ok();
+        break;
+      case 2:
+        ok = (*q)->Enqueue(value).ok();
+        break;
+      case 3:
+        ok = (*q)->Dequeue().ok();
+        break;
+      case 4:
+        ok = (*f)->Append(value).ok();
+        break;
+      case 5:
+        ok = (*f)->Read(0, value.size()).ok();
+        break;
+    }
+    point->lat.Record(clock->Now() - t0);
+    point->ops++;
+    if (!ok) {
+      point->visible_errors++;
+    }
+  }
+  point->faults_injected = cluster->data_transport()->faults_injected() +
+                           cluster->control_transport()->faults_injected();
+  for (const char* prefix : {"kv", "q", "f"}) {
+    auto state = cluster->registry()->Find("job", prefix);
+    if (state != nullptr) {
+      point->masked += state->masked_faults.load();
+      point->retries += state->retries.load();
+    }
+  }
+}
+
+void FaultRateSweep(int ops, std::deque<SweepPoint>* out) {
+  std::printf("\nClosed-loop availability vs per-RPC fault rate (%d ops)\n",
+              ops);
+  std::printf("%8s %8s %8s %8s %8s %8s %10s %10s\n", "rate", "ops", "errors",
+              "faults", "masked", "retries", "p50(us)", "p99(us)");
+  for (double rate : {0.0, 0.001, 0.01, 0.05}) {
+    out->emplace_back();
+    SweepPoint& p = out->back();
+    RunSweepPoint(rate, ops, &p);
+    std::printf("%8.3f %8llu %8llu %8llu %8llu %8llu %10.1f %10.1f\n", p.rate,
+                static_cast<unsigned long long>(p.ops),
+                static_cast<unsigned long long>(p.visible_errors),
+                static_cast<unsigned long long>(p.faults_injected),
+                static_cast<unsigned long long>(p.masked),
+                static_cast<unsigned long long>(p.retries),
+                p.lat.Percentile(0.50) / 1e3, p.lat.Percentile(0.99) / 1e3);
+  }
+}
+
+struct RecoveryResult {
+  DurationNs repair_ns = 0;      // FailServer call (eager metadata repair).
+  uint64_t reader_ops = 0;       // Concurrent reader ops around the kill.
+  uint64_t reader_errors = 0;    // Client-visible failures among them.
+  uint64_t keys_lost = 0;        // Keys unreadable after recovery.
+  DurationNs resweep_ns = 0;     // Full key sweep right after the kill.
+};
+
+// Kills the server hosting the primary of a replicated KV while closed-loop
+// readers run, then measures how fast the cluster is fully serving again.
+RecoveryResult RecoveryAfterServerKill(int keys, int reader_rounds) {
+  auto cluster = MakeCluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("job");
+  CreateOptions opts;
+  opts.replication_factor = 2;
+  client.CreateAddrPrefix("/job/kv", {}, opts);
+  auto kv = client.OpenKv("/job/kv");
+  const std::string value(256, 'r');
+  for (int i = 0; i < keys; ++i) {
+    (*kv)->Put("k" + std::to_string(i), value);
+  }
+
+  RecoveryResult result;
+  RealClock* clock = RealClock::Instance();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reader_ops{0};
+  std::atomic<uint64_t> reader_errors{0};
+  std::thread reader([&] {
+    auto rkv = client.OpenKv("/job/kv");
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const bool ok =
+          (*rkv)->Get("k" + std::to_string(i++ % keys)).ok();
+      reader_ops.fetch_add(1, std::memory_order_relaxed);
+      if (!ok) {
+        reader_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  // Let the reader reach steady state, then kill the primary's server.
+  for (int r = 0; r < reader_rounds; ++r) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const uint32_t victim = (*kv)->CachedMap().entries[0].block.server_id;
+  const TimeNs kill_t0 = clock->Now();
+  cluster->FailServer(victim);
+  result.repair_ns = clock->Now() - kill_t0;
+  // Full sweep immediately after the kill: every key must still be served.
+  const TimeNs sweep_t0 = clock->Now();
+  for (int i = 0; i < keys; ++i) {
+    if (!(*kv)->Get("k" + std::to_string(i)).ok()) {
+      result.keys_lost++;
+    }
+  }
+  result.resweep_ns = clock->Now() - sweep_t0;
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  result.reader_ops = reader_ops.load();
+  result.reader_errors = reader_errors.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  PrintHeader("Fig 15", "Fault injection: availability, masking, recovery");
+
+  std::deque<SweepPoint> sweep;
+  FaultRateSweep(smoke ? 1200 : 12000, &sweep);
+
+  const int keys = smoke ? 200 : 1000;
+  RecoveryResult rec = RecoveryAfterServerKill(keys, smoke ? 5 : 50);
+  std::printf("\nRecovery after killing the primary's memory server\n");
+  std::printf("  eager metadata repair (FailServer): %.3f ms\n",
+              rec.repair_ns / 1e6);
+  std::printf("  full %d-key sweep after kill:       %.3f ms, %llu lost\n",
+              keys, rec.resweep_ns / 1e6,
+              static_cast<unsigned long long>(rec.keys_lost));
+  std::printf("  concurrent reader: %llu ops, %llu visible errors\n",
+              static_cast<unsigned long long>(rec.reader_ops),
+              static_cast<unsigned long long>(rec.reader_errors));
+
+  std::string json = "{\n  \"bench\": \"fig15_faults\",\n  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"fault_rate\": %.3f, \"ops\": %llu, \"visible_errors\": %llu, "
+        "\"availability\": %.6f, \"faults_injected\": %llu, "
+        "\"masked\": %llu, \"retries\": %llu, "
+        "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+        p.rate, static_cast<unsigned long long>(p.ops),
+        static_cast<unsigned long long>(p.visible_errors), p.availability(),
+        static_cast<unsigned long long>(p.faults_injected),
+        static_cast<unsigned long long>(p.masked),
+        static_cast<unsigned long long>(p.retries),
+        p.lat.Percentile(0.50) / 1e3, p.lat.Percentile(0.99) / 1e3,
+        i + 1 < sweep.size() ? "," : "");
+    json += line;
+  }
+  char tail[320];
+  std::snprintf(
+      tail, sizeof(tail),
+      "  ],\n  \"recovery\": {\"keys\": %d, \"repair_ms\": %.3f, "
+      "\"resweep_ms\": %.3f, \"keys_lost\": %llu, "
+      "\"reader_ops\": %llu, \"reader_errors\": %llu}\n}\n",
+      keys, rec.repair_ns / 1e6, rec.resweep_ns / 1e6,
+      static_cast<unsigned long long>(rec.keys_lost),
+      static_cast<unsigned long long>(rec.reader_ops),
+      static_cast<unsigned long long>(rec.reader_errors));
+  json += tail;
+  const char* out_path = "BENCH_fig15_faults.json";
+  if (FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("  -> %s\n", out_path);
+  }
+
+  std::printf(
+      "\nexpectation: availability 1.0 at every injected fault rate (all\n"
+      "faults masked by retries/failover); recovery bounded by the eager\n"
+      "repair inside FailServer, not by per-client failover stumbling.\n");
+  return 0;
+}

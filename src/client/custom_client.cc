@@ -67,7 +67,14 @@ Result<std::string> CustomDsClient::RunOp(
       JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
       continue;
     }
-    data_net()->RoundTrip(payload + 64, (r.ok() ? r->size() : 0) + 64);
+    const Status wire =
+        DataExchange(target, payload + 64, (r.ok() ? r->size() : 0) + 64);
+    if (!wire.ok()) {
+      if (kind == OpKind::kRead) {
+        continue;  // Reads are idempotent: retry the whole op.
+      }
+      return wire;  // Mutation applied but the ack was lost (at-least-once).
+    }
     if (r.ok() && kind != OpKind::kRead) {
       // Mutations propagate down the replica chain and hit the
       // write-through path, exactly like the built-in structures.

@@ -7,8 +7,54 @@ DsClient::DsClient(JiffyCluster* cluster, std::string job, std::string prefix,
     : map_(std::move(initial_map)),
       cluster_(cluster),
       job_(std::move(job)),
-      prefix_(std::move(prefix)) {
+      prefix_(std::move(prefix)),
+      retry_rng_(Fnv1a64(prefix_, Fnv1a64(job_)) | 1) {
   state_ = cluster_->registry()->GetOrCreate(job_, prefix_);
+}
+
+Status DsClient::ExchangeWithRetry(Transport* net, uint32_t endpoint,
+                                   size_t n_ops, size_t req_bytes,
+                                   size_t resp_bytes) {
+  std::atomic<int>* budget = &state_->retry_budget;
+  Retrier retrier(retry_policy_, clock(), &retry_rng_, budget);
+  for (;;) {
+    const Status st =
+        n_ops <= 1
+            ? net->Exchange(endpoint, req_bytes, resp_bytes)
+            : net->ExchangeBatch(endpoint, n_ops, req_bytes, resp_bytes);
+    if (st.ok()) {
+      Retrier::RecordSuccess(budget);
+      if (retrier.failures() > 0) {
+        state_->masked_faults.fetch_add(retrier.failures(),
+                                        std::memory_order_relaxed);
+      }
+      return st;
+    }
+    if (!retrier.ShouldRetry(st)) {
+      return st;
+    }
+    state_->retries.fetch_add(1, std::memory_order_relaxed);
+    retrier.Backoff(net);
+  }
+}
+
+Status DsClient::DataExchange(BlockId target, size_t req_bytes,
+                              size_t resp_bytes) {
+  return ExchangeWithRetry(data_net(), target.server_id, 1, req_bytes,
+                           resp_bytes);
+}
+
+Status DsClient::DataExchangeBatch(BlockId target, size_t n_ops,
+                                   size_t req_bytes, size_t resp_bytes) {
+  return ExchangeWithRetry(data_net(), target.server_id, n_ops, req_bytes,
+                           resp_bytes);
+}
+
+Status DsClient::ControlExchange(size_t req_bytes, size_t resp_bytes) {
+  // The controller is not a memory-server endpoint, so outage windows never
+  // match it; probabilistic faults still apply.
+  return ExchangeWithRetry(control_net(), Transport::kAnyEndpoint, 1,
+                           req_bytes, resp_bytes);
 }
 
 std::shared_ptr<Listener> DsClient::Subscribe(const std::string& op) {
@@ -36,7 +82,7 @@ uint64_t DsClient::map_version() const {
 Status DsClient::RefreshMap() { return RefreshMapInternal(); }
 
 Status DsClient::RefreshMapInternal() {
-  control_net()->RoundTrip(64, 256);
+  JIFFY_RETURN_IF_ERROR(ControlExchange(64, 256));
   auto map = controller()->GetPartitionMap(job_, prefix_);
   if (!map.ok()) {
     return map.status();
@@ -55,7 +101,7 @@ void DsClient::ChargeRepartitionControl() {
 }
 
 Status DsClient::FailOver(const PartitionEntry& entry) {
-  control_net()->RoundTrip(128, 128);
+  JIFFY_RETURN_IF_ERROR(ControlExchange(128, 128));
   Status st = controller()->RepairEntry(job_, prefix_, entry.block);
   if (!st.ok() && st.code() != StatusCode::kNotFound) {
     return st;  // kUnavailable: all replicas lost.

@@ -18,6 +18,8 @@
 #include <thread>
 
 #include "src/cluster/cluster.h"
+#include "src/client/retry.h"
+#include "src/common/hash.h"
 #include "src/core/hierarchy.h"
 
 namespace jiffy {
@@ -42,7 +44,29 @@ class DsClient {
   // Forces a metadata refresh from the controller.
   Status RefreshMap();
 
+  // Retry policy applied to every wire exchange this client issues.
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+
  protected:
+  // --- Fault-masked wire exchanges (DESIGN.md §10) --------------------------
+  //
+  // All data/control-plane charges go through these instead of raw
+  // Transport::RoundTrip so injected faults (drops, transient errors,
+  // outage windows) are retried per `retry_policy_` with exponential
+  // backoff. A non-OK return means the fault survived every allowed retry
+  // (budget/deadline/attempts exhausted) — callers treat it like any other
+  // transient failure: fail over or surface it.
+
+  // One data-plane exchange with the server hosting `target`.
+  Status DataExchange(BlockId target, size_t req_bytes, size_t resp_bytes);
+
+  // Batched data-plane exchange (one wire RPC carrying `n_ops` operations).
+  Status DataExchangeBatch(BlockId target, size_t n_ops, size_t req_bytes,
+                           size_t resp_bytes);
+
+  // One control-plane exchange with this job's controller shard.
+  Status ControlExchange(size_t req_bytes, size_t resp_bytes);
   // Charges one control-plane round trip and refetches the map.
   Status RefreshMapInternal();
 
@@ -87,7 +111,9 @@ class DsClient {
           mutate(content);
         }
       }
-      data_net()->RoundTrip(bytes + 64, 64);
+      // A chain hop whose retries all fail is tolerated: the replica is
+      // repaired wholesale by RepairEntry / re-replication.
+      DataExchange(rid, bytes + 64, 64);
     }
   }
 
@@ -112,7 +138,7 @@ class DsClient {
           mutate(content);
         }
       }
-      data_net()->RoundTripBatch(n_ops, bytes + 64, 64);
+      DataExchangeBatch(rid, n_ops, bytes + 64, 64);
     }
   }
 
@@ -156,10 +182,17 @@ class DsClient {
   }
 
  private:
+  // Shared implementation of the fault-masked exchanges above.
+  Status ExchangeWithRetry(Transport* net, uint32_t endpoint, size_t n_ops,
+                           size_t req_bytes, size_t resp_bytes);
+
   JiffyCluster* cluster_;
   std::string job_;
   std::string prefix_;
   std::shared_ptr<DsState> state_;
+  RetryPolicy retry_policy_;
+  // Backoff jitter; seeded from (job, prefix) so runs are reproducible.
+  AtomicRng retry_rng_;
 };
 
 }  // namespace jiffy

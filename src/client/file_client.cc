@@ -122,7 +122,9 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
       continue;
     }
     if (accepted > 0) {
-      data_net()->RoundTrip(accepted + 64, 64);
+      // Bytes are already in the chunk; a wire failure past every retry
+      // reports the lost ack (at-least-once).
+      JIFFY_RETURN_IF_ERROR(DataExchange(tail.block, accepted + 64, 64));
       const std::string_view written = remaining.substr(0, accepted);
       PropagateToReplicas<FileChunk>(tail, accepted, [&](FileChunk* c) {
         c->Append(written);
@@ -260,7 +262,8 @@ Result<uint64_t> FileClient::AppendVec(
         }
       }
       block->CountOps(written.size());
-      data_net()->RoundTripBatch(written.size(), accepted + 64, 64);
+      JIFFY_RETURN_IF_ERROR(
+          DataExchangeBatch(tail.block, written.size(), accepted + 64, 64));
       PropagateBatchToReplicas<FileChunk>(
           tail, written.size(), accepted, [&](FileChunk* c) {
             for (std::string_view w : written) {
@@ -323,6 +326,7 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
   JIFFY_TRACE_SPAN("file.read", "client");
   std::string out;
   bool refreshed = false;
+  int wire_failures = 0;
   while (out.size() < len) {
     const uint64_t cur = offset + out.size();
     PartitionMap map = CachedMap();
@@ -356,7 +360,15 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
       block->CountOp();
       JIFFY_ASSIGN_OR_RETURN(piece, chunk->ReadAt(cur, len - out.size()));
     }
-    data_net()->RoundTrip(64, piece.size() + 64);
+    const Status wire = DataExchange(ReadTarget(*entry), 64, piece.size() + 64);
+    if (!wire.ok()) {
+      // Reply lost beyond the wire retries: re-read (idempotent), bounded
+      // so a persistent failure cannot spin forever.
+      if (++wire_failures > kMaxStaleRetries) {
+        return wire;
+      }
+      continue;
+    }
     if (piece.empty()) {
       break;  // EOF inside this chunk.
     }
@@ -470,7 +482,17 @@ std::vector<Result<std::string>> FileClient::ReadVec(
       for (const auto& r : outs) {
         resp_bytes += (r.ok() ? r.value().size() : 0) + 8;
       }
-      data_net()->RoundTripBatch(subs.size(), req_bytes, resp_bytes);
+      const Status wire =
+          DataExchangeBatch(ReadTarget(entry), subs.size(), req_bytes,
+                            resp_bytes);
+      if (!wire.ok()) {
+        for (const Sub& s : g) {
+          results[s.i] = wire;
+          done[s.i] = true;
+        }
+        progress = true;
+        continue;
+      }
       for (size_t k = 0; k < g.size(); ++k) {
         const Sub& s = g[k];
         if (!outs[k].ok()) {
@@ -543,7 +565,7 @@ Result<uint64_t> FileClient::Size() {
   if (chunk == nullptr) {
     return LeaseExpired("file block reclaimed; load the prefix first");
   }
-  data_net()->RoundTrip(64, 64);
+  DataExchange(ReadTarget(tail), 64, 64);
   return chunk->end_offset();
 }
 

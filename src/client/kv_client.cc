@@ -80,7 +80,10 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
     if (!st.ok()) {
       return st;
     }
-    data_net()->RoundTrip(key.size() + value.size() + 64, 64);
+    // The put is applied server-side before the reply travels; a wire
+    // failure that survives every retry is reported (at-least-once).
+    JIFFY_RETURN_IF_ERROR(
+        DataExchange(entry.block, key.size() + value.size() + 64, 64));
     PropagateToReplicas<KvShard>(entry, key.size() + value.size(),
                                  [&](KvShard* s) { s->Put(key, value); });
     MaybePersist(entry);
@@ -131,14 +134,20 @@ Result<std::string> KvClient::Get(std::string_view key) {
       continue;
     }
     if (r.ok()) {
-      data_net()->RoundTrip(key.size() + 64, r.value().size() + 64);
+      // Reads are idempotent: a reply lost beyond the retry budget simply
+      // re-executes the whole read.
+      if (!DataExchange(ReadTarget(entry), key.size() + 64,
+                        r.value().size() + 64)
+               .ok()) {
+        continue;
+      }
       return r;
     }
     if (r.status().code() == StatusCode::kStaleMetadata) {
       JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
       continue;
     }
-    data_net()->RoundTrip(key.size() + 64, 64);
+    DataExchange(ReadTarget(entry), key.size() + 64, 64);
     return r.status();
   }
   return Unavailable("kv get livelock (too many stale retries)");
@@ -181,7 +190,7 @@ Status KvClient::Delete(std::string_view key) {
     if (!st.ok()) {
       return st;
     }
-    data_net()->RoundTrip(key.size() + 64, 64);
+    JIFFY_RETURN_IF_ERROR(DataExchange(entry.block, key.size() + 64, 64));
     PropagateToReplicas<KvShard>(entry, key.size(),
                                  [&](KvShard* s) { s->Delete(key); });
     MaybePersist(entry);
@@ -239,7 +248,8 @@ Status KvClient::Accumulate(std::string_view key, std::string_view update,
     if (!st.ok()) {
       return st;
     }
-    data_net()->RoundTrip(key.size() + update.size() + 64, 64);
+    JIFFY_RETURN_IF_ERROR(
+        DataExchange(entry.block, key.size() + update.size() + 64, 64));
     // The primary resolved the accumulator; replicas receive the merged
     // value so the chain stays byte-identical.
     PropagateToReplicas<KvShard>(entry, key.size() + merged.size(),
@@ -346,8 +356,17 @@ std::vector<Status> KvClient::MultiPut(
         continue;
       }
       // One coalesced exchange for the whole group regardless of outcome:
-      // the server saw and answered every item.
-      data_net()->RoundTripBatch(ops.size(), req_bytes, 64 + 8 * ops.size());
+      // the server saw and answered every item. A wire failure that
+      // survives every retry loses the per-item reply, so the whole group
+      // reports it (the puts themselves were applied — at-least-once).
+      const Status wire = DataExchangeBatch(entry.block, ops.size(), req_bytes,
+                                            64 + 8 * ops.size());
+      if (!wire.ok()) {
+        for (size_t i : group) {
+          statuses[i] = wire;
+        }
+        continue;
+      }
       std::vector<size_t> applied;
       size_t applied_bytes = 0;
       for (size_t g = 0; g < group.size(); ++g) {
@@ -485,7 +504,14 @@ std::vector<Result<std::string>> KvClient::MultiGet(
           results[i] = std::move(item_results[g]);
         }
       }
-      data_net()->RoundTripBatch(ops.size(), req_bytes, resp_bytes);
+      const Status wire =
+          DataExchangeBatch(ReadTarget(entry), ops.size(), req_bytes,
+                            resp_bytes);
+      if (!wire.ok()) {
+        for (size_t i : group) {
+          results[i] = wire;
+        }
+      }
     }
     pending = std::move(still_pending);
     if (!pending.empty() && need_refresh) {
@@ -577,7 +603,14 @@ std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) 
         still_pending.insert(still_pending.end(), group.begin(), group.end());
         continue;
       }
-      data_net()->RoundTripBatch(ops.size(), req_bytes, 64 + 8 * ops.size());
+      const Status wire = DataExchangeBatch(entry.block, ops.size(), req_bytes,
+                                            64 + 8 * ops.size());
+      if (!wire.ok()) {
+        for (size_t i : group) {
+          statuses[i] = wire;
+        }
+        continue;
+      }
       std::vector<size_t> applied;
       size_t applied_bytes = 0;
       for (size_t g = 0; g < group.size(); ++g) {

@@ -122,7 +122,9 @@ Status QueueClient::Enqueue(std::string item) {
       continue;
     }
     if (accepted) {
-      data_net()->RoundTrip(item_size + 64, 64);
+      // The item is in the queue; a wire failure past every retry means the
+      // ack was lost (at-least-once — re-sending would double-enqueue).
+      JIFFY_RETURN_IF_ERROR(DataExchange(tail.block, item_size + 64, 64));
       if (!tail.replicas.empty()) {
         PropagateToReplicas<QueueSegment>(tail, item_size, [&](QueueSegment* s) {
           std::string copy = replica_copy;
@@ -217,7 +219,8 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
       for (size_t i = done; i < done + accepted; ++i) {
         bytes += sizes[i];
       }
-      data_net()->RoundTripBatch(accepted, bytes + 64, 64);
+      JIFFY_RETURN_IF_ERROR(
+          DataExchangeBatch(tail.block, accepted, bytes + 64, 64));
       if (!tail.replicas.empty()) {
         PropagateBatchToReplicas<QueueSegment>(
             tail, accepted, bytes, [&](QueueSegment* s) {
@@ -260,6 +263,11 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
 
 Result<std::string> QueueClient::Dequeue() {
   JIFFY_TRACE_SPAN("queue.dequeue", "client");
+  // One redelivery token per logical dequeue call: if the reply is lost and
+  // we re-send, the segment redelivers the same item instead of popping a
+  // second one (exactly-once; DESIGN.md §10).
+  const uint64_t token =
+      state()->next_delivery_token.fetch_add(1, std::memory_order_relaxed) + 1;
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
     BackoffRetry(attempt);
     PartitionMap map = CachedMap();
@@ -286,7 +294,7 @@ Result<std::string> QueueClient::Dequeue() {
         content_gone = true;
       } else {
         block->CountOp();
-        auto popped = seg->Dequeue();
+        auto popped = seg->DequeueWithToken(token);
         if (popped.ok()) {
           item = std::move(*popped);
           got = true;
@@ -300,7 +308,12 @@ Result<std::string> QueueClient::Dequeue() {
       continue;
     }
     if (got) {
-      data_net()->RoundTrip(64, item.size() + 64);
+      if (!DataExchange(head.block, 64, item.size() + 64).ok()) {
+        // Reply lost beyond the wire retries: re-run with the same token —
+        // the segment redelivers this item rather than consuming another.
+        // Bookkeeping below runs only on the acknowledged delivery.
+        continue;
+      }
       PropagateToReplicas<QueueSegment>(head, 8, [](QueueSegment* s) {
         s->Dequeue();
       });
@@ -338,7 +351,9 @@ Result<std::string> QueueClient::Dequeue() {
       JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
       continue;
     }
-    data_net()->RoundTrip(64, 64);
+    // Empty probe: the reply carries nothing consumable, so a lost reply
+    // needs no redelivery handling.
+    DataExchange(head.block, 64, 64);
     return NotFound("queue empty");
   }
   return Unavailable("queue dequeue livelock (too many stale retries)");
@@ -350,6 +365,11 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
   if (max_n == 0) {
     return out;
   }
+  // One token per wire chunk: a chunk whose reply is lost is re-sent under
+  // the same token (the segment redelivers), and a fresh token is drawn only
+  // after the chunk is acknowledged.
+  uint64_t token =
+      state()->next_delivery_token.fetch_add(1, std::memory_order_relaxed) + 1;
   for (int attempt = 0; attempt < kMaxStaleRetries && out.size() < max_n;
        ++attempt) {
     BackoffRetry(attempt);
@@ -375,7 +395,8 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
       if (seg == nullptr) {
         content_gone = true;
       } else {
-        const size_t n = seg->DequeueBatch(max_n - out.size(), &popped);
+        const size_t n =
+            seg->DequeueBatchWithToken(token, max_n - out.size(), &popped);
         block->CountOps(n);
         drained = seg->Drained();
         sealed = seg->sealed();
@@ -391,7 +412,14 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
       for (const std::string& s : popped) {
         bytes += s.size();
       }
-      data_net()->RoundTripBatch(n, 64, bytes + 64);
+      if (!DataExchangeBatch(head.block, n, 64, bytes + 64).ok()) {
+        // Chunk reply lost beyond the wire retries: retry under the same
+        // token so the segment redelivers this chunk exactly once.
+        continue;
+      }
+      token = state()->next_delivery_token.fetch_add(
+                  1, std::memory_order_relaxed) +
+              1;
       PropagateBatchToReplicas<QueueSegment>(head, n, 8 * n,
                                              [n](QueueSegment* s) {
                                                for (size_t i = 0; i < n; ++i) {
@@ -428,7 +456,7 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
     }
     // Live tail segment is (now) empty: the queue is exhausted for this call.
     if (out.empty()) {
-      data_net()->RoundTrip(64, 64);
+      DataExchange(head.block, 64, 64);
     }
     break;
   }

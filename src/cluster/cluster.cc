@@ -81,7 +81,10 @@ Controller* JiffyCluster::ControllerFor(const std::string& job) {
 }
 
 Block* JiffyCluster::ResolveBlock(BlockId id) {
-  if (id.server_id >= servers_.size() || servers_[id.server_id]->failed()) {
+  // A server inside a fault-plan outage window is indistinguishable from a
+  // failed one at resolution time, so clients take the same FailOver path.
+  if (id.server_id >= servers_.size() || servers_[id.server_id]->failed() ||
+      !data_transport_->EndpointReachable(id.server_id)) {
     return nullptr;
   }
   return servers_[id.server_id]->block(id.slot);
@@ -89,6 +92,7 @@ Block* JiffyCluster::ResolveBlock(BlockId id) {
 
 bool JiffyCluster::IsBlockLive(BlockId id) {
   return id.server_id < servers_.size() && !servers_[id.server_id]->failed() &&
+         data_transport_->EndpointReachable(id.server_id) &&
          id.slot < servers_[id.server_id]->num_blocks();
 }
 
@@ -98,6 +102,13 @@ void JiffyCluster::FailServer(uint32_t i) {
   }
   servers_[i]->Fail();
   allocator_->MarkServerDead(i);
+  // Repair the metadata plane eagerly: promote live replicas of every chain
+  // that lost a member, re-replicate to restore chain length, and flag
+  // entries with no survivor — otherwise GetPartitionMap keeps handing out
+  // dead addresses until some client happens to trip FailOver.
+  for (auto& ctl : controllers_) {
+    ctl->HandleServerFailure(i);
+  }
 }
 
 size_t JiffyCluster::AllocatedBytes() const {

@@ -61,6 +61,12 @@ class AtomicRng {
   // Uniform in [0, bound). Precondition: bound > 0.
   uint64_t NextBelow(uint64_t bound);
 
+  // Restarts the sequence from `seed`. Not synchronized with concurrent
+  // Next() callers beyond the atomic store; reseed while quiescent.
+  void Reseed(uint64_t seed) {
+    state_.store(seed, std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<uint64_t> state_;
 };

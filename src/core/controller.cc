@@ -770,8 +770,23 @@ Status Controller::LoadAddrPrefix(const std::string& job,
     return FailedPrecondition("no data structure under '" + prefix + "'");
   }
   if (!node->partition.entries.empty()) {
-    return FailedPrecondition("prefix '" + prefix +
-                              "' already has in-memory blocks");
+    // A prefix whose whole chain died (every entry flagged `lost`) is
+    // reloadable: retire the dead addresses and fall through to the load.
+    bool all_lost = true;
+    for (const PartitionEntry& entry : node->partition.entries) {
+      all_lost &= entry.lost;
+    }
+    if (!all_lost) {
+      return FailedPrecondition("prefix '" + prefix +
+                                "' already has in-memory blocks");
+    }
+    for (const PartitionEntry& entry : node->partition.entries) {
+      ReleaseBlockLocked(entry.block);
+      for (const BlockId& r : entry.replicas) {
+        ReleaseBlockLocked(r);
+      }
+    }
+    node->partition.entries.clear();
   }
   const std::vector<std::string> objects = backing_->List(external_path + "/");
   if (objects.empty()) {
@@ -821,6 +836,11 @@ Status Controller::RepairEntry(const std::string& job,
     if (!match) {
       continue;
     }
+    if (entry.lost) {
+      return Unavailable("all replicas of block " + entry.block.ToString() +
+                         " lost; reload '" + prefix +
+                         "' from persistent storage");
+    }
     // Collect the live chain in order (primary first).
     std::vector<BlockId> live;
     if (hooks_ == nullptr || hooks_->IsBlockLive(entry.block)) {
@@ -832,6 +852,9 @@ Status Controller::RepairEntry(const std::string& job,
       }
     }
     if (live.empty()) {
+      entry.lost = true;
+      entry.replicas.clear();
+      node->partition.version++;
       return Unavailable("all replicas of block " + entry.block.ToString() +
                          " lost; reload '" + prefix +
                          "' from persistent storage");
@@ -856,6 +879,11 @@ Result<uint32_t> Controller::ReReplicate(const std::string& job,
   uint32_t created = 0;
   bool changed = false;
   for (auto& entry : node->partition.entries) {
+    if (entry.lost) {
+      return Unavailable("all replicas of block " + entry.block.ToString() +
+                         " lost; reload '" + prefix +
+                         "' from persistent storage");
+    }
     // First drop dead chain members (a dead primary may linger when reads
     // kept succeeding off the tail and no write forced a failover).
     std::vector<BlockId> live;
@@ -868,6 +896,9 @@ Result<uint32_t> Controller::ReReplicate(const std::string& job,
       }
     }
     if (live.empty()) {
+      entry.lost = true;
+      entry.replicas.clear();
+      node->partition.version++;
       return Unavailable("all replicas of block " + entry.block.ToString() +
                          " lost; reload '" + prefix +
                          "' from persistent storage");
@@ -891,6 +922,80 @@ Result<uint32_t> Controller::ReReplicate(const std::string& job,
 void Controller::MarkServerDead(uint32_t server_id) {
   ChargeOp();
   allocator_->MarkServerDead(server_id);
+}
+
+uint64_t Controller::HandleServerFailure(uint32_t server_id) {
+  ChargeOp();
+  allocator_->MarkServerDead(server_id);
+  uint64_t repaired = 0;
+  // Quiesce one job at a time, exactly like the expiry scan: pin the slot
+  // list under the shared table lock, then repair each job under its own
+  // mutex so unrelated jobs keep serving.
+  for (const auto& slot : PinAllJobs()) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->defunct) {
+      continue;
+    }
+    JobHierarchy* hier = &slot->hier;
+    for (const auto& name : hier->NodeNames()) {
+      auto node_r = hier->GetNode(name);
+      if (!node_r.ok() || !(*node_r)->has_ds || (*node_r)->expired) {
+        continue;
+      }
+      TaskNode* node = *node_r;
+      bool changed = false;
+      for (auto& entry : node->partition.entries) {
+        bool touched = entry.block.server_id == server_id;
+        for (const BlockId& r : entry.replicas) {
+          touched |= r.server_id == server_id;
+        }
+        if (!touched || entry.lost) {
+          continue;
+        }
+        // Collect survivors in chain order (primary first).
+        std::vector<BlockId> live;
+        if (hooks_ == nullptr || hooks_->IsBlockLive(entry.block)) {
+          live.push_back(entry.block);
+        }
+        for (const BlockId& r : entry.replicas) {
+          if (hooks_ == nullptr || hooks_->IsBlockLive(r)) {
+            live.push_back(r);
+          }
+        }
+        if (live.empty()) {
+          // Whole chain gone. Flag the entry so repairs and failovers fail
+          // fast; the data only comes back via LoadAddrPrefix.
+          entry.lost = true;
+          entry.replicas.clear();
+          changed = true;
+          ++repaired;
+          continue;
+        }
+        entry.block = live.front();
+        entry.replicas.assign(live.begin() + 1, live.end());
+        changed = true;
+        ++repaired;
+        // Restore the chain length from the new primary. Skipped while a
+        // chunked migration is draining this entry (the migration commit
+        // path owns its replica set); tolerated on allocation failure — a
+        // short chain still serves, and the next ReReplicate retries.
+        if (!entry.migrating) {
+          Status st = FillReplicasLocked(node, &entry, hier->job_id(), name,
+                                         /*copy_primary=*/true);
+          if (!st.ok()) {
+            JIFFY_LOG(WARNING)
+                << "re-replication after server " << server_id
+                << " failure left a short chain for " << hier->job_id() << "/"
+                << name << ": " << st;
+          }
+        }
+      }
+      if (changed) {
+        node->partition.version++;
+      }
+    }
+  }
+  return repaired;
 }
 
 Result<PartitionMap> Controller::GetPartitionMapAs(const std::string& principal,
@@ -961,12 +1066,16 @@ std::string Controller::Snapshot() const {
         for (const BlockId& r : entry.replicas) {
           PutU64(&blob, r.Packed());
         }
+        // v2 per-entry flags. `migrating` is deliberately not serialized
+        // (see PartitionEntry); `lost` is — a promoted standby must not
+        // resurrect dead addresses.
+        PutU32(&blob, entry.lost ? 1u : 0u);
       }
     }
     job_blobs.push_back(std::move(blob));
   }
   std::string out;
-  PutU32(&out, 1);  // Snapshot format version.
+  PutU32(&out, 2);  // Snapshot format version (v2 adds per-entry flags).
   PutU32(&out, static_cast<uint32_t>(job_blobs.size()));
   for (const std::string& blob : job_blobs) {
     out += blob;
@@ -982,7 +1091,7 @@ Status Controller::Restore(const std::string& snapshot) {
   }
   SerdeReader reader(snapshot);
   JIFFY_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
-  if (version != 1) {
+  if (version != 1 && version != 2) {
     return InvalidArgument("unknown snapshot version " +
                            std::to_string(version));
   }
@@ -1038,6 +1147,10 @@ Status Controller::Restore(const std::string& snapshot) {
         for (uint32_t r = 0; r < num_replicas; ++r) {
           JIFFY_ASSIGN_OR_RETURN(uint64_t rpacked, reader.ReadU64());
           entry.replicas.push_back(BlockId::FromPacked(rpacked));
+        }
+        if (version >= 2) {
+          JIFFY_ASSIGN_OR_RETURN(uint32_t entry_flags, reader.ReadU32());
+          entry.lost = (entry_flags & 1u) != 0;
         }
         rec.partition.entries.push_back(std::move(entry));
       }

@@ -274,6 +274,17 @@ class Controller {
   // placements avoid it.
   void MarkServerDead(uint32_t server_id);
 
+  // Eager metadata repair after a memory-server failure (invoked by the
+  // cluster's FailServer on every shard). Walks every job's partition maps
+  // and repairs each entry that had a chain member on `server_id`: the first
+  // live chain member is promoted to primary, dead members are dropped, and
+  // — unless the entry is mid-migration — fresh replicas are allocated and
+  // filled from the new primary to restore the configured chain length.
+  // Entries whose whole chain died are flagged `lost` so later repairs fail
+  // fast until the prefix is reloaded from the persistent tier. Returns the
+  // number of entries touched.
+  uint64_t HandleServerFailure(uint32_t server_id);
+
   // --- Access control (Fig 7) ------------------------------------------------
 
   // Enforced on data-plane metadata fetches: `principal` is the job id the

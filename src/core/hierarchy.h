@@ -60,6 +60,15 @@ struct PartitionEntry {
   // serialized in snapshots: a standby promoted mid-migration simply
   // abandons the in-flight move (the source still holds all data).
   bool migrating = false;
+
+  // True when every chain member of this entry died before a survivor could
+  // be promoted: the in-memory data is gone, and RepairEntry/ReReplicate
+  // fail fast with kUnavailable instead of re-walking a dead chain. The only
+  // way back is reloading the prefix from the persistent tier
+  // (LoadAddrPrefix, which reclaims lost entries first). Unlike `migrating`
+  // this IS serialized in snapshots (format v2) so a promoted standby does
+  // not resurrect dead addresses.
+  bool lost = false;
 };
 
 // Versioned block map for the data structure under an address prefix.

@@ -55,6 +55,45 @@ Result<std::string> QueueSegment::Dequeue() {
   return item;
 }
 
+void QueueSegment::CacheDelivery(uint64_t token,
+                                 std::vector<std::string> delivered) {
+  redeliveries_.emplace(token, std::move(delivered));
+  redelivery_order_.push_back(token);
+  while (redelivery_order_.size() > kRedeliveryWindow) {
+    redeliveries_.erase(redelivery_order_.front());
+    redelivery_order_.pop_front();
+  }
+}
+
+Result<std::string> QueueSegment::DequeueWithToken(uint64_t token) {
+  auto it = redeliveries_.find(token);
+  if (it != redeliveries_.end()) {
+    // The client already consumed under this token; hand back the same item.
+    return it->second.front();
+  }
+  auto popped = Dequeue();
+  if (popped.ok()) {
+    CacheDelivery(token, {*popped});
+  }
+  return popped;
+}
+
+size_t QueueSegment::DequeueBatchWithToken(uint64_t token, size_t max_n,
+                                           std::vector<std::string>* out) {
+  auto it = redeliveries_.find(token);
+  if (it != redeliveries_.end()) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+    return it->second.size();
+  }
+  std::vector<std::string> popped;
+  const size_t n = DequeueBatch(max_n, &popped);
+  if (n > 0) {
+    out->insert(out->end(), popped.begin(), popped.end());
+    CacheDelivery(token, std::move(popped));
+  }
+  return n;
+}
+
 size_t QueueSegment::EnqueueBatch(std::vector<std::string>* items,
                                   size_t from) {
   size_t accepted = 0;

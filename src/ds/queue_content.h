@@ -14,6 +14,8 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "src/block/block.h"
 #include "src/common/status.h"
@@ -62,6 +64,20 @@ class QueueSegment : public BlockContent {
   // returns the number popped (0 when this segment is empty).
   size_t DequeueBatch(size_t max_n, std::vector<std::string>* out);
 
+  // --- Exactly-once dequeue under retries (DESIGN.md §10) -------------------
+  //
+  // The first call with a given token pops normally and caches what it
+  // delivered; a repeated call with the same token (the client re-sent
+  // because the reply was lost) returns the cached items WITHOUT popping
+  // again, so a lost response can never double-consume. Empty results are
+  // not cached — redelivering "empty" and popping a freshly enqueued item
+  // are both linearizable outcomes for the retried call. The cache keeps
+  // the most recent kRedeliveryWindow deliveries (FIFO eviction).
+  static constexpr size_t kRedeliveryWindow = 64;
+  Result<std::string> DequeueWithToken(uint64_t token);
+  size_t DequeueBatchWithToken(uint64_t token, size_t max_n,
+                               std::vector<std::string>* out);
+
   size_t item_count() const { return items_.size(); }
   bool Empty() const { return items_.empty(); }
 
@@ -74,8 +90,15 @@ class QueueSegment : public BlockContent {
   size_t capacity() const { return capacity_; }
 
  private:
+  // Remembers a delivery for redelivery; evicts the oldest past the window.
+  void CacheDelivery(uint64_t token, std::vector<std::string> delivered);
+
   const size_t capacity_;
   std::deque<std::string> items_;
+  // Redelivery cache: token → items handed out under that token. Transient
+  // (not serialized): replicas and restores start with a clean window.
+  std::unordered_map<uint64_t, std::vector<std::string>> redeliveries_;
+  std::deque<uint64_t> redelivery_order_;
   // Total bytes ever appended (capacity is append-bounded: dequeues do not
   // reopen space, matching the add-at-tail/remove-at-head block lifecycle).
   size_t appended_bytes_ = 0;

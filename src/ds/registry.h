@@ -37,6 +37,20 @@ struct DsState {
   Histogram repartition_latency;
   std::atomic<uint64_t> splits{0};
   std::atomic<uint64_t> merges{0};
+
+  // --- Failure handling (DESIGN.md §10) ----------------------------------
+
+  // Shared retry budget for all clients of this DS: retries spend from it,
+  // successes replenish it (capped), so a meltdown degrades to fail-fast
+  // instead of a retry storm. Initialized to Retrier::kBudgetMax.
+  std::atomic<int> retry_budget{128};
+  // Wire faults masked by the retry layer / total retry attempts.
+  std::atomic<uint64_t> masked_faults{0};
+  std::atomic<uint64_t> retries{0};
+  // Monotonic redelivery-token source for queue dequeues: one token per
+  // client dequeue call, so a retried dequeue whose response was lost
+  // redelivers the same item instead of consuming a second one.
+  std::atomic<uint64_t> next_delivery_token{0};
 };
 
 class DsRegistry {

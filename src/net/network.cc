@@ -20,6 +20,13 @@ DurationNs OneWayCost(const NetworkModel& m, size_t bytes, RngT* rng) {
   return t;
 }
 
+// Maps a 64-bit draw onto [0, 1). One draw decides the whole exchange's
+// fate so a fault schedule depends only on (seed, exchange index), not on
+// which probabilities are enabled.
+double UnitInterval(uint64_t draw) {
+  return static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+}
+
 }  // namespace
 
 DurationNs NetworkModel::OneWay(size_t bytes, Rng* rng) const {
@@ -40,6 +47,16 @@ DurationNs NetworkModel::RoundTrip(size_t req_bytes, size_t resp_bytes,
   return OneWay(req_bytes, rng) + OneWay(resp_bytes, rng) + service_floor;
 }
 
+DurationNs NetworkModel::ExpectedOneWay(size_t bytes) const {
+  return OneWay(bytes, nullptr) + jitter / 2;
+}
+
+DurationNs NetworkModel::ExpectedRoundTrip(size_t req_bytes,
+                                           size_t resp_bytes) const {
+  return ExpectedOneWay(req_bytes) + ExpectedOneWay(resp_bytes) +
+         service_floor;
+}
+
 NetworkModel NetworkModel::Loopback() { return NetworkModel{}; }
 
 NetworkModel NetworkModel::Ec2IntraDc() {
@@ -52,7 +69,7 @@ NetworkModel NetworkModel::Ec2IntraDc() {
 }
 
 Transport::Transport(NetworkModel model, Mode mode, Clock* clock, uint64_t seed)
-    : model_(model), mode_(mode), clock_(clock), rng_(seed) {}
+    : model_(model), mode_(mode), clock_(clock), rng_(seed), fault_rng_(1) {}
 
 void Transport::BindMetrics(obs::MetricsRegistry* registry,
                             const std::string& name) {
@@ -62,15 +79,25 @@ void Transport::BindMetrics(obs::MetricsRegistry* registry,
   m_rtt_ns_ = registry->GetHistogram(ns + "rtt_ns");
   m_batch_ops_ = registry->GetCounter(ns + "batch_ops");
   m_batch_size_ = registry->GetHistogram(ns + "batch_size");
+  m_fault_drops_ = registry->GetCounter(ns + "faults.drops");
+  m_fault_errors_ = registry->GetCounter(ns + "faults.errors");
+  m_fault_delays_ = registry->GetCounter(ns + "faults.delays");
+  m_fault_outages_ = registry->GetCounter(ns + "faults.outages");
 }
 
-DurationNs Transport::PeekRoundTrip(size_t req_bytes, size_t resp_bytes) {
+DurationNs Transport::PeekRoundTrip(size_t req_bytes,
+                                    size_t resp_bytes) const {
+  // Expected cost only: planning must not consume jitter entropy, or every
+  // peek would shift the seeded sequence of subsequent real exchanges.
+  return model_.ExpectedRoundTrip(req_bytes, resp_bytes);
+}
+
+DurationNs Transport::SampleRoundTrip(size_t req_bytes, size_t resp_bytes) {
   return model_.RoundTrip(req_bytes, resp_bytes, &rng_);
 }
 
-DurationNs Transport::ApplyExchange(size_t n_ops, size_t req_bytes,
-                                    size_t resp_bytes) {
-  const DurationNs cost = PeekRoundTrip(req_bytes, resp_bytes);
+void Transport::FinishExchange(size_t n_ops, size_t req_bytes,
+                               size_t resp_bytes, DurationNs cost) {
   total_ops_.fetch_add(n_ops, std::memory_order_relaxed);
   total_rpcs_.fetch_add(1, std::memory_order_relaxed);
   total_bytes_.fetch_add(req_bytes + resp_bytes, std::memory_order_relaxed);
@@ -88,6 +115,12 @@ DurationNs Transport::ApplyExchange(size_t n_ops, size_t req_bytes,
   if (mode_ == Mode::kSleep && clock_ != nullptr) {
     clock_->SleepFor(cost);
   }
+}
+
+DurationNs Transport::ApplyExchange(size_t n_ops, size_t req_bytes,
+                                    size_t resp_bytes) {
+  const DurationNs cost = SampleRoundTrip(req_bytes, resp_bytes);
+  FinishExchange(n_ops, req_bytes, resp_bytes, cost);
   return cost;
 }
 
@@ -103,6 +136,125 @@ DurationNs Transport::RoundTripBatch(size_t n_ops, size_t req_bytes,
   obs::Inc(m_batch_ops_, n_ops);
   obs::Observe(m_batch_size_, static_cast<int64_t>(n_ops));
   return ApplyExchange(n_ops, req_bytes, resp_bytes);
+}
+
+void Transport::InstallFaultPlan(FaultPlan plan) {
+  fault_rng_.Reseed(plan.seed);
+  plan_ = std::make_shared<const FaultPlan>(std::move(plan));
+  faults_on_.store(true, std::memory_order_release);
+}
+
+void Transport::ClearFaultPlan() {
+  // The plan object is kept alive so a racing reader that already observed
+  // faults_on_ still dereferences a valid plan.
+  faults_on_.store(false, std::memory_order_release);
+}
+
+bool Transport::EndpointReachable(uint32_t endpoint) const {
+  if (!faults_on_.load(std::memory_order_acquire) || endpoint == kAnyEndpoint) {
+    return true;
+  }
+  const FaultPlan& plan = *plan_;
+  if (plan.outages.empty()) {
+    return true;
+  }
+  const TimeNs now = clock_ != nullptr ? clock_->Now() : 0;
+  for (const FaultPlan::Outage& o : plan.outages) {
+    if (o.endpoint == endpoint && now >= o.from && now < o.until) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status Transport::ExchangeInternal(uint32_t endpoint, size_t n_ops,
+                                   size_t req_bytes, size_t resp_bytes,
+                                   DurationNs* cost_out) {
+  if (!faults_on_.load(std::memory_order_acquire)) {
+    const DurationNs cost = ApplyExchange(n_ops, req_bytes, resp_bytes);
+    if (cost_out != nullptr) {
+      *cost_out = cost;
+    }
+    return Status::Ok();
+  }
+  const FaultPlan& plan = *plan_;
+  // Deterministic outage windows first: a request to an unreachable server
+  // fails fast after one request leg (connection refused / no route).
+  if (!EndpointReachable(endpoint)) {
+    const DurationNs cost = model_.ExpectedOneWay(req_bytes);
+    FinishExchange(n_ops, req_bytes, 0, cost);
+    fault_outages_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(m_fault_outages_);
+    if (cost_out != nullptr) {
+      *cost_out = cost;
+    }
+    return Unavailable("endpoint in outage window");
+  }
+  // One fault draw per exchange, thresholds carved from the same unit
+  // interval, so the schedule depends only on (seed, exchange index).
+  double u = 2.0;  // > any probability: no fault unless drawn below.
+  if (plan.probabilistic()) {
+    u = UnitInterval(fault_rng_.Next());
+  }
+  if (u < plan.drop_prob) {
+    // Request or response lost: the caller burns its full timeout budget.
+    DurationNs cost = plan.drop_timeout;
+    if (cost <= 0) {
+      cost = 4 * model_.ExpectedRoundTrip(req_bytes, resp_bytes);
+    }
+    FinishExchange(n_ops, req_bytes, resp_bytes, cost);
+    fault_drops_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(m_fault_drops_);
+    if (cost_out != nullptr) {
+      *cost_out = cost;
+    }
+    return Timeout("injected drop");
+  }
+  if (u < plan.drop_prob + plan.error_prob) {
+    // The far end answered with a transient failure: normal wire cost.
+    const DurationNs cost = ApplyExchange(n_ops, req_bytes, resp_bytes);
+    fault_errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(m_fault_errors_);
+    if (cost_out != nullptr) {
+      *cost_out = cost;
+    }
+    return Unavailable("injected transient error");
+  }
+  if (u < plan.drop_prob + plan.error_prob + plan.delay_prob) {
+    const DurationNs cost =
+        SampleRoundTrip(req_bytes, resp_bytes) + plan.extra_delay;
+    FinishExchange(n_ops, req_bytes, resp_bytes, cost);
+    fault_delays_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(m_fault_delays_);
+    if (cost_out != nullptr) {
+      *cost_out = cost;
+    }
+    return Status::Ok();
+  }
+  const DurationNs cost = ApplyExchange(n_ops, req_bytes, resp_bytes);
+  if (cost_out != nullptr) {
+    *cost_out = cost;
+  }
+  return Status::Ok();
+}
+
+Status Transport::Exchange(uint32_t endpoint, size_t req_bytes,
+                           size_t resp_bytes, DurationNs* cost_out) {
+  return ExchangeInternal(endpoint, 1, req_bytes, resp_bytes, cost_out);
+}
+
+Status Transport::ExchangeBatch(uint32_t endpoint, size_t n_ops,
+                                size_t req_bytes, size_t resp_bytes,
+                                DurationNs* cost_out) {
+  if (n_ops == 0) {
+    if (cost_out != nullptr) {
+      *cost_out = 0;
+    }
+    return Status::Ok();
+  }
+  obs::Inc(m_batch_ops_, n_ops);
+  obs::Observe(m_batch_size_, static_cast<int64_t>(n_ops));
+  return ExchangeInternal(endpoint, n_ops, req_bytes, resp_bytes, cost_out);
 }
 
 }  // namespace jiffy

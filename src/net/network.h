@@ -1,4 +1,4 @@
-// Network substitution layer (see DESIGN.md §1).
+// Network substitution layer (see DESIGN.md §1, §10).
 //
 // The paper deploys Jiffy across EC2 instances with Lambda clients; here every
 // server is an in-process object, and the wire is modeled by a NetworkModel
@@ -9,7 +9,9 @@
 //
 // All Jiffy/baseline RPCs funnel through a Transport, so switching between
 // "no network" (unit tests), "modeled EC2" (benches), and "modeled WAN
-// service" (S3/DynamoDB baselines) is a constructor argument.
+// service" (S3/DynamoDB baselines) is a constructor argument. The same funnel
+// point injects faults: a FaultPlan makes exchanges drop (timeout), error, or
+// stall the way a real wire does, in both modes, without touching any caller.
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
@@ -18,9 +20,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/random.h"
+#include "src/common/status.h"
 #include "src/obs/metrics.h"
 
 namespace jiffy {
@@ -54,6 +58,13 @@ struct NetworkModel {
     return RoundTrip(req_bytes, resp_bytes, static_cast<Rng*>(nullptr));
   }
 
+  // Expected (mean) costs: like the rng-less overloads but including the
+  // expected jitter contribution (jitter/2 per one-way). Deterministic and
+  // side-effect free — safe for planning without perturbing seeded
+  // sequences.
+  DurationNs ExpectedOneWay(size_t bytes) const;
+  DurationNs ExpectedRoundTrip(size_t req_bytes, size_t resp_bytes) const;
+
   // --- Canned models -----------------------------------------------------
 
   // Loopback: zero cost (unit tests).
@@ -64,6 +75,43 @@ struct NetworkModel {
   static NetworkModel Ec2IntraDc();
 };
 
+// Fault-injection plan for a Transport (DESIGN.md §10). Probabilities are
+// evaluated per wire exchange from a dedicated seeded rng, so a given
+// (seed, traffic) pair reproduces the exact same fault schedule in kZero
+// mode; deterministic outage windows model "server S unreachable during
+// [from, until)" against the transport's clock.
+struct FaultPlan {
+  // Per-exchange probability the request/response is lost: the caller
+  // observes kTimeout after a full timeout charge (`drop_timeout`, or
+  // 4x the expected RTT when 0).
+  double drop_prob = 0.0;
+  // Per-exchange probability the far end answers with a transient error:
+  // the caller observes kUnavailable after a normal RTT charge.
+  double error_prob = 0.0;
+  // Per-exchange probability the exchange succeeds but stalls for
+  // `extra_delay` on top of the modeled cost.
+  double delay_prob = 0.0;
+  DurationNs extra_delay = 0;
+  // Charge for a dropped exchange; 0 = 4x ExpectedRoundTrip of the exchange.
+  DurationNs drop_timeout = 0;
+  // Seed for the fault-decision rng — independent from the jitter rng so
+  // installing a plan never perturbs seeded jitter sequences.
+  uint64_t seed = 1;
+
+  // Deterministic schedule: `endpoint` unreachable during [from, until)
+  // (exchanges fail fast with kUnavailable after a one-way charge).
+  struct Outage {
+    uint32_t endpoint = 0;
+    TimeNs from = 0;
+    TimeNs until = 0;
+  };
+  std::vector<Outage> outages;
+
+  bool probabilistic() const {
+    return drop_prob > 0.0 || error_prob > 0.0 || delay_prob > 0.0;
+  }
+};
+
 // Stateful transport over one NetworkModel.
 class Transport {
  public:
@@ -71,6 +119,10 @@ class Transport {
     kZero,   // Compute costs but never sleep (unit tests, virtual time).
     kSleep,  // Sleep for the computed cost on `clock` (real-time benches).
   };
+
+  // Endpoint wildcard for exchanges not addressed to a specific server
+  // (outage windows never match it; probabilistic faults still apply).
+  static constexpr uint32_t kAnyEndpoint = 0xffffffffu;
 
   Transport(NetworkModel model, Mode mode, Clock* clock, uint64_t seed = 42);
 
@@ -80,6 +132,7 @@ class Transport {
   void BindMetrics(obs::MetricsRegistry* registry, const std::string& name);
 
   // Computes the round-trip cost, applies it per the mode, and returns it.
+  // Infallible legacy path: fault plans do NOT apply (pure cost accounting).
   DurationNs RoundTrip(size_t req_bytes, size_t resp_bytes);
 
   // Batched exchange: `n_ops` data-structure operations coalesced into one
@@ -90,8 +143,39 @@ class Transport {
   // total_rpcs() and `n_ops` operations in total_ops().
   DurationNs RoundTripBatch(size_t n_ops, size_t req_bytes, size_t resp_bytes);
 
-  // Cost without applying (for planning / accounting).
-  DurationNs PeekRoundTrip(size_t req_bytes, size_t resp_bytes);
+  // Cost without applying (for planning / accounting). Side-effect free:
+  // returns the expected cost and does NOT consume jitter entropy, so
+  // planning peeks never perturb seeded sequences of real exchanges.
+  DurationNs PeekRoundTrip(size_t req_bytes, size_t resp_bytes) const;
+
+  // --- Fallible exchanges (fault-plan aware) ------------------------------
+
+  // One request/response exchange with `endpoint` (a server id, or
+  // kAnyEndpoint). With no fault plan installed this is exactly RoundTrip.
+  // With a plan: an outage window or an injected fault yields kUnavailable /
+  // kTimeout after charging the corresponding wire time. `cost_out`
+  // (optional) receives the charged cost either way.
+  Status Exchange(uint32_t endpoint, size_t req_bytes, size_t resp_bytes,
+                  DurationNs* cost_out = nullptr);
+
+  // Batched variant; the whole group shares one fault fate, matching a
+  // coalesced RPC whose single response is lost or errored.
+  Status ExchangeBatch(uint32_t endpoint, size_t n_ops, size_t req_bytes,
+                       size_t resp_bytes, DurationNs* cost_out = nullptr);
+
+  // Installs / clears the fault plan. Not synchronized against in-flight
+  // exchanges beyond an atomic enable flag: install/clear while the cluster
+  // is quiescent (test/bench setup, between phases).
+  void InstallFaultPlan(FaultPlan plan);
+  void ClearFaultPlan();
+  bool faults_active() const {
+    return faults_on_.load(std::memory_order_acquire);
+  }
+
+  // False while `endpoint` is inside an outage window of the installed plan
+  // at the transport clock's current time. Lets resolution layers treat an
+  // unreachable server exactly like a failed one.
+  bool EndpointReachable(uint32_t endpoint) const;
 
   const NetworkModel& model() const { return model_; }
   Mode mode() const { return mode_; }
@@ -104,10 +188,31 @@ class Transport {
   uint64_t total_bytes() const { return total_bytes_.load(); }
   DurationNs total_time() const { return total_time_.load(); }
 
+  // Fault accounting (non-zero only while a plan is installed).
+  uint64_t fault_drops() const { return fault_drops_.load(); }
+  uint64_t fault_errors() const { return fault_errors_.load(); }
+  uint64_t fault_delays() const { return fault_delays_.load(); }
+  uint64_t fault_outages() const { return fault_outages_.load(); }
+  uint64_t faults_injected() const {
+    return fault_drops() + fault_errors() + fault_outages();
+  }
+
  private:
+  // Samples the round-trip cost, consuming jitter entropy.
+  DurationNs SampleRoundTrip(size_t req_bytes, size_t resp_bytes);
+
   // Records accounting/metrics for one exchange carrying `n_ops` operations
   // and applies the cost per the mode.
   DurationNs ApplyExchange(size_t n_ops, size_t req_bytes, size_t resp_bytes);
+
+  // Records accounting/metrics/sleep for an exchange whose cost was already
+  // determined (fault paths charge timeout / fast-fail costs).
+  void FinishExchange(size_t n_ops, size_t req_bytes, size_t resp_bytes,
+                      DurationNs cost);
+
+  // Shared implementation of Exchange/ExchangeBatch.
+  Status ExchangeInternal(uint32_t endpoint, size_t n_ops, size_t req_bytes,
+                          size_t resp_bytes, DurationNs* cost_out);
 
   NetworkModel model_;
   Mode mode_;
@@ -121,6 +226,17 @@ class Transport {
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<DurationNs> total_time_{0};
 
+  // Fault plan. `plan_` is written before `faults_on_` is released, so a
+  // reader that observes faults_on_ sees a fully constructed plan. Fault
+  // decisions draw from `fault_rng_`, never from `rng_`.
+  std::shared_ptr<const FaultPlan> plan_;
+  std::atomic<bool> faults_on_{false};
+  AtomicRng fault_rng_;
+  std::atomic<uint64_t> fault_drops_{0};
+  std::atomic<uint64_t> fault_errors_{0};
+  std::atomic<uint64_t> fault_delays_{0};
+  std::atomic<uint64_t> fault_outages_{0};
+
   // Observability (null until BindMetrics). The RTT histogram records the
   // modeled round-trip cost, which is meaningful in both modes (kZero never
   // sleeps but still computes the cost).
@@ -130,6 +246,11 @@ class Transport {
   // Batch-path metrics: operations carried in batches + batch-size shape.
   obs::Counter* m_batch_ops_ = nullptr;
   Histogram* m_batch_size_ = nullptr;
+  // Fault-path metrics ("transport.<name>.faults.*").
+  obs::Counter* m_fault_drops_ = nullptr;
+  obs::Counter* m_fault_errors_ = nullptr;
+  obs::Counter* m_fault_delays_ = nullptr;
+  obs::Counter* m_fault_outages_ = nullptr;
 };
 
 }  // namespace jiffy
