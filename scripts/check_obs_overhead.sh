@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Guards the observability cost model (DESIGN.md §6): with JIFFY_OBS=0 every
+# record site must collapse to a relaxed load plus a branch. We can't measure
+# that against an uninstrumented build at runtime, so the guard compares the
+# two runtime configurations we ship:
+#
+#   off: JIFFY_OBS=0                       (all instrumentation gated off)
+#   on:  JIFFY_OBS=1 (+tracing and SLO)    (everything recording)
+#
+# and asserts the disabled run is never more than OVERHEAD_PCT slower than
+# the fully-enabled run on hot client-path micro-benchmarks. If a change
+# accidentally hoists work ahead of the Enabled() gate — clock reads, label
+# formatting, span allocation — the "off" run stops being the cheap one and
+# this trips. The enabled-vs-disabled delta is printed for visibility.
+#
+# Usage: scripts/check_obs_overhead.sh [path-to-micro_ops-binary]
+set -euo pipefail
+
+BIN="${1:-build/bench/micro_ops}"
+# Hot client ops that cross every instrumentation layer (OpScope, labeled
+# counters, transport spans, block spans). Anchored so Arg variants beyond
+# /64 don't inflate runtime.
+FILTER='BM_KvPut/64$|BM_KvGet/64$|BM_QueueEnqueueDequeue/64$'
+OVERHEAD_PCT="${OVERHEAD_PCT:-2}"
+REPS="${REPS:-3}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "check_obs_overhead: missing binary $BIN (build the benches first)" >&2
+  exit 2
+fi
+
+run() {  # run <label> <outfile> [env overrides...]
+  local label="$1" out="$2"
+  shift 2
+  echo "== $label =="
+  env "$@" "$BIN" \
+    --benchmark_filter="$FILTER" \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out_format=json \
+    --benchmark_out="$out" >/dev/null
+}
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+run "observability disabled (JIFFY_OBS=0)" "$TMP/off.json" \
+  JIFFY_OBS=0 JIFFY_TRACE=0 JIFFY_SLO=0
+run "observability enabled (JIFFY_OBS=1 JIFFY_TRACE=1 JIFFY_SLO=1)" "$TMP/on.json" \
+  JIFFY_OBS=1 JIFFY_TRACE=1 JIFFY_SLO=1 JIFFY_TRACE_SAMPLE=1
+
+python3 - "$TMP/off.json" "$TMP/on.json" "$OVERHEAD_PCT" <<'EOF'
+import json, sys
+
+def medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc["benchmarks"]:
+        if b.get("aggregate_name") == "median":
+            out[b["run_name"]] = b["real_time"]
+    return out
+
+off, on, limit = medians(sys.argv[1]), medians(sys.argv[2]), float(sys.argv[3])
+if not off or off.keys() != on.keys():
+    sys.exit("check_obs_overhead: benchmark sets differ between runs")
+
+failed = False
+print(f"{'benchmark':<32} {'off ns':>12} {'on ns':>12} {'off vs on':>10}")
+for name in sorted(off):
+    delta = (off[name] - on[name]) / on[name] * 100.0
+    print(f"{name:<32} {off[name]:>12.0f} {on[name]:>12.0f} {delta:>+9.1f}%")
+    if delta > limit:
+        failed = True
+
+if failed:
+    sys.exit(f"check_obs_overhead: JIFFY_OBS=0 run is more than {limit}% slower "
+             "than the enabled run — the disabled path is doing real work")
+print(f"OK: disabled-observability overhead within {limit}% on every benchmark")
+EOF

@@ -5,13 +5,16 @@ namespace jiffy {
 CustomDsClient::CustomDsClient(JiffyCluster* cluster, std::string job,
                                std::string prefix, PartitionMap initial_map)
     : DsClient(cluster, std::move(job), std::move(prefix),
-               std::move(initial_map)) {
+               std::move(initial_map), "custom") {
   type_name_ = CachedMap().custom_type;
   spec_ = CustomDsRegistry::Instance()->Find(type_name_);
 }
 
 Result<std::string> CustomDsClient::RunOp(
     OpKind kind, const std::string& op, const std::vector<std::string>& args) {
+  obs::TraceSpan span("custom.run_op", "client");
+  span.SetAttr(tenant_attr());
+  OpScope scope(this);
   if (spec_ == nullptr) {
     return FailedPrecondition("custom type '" + type_name_ +
                               "' is not registered in this process");
@@ -44,7 +47,8 @@ Result<std::string> CustomDsClient::RunOp(
     Result<std::string> r = Internal("unreached");
     bool content_gone = false;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "custom.block_wait");
+      JIFFY_TRACE_SPAN("block.custom_op", "block");
       auto* content = ContentAs<CustomContent>(block->content());
       if (content == nullptr) {
         content_gone = true;
@@ -88,6 +92,7 @@ Result<std::string> CustomDsClient::RunOp(
       MaybePersist(entry);
       Publish(op, args.empty() ? "" : args.front());
     }
+    scope.Finish(r.status());
     return r;
   }
   return Unavailable("custom op '" + op + "' livelock (too many retries)");

@@ -3,13 +3,37 @@
 namespace jiffy {
 
 DsClient::DsClient(JiffyCluster* cluster, std::string job, std::string prefix,
-                   PartitionMap initial_map)
+                   PartitionMap initial_map, const char* kind)
     : map_(std::move(initial_map)),
       cluster_(cluster),
       job_(std::move(job)),
       prefix_(std::move(prefix)),
+      tenant_(obs::TenantOf(job_)),
+      kind_(kind),
       retry_rng_(Fnv1a64(prefix_, Fnv1a64(job_)) | 1) {
   state_ = cluster_->registry()->GetOrCreate(job_, prefix_);
+  // Bind per-tenant attribution once; every op then records through cached
+  // pointers (src/obs/metrics.h "Attribution").
+  const obs::TenantLabels labels{tenant_, job_, kind_};
+  obs::MetricsRegistry* reg = cluster_->metrics();
+  tenant_attr_ = obs::InternedName(tenant_);
+  m_ops_ = reg->GetCounter("client.ops_total", labels);
+  m_errors_ = reg->GetCounter("client.op_errors_total", labels);
+  m_retries_ = reg->GetCounter("client.retries_total", labels);
+  m_masked_ = reg->GetCounter("client.faults_masked_total", labels);
+  m_req_bytes_ = reg->GetCounter("client.wire_req_bytes_total", labels);
+  m_resp_bytes_ = reg->GetCounter("client.wire_resp_bytes_total", labels);
+  m_op_latency_ = reg->GetHistogram("client.op_latency_ns", labels);
+  slo_ = cluster_->slo()->Handle(tenant_);
+}
+
+void DsClient::RecordOp(DurationNs latency_ns, bool ok) {
+  obs::Inc(m_ops_);
+  if (!ok) {
+    obs::Inc(m_errors_);
+  }
+  obs::Observe(m_op_latency_, latency_ns);
+  slo_->Record(latency_ns, ok);
 }
 
 Status DsClient::ExchangeWithRetry(Transport* net, uint32_t endpoint,
@@ -18,15 +42,23 @@ Status DsClient::ExchangeWithRetry(Transport* net, uint32_t endpoint,
   std::atomic<int>* budget = &state_->retry_budget;
   Retrier retrier(retry_policy_, clock(), &retry_rng_, budget);
   for (;;) {
-    const Status st =
-        n_ops <= 1
-            ? net->Exchange(endpoint, req_bytes, resp_bytes)
-            : net->ExchangeBatch(endpoint, n_ops, req_bytes, resp_bytes);
+    Status st;
+    {
+      // One span per wire attempt: under faults a retried exchange shows up
+      // as sibling net.attempt spans within the same trace.
+      JIFFY_TRACE_SPAN("net.attempt", "net");
+      st = n_ops <= 1
+               ? net->Exchange(endpoint, req_bytes, resp_bytes)
+               : net->ExchangeBatch(endpoint, n_ops, req_bytes, resp_bytes);
+    }
     if (st.ok()) {
+      obs::Inc(m_req_bytes_, req_bytes);
+      obs::Inc(m_resp_bytes_, resp_bytes);
       Retrier::RecordSuccess(budget);
       if (retrier.failures() > 0) {
         state_->masked_faults.fetch_add(retrier.failures(),
                                         std::memory_order_relaxed);
+        obs::Inc(m_masked_, static_cast<uint64_t>(retrier.failures()));
       }
       return st;
     }
@@ -34,7 +66,13 @@ Status DsClient::ExchangeWithRetry(Transport* net, uint32_t endpoint,
       return st;
     }
     state_->retries.fetch_add(1, std::memory_order_relaxed);
-    retrier.Backoff(net);
+    obs::Inc(m_retries_);
+    {
+      // Backoff is queueing delay, not transport time: CriticalPath charges
+      // it to the "queue" segment.
+      JIFFY_TRACE_SPAN("retry.backoff", "queue");
+      retrier.Backoff(net);
+    }
   }
 }
 

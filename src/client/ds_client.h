@@ -21,17 +21,24 @@
 #include "src/client/retry.h"
 #include "src/common/hash.h"
 #include "src/core/hierarchy.h"
+#include "src/obs/slo.h"
+#include "src/obs/trace.h"
 
 namespace jiffy {
 
 class DsClient {
  public:
+  // `kind` is the attribution label for this handle's data-structure kind
+  // ("kv", "queue", "file", "custom") — a string literal; it becomes the
+  // `kind` label on every per-tenant metric this client records.
   DsClient(JiffyCluster* cluster, std::string job, std::string prefix,
-           PartitionMap initial_map);
+           PartitionMap initial_map, const char* kind = "ds");
   virtual ~DsClient() = default;
 
   const std::string& job() const { return job_; }
   const std::string& prefix() const { return prefix_; }
+  // Attribution tenant (job-id prefix before ':' or '.', see obs::TenantOf).
+  const std::string& tenant() const { return tenant_; }
 
   // Subscribe to notifications for `op` on this data structure (Table 1).
   std::shared_ptr<Listener> Subscribe(const std::string& op);
@@ -49,6 +56,49 @@ class DsClient {
   void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
 
  protected:
+  // --- Per-op SLO / attribution scope ---------------------------------------
+  //
+  // Every public data-structure op opens one OpScope. On destruction it
+  // reports (tenant, wall latency, ok) into the cluster's SloMonitor and
+  // bumps the client's labeled op/error counters. Ops start presumed
+  // failed; call Success() on the committed path so early error returns
+  // count against the tenant's error budget without per-return bookkeeping.
+  // When JIFFY_SLO and metrics are both disabled, construction is two
+  // relaxed loads and no clock read.
+  class OpScope {
+   public:
+    explicit OpScope(DsClient* client)
+        : client_(client),
+          start_(obs::SloEnabled() || obs::Enabled()
+                     ? RealClock::Instance()->Now()
+                     : kInactive) {}
+    ~OpScope() {
+      if (start_ == kInactive) {
+        return;
+      }
+      client_->RecordOp(RealClock::Instance()->Now() - start_, ok_);
+    }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+    void Success() { ok_ = true; }
+    // For ops whose outcome is a Status in hand at the end. A kNotFound is
+    // a correct answer (cache miss), not an SLO error.
+    void Finish(const Status& st) {
+      ok_ = st.ok() || st.code() == StatusCode::kNotFound;
+    }
+
+   private:
+    static constexpr TimeNs kInactive = -1;
+    DsClient* client_;
+    TimeNs start_;
+    bool ok_ = false;
+  };
+
+  // Interned tenant id for span attribution (stable process-lifetime
+  // pointer; safe to attach to TraceSpan::SetAttr).
+  const char* tenant_attr() const { return tenant_attr_; }
+
   // --- Fault-masked wire exchanges (DESIGN.md §10) --------------------------
   //
   // All data/control-plane charges go through these instead of raw
@@ -105,7 +155,8 @@ class DsClient {
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(rb->mu());
+        obs::TracedLockGuard lock(rb->mu(), "chain.block_wait");
+        JIFFY_TRACE_SPAN("block.chain_apply", "block");
         auto* content = ContentAs<ContentT>(rb->content());
         if (content != nullptr) {
           mutate(content);
@@ -132,7 +183,8 @@ class DsClient {
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(rb->mu());
+        obs::TracedLockGuard lock(rb->mu(), "chain.block_wait");
+        JIFFY_TRACE_SPAN("block.chain_apply", "block");
         auto* content = ContentAs<ContentT>(rb->content());
         if (content != nullptr) {
           mutate(content);
@@ -182,17 +234,37 @@ class DsClient {
   }
 
  private:
+  friend class OpScope;
+
   // Shared implementation of the fault-masked exchanges above.
   Status ExchangeWithRetry(Transport* net, uint32_t endpoint, size_t n_ops,
                            size_t req_bytes, size_t resp_bytes);
 
+  // OpScope sink: labeled op/error counters + latency histogram + SLO.
+  void RecordOp(DurationNs latency_ns, bool ok);
+
   JiffyCluster* cluster_;
   std::string job_;
   std::string prefix_;
+  std::string tenant_;
+  const char* kind_;
   std::shared_ptr<DsState> state_;
   RetryPolicy retry_policy_;
   // Backoff jitter; seeded from (job, prefix) so runs are reproducible.
   AtomicRng retry_rng_;
+
+  // Per-tenant attribution, bound once at construction (the labeled
+  // registry lookups intern the label set; the hot path only touches the
+  // cached pointers).
+  const char* tenant_attr_ = nullptr;
+  obs::Counter* m_ops_ = nullptr;
+  obs::Counter* m_errors_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_masked_ = nullptr;
+  obs::Counter* m_req_bytes_ = nullptr;
+  obs::Counter* m_resp_bytes_ = nullptr;
+  Histogram* m_op_latency_ = nullptr;
+  obs::SloMonitor::TenantState* slo_ = nullptr;
 };
 
 }  // namespace jiffy

@@ -55,7 +55,9 @@ Status FileClient::GrowTail(BlockId tail_block, uint64_t tail_lo,
 }
 
 Result<uint64_t> FileClient::Append(std::string_view data) {
-  JIFFY_TRACE_SPAN("file.append", "client");
+  obs::TraceSpan span("file.append", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   std::string_view remaining = data;
   uint64_t start_offset = 0;
   bool start_set = false;
@@ -79,7 +81,8 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
     bool content_gone = false;
     bool tail_capped = false;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "file.block_wait");
+      JIFFY_TRACE_SPAN("block.file_append", "block");
       auto* chunk = ContentAs<FileChunk>(block->content());
       if (chunk == nullptr) {
         // Content was reclaimed (lease expiry) or remapped under us. The
@@ -151,6 +154,7 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
       repartitioner()->Flag(block, std::move(hint));
     }
     if (remaining.empty()) {
+      op.Success();
       return start_offset;
     }
     if (accepted == 0 && !grow) {
@@ -170,12 +174,15 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
 
 Result<uint64_t> FileClient::AppendVec(
     const std::vector<std::string_view>& pieces) {
-  JIFFY_TRACE_SPAN("file.append_vec", "client");
+  obs::TraceSpan span("file.append_vec", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   size_t total = 0;
   for (std::string_view p : pieces) {
     total += p.size();
   }
   if (total == 0) {
+    op.Success();
     return uint64_t{0};
   }
   // Cursor into the scatter list: pieces before `piece_idx` (and the first
@@ -216,7 +223,8 @@ Result<uint64_t> FileClient::AppendVec(
     bool content_gone = false;
     bool tail_capped = false;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "file.block_wait");
+      JIFFY_TRACE_SPAN("block.file_append_vec", "block");
       auto* chunk = ContentAs<FileChunk>(block->content());
       if (chunk == nullptr) {
         content_gone = true;
@@ -308,6 +316,7 @@ Result<uint64_t> FileClient::AppendVec(
       piece_off = 0;
     }
     if (piece_idx >= pieces.size()) {
+      op.Success();
       return start_offset;
     }
     if (accepted == 0 && !grow) {
@@ -323,7 +332,9 @@ Result<uint64_t> FileClient::AppendVec(
 }
 
 Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
-  JIFFY_TRACE_SPAN("file.read", "client");
+  obs::TraceSpan span("file.read", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   std::string out;
   bool refreshed = false;
   int wire_failures = 0;
@@ -352,7 +363,8 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
     }
     std::string piece;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "file.block_wait");
+      JIFFY_TRACE_SPAN("block.file_read", "block");
       auto* chunk = ContentAs<FileChunk>(block->content());
       if (chunk == nullptr) {
         return LeaseExpired("file block reclaimed; load the prefix first");
@@ -375,12 +387,15 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
     out += piece;
     refreshed = false;
   }
+  op.Success();  // Short reads at EOF are correct answers.
   return out;
 }
 
 std::vector<Result<std::string>> FileClient::ReadVec(
     const std::vector<std::pair<uint64_t, size_t>>& ranges) {
-  JIFFY_TRACE_SPAN("file.read_vec", "client");
+  obs::TraceSpan span("file.read_vec", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   std::vector<Result<std::string>> results(ranges.size(), std::string());
   std::vector<std::string> acc(ranges.size());
   std::vector<bool> done(ranges.size(), false);
@@ -459,7 +474,8 @@ std::vector<Result<std::string>> FileClient::ReadVec(
       std::vector<Result<std::string>> outs;
       bool content_gone = false;
       {
-        std::lock_guard<std::mutex> lock(block->mu());
+        obs::TracedLockGuard lock(block->mu(), "file.block_wait");
+        JIFFY_TRACE_SPAN("block.file_read_vec", "block");
         auto* chunk = ContentAs<FileChunk>(block->content());
         if (chunk == nullptr) {
           content_gone = true;
@@ -545,27 +561,38 @@ std::vector<Result<std::string>> FileClient::ReadVec(
       results[i] = std::move(acc[i]);
     }
   }
+  if (std::all_of(results.begin(), results.end(),
+                  [](const Result<std::string>& r) { return r.ok(); })) {
+    op.Success();
+  }
   return results;
 }
 
 Result<uint64_t> FileClient::Size() {
+  obs::TraceSpan span("file.size", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
   PartitionMap map = CachedMap();
   if (map.entries.empty()) {
+    op.Success();
     return uint64_t{0};
   }
   const PartitionEntry tail = map.entries.back();
   Block* block = Resolve(ReadTarget(tail));
   if (block == nullptr) {
     JIFFY_RETURN_IF_ERROR(FailOver(tail));
-    return Size();
+    op.Success();   // Failover worked; the retry reports its own outcome.
+    return Size();  // Recursive call owns its own scope.
   }
-  std::lock_guard<std::mutex> lock(block->mu());
+  obs::TracedLockGuard lock(block->mu(), "file.block_wait");
+  JIFFY_TRACE_SPAN("block.file_size", "block");
   auto* chunk = ContentAs<FileChunk>(block->content());
   if (chunk == nullptr) {
     return LeaseExpired("file block reclaimed; load the prefix first");
   }
   DataExchange(ReadTarget(tail), 64, 64);
+  op.Success();
   return chunk->end_offset();
 }
 

@@ -22,7 +22,10 @@ namespace jiffy {
 
 class FileClient : public DsClient {
  public:
-  using DsClient::DsClient;
+  FileClient(JiffyCluster* cluster, std::string job, std::string prefix,
+             PartitionMap initial_map)
+      : DsClient(cluster, std::move(job), std::move(prefix),
+                 std::move(initial_map), "file") {}
 
   // Appends `data`, growing the file across blocks as needed. Returns the
   // logical offset at which the data begins.

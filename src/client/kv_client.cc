@@ -41,7 +41,9 @@ bool KvClient::RouteSlot(uint32_t slot, PartitionEntry* out) const {
 }
 
 Status KvClient::Put(std::string_view key, std::string_view value) {
-  JIFFY_TRACE_SPAN("kv.put", "client");
+  obs::TraceSpan span("kv.put", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
     BackoffRetry(attempt);
@@ -58,10 +60,11 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
     }
     Status st;
     double usage = 0.0;
-    uint32_t span = 0;
+    uint32_t slot_span = 0;
     bool content_gone = false;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+      JIFFY_TRACE_SPAN("block.kv_put", "block");
       auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
         content_gone = true;
@@ -70,7 +73,7 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
         st = shard->Put(key, value);
         usage = static_cast<double>(shard->used_bytes()) /
                 static_cast<double>(shard->capacity());
-        span = shard->slot_span();
+        slot_span = shard->slot_span();
       }
     }
     if (content_gone || st.code() == StatusCode::kStaleMetadata) {
@@ -88,7 +91,7 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
                                  [&](KvShard* s) { s->Put(key, value); });
     MaybePersist(entry);
     Publish(kPutOp, std::string(key));
-    if (usage >= config().repartition_high_threshold && span > 1 &&
+    if (usage >= config().repartition_high_threshold && slot_span > 1 &&
         entry.replicas.empty()) {
       // Overload: hand the upper half of the slot range to a new block.
       // Failure to scale (e.g. kOutOfMemory) does not fail the put — the
@@ -96,13 +99,16 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
       // prefixes do not repartition (see DESIGN.md).
       SignalOverload(block, entry);
     }
+    op.Success();
     return Status::Ok();
   }
   return Unavailable("kv put livelock (too many stale retries)");
 }
 
 Result<std::string> KvClient::Get(std::string_view key) {
-  JIFFY_TRACE_SPAN("kv.get", "client");
+  obs::TraceSpan span("kv.get", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
     BackoffRetry(attempt);
@@ -120,7 +126,8 @@ Result<std::string> KvClient::Get(std::string_view key) {
     Result<std::string> r = NotFound("");
     bool content_gone = false;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+      JIFFY_TRACE_SPAN("block.kv_get", "block");
       auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
         content_gone = true;
@@ -141,6 +148,7 @@ Result<std::string> KvClient::Get(std::string_view key) {
                .ok()) {
         continue;
       }
+      op.Success();
       return r;
     }
     if (r.status().code() == StatusCode::kStaleMetadata) {
@@ -148,13 +156,16 @@ Result<std::string> KvClient::Get(std::string_view key) {
       continue;
     }
     DataExchange(ReadTarget(entry), key.size() + 64, 64);
+    op.Finish(r.status());
     return r.status();
   }
   return Unavailable("kv get livelock (too many stale retries)");
 }
 
 Status KvClient::Delete(std::string_view key) {
-  JIFFY_TRACE_SPAN("kv.delete", "client");
+  obs::TraceSpan span("kv.delete", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
     BackoffRetry(attempt);
@@ -172,7 +183,8 @@ Status KvClient::Delete(std::string_view key) {
     double usage = 0.0;
     bool content_gone = false;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+      JIFFY_TRACE_SPAN("block.kv_delete", "block");
       auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
         content_gone = true;
@@ -199,6 +211,7 @@ Status KvClient::Delete(std::string_view key) {
         CachedMap().entries.size() > 1 && entry.replicas.empty()) {
       SignalUnderload(block, entry);
     }
+    op.Finish(st);
     return Status::Ok();
   }
   return Unavailable("kv delete livelock (too many stale retries)");
@@ -206,6 +219,9 @@ Status KvClient::Delete(std::string_view key) {
 
 Status KvClient::Accumulate(std::string_view key, std::string_view update,
                             const MergeFn& merge) {
+  obs::TraceSpan span("kv.accumulate", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   const uint32_t slot = KvSlotOf(key, config().kv_hash_slots);
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
     BackoffRetry(attempt);
@@ -221,11 +237,12 @@ Status KvClient::Accumulate(std::string_view key, std::string_view update,
     }
     Status st;
     double usage = 0.0;
-    uint32_t span = 0;
+    uint32_t slot_span = 0;
     bool content_gone = false;
     std::string merged;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+      JIFFY_TRACE_SPAN("block.kv_accumulate", "block");
       auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
         content_gone = true;
@@ -238,7 +255,7 @@ Status KvClient::Accumulate(std::string_view key, std::string_view update,
         st = shard->Put(key, merged);
         usage = static_cast<double>(shard->used_bytes()) /
                 static_cast<double>(shard->capacity());
-        span = shard->slot_span();
+        slot_span = shard->slot_span();
       }
     }
     if (content_gone || st.code() == StatusCode::kStaleMetadata) {
@@ -256,10 +273,11 @@ Status KvClient::Accumulate(std::string_view key, std::string_view update,
                                  [&](KvShard* s) { s->Put(key, merged); });
     MaybePersist(entry);
     Publish(kPutOp, std::string(key));
-    if (usage >= config().repartition_high_threshold && span > 1 &&
+    if (usage >= config().repartition_high_threshold && slot_span > 1 &&
         entry.replicas.empty()) {
       SignalOverload(block, entry);
     }
+    op.Success();
     return Status::Ok();
   }
   return Unavailable("kv accumulate livelock (too many stale retries)");
@@ -278,7 +296,9 @@ Result<bool> KvClient::Exists(std::string_view key) {
 
 std::vector<Status> KvClient::MultiPut(
     const std::vector<std::pair<std::string, std::string>>& pairs) {
-  JIFFY_TRACE_SPAN("kv.multi_put", "client");
+  obs::TraceSpan op_span("kv.multi_put", "client");
+  op_span.SetAttr(tenant_attr());
+  OpScope op(this);
   std::vector<Status> statuses(pairs.size(), Status::Ok());
   if (pairs.empty()) {
     return statuses;
@@ -336,9 +356,10 @@ std::vector<Status> KvClient::MultiPut(
       std::vector<Status> item_status;
       bool content_gone = false;
       double usage = 0.0;
-      uint32_t span = 0;
+      uint32_t slot_span = 0;
       {
-        std::lock_guard<std::mutex> lock(block->mu());
+        obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+        JIFFY_TRACE_SPAN("block.kv_multi_put", "block");
         auto* shard = ContentAs<KvShard>(block->content());
         if (shard == nullptr) {
           content_gone = true;
@@ -347,7 +368,7 @@ std::vector<Status> KvClient::MultiPut(
           shard->MultiPut(ops, &item_status);
           usage = static_cast<double>(shard->used_bytes()) /
                   static_cast<double>(shard->capacity());
-          span = shard->slot_span();
+          slot_span = shard->slot_span();
         }
       }
       if (content_gone) {
@@ -393,7 +414,7 @@ std::vector<Status> KvClient::MultiPut(
         for (size_t i : applied) {
           Publish(kPutOp, pairs[i].first);
         }
-        if (usage >= config().repartition_high_threshold && span > 1 &&
+        if (usage >= config().repartition_high_threshold && slot_span > 1 &&
             entry.replicas.empty()) {
           SignalOverload(block, entry);
         }
@@ -413,12 +434,18 @@ std::vector<Status> KvClient::MultiPut(
   for (size_t i : pending) {
     statuses[i] = Unavailable("kv multi-put livelock (too many stale retries)");
   }
+  if (std::all_of(statuses.begin(), statuses.end(),
+                  [](const Status& s) { return s.ok(); })) {
+    op.Success();
+  }
   return statuses;
 }
 
 std::vector<Result<std::string>> KvClient::MultiGet(
     const std::vector<std::string>& keys) {
-  JIFFY_TRACE_SPAN("kv.multi_get", "client");
+  obs::TraceSpan op_span("kv.multi_get", "client");
+  op_span.SetAttr(tenant_attr());
+  OpScope op(this);
   std::vector<Result<std::string>> results(keys.size(), NotFound(""));
   if (keys.empty()) {
     return results;
@@ -474,7 +501,8 @@ std::vector<Result<std::string>> KvClient::MultiGet(
       std::vector<Result<std::string>> item_results;
       bool content_gone = false;
       {
-        std::lock_guard<std::mutex> lock(block->mu());
+        obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+        JIFFY_TRACE_SPAN("block.kv_multi_get", "block");
         auto* shard = ContentAs<KvShard>(block->content());
         if (shard == nullptr) {
           content_gone = true;
@@ -527,11 +555,20 @@ std::vector<Result<std::string>> KvClient::MultiGet(
   for (size_t i : pending) {
     results[i] = Unavailable("kv multi-get livelock (too many stale retries)");
   }
+  if (std::all_of(results.begin(), results.end(),
+                  [](const Result<std::string>& r) {
+                    return r.ok() ||
+                           r.status().code() == StatusCode::kNotFound;
+                  })) {
+    op.Success();
+  }
   return results;
 }
 
 std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) {
-  JIFFY_TRACE_SPAN("kv.multi_delete", "client");
+  obs::TraceSpan op_span("kv.multi_delete", "client");
+  op_span.SetAttr(tenant_attr());
+  OpScope op(this);
   std::vector<Status> statuses(keys.size(), Status::Ok());
   if (keys.empty()) {
     return statuses;
@@ -587,7 +624,8 @@ std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) 
       bool content_gone = false;
       double usage = 0.0;
       {
-        std::lock_guard<std::mutex> lock(block->mu());
+        obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+        JIFFY_TRACE_SPAN("block.kv_multi_delete", "block");
         auto* shard = ContentAs<KvShard>(block->content());
         if (shard == nullptr) {
           content_gone = true;
@@ -657,6 +695,11 @@ std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) 
   for (size_t i : pending) {
     statuses[i] =
         Unavailable("kv multi-delete livelock (too many stale retries)");
+  }
+  if (std::all_of(statuses.begin(), statuses.end(), [](const Status& s) {
+        return s.ok() || s.code() == StatusCode::kNotFound;
+      })) {
+    op.Success();
   }
   return statuses;
 }

@@ -24,7 +24,10 @@ namespace jiffy {
 
 class KvClient : public DsClient {
  public:
-  using DsClient::DsClient;
+  KvClient(JiffyCluster* cluster, std::string job, std::string prefix,
+           PartitionMap initial_map)
+      : DsClient(cluster, std::move(job), std::move(prefix),
+                 std::move(initial_map), "kv") {}
 
   Status Put(std::string_view key, std::string_view value);
   Result<std::string> Get(std::string_view key);

@@ -73,7 +73,9 @@ Status QueueClient::ShrinkHead(BlockId head_block) {
 }
 
 Status QueueClient::Enqueue(std::string item) {
-  JIFFY_TRACE_SPAN("queue.enqueue", "client");
+  obs::TraceSpan span("queue.enqueue", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   const uint64_t bound = state()->max_queue_length.load();
   if (bound > 0 &&
       state()->queue_items.load(std::memory_order_relaxed) >=
@@ -99,7 +101,8 @@ Status QueueClient::Enqueue(std::string item) {
     double usage = 0.0;
     std::string replica_copy;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "queue.block_wait");
+      JIFFY_TRACE_SPAN("block.queue_enqueue", "block");
       auto* seg = ContentAs<QueueSegment>(block->content());
       if (seg == nullptr) {
         // Refresh outside the block lock (lock order: controller → block).
@@ -140,6 +143,7 @@ Status QueueClient::Enqueue(std::string item) {
         // append a fresh one before producers hit the overflow path.
         FlagPressure(block, tail.block, Repartitioner::Pressure::kOverload);
       }
+      op.Success();
       return Status::Ok();
     }
     // Tail full: grow, then retry. QueueSegment::Enqueue only moves from
@@ -156,8 +160,11 @@ Status QueueClient::Enqueue(std::string item) {
 }
 
 Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
-  JIFFY_TRACE_SPAN("queue.enqueue_batch", "client");
+  obs::TraceSpan span("queue.enqueue_batch", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   if (items.empty()) {
+    op.Success();
     return Status::Ok();
   }
   const uint64_t bound = state()->max_queue_length.load();
@@ -197,7 +204,8 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
     bool content_gone = false;
     double usage = 0.0;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "queue.block_wait");
+      JIFFY_TRACE_SPAN("block.queue_enqueue_batch", "block");
       auto* seg = ContentAs<QueueSegment>(block->content());
       if (seg == nullptr) {
         content_gone = true;
@@ -258,11 +266,14 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
   if (done < items.size()) {
     return Unavailable("queue enqueue-batch livelock (too many stale retries)");
   }
+  op.Success();
   return Status::Ok();
 }
 
 Result<std::string> QueueClient::Dequeue() {
-  JIFFY_TRACE_SPAN("queue.dequeue", "client");
+  obs::TraceSpan span("queue.dequeue", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   // One redelivery token per logical dequeue call: if the reply is lost and
   // we re-send, the segment redelivers the same item instead of popping a
   // second one (exactly-once; DESIGN.md §10).
@@ -288,7 +299,8 @@ Result<std::string> QueueClient::Dequeue() {
     bool got = false;
     bool content_gone = false;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "queue.block_wait");
+      JIFFY_TRACE_SPAN("block.queue_dequeue", "block");
       auto* seg = ContentAs<QueueSegment>(block->content());
       if (seg == nullptr) {
         content_gone = true;
@@ -326,10 +338,12 @@ Result<std::string> QueueClient::Dequeue() {
         if (head.replicas.empty() &&
             FlagPressure(block, head.block,
                          Repartitioner::Pressure::kUnderload)) {
+          op.Success();
           return item;
         }
         JIFFY_RETURN_IF_ERROR(ShrinkHead(head.block));
       }
+      op.Success();
       return item;
     }
     if (drained && !head_is_tail) {
@@ -354,15 +368,19 @@ Result<std::string> QueueClient::Dequeue() {
     // Empty probe: the reply carries nothing consumable, so a lost reply
     // needs no redelivery handling.
     DataExchange(head.block, 64, 64);
+    op.Success();  // An empty queue is a correct answer, not an SLO error.
     return NotFound("queue empty");
   }
   return Unavailable("queue dequeue livelock (too many stale retries)");
 }
 
 Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
-  JIFFY_TRACE_SPAN("queue.dequeue_batch", "client");
+  obs::TraceSpan span("queue.dequeue_batch", "client");
+  span.SetAttr(tenant_attr());
+  OpScope op(this);
   std::vector<std::string> out;
   if (max_n == 0) {
+    op.Success();
     return out;
   }
   // One token per wire chunk: a chunk whose reply is lost is re-sent under
@@ -390,7 +408,8 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
     std::vector<std::string> popped;
     bool content_gone = false;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      obs::TracedLockGuard lock(block->mu(), "queue.block_wait");
+      JIFFY_TRACE_SPAN("block.queue_dequeue_batch", "block");
       auto* seg = ContentAs<QueueSegment>(block->content());
       if (seg == nullptr) {
         content_gone = true;
@@ -460,6 +479,7 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
     }
     break;
   }
+  op.Success();
   return out;
 }
 

@@ -19,7 +19,10 @@ namespace jiffy {
 
 class QueueClient : public DsClient {
  public:
-  using DsClient::DsClient;
+  QueueClient(JiffyCluster* cluster, std::string job, std::string prefix,
+              PartitionMap initial_map)
+      : DsClient(cluster, std::move(job), std::move(prefix),
+                 std::move(initial_map), "queue") {}
 
   // Bounds the queue to `n` items (0 = unbounded); enqueue returns
   // kUnavailable when full (paper's maxQueueLength).

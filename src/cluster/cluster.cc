@@ -111,6 +111,42 @@ void JiffyCluster::FailServer(uint32_t i) {
   }
 }
 
+std::string JiffyCluster::HealthReport(bool json) {
+  char buf[512];
+  const size_t capacity = TotalCapacityBytes();
+  const size_t allocated = AllocatedBytes();
+  const obs::MetricsSnapshot snap = MetricsSnapshot();
+  const uint64_t masked = snap.SumCounters("faults_masked_total");
+  const uint64_t retries = snap.SumCounters("retries_total");
+  if (json) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"capacity_bytes\":%zu,\"allocated_bytes\":%zu,"
+                  "\"utilization\":%.4f,\"retries\":%llu,"
+                  "\"masked_faults\":%llu,\"slo_alerts\":%llu,"
+                  "\"tenants\":",
+                  capacity, allocated,
+                  capacity == 0
+                      ? 0.0
+                      : static_cast<double>(allocated) /
+                            static_cast<double>(capacity),
+                  static_cast<unsigned long long>(retries),
+                  static_cast<unsigned long long>(masked),
+                  static_cast<unsigned long long>(slo_.alerts_fired()));
+    return std::string(buf) + slo_.ReportJson() + "}";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "cluster: capacity %zu MB, allocated %zu MB (%.1f%%), "
+                "retries %llu, masked faults %llu, slo alerts %llu\n",
+                capacity >> 20, allocated >> 20,
+                capacity == 0 ? 0.0
+                              : 100.0 * static_cast<double>(allocated) /
+                                    static_cast<double>(capacity),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(masked),
+                static_cast<unsigned long long>(slo_.alerts_fired()));
+  return std::string(buf) + slo_.ReportText();
+}
+
 size_t JiffyCluster::AllocatedBytes() const {
   return static_cast<size_t>(allocator_->allocated_count()) *
          config_.block_size_bytes;

@@ -25,6 +25,7 @@
 #include "src/ds/registry.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/persistent/persistent_store.h"
 
 namespace jiffy {
@@ -90,6 +91,14 @@ class JiffyCluster : public DataPlaneHooks {
   obs::MetricsSnapshot MetricsSnapshot() { return metrics_.Snapshot(); }
   std::string MetricsPrometheusText() { return metrics_.PrometheusText(); }
 
+  // Per-tenant SLO tracking: every client op reports (tenant, latency, ok)
+  // here (gated on JIFFY_SLO; see src/obs/slo.h).
+  obs::SloMonitor* slo() { return &slo_; }
+
+  // Operator-facing health dump: per-tenant SLO table plus cluster capacity
+  // and fault counters. `json` selects a machine-readable rendering.
+  std::string HealthReport(bool json = false);
+
   // --- Capacity accounting (Fig 9(b), Fig 11(a)) ----------------------------
 
   size_t TotalCapacityBytes() const { return config_.TotalCapacityBytes(); }
@@ -136,6 +145,7 @@ class JiffyCluster : public DataPlaneHooks {
   // pointers but never record from destructors, so member order is not
   // load-bearing.
   obs::MetricsRegistry metrics_;
+  obs::SloMonitor slo_;
   obs::Counter* m_init_blocks_ = nullptr;
   obs::Counter* m_serialize_blocks_ = nullptr;
   obs::Counter* m_restore_blocks_ = nullptr;

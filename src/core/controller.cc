@@ -32,6 +32,30 @@ void Controller::BindMetrics(obs::MetricsRegistry* registry,
   m_merges_ = registry->GetCounter(ns + "repartition_merges_total");
   m_renew_ns_ = registry->GetHistogram(ns + "renew_ns");
   m_alloc_block_ns_ = registry->GetHistogram(ns + "alloc_block_ns");
+  registry_ = registry;
+}
+
+void Controller::CountAllocation(const std::string& job, DsType type,
+                                 uint64_t n) {
+  if (registry_ == nullptr || !obs::Enabled()) {
+    return;
+  }
+  const char* kind = "custom";
+  switch (type) {
+    case DsType::kFile:
+      kind = "file";
+      break;
+    case DsType::kQueue:
+      kind = "queue";
+      break;
+    case DsType::kKvStore:
+      kind = "kv";
+      break;
+    case DsType::kCustom:
+      break;
+  }
+  const obs::TenantLabels labels{obs::TenantOf(job), job, kind};
+  obs::Inc(registry_->GetCounter("ctl.blocks_allocated_total", labels), n);
 }
 
 void Controller::ChargeOp() {
@@ -446,6 +470,7 @@ Result<PartitionMap> Controller::InitDataStructure(
   node->partition = map;
   node->blocks_ever_allocated += initial_blocks;
   obs::Inc(m_blocks_allocated_, initial_blocks);
+  CountAllocation(job, type, initial_blocks);
   stats_.blocks_allocated.fetch_add(initial_blocks, std::memory_order_relaxed);
   return map;
 }
@@ -489,6 +514,7 @@ Result<BlockId> Controller::AddBlockLocked(TaskNode* node,
   node->partition.version++;
   node->blocks_ever_allocated++;
   obs::Inc(m_blocks_allocated_);
+  CountAllocation(job, node->partition.type, 1);
   stats_.blocks_allocated.fetch_add(1, std::memory_order_relaxed);
   stats_.overload_signals.fetch_add(1, std::memory_order_relaxed);
   return id;
@@ -612,6 +638,7 @@ Result<BlockId> Controller::AllocateUnmapped(const std::string& job,
   }
   node->blocks_ever_allocated++;
   obs::Inc(m_blocks_allocated_);
+  CountAllocation(job, node->partition.type, 1);
   stats_.blocks_allocated.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
@@ -825,6 +852,9 @@ Status Controller::LoadAddrPrefix(const std::string& job,
 
 Status Controller::RepairEntry(const std::string& job,
                                const std::string& prefix, BlockId hint) {
+  // Child of the failing client op's span (repair runs on the client's
+  // thread, inside FailOver, so the TLS context carries the link).
+  JIFFY_TRACE_SPAN("ctl.repair_entry", "control");
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));

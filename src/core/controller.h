@@ -455,6 +455,13 @@ class Controller {
   obs::Counter* m_merges_ = nullptr;
   Histogram* m_renew_ns_ = nullptr;
   Histogram* m_alloc_block_ns_ = nullptr;
+  // Kept for per-tenant attribution of block allocations (labeled counter
+  // lookups happen on the rare allocation path, never per data-plane op).
+  obs::MetricsRegistry* registry_ = nullptr;
+
+  // Labeled "ctl.blocks_allocated_total{tenant,job,kind}" bump; no-op until
+  // BindMetrics.
+  void CountAllocation(const std::string& job, DsType type, uint64_t n);
 };
 
 }  // namespace jiffy

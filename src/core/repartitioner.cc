@@ -82,6 +82,10 @@ void Repartitioner::Flag(Block* block, Hint hint) {
   if (block == nullptr || !block->TryFlagRepartition()) {
     return;  // Already flagged — the queued hint covers this observation.
   }
+  if (!hint.origin.active()) {
+    // Flag() runs on the data path, inside the triggering op's span.
+    hint.origin = obs::CurrentTraceContext();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_ || stop_) {
@@ -137,7 +141,9 @@ void Repartitioner::ChargeControl() {
 }
 
 void Repartitioner::Process(const Hint& hint) {
-  JIFFY_TRACE_SPAN("repartition.process", "repartitioner");
+  // Link the background work to the data-path op that flagged the block:
+  // on another thread, so the exporter renders the edge as a flow event.
+  JIFFY_TRACE_SPAN_UNDER("repartition.process", "repartitioner", hint.origin);
   Block* block = hooks_.resolve(hint.block);
   Controller* ctl = hooks_.controller(hint.job);
   std::shared_ptr<DsState> state = hooks_.ds_state(hint.job, hint.prefix);

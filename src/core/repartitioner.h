@@ -50,6 +50,7 @@
 #include "src/ds/registry.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace jiffy {
 
@@ -64,6 +65,12 @@ class Repartitioner {
     BlockId block;
     DsType type = DsType::kKvStore;
     Pressure pressure = Pressure::kOverload;
+    // Causal context of the data-path op that raised the flag. Filled in by
+    // Flag() from the caller's thread-local trace context (callers may also
+    // set it explicitly); the worker reopens its processing span under it,
+    // so the exported trace links the background split/merge back to the
+    // request that triggered it.
+    obs::TraceContext origin;
   };
 
   // How the worker reaches the rest of the system.

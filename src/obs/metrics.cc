@@ -13,14 +13,50 @@ bool InitialEnabled() {
 }
 
 // Prometheus metric names allow [a-zA-Z0-9_:]; we map everything else
-// (notably the '.' namespace separators) to '_'.
-std::string SanitizeName(const std::string& name) {
+// (notably the '.' namespace separators) to '_'. Only the base name is
+// sanitized — a {tenant="…",…} label suffix appended by the labeled
+// registry variants must survive verbatim.
+std::string SanitizeBase(const std::string& base) {
   std::string out = "jiffy_";
-  for (const char c : name) {
+  for (const char c : base) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_';
     out.push_back(ok ? c : '_');
   }
+  return out;
+}
+
+// Splits a registry key into (sanitized base, label interior). The label
+// interior is the text between the braces, empty for unlabeled metrics.
+struct ParsedName {
+  std::string base;
+  std::string labels;  // `tenant="a",job="b",kind="kv"` — no braces.
+};
+
+ParsedName ParseName(const std::string& name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return {SanitizeBase(name), ""};
+  }
+  std::string inner = name.substr(brace + 1);
+  if (!inner.empty() && inner.back() == '}') {
+    inner.pop_back();
+  }
+  return {SanitizeBase(name.substr(0, brace)), inner};
+}
+
+// "name{labels}" or "name" when unlabeled; `extra` appends one more label
+// (used for quantile samples).
+std::string RenderName(const ParsedName& p, const std::string& extra = "") {
+  if (p.labels.empty() && extra.empty()) {
+    return p.base;
+  }
+  std::string out = p.base + "{" + p.labels;
+  if (!p.labels.empty() && !extra.empty()) {
+    out += ',';
+  }
+  out += extra;
+  out += '}';
   return out;
 }
 
@@ -36,6 +72,19 @@ std::string SanitizeName(const std::string& name) {
 
 void SetEnabled(bool on) {
   g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::string LabelSuffix(const TenantLabels& labels) {
+  const auto clean = [](const std::string& v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+      out.push_back(c == '"' || c == '\\' ? '_' : c);
+    }
+    return out;
+  };
+  return "{tenant=\"" + clean(labels.tenant) + "\",job=\"" +
+         clean(labels.job) + "\",kind=\"" + clean(labels.kind) + "\"}";
 }
 
 uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
@@ -111,6 +160,47 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+const std::string& MetricsRegistry::InternLabelsLocked(
+    const TenantLabels& labels) {
+  const std::string raw = LabelSuffix(labels);
+  auto it = label_sets_.find(raw);
+  if (it != label_sets_.end()) {
+    return it->second;
+  }
+  if (label_sets_.size() < kMaxLabelSets) {
+    return label_sets_.emplace(raw, raw).first->second;
+  }
+  // Cardinality cap hit: redirect to the per-kind overflow bucket without
+  // remembering the raw suffix (the whole point is bounding memory).
+  const std::string overflow =
+      LabelSuffix({"_overflow", "_overflow", labels.kind});
+  auto oit = label_sets_.find(overflow);
+  if (oit != label_sets_.end()) {
+    return oit->second;
+  }
+  return label_sets_.emplace(overflow, overflow).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const TenantLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name + InternLabelsLocked(labels)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const TenantLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name + InternLabelsLocked(labels)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
@@ -137,32 +227,49 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 std::string MetricsRegistry::PrometheusText() const {
   const MetricsSnapshot snap = Snapshot();
   std::string out;
-  char buf[320];
+  char buf[640];
+  // One TYPE line per base name (label variants of a metric share it).
+  std::string last_type_line;
+  const auto type_line = [&](const std::string& base, const char* kind) {
+    const std::string line = "# TYPE " + base + " " + kind + "\n";
+    if (line != last_type_line) {
+      out += line;
+      last_type_line = line;
+    }
+  };
   for (const auto& [name, value] : snap.counters) {
-    const std::string p = SanitizeName(name);
-    std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %llu\n", p.c_str(),
-                  p.c_str(), static_cast<unsigned long long>(value));
+    const ParsedName p = ParseName(name);
+    type_line(p.base, "counter");
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", RenderName(p).c_str(),
+                  static_cast<unsigned long long>(value));
     out += buf;
   }
   for (const auto& [name, value] : snap.gauges) {
-    const std::string p = SanitizeName(name);
-    std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %lld\n", p.c_str(),
-                  p.c_str(), static_cast<long long>(value));
+    const ParsedName p = ParseName(name);
+    type_line(p.base, "gauge");
+    std::snprintf(buf, sizeof(buf), "%s %lld\n", RenderName(p).c_str(),
+                  static_cast<long long>(value));
     out += buf;
   }
   for (const auto& [name, h] : snap.histograms) {
-    const std::string p = SanitizeName(name);
+    const ParsedName p = ParseName(name);
+    type_line(p.base, "summary");
+    const ParsedName sum_name{p.base + "_sum", p.labels};
+    const ParsedName count_name{p.base + "_count", p.labels};
     std::snprintf(buf, sizeof(buf),
-                  "# TYPE %s summary\n"
-                  "%s{quantile=\"0.5\"} %lld\n"
-                  "%s{quantile=\"0.9\"} %lld\n"
-                  "%s{quantile=\"0.99\"} %lld\n"
-                  "%s_sum %.0f\n"
-                  "%s_count %llu\n",
-                  p.c_str(), p.c_str(), static_cast<long long>(h.p50),
-                  p.c_str(), static_cast<long long>(h.p90), p.c_str(),
-                  static_cast<long long>(h.p99), p.c_str(),
-                  h.mean * static_cast<double>(h.count), p.c_str(),
+                  "%s %lld\n"
+                  "%s %lld\n"
+                  "%s %lld\n"
+                  "%s %.0f\n"
+                  "%s %llu\n",
+                  RenderName(p, "quantile=\"0.5\"").c_str(),
+                  static_cast<long long>(h.p50),
+                  RenderName(p, "quantile=\"0.9\"").c_str(),
+                  static_cast<long long>(h.p90),
+                  RenderName(p, "quantile=\"0.99\"").c_str(),
+                  static_cast<long long>(h.p99), RenderName(sum_name).c_str(),
+                  h.mean * static_cast<double>(h.count),
+                  RenderName(count_name).c_str(),
                   static_cast<unsigned long long>(h.count));
     out += buf;
   }

@@ -12,9 +12,19 @@
 //
 // Names are dotted and namespaced per component instance, e.g.
 // "controller.0.lease_renewals_total", "server.3.block_ops_total",
-// "transport.data.rtt_ns". Snapshot() returns a consistent-enough copy for
-// tests and benches; PrometheusText() renders the standard text exposition
-// (dots become underscores, histograms become summaries).
+// "transport.data.rtt_ns". Snapshot() collects every registered metric in
+// one pass under the registry mutex — a single consistent view, no
+// re-locking per metric; PrometheusText() renders the standard text
+// exposition (dots become underscores, histograms become summaries).
+//
+// Attribution. Counters and histograms take an optional TenantLabels
+// dimension {tenant, job, kind}; the labeled variant is a separate metric
+// instance whose registry key carries a canonical {tenant="…",job="…",
+// kind="…"} suffix that PrometheusText() preserves as a real label block.
+// Cardinality is bounded: past kMaxLabelSets distinct label sets, new sets
+// collapse into a per-kind {tenant="_overflow",job="_overflow"} bucket so a
+// tenant-id explosion cannot OOM the registry (DESIGN.md §6 "Label
+// cardinality").
 //
 // Cost model: recording is gated on a single process-wide runtime flag
 // (default on, env JIFFY_OBS=0 disables). Disabled, every record path is a
@@ -146,6 +156,30 @@ class ScopedTimer {
   TimeNs start_;
 };
 
+// Attribution dimension for labeled metrics. `tenant` is by convention the
+// job-id prefix before the first ':' or '.' (see TenantOf); `kind` is the
+// data-structure kind ("kv", "queue", "file", ...) — a small closed set.
+struct TenantLabels {
+  std::string tenant;
+  std::string job;
+  std::string kind;
+};
+
+// Tenant convention used across the repo: job ids are "<tenant>:<job>" (or
+// "<tenant>.<job>" where the id doubles as an address-path segment, which
+// forbids ':') and the attribution dimension is the prefix; a job id with
+// no separator is its own tenant.
+inline std::string TenantOf(const std::string& job) {
+  const size_t p = job.find_first_of(":.");
+  return p == std::string::npos ? job : job.substr(0, p);
+}
+
+// Canonical label suffix appended to a metric name to form the registry
+// key, e.g. `{tenant="acme",job="acme:q7",kind="kv"}`. '"' and '\\' in
+// label values are replaced with '_' so the suffix never breaks the
+// exposition format.
+std::string LabelSuffix(const TenantLabels& labels);
+
 // Point-in-time copy of every registered metric.
 struct HistogramSummary {
   uint64_t count = 0;
@@ -187,6 +221,18 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  // Labeled variants: the key is name + LabelSuffix(labels). Distinct label
+  // sets are interned and bounded at kMaxLabelSets per registry; once the
+  // cap is hit, new sets are redirected to the per-kind overflow bucket
+  // (tenant/job both "_overflow") — existing sets keep their identity.
+  Counter* GetCounter(const std::string& name, const TenantLabels& labels);
+  Histogram* GetHistogram(const std::string& name, const TenantLabels& labels);
+
+  static constexpr size_t kMaxLabelSets = 512;
+
+  // Collects every metric in a single pass under the registry mutex — one
+  // consistent view (counters are themselves sharded; each Value() is a
+  // relaxed sum, exact once writers quiesce).
   MetricsSnapshot Snapshot() const;
 
   // Prometheus text exposition: "jiffy_" prefix, dots sanitized to
@@ -198,10 +244,17 @@ class MetricsRegistry {
   void Reset();
 
  private:
+  // Returns the canonical (possibly overflow-redirected) label suffix for
+  // `labels`, interning it if the cap allows. Caller holds mu_.
+  const std::string& InternLabelsLocked(const TenantLabels& labels);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Interned label suffixes: raw suffix → canonical suffix (identity until
+  // the cardinality cap, overflow suffix after).
+  std::map<std::string, std::string> label_sets_;
 };
 
 }  // namespace obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
@@ -16,14 +18,84 @@ bool InitialTracingEnabled() {
   return env != nullptr && std::string(env) == "1";
 }
 
-// Applies the JIFFY_TRACE env override before main (g_trace_enabled is
-// constant-initialized, so ordering is safe regardless of TU order).
+uint32_t InitialSampleEvery() {
+  const char* env = std::getenv("JIFFY_TRACE_SAMPLE");
+  if (env == nullptr) {
+    return 1;
+  }
+  const long v = std::strtol(env, nullptr, 10);
+  return v < 1 ? 1 : static_cast<uint32_t>(v);
+}
+
+// Applies the JIFFY_TRACE / JIFFY_TRACE_SAMPLE env overrides before main
+// (both flags are constant-initialized, so ordering is safe regardless of
+// TU order).
 [[maybe_unused]] const bool g_trace_env_applied = [] {
   g_trace_enabled.store(InitialTracingEnabled(), std::memory_order_relaxed);
+  internal::g_sample_every.store(InitialSampleEvery(),
+                                 std::memory_order_relaxed);
   return true;
 }();
 
+// Escapes the characters that can plausibly appear in span/attr names (job
+// ids are caller-chosen strings) so the exported JSON stays well-formed.
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+namespace internal {
+
+bool SampleRoot() {
+  const uint32_t every = g_sample_every.load(std::memory_order_relaxed);
+  if (every <= 1) {
+    return true;
+  }
+  // Per-thread counter: deterministic per recording thread, no shared
+  // cache-line traffic on the root-span path.
+  thread_local uint64_t root_seq = 0;
+  return (root_seq++ % every) == 0;
+}
+
+}  // namespace internal
+
+void SetTraceSampleEvery(uint32_t n) {
+  internal::g_sample_every.store(n < 1 ? 1 : n, std::memory_order_relaxed);
+}
+
+const char* InternedName(const std::string& s) {
+  // Node-based set: element addresses (and thus c_str()) are stable across
+  // rehash for the process lifetime. Bounded so a caller interning
+  // unbounded dynamic strings degrades to one shared name, not a leak.
+  static std::mutex mu;
+  static std::unordered_set<std::string>* table =
+      new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = table->find(s);
+  if (it != table->end()) {
+    return it->c_str();
+  }
+  if (table->size() >= kMaxInternedNames) {
+    static const char* overflow = "_interned_overflow";
+    return overflow;
+  }
+  return table->insert(s).first->c_str();
+}
 
 Tracer* Tracer::Global() {
   static Tracer tracer;
@@ -46,10 +118,32 @@ void Tracer::RecordComplete(const char* name, const char* category,
   if (!enabled()) {
     return;
   }
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.start_ns = start_ns;
+  ev.duration_ns = duration_ns;
+  // Attach to the calling thread's current context: call sites that predate
+  // trace contexts (transport RTTs, lock waits) become children of the
+  // enclosing client/controller span with no signature change.
+  const TraceContext& ctx = g_trace_context;
+  if (ctx.active() && ctx.trace_id != kSuppressedTrace) {
+    ev.trace_id = ctx.trace_id;
+    ev.parent_id = ctx.span_id;
+    ev.span_id = internal::MintId();
+  }
+  RecordEvent(ev);
+}
+
+void Tracer::RecordEvent(const TraceEvent& ev) {
+  if (!enabled()) {
+    return;
+  }
   ThreadRing* ring = MyRing();
   const uint64_t slot = ring->count.load(std::memory_order_relaxed);
-  ring->events[slot % kRingCapacity] =
-      TraceEvent{name, category, start_ns, duration_ns, ring->tid};
+  TraceEvent stored = ev;
+  stored.tid = ring->tid;
+  ring->events[slot % kRingCapacity] = stored;
   ring->count.store(slot + 1, std::memory_order_release);
 }
 
@@ -88,18 +182,62 @@ size_t Tracer::EventCount() const {
 
 std::string Tracer::ToChromeJson() const {
   const std::vector<TraceEvent> events = Collect();
+  // Parent lookup for flow events: span_id → (tid, start_ns). Span ids are
+  // unique per event, so collisions only arise for id-less (zero) spans,
+  // which we skip.
+  std::unordered_map<uint64_t, std::pair<uint32_t, TimeNs>> span_index;
+  for (const TraceEvent& ev : events) {
+    if (ev.span_id != 0) {
+      span_index[ev.span_id] = {ev.tid, ev.start_ns};
+    }
+  }
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
-  char buf[256];
+  char buf[512];
   bool first = true;
   for (const TraceEvent& ev : events) {
+    std::string args;
+    if (ev.trace_id != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"trace\":\"%llx\",\"span\":\"%llx\",\"parent\":\"%llx\"",
+                    static_cast<unsigned long long>(ev.trace_id),
+                    static_cast<unsigned long long>(ev.span_id),
+                    static_cast<unsigned long long>(ev.parent_id));
+      args = buf;
+    }
+    if (ev.attr != nullptr) {
+      if (!args.empty()) {
+        args += ',';
+      }
+      args += "\"tenant\":\"" + JsonEscape(ev.attr) + "\"";
+    }
     std::snprintf(buf, sizeof(buf),
                   "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
-                  first ? "" : ",", ev.name, ev.category,
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u%s%s%s}",
+                  first ? "" : ",", JsonEscape(ev.name).c_str(), ev.category,
                   static_cast<double>(ev.start_ns) / 1e3,
-                  static_cast<double>(ev.duration_ns) / 1e3, ev.tid);
+                  static_cast<double>(ev.duration_ns) / 1e3, ev.tid,
+                  args.empty() ? "" : ",\"args\":{", args.c_str(),
+                  args.empty() ? "" : "}");
     out += buf;
     first = false;
+    // Parent link crossing threads: emit a flow pair so Perfetto draws the
+    // causal arrow from the parent span to this one.
+    if (ev.parent_id != 0) {
+      auto it = span_index.find(ev.parent_id);
+      if (it != span_index.end() && it->second.first != ev.tid) {
+        std::snprintf(
+            buf, sizeof(buf),
+            ",\n{\"name\":\"link\",\"cat\":\"%s\",\"ph\":\"s\","
+            "\"id\":%llu,\"ts\":%.3f,\"pid\":1,\"tid\":%u},"
+            "\n{\"name\":\"link\",\"cat\":\"%s\",\"ph\":\"f\",\"bp\":\"e\","
+            "\"id\":%llu,\"ts\":%.3f,\"pid\":1,\"tid\":%u}",
+            ev.category, static_cast<unsigned long long>(ev.span_id),
+            static_cast<double>(it->second.second) / 1e3, it->second.first,
+            ev.category, static_cast<unsigned long long>(ev.span_id),
+            static_cast<double>(ev.start_ns) / 1e3, ev.tid);
+        out += buf;
+      }
+    }
   }
   out += "\n]}\n";
   return out;
@@ -114,6 +252,69 @@ bool Tracer::WriteChromeJson(const std::string& path) const {
   const size_t written = std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   return written == json.size();
+}
+
+CriticalPathReport Tracer::CriticalPath(uint64_t trace_id) const {
+  CriticalPathReport report;
+  report.trace_id = trace_id;
+  if (trace_id == 0) {
+    return report;
+  }
+  std::vector<TraceEvent> spans;
+  for (const TraceEvent& ev : Collect()) {
+    if (ev.trace_id == trace_id) {
+      spans.push_back(ev);
+    }
+  }
+  report.span_count = spans.size();
+  // Sum of direct children per parent, to subtract out of each span's
+  // duration. Spans whose parent was evicted from the ring count as roots
+  // of their own subtree.
+  std::unordered_map<uint64_t, DurationNs> child_time;
+  std::unordered_set<uint64_t> present;
+  for (const TraceEvent& ev : spans) {
+    present.insert(ev.span_id);
+  }
+  for (const TraceEvent& ev : spans) {
+    if (ev.parent_id != 0 && present.count(ev.parent_id) > 0) {
+      child_time[ev.parent_id] += ev.duration_ns;
+    }
+  }
+  for (const TraceEvent& ev : spans) {
+    const DurationNs children = child_time[ev.span_id];
+    const DurationNs self =
+        ev.duration_ns > children ? ev.duration_ns - children : 0;
+    const std::string cat = ev.category == nullptr ? "" : ev.category;
+    if (cat == "net") {
+      report.transport_ns += self;
+    } else if (cat == "queue") {
+      report.queue_ns += self;
+    } else if (cat == "lock") {
+      report.lock_ns += self;
+    } else {
+      report.execute_ns += self;
+    }
+    const bool is_root =
+        ev.parent_id == 0 || present.count(ev.parent_id) == 0;
+    if (is_root && ev.duration_ns > report.total_ns) {
+      report.total_ns = ev.duration_ns;
+    }
+  }
+  return report;
+}
+
+std::string CriticalPathReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "trace %llx: %zu spans, total %lld ns "
+                "(queue %lld, transport %lld, lock %lld, execute %lld)",
+                static_cast<unsigned long long>(trace_id), span_count,
+                static_cast<long long>(total_ns),
+                static_cast<long long>(queue_ns),
+                static_cast<long long>(transport_ns),
+                static_cast<long long>(lock_ns),
+                static_cast<long long>(execute_ns));
+  return buf;
 }
 
 void Tracer::Clear() {

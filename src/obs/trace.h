@@ -8,13 +8,30 @@
 // exported as Chrome trace_event JSON, loadable in chrome://tracing or
 // Perfetto.
 //
+// Causality. Every span carries a TraceContext{trace_id, span_id,
+// parent_id}. The context propagates implicitly through a thread_local: a
+// TraceSpan opened while another span is live on the same thread becomes its
+// child, and a root span (no live parent) mints a fresh trace_id. Work that
+// hops threads (the repartitioner, failure repair) captures
+// CurrentTraceContext() at the hand-off point and reopens a span with the
+// explicit-parent constructor; the exporter renders those cross-thread edges
+// as Chrome flow events so Perfetto draws the arrow. CriticalPath(trace_id)
+// folds one request's spans into queue / transport / lock / execute
+// self-time segments.
+//
+// Sampling. JIFFY_TRACE_SAMPLE=N keeps causal ids for 1-in-N roots; the
+// other roots (and everything under them) still record spans but with zero
+// ids, so ring pressure is unchanged and only id-minting contention drops.
+//
 // Tracing is off by default (env JIFFY_TRACE=1 or SetEnabled(true) turns it
 // on) and additionally gated on the obs master flag: when either is off, a
 // JIFFY_TRACE_SPAN costs one relaxed atomic load and no clock reads.
 //
 // Collect()/ToChromeJson() read the rings without stopping writers; call
-// them after worker threads quiesce for an exact export. Exported `name` /
-// `category` strings must be string literals (the ring stores pointers).
+// them after worker threads quiesce for an exact export. `name` / `category`
+// strings must outlive the tracer: pass string literals, or intern dynamic
+// strings (tenant/job ids) through InternedName(), which copies into a
+// process-lifetime table and returns a stable pointer.
 
 #ifndef SRC_OBS_TRACE_H_
 #define SRC_OBS_TRACE_H_
@@ -42,12 +59,62 @@ inline bool TracingEnabled() {
   return g_trace_enabled.load(std::memory_order_relaxed) && Enabled();
 }
 
+// Causal identity of the innermost live span on a thread. trace_id groups
+// all spans of one request; parent links are span_id → parent_id edges.
+// A zero trace_id means "no live trace" (a span opened under it becomes a
+// root); kSuppressedTrace means the root lost the sampling coin flip and
+// descendants must record without ids rather than re-rolling.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+inline constexpr uint64_t kSuppressedTrace = ~0ull;
+
+// Innermost live context for this thread. TraceSpan saves/restores it with
+// stack discipline; read it (CurrentTraceContext()) at a hand-off point to
+// carry causality across threads.
+inline thread_local TraceContext g_trace_context;
+
+inline const TraceContext& CurrentTraceContext() { return g_trace_context; }
+
+// Copies `s` into a process-lifetime table and returns a stable pointer,
+// suitable for TraceEvent name/attr fields. Repeated calls with the same
+// string return the same pointer. The table is bounded (kMaxInternedNames);
+// past the cap all new strings collapse to a shared "_interned_overflow"
+// so a runaway caller cannot leak unboundedly.
+const char* InternedName(const std::string& s);
+inline constexpr size_t kMaxInternedNames = 4096;
+
 struct TraceEvent {
-  const char* name = nullptr;      // Static string (literal).
+  const char* name = nullptr;      // Literal or InternedName() pointer.
   const char* category = nullptr;  // Static string (literal).
   TimeNs start_ns = 0;             // RealClock timestamp.
   DurationNs duration_ns = 0;
   uint32_t tid = 0;
+  uint64_t trace_id = 0;   // 0: recorded outside any (sampled) trace.
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0: root span.
+  const char* attr = nullptr;  // Optional label (tenant), interned/literal.
+};
+
+// Self-time decomposition of one request (all spans sharing a trace_id).
+// Each span's self time (duration minus direct children, clamped at 0) is
+// charged to a segment by category: "net" → transport, "queue" → queue,
+// "lock" → lock, everything else → execute.
+struct CriticalPathReport {
+  uint64_t trace_id = 0;
+  size_t span_count = 0;
+  DurationNs total_ns = 0;  // Root span duration (longest root if several).
+  DurationNs queue_ns = 0;
+  DurationNs transport_ns = 0;
+  DurationNs lock_ns = 0;
+  DurationNs execute_ns = 0;
+
+  std::string ToString() const;
 };
 
 // Process-wide tracer. One ring buffer per recording thread, registered on
@@ -63,9 +130,15 @@ class Tracer {
     g_trace_enabled.store(on, std::memory_order_relaxed);
   }
 
-  // Records one completed span. `name`/`category` must be string literals.
+  // Records one completed span as a child of the calling thread's current
+  // context (ids attach automatically; pass-through sites like the
+  // transport need no API change). `name`/`category` must outlive the
+  // tracer (literal or interned).
   void RecordComplete(const char* name, const char* category, TimeNs start_ns,
                       DurationNs duration_ns);
+
+  // Fully explicit variant used by TraceSpan (ids already minted).
+  void RecordEvent(const TraceEvent& ev);
 
   // All buffered events across threads, sorted by start time.
   std::vector<TraceEvent> Collect() const;
@@ -73,11 +146,18 @@ class Tracer {
   // Total events currently buffered (capped at kRingCapacity per thread).
   size_t EventCount() const;
 
-  // Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
+  // Chrome trace_event JSON: "X" complete events with trace/span/parent ids
+  // in args, plus "s"/"f" flow-event pairs for parent links that cross
+  // threads (ts/dur in microseconds).
   std::string ToChromeJson() const;
 
   // Writes ToChromeJson() to `path`; false on I/O failure.
   bool WriteChromeJson(const std::string& path) const;
+
+  // Queue/transport/lock/execute self-time breakdown for one trace.
+  // Spans whose parent is missing from the buffer (evicted) are treated as
+  // roots of their subtree; total_ns is the longest such root.
+  CriticalPathReport CriticalPath(uint64_t trace_id) const;
 
   // Drops all buffered events (ring registrations survive).
   void Clear();
@@ -100,29 +180,134 @@ class Tracer {
   std::vector<std::unique_ptr<ThreadRing>> rings_;
 };
 
-// RAII span: samples the clock on construction iff tracing is enabled, and
-// records a complete event on destruction. `name`/`category` must be string
-// literals.
+namespace internal {
+
+// Shared generator for trace and span ids. 0 is reserved for "none"; the
+// suppressed sentinel (~0) is unreachable for any realistic run length.
+inline std::atomic<uint64_t> g_next_id{1};
+
+inline uint64_t MintId() {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+// 1-in-N root sampling; 0/1 = keep every root. Set before main from
+// JIFFY_TRACE_SAMPLE (see trace.cc) or at runtime by tests.
+inline std::atomic<uint32_t> g_sample_every{1};
+
+bool SampleRoot();  // Decides one root span's fate.
+
+}  // namespace internal
+
+// Runtime override for JIFFY_TRACE_SAMPLE (testing). 0 and 1 both mean
+// "keep every root".
+void SetTraceSampleEvery(uint32_t n);
+
+// RAII span: samples the clock on construction iff tracing is enabled,
+// installs itself as the thread's current context, and records a complete
+// event on destruction (restoring the previous context). `name`/`category`
+// must be string literals or InternedName() pointers.
 class TraceSpan {
  public:
+  // Child of the thread's current context (or a new sampled root).
   TraceSpan(const char* name, const char* category)
-      : name_(name),
-        category_(category),
-        start_(TracingEnabled() ? RealClock::Instance()->Now() : kInactive) {}
+      : TraceSpan(name, category, g_trace_context, /*explicit_parent=*/false) {}
+
+  // Child of an explicitly captured context — the cross-thread hand-off
+  // constructor (repartitioner hints, repair work). An inactive `parent`
+  // falls back to the thread-local context.
+  TraceSpan(const char* name, const char* category, const TraceContext& parent)
+      : TraceSpan(name, category, parent, /*explicit_parent=*/true) {}
+
   ~TraceSpan() {
-    if (start_ != kInactive) {
-      Tracer::Global()->RecordComplete(
-          name_, category_, start_, RealClock::Instance()->Now() - start_);
+    if (start_ == kInactive) {
+      return;
     }
+    TraceEvent ev;
+    ev.name = name_;
+    ev.category = category_;
+    ev.start_ns = start_;
+    ev.duration_ns = RealClock::Instance()->Now() - start_;
+    ev.trace_id = ctx_.trace_id == kSuppressedTrace ? 0 : ctx_.trace_id;
+    ev.span_id = ctx_.span_id;
+    ev.parent_id = ctx_.parent_id;
+    ev.attr = attr_;
+    Tracer::Global()->RecordEvent(ev);
+    g_trace_context = prev_;
   }
+
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  // Context minted for this span — capture it for cross-thread hand-offs.
+  // Inactive (all-zero) when tracing is off or the root was sampled out.
+  TraceContext context() const {
+    return ctx_.trace_id == kSuppressedTrace ? TraceContext{} : ctx_;
+  }
+
+  // Attaches a label rendered into the exported args (e.g. tenant). The
+  // pointer must outlive the tracer: literal or InternedName().
+  void SetAttr(const char* attr) { attr_ = attr; }
+
  private:
+  TraceSpan(const char* name, const char* category, const TraceContext& parent,
+            bool explicit_parent)
+      : name_(name), category_(category) {
+    if (!TracingEnabled()) {
+      start_ = kInactive;
+      return;
+    }
+    prev_ = g_trace_context;
+    const TraceContext& base =
+        (explicit_parent && !parent.active() ? prev_ : parent);
+    if (!base.active()) {
+      // Root: mint a new trace or suppress the whole subtree.
+      if (internal::SampleRoot()) {
+        ctx_.trace_id = internal::MintId();
+        ctx_.span_id = internal::MintId();
+      } else {
+        ctx_.trace_id = kSuppressedTrace;
+      }
+    } else if (base.trace_id == kSuppressedTrace) {
+      ctx_.trace_id = kSuppressedTrace;
+    } else {
+      ctx_.trace_id = base.trace_id;
+      ctx_.parent_id = base.span_id;
+      ctx_.span_id = internal::MintId();
+    }
+    g_trace_context = ctx_;
+    start_ = RealClock::Instance()->Now();
+  }
+
   static constexpr TimeNs kInactive = -1;
   const char* name_;
   const char* category_;
-  TimeNs start_;
+  const char* attr_ = nullptr;
+  TraceContext prev_;
+  TraceContext ctx_;
+  TimeNs start_ = kInactive;
+};
+
+// Times a mutex acquisition as a "lock"-category span (the span covers the
+// wait, not the critical section), then holds the lock for the scope. When
+// tracing is off this is exactly a lock_guard plus one branch.
+class TracedLockGuard {
+ public:
+  TracedLockGuard(std::mutex& mu, const char* name) : mu_(mu) {
+    if (TracingEnabled()) {
+      const TimeNs start = RealClock::Instance()->Now();
+      mu_.lock();
+      Tracer::Global()->RecordComplete(name, "lock", start,
+                                       RealClock::Instance()->Now() - start);
+    } else {
+      mu_.lock();
+    }
+  }
+  ~TracedLockGuard() { mu_.unlock(); }
+  TracedLockGuard(const TracedLockGuard&) = delete;
+  TracedLockGuard& operator=(const TracedLockGuard&) = delete;
+
+ private:
+  std::mutex& mu_;
 };
 
 #define JIFFY_OBS_CONCAT_INNER(a, b) a##b
@@ -132,6 +317,11 @@ class TraceSpan {
 #define JIFFY_TRACE_SPAN(name, category)       \
   ::jiffy::obs::TraceSpan JIFFY_OBS_CONCAT(    \
       jiffy_trace_span_, __LINE__)(name, category)
+
+// Scoped span continuing an explicitly captured TraceContext (cross-thread).
+#define JIFFY_TRACE_SPAN_UNDER(name, category, parent) \
+  ::jiffy::obs::TraceSpan JIFFY_OBS_CONCAT(            \
+      jiffy_trace_span_, __LINE__)(name, category, parent)
 
 }  // namespace obs
 }  // namespace jiffy

@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <set>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "src/client/jiffy_client.h"
 #include "src/ds/kv_content.h"
+#include "src/obs/trace.h"
 
 namespace jiffy {
 namespace {
@@ -288,6 +291,111 @@ TEST_F(FaultClusterTest, OutageWindowMasksViaFailover) {
   ASSERT_TRUE((*kv)->Put("during-outage", "w").ok());
   cluster_->data_transport()->ClearFaultPlan();
   EXPECT_EQ(*(*kv)->Get("during-outage"), "w");
+}
+
+// --- Trace propagation under faults ------------------------------------------
+
+// Enables tracing for one test and restores/clears on exit.
+class ScopedTracing {
+ public:
+  ScopedTracing()
+      : enabled_(obs::Enabled()),
+        trace_enabled_(obs::Tracer::Global()->enabled()) {
+    obs::SetEnabled(true);
+    obs::Tracer::Global()->SetEnabled(true);
+    obs::SetTraceSampleEvery(1);
+    obs::Tracer::Global()->Clear();
+  }
+  ~ScopedTracing() {
+    obs::SetEnabled(enabled_);
+    obs::Tracer::Global()->SetEnabled(trace_enabled_);
+    obs::Tracer::Global()->Clear();
+  }
+
+ private:
+  bool enabled_;
+  bool trace_enabled_;
+};
+
+TEST_F(FaultClusterTest, RetriedAttemptsStayInTheClientOpTrace) {
+  // A fault-masked op is several wire attempts but ONE logical request: all
+  // of its transport spans must carry the op's trace_id, never a fresh one.
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->Put("warm", "up").ok());  // Map settled before tracing.
+  ScopedTracing tracing;
+  FaultPlan plan;
+  plan.drop_prob = 0.3;
+  plan.seed = 4242;
+  cluster_->data_transport()->InstallFaultPlan(plan);
+  const int kOps = 50;
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_TRUE((*kv)->Put("k", "v" + std::to_string(i)).ok()) << i;
+  }
+  cluster_->data_transport()->ClearFaultPlan();
+  ASSERT_GT(cluster_->data_transport()->fault_drops(), 0u);
+
+  std::set<uint64_t> op_traces;
+  std::map<uint64_t, int> rtts_per_trace;
+  for (const auto& e : obs::Tracer::Global()->Collect()) {
+    if (std::string_view(e.name) == "kv.put") {
+      EXPECT_NE(e.trace_id, 0u);
+      op_traces.insert(e.trace_id);
+    } else if (std::string_view(e.name) == "net.rtt") {
+      ++rtts_per_trace[e.trace_id];
+    }
+  }
+  EXPECT_EQ(op_traces.size(), static_cast<size_t>(kOps));  // One trace per op.
+  int max_attempts = 0;
+  for (const auto& [trace, n] : rtts_per_trace) {
+    // No orphan transport spans: every RTT belongs to some client op.
+    EXPECT_TRUE(op_traces.count(trace) > 0) << "orphan net.rtt trace";
+    max_attempts = std::max(max_attempts, n);
+  }
+  // Some op needed more than one attempt, and the retries joined its trace.
+  EXPECT_GT(max_attempts, 1);
+}
+
+TEST_F(FaultClusterTest, FailoverRepairJoinsTheClientOpTrace) {
+  // When an op trips chain repair, the controller-side repair span must be
+  // causally linked under the op that triggered it — that is what makes
+  // "why was this Get slow?" answerable from one trace.
+  CreateOptions opts;
+  opts.replication_factor = 2;
+  ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}, opts).ok());
+  auto kv = client_->OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->Put("k", "v").ok());
+  const BlockId primary = (*kv)->CachedMap().entries[0].block;
+  ScopedTracing tracing;
+  FaultPlan plan;
+  plan.outages.push_back({primary.server_id, /*from=*/0,
+                          /*until=*/std::numeric_limits<TimeNs>::max()});
+  cluster_->data_transport()->InstallFaultPlan(plan);
+  // Writes go to the chain head (the unreachable primary), forcing failover.
+  ASSERT_TRUE((*kv)->Put("k", "w").ok());
+  cluster_->data_transport()->ClearFaultPlan();
+  EXPECT_EQ(*(*kv)->Get("k"), "w");
+
+  const auto events = obs::Tracer::Global()->Collect();
+  std::set<uint64_t> put_traces;
+  for (const auto& e : events) {
+    if (std::string_view(e.name) == "kv.put") {
+      EXPECT_NE(e.trace_id, 0u);
+      put_traces.insert(e.trace_id);
+    }
+  }
+  ASSERT_FALSE(put_traces.empty());
+  bool repair_linked = false;
+  for (const auto& e : events) {
+    if (std::string_view(e.name) == "ctl.repair_entry" &&
+        put_traces.count(e.trace_id) > 0) {
+      EXPECT_NE(e.parent_id, 0u);  // Child of the op, not a fresh root.
+      repair_linked = true;
+    }
+  }
+  EXPECT_TRUE(repair_linked) << "repair ran outside the triggering op's trace";
 }
 
 // --- End-to-end failover -----------------------------------------------------

@@ -15,6 +15,7 @@
 #include "src/client/jiffy_client.h"
 #include "src/common/clock.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 
 namespace jiffy {
@@ -174,6 +175,238 @@ TEST(ObsMetrics, PrometheusTextExposition) {
             std::string::npos);
   EXPECT_NE(text.find("jiffy_allocator_alloc_ns_count 1"), std::string::npos);
   EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+}
+
+// --- Labeled (per-tenant) metrics --------------------------------------------
+
+TEST(ObsLabels, TenantOfSplitsOnColonOrDot) {
+  EXPECT_EQ(obs::TenantOf("acme:etl-7"), "acme");
+  EXPECT_EQ(obs::TenantOf("acme.etl-7"), "acme");  // Path-segment-safe form.
+  EXPECT_EQ(obs::TenantOf("acme:etl.7"), "acme");  // First separator wins.
+  EXPECT_EQ(obs::TenantOf("solo"), "solo");        // No separator: own tenant.
+}
+
+TEST(ObsLabels, LabeledMetricsAreDistinctPerLabelSet) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::MetricsRegistry registry;
+  const obs::TenantLabels acme{"acme", "acme:j1", "kv"};
+  const obs::TenantLabels beta{"beta", "beta:j1", "kv"};
+  obs::Counter* plain = registry.GetCounter("client.ops_total");
+  obs::Counter* a = registry.GetCounter("client.ops_total", acme);
+  obs::Counter* b = registry.GetCounter("client.ops_total", beta);
+  EXPECT_NE(plain, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, registry.GetCounter("client.ops_total", acme));  // Interned.
+  EXPECT_EQ(registry.GetHistogram("client.latency_ns", acme),
+            registry.GetHistogram("client.latency_ns", acme));
+  a->Increment(3);
+  b->Increment(5);
+  auto snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue(
+                "client.ops_total{tenant=\"acme\",job=\"acme:j1\",kind=\"kv\"}"),
+            3u);
+  EXPECT_EQ(snap.SumCounters("client.ops_total"), 8u);
+}
+
+TEST(ObsLabels, CardinalityCapRedirectsToOverflowBucket) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::MetricsRegistry registry;
+  // Exhaust the per-registry label-set budget with distinct tenants.
+  for (size_t i = 0; i < obs::MetricsRegistry::kMaxLabelSets; ++i) {
+    const std::string t = "t" + std::to_string(i);
+    registry.GetCounter("ops", {t, t + ":j", "kv"});
+  }
+  // Established sets keep their identity past the cap...
+  obs::Counter* first = registry.GetCounter("ops", {"t0", "t0:j", "kv"});
+  ASSERT_NE(first, nullptr);
+  first->Increment();
+  // ...while new sets collapse into the shared per-kind overflow bucket.
+  obs::Counter* over_a = registry.GetCounter("ops", {"new1", "new1:j", "kv"});
+  obs::Counter* over_b = registry.GetCounter("ops", {"new2", "new2:j", "kv"});
+  EXPECT_EQ(over_a, over_b);
+  EXPECT_NE(over_a, first);
+  over_a->Increment(2);
+  auto snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("ops{tenant=\"t0\",job=\"t0:j\",kind=\"kv\"}"),
+            1u);
+  EXPECT_EQ(snap.SumCounters("tenant=\"_overflow\""), 2u);
+}
+
+TEST(ObsLabels, PrometheusTextPreservesLabelBlocks) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::MetricsRegistry registry;
+  registry.GetCounter("client.ops_total", {"acme", "acme:j1", "kv"})
+      ->Increment(7);
+  registry.GetHistogram("client.latency_ns", {"acme", "acme:j1", "kv"})
+      ->Record(1000);
+  const std::string text = registry.PrometheusText();
+  // The label block survives sanitization as real Prometheus labels.
+  EXPECT_NE(text.find("jiffy_client_ops_total{tenant=\"acme\",job=\"acme:j1\","
+                      "kind=\"kv\"} 7"),
+            std::string::npos);
+  // Histogram quantile samples merge the label block with the quantile label.
+  EXPECT_NE(text.find("tenant=\"acme\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  const size_t qpos = text.find("jiffy_client_latency_ns{");
+  ASSERT_NE(qpos, std::string::npos);
+  const std::string line = text.substr(qpos, text.find('\n', qpos) - qpos);
+  EXPECT_NE(line.find("tenant=\"acme\""), std::string::npos);
+}
+
+// --- Histogram::Merge locking contract ---------------------------------------
+
+TEST(ObsMetrics, HistogramMergeIsDeadlockFreeAndSelfSafe) {
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  // The documented contract (src/common/histogram.h): Merge snapshots the
+  // source under its lock, then applies under the destination's lock — the
+  // two are never held together, so concurrent cross-merges cannot deadlock.
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.Record(i);
+    b.Record(1000 + i);
+  }
+  std::thread t1([&] {
+    for (int i = 0; i < 50; ++i) {
+      a.Merge(b);
+    }
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 50; ++i) {
+      b.Merge(a);
+    }
+  });
+  t1.join();
+  t2.join();  // Completion IS the deadlock-freedom assertion.
+  EXPECT_GT(a.count(), 100u);
+  EXPECT_GT(b.count(), 100u);
+
+  // Self-merge takes the non-recursive mutex twice in sequence, not nested.
+  Histogram h;
+  h.Record(7);
+  h.Record(9);
+  h.Merge(h);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+// --- SLO monitor -------------------------------------------------------------
+
+// Saves/restores the JIFFY_SLO runtime flag around a test.
+class SloFlagGuard {
+ public:
+  SloFlagGuard() : prev_(obs::g_slo_enabled.load()) {
+    obs::SetSloEnabled(true);
+  }
+  ~SloFlagGuard() { obs::SetSloEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(ObsSlo, WindowedQuantilesAndAvailability) {
+  ObsStateGuard obs_guard;
+  obs::SetEnabled(true);
+  SloFlagGuard slo_guard;
+  obs::SloMonitor::Options opts;
+  opts.target.p99_latency_ns = 10 * kMillisecond;
+  opts.target.availability = 0.9;
+  opts.window_capacity = 64;
+  obs::SloMonitor slo(opts);
+  obs::SloMonitor::TenantState* h = slo.Handle("acme");
+  ASSERT_EQ(h, slo.Handle("acme"));  // Stable cached handle.
+  for (int i = 1; i <= 100; ++i) {
+    h->Record(i * 100 * kMicrosecond, /*ok=*/i % 10 != 0);
+  }
+  const obs::TenantHealth health = slo.Health("acme");
+  EXPECT_EQ(health.total_ops, 100u);
+  EXPECT_EQ(health.window_samples, 64u);  // Ring capacity bounds the window.
+  EXPECT_EQ(health.total_errors, 10u);
+  EXPECT_GE(health.p99_ns, health.p50_ns);
+  EXPECT_LT(health.availability, 1.0);
+  EXPECT_FALSE(health.p99_violated);  // p99 = 10ms target, max sample 10ms.
+  // HealthAll / reports cover every registered tenant.
+  slo.Handle("beta")->Record(1 * kMillisecond, true);
+  EXPECT_EQ(slo.HealthAll().size(), 2u);
+  EXPECT_NE(slo.ReportText().find("acme"), std::string::npos);
+  EXPECT_NE(slo.ReportJson().find("\"tenant\":\"beta\""), std::string::npos);
+}
+
+TEST(ObsSlo, ErrorBudgetExhaustionFiresRateLimitedAlerts) {
+  ObsStateGuard obs_guard;
+  obs::SetEnabled(true);
+  SloFlagGuard slo_guard;
+  obs::SloMonitor::Options opts;
+  opts.target.availability = 0.99;  // Budget: 1% of the window.
+  opts.window_capacity = 128;
+  opts.check_every = 1;
+  opts.alert_cooldown = 3600 * kSecond;  // One alert, then silence.
+  obs::SloMonitor slo(opts);
+  std::vector<std::string> alerted;
+  slo.SetAlertCallback([&](const obs::TenantHealth& health) {
+    alerted.push_back(health.tenant);
+    EXPECT_TRUE(health.budget_exhausted || health.p99_violated);
+  });
+  for (int i = 0; i < 50; ++i) {
+    slo.Record("acme", 1 * kMillisecond, /*ok=*/false);
+  }
+  const obs::TenantHealth health = slo.Health("acme");
+  EXPECT_TRUE(health.budget_exhausted);
+  EXPECT_EQ(health.error_budget_remaining, 0.0);
+  EXPECT_EQ(slo.alerts_fired(), 1u);  // Cooldown collapsed 50 violations.
+  ASSERT_EQ(alerted.size(), 1u);
+  EXPECT_EQ(alerted[0], "acme");
+  // A healthy tenant never alerts.
+  for (int i = 0; i < 50; ++i) {
+    slo.Record("beta", 1 * kMillisecond, /*ok=*/true);
+  }
+  EXPECT_EQ(slo.alerts_fired(), 1u);
+  EXPECT_FALSE(slo.Health("beta").budget_exhausted);
+}
+
+TEST(ObsSlo, SetOptionsDropsSamplesButKeepsHandles) {
+  ObsStateGuard obs_guard;
+  obs::SetEnabled(true);
+  SloFlagGuard slo_guard;
+  obs::SloMonitor slo;
+  obs::SloMonitor::TenantState* h = slo.Handle("acme");
+  for (int i = 0; i < 32; ++i) {
+    h->Record(1 * kMillisecond, false);
+  }
+  EXPECT_EQ(slo.Health("acme").total_ops, 32u);
+  obs::SloMonitor::Options opts;
+  opts.window_capacity = 16;
+  opts.target.p99_latency_ns = 1 * kSecond;
+  slo.SetOptions(opts);
+  EXPECT_EQ(slo.options().window_capacity, 16u);
+  // All samples dropped; the cached handle records into the new window.
+  EXPECT_EQ(slo.Health("acme").total_ops, 0u);
+  for (int i = 0; i < 32; ++i) {
+    h->Record(1 * kMillisecond, true);
+  }
+  const obs::TenantHealth health = slo.Health("acme");
+  EXPECT_EQ(health.total_ops, 32u);
+  EXPECT_EQ(health.window_samples, 16u);
+}
+
+TEST(ObsSlo, DisabledRecordsNothing) {
+  ObsStateGuard obs_guard;
+  obs::SetEnabled(true);
+  SloFlagGuard slo_guard;
+  obs::SloMonitor slo;
+  obs::SetSloEnabled(false);
+  slo.Record("acme", 5 * kMillisecond, false);
+  EXPECT_EQ(slo.Health("acme").total_ops, 0u);
+  // The obs master flag gates recording too.
+  obs::SetSloEnabled(true);
+  obs::SetEnabled(false);
+  slo.Record("acme", 5 * kMillisecond, false);
+  EXPECT_EQ(slo.Health("acme").total_ops, 0u);
+  obs::SetEnabled(true);
+  slo.Record("acme", 5 * kMillisecond, true);
+  EXPECT_EQ(slo.Health("acme").total_ops, 1u);
 }
 
 // --- Tracing ----------------------------------------------------------------
