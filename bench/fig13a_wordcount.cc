@@ -75,9 +75,10 @@ void RunPipeline(const NetworkModel& net, size_t block_size,
   std::vector<TimeNs> batch_start(batches), batch_end(batches);
   std::atomic<int> batches_done{0};
 
-  auto sum_acc = [](const std::string& old_value, const std::string& update) {
-    const uint64_t a = old_value.empty() ? 0 : std::stoull(old_value);
-    return std::to_string(a + std::stoull(update));
+  auto sum_acc = [](std::string_view old_value, std::string_view update) {
+    const uint64_t a =
+        old_value.empty() ? 0 : std::stoull(std::string(old_value));
+    return std::to_string(a + std::stoull(std::string(update)));
   };
 
   std::vector<std::thread> workers;

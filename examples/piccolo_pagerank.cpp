@@ -45,9 +45,9 @@ int main() {
   }
 
   PiccoloController piccolo(&client, "pagerank");
-  auto sum_acc = [](const std::string& old_value, const std::string& update) {
-    const double a = old_value.empty() ? 0.0 : std::stod(old_value);
-    return std::to_string(a + std::stod(update));
+  auto sum_acc = [](std::string_view old_value, std::string_view update) {
+    const double a = old_value.empty() ? 0.0 : std::stod(std::string(old_value));
+    return std::to_string(a + std::stod(std::string(update)));
   };
   auto ranks = piccolo.CreateTable("ranks", sum_acc);
   auto next = piccolo.CreateTable("next", sum_acc);

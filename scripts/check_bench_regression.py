@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Perf gates for the micro_ops benchmark (CI bench-smoke).
+
+Two checks, both against google-benchmark JSON output:
+
+1. Build-type gate: the run's context must carry
+   ``jiffy_build_type == "release"`` (emitted by bench/micro_ops's main from
+   NDEBUG). The library's own ``library_build_type`` only reflects how
+   libbenchmark was compiled, so it cannot be trusted for this. Debug-build
+   numbers must never land in a committed BENCH_*.json or pass the perf gate.
+
+2. Regression gate: for every gated benchmark present in both files, the new
+   per-op time must not exceed the committed baseline by more than
+   ``--threshold`` (default 30%). Gated benchmarks default to the batched KV
+   data-plane paths the zero-copy work optimizes (BM_KvMultiPut/*,
+   BM_KvMultiGet/*); their times are modeled manual time, so they are stable
+   across CI hardware.
+
+Usage:
+    check_bench_regression.py NEW.json BASELINE.json [--threshold 0.30]
+                              [--prefix BM_KvMultiPut --prefix BM_KvMultiGet]
+
+Exit code 0 when every gate passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        runs[b["name"]] = b
+    return doc, runs
+
+
+def per_op_time(run):
+    # Manual-time benches report the modeled time in real_time; CPU-timed
+    # benches report wall time there too. Either way real_time is the
+    # per-iteration figure google-benchmark prints as Time.
+    return float(run["real_time"])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new_json")
+    parser.add_argument("baseline_json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional slowdown (default 0.30)")
+    parser.add_argument("--prefix", action="append", default=None,
+                        help="benchmark name prefix to gate (repeatable); "
+                             "default: BM_KvMultiPut, BM_KvMultiGet")
+    parser.add_argument("--skip-build-type-check", action="store_true",
+                        help="only run the regression gate (for baselines "
+                             "that predate the jiffy_build_type context)")
+    args = parser.parse_args()
+    prefixes = args.prefix or ["BM_KvMultiPut", "BM_KvMultiGet"]
+
+    new_doc, new_runs = load_runs(args.new_json)
+    _, base_runs = load_runs(args.baseline_json)
+
+    failed = False
+
+    if not args.skip_build_type_check:
+        build_type = new_doc.get("context", {}).get("jiffy_build_type")
+        if build_type != "release":
+            print(f"FAIL: jiffy_build_type is {build_type!r}, want 'release' "
+                  f"(benchmark numbers from non-release builds are "
+                  f"meaningless)")
+            failed = True
+        else:
+            print("ok: jiffy_build_type=release")
+
+    gated = [name for name in sorted(new_runs)
+             if any(name == p or name.startswith(p + "/") for p in prefixes)]
+    if not gated:
+        print(f"FAIL: no benchmarks matching prefixes {prefixes} in "
+              f"{args.new_json}")
+        failed = True
+
+    for name in gated:
+        if name not in base_runs:
+            print(f"skip: {name} (not in baseline)")
+            continue
+        new_t = per_op_time(new_runs[name])
+        base_t = per_op_time(base_runs[name])
+        limit = base_t * (1.0 + args.threshold)
+        ratio = new_t / base_t if base_t > 0 else float("inf")
+        verdict = "ok" if new_t <= limit else "FAIL"
+        print(f"{verdict}: {name}: {new_t:.1f} ns/op vs baseline "
+              f"{base_t:.1f} ns/op ({ratio:.2f}x, limit "
+              f"{1.0 + args.threshold:.2f}x)")
+        if new_t > limit:
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+// Slab arena backing block content bytes (DESIGN.md §11).
+//
+// Every data-structure content (KV shard, queue segment, file chunk) stores
+// its payload bytes — keys, values, items, file data — in a per-block
+// SlabArena instead of per-entry std::strings. Allocation is a bump pointer
+// into fixed-size chunks, so the data plane pays one memcpy per stored
+// payload and zero per-entry heap allocations; freeing is wholesale: chunks
+// are retired together (content destruction, migration, compaction) and
+// recycled through a poisoned pool.
+//
+// Readers hand out `std::string_view`s into arena memory. The lifetime rule
+// is pin/epoch based (DESIGN.md §11):
+//
+//   * A reader that wants views to outlive the owning block's mutex takes an
+//     ArenaPin while still holding the mutex, then unlocks. Views stay valid
+//     for the life of the pin.
+//   * Writers never mutate stored bytes in place — an overwrite appends a
+//     new record and marks the old bytes as garbage — so a pinned reader's
+//     view is immutable, not just non-dangling.
+//   * Reclamation (compaction, migration recycle, content teardown) moves
+//     chunks active → retired. Retired chunks are released to the pool only
+//     when the pin count is zero, so a concurrent chunked split/merge can
+//     never free slab bytes referenced by an in-flight response.
+//
+// Pooled chunk memory is ASan-poisoned, so a dangling view into recycled
+// slab space trips AddressSanitizer immediately instead of reading stale
+// bytes (tests/arena_lifetime_test.cc exercises exactly this).
+
+#ifndef SRC_BLOCK_ARENA_H_
+#define SRC_BLOCK_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace jiffy {
+
+// Process-wide tally of payload bytes physically copied on the data plane:
+// arena copy-ins plus the single materialization at the transport boundary.
+// The zero-copy claim is measured against this (bench/micro_ops reports
+// bytes_copied_per_op), so every intentional copy site must call Add().
+class CopyMeter {
+ public:
+  static void Add(size_t n) {
+    Counter().fetch_add(n, std::memory_order_relaxed);
+  }
+  static uint64_t Total() { return Counter().load(std::memory_order_relaxed); }
+
+ private:
+  static std::atomic<uint64_t>& Counter();
+};
+
+class SlabArena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit SlabArena(size_t chunk_bytes = kDefaultChunkBytes);
+  ~SlabArena();
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  // Copies `bytes` into arena memory and returns a stable view of the copy
+  // (valid until the holding chunk is released, see the pin rule above).
+  // Counted by CopyMeter. Call with the owning block's mutex held.
+  std::string_view Store(std::string_view bytes);
+
+  // Raw uninitialized allocation (FileChunk's fixed buffer). Same locking
+  // rule as Store. Alignment is 8 bytes.
+  char* Alloc(size_t n);
+
+  // Accounting-only logical free: the bytes stay valid (readers may still
+  // hold views) but count as garbage until the next retire/compaction.
+  void NoteGarbage(size_t n) {
+    garbage_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Accounting for an in-place overwrite that shrank or grew a record
+  // within its original allocation (no new bytes were bump-allocated).
+  void AdjustStored(int64_t delta) {
+    if (delta >= 0) {
+      stored_bytes_.fetch_add(static_cast<size_t>(delta),
+                              std::memory_order_relaxed);
+    } else {
+      stored_bytes_.fetch_sub(static_cast<size_t>(-delta),
+                              std::memory_order_relaxed);
+    }
+  }
+
+  // Moves every active chunk to the retired list; subsequent Store/Alloc
+  // calls draw fresh (or pooled) chunks. Retired bytes stay readable until
+  // TryRelease succeeds, so a compactor can copy out of the old slabs after
+  // retiring them. Call with the owning block's mutex held.
+  void RetireActive();
+
+  // Releases retired chunks into the poisoned pool if and only if no pins
+  // are outstanding. Called by Unpin when the count drops to zero and by
+  // compaction after its copy loop; safe to call anytime.
+  void TryRelease();
+
+  // --- Pinning (readers) ----------------------------------------------------
+  // Take the pin under the block mutex; drop it whenever done. Prefer the
+  // RAII ArenaPin below over calling these directly.
+  void Pin() { pins_.fetch_add(1, std::memory_order_acq_rel); }
+  void Unpin() {
+    if (pins_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      TryRelease();
+    }
+  }
+  int64_t pins() const { return pins_.load(std::memory_order_acquire); }
+
+  // --- Accounting -----------------------------------------------------------
+  size_t stored_bytes() const {
+    return stored_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t garbage_bytes() const {
+    return garbage_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t live_bytes() const {
+    const size_t stored = stored_bytes();
+    const size_t garbage = garbage_bytes();
+    return stored >= garbage ? stored - garbage : 0;
+  }
+  // Total chunk bytes currently held (active + retired + pooled).
+  size_t footprint_bytes() const;
+  size_t active_chunks() const;
+  size_t retired_chunks() const;
+  size_t pooled_chunks() const;
+  // Chunks reused from the pool instead of freshly allocated (slab
+  // recycling across migrations, tested in arena_lifetime_test.cc).
+  uint64_t recycled_chunks() const {
+    return recycled_.load(std::memory_order_relaxed);
+  }
+
+  // True when `p` points into ASan-poisoned pool memory (always false in
+  // non-ASan builds). Lets tests assert the poisoning without faulting.
+  static bool IsPoisoned(const void* p);
+  // True when this build poisons pooled chunks (i.e. ASan is active).
+  static bool PoisonActive();
+
+ private:
+  struct Chunk {
+    char* data = nullptr;
+    size_t cap = 0;
+    size_t used = 0;
+  };
+
+  // Appends a chunk with at least `min_bytes` of space to active_, pulling
+  // from the pool when a pooled chunk is large enough. mu_ must be held.
+  void AddChunkLocked(size_t min_bytes);
+
+  const size_t chunk_bytes_;
+  // Guards the chunk lists. Allocation additionally requires the owning
+  // block's mutex; mu_ exists because Unpin (and thus TryRelease) runs
+  // outside it.
+  mutable std::mutex mu_;
+  std::vector<Chunk> active_;
+  std::vector<Chunk> retired_;
+  std::vector<Chunk> pool_;
+  std::atomic<int64_t> pins_{0};
+  std::atomic<size_t> stored_bytes_{0};
+  std::atomic<size_t> garbage_bytes_{0};
+  std::atomic<uint64_t> recycled_{0};
+};
+
+// RAII arena pin with shared ownership: the pin keeps retired slabs from
+// being recycled AND keeps the arena object itself alive, so views stay
+// valid even if the content that handed them out is destroyed (lease expiry,
+// RemoveContent) while a response is in flight.
+class ArenaPin {
+ public:
+  ArenaPin() = default;
+  explicit ArenaPin(std::shared_ptr<SlabArena> arena)
+      : arena_(std::move(arena)) {
+    if (arena_ != nullptr) {
+      arena_->Pin();
+    }
+  }
+  ~ArenaPin() { Release(); }
+
+  ArenaPin(ArenaPin&& other) noexcept : arena_(std::move(other.arena_)) {
+    other.arena_.reset();
+  }
+  ArenaPin& operator=(ArenaPin&& other) noexcept {
+    if (this != &other) {
+      Release();
+      arena_ = std::move(other.arena_);
+      other.arena_.reset();
+    }
+    return *this;
+  }
+  ArenaPin(const ArenaPin&) = delete;
+  ArenaPin& operator=(const ArenaPin&) = delete;
+
+  explicit operator bool() const { return arena_ != nullptr; }
+
+  void Release() {
+    if (arena_ != nullptr) {
+      arena_->Unpin();
+      arena_.reset();
+    }
+  }
+
+ private:
+  std::shared_ptr<SlabArena> arena_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_BLOCK_ARENA_H_

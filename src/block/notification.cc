@@ -43,6 +43,7 @@ std::shared_ptr<Listener> SubscriptionMap::Subscribe(const std::string& op) {
   auto listener = std::make_shared<Listener>();
   std::lock_guard<std::mutex> lock(mu_);
   subs_[op].push_back(listener);
+  total_.fetch_add(1, std::memory_order_relaxed);
   return listener;
 }
 
@@ -54,7 +55,9 @@ void SubscriptionMap::Unsubscribe(const std::string& op,
     return;
   }
   auto& vec = it->second;
+  const size_t before = vec.size();
   vec.erase(std::remove(vec.begin(), vec.end(), l), vec.end());
+  total_.fetch_sub(before - vec.size(), std::memory_order_relaxed);
   if (vec.empty()) {
     subs_.erase(it);
   }

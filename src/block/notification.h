@@ -10,6 +10,7 @@
 #ifndef SRC_BLOCK_NOTIFICATION_H_
 #define SRC_BLOCK_NOTIFICATION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -63,9 +64,17 @@ class SubscriptionMap {
 
   size_t SubscriberCount(const std::string& op) const;
 
+  // Lock-free fast path for the data plane: publishers check this before
+  // building a Notification (3 strings + a timestamp per op), so the
+  // no-subscriber common case costs one relaxed load.
+  bool HasSubscribers() const {
+    return total_.load(std::memory_order_relaxed) != 0;
+  }
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<std::shared_ptr<Listener>>> subs_;
+  std::atomic<size_t> total_{0};
 };
 
 }  // namespace jiffy

@@ -177,11 +177,16 @@ void DsClient::MaybePersist(const PartitionEntry& entry) {
                  std::move(object));
 }
 
-void DsClient::Publish(const std::string& op, const std::string& payload) {
+void DsClient::Publish(std::string_view op, std::string_view payload) {
+  // No subscribers (the common case on the data plane): skip building the
+  // notification entirely — one relaxed load per committed op.
+  if (!state_->subscriptions.HasSubscribers()) {
+    return;
+  }
   Notification n;
-  n.op = op;
+  n.op = std::string(op);
   n.subject = "/" + job_ + "/" + prefix_;
-  n.payload = payload;
+  n.payload = std::string(payload);
   n.timestamp = clock()->Now();
   state_->subscriptions.Publish(n);
 }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "src/cluster/cluster.h"
@@ -47,6 +48,11 @@ class DsClient {
   // Snapshot of the cached partition map.
   PartitionMap CachedMap() const;
   uint64_t map_version() const;
+  // Entry count without copying the map (hot-path overload checks).
+  size_t map_entry_count() const {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    return map_.entries.size();
+  }
 
   // Forces a metadata refresh from the controller.
   Status RefreshMap();
@@ -126,8 +132,12 @@ class DsClient {
   // metadata). Sleeps only in kSleep transports.
   void ChargeRepartitionControl();
 
-  // Publishes a notification to subscribers of `op`.
-  void Publish(const std::string& op, const std::string& payload);
+  // Publishes a notification to subscribers of `op`. With no subscribers
+  // (the hot-path common case) this is one relaxed atomic load — callers
+  // that must *build* a payload (std::to_string etc.) should guard the
+  // construction with Subscribed() so the data plane pays nothing.
+  void Publish(std::string_view op, std::string_view payload);
+  bool Subscribed() const { return state_->subscriptions.HasSubscribers(); }
 
   Block* Resolve(BlockId id) { return cluster_->ResolveBlock(id); }
   Controller* controller() { return cluster_->ControllerFor(job_); }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/ds/file_content.h"
+#include "src/net/network.h"
 #include "src/obs/trace.h"
 
 namespace jiffy {
@@ -127,7 +128,8 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
     if (accepted > 0) {
       // Bytes are already in the chunk; a wire failure past every retry
       // reports the lost ack (at-least-once).
-      JIFFY_RETURN_IF_ERROR(DataExchange(tail.block, accepted + 64, 64));
+      JIFFY_RETURN_IF_ERROR(
+          DataExchange(tail.block, FrameBytes(accepted), FrameBytes(0)));
       const std::string_view written = remaining.substr(0, accepted);
       PropagateToReplicas<FileChunk>(tail, accepted, [&](FileChunk* c) {
         c->Append(written);
@@ -136,7 +138,9 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
         }
       });
       MaybePersist(tail);
-      Publish(kWriteOp, std::to_string(accepted));
+      if (Subscribed()) {
+        Publish(kWriteOp, std::to_string(accepted));
+      }
       remaining.remove_prefix(accepted);
     } else if (grow) {
       // Threshold crossed with nothing accepted: still seal the replicas.
@@ -270,8 +274,9 @@ Result<uint64_t> FileClient::AppendVec(
         }
       }
       block->CountOps(written.size());
-      JIFFY_RETURN_IF_ERROR(
-          DataExchangeBatch(tail.block, written.size(), accepted + 64, 64));
+      JIFFY_RETURN_IF_ERROR(DataExchangeBatch(tail.block, written.size(),
+                                              FrameBytes(accepted),
+                                              FrameBytes(0)));
       PropagateBatchToReplicas<FileChunk>(
           tail, written.size(), accepted, [&](FileChunk* c) {
             for (std::string_view w : written) {
@@ -282,7 +287,9 @@ Result<uint64_t> FileClient::AppendVec(
             }
           });
       MaybePersist(tail);
-      Publish(kWriteOp, std::to_string(accepted));
+      if (Subscribed()) {
+        Publish(kWriteOp, std::to_string(accepted));
+      }
       // Advance the cursor by the accepted byte count.
       size_t adv = accepted;
       while (adv > 0 && piece_idx < pieces.size()) {
@@ -361,7 +368,11 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
       JIFFY_RETURN_IF_ERROR(FailOver(*entry));
       continue;
     }
-    std::string piece;
+    // The chunk hands back a view; the pin (taken under the mutex) keeps the
+    // bytes alive across the wire exchange, so the single copy into `out`
+    // happens only for acknowledged pieces.
+    std::string_view piece;
+    ArenaPin pin;
     {
       obs::TracedLockGuard lock(block->mu(), "file.block_wait");
       JIFFY_TRACE_SPAN("block.file_read", "block");
@@ -371,8 +382,10 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
       }
       block->CountOp();
       JIFFY_ASSIGN_OR_RETURN(piece, chunk->ReadAt(cur, len - out.size()));
+      pin = ArenaPin(chunk->arena());
     }
-    const Status wire = DataExchange(ReadTarget(*entry), 64, piece.size() + 64);
+    const Status wire = DataExchange(ReadTarget(*entry), FrameBytes(0),
+                                     FrameBytes(piece.size()));
     if (!wire.ok()) {
       // Reply lost beyond the wire retries: re-read (idempotent), bounded
       // so a persistent failure cannot spin forever.
@@ -384,7 +397,8 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
     if (piece.empty()) {
       break;  // EOF inside this chunk.
     }
-    out += piece;
+    CopyMeter::Add(piece.size());
+    out.append(piece.data(), piece.size());
     refreshed = false;
   }
   op.Success();  // Short reads at EOF are correct answers.
@@ -471,7 +485,8 @@ std::vector<Result<std::string>> FileClient::ReadVec(
         subs.emplace_back(s.off, s.len);
         req_bytes += 16;
       }
-      std::vector<Result<std::string>> outs;
+      std::vector<Result<std::string_view>> outs;
+      ArenaPin pin;
       bool content_gone = false;
       {
         obs::TracedLockGuard lock(block->mu(), "file.block_wait");
@@ -482,6 +497,9 @@ std::vector<Result<std::string>> FileClient::ReadVec(
         } else {
           block->CountOps(subs.size());
           chunk->ReadVec(subs, &outs);
+          // Keeps the viewed bytes alive (and chunk-destruction safe) until
+          // the acknowledged pieces are copied into the accumulators below.
+          pin = ArenaPin(chunk->arena());
         }
       }
       if (content_gone) {
@@ -494,13 +512,13 @@ std::vector<Result<std::string>> FileClient::ReadVec(
         progress = true;
         continue;
       }
-      size_t resp_bytes = 64;
+      size_t resp_payload = 0;
       for (const auto& r : outs) {
-        resp_bytes += (r.ok() ? r.value().size() : 0) + 8;
+        resp_payload += r.ok() ? r.value().size() : 0;
       }
       const Status wire =
           DataExchangeBatch(ReadTarget(entry), subs.size(), req_bytes,
-                            resp_bytes);
+                            BatchFrameBytes(subs.size(), resp_payload));
       if (!wire.ok()) {
         for (const Sub& s : g) {
           results[s.i] = wire;
@@ -517,9 +535,10 @@ std::vector<Result<std::string>> FileClient::ReadVec(
           progress = true;
           continue;
         }
-        const std::string& piece = outs[k].value();
+        const std::string_view piece = outs[k].value();
         if (!piece.empty()) {
-          acc[s.i] += piece;
+          CopyMeter::Add(piece.size());
+          acc[s.i].append(piece.data(), piece.size());
           progress = true;
         }
         if (piece.size() < s.len) {
@@ -591,7 +610,7 @@ Result<uint64_t> FileClient::Size() {
   if (chunk == nullptr) {
     return LeaseExpired("file block reclaimed; load the prefix first");
   }
-  DataExchange(ReadTarget(tail), 64, 64);
+  DataExchange(ReadTarget(tail), FrameBytes(0), FrameBytes(0));
   op.Success();
   return chunk->end_offset();
 }

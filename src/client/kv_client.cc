@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/ds/kv_content.h"
+#include "src/net/network.h"
 #include "src/obs/trace.h"
 
 namespace jiffy {
@@ -86,11 +87,12 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
     // The put is applied server-side before the reply travels; a wire
     // failure that survives every retry is reported (at-least-once).
     JIFFY_RETURN_IF_ERROR(
-        DataExchange(entry.block, key.size() + value.size() + 64, 64));
+        DataExchange(entry.block, FrameBytes(key.size() + value.size()),
+                     FrameBytes(0)));
     PropagateToReplicas<KvShard>(entry, key.size() + value.size(),
                                  [&](KvShard* s) { s->Put(key, value); });
     MaybePersist(entry);
-    Publish(kPutOp, std::string(key));
+    Publish(kPutOp, key);
     if (usage >= config().repartition_high_threshold && slot_span > 1 &&
         entry.replicas.empty()) {
       // Overload: hand the upper half of the slot range to a new block.
@@ -133,7 +135,15 @@ Result<std::string> KvClient::Get(std::string_view key) {
         content_gone = true;
       } else {
         block->CountOp();
-        r = shard->Get(key);
+        // The shard returns a view into arena memory; materialize it here,
+        // still under the block mutex — the single copy this read pays.
+        Result<std::string_view> rv = shard->Get(key);
+        if (rv.ok()) {
+          CopyMeter::Add(rv.value().size());
+          r = std::string(rv.value());
+        } else {
+          r = rv.status();
+        }
       }
     }
     if (content_gone) {
@@ -143,8 +153,8 @@ Result<std::string> KvClient::Get(std::string_view key) {
     if (r.ok()) {
       // Reads are idempotent: a reply lost beyond the retry budget simply
       // re-executes the whole read.
-      if (!DataExchange(ReadTarget(entry), key.size() + 64,
-                        r.value().size() + 64)
+      if (!DataExchange(ReadTarget(entry), FrameBytes(key.size()),
+                        FrameBytes(r.value().size()))
                .ok()) {
         continue;
       }
@@ -155,7 +165,7 @@ Result<std::string> KvClient::Get(std::string_view key) {
       JIFFY_RETURN_IF_ERROR(RefreshMapInternal());
       continue;
     }
-    DataExchange(ReadTarget(entry), key.size() + 64, 64);
+    DataExchange(ReadTarget(entry), FrameBytes(key.size()), FrameBytes(0));
     op.Finish(r.status());
     return r.status();
   }
@@ -202,13 +212,13 @@ Status KvClient::Delete(std::string_view key) {
     if (!st.ok()) {
       return st;
     }
-    JIFFY_RETURN_IF_ERROR(DataExchange(entry.block, key.size() + 64, 64));
+    JIFFY_RETURN_IF_ERROR(DataExchange(entry.block, FrameBytes(key.size()), FrameBytes(0)));
     PropagateToReplicas<KvShard>(entry, key.size(),
                                  [&](KvShard* s) { s->Delete(key); });
     MaybePersist(entry);
-    Publish(kDeleteOp, std::string(key));
+    Publish(kDeleteOp, key);
     if (usage <= config().repartition_low_threshold &&
-        CachedMap().entries.size() > 1 && entry.replicas.empty()) {
+        map_entry_count() > 1 && entry.replicas.empty()) {
       SignalUnderload(block, entry);
     }
     op.Finish(st);
@@ -250,8 +260,10 @@ Status KvClient::Accumulate(std::string_view key, std::string_view update,
         st = StaleMetadata("slot moved");
       } else {
         block->CountOp();
-        auto old = shard->Get(key);
-        merged = merge(old.ok() ? *old : std::string(), std::string(update));
+        // The old value stays a view for the merge callback — the only copy
+        // is the arena copy-in of the merged result inside Put.
+        Result<std::string_view> old = shard->Get(key);
+        merged = merge(old.ok() ? *old : std::string_view(), update);
         st = shard->Put(key, merged);
         usage = static_cast<double>(shard->used_bytes()) /
                 static_cast<double>(shard->capacity());
@@ -266,13 +278,14 @@ Status KvClient::Accumulate(std::string_view key, std::string_view update,
       return st;
     }
     JIFFY_RETURN_IF_ERROR(
-        DataExchange(entry.block, key.size() + update.size() + 64, 64));
+        DataExchange(entry.block, FrameBytes(key.size() + update.size()),
+                     FrameBytes(0)));
     // The primary resolved the accumulator; replicas receive the merged
     // value so the chain stays byte-identical.
     PropagateToReplicas<KvShard>(entry, key.size() + merged.size(),
                                  [&](KvShard* s) { s->Put(key, merged); });
     MaybePersist(entry);
-    Publish(kPutOp, std::string(key));
+    Publish(kPutOp, key);
     if (usage >= config().repartition_high_threshold && slot_span > 1 &&
         entry.replicas.empty()) {
       SignalOverload(block, entry);
@@ -296,6 +309,16 @@ Result<bool> KvClient::Exists(std::string_view key) {
 
 std::vector<Status> KvClient::MultiPut(
     const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<std::pair<std::string_view, std::string_view>> views;
+  views.reserve(pairs.size());
+  for (const auto& [k, v] : pairs) {
+    views.emplace_back(k, v);
+  }
+  return MultiPut(views);
+}
+
+std::vector<Status> KvClient::MultiPut(
+    const std::vector<std::pair<std::string_view, std::string_view>>& pairs) {
   obs::TraceSpan op_span("kv.multi_put", "client");
   op_span.SetAttr(tenant_attr());
   OpScope op(this);
@@ -348,11 +371,12 @@ std::vector<Status> KvClient::MultiPut(
       }
       std::vector<std::pair<std::string_view, std::string_view>> ops;
       ops.reserve(group.size());
-      size_t req_bytes = 64;
+      size_t payload = 0;
       for (size_t i : group) {
         ops.emplace_back(pairs[i].first, pairs[i].second);
-        req_bytes += pairs[i].first.size() + pairs[i].second.size() + 8;
+        payload += pairs[i].first.size() + pairs[i].second.size();
       }
+      const size_t req_bytes = BatchFrameBytes(ops.size(), payload);
       std::vector<Status> item_status;
       bool content_gone = false;
       double usage = 0.0;
@@ -381,7 +405,7 @@ std::vector<Status> KvClient::MultiPut(
       // survives every retry loses the per-item reply, so the whole group
       // reports it (the puts themselves were applied — at-least-once).
       const Status wire = DataExchangeBatch(entry.block, ops.size(), req_bytes,
-                                            64 + 8 * ops.size());
+                                            BatchFrameBytes(ops.size(), 0));
       if (!wire.ok()) {
         for (size_t i : group) {
           statuses[i] = wire;
@@ -443,12 +467,39 @@ std::vector<Status> KvClient::MultiPut(
 
 std::vector<Result<std::string>> KvClient::MultiGet(
     const std::vector<std::string>& keys) {
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  return MultiGet(views);
+}
+
+std::vector<Result<std::string>> KvClient::MultiGet(
+    const std::vector<std::string_view>& keys) {
+  // Zero copies in-process: the pinned read returns arena views; the single
+  // copy each hit pays happens here, at the client boundary.
+  PinnedValues pinned = MultiGetPinned(keys);
+  std::vector<Result<std::string>> results;
+  results.reserve(pinned.values.size());
+  for (const auto& r : pinned.values) {
+    if (r.ok()) {
+      CopyMeter::Add(r.value().size());
+      results.emplace_back(std::string(r.value()));
+    } else {
+      results.emplace_back(r.status());
+    }
+  }
+  return results;
+}
+
+KvClient::PinnedValues KvClient::MultiGetPinned(
+    const std::vector<std::string_view>& keys) {
   obs::TraceSpan op_span("kv.multi_get", "client");
   op_span.SetAttr(tenant_attr());
   OpScope op(this);
-  std::vector<Result<std::string>> results(keys.size(), NotFound(""));
+  PinnedValues out;
+  out.values.assign(keys.size(), NotFound(""));
+  std::vector<Result<std::string_view>>& results = out.values;
   if (keys.empty()) {
-    return results;
+    op.Success();
+    return out;
   }
   std::vector<uint32_t> slots(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -493,12 +544,12 @@ std::vector<Result<std::string>> KvClient::MultiGet(
       }
       std::vector<std::string_view> ops;
       ops.reserve(group.size());
-      size_t req_bytes = 64;
+      size_t req_payload = 0;
       for (size_t i : group) {
         ops.emplace_back(keys[i]);
-        req_bytes += keys[i].size() + 8;
+        req_payload += keys[i].size();
       }
-      std::vector<Result<std::string>> item_results;
+      std::vector<Result<std::string_view>> item_results;
       bool content_gone = false;
       {
         obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
@@ -509,6 +560,10 @@ std::vector<Result<std::string>> KvClient::MultiGet(
         } else {
           block->CountOps(ops.size());
           shard->MultiGet(ops, &item_results);
+          // Pin while the mutex still protects the arena: from here the
+          // views stay valid even against a concurrent chunked migration
+          // or compaction (DESIGN.md §11).
+          out.pins.emplace_back(shard->arena());
         }
       }
       if (content_gone) {
@@ -516,7 +571,7 @@ std::vector<Result<std::string>> KvClient::MultiGet(
         still_pending.insert(still_pending.end(), group.begin(), group.end());
         continue;
       }
-      size_t resp_bytes = 64;
+      size_t resp_payload = 0;  // frame + 8 B/item accounted by BatchFrameBytes
       for (size_t g = 0; g < group.size(); ++g) {
         const size_t i = group[g];
         if (!item_results[g].ok() &&
@@ -525,16 +580,15 @@ std::vector<Result<std::string>> KvClient::MultiGet(
           still_pending.push_back(i);
         } else {
           if (item_results[g].ok()) {
-            resp_bytes += item_results[g].value().size() + 8;
-          } else {
-            resp_bytes += 8;  // per-item miss marker
+            resp_payload += item_results[g].value().size();
           }
           results[i] = std::move(item_results[g]);
         }
       }
-      const Status wire =
-          DataExchangeBatch(ReadTarget(entry), ops.size(), req_bytes,
-                            resp_bytes);
+      const Status wire = DataExchangeBatch(
+          ReadTarget(entry), ops.size(),
+          BatchFrameBytes(ops.size(), req_payload),
+          BatchFrameBytes(ops.size(), resp_payload));
       if (!wire.ok()) {
         for (size_t i : group) {
           results[i] = wire;
@@ -548,7 +602,7 @@ std::vector<Result<std::string>> KvClient::MultiGet(
         for (size_t i : pending) {
           results[i] = rs;
         }
-        return results;
+        return out;
       }
     }
   }
@@ -556,16 +610,22 @@ std::vector<Result<std::string>> KvClient::MultiGet(
     results[i] = Unavailable("kv multi-get livelock (too many stale retries)");
   }
   if (std::all_of(results.begin(), results.end(),
-                  [](const Result<std::string>& r) {
+                  [](const Result<std::string_view>& r) {
                     return r.ok() ||
                            r.status().code() == StatusCode::kNotFound;
                   })) {
     op.Success();
   }
-  return results;
+  return out;
 }
 
 std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) {
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  return MultiDelete(views);
+}
+
+std::vector<Status> KvClient::MultiDelete(
+    const std::vector<std::string_view>& keys) {
   obs::TraceSpan op_span("kv.multi_delete", "client");
   op_span.SetAttr(tenant_attr());
   OpScope op(this);
@@ -615,11 +675,12 @@ std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) 
       }
       std::vector<std::string_view> ops;
       ops.reserve(group.size());
-      size_t req_bytes = 64;
+      size_t payload = 0;
       for (size_t i : group) {
         ops.emplace_back(keys[i]);
-        req_bytes += keys[i].size() + 8;
+        payload += keys[i].size();
       }
+      const size_t req_bytes = BatchFrameBytes(ops.size(), payload);
       std::vector<Status> item_status;
       bool content_gone = false;
       double usage = 0.0;
@@ -642,7 +703,7 @@ std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) 
         continue;
       }
       const Status wire = DataExchangeBatch(entry.block, ops.size(), req_bytes,
-                                            64 + 8 * ops.size());
+                                            BatchFrameBytes(ops.size(), 0));
       if (!wire.ok()) {
         for (size_t i : group) {
           statuses[i] = wire;
@@ -676,7 +737,7 @@ std::vector<Status> KvClient::MultiDelete(const std::vector<std::string>& keys) 
           Publish(kDeleteOp, keys[i]);
         }
         if (usage <= config().repartition_low_threshold &&
-            CachedMap().entries.size() > 1 && entry.replicas.empty()) {
+            map_entry_count() > 1 && entry.replicas.empty()) {
           SignalUnderload(block, entry);
         }
       }
@@ -809,7 +870,7 @@ Status KvClient::TrySplit(const PartitionEntry& entry) {
       // ms at paper scale over 10 Gbps). Charged while both blocks are
       // locked — this is precisely the blocking migration the background
       // repartitioner exists to avoid.
-      data_net()->RoundTrip(moved_bytes, 64);
+      data_net()->RoundTrip(moved_bytes, FrameBytes(0));
     }
     // Phase 3: publish the new ownership atomically.
     PartitionEntry new_entry;
@@ -923,7 +984,7 @@ Status KvClient::TryMerge(const PartitionEntry& entry) {
       new_hi = dst->slot_hi();
       // Charged while both blocks are locked, like the split: the blocking
       // baseline pays the transfer on the data path.
-      data_net()->RoundTrip(moved_bytes, 64);
+      data_net()->RoundTrip(moved_bytes, FrameBytes(0));
     }
     JIFFY_RETURN_IF_ERROR(controller()->CommitMerge(
         job(), prefix(), self->block, sibling->block, new_lo, new_hi));

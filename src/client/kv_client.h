@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/block/arena.h"
 #include "src/client/ds_client.h"
 
 namespace jiffy {
@@ -36,25 +37,47 @@ class KvClient : public DsClient {
 
   // --- Batched operations (DESIGN.md §7) ------------------------------------
   //
-  // Operands are grouped by destination block via the cached partition map;
-  // each group travels as one coalesced transport exchange
-  // (Transport::RoundTripBatch) and is applied under a single block-lock
-  // hold. Results align index-for-index with the input. Stale-metadata
-  // retries are merged per item: when a concurrent split moves some keys,
-  // only those keys are re-sent after the map refresh — never the whole
-  // batch. An item reports success only if its operator was applied.
+  // Operands are non-owning views grouped by destination block via the
+  // cached partition map; each group travels as one coalesced transport
+  // exchange (Transport::RoundTripBatch) and is applied under a single
+  // block-lock hold. Results align index-for-index with the input.
+  // Stale-metadata retries are merged per item: when a concurrent split
+  // moves some keys, only those keys are re-sent after the map refresh —
+  // never the whole batch. An item reports success only if its operator was
+  // applied. Operand views must stay valid for the duration of the call
+  // (they are read again on per-item retries and replica propagation).
+  std::vector<Status> MultiPut(
+      const std::vector<std::pair<std::string_view, std::string_view>>& pairs);
+  std::vector<Result<std::string>> MultiGet(
+      const std::vector<std::string_view>& keys);
+  std::vector<Status> MultiDelete(const std::vector<std::string_view>& keys);
+
+  // Convenience overloads for owning operands (views of the caller's
+  // strings; no payload copies).
   std::vector<Status> MultiPut(
       const std::vector<std::pair<std::string, std::string>>& pairs);
   std::vector<Result<std::string>> MultiGet(
       const std::vector<std::string>& keys);
   std::vector<Status> MultiDelete(const std::vector<std::string>& keys);
 
+  // Zero-copy batched read (DESIGN.md §11): values are views into block
+  // arena memory, kept alive by the pins — no payload bytes are copied
+  // in-process. Views are valid until the PinnedValues is destroyed; the
+  // pins also block slab recycling by concurrent repartition chunk-moves,
+  // so drop the result promptly.
+  struct PinnedValues {
+    std::vector<Result<std::string_view>> values;
+    std::vector<ArenaPin> pins;
+  };
+  PinnedValues MultiGetPinned(const std::vector<std::string_view>& keys);
+
   // Atomic read-modify-write executed as a single data-structure operator
   // under the block lock: `merge(old, update)` produces the new value
   // (old is empty when the key is absent). This is how Piccolo's
-  // user-defined accumulators resolve concurrent updates (§5.3).
-  using MergeFn = std::function<std::string(const std::string& old_value,
-                                            const std::string& update)>;
+  // user-defined accumulators resolve concurrent updates (§5.3). The view
+  // arguments alias block/caller memory — valid only during the call.
+  using MergeFn = std::function<std::string(std::string_view old_value,
+                                            std::string_view update)>;
   Status Accumulate(std::string_view key, std::string_view update,
                     const MergeFn& merge);
 

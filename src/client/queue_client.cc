@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/ds/queue_content.h"
+#include "src/net/network.h"
 #include "src/obs/trace.h"
 
 namespace jiffy {
@@ -72,7 +73,7 @@ Status QueueClient::ShrinkHead(BlockId head_block) {
   return RefreshMapInternal();
 }
 
-Status QueueClient::Enqueue(std::string item) {
+Status QueueClient::Enqueue(std::string_view item) {
   obs::TraceSpan span("queue.enqueue", "client");
   span.SetAttr(tenant_attr());
   OpScope op(this);
@@ -82,7 +83,6 @@ Status QueueClient::Enqueue(std::string item) {
           static_cast<int64_t>(bound)) {
     return Unavailable("queue at maxQueueLength=" + std::to_string(bound));
   }
-  const size_t item_size = item.size();
   for (int attempt = 0; attempt < kMaxStaleRetries; ++attempt) {
     BackoffRetry(attempt);
     PartitionMap map = CachedMap();
@@ -99,7 +99,6 @@ Status QueueClient::Enqueue(std::string item) {
     bool accepted = false;
     bool content_gone = false;
     double usage = 0.0;
-    std::string replica_copy;
     {
       obs::TracedLockGuard lock(block->mu(), "queue.block_wait");
       JIFFY_TRACE_SPAN("block.queue_enqueue", "block");
@@ -109,13 +108,10 @@ Status QueueClient::Enqueue(std::string item) {
         content_gone = true;
       } else if (!seg->sealed()) {
         block->CountOp();
-        // On failure the segment seals itself and leaves `item` intact for
-        // the retry against the new tail. Copy first so replicas can receive
-        // the same bytes.
-        if (!tail.replicas.empty()) {
-          replica_copy = item;
-        }
-        accepted = seg->Enqueue(std::move(item));
+        // The segment copies the view into its arena; on overflow it seals
+        // itself and the caller's bytes are untouched for the retry against
+        // the new tail.
+        accepted = seg->Enqueue(item);
         usage = static_cast<double>(seg->used_bytes()) /
                 static_cast<double>(seg->capacity());
       }
@@ -127,16 +123,18 @@ Status QueueClient::Enqueue(std::string item) {
     if (accepted) {
       // The item is in the queue; a wire failure past every retry means the
       // ack was lost (at-least-once — re-sending would double-enqueue).
-      JIFFY_RETURN_IF_ERROR(DataExchange(tail.block, item_size + 64, 64));
+      JIFFY_RETURN_IF_ERROR(
+          DataExchange(tail.block, FrameBytes(item.size()), FrameBytes(0)));
       if (!tail.replicas.empty()) {
-        PropagateToReplicas<QueueSegment>(tail, item_size, [&](QueueSegment* s) {
-          std::string copy = replica_copy;
-          s->Enqueue(std::move(copy));
-        });
+        // Replicas replay the same caller-owned view — no defensive copy.
+        PropagateToReplicas<QueueSegment>(
+            tail, item.size(), [&](QueueSegment* s) { s->Enqueue(item); });
         MaybePersist(tail);
       }
       state()->queue_items.fetch_add(1, std::memory_order_relaxed);
-      Publish(kEnqueueOp, std::to_string(item_size));
+      if (Subscribed()) {
+        Publish(kEnqueueOp, std::to_string(item.size()));
+      }
       if (usage >= config().repartition_high_threshold &&
           tail.replicas.empty()) {
         // Proactive growth: ask the background worker to seal this tail and
@@ -146,8 +144,7 @@ Status QueueClient::Enqueue(std::string item) {
       op.Success();
       return Status::Ok();
     }
-    // Tail full: grow, then retry. QueueSegment::Enqueue only moves from
-    // `item` on success, so the string is still intact here.
+    // Tail full: grow, then retry with the same (caller-owned) view.
     JIFFY_RETURN_IF_ERROR(GrowTail(tail.block, tail.lo));
     PartitionMap refreshed = CachedMap();
     if (!refreshed.entries.empty() &&
@@ -159,7 +156,12 @@ Status QueueClient::Enqueue(std::string item) {
   return Unavailable("queue enqueue livelock (too many stale retries)");
 }
 
-Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
+Status QueueClient::EnqueueBatch(const std::vector<std::string>& items) {
+  std::vector<std::string_view> views(items.begin(), items.end());
+  return EnqueueBatch(views);
+}
+
+Status QueueClient::EnqueueBatch(const std::vector<std::string_view>& items) {
   obs::TraceSpan span("queue.enqueue_batch", "client");
   span.SetAttr(tenant_attr());
   OpScope op(this);
@@ -173,11 +175,6 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
               static_cast<int64_t>(items.size()) >
           static_cast<int64_t>(bound)) {
     return Unavailable("queue at maxQueueLength=" + std::to_string(bound));
-  }
-  // Sizes recorded up front: the segment moves the strings out on accept.
-  std::vector<size_t> sizes(items.size());
-  for (size_t i = 0; i < items.size(); ++i) {
-    sizes[i] = items[i].size();
   }
   size_t done = 0;
   for (int attempt = 0; attempt < kMaxStaleRetries && done < items.size();
@@ -194,12 +191,6 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
       JIFFY_RETURN_IF_ERROR(FailOver(tail));
       continue;
     }
-    // Copy the candidate suffix before locking so replicas can receive the
-    // same bytes (the primary consumes the originals).
-    std::vector<std::string> replica_copies;
-    if (!tail.replicas.empty()) {
-      replica_copies.assign(items.begin() + done, items.end());
-    }
     size_t accepted = 0;
     bool content_gone = false;
     double usage = 0.0;
@@ -210,9 +201,10 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
       if (seg == nullptr) {
         content_gone = true;
       } else if (!seg->sealed()) {
-        // Moves a prefix of items[done..] into the segment; on overflow the
-        // segment seals and the remainder stays intact for the new tail.
-        accepted = seg->EnqueueBatch(&items, done);
+        // Copies a prefix of items[done..] into the segment's arena; on
+        // overflow the segment seals and the caller's suffix retries
+        // against the new tail.
+        accepted = seg->EnqueueBatch(items, done);
         block->CountOps(accepted);
         usage = static_cast<double>(seg->used_bytes()) /
                 static_cast<double>(seg->capacity());
@@ -225,16 +217,17 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
     if (accepted > 0) {
       size_t bytes = 0;
       for (size_t i = done; i < done + accepted; ++i) {
-        bytes += sizes[i];
+        bytes += items[i].size();
       }
-      JIFFY_RETURN_IF_ERROR(
-          DataExchangeBatch(tail.block, accepted, bytes + 64, 64));
+      JIFFY_RETURN_IF_ERROR(DataExchangeBatch(tail.block, accepted,
+                                              FrameBytes(bytes),
+                                              FrameBytes(0)));
       if (!tail.replicas.empty()) {
+        // Replicas replay the same caller-owned views.
         PropagateBatchToReplicas<QueueSegment>(
             tail, accepted, bytes, [&](QueueSegment* s) {
-              for (size_t i = 0; i < accepted; ++i) {
-                std::string copy = replica_copies[i];
-                s->Enqueue(std::move(copy));
+              for (size_t i = done; i < done + accepted; ++i) {
+                s->Enqueue(items[i]);
               }
             });
         MaybePersist(tail);
@@ -242,7 +235,9 @@ Status QueueClient::EnqueueBatch(std::vector<std::string> items) {
       state()->queue_items.fetch_add(static_cast<int64_t>(accepted),
                                      std::memory_order_relaxed);
       for (size_t i = done; i < done + accepted; ++i) {
-        Publish(kEnqueueOp, std::to_string(sizes[i]));
+        if (Subscribed()) {
+          Publish(kEnqueueOp, std::to_string(items[i].size()));
+        }
       }
       done += accepted;
       if (done == items.size() &&
@@ -306,9 +301,13 @@ Result<std::string> QueueClient::Dequeue() {
         content_gone = true;
       } else {
         block->CountOp();
-        auto popped = seg->DequeueWithToken(token);
+        // The segment hands back a view into its arena; materialize it
+        // under the block mutex — the single copy this dequeue pays. (A
+        // concurrent ShrinkHead could destroy the segment after unlock.)
+        Result<std::string_view> popped = seg->DequeueWithToken(token);
         if (popped.ok()) {
-          item = std::move(*popped);
+          CopyMeter::Add(popped.value().size());
+          item = std::string(*popped);
           got = true;
         }
         drained = seg->Drained();
@@ -320,7 +319,8 @@ Result<std::string> QueueClient::Dequeue() {
       continue;
     }
     if (got) {
-      if (!DataExchange(head.block, 64, item.size() + 64).ok()) {
+      if (!DataExchange(head.block, FrameBytes(0), FrameBytes(item.size()))
+               .ok()) {
         // Reply lost beyond the wire retries: re-run with the same token —
         // the segment redelivers this item rather than consuming another.
         // Bookkeeping below runs only on the acknowledged delivery.
@@ -331,7 +331,9 @@ Result<std::string> QueueClient::Dequeue() {
       });
       MaybePersist(head);
       state()->queue_items.fetch_sub(1, std::memory_order_relaxed);
-      Publish(kDequeueOp, std::to_string(item.size()));
+      if (Subscribed()) {
+        Publish(kDequeueOp, std::to_string(item.size()));
+      }
       if (drained && !head_is_tail) {
         // The dequeue itself succeeded; reclaiming the drained head is pure
         // cleanup, so hand it to the background worker when one is running.
@@ -367,7 +369,7 @@ Result<std::string> QueueClient::Dequeue() {
     }
     // Empty probe: the reply carries nothing consumable, so a lost reply
     // needs no redelivery handling.
-    DataExchange(head.block, 64, 64);
+    DataExchange(head.block, FrameBytes(0), FrameBytes(0));
     op.Success();  // An empty queue is a correct answer, not an SLO error.
     return NotFound("queue empty");
   }
@@ -414,9 +416,18 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
       if (seg == nullptr) {
         content_gone = true;
       } else {
+        std::vector<std::string_view> views;
         const size_t n =
-            seg->DequeueBatchWithToken(token, max_n - out.size(), &popped);
+            seg->DequeueBatchWithToken(token, max_n - out.size(), &views);
         block->CountOps(n);
+        // Materialize the views while the mutex protects the segment (a
+        // concurrent ShrinkHead may destroy it after unlock) — the single
+        // copy per item on this path.
+        popped.reserve(views.size());
+        for (const std::string_view v : views) {
+          CopyMeter::Add(v.size());
+          popped.emplace_back(v);
+        }
         drained = seg->Drained();
         sealed = seg->sealed();
       }
@@ -431,7 +442,8 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
       for (const std::string& s : popped) {
         bytes += s.size();
       }
-      if (!DataExchangeBatch(head.block, n, 64, bytes + 64).ok()) {
+      if (!DataExchangeBatch(head.block, n, FrameBytes(0), FrameBytes(bytes))
+               .ok()) {
         // Chunk reply lost beyond the wire retries: retry under the same
         // token so the segment redelivers this chunk exactly once.
         continue;
@@ -449,7 +461,9 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
       state()->queue_items.fetch_sub(static_cast<int64_t>(n),
                                      std::memory_order_relaxed);
       for (const std::string& s : popped) {
-        Publish(kDequeueOp, std::to_string(s.size()));
+        if (Subscribed()) {
+          Publish(kDequeueOp, std::to_string(s.size()));
+        }
       }
       std::move(popped.begin(), popped.end(), std::back_inserter(out));
     }
@@ -475,7 +489,7 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
     }
     // Live tail segment is (now) empty: the queue is exhausted for this call.
     if (out.empty()) {
-      DataExchange(head.block, 64, 64);
+      DataExchange(head.block, FrameBytes(0), FrameBytes(0));
     }
     break;
   }

@@ -11,6 +11,7 @@
 #define SRC_CLIENT_QUEUE_CLIENT_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/client/ds_client.h"
@@ -29,7 +30,10 @@ class QueueClient : public DsClient {
   void SetMaxQueueLength(uint64_t n);
 
   // Adds an item at the tail. kUnavailable when the queue is at its bound.
-  Status Enqueue(std::string item);
+  // The view must stay valid for the duration of the call: the segment
+  // copies it into its arena (the single data-plane copy), and replica
+  // propagation replays the same view — no defensive copies.
+  Status Enqueue(std::string_view item);
 
   // Removes the oldest item. kNotFound when the queue is empty.
   Result<std::string> Dequeue();
@@ -45,7 +49,10 @@ class QueueClient : public DsClient {
   // one lock hold. When the tail seals mid-batch, only the remaining suffix
   // is re-sent to the grown tail. All-or-nothing against maxQueueLength:
   // kUnavailable up front when the whole batch would exceed the bound.
-  Status EnqueueBatch(std::vector<std::string> items);
+  // Views must stay valid for the duration of the call (re-sent suffixes
+  // and replica propagation reread them).
+  Status EnqueueBatch(const std::vector<std::string_view>& items);
+  Status EnqueueBatch(const std::vector<std::string>& items);
 
   // Removes up to `max_n` oldest items in FIFO order, draining whole head
   // segments per exchange. Returns the items removed — possibly fewer than

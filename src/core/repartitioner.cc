@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/block/arena.h"
 #include "src/common/logging.h"
 #include "src/ds/file_content.h"
 #include "src/ds/kv_content.h"
@@ -453,6 +454,7 @@ Status Repartitioner::MigrateKvRange(const Hint& hint, Controller* ctl,
           auto value = shard->Get(key);
           if (value.ok()) {
             delta_bytes += key.size() + value->size();
+            CopyMeter::Add(value->size());
             upserts.emplace_back(std::move(key), std::move(*value));
           } else {
             deletions.push_back(std::move(key));
@@ -515,6 +517,7 @@ Status Repartitioner::MigrateKvRange(const Hint& hint, Controller* ctl,
         auto value = shard->Get(key);
         if (value.ok()) {
           delta_bytes += key.size() + value->size();
+          CopyMeter::Add(value->size());
           upserts.emplace_back(std::move(key), std::move(*value));
         } else {
           deletions.push_back(std::move(key));

@@ -1,13 +1,19 @@
 #include "src/ds/file_content.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace jiffy {
 
 FileChunk::FileChunk(size_t capacity, uint64_t base_offset)
-    : capacity_(capacity), base_offset_(base_offset) {}
+    : capacity_(capacity),
+      base_offset_(base_offset),
+      // One chunk-sized slab so every append lands contiguously and reads
+      // are single views regardless of append boundaries.
+      arena_(std::make_shared<SlabArena>(capacity == 0 ? 1 : capacity)),
+      buf_(arena_->Alloc(capacity)) {}
 
-std::string FileChunk::Serialize() const { return data_; }
+std::string FileChunk::Serialize() const { return std::string(buf_, size_); }
 
 Result<std::unique_ptr<FileChunk>> FileChunk::Deserialize(
     size_t capacity, uint64_t base_offset, std::string_view payload) {
@@ -15,7 +21,10 @@ Result<std::unique_ptr<FileChunk>> FileChunk::Deserialize(
     return Internal("file chunk payload exceeds block capacity");
   }
   auto chunk = std::make_unique<FileChunk>(capacity, base_offset);
-  chunk->data_.assign(payload.data(), payload.size());
+  if (!payload.empty()) {
+    std::memcpy(chunk->buf_, payload.data(), payload.size());
+  }
+  chunk->size_ = payload.size();
   return chunk;
 }
 
@@ -24,7 +33,11 @@ size_t FileChunk::Append(std::string_view data) {
     return 0;
   }
   const size_t take = std::min(data.size(), FreeBytes());
-  data_.append(data.data(), take);
+  if (take > 0) {
+    std::memcpy(buf_ + size_, data.data(), take);
+    CopyMeter::Add(take);
+    size_ += take;
+  }
   return take;
 }
 
@@ -41,7 +54,7 @@ size_t FileChunk::AppendVec(const std::vector<std::string_view>& pieces) {
 }
 
 void FileChunk::ReadVec(const std::vector<std::pair<uint64_t, size_t>>& ranges,
-                        std::vector<Result<std::string>>* out) const {
+                        std::vector<Result<std::string_view>>* out) const {
   out->clear();
   out->reserve(ranges.size());
   for (const auto& [offset, len] : ranges) {
@@ -49,16 +62,16 @@ void FileChunk::ReadVec(const std::vector<std::pair<uint64_t, size_t>>& ranges,
   }
 }
 
-Result<std::string> FileChunk::ReadAt(uint64_t offset, size_t len) const {
+Result<std::string_view> FileChunk::ReadAt(uint64_t offset, size_t len) const {
   if (offset < base_offset_) {
     return InvalidArgument("offset below chunk base");
   }
   const uint64_t rel = offset - base_offset_;
-  if (rel >= data_.size()) {
-    return std::string();
+  if (rel >= size_) {
+    return std::string_view();
   }
-  const size_t take = std::min<uint64_t>(len, data_.size() - rel);
-  return data_.substr(rel, take);
+  const size_t take = std::min<uint64_t>(len, size_ - rel);
+  return std::string_view(buf_ + rel, take);
 }
 
 }  // namespace jiffy

@@ -8,6 +8,12 @@
 // (hi shrinks below base+capacity when the 95 % threshold triggers early
 // allocation of the next block, which is exactly the fragmentation Fig 14(c)
 // measures).
+//
+// Chunk bytes live in one arena allocation sized to the chunk capacity;
+// appends memcpy into it (the single data-plane copy-in) and reads return
+// views. Chunks are append-only and never compact, so a view is valid for
+// the life of the chunk; readers that must outlive the block mutex take an
+// ArenaPin on arena().
 
 #ifndef SRC_DS_FILE_CONTENT_H_
 #define SRC_DS_FILE_CONTENT_H_
@@ -18,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/block/arena.h"
 #include "src/block/block.h"
 #include "src/common/status.h"
 
@@ -32,7 +39,7 @@ class FileChunk : public BlockContent {
   FileChunk(size_t capacity, uint64_t base_offset);
 
   DsType type() const override { return DsType::kFile; }
-  size_t used_bytes() const override { return data_.size(); }
+  size_t used_bytes() const override { return size_; }
   std::string Serialize() const override;
 
   static Result<std::unique_ptr<FileChunk>> Deserialize(
@@ -41,7 +48,7 @@ class FileChunk : public BlockContent {
   uint64_t base_offset() const { return base_offset_; }
 
   // Logical offset one past the last byte written to this chunk.
-  uint64_t end_offset() const { return base_offset_ + data_.size(); }
+  uint64_t end_offset() const { return base_offset_ + size_; }
 
   // Appends as much of `data` as fits; returns bytes accepted (0 once the
   // chunk is capped).
@@ -54,9 +61,10 @@ class FileChunk : public BlockContent {
   void Cap() { capped_ = true; }
   bool capped() const { return capped_; }
 
-  // Reads up to `len` bytes at logical offset `offset`; empty string when
-  // the offset is at/after end_offset().
-  Result<std::string> ReadAt(uint64_t offset, size_t len) const;
+  // Reads up to `len` bytes at logical offset `offset`; empty view when the
+  // offset is at/after end_offset(). The view aliases chunk memory and is
+  // valid for the life of the chunk (pin arena() to outlive the mutex).
+  Result<std::string_view> ReadAt(uint64_t offset, size_t len) const;
 
   // --- Batch operators (DESIGN.md §7) ---------------------------------------
 
@@ -68,15 +76,21 @@ class FileChunk : public BlockContent {
   // Reads each (offset, len) range under one operator; per-range results
   // follow ReadAt semantics (short/empty at EOF, error below chunk base).
   void ReadVec(const std::vector<std::pair<uint64_t, size_t>>& ranges,
-               std::vector<Result<std::string>>* out) const;
+               std::vector<Result<std::string_view>>* out) const;
 
   size_t capacity() const { return capacity_; }
-  size_t FreeBytes() const { return capacity_ - data_.size(); }
+  size_t FreeBytes() const { return capacity_ - size_; }
+
+  // The chunk's slab arena, for ArenaPin at the client boundary.
+  const std::shared_ptr<SlabArena>& arena() const { return arena_; }
 
  private:
   const size_t capacity_;
   const uint64_t base_offset_;
-  std::string data_;
+  // One capacity-sized slab allocation; size_ is the write cursor.
+  std::shared_ptr<SlabArena> arena_;
+  char* buf_;
+  size_t size_ = 0;
   bool capped_ = false;
 };
 

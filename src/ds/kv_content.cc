@@ -19,7 +19,7 @@ KvShard::KvShard(size_t capacity, uint32_t slot_lo, uint32_t slot_hi,
 std::string KvShard::Serialize() const {
   std::string out;
   PutU32(&out, static_cast<uint32_t>(map_.size()));
-  map_.ForEach([&out](const std::string& k, const std::string& v) {
+  map_.ForEach([&out](std::string_view k, std::string_view v) {
     PutString(&out, k);
     PutString(&out, v);
   });
@@ -59,20 +59,21 @@ Status KvShard::Put(std::string_view key, std::string_view value) {
     used_bytes_ += key.size() + value.size() + kPerPairOverhead;
   }
   NoteDirty(key, slot);
+  MaybeCompact();
   return Status::Ok();
 }
 
-Result<std::string> KvShard::Get(std::string_view key) const {
+Result<std::string_view> KvShard::Get(std::string_view key) const {
   if (!OwnsKey(key)) {
     return StaleMetadata("slot " +
                          std::to_string(KvSlotOf(key, total_slots_)) +
                          " not owned by this shard");
   }
-  std::optional<std::string> v = map_.Get(key);
+  std::optional<std::string_view> v = map_.Get(key);
   if (!v.has_value()) {
     return NotFound("no such key");
   }
-  return std::move(*v);
+  return *v;
 }
 
 Status KvShard::Delete(std::string_view key) {
@@ -87,6 +88,7 @@ Status KvShard::Delete(std::string_view key) {
   }
   used_bytes_ -= *erased + kPerPairOverhead;
   NoteDirty(key, slot);
+  MaybeCompact();
   return Status::Ok();
 }
 
@@ -101,7 +103,7 @@ void KvShard::MultiPut(
 }
 
 void KvShard::MultiGet(const std::vector<std::string_view>& keys,
-                       std::vector<Result<std::string>>* out) const {
+                       std::vector<Result<std::string_view>>* out) const {
   out->clear();
   out->reserve(keys.size());
   for (const std::string_view key : keys) {
@@ -126,16 +128,20 @@ size_t KvShard::SplitOff(
   // reserve beats log2(moved) relocations of string pairs.
   out->reserve(out->size() + map_.size());
   const size_t moved = map_.ExtractIf(
-      [&](const std::string& key) {
+      [&](std::string_view key) {
         const uint32_t slot = KvSlotOf(key, total);
         return slot >= from_slot && slot < slot_hi_;
       },
-      [&](std::string&& k, std::string&& v) {
+      [&](std::string_view k, std::string_view v) {
         moved_bytes += k.size() + v.size() + kPerPairOverhead;
-        out->emplace_back(std::move(k), std::move(v));
+        // Cross-block move buffer owns its bytes: the source arena compacts
+        // after the split, so the views cannot travel.
+        CopyMeter::Add(k.size() + v.size());
+        out->emplace_back(std::string(k), std::string(v));
       });
   used_bytes_ -= moved_bytes;
   slot_hi_ = from_slot;
+  MaybeCompact();
   return moved;
 }
 
@@ -166,11 +172,11 @@ Status KvShard::BeginMigration(uint32_t from_slot) {
   migrate_from_ = from_slot;
   snapshot_keys_.clear();
   snapshot_keys_.reserve(map_.size());
-  map_.ForEach([&](const std::string& k, const std::string& v) {
+  map_.ForEach([&](std::string_view k, std::string_view v) {
     (void)v;
     const uint32_t slot = KvSlotOf(k, total_slots_);
     if (slot >= from_slot && slot < slot_hi_) {
-      snapshot_keys_.push_back(k);
+      snapshot_keys_.emplace_back(k);
     }
   });
   dirty_.clear();
@@ -184,12 +190,13 @@ bool KvShard::SplitOffChunk(
   while (*cursor < snapshot_keys_.size() && bytes < max_bytes) {
     const std::string& key = snapshot_keys_[*cursor];
     ++*cursor;
-    std::optional<std::string> value = map_.Get(key);
+    std::optional<std::string_view> value = map_.Get(key);
     if (!value.has_value()) {
       continue;  // Deleted since the snapshot; nothing to copy.
     }
     bytes += key.size() + value->size() + kPerPairOverhead;
-    out->emplace_back(key, std::move(*value));
+    CopyMeter::Add(value->size());
+    out->emplace_back(key, std::string(*value));
   }
   return *cursor >= snapshot_keys_.size();
 }
@@ -207,6 +214,9 @@ size_t KvShard::FinishMigration() {
   const size_t dropped = DropRange(migrate_from_, slot_hi_);
   slot_hi_ = migrate_from_;
   AbortMigration();  // Clears snapshot + dirty state.
+  // The migrated range's bytes are all garbage now; rewrite the survivors
+  // into fresh slabs so the old chunks recycle (pinned readers excepted).
+  MaybeCompact();
   return dropped;
 }
 
@@ -228,15 +238,13 @@ Status KvShard::MoveInPairs(
                              std::to_string(hi) + ")");
     }
   }
-  for (auto& [k, v] : *pairs) {
-    const size_t key_size = k.size();
-    const size_t value_size = v.size();
-    const std::optional<size_t> old = map_.PutOwned(std::move(k), std::move(v));
+  for (const auto& [k, v] : *pairs) {
+    const std::optional<size_t> old = map_.Put(k, v);
     if (old.has_value()) {
-      used_bytes_ += value_size;
+      used_bytes_ += v.size();
       used_bytes_ -= *old;
     } else {
-      used_bytes_ += key_size + value_size + kPerPairOverhead;
+      used_bytes_ += k.size() + v.size() + kPerPairOverhead;
     }
   }
   pairs->clear();
@@ -255,11 +263,11 @@ bool KvShard::EraseMigrated(std::string_view key) {
 size_t KvShard::DropRange(uint32_t lo, uint32_t hi) {
   size_t dropped_bytes = 0;
   const size_t dropped = map_.ExtractIf(
-      [&](const std::string& key) {
+      [&](std::string_view key) {
         const uint32_t slot = KvSlotOf(key, total_slots_);
         return slot >= lo && slot < hi;
       },
-      [&](std::string&& k, std::string&& v) {
+      [&](std::string_view k, std::string_view v) {
         dropped_bytes += k.size() + v.size() + kPerPairOverhead;
       });
   used_bytes_ -= dropped_bytes;
@@ -280,6 +288,20 @@ Status KvShard::ExtendRange(uint32_t other_lo, uint32_t other_hi) {
 void KvShard::NoteDirty(std::string_view key, uint32_t slot) {
   if (migrating_ && slot >= migrate_from_ && slot < slot_hi_) {
     dirty_.insert(std::string(key));
+  }
+}
+
+void KvShard::MaybeCompact() {
+  // Threshold: more garbage than live data and at least one chunk's worth
+  // of stored bytes, so small shards never churn. Skipped mid-migration —
+  // see the header comment.
+  if (migrating_) {
+    return;
+  }
+  const auto& arena = map_.arena();
+  if (arena->stored_bytes() >= SlabArena::kDefaultChunkBytes &&
+      map_.GarbageRatio() > 0.5) {
+    map_.CompactArena();
   }
 }
 

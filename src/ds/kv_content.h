@@ -8,6 +8,13 @@
 // its slots into an adjacent block. A shard rejects keys outside its range
 // with kStaleMetadata so clients holding an outdated partition map refresh
 // and re-route.
+//
+// Pair bytes live in a per-shard SlabArena (shared with the cuckoo map);
+// read operators return string_views into it. The views are valid under the
+// owning block's mutex, or across an unlock if the reader took an ArenaPin
+// on arena() first (DESIGN.md §11). Mutating operators may compact the
+// arena when its garbage ratio gets high; pinned readers keep the retired
+// slabs alive until they finish.
 
 #ifndef SRC_DS_KV_CONTENT_H_
 #define SRC_DS_KV_CONTENT_H_
@@ -19,6 +26,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/block/arena.h"
 #include "src/block/block.h"
 #include "src/common/status.h"
 #include "src/ds/cuckoo_hash.h"
@@ -53,8 +61,9 @@ class KvShard : public BlockContent {
   // owned by this shard.
   Status Put(std::string_view key, std::string_view value);
 
-  // readOp.
-  Result<std::string> Get(std::string_view key) const;
+  // readOp. The returned view aliases shard arena memory — copy it out
+  // before releasing the block mutex, or hold an ArenaPin on arena().
+  Result<std::string_view> Get(std::string_view key) const;
 
   // deleteOp.
   Status Delete(std::string_view key);
@@ -64,12 +73,13 @@ class KvShard : public BlockContent {
   // Each applies a whole group under the caller's single block-lock hold and
   // reports per-item outcomes aligned with the input; an item's status is
   // exactly what the corresponding single op would have returned, so a batch
-  // never reports success for an item that was not applied.
+  // never reports success for an item that was not applied. MultiGet results
+  // are arena views with the same lifetime rule as Get.
   void MultiPut(
       const std::vector<std::pair<std::string_view, std::string_view>>& pairs,
       std::vector<Status>* statuses);
   void MultiGet(const std::vector<std::string_view>& keys,
-                std::vector<Result<std::string>>* out) const;
+                std::vector<Result<std::string_view>>* out) const;
   void MultiDelete(const std::vector<std::string_view>& keys,
                    std::vector<Status>* statuses);
 
@@ -85,9 +95,14 @@ class KvShard : public BlockContent {
   size_t pair_count() const { return map_.size(); }
   size_t capacity() const { return capacity_; }
 
+  // The shard's slab arena. Readers that must keep views past the block
+  // mutex take ArenaPin(arena()) while still holding the lock.
+  const std::shared_ptr<SlabArena>& arena() const { return map_.arena(); }
+
   // Repartitioning support: removes every pair whose slot is in
-  // [from_slot, slot_hi) and appends it to `out`, then shrinks this shard's
-  // range to [slot_lo, from_slot). Returns pairs moved.
+  // [from_slot, slot_hi) and appends it to `out` (copied out of the pinned
+  // slabs — the move buffer must own its bytes across blocks), then shrinks
+  // this shard's range to [slot_lo, from_slot). Returns pairs moved.
   size_t SplitOff(uint32_t from_slot,
                   std::vector<std::pair<std::string, std::string>>* out);
 
@@ -126,7 +141,9 @@ class KvShard : public BlockContent {
   std::vector<std::string> TakeDirtyKeys();
 
   // Drops every pair in [migrate_from, slot_hi), shrinks the owned range to
-  // [slot_lo, migrate_from) and ends the migration. Returns pairs dropped.
+  // [slot_lo, migrate_from) and ends the migration. Compacts the arena so
+  // the migrated range's slabs are recycled for future inserts. Returns
+  // pairs dropped.
   size_t FinishMigration();
 
   // Ends the migration leaving the shard untouched (the source kept all its
@@ -152,15 +169,21 @@ class KvShard : public BlockContent {
   // Commits ownership of an adjacent slot range (migration final hold).
   Status ExtendRange(uint32_t other_lo, uint32_t other_hi);
 
-  // All pairs (for tests and flush verification).
-  void ForEach(const std::function<void(const std::string&,
-                                        const std::string&)>& fn) const {
+  // All pairs as arena views (for tests and flush verification).
+  void ForEach(const std::function<void(std::string_view, std::string_view)>&
+                   fn) const {
     map_.ForEach(fn);
   }
 
  private:
   // Records `key` in the dirty set when a migration is tracking its slot.
   void NoteDirty(std::string_view key, uint32_t slot);
+
+  // Compacts the arena when mostly garbage (overwrite/delete churn, dropped
+  // ranges). Never runs during a migration — SplitOffChunk's snapshot
+  // cursor and the repartitioner's pinned copy-outs expect stable slabs
+  // between chunk holds; FinishMigration compacts once at the end.
+  void MaybeCompact();
 
   const size_t capacity_;
   uint32_t slot_lo_;

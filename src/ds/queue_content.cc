@@ -13,7 +13,7 @@ std::string QueueSegment::Serialize() const {
   PutU64(&out, appended_bytes_);
   PutU32(&out, sealed_ ? 1 : 0);
   PutU32(&out, static_cast<uint32_t>(items_.size()));
-  for (const auto& item : items_) {
+  for (const std::string_view item : items_) {
     PutString(&out, item);
   }
   return out;
@@ -30,33 +30,37 @@ Result<std::unique_ptr<QueueSegment>> QueueSegment::Deserialize(
   seg->sealed_ = sealed != 0;
   for (uint32_t i = 0; i < count; ++i) {
     JIFFY_ASSIGN_OR_RETURN(std::string item, reader.ReadString());
-    seg->items_.push_back(std::move(item));
+    // Direct arena store: appended_bytes_ was restored above (it already
+    // accounts for items dequeued before the flush).
+    seg->items_.push_back(seg->arena_->Store(item));
   }
   return seg;
 }
 
-bool QueueSegment::Enqueue(std::string&& item) {
+bool QueueSegment::Enqueue(std::string_view item) {
   const size_t charge = item.size() + kPerItemOverhead;
   if (appended_bytes_ + charge > capacity_) {
     sealed_ = true;
     return false;
   }
   appended_bytes_ += charge;
-  items_.push_back(std::move(item));
+  items_.push_back(arena_->Store(item));
   return true;
 }
 
-Result<std::string> QueueSegment::Dequeue() {
+Result<std::string_view> QueueSegment::Dequeue() {
   if (items_.empty()) {
     return NotFound("queue segment empty");
   }
-  std::string item = std::move(items_.front());
+  const std::string_view item = items_.front();
   items_.pop_front();
+  // The bytes stay in the arena (append-bounded lifecycle), so the view is
+  // valid even though the item left the deque.
   return item;
 }
 
 void QueueSegment::CacheDelivery(uint64_t token,
-                                 std::vector<std::string> delivered) {
+                                 std::vector<std::string_view> delivered) {
   redeliveries_.emplace(token, std::move(delivered));
   redelivery_order_.push_back(token);
   while (redelivery_order_.size() > kRedeliveryWindow) {
@@ -65,7 +69,7 @@ void QueueSegment::CacheDelivery(uint64_t token,
   }
 }
 
-Result<std::string> QueueSegment::DequeueWithToken(uint64_t token) {
+Result<std::string_view> QueueSegment::DequeueWithToken(uint64_t token) {
   auto it = redeliveries_.find(token);
   if (it != redeliveries_.end()) {
     // The client already consumed under this token; hand back the same item.
@@ -79,13 +83,13 @@ Result<std::string> QueueSegment::DequeueWithToken(uint64_t token) {
 }
 
 size_t QueueSegment::DequeueBatchWithToken(uint64_t token, size_t max_n,
-                                           std::vector<std::string>* out) {
+                                           std::vector<std::string_view>* out) {
   auto it = redeliveries_.find(token);
   if (it != redeliveries_.end()) {
     out->insert(out->end(), it->second.begin(), it->second.end());
     return it->second.size();
   }
-  std::vector<std::string> popped;
+  std::vector<std::string_view> popped;
   const size_t n = DequeueBatch(max_n, &popped);
   if (n > 0) {
     out->insert(out->end(), popped.begin(), popped.end());
@@ -94,11 +98,11 @@ size_t QueueSegment::DequeueBatchWithToken(uint64_t token, size_t max_n,
   return n;
 }
 
-size_t QueueSegment::EnqueueBatch(std::vector<std::string>* items,
+size_t QueueSegment::EnqueueBatch(const std::vector<std::string_view>& items,
                                   size_t from) {
   size_t accepted = 0;
-  for (size_t i = from; i < items->size(); ++i) {
-    if (!Enqueue(std::move((*items)[i]))) {
+  for (size_t i = from; i < items.size(); ++i) {
+    if (!Enqueue(items[i])) {
       break;
     }
     ++accepted;
@@ -106,16 +110,17 @@ size_t QueueSegment::EnqueueBatch(std::vector<std::string>* items,
   return accepted;
 }
 
-size_t QueueSegment::DequeueBatch(size_t max_n, std::vector<std::string>* out) {
+size_t QueueSegment::DequeueBatch(size_t max_n,
+                                  std::vector<std::string_view>* out) {
   const size_t n = std::min(max_n, items_.size());
   for (size_t i = 0; i < n; ++i) {
-    out->push_back(std::move(items_.front()));
+    out->push_back(items_.front());
     items_.pop_front();
   }
   return n;
 }
 
-Result<std::string> QueueSegment::Peek() const {
+Result<std::string_view> QueueSegment::Peek() const {
   if (items_.empty()) {
     return NotFound("queue segment empty");
   }

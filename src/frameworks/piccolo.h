@@ -21,9 +21,9 @@
 namespace jiffy {
 
 // Resolves a concurrent update into the stored value (old is "" when the
-// key is absent).
-using AccumulatorFn = std::function<std::string(const std::string& old_value,
-                                                const std::string& update)>;
+// key is absent). The views alias block/caller memory — valid only during
+// the call (same contract as KvClient::MergeFn, which this aliases).
+using AccumulatorFn = KvClient::MergeFn;
 
 // A shared Piccolo table backed by a Jiffy KV-store.
 class PiccoloTable {

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -74,6 +75,38 @@ struct NetworkModel {
   // 10 Gbps, small jitter.
   static NetworkModel Ec2IntraDc();
 };
+
+// --- Wire-frame accounting (DESIGN.md §11) ----------------------------------
+//
+// Payloads stay as non-owning views end-to-end in-process; what crosses the
+// modeled wire is a frame: a fixed 64-byte header per exchange, 8 bytes of
+// per-op framing (opcode + length word) inside a batch, plus the payload
+// bytes. These helpers are the single definition of that layout — clients
+// size req/resp frames from spans of views instead of materializing
+// concatenated request strings, so the serialization the old code paid per
+// batch is pure arithmetic here.
+inline constexpr size_t kFrameHeaderBytes = 64;
+inline constexpr size_t kPerOpFrameBytes = 8;
+
+// Frame carrying a single op with `payload` bytes (the header subsumes the
+// lone op's framing).
+constexpr size_t FrameBytes(size_t payload) {
+  return kFrameHeaderBytes + payload;
+}
+
+// Frame carrying `n_ops` batched ops totalling `payload` bytes.
+constexpr size_t BatchFrameBytes(size_t n_ops, size_t payload) {
+  return kFrameHeaderBytes + payload + kPerOpFrameBytes * n_ops;
+}
+
+// Summed length of a span of operand views (payload size for a frame).
+inline size_t PayloadBytes(const std::vector<std::string_view>& views) {
+  size_t total = 0;
+  for (const std::string_view v : views) {
+    total += v.size();
+  }
+  return total;
+}
 
 // Fault-injection plan for a Transport (DESIGN.md §10). Probabilities are
 // evaluated per wire exchange from a dedicated seeded rng, so a given

@@ -88,7 +88,7 @@ TEST_F(BatchOpsBigBlockTest, MultiGetReportsPerItemHitAndMiss) {
   ASSERT_TRUE(client_->CreateAddrPrefix("/job/kv", {}).ok());
   auto kv = client_->OpenKv("/job/kv");
   ASSERT_TRUE((*kv)->Put("present", "x").ok());
-  auto results = (*kv)->MultiGet({"present", "absent", "present"});
+  auto results = (*kv)->MultiGet(std::vector<std::string_view>{"present", "absent", "present"});
   ASSERT_EQ(results.size(), 3u);
   EXPECT_TRUE(results[0].ok());
   EXPECT_EQ(*results[0], "x");
@@ -101,7 +101,7 @@ TEST_F(BatchOpsBigBlockTest, MultiDeleteReportsPerItemStatus) {
   auto kv = client_->OpenKv("/job/kv");
   ASSERT_TRUE((*kv)->Put("a", "1").ok());
   ASSERT_TRUE((*kv)->Put("b", "2").ok());
-  auto statuses = (*kv)->MultiDelete({"a", "missing", "b"});
+  auto statuses = (*kv)->MultiDelete(std::vector<std::string_view>{"a", "missing", "b"});
   ASSERT_EQ(statuses.size(), 3u);
   EXPECT_TRUE(statuses[0].ok());
   EXPECT_EQ(statuses[1].code(), StatusCode::kNotFound);
@@ -126,7 +126,7 @@ TEST_F(BatchOpsTest, MultiPutSpansMultipleBlocks) {
   }
   ASSERT_TRUE((*kv)->RefreshMap().ok());
   EXPECT_GT((*kv)->CachedMap().entries.size(), 1u);
-  auto results = (*kv)->MultiGet({"key0", "key150", "key299"});
+  auto results = (*kv)->MultiGet(std::vector<std::string_view>{"key0", "key150", "key299"});
   for (const auto& r : results) {
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r->size(), 32u);
@@ -210,10 +210,10 @@ TEST_F(BatchOpsBigBlockTest, EmptyBatchesAreNoOps) {
   auto q = client_->OpenQueue("/job/q");
   Transport* net = cluster_->data_transport();
   const uint64_t rpcs0 = net->total_rpcs();
-  EXPECT_TRUE((*kv)->MultiPut({}).empty());
-  EXPECT_TRUE((*kv)->MultiGet({}).empty());
-  EXPECT_TRUE((*kv)->MultiDelete({}).empty());
-  EXPECT_TRUE((*q)->EnqueueBatch({}).ok());
+  EXPECT_TRUE((*kv)->MultiPut(std::vector<std::pair<std::string_view, std::string_view>>{}).empty());
+  EXPECT_TRUE((*kv)->MultiGet(std::vector<std::string_view>{}).empty());
+  EXPECT_TRUE((*kv)->MultiDelete(std::vector<std::string_view>{}).empty());
+  EXPECT_TRUE((*q)->EnqueueBatch(std::vector<std::string_view>{}).ok());
   auto drained = (*q)->DequeueBatch(0);
   ASSERT_TRUE(drained.ok());
   EXPECT_TRUE(drained->empty());

@@ -168,7 +168,7 @@ TEST(KvShardTest, SplitOffMovesUpperSlots) {
     (void)v;
     EXPECT_GE(KvSlotOf(k, 1024), 512u);
   }
-  shard.ForEach([](const std::string& k, const std::string& v) {
+  shard.ForEach([](std::string_view k, std::string_view v) {
     (void)v;
     EXPECT_LT(KvSlotOf(k, 1024), 512u);
   });

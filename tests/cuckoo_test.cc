@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "src/common/random.h"
 #include "src/ds/cuckoo_hash.h"
@@ -41,7 +43,7 @@ TEST(CuckooTest, GetMissing) {
 }
 
 TEST(CuckooTest, GrowsPastInitialCapacity) {
-  CuckooHashMap map(2);  // 2 buckets × 4 slots = 8 entries before pressure.
+  CuckooHashMap map(nullptr, 2);  // 2 buckets × 4 slots = 8 slots before pressure.
   for (int i = 0; i < 1000; ++i) {
     map.Put("key" + std::to_string(i), "value" + std::to_string(i));
   }
@@ -59,7 +61,7 @@ TEST(CuckooTest, ForEachVisitsAll) {
     map.Put("k" + std::to_string(i), "v");
   }
   size_t visited = 0;
-  map.ForEach([&](const std::string& k, const std::string& v) {
+  map.ForEach([&](std::string_view k, std::string_view v) {
     EXPECT_FALSE(k.empty());
     EXPECT_EQ(v, "v");
     visited++;
@@ -74,9 +76,9 @@ TEST(CuckooTest, ExtractIfRemovesMatching) {
   }
   std::map<std::string, std::string> extracted;
   const size_t n = map.ExtractIf(
-      [](const std::string& k) { return k.back() == '7'; },
-      [&](std::string&& k, std::string&& v) {
-        extracted.emplace(std::move(k), std::move(v));
+      [](std::string_view k) { return k.back() == '7'; },
+      [&](std::string_view k, std::string_view v) {
+        extracted.emplace(std::string(k), std::string(v));
       });
   EXPECT_EQ(n, 10u);  // k7, k17, ..., k97.
   EXPECT_EQ(map.size(), 90u);
@@ -90,7 +92,7 @@ class CuckooPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CuckooPropertyTest, AgreesWithReferenceModel) {
   Rng rng(GetParam());
-  CuckooHashMap map(4);
+  CuckooHashMap map(nullptr, 4);
   std::map<std::string, std::string> model;
   for (int i = 0; i < 20000; ++i) {
     const std::string key = "key" + std::to_string(rng.NextBelow(500));
@@ -119,8 +121,62 @@ TEST_P(CuckooPropertyTest, AgreesWithReferenceModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CuckooPropertyTest,
                          ::testing::Values(1, 2, 3, 17, 99));
 
+TEST(CuckooTest, ViewsStableAcrossRehashAndKicks) {
+  CuckooHashMap map(nullptr, 2);
+  map.Put("pinned-key", "pinned-value");
+  const std::string_view v = map.Get("pinned-key").value();
+  const char* data = v.data();
+  // Force many rehashes and kick chains; the record bytes live in the arena
+  // and never move, so the view stays byte-identical.
+  for (int i = 0; i < 5000; ++i) {
+    map.Put("filler" + std::to_string(i), "x");
+  }
+  EXPECT_EQ(v, "pinned-value");
+  EXPECT_EQ(v.data(), data);
+}
+
+TEST(CuckooTest, OverwriteInPlaceWhenUnpinned) {
+  auto arena = std::make_shared<SlabArena>();
+  CuckooHashMap map(arena);
+  const std::string value(1024, 'v');
+  // With no pins outstanding, same-size overwrites rewrite the record's
+  // bytes in place: no garbage, no footprint growth, stable data pointer.
+  map.Put("key", value);
+  const char* data = map.Get("key").value().data();
+  for (int round = 0; round < 200; ++round) {
+    map.Put("key", std::string(1024, 'a' + (round % 26)));
+  }
+  EXPECT_EQ(map.GarbageRatio(), 0.0);
+  EXPECT_EQ(map.Get("key").value(), std::string(1024, 'a' + (199 % 26)));
+  EXPECT_EQ(map.Get("key").value().data(), data);
+  EXPECT_LE(arena->stored_bytes(), 2048u);
+}
+
+TEST(CuckooTest, OverwritesAccrueGarbageAndCompactionReclaims) {
+  auto arena = std::make_shared<SlabArena>();
+  CuckooHashMap map(arena);
+  const std::string value(1024, 'v');
+  // A pinned reader forces the append path: its views must stay immutable,
+  // so every overwrite leaves the old bytes behind as garbage.
+  ArenaPin pin(arena);
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      map.Put("key" + std::to_string(i), value);
+    }
+  }
+  // 199 of 200 rounds are dead bytes.
+  EXPECT_GT(map.GarbageRatio(), 0.9);
+  pin.Release();
+  map.CompactArena();
+  EXPECT_EQ(map.GarbageRatio(), 0.0);
+  EXPECT_LT(arena->live_bytes(), 16u * 1024u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(map.Get("key" + std::to_string(i)).value(), value);
+  }
+}
+
 TEST(CuckooTest, LoadFactorReasonableAfterHeavyInsert) {
-  CuckooHashMap map(2);
+  CuckooHashMap map(nullptr, 2);
   for (int i = 0; i < 5000; ++i) {
     map.Put(std::to_string(i), "x");
   }

@@ -321,9 +321,10 @@ TEST_F(FrameworksTest, DataflowVertexErrorPropagates) {
 
 TEST_F(FrameworksTest, PiccoloAccumulatorResolvesConcurrentUpdates) {
   PiccoloController piccolo(client_.get(), "pic1");
-  auto sum_acc = [](const std::string& old_value, const std::string& update) {
-    const uint64_t a = old_value.empty() ? 0 : std::stoull(old_value);
-    return std::to_string(a + std::stoull(update));
+  auto sum_acc = [](std::string_view old_value, std::string_view update) {
+    const uint64_t a =
+        old_value.empty() ? 0 : std::stoull(std::string(old_value));
+    return std::to_string(a + std::stoull(std::string(update)));
   };
   auto table = piccolo.CreateTable("counts", sum_acc);
   ASSERT_TRUE(table.ok()) << table.status();
@@ -345,8 +346,10 @@ TEST_F(FrameworksTest, PiccoloAccumulatorResolvesConcurrentUpdates) {
 }
 
 TEST_F(FrameworksTest, PiccoloCheckpointRestore) {
-  auto acc = [](const std::string& old_value, const std::string& update) {
-    return old_value.empty() ? update : old_value + "," + update;
+  auto acc = [](std::string_view old_value, std::string_view update) {
+    return old_value.empty()
+               ? std::string(update)
+               : std::string(old_value) + "," + std::string(update);
   };
   {
     PiccoloController piccolo(client_.get(), "pic2");
