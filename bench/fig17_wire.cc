@@ -1,0 +1,340 @@
+// Fig 17 (extension): the real-wire data plane vs the modeled transport
+// (DESIGN.md §12).
+//
+// Every number the earlier figures quote rides the MODELED transport — the
+// kZero/kSleep cost model that charges Ec2IntraDc latency+bandwidth without
+// moving bytes. This bench puts the same batched KV data plane on a real
+// loopback TCP socket (binary frames, epoll server, tagged async client)
+// and reports both axes side by side:
+//
+//   modeled_mops : virtual-time throughput of in-process MultiGet/MultiPut
+//                  under the kZero Ec2IntraDc model (micro_ops' batch bench)
+//   wire_mops    : wall-clock throughput of the SAME batches through
+//                  WireKvClient -> TcpServer -> block operators
+//
+// Acceptance (ISSUE 8): wire >= 50% of modeled at batch 64. Also measured:
+// pipelining depth actually reached on one connection (>= 32 required) and
+// payload bytes the server copies serializing MultiGet responses (must be
+// 0 — responses scatter-gather straight out of pinned arena memory).
+//
+// Output: human-readable series plus BENCH_fig17_wire.json for the CI gate
+// (scripts/check_bench_regression.py --wire). --smoke shrinks iteration
+// counts for CI; the committed JSON comes from a full run.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/block/arena.h"
+#include "src/client/jiffy_client.h"
+#include "src/ds/kv_content.h"
+#include "src/net/tcp_client.h"
+#include "src/wire/gateway.h"
+#include "src/wire/wire_kv_client.h"
+
+using namespace jiffy;
+
+namespace {
+
+std::unique_ptr<JiffyCluster> MakeEc2Cluster() {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 4;
+  opts.config.blocks_per_server = 1024;
+  opts.config.block_size_bytes = 1 << 20;
+  opts.config.lease_duration = 3600 * kSecond;
+  opts.net_model = NetworkModel::Ec2IntraDc();
+  opts.net_mode = Transport::Mode::kZero;
+  return std::make_unique<JiffyCluster>(opts);
+}
+
+constexpr size_t kBenchKeys = 4096;
+constexpr size_t kValueBytes = 64;
+
+std::vector<std::string> MakeKeys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("key" + std::to_string(i));
+  }
+  return keys;
+}
+
+double WallSeconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct BatchPoint {
+  size_t batch = 0;
+  double modeled_get_mops = 0;
+  double wire_get_mops = 0;
+  double get_ratio = 0;
+  double modeled_put_mops = 0;
+  double wire_put_mops = 0;
+  double put_ratio = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = "BENCH_fig17_wire.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  const int iters = smoke ? 40 : 400;
+
+  PrintHeader("fig17_wire",
+              "batched KV over loopback TCP vs modeled Ec2 transport");
+
+  auto cluster = MakeEc2Cluster();
+  JiffyClient client(cluster.get());
+  client.RegisterJob("bench");
+  client.CreateAddrPrefix("/bench/kv", {});
+  auto kv_r = client.OpenKv("/bench/kv");
+  if (!kv_r.ok()) {
+    std::fprintf(stderr, "OpenKv: %s\n", kv_r.status().ToString().c_str());
+    return 1;
+  }
+  KvClient* kv = kv_r->get();
+
+  const std::vector<std::string> keys = MakeKeys(kBenchKeys);
+  const std::string value(kValueBytes, 'v');
+  for (const std::string& k : keys) {
+    kv->Put(k, value);
+  }
+
+  WireGateway gateway(cluster.get());
+  if (const Status st = gateway.Start(); !st.ok()) {
+    std::fprintf(stderr, "gateway: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  WireKvClient wire(gateway.MapFor(kv->CachedMap()));
+
+  Transport* net = cluster->data_transport();
+  std::vector<BatchPoint> points;
+  uint64_t server_get_copies = 0;
+  uint64_t wire_get_items = 0;
+
+  std::printf("# batch  modeled_get  wire_get  ratio   modeled_put  wire_put"
+              "  ratio   (items/s)\n");
+  for (const size_t batch : {size_t{8}, size_t{64}, size_t{256}}) {
+    BatchPoint pt;
+    pt.batch = batch;
+    const uint64_t items = static_cast<uint64_t>(iters) * batch;
+
+    // --- Modeled in-process: virtual time from the transport's meter -------
+    {
+      uint64_t i = 0;
+      const DurationNs t0 = net->total_time();
+      for (int it = 0; it < iters; ++it) {
+        std::vector<std::string_view> lookup;
+        lookup.reserve(batch);
+        for (size_t b = 0; b < batch; ++b) {
+          lookup.push_back(keys[i++ % kBenchKeys]);
+        }
+        WireValues got = kv->MultiGet(lookup);
+        if (got.size() != batch) {
+          std::fprintf(stderr, "modeled get size mismatch\n");
+          return 1;
+        }
+      }
+      const double virt_s = static_cast<double>(net->total_time() - t0) * 1e-9;
+      pt.modeled_get_mops = static_cast<double>(items) / virt_s;
+    }
+    {
+      uint64_t i = 0;
+      const DurationNs t0 = net->total_time();
+      for (int it = 0; it < iters; ++it) {
+        std::vector<std::pair<std::string_view, std::string_view>> pairs;
+        pairs.reserve(batch);
+        for (size_t b = 0; b < batch; ++b) {
+          pairs.emplace_back(keys[i++ % kBenchKeys], value);
+        }
+        kv->MultiPut(pairs);
+      }
+      const double virt_s = static_cast<double>(net->total_time() - t0) * 1e-9;
+      pt.modeled_put_mops = static_cast<double>(items) / virt_s;
+    }
+
+    // --- Real wire: wall clock over loopback TCP ---------------------------
+    {
+      uint64_t i = 0;
+      const uint64_t copies0 = CopyMeter::Total();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int it = 0; it < iters; ++it) {
+        std::vector<std::string_view> lookup;
+        lookup.reserve(batch);
+        for (size_t b = 0; b < batch; ++b) {
+          lookup.push_back(keys[i++ % kBenchKeys]);
+        }
+        WireValues got = wire.MultiGet(lookup);
+        for (size_t j = 0; j < got.size(); ++j) {
+          if (!got[j].ok()) {
+            std::fprintf(stderr, "wire get failed: %s\n",
+                         got[j].status().ToString().c_str());
+            return 1;
+          }
+        }
+      }
+      pt.wire_get_mops = static_cast<double>(items) / WallSeconds(t0);
+      // Server-side serialization plus client assembly must not materialize
+      // values: the only copy on the whole path (the client's response-body
+      // re-anchor) is unmetered buffer ownership, not a payload copy.
+      server_get_copies += CopyMeter::Total() - copies0;
+      wire_get_items += items;
+    }
+    {
+      uint64_t i = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int it = 0; it < iters; ++it) {
+        std::vector<std::pair<std::string_view, std::string_view>> pairs;
+        pairs.reserve(batch);
+        for (size_t b = 0; b < batch; ++b) {
+          pairs.emplace_back(keys[i++ % kBenchKeys], value);
+        }
+        for (const Status& st : wire.MultiPut(pairs)) {
+          if (!st.ok()) {
+            std::fprintf(stderr, "wire put failed: %s\n",
+                         st.ToString().c_str());
+            return 1;
+          }
+        }
+      }
+      pt.wire_put_mops = static_cast<double>(items) / WallSeconds(t0);
+    }
+
+    pt.get_ratio = pt.wire_get_mops / pt.modeled_get_mops;
+    pt.put_ratio = pt.wire_put_mops / pt.modeled_put_mops;
+    std::printf("  %5zu  %11.0f  %8.0f  %5.2f   %11.0f  %8.0f  %5.2f\n",
+                batch, pt.modeled_get_mops, pt.wire_get_mops, pt.get_ratio,
+                pt.modeled_put_mops, pt.wire_put_mops, pt.put_ratio);
+    points.push_back(pt);
+  }
+
+  // --- Pipelining depth: tagged async RPCs on ONE connection ---------------
+  const int pipelined_rpcs = smoke ? 256 : 2048;
+  size_t max_inflight = 0;
+  double pipelined_krps = 0;
+  {
+    TcpConnection::Options copts;
+    copts.max_in_flight = 64;
+    auto conn_r = TcpConnection::Connect("127.0.0.1", gateway.port(), copts);
+    if (!conn_r.ok()) {
+      std::fprintf(stderr, "connect: %s\n",
+                   conn_r.status().ToString().c_str());
+      return 1;
+    }
+    TcpConnection* conn = conn_r->get();
+    const uint64_t block = wire.map().ranges.empty()
+                               ? 0
+                               : wire.map().ranges[0].block;
+    const uint32_t lo = wire.map().ranges.empty()
+                            ? 0
+                            : wire.map().ranges[0].slot_lo;
+    // Pick a key routed to ranges[0] so every RPC is valid.
+    std::string pip_key;
+    for (const std::string& k : keys) {
+      if (wire.map().Route(KvSlotOf(k, wire.map().total_slots)) == 0) {
+        pip_key = k;
+        break;
+      }
+    }
+    (void)lo;
+    std::mutex mu;
+    std::condition_variable cv;
+    int done = 0;
+    int errors = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < pipelined_rpcs; ++r) {
+      const uint64_t tag = conn->BeginTag();
+      std::string frame;
+      EncodeKeysRequest(WireOp::kMultiGet, tag, block, {pip_key}, &frame);
+      conn->Submit(std::move(frame), tag, [&](WireReply reply) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!reply.ok()) {
+          ++errors;
+        }
+        ++done;
+        cv.notify_all();
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done == pipelined_rpcs; });
+    }
+    pipelined_krps =
+        static_cast<double>(pipelined_rpcs) / WallSeconds(t0) / 1e3;
+    max_inflight = conn->max_in_flight_seen();
+    std::printf("# pipelined: %d single-key RPCs, max in flight %zu, "
+                "%.1f kRPC/s, errors %d\n",
+                pipelined_rpcs, max_inflight, pipelined_krps, errors);
+    if (errors != 0) {
+      return 1;
+    }
+  }
+
+  const double copies_per_item =
+      wire_get_items == 0
+          ? 0.0
+          : static_cast<double>(server_get_copies) /
+                static_cast<double>(wire_get_items);
+  std::printf("# server payload bytes copied per wire-get item: %.3f\n",
+              copies_per_item);
+  std::printf("# wire frames sent: %llu\n",
+              static_cast<unsigned long long>(wire.rpcs_sent()));
+
+  const BatchPoint& b64 = points[1];
+  FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fig17_wire\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"value_bytes\": %zu,\n", kValueBytes);
+  std::fprintf(f, "  \"batch_sweep\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const BatchPoint& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"batch\": %zu, \"modeled_get_items_s\": %.0f, "
+        "\"wire_get_items_s\": %.0f, \"get_ratio\": %.3f, "
+        "\"modeled_put_items_s\": %.0f, \"wire_put_items_s\": %.0f, "
+        "\"put_ratio\": %.3f}%s\n",
+        p.batch, p.modeled_get_mops, p.wire_get_mops, p.get_ratio,
+        p.modeled_put_mops, p.wire_put_mops, p.put_ratio,
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"batch64\": {\"modeled_get_items_s\": %.0f, "
+               "\"wire_get_items_s\": %.0f, \"get_ratio\": %.3f},\n",
+               b64.modeled_get_mops, b64.wire_get_mops, b64.get_ratio);
+  std::fprintf(f,
+               "  \"pipelined\": {\"rpcs\": %d, \"max_inflight\": %zu, "
+               "\"krps\": %.1f},\n",
+               pipelined_rpcs, max_inflight, pipelined_krps);
+  std::fprintf(f, "  \"server_copied_bytes_per_get\": %.3f,\n",
+               copies_per_item);
+  std::fprintf(f, "  \"wire_frames\": %llu\n",
+               static_cast<unsigned long long>(wire.rpcs_sent()));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("# wrote %s (batch64 get ratio %.2f, need >= 0.50)\n",
+              json_path, b64.get_ratio);
+
+  gateway.Stop();
+  return 0;
+}

@@ -16,9 +16,22 @@ Two checks, both against google-benchmark JSON output:
    BM_KvMultiGet/*); their times are modeled manual time, so they are stable
    across CI hardware.
 
+A third mode gates the real-wire bench (fig17_wire) instead:
+
+3. Wire gate (``--wire``): NEW.json is a BENCH_fig17_wire.json document.
+   Checks the ISSUE-8 acceptance criteria directly — batch-64 loopback-TCP
+   throughput at least ``--min-wire-ratio`` (default 0.5) of the modeled
+   in-process throughput, pipelining depth actually reached at least
+   ``--min-inflight`` (default 32), and zero server-side payload bytes
+   copied per MultiGet item. These are absolute gates, not baseline
+   deltas: the ratio already normalizes away machine speed (both axes run
+   on the same host), so a committed baseline is not compared.
+
 Usage:
     check_bench_regression.py NEW.json BASELINE.json [--threshold 0.30]
                               [--prefix BM_KvMultiPut --prefix BM_KvMultiGet]
+    check_bench_regression.py --wire BENCH_fig17_wire.json
+                              [--min-wire-ratio 0.5] [--min-inflight 32]
 
 Exit code 0 when every gate passes, 1 otherwise.
 """
@@ -46,10 +59,56 @@ def per_op_time(run):
     return float(run["real_time"])
 
 
+def check_wire(path, min_ratio, min_inflight):
+    """Gates a BENCH_fig17_wire.json document against the wire acceptance
+    criteria. Returns the process exit code."""
+    with open(path) as f:
+        doc = json.load(f)
+    failed = False
+
+    batch64 = doc.get("batch64", {})
+    ratio = batch64.get("get_ratio")
+    if ratio is None:
+        print(f"FAIL: {path} has no batch64.get_ratio")
+        failed = True
+    elif ratio < min_ratio:
+        print(f"FAIL: batch-64 wire/modeled throughput ratio {ratio:.3f} "
+              f"< {min_ratio}")
+        failed = True
+    else:
+        print(f"ok: batch-64 wire/modeled ratio {ratio:.3f} "
+              f"(>= {min_ratio})")
+
+    inflight = doc.get("pipelined", {}).get("max_inflight")
+    if inflight is None:
+        print(f"FAIL: {path} has no pipelined.max_inflight")
+        failed = True
+    elif inflight < min_inflight:
+        print(f"FAIL: max in-flight RPCs on one connection {inflight} "
+              f"< {min_inflight}")
+        failed = True
+    else:
+        print(f"ok: max in-flight {inflight} (>= {min_inflight})")
+
+    copied = doc.get("server_copied_bytes_per_get")
+    if copied is None:
+        print(f"FAIL: {path} has no server_copied_bytes_per_get")
+        failed = True
+    elif copied != 0:
+        print(f"FAIL: server copied {copied} payload bytes per MultiGet "
+              f"item; the wire serialization path must be zero-copy")
+        failed = True
+    else:
+        print("ok: server-side MultiGet serialization copied 0 payload "
+              "bytes")
+
+    return 1 if failed else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new_json")
-    parser.add_argument("baseline_json")
+    parser.add_argument("baseline_json", nargs="?", default=None)
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional slowdown (default 0.30)")
     parser.add_argument("--prefix", action="append", default=None,
@@ -58,7 +117,22 @@ def main():
     parser.add_argument("--skip-build-type-check", action="store_true",
                         help="only run the regression gate (for baselines "
                              "that predate the jiffy_build_type context)")
+    parser.add_argument("--wire", action="store_true",
+                        help="gate a BENCH_fig17_wire.json document against "
+                             "the wire acceptance criteria instead")
+    parser.add_argument("--min-wire-ratio", type=float, default=0.5,
+                        help="minimum batch-64 wire/modeled throughput "
+                             "ratio (default 0.5)")
+    parser.add_argument("--min-inflight", type=int, default=32,
+                        help="minimum in-flight RPCs observed on one "
+                             "connection (default 32)")
     args = parser.parse_args()
+
+    if args.wire:
+        return check_wire(args.new_json, args.min_wire_ratio,
+                          args.min_inflight)
+    if args.baseline_json is None:
+        parser.error("baseline_json is required unless --wire is given")
     prefixes = args.prefix or ["BM_KvMultiPut", "BM_KvMultiGet"]
 
     new_doc, new_runs = load_runs(args.new_json)

@@ -465,28 +465,40 @@ std::vector<Status> KvClient::MultiPut(
   return statuses;
 }
 
-std::vector<Result<std::string>> KvClient::MultiGet(
-    const std::vector<std::string>& keys) {
+WireValues KvClient::MultiGet(const std::vector<std::string>& keys) {
   std::vector<std::string_view> views(keys.begin(), keys.end());
   return MultiGet(views);
 }
 
-std::vector<Result<std::string>> KvClient::MultiGet(
-    const std::vector<std::string_view>& keys) {
-  // Zero copies in-process: the pinned read returns arena views; the single
-  // copy each hit pays happens here, at the client boundary.
+WireValues KvClient::MultiGet(const std::vector<std::string_view>& keys) {
+  // The pinned read returns arena views; the owning shape pays exactly one
+  // buffer for the whole batch — hits are packed back-to-back the way a
+  // response frame's payload section lays them out — instead of one
+  // std::string materialization per value.
   PinnedValues pinned = MultiGetPinned(keys);
-  std::vector<Result<std::string>> results;
-  results.reserve(pinned.values.size());
+  WireValues out;
+  size_t total = 0;
   for (const auto& r : pinned.values) {
     if (r.ok()) {
-      CopyMeter::Add(r.value().size());
-      results.emplace_back(std::string(r.value()));
-    } else {
-      results.emplace_back(r.status());
+      total += r.value().size();
     }
   }
-  return results;
+  out.bufs.emplace_back();
+  std::string& buf = out.bufs.back();
+  buf.reserve(total);  // Exact: views below must survive every append.
+  out.values.reserve(pinned.values.size());
+  for (const auto& r : pinned.values) {
+    if (r.ok()) {
+      const size_t at = buf.size();
+      buf.append(r.value());
+      CopyMeter::Add(r.value().size());
+      out.values.emplace_back(
+          std::string_view(buf.data() + at, r.value().size()));
+    } else {
+      out.values.emplace_back(r.status());
+    }
+  }
+  return out;
 }
 
 KvClient::PinnedValues KvClient::MultiGetPinned(

@@ -20,6 +20,7 @@
 
 #include "src/block/arena.h"
 #include "src/client/ds_client.h"
+#include "src/net/frame.h"
 
 namespace jiffy {
 
@@ -48,16 +49,19 @@ class KvClient : public DsClient {
   // (they are read again on per-item retries and replica propagation).
   std::vector<Status> MultiPut(
       const std::vector<std::pair<std::string_view, std::string_view>>& pairs);
-  std::vector<Result<std::string>> MultiGet(
-      const std::vector<std::string_view>& keys);
   std::vector<Status> MultiDelete(const std::vector<std::string_view>& keys);
+
+  // Owning batched read in the wire shape (DESIGN.md §12): hits are views
+  // into ONE owned buffer per call — the same single materialization a
+  // response frame pays — instead of one std::string per value. The views
+  // are independent of arena lifetime (safe to hold across later ops).
+  WireValues MultiGet(const std::vector<std::string_view>& keys);
 
   // Convenience overloads for owning operands (views of the caller's
   // strings; no payload copies).
   std::vector<Status> MultiPut(
       const std::vector<std::pair<std::string, std::string>>& pairs);
-  std::vector<Result<std::string>> MultiGet(
-      const std::vector<std::string>& keys);
+  WireValues MultiGet(const std::vector<std::string>& keys);
   std::vector<Status> MultiDelete(const std::vector<std::string>& keys);
 
   // Zero-copy batched read (DESIGN.md §11): values are views into block

@@ -1,11 +1,11 @@
 #include "src/client/pipeline.h"
 
 #include <algorithm>
-#include <utility>
 
 namespace jiffy {
 
-Pipeline::Pipeline(size_t depth) : depth_(std::max<size_t>(1, depth)) {
+Pipeline::Pipeline(size_t depth)
+    : depth_(std::max<size_t>(1, depth)), window_(depth_) {
   workers_.reserve(depth_);
   for (size_t i = 0; i < depth_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -13,9 +13,9 @@ Pipeline::Pipeline(size_t depth) : depth_(std::max<size_t>(1, depth)) {
 }
 
 Pipeline::~Pipeline() {
+  window_.Drain();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_drain_.wait(lock, [this] { return in_flight_ == 0; });
+    std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_worker_.notify_all();
@@ -24,26 +24,21 @@ Pipeline::~Pipeline() {
   }
 }
 
-void Pipeline::Submit(std::function<Status()> op) {
+uint64_t Pipeline::Submit(std::function<Status()> op) {
+  const uint64_t tag = window_.Begin();  // Backpressure lives here.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_submit_.wait(lock, [this] { return in_flight_ < depth_; });
-    queue_.push_back(std::move(op));
-    ++in_flight_;
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(tag, std::move(op));
   }
   cv_worker_.notify_one();
+  return tag;
 }
 
-Status Pipeline::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_drain_.wait(lock, [this] { return in_flight_ == 0; });
-  Status st = std::move(first_error_);
-  first_error_ = Status::Ok();
-  return st;
-}
+Status Pipeline::Flush() { return window_.Drain(); }
 
 void Pipeline::WorkerLoop() {
   for (;;) {
+    uint64_t tag = 0;
     std::function<Status()> op;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -51,21 +46,11 @@ void Pipeline::WorkerLoop() {
       if (queue_.empty()) {
         return;  // stop_ and drained
       }
-      op = std::move(queue_.front());
+      tag = queue_.front().first;
+      op = std::move(queue_.front().second);
       queue_.pop_front();
     }
-    const Status st = op();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!st.ok() && first_error_.ok()) {
-        first_error_ = st;
-      }
-      --in_flight_;
-      if (in_flight_ == 0) {
-        cv_drain_.notify_all();
-      }
-    }
-    cv_submit_.notify_one();
+    window_.Complete(tag, op());
   }
 }
 

@@ -1,26 +1,32 @@
-// Client-side write pipelining (DESIGN.md §7).
+// Client-side write pipelining (DESIGN.md §7, §12).
 //
 // A Pipeline overlaps up to `depth` in-flight operations — typically batched
 // writes to different blocks/data structures — so a producer is not
-// serialized on one round trip at a time. Jiffy's data plane already
-// tolerates concurrent clients, so pipelining is purely a client-side
-// latency-hiding construct: submitted ops run on worker threads while the
-// producer keeps building the next batch. Flush() drains the window and
-// reports the first error (ordering across Submit() calls is NOT preserved
-// between different destinations; callers needing FIFO per destination
-// must serialize those submissions themselves).
+// serialized on one round trip at a time. It is a thin wrapper over the
+// wire's CompletionWindow: every Submit() allocates a completion tag, ops
+// complete OUT OF ORDER on worker threads (exactly as tagged RPCs complete
+// out of order on a real connection), and statuses are tracked per tag.
+// Flush() drains the window and reports the error of the EARLIEST failed
+// submission — not whichever failure raced home first — and TakeErrors()
+// exposes every failed (tag, status) pair for callers that need per-item
+// resolution. Ordering across Submit() calls is NOT preserved between
+// different destinations; callers needing FIFO per destination must
+// serialize those submissions themselves.
 
 #ifndef SRC_CLIENT_PIPELINE_H_
 #define SRC_CLIENT_PIPELINE_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/net/completion.h"
 
 namespace jiffy {
 
@@ -34,24 +40,30 @@ class Pipeline {
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
 
-  // Schedules `op`; blocks until a window slot frees up.
-  void Submit(std::function<Status()> op);
+  // Schedules `op`; blocks until a window slot frees up. Returns the
+  // completion tag identifying this submission in TakeErrors().
+  uint64_t Submit(std::function<Status()> op);
 
-  // Drains every in-flight op and returns the first error recorded since
-  // the previous Flush() (Ok when all succeeded).
+  // Drains every in-flight op and returns the status of the earliest
+  // (lowest-tag) failed submission since the previous TakeErrors (Ok when
+  // all succeeded). Does not consume the failures — TakeErrors() does.
   Status Flush();
+
+  // Failed submissions since the last TakeErrors, in submission order.
+  // Consumes them. Does not wait — call after Flush() for a complete set.
+  std::vector<TaggedStatus> TakeErrors() { return window_.TakeErrors(); }
+
+  // High-water mark of concurrently in-flight ops.
+  size_t max_in_flight() const { return window_.max_in_flight(); }
 
  private:
   void WorkerLoop();
 
   const size_t depth_;
+  CompletionWindow window_;
   std::mutex mu_;
-  std::condition_variable cv_submit_;  // A window slot freed.
   std::condition_variable cv_worker_;  // Work queued (or stopping).
-  std::condition_variable cv_drain_;   // in_flight_ hit zero.
-  std::deque<std::function<Status()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently running
-  Status first_error_;
+  std::deque<std::pair<uint64_t, std::function<Status()>>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -29,7 +29,22 @@ bool Retrier::ShouldRetry(const Status& st) {
   return true;
 }
 
+void Retrier::BackoffAlways() {
+  const DurationNs d = NextDelay();
+  if (clock_ != nullptr && d > 0) {
+    clock_->SleepFor(d);
+  }
+}
+
 void Retrier::Backoff(const Transport* net) {
+  const DurationNs d = NextDelay();
+  if (net != nullptr && net->mode() == Transport::Mode::kSleep &&
+      clock_ != nullptr && d > 0) {
+    clock_->SleepFor(d);
+  }
+}
+
+DurationNs Retrier::NextDelay() {
   DurationNs d = next_backoff_;
   next_backoff_ = std::min<DurationNs>(
       policy_.max_backoff,
@@ -44,10 +59,7 @@ void Retrier::Backoff(const Transport* net) {
         1.0 - policy_.jitter_fraction / 2.0 + policy_.jitter_fraction * u;
     d = static_cast<DurationNs>(static_cast<double>(d) * factor);
   }
-  if (net != nullptr && net->mode() == Transport::Mode::kSleep &&
-      clock_ != nullptr && d > 0) {
-    clock_->SleepFor(d);
-  }
+  return d;
 }
 
 void Retrier::RecordSuccess(std::atomic<int>* budget) {

@@ -77,6 +77,10 @@ class Retrier {
   // blocking on it would deadlock a SimClock.
   void Backoff(const Transport* net);
 
+  // Variant for the real-wire path (DESIGN.md §12), where there is no
+  // modeled transport and time is always real: sleeps unconditionally.
+  void BackoffAlways();
+
   // Failed exchanges observed so far (== retries performed after the
   // corresponding ShouldRetry/Backoff).
   uint32_t failures() const { return failures_; }
@@ -85,6 +89,11 @@ class Retrier {
   static void RecordSuccess(std::atomic<int>* budget);
 
  private:
+  // Computes the (jittered) delay for the upcoming attempt and advances the
+  // exponential schedule. Jitter draws happen in every mode so seeded
+  // schedules do not depend on whether the run sleeps.
+  DurationNs NextDelay();
+
   RetryPolicy policy_;
   Clock* clock_;
   AtomicRng* rng_;

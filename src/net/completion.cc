@@ -1,0 +1,65 @@
+#include "src/net/completion.h"
+
+namespace jiffy {
+
+CompletionWindow::CompletionWindow(size_t depth) : depth_(depth) {}
+
+uint64_t CompletionWindow::Begin() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_slot_.wait(lock, [this] { return depth_ == 0 || outstanding_ < depth_; });
+  ++outstanding_;
+  if (outstanding_ > high_water_) {
+    high_water_ = outstanding_;
+  }
+  return next_tag_++;
+}
+
+void CompletionWindow::Complete(uint64_t tag, Status status) {
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok()) {
+      errors_.emplace(tag, std::move(status));
+    }
+    --outstanding_;
+    drained = outstanding_ == 0;
+  }
+  cv_slot_.notify_one();
+  if (drained) {
+    cv_drain_.notify_all();
+  }
+}
+
+Status CompletionWindow::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_drain_.wait(lock, [this] { return outstanding_ == 0; });
+  // Leaves the error set intact: callers that need per-tag resolution call
+  // TakeErrors() after Drain, which consumes (and clears) the set.
+  if (!errors_.empty()) {
+    return errors_.begin()->second;
+  }
+  return Status::Ok();
+}
+
+std::vector<TaggedStatus> CompletionWindow::TakeErrors() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TaggedStatus> out;
+  out.reserve(errors_.size());
+  for (auto& [tag, st] : errors_) {
+    out.push_back(TaggedStatus{tag, std::move(st)});
+  }
+  errors_.clear();
+  return out;
+}
+
+size_t CompletionWindow::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+size_t CompletionWindow::max_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,353 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+namespace jiffy {
+
+namespace {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  char b[2];
+  std::memcpy(b, &v, 2);
+  out->append(b, 2);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+// Bounds-checked little-endian reads off a shrinking view. Each returns
+// false when the buffer is too short — the decoder surfaces that as a
+// malformed frame.
+bool TakeU8(std::string_view* in, uint8_t* v) {
+  if (in->size() < 1) {
+    return false;
+  }
+  *v = static_cast<uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  return true;
+}
+
+bool TakeU16(std::string_view* in, uint16_t* v) {
+  if (in->size() < 2) {
+    return false;
+  }
+  std::memcpy(v, in->data(), 2);
+  in->remove_prefix(2);
+  return true;
+}
+
+bool TakeU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) {
+    return false;
+  }
+  std::memcpy(v, in->data(), 4);
+  in->remove_prefix(4);
+  return true;
+}
+
+bool TakeU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) {
+    return false;
+  }
+  std::memcpy(v, in->data(), 8);
+  in->remove_prefix(8);
+  return true;
+}
+
+bool TakeBytes(std::string_view* in, size_t n, std::string_view* v) {
+  if (in->size() < n) {
+    return false;
+  }
+  *v = in->substr(0, n);
+  in->remove_prefix(n);
+  return true;
+}
+
+bool ValidOp(uint8_t op) {
+  return op <= static_cast<uint8_t>(WireOp::kMultiDelete);
+}
+
+bool ValidCode(uint8_t code) {
+  return code <= static_cast<uint8_t>(StatusCode::kInternal);
+}
+
+Status Malformed(const char* what) {
+  return InvalidArgument(std::string("wire frame: ") + what);
+}
+
+// Writes the request header; the caller appends items and then patches the
+// length word at `len_at`.
+size_t BeginRequest(WireOp op, uint64_t tag, uint64_t block, uint32_t items,
+                    std::string* out) {
+  const size_t len_at = out->size();
+  PutU32(out, 0);  // Patched below.
+  PutU32(out, kRequestMagic);
+  PutU8(out, kWireVersion);
+  PutU8(out, static_cast<uint8_t>(op));
+  PutU16(out, 0);
+  PutU64(out, tag);
+  PutU64(out, block);
+  PutU32(out, items);
+  return len_at;
+}
+
+void PatchLen(std::string* out, size_t len_at) {
+  const uint32_t body_len =
+      static_cast<uint32_t>(out->size() - len_at - kLenPrefixBytes);
+  std::memcpy(out->data() + len_at, &body_len, 4);
+}
+
+}  // namespace
+
+const char* WireOpName(WireOp op) {
+  switch (op) {
+    case WireOp::kPing:
+      return "ping";
+    case WireOp::kMultiPut:
+      return "multi_put";
+    case WireOp::kMultiGet:
+      return "multi_get";
+    case WireOp::kMultiDelete:
+      return "multi_delete";
+  }
+  return "unknown";
+}
+
+void EncodePingRequest(uint64_t tag, std::string* out) {
+  const size_t len_at = BeginRequest(WireOp::kPing, tag, 0, 0, out);
+  PatchLen(out, len_at);
+}
+
+void EncodeMultiPutRequest(
+    uint64_t tag, uint64_t block,
+    const std::vector<std::pair<std::string_view, std::string_view>>& pairs,
+    std::string* out) {
+  size_t need = kLenPrefixBytes + kRequestHeaderBytes;
+  for (const auto& [k, v] : pairs) {
+    need += 8 + k.size() + v.size();
+  }
+  out->reserve(out->size() + need);
+  const size_t len_at = BeginRequest(WireOp::kMultiPut, tag, block,
+                                     static_cast<uint32_t>(pairs.size()), out);
+  for (const auto& [k, v] : pairs) {
+    PutU32(out, static_cast<uint32_t>(k.size()));
+    PutU32(out, static_cast<uint32_t>(v.size()));
+    out->append(k);
+    out->append(v);
+  }
+  PatchLen(out, len_at);
+}
+
+void EncodeKeysRequest(WireOp op, uint64_t tag, uint64_t block,
+                       const std::vector<std::string_view>& keys,
+                       std::string* out) {
+  size_t need = kLenPrefixBytes + kRequestHeaderBytes;
+  for (std::string_view k : keys) {
+    need += 4 + k.size();
+  }
+  out->reserve(out->size() + need);
+  const size_t len_at =
+      BeginRequest(op, tag, block, static_cast<uint32_t>(keys.size()), out);
+  for (std::string_view k : keys) {
+    PutU32(out, static_cast<uint32_t>(k.size()));
+    out->append(k);
+  }
+  PatchLen(out, len_at);
+}
+
+Status DecodeRequest(std::string_view body, DecodedRequest* out) {
+  uint32_t magic = 0, items = 0;
+  uint8_t version = 0, op = 0;
+  uint16_t reserved = 0;
+  if (!TakeU32(&body, &magic) || magic != kRequestMagic) {
+    return Malformed("bad request magic");
+  }
+  if (!TakeU8(&body, &version) || version != kWireVersion) {
+    return Malformed("unsupported version");
+  }
+  if (!TakeU8(&body, &op) || !ValidOp(op)) {
+    return Malformed("unknown opcode");
+  }
+  if (!TakeU16(&body, &reserved)) {
+    return Malformed("truncated header");
+  }
+  if (!TakeU64(&body, &out->tag) || !TakeU64(&body, &out->block) ||
+      !TakeU32(&body, &items)) {
+    return Malformed("truncated header");
+  }
+  out->op = static_cast<WireOp>(op);
+  out->keys.clear();
+  out->values.clear();
+  // Each item carries at least one length word; a count the buffer cannot
+  // possibly hold is rejected before any reserve.
+  if (static_cast<size_t>(items) * 4 > body.size()) {
+    return Malformed("item count exceeds body");
+  }
+  out->keys.reserve(items);
+  const bool has_values = out->op == WireOp::kMultiPut;
+  if (has_values) {
+    out->values.reserve(items);
+  }
+  for (uint32_t i = 0; i < items; ++i) {
+    uint32_t klen = 0, vlen = 0;
+    if (!TakeU32(&body, &klen)) {
+      return Malformed("truncated item length");
+    }
+    if (has_values && !TakeU32(&body, &vlen)) {
+      return Malformed("truncated item length");
+    }
+    std::string_view key, value;
+    if (!TakeBytes(&body, klen, &key)) {
+      return Malformed("key overruns body");
+    }
+    if (has_values && !TakeBytes(&body, vlen, &value)) {
+      return Malformed("value overruns body");
+    }
+    out->keys.push_back(key);
+    if (has_values) {
+      out->values.push_back(value);
+    }
+  }
+  if (!body.empty()) {
+    return Malformed("trailing bytes");
+  }
+  if (out->op == WireOp::kPing && !out->keys.empty()) {
+    return Malformed("ping carries items");
+  }
+  return Status::Ok();
+}
+
+ResponseBuilder::ResponseBuilder(WireOp op, uint64_t tag, size_t item_hint)
+    : op_(op), tag_(tag) {
+  resp_.head.reserve(kLenPrefixBytes + kResponseHeaderBytes +
+                     item_hint * kResponseMetaBytes);
+  PutU32(&resp_.head, 0);  // length, patched in Finish
+  PutU32(&resp_.head, kResponseMagic);
+  PutU8(&resp_.head, kWireVersion);
+  PutU8(&resp_.head, static_cast<uint8_t>(op_));
+  PutU8(&resp_.head, 0);   // overall, patched in Finish
+  PutU8(&resp_.head, 0);   // reserved
+  PutU64(&resp_.head, tag_);
+  PutU32(&resp_.head, 0);  // item_count, patched in Finish
+  PutU32(&resp_.head, 0);  // payload_len, patched in Finish
+  if (item_hint > 0) {
+    resp_.payloads.reserve(item_hint);
+  }
+}
+
+void ResponseBuilder::AddItem(StatusCode code, std::string_view payload) {
+  PutU8(&resp_.head, static_cast<uint8_t>(code));
+  PutU32(&resp_.head, static_cast<uint32_t>(payload.size()));
+  if (!payload.empty()) {
+    resp_.payloads.push_back(payload);
+    payload_bytes_ += payload.size();
+  }
+  ++items_;
+}
+
+WireResponse ResponseBuilder::Finish() && {
+  const uint32_t body_len = static_cast<uint32_t>(
+      resp_.head.size() - kLenPrefixBytes + payload_bytes_);
+  char* head = resp_.head.data();
+  std::memcpy(head, &body_len, 4);
+  head[kLenPrefixBytes + 6] = static_cast<char>(overall_);
+  std::memcpy(head + kLenPrefixBytes + 16, &items_, 4);
+  const uint32_t payload_len = static_cast<uint32_t>(payload_bytes_);
+  std::memcpy(head + kLenPrefixBytes + 20, &payload_len, 4);
+  return std::move(resp_);
+}
+
+WireResponse ErrorResponse(WireOp op, uint64_t tag, StatusCode code) {
+  ResponseBuilder b(op, tag);
+  b.SetOverall(code);
+  return std::move(b).Finish();
+}
+
+Status DecodeResponse(std::string_view body, DecodedResponse* out) {
+  uint32_t magic = 0, items = 0, payload_len = 0;
+  uint8_t version = 0, op = 0, overall = 0, reserved = 0;
+  if (!TakeU32(&body, &magic) || magic != kResponseMagic) {
+    return Malformed("bad response magic");
+  }
+  if (!TakeU8(&body, &version) || version != kWireVersion) {
+    return Malformed("unsupported version");
+  }
+  if (!TakeU8(&body, &op) || !ValidOp(op)) {
+    return Malformed("unknown opcode");
+  }
+  if (!TakeU8(&body, &overall) || !ValidCode(overall)) {
+    return Malformed("bad overall status");
+  }
+  if (!TakeU8(&body, &reserved) || !TakeU64(&body, &out->tag) ||
+      !TakeU32(&body, &items) || !TakeU32(&body, &payload_len)) {
+    return Malformed("truncated header");
+  }
+  out->op = static_cast<WireOp>(op);
+  out->overall = static_cast<StatusCode>(overall);
+  out->codes.clear();
+  out->values.clear();
+  if (static_cast<size_t>(items) * kResponseMetaBytes > body.size()) {
+    return Malformed("item count exceeds body");
+  }
+  std::string_view meta;
+  if (!TakeBytes(&body, static_cast<size_t>(items) * kResponseMetaBytes,
+                 &meta)) {
+    return Malformed("truncated meta table");
+  }
+  if (body.size() != payload_len) {
+    return Malformed("payload length mismatch");
+  }
+  out->codes.reserve(items);
+  out->values.reserve(items);
+  for (uint32_t i = 0; i < items; ++i) {
+    uint8_t code = 0;
+    uint32_t vlen = 0;
+    TakeU8(&meta, &code);
+    TakeU32(&meta, &vlen);
+    if (!ValidCode(code)) {
+      return Malformed("bad item status");
+    }
+    std::string_view value;
+    if (!TakeBytes(&body, vlen, &value)) {
+      return Malformed("value overruns payload");
+    }
+    out->codes.push_back(static_cast<StatusCode>(code));
+    out->values.push_back(value);
+  }
+  if (!body.empty()) {
+    return Malformed("trailing payload bytes");
+  }
+  return Status::Ok();
+}
+
+Status NextFrame(std::string_view buf, size_t* offset, std::string_view* body) {
+  if (buf.size() - *offset < kLenPrefixBytes) {
+    return Unavailable("short");
+  }
+  uint32_t body_len = 0;
+  std::memcpy(&body_len, buf.data() + *offset, 4);
+  if (body_len == 0 || body_len > kMaxFrameBytes) {
+    return Malformed("bad length word");
+  }
+  if (buf.size() - *offset - kLenPrefixBytes < body_len) {
+    return Unavailable("short");
+  }
+  *body = buf.substr(*offset + kLenPrefixBytes, body_len);
+  *offset += kLenPrefixBytes + body_len;
+  return Status::Ok();
+}
+
+}  // namespace jiffy

@@ -1,0 +1,209 @@
+// Binary wire protocol: length-prefixed frames (DESIGN.md §12).
+//
+// The real-wire data plane speaks a fixed binary protocol over TCP. Every
+// message is one frame: a u32 length word followed by `length` bytes of
+// header + body. Requests carry an opcode, a completion tag, a target block
+// id, and per-item operand vectors; responses echo the tag and carry
+// per-item statuses plus value payloads. The tag — not arrival order —
+// matches a response to its request, so a connection can keep many RPCs in
+// flight and complete them out of order (Mayfly-style rpc_tag completions).
+//
+// Layout (all integers little-endian, no padding on the wire):
+//
+//   frame     := u32 body_len | body                 (body_len <= kMaxFrameBytes)
+//
+//   request   := u32 magic 'JFQ1' | u8 version | u8 opcode | u16 reserved
+//              | u64 tag | u64 block (BlockId::Packed) | u32 item_count
+//              | item*                                   (kRequestHeaderBytes)
+//   item      := u32 key_len | key                          (kMultiGet/Delete)
+//              | u32 key_len | u32 val_len | key | value    (kMultiPut)
+//
+//   response  := u32 magic 'JFP1' | u8 version | u8 opcode | u8 overall
+//              | u8 reserved | u64 tag | u32 item_count | u32 payload_len
+//              | meta* | payload                         (kResponseHeaderBytes)
+//   meta      := u8 status | u32 val_len            (kResponseMetaBytes each)
+//   payload   := concatenated value bytes, item order
+//
+// The response splits metadata from payload so a server can serialize with
+// zero payload copies: the owned `head` buffer holds the length word,
+// header, and meta table, while the payload travels as a scatter-gather
+// list of views into pinned arena memory (WireResponse). The decoder
+// bounds-checks every length against the remaining buffer, so truncated,
+// oversized, or garbage frames are rejected, never read past.
+
+#ifndef SRC_NET_FRAME_H_
+#define SRC_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace jiffy {
+
+// Hard cap on one frame's body; a length word beyond this is a protocol
+// error (garbage or a hostile peer), not a big request.
+inline constexpr size_t kMaxFrameBytes = 16u << 20;
+
+inline constexpr uint32_t kRequestMagic = 0x3151464Au;   // "JFQ1"
+inline constexpr uint32_t kResponseMagic = 0x3150464Au;  // "JFP1"
+inline constexpr uint8_t kWireVersion = 1;
+
+inline constexpr size_t kLenPrefixBytes = 4;
+inline constexpr size_t kRequestHeaderBytes = 4 + 1 + 1 + 2 + 8 + 8 + 4;
+inline constexpr size_t kResponseHeaderBytes = 4 + 1 + 1 + 1 + 1 + 8 + 4 + 4;
+inline constexpr size_t kResponseMetaBytes = 1 + 4;
+
+// Data-plane operations carried on the wire. Single ops travel as a batch
+// of one — the server never distinguishes.
+enum class WireOp : uint8_t {
+  kPing = 0,        // Liveness probe; zero items.
+  kMultiPut = 1,    // items: (key, value) pairs.
+  kMultiGet = 2,    // items: keys; response items carry values.
+  kMultiDelete = 3, // items: keys.
+};
+
+const char* WireOpName(WireOp op);
+
+// --- Request encoding --------------------------------------------------------
+//
+// Encoders append one complete frame (length prefix included) to *out, so a
+// caller can pack several requests into one buffer and write them with a
+// single syscall.
+
+void EncodePingRequest(uint64_t tag, std::string* out);
+
+void EncodeMultiPutRequest(
+    uint64_t tag, uint64_t block,
+    const std::vector<std::pair<std::string_view, std::string_view>>& pairs,
+    std::string* out);
+
+// Shared encoder for the key-only ops (kMultiGet, kMultiDelete).
+void EncodeKeysRequest(WireOp op, uint64_t tag, uint64_t block,
+                       const std::vector<std::string_view>& keys,
+                       std::string* out);
+
+// --- Request decoding --------------------------------------------------------
+
+// Decoded request; `keys`/`values` are views into the caller's frame buffer
+// and share its lifetime.
+struct DecodedRequest {
+  WireOp op = WireOp::kPing;
+  uint64_t tag = 0;
+  uint64_t block = 0;  // BlockId::Packed()
+  std::vector<std::string_view> keys;
+  std::vector<std::string_view> values;  // kMultiPut only, aligned with keys.
+};
+
+// `body` is one frame body (without the length prefix). kInvalidArgument on
+// any malformed input: bad magic/version/opcode, lengths inconsistent with
+// the buffer, or trailing bytes.
+Status DecodeRequest(std::string_view body, DecodedRequest* out);
+
+// --- Response building (server side, zero payload copies) --------------------
+
+// A serialized response ready for scatter-gather write: `head` owns the
+// length word + header + meta table; `payloads` view the value bytes (arena
+// memory) in item order; `keepalive` pins whatever backs those views until
+// the response has been fully written (e.g. a shared_ptr<ArenaPin>).
+struct WireResponse {
+  std::string head;
+  std::vector<std::string_view> payloads;
+  std::vector<std::shared_ptr<void>> keepalive;
+
+  size_t TotalBytes() const {
+    size_t n = head.size();
+    for (std::string_view p : payloads) {
+      n += p.size();
+    }
+    return n;
+  }
+};
+
+// Builds one response frame. AddItem order defines item order; Finish()
+// patches the length word and payload total into the head. The builder
+// never copies payload bytes — callers keep them alive via
+// WireResponse::keepalive.
+class ResponseBuilder {
+ public:
+  ResponseBuilder(WireOp op, uint64_t tag, size_t item_hint = 0);
+
+  // Appends an item. `payload` is referenced, not copied; pass {} for ops
+  // without response values.
+  void AddItem(StatusCode code, std::string_view payload = {});
+
+  // Overall frame status (defaults to kOk). Per-item codes ride in the meta
+  // table; `overall` reports frame-level failures (unknown block, wrong
+  // content type) where no per-item answer exists.
+  void SetOverall(StatusCode code) { overall_ = code; }
+
+  void AddKeepalive(std::shared_ptr<void> p) {
+    resp_.keepalive.push_back(std::move(p));
+  }
+
+  WireResponse Finish() &&;
+
+ private:
+  WireOp op_;
+  uint64_t tag_;
+  StatusCode overall_ = StatusCode::kOk;
+  uint32_t items_ = 0;
+  size_t payload_bytes_ = 0;
+  WireResponse resp_;
+};
+
+// Convenience: a response with zero items and an overall error code.
+WireResponse ErrorResponse(WireOp op, uint64_t tag, StatusCode code);
+
+// --- Response decoding -------------------------------------------------------
+
+// Decoded response; `values` view into the caller's frame buffer.
+struct DecodedResponse {
+  WireOp op = WireOp::kPing;
+  uint64_t tag = 0;
+  StatusCode overall = StatusCode::kOk;
+  std::vector<StatusCode> codes;
+  std::vector<std::string_view> values;
+};
+
+Status DecodeResponse(std::string_view body, DecodedResponse* out);
+
+// --- Stream reassembly -------------------------------------------------------
+
+// Pulls the next complete frame body out of `buf` starting at *offset.
+// Returns kOk and advances *offset past the frame when one is complete;
+// kUnavailable ("short") when more bytes are needed; kInvalidArgument when
+// the length word itself is invalid (0 or > kMaxFrameBytes) — the
+// connection is unrecoverable then, since resynchronizing a byte stream
+// with a corrupt length is impossible.
+Status NextFrame(std::string_view buf, size_t* offset, std::string_view* body);
+
+// --- Owning batched-read result ----------------------------------------------
+//
+// Values decoded from response frames: one owned buffer per wire exchange
+// (not one std::string per value), with per-item results viewing into those
+// buffers. The in-process KvClient::MultiGet returns the same shape so the
+// owning read path pays exactly one buffer per block group — the frame
+// write IS the materialization (DESIGN.md §12).
+struct WireValues {
+  std::vector<std::string> bufs;
+  std::vector<Result<std::string_view>> values;
+
+  size_t size() const { return values.size(); }
+  bool empty() const { return values.empty(); }
+  Result<std::string_view>& operator[](size_t i) { return values[i]; }
+  const Result<std::string_view>& operator[](size_t i) const {
+    return values[i];
+  }
+  auto begin() const { return values.begin(); }
+  auto end() const { return values.end(); }
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_NET_FRAME_H_

@@ -1,0 +1,124 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace jiffy {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Unavailable(std::string(what) + ": " + strerror(errno));
+}
+
+}  // namespace
+
+void Fd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> TcpListen(uint16_t port, uint16_t* bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return Errno("socket");
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  if (bound_port != nullptr) {
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+Result<Fd> TcpConnect(const std::string& host, uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return Errno("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgument("bad host address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Errno("connect");
+  }
+  JIFFY_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl O_NONBLOCK");
+  }
+  return Status::Ok();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt TCP_NODELAY");
+  }
+  return Status::Ok();
+}
+
+Status WriteFull(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("write");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> ReadSome(int fd, void* data, size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n >= 0) {
+      return static_cast<size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return Errno("read");
+  }
+}
+
+}  // namespace jiffy

@@ -1,0 +1,71 @@
+// Thin POSIX TCP socket helpers shared by the wire server and client.
+//
+// Nothing here knows about frames or Jiffy — just RAII fds and the handful
+// of syscall wrappers (listen on an ephemeral port, connect, full
+// read/write loops, nonblocking/nodelay toggles) that tcp_server.cc and
+// tcp_client.cc would otherwise duplicate.
+
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace jiffy {
+
+// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds + listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port).
+// On success *bound_port holds the actual port. The socket is nonblocking.
+Result<Fd> TcpListen(uint16_t port, uint16_t* bound_port);
+
+// Blocking connect to `host`:`port`; the socket stays blocking (the client
+// uses a dedicated reader thread, not an event loop) with TCP_NODELAY set.
+Result<Fd> TcpConnect(const std::string& host, uint16_t port);
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);
+
+// Writes all `len` bytes, looping over partial writes and EINTR.
+Status WriteFull(int fd, const void* data, size_t len);
+
+// Reads up to `len` bytes once (retrying EINTR). Returns bytes read; 0
+// means orderly EOF. kUnavailable on connection errors.
+Result<size_t> ReadSome(int fd, void* data, size_t len);
+
+}  // namespace jiffy
+
+#endif  // SRC_NET_SOCKET_H_

@@ -1,0 +1,262 @@
+#include "src/net/tcp_client.h"
+
+#include <sys/socket.h>
+
+#include <future>
+#include <utility>
+
+namespace jiffy {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+WireReply TransportError(Status st) {
+  WireReply r;
+  r.transport = std::move(st);
+  return r;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpConnection>> TcpConnection::Connect(
+    const std::string& host, uint16_t port, Options options) {
+  auto fd = TcpConnect(host, port);
+  JIFFY_RETURN_IF_ERROR(fd.status());
+  return std::unique_ptr<TcpConnection>(
+      new TcpConnection(std::move(*fd), std::move(options)));
+}
+
+TcpConnection::TcpConnection(Fd fd, Options options)
+    : fd_(std::move(fd)),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : RealClock::Instance()),
+      window_(options_.max_in_flight),
+      fault_rng_(options_.faults.seed) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+TcpConnection::~TcpConnection() {
+  closing_.store(true, std::memory_order_release);
+  // Shutdown wakes the reader out of read(); it then fails all pending.
+  ::shutdown(fd_.get(), SHUT_RDWR);
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+}
+
+uint64_t TcpConnection::BeginTag() { return window_.Begin(); }
+
+bool TcpConnection::InjectFault(uint64_t tag, const Callback& cb) {
+  if (!options_.faults_on) {
+    return false;
+  }
+  const FaultPlan& plan = options_.faults;
+  // Outage windows fail fast, mirroring Transport::ExchangeInternal.
+  const TimeNs now = clock_->Now();
+  for (const FaultPlan::Outage& o : plan.outages) {
+    if (o.endpoint == options_.endpoint && now >= o.from && now < o.until) {
+      fault_outages_.fetch_add(1, std::memory_order_relaxed);
+      window_.Complete(tag, Status::Ok());
+      cb(TransportError(Unavailable("injected outage")));
+      return true;
+    }
+  }
+  if (!plan.probabilistic()) {
+    return false;
+  }
+  double roll;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    roll = fault_rng_.NextDouble();
+  }
+  if (roll < plan.drop_prob) {
+    // Lost on the wire: the caller sees a timeout; nothing is sent, so the
+    // server genuinely never executes the op.
+    fault_drops_.fetch_add(1, std::memory_order_relaxed);
+    if (plan.drop_timeout > 0) {
+      clock_->SleepFor(plan.drop_timeout);
+    }
+    window_.Complete(tag, Status::Ok());
+    cb(TransportError(Timeout("injected drop")));
+    return true;
+  }
+  roll -= plan.drop_prob;
+  if (roll < plan.error_prob) {
+    fault_errors_.fetch_add(1, std::memory_order_relaxed);
+    window_.Complete(tag, Status::Ok());
+    cb(TransportError(Unavailable("injected error")));
+    return true;
+  }
+  roll -= plan.error_prob;
+  if (roll < plan.delay_prob) {
+    fault_delays_.fetch_add(1, std::memory_order_relaxed);
+    if (plan.extra_delay > 0) {
+      clock_->SleepFor(plan.extra_delay);
+    }
+    // Delayed but delivered: fall through to the real send.
+  }
+  return false;
+}
+
+void TcpConnection::Submit(std::string frame, uint64_t tag, Callback cb) {
+  if (InjectFault(tag, cb)) {
+    return;
+  }
+  if (!alive_.load(std::memory_order_acquire)) {
+    window_.Complete(tag, Status::Ok());
+    cb(TransportError(Unavailable("connection closed")));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.emplace(tag, std::move(cb));
+  }
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    st = WriteFull(fd_.get(), frame.data(), frame.size());
+  }
+  if (!st.ok()) {
+    Callback taken;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      auto it = pending_.find(tag);
+      if (it != pending_.end()) {
+        taken = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    // The reader may have already failed it via FailAllPending.
+    if (taken) {
+      window_.Complete(tag, Status::Ok());
+      taken(TransportError(Unavailable("write failed: " + st.message())));
+    }
+  }
+}
+
+WireReply TcpConnection::Call(std::string frame, uint64_t tag) {
+  std::promise<WireReply> promise;
+  std::future<WireReply> future = promise.get_future();
+  Submit(std::move(frame), tag,
+         [&promise](WireReply r) { promise.set_value(std::move(r)); });
+  return future.get();
+}
+
+void TcpConnection::ReaderLoop() {
+  std::string buf;
+  size_t offset = 0;
+  for (;;) {
+    const size_t old_size = buf.size();
+    buf.resize(old_size + kReadChunk);
+    auto n = ReadSome(fd_.get(), buf.data() + old_size, kReadChunk);
+    if (!n.ok() || *n == 0) {
+      buf.resize(old_size);
+      FailAllPending(Unavailable(closing_.load() ? "connection closed"
+                                                 : "connection lost"));
+      return;
+    }
+    buf.resize(old_size + *n);
+    for (;;) {
+      std::string_view body;
+      const Status st = NextFrame(buf, &offset, &body);
+      if (st.code() == StatusCode::kUnavailable) {
+        break;
+      }
+      DecodedResponse dec;
+      if (!st.ok() || !DecodeResponse(body, &dec).ok()) {
+        FailAllPending(Unavailable("malformed response frame"));
+        return;
+      }
+      Callback cb;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        auto it = pending_.find(dec.tag);
+        if (it != pending_.end()) {
+          cb = std::move(it->second);
+          pending_.erase(it);
+        }
+      }
+      if (!cb) {
+        continue;  // Tag already failed (e.g. racing connection error).
+      }
+      // Re-anchor the decoded views onto one owned copy of the body — the
+      // single client-side copy per exchange.
+      WireReply reply;
+      reply.transport = Status::Ok();
+      reply.op = dec.op;
+      reply.overall = dec.overall;
+      reply.codes = std::move(dec.codes);
+      reply.buf.assign(body.data(), body.size());
+      reply.values.reserve(dec.values.size());
+      for (std::string_view v : dec.values) {
+        const size_t at = static_cast<size_t>(v.data() - body.data());
+        reply.values.push_back(
+            std::string_view(reply.buf.data() + at, v.size()));
+      }
+      window_.Complete(dec.tag, Status::Ok());
+      cb(std::move(reply));
+    }
+    if (offset == buf.size()) {
+      buf.clear();
+      offset = 0;
+    } else if (offset >= (1u << 20)) {
+      buf.erase(0, offset);
+      offset = 0;
+    }
+  }
+}
+
+void TcpConnection::FailAllPending(const Status& why) {
+  alive_.store(false, std::memory_order_release);
+  std::unordered_map<uint64_t, Callback> taken;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    taken.swap(pending_);
+  }
+  for (auto& [tag, cb] : taken) {
+    window_.Complete(tag, Status::Ok());
+    cb(TransportError(why));
+  }
+}
+
+TcpConnectionPool::TcpConnectionPool(TcpConnection::Options defaults)
+    : defaults_(std::move(defaults)) {}
+
+Result<TcpConnection*> TcpConnectionPool::Get(const std::string& host,
+                                              uint16_t port,
+                                              uint32_t endpoint) {
+  const std::string key = host + ":" + std::to_string(port);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conns_.find(key);
+  if (it != conns_.end() && it->second->alive()) {
+    return it->second.get();
+  }
+  TcpConnection::Options opts = defaults_;
+  opts.endpoint = endpoint;
+  auto conn = TcpConnection::Connect(host, port, std::move(opts));
+  JIFFY_RETURN_IF_ERROR(conn.status());
+  TcpConnection* raw = conn->get();
+  conns_[key] = std::move(*conn);
+  return raw;
+}
+
+void TcpConnectionPool::Evict(const std::string& host, uint16_t port) {
+  const std::string key = host + ":" + std::to_string(port);
+  std::lock_guard<std::mutex> lock(mu_);
+  conns_.erase(key);
+}
+
+void TcpConnectionPool::InstallFaultPlan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  defaults_.faults = std::move(plan);
+  defaults_.faults_on = true;
+}
+
+void TcpConnectionPool::ClearFaultPlan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  defaults_.faults_on = false;
+}
+
+}  // namespace jiffy

@@ -1,0 +1,166 @@
+// Pooled async TCP client for the binary wire protocol (DESIGN.md §12).
+//
+// One TcpConnection multiplexes many RPCs: BeginTag() reserves a window
+// slot (backpressure at `max_in_flight`), Submit(frame, tag, cb) writes the
+// frame and registers the completion, and a dedicated reader thread matches
+// response frames back to callbacks BY TAG — arrival order is irrelevant,
+// which is what lets the server (or the network) reorder freely. Call() is
+// the synchronous convenience on top.
+//
+// Fault parity with the modeled transport: a FaultPlan installed on the
+// connection is evaluated per Submit at the frame layer — drops synthesize
+// kTimeout without sending, errors synthesize kUnavailable, delays stall
+// the send, and outage windows fail fast — so the PR 5 retry/failover layer
+// masks wire faults exactly as it masks modeled ones.
+
+#ifndef SRC_NET_TCP_CLIENT_H_
+#define SRC_NET_TCP_CLIENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/net/completion.h"
+#include "src/net/frame.h"
+#include "src/net/network.h"
+#include "src/net/socket.h"
+
+namespace jiffy {
+
+// One completed RPC. `transport` reports wire-level failure (connection
+// death, injected drop/outage); when it is OK, `overall`/`codes`/`values`
+// carry the server's answer. `values` view into `buf`, the one owned copy
+// of the response body this client makes.
+struct WireReply {
+  Status transport;
+  WireOp op = WireOp::kPing;
+  StatusCode overall = StatusCode::kOk;
+  std::vector<StatusCode> codes;
+  std::string buf;
+  std::vector<std::string_view> values;
+
+  bool ok() const { return transport.ok() && overall == StatusCode::kOk; }
+};
+
+class TcpConnection {
+ public:
+  using Callback = std::function<void(WireReply)>;
+
+  struct Options {
+    size_t max_in_flight = 64;  // Window bound for BeginTag (0 = unbounded).
+    // Fault injection (off unless faults_on). `endpoint` identifies this
+    // connection's server for outage windows; `clock` supplies the time
+    // axis those windows are defined on (defaults to RealClock).
+    FaultPlan faults;
+    bool faults_on = false;
+    uint32_t endpoint = 0xffffffffu;  // Transport::kAnyEndpoint
+    Clock* clock = nullptr;
+  };
+
+  // Blocking connect; spawns the reader thread on success.
+  static Result<std::unique_ptr<TcpConnection>> Connect(
+      const std::string& host, uint16_t port, Options options);
+
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Reserves a window slot and returns the tag to encode into the frame.
+  // Blocks while `max_in_flight` RPCs are outstanding.
+  uint64_t BeginTag();
+
+  // Sends one encoded frame (tag must match the frame's tag field) and
+  // registers `cb` to run — on the reader thread — when the tagged response
+  // arrives. Fault-plan verdicts complete the callback inline without
+  // touching the socket. Every BeginTag() must be followed by exactly one
+  // Submit with its tag.
+  void Submit(std::string frame, uint64_t tag, Callback cb);
+
+  // Synchronous round trip: BeginTag is assumed already called by the
+  // caller who encoded `frame` with `tag`.
+  WireReply Call(std::string frame, uint64_t tag);
+
+  // True until the connection has failed (reader saw EOF/error). Pending
+  // and future submissions complete with kUnavailable once dead.
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  // Deepest concurrently-outstanding RPC count observed on this connection.
+  size_t max_in_flight_seen() const { return window_.max_in_flight(); }
+
+  uint64_t fault_drops() const { return fault_drops_.load(); }
+  uint64_t fault_errors() const { return fault_errors_.load(); }
+  uint64_t fault_delays() const { return fault_delays_.load(); }
+  uint64_t fault_outages() const { return fault_outages_.load(); }
+
+ private:
+  TcpConnection(Fd fd, Options options);
+
+  void ReaderLoop();
+  void FailAllPending(const Status& why);
+  // Evaluates the fault plan for one submission. Returns true when the
+  // submission was consumed (callback already completed); may sleep for
+  // delay faults.
+  bool InjectFault(uint64_t tag, const Callback& cb);
+
+  Fd fd_;
+  Options options_;
+  Clock* clock_;
+  CompletionWindow window_;
+  std::atomic<bool> alive_{true};
+  std::atomic<bool> closing_{false};
+
+  std::mutex write_mu_;  // Serializes frame writes from submitters.
+
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, Callback> pending_;
+
+  Rng fault_rng_;
+  std::mutex fault_mu_;  // Guards fault_rng_ (Submit is multi-threaded).
+  std::atomic<uint64_t> fault_drops_{0};
+  std::atomic<uint64_t> fault_errors_{0};
+  std::atomic<uint64_t> fault_delays_{0};
+  std::atomic<uint64_t> fault_outages_{0};
+
+  std::thread reader_;
+};
+
+// Lazily-connected cache of one TcpConnection per endpoint string
+// ("host:port"). Connections are shared — callers multiplex by tag, so one
+// socket per server is the steady state, exactly the pooling a Lambda-side
+// client would keep.
+class TcpConnectionPool {
+ public:
+  explicit TcpConnectionPool(TcpConnection::Options defaults = {});
+
+  // Returns the pooled connection for host:port, dialing on first use.
+  // `endpoint` labels the connection for outage-window matching.
+  Result<TcpConnection*> Get(const std::string& host, uint16_t port,
+                             uint32_t endpoint);
+
+  // Drops a dead connection so the next Get re-dials.
+  void Evict(const std::string& host, uint16_t port);
+
+  // Applies to connections dialed after this call.
+  void InstallFaultPlan(FaultPlan plan);
+  void ClearFaultPlan();
+
+ private:
+  TcpConnection::Options defaults_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<TcpConnection>> conns_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_NET_TCP_CLIENT_H_

@@ -1,0 +1,367 @@
+#include "src/net/tcp_server.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace jiffy {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+constexpr int kMaxEvents = 64;
+constexpr size_t kMaxIov = 64;
+
+}  // namespace
+
+// One accepted connection, owned by exactly one loop (no cross-loop access,
+// so per-connection state needs no locking).
+struct TcpServer::Connection {
+  Fd fd;
+  std::string rdbuf;       // Unconsumed inbound bytes.
+  size_t rd_offset = 0;    // Consumed prefix of rdbuf.
+  // Outbound responses in write order; `write_offset` is the progress into
+  // the front response (head + payloads, as one logical byte sequence).
+  std::deque<WireResponse> outq;
+  size_t write_offset = 0;
+  bool want_write = false;  // EPOLLOUT currently armed.
+  // Reorder hook: responses held back for a shuffled release.
+  std::vector<WireResponse> held;
+};
+
+struct TcpServer::Loop {
+  Fd epoll;
+  Fd wake;  // eventfd: pending connections / stop.
+  std::thread thread;
+  std::mutex pending_mu;
+  std::deque<Fd> pending;  // Accepted fds awaiting registration.
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  Rng reorder_rng{1};
+};
+
+TcpServer::TcpServer(Handler handler, Options options)
+    : handler_(std::move(handler)), options_(options) {
+  options_.threads = std::max(1, options_.threads);
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (started_.exchange(true)) {
+    return FailedPrecondition("server already started");
+  }
+  auto listener = TcpListen(options_.port, &port_);
+  JIFFY_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+
+  loops_.reserve(static_cast<size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll = Fd(::epoll_create1(EPOLL_CLOEXEC));
+    loop->wake = Fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+    if (!loop->epoll.valid() || !loop->wake.valid()) {
+      return Unavailable("epoll/eventfd setup failed");
+    }
+    loop->reorder_rng = Rng(options_.reorder_seed + static_cast<uint64_t>(i));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake.get();
+    ::epoll_ctl(loop->epoll.get(), EPOLL_CTL_ADD, loop->wake.get(), &ev);
+    loops_.push_back(std::move(loop));
+  }
+  // Loop 0 owns the listener.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.get();
+  ::epoll_ctl(loops_[0]->epoll.get(), EPOLL_CTL_ADD, listener_.get(), &ev);
+
+  for (auto& loop : loops_) {
+    Loop* l = loop.get();
+    l->thread = std::thread([this, l] { RunLoop(l); });
+  }
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) {
+    return;
+  }
+  uint64_t one = 1;
+  for (auto& loop : loops_) {
+    if (loop->wake.valid()) {
+      [[maybe_unused]] ssize_t n =
+          ::write(loop->wake.get(), &one, sizeof(one));
+    }
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) {
+      loop->thread.join();
+    }
+    loop->conns.clear();
+  }
+  listener_.Reset();
+}
+
+void TcpServer::AcceptPending(Loop* loop) {
+  std::deque<Fd> pending;
+  {
+    std::lock_guard<std::mutex> lock(loop->pending_mu);
+    pending.swap(loop->pending);
+  }
+  for (Fd& fd : pending) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = std::move(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd.get();
+    if (::epoll_ctl(loop->epoll.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) !=
+        0) {
+      continue;  // Connection dropped; client sees ECONNRESET.
+    }
+    loop->conns.emplace(conn->fd.get(), std::move(conn));
+  }
+}
+
+void TcpServer::RunLoop(Loop* loop) {
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(loop->epoll.get(), events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop->wake.get()) {
+        uint64_t drain = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(loop->wake.get(), &drain, sizeof(drain));
+        AcceptPending(loop);
+        continue;
+      }
+      if (fd == listener_.get()) {
+        // Accept everything ready; round-robin across loops.
+        for (;;) {
+          const int cfd = ::accept4(listener_.get(), nullptr, nullptr,
+                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (cfd < 0) {
+            break;
+          }
+          SetNoDelay(cfd);
+          accepted_.fetch_add(1, std::memory_order_relaxed);
+          Loop* target =
+              loops_[next_loop_.fetch_add(1) % loops_.size()].get();
+          {
+            std::lock_guard<std::mutex> lock(target->pending_mu);
+            target->pending.emplace_back(cfd);
+          }
+          uint64_t one = 1;
+          [[maybe_unused]] ssize_t w =
+              ::write(target->wake.get(), &one, sizeof(one));
+        }
+        continue;
+      }
+      auto it = loop->conns.find(fd);
+      if (it == loop->conns.end()) {
+        continue;
+      }
+      Connection* conn = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(loop, conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        HandleReadable(loop, conn);
+        // HandleReadable may have closed the connection.
+        if (loop->conns.find(fd) == loop->conns.end()) {
+          continue;
+        }
+      }
+      if (events[i].events & EPOLLOUT) {
+        if (!FlushWrites(loop, conn)) {
+          CloseConnection(loop, conn);
+        }
+      }
+    }
+  }
+}
+
+void TcpServer::HandleReadable(Loop* loop, Connection* conn) {
+  // Drain the socket (level-triggered, but one pass per event keeps loops
+  // fair; leftover bytes re-trigger immediately).
+  for (;;) {
+    const size_t old_size = conn->rdbuf.size();
+    conn->rdbuf.resize(old_size + kReadChunk);
+    const ssize_t n =
+        ::read(conn->fd.get(), conn->rdbuf.data() + old_size, kReadChunk);
+    if (n < 0) {
+      conn->rdbuf.resize(old_size);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      CloseConnection(loop, conn);
+      return;
+    }
+    if (n == 0) {
+      conn->rdbuf.resize(old_size);
+      CloseConnection(loop, conn);
+      return;
+    }
+    conn->rdbuf.resize(old_size + static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < kReadChunk) {
+      break;
+    }
+  }
+
+  // Process every complete frame buffered so far.
+  for (;;) {
+    std::string_view body;
+    const Status st = NextFrame(conn->rdbuf, &conn->rd_offset, &body);
+    if (st.code() == StatusCode::kUnavailable) {
+      break;  // Need more bytes.
+    }
+    if (!st.ok()) {
+      // Corrupt length word: the stream cannot be resynchronized.
+      CloseConnection(loop, conn);
+      return;
+    }
+    DecodedRequest req;
+    const Status ds = DecodeRequest(body, &req);
+    WireResponse resp =
+        ds.ok() ? handler_(req)
+                : ErrorResponse(WireOp::kPing, req.tag,
+                                StatusCode::kInvalidArgument);
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.reorder_window > 1) {
+      conn->held.push_back(std::move(resp));
+      if (conn->held.size() < options_.reorder_window) {
+        continue;
+      }
+    } else {
+      conn->outq.push_back(std::move(resp));
+      continue;
+    }
+    // Window full: release the held responses in shuffled order.
+    for (size_t i = conn->held.size(); i > 1; --i) {
+      std::swap(conn->held[i - 1],
+                conn->held[loop->reorder_rng.NextBelow(i)]);
+    }
+    for (WireResponse& r : conn->held) {
+      conn->outq.push_back(std::move(r));
+    }
+    conn->held.clear();
+  }
+
+  // Read batch over: flush any short reorder tail so a client waiting on
+  // fewer than `reorder_window` responses is never starved.
+  if (!conn->held.empty()) {
+    for (size_t i = conn->held.size(); i > 1; --i) {
+      std::swap(conn->held[i - 1], conn->held[loop->reorder_rng.NextBelow(i)]);
+    }
+    for (WireResponse& r : conn->held) {
+      conn->outq.push_back(std::move(r));
+    }
+    conn->held.clear();
+  }
+
+  // Compact the consumed prefix once it dominates the buffer.
+  if (conn->rd_offset > 0 && (conn->rd_offset == conn->rdbuf.size() ||
+                              conn->rd_offset >= (1u << 20))) {
+    conn->rdbuf.erase(0, conn->rd_offset);
+    conn->rd_offset = 0;
+  }
+
+  if (!FlushWrites(loop, conn)) {
+    CloseConnection(loop, conn);
+  }
+}
+
+bool TcpServer::FlushWrites(Loop* loop, Connection* conn) {
+  while (!conn->outq.empty()) {
+    // Gather iovecs from the front responses, skipping `write_offset` bytes
+    // of already-sent prefix in the first one.
+    iovec iov[kMaxIov];
+    size_t iovcnt = 0;
+    size_t skip = conn->write_offset;
+    for (const WireResponse& r : conn->outq) {
+      auto add = [&](const char* p, size_t len) {
+        if (len == 0 || iovcnt >= kMaxIov) {
+          return;
+        }
+        if (skip >= len) {
+          skip -= len;
+          return;
+        }
+        iov[iovcnt].iov_base = const_cast<char*>(p) + skip;
+        iov[iovcnt].iov_len = len - skip;
+        skip = 0;
+        ++iovcnt;
+      };
+      add(r.head.data(), r.head.size());
+      for (std::string_view p : r.payloads) {
+        add(p.data(), p.size());
+      }
+      if (iovcnt >= kMaxIov) {
+        break;
+      }
+    }
+    if (iovcnt == 0) {
+      break;
+    }
+    const ssize_t n =
+        ::writev(conn->fd.get(), iov, static_cast<int>(iovcnt));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          epoll_event ev{};
+          ev.events = EPOLLIN | EPOLLOUT;
+          ev.data.fd = conn->fd.get();
+          ::epoll_ctl(loop->epoll.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev);
+          conn->want_write = true;
+        }
+        return true;
+      }
+      return false;
+    }
+    // Retire fully-written responses (their keepalives — arena pins — drop
+    // here, exactly when the bytes are on the wire).
+    size_t written = conn->write_offset + static_cast<size_t>(n);
+    while (!conn->outq.empty() &&
+           written >= conn->outq.front().TotalBytes()) {
+      written -= conn->outq.front().TotalBytes();
+      conn->outq.pop_front();
+    }
+    conn->write_offset = written;
+  }
+  if (conn->want_write && conn->outq.empty()) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd.get();
+    ::epoll_ctl(loop->epoll.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev);
+    conn->want_write = false;
+  }
+  return true;
+}
+
+void TcpServer::CloseConnection(Loop* loop, Connection* conn) {
+  ::epoll_ctl(loop->epoll.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
+  loop->conns.erase(conn->fd.get());
+}
+
+}  // namespace jiffy

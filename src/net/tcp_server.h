@@ -1,0 +1,95 @@
+// Epoll TCP server for the binary wire protocol (DESIGN.md §12).
+//
+// The server owns N event-loop threads, each running epoll over its share
+// of connections. Loop 0 additionally owns the listener and hands accepted
+// connections to loops round-robin (eventfd wakeup). Complete frames are
+// decoded and dispatched to the installed Handler on the loop thread; the
+// returned WireResponse is written with writev straight from its payload
+// views — header/meta from the owned head buffer, values from whatever the
+// handler pinned (arena memory), so the server never copies a payload byte.
+//
+// The transport below the handler is deliberately dumb: it has no notion of
+// blocks or data structures. The block-aware dispatcher lives in src/wire.
+
+#ifndef SRC_NET_TCP_SERVER_H_
+#define SRC_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+
+namespace jiffy {
+
+class TcpServer {
+ public:
+  // Produces the response for one decoded request. Runs on an event-loop
+  // thread; the request's views die when the handler returns, the
+  // response's payload views must stay valid until its keepalives drop.
+  using Handler = std::function<WireResponse(const DecodedRequest&)>;
+
+  struct Options {
+    uint16_t port = 0;   // 0 = ephemeral; see port() after Start().
+    int threads = 2;     // Event-loop threads (>= 1).
+    // Test hook: hold up to `reorder_window` responses per connection and
+    // release them in seeded-shuffled order, so completion-tag matching is
+    // exercised under genuine reordering. 0/1 = respond in arrival order.
+    size_t reorder_window = 0;
+    uint64_t reorder_seed = 1;
+  };
+
+  TcpServer(Handler handler, Options options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds the listener and spawns the loops. Call once.
+  Status Start();
+
+  // Stops the loops, closes every connection, joins threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  // Connections accepted / frames served since Start (diagnostics).
+  uint64_t connections_accepted() const { return accepted_.load(); }
+  uint64_t frames_served() const { return frames_.load(); }
+
+ private:
+  struct Connection;
+  struct Loop;
+
+  void AcceptPending(Loop* loop);
+  void RunLoop(Loop* loop);
+  void HandleReadable(Loop* loop, Connection* conn);
+  // Serializes queued responses to the socket; arms EPOLLOUT on partial
+  // writes. Returns false when the connection died.
+  bool FlushWrites(Loop* loop, Connection* conn);
+  void CloseConnection(Loop* loop, Connection* conn);
+
+  Handler handler_;
+  Options options_;
+  Fd listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> frames_{0};
+  std::atomic<size_t> next_loop_{0};
+  std::vector<std::unique_ptr<Loop>> loops_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_NET_TCP_SERVER_H_

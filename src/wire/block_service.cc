@@ -1,0 +1,98 @@
+#include "src/wire/block_service.h"
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/block/arena.h"
+#include "src/ds/kv_content.h"
+
+namespace jiffy {
+
+WireResponse WireBlockService::Handle(const DecodedRequest& req) {
+  if (req.op == WireOp::kPing) {
+    return ResponseBuilder(WireOp::kPing, req.tag).Finish();
+  }
+  Block* block = resolver_ != nullptr ? resolver_(req.block) : nullptr;
+  if (block == nullptr) {
+    return ErrorResponse(req.op, req.tag, StatusCode::kUnavailable);
+  }
+  return HandleKv(req, block);
+}
+
+WireResponse WireBlockService::HandleKv(const DecodedRequest& req,
+                                        Block* block) {
+  ResponseBuilder builder(req.op, req.tag, req.keys.size());
+  switch (req.op) {
+    case WireOp::kMultiPut: {
+      std::vector<std::pair<std::string_view, std::string_view>> pairs;
+      pairs.reserve(req.keys.size());
+      for (size_t i = 0; i < req.keys.size(); ++i) {
+        pairs.emplace_back(req.keys[i], req.values[i]);
+      }
+      std::vector<Status> statuses;
+      {
+        std::lock_guard<std::mutex> lock(block->mu());
+        auto* shard = ContentAs<KvShard>(block->content());
+        if (shard == nullptr) {
+          builder.SetOverall(StatusCode::kFailedPrecondition);
+          return std::move(builder).Finish();
+        }
+        block->CountOps(pairs.size());
+        shard->MultiPut(pairs, &statuses);
+      }
+      for (const Status& st : statuses) {
+        builder.AddItem(st.code());
+      }
+      break;
+    }
+    case WireOp::kMultiGet: {
+      std::vector<Result<std::string_view>> results;
+      {
+        std::lock_guard<std::mutex> lock(block->mu());
+        auto* shard = ContentAs<KvShard>(block->content());
+        if (shard == nullptr) {
+          builder.SetOverall(StatusCode::kFailedPrecondition);
+          return std::move(builder).Finish();
+        }
+        block->CountOps(req.keys.size());
+        shard->MultiGet(req.keys, &results);
+        // Pin while the mutex still protects the arena: the views stay
+        // byte-stable until the response is fully written, even against a
+        // concurrent migration or compaction (DESIGN.md §11).
+        builder.AddKeepalive(
+            std::make_shared<ArenaPin>(ArenaPin(shard->arena())));
+      }
+      for (const auto& r : results) {
+        if (r.ok()) {
+          builder.AddItem(StatusCode::kOk, r.value());
+        } else {
+          builder.AddItem(r.status().code());
+        }
+      }
+      break;
+    }
+    case WireOp::kMultiDelete: {
+      std::vector<Status> statuses;
+      {
+        std::lock_guard<std::mutex> lock(block->mu());
+        auto* shard = ContentAs<KvShard>(block->content());
+        if (shard == nullptr) {
+          builder.SetOverall(StatusCode::kFailedPrecondition);
+          return std::move(builder).Finish();
+        }
+        block->CountOps(req.keys.size());
+        shard->MultiDelete(req.keys, &statuses);
+      }
+      for (const Status& st : statuses) {
+        builder.AddItem(st.code());
+      }
+      break;
+    }
+    case WireOp::kPing:
+      break;  // Handled above.
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace jiffy

@@ -1,0 +1,47 @@
+// Block-aware dispatcher for the wire data plane (DESIGN.md §12).
+//
+// The TCP server below this layer is protocol-only; WireBlockService is
+// where decoded frames meet block operators. It resolves the request's
+// packed BlockId through an injected resolver (an in-process cluster, or a
+// standalone jiffy_server's own block table), applies the batch under one
+// block-mutex hold — the same single acquisition the in-process batch path
+// pays — and builds the response frame.
+//
+// Zero-copy contract: for MultiGet the values in the response are
+// string_views into the shard's arena, pinned (ArenaPin, taken while the
+// mutex is still held) and carried as the response's keepalive, so the
+// bytes flow read-op → writev with no server-side materialization. The
+// CopyMeter tally is untouched by this layer.
+
+#ifndef SRC_WIRE_BLOCK_SERVICE_H_
+#define SRC_WIRE_BLOCK_SERVICE_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/block/block.h"
+#include "src/net/frame.h"
+
+namespace jiffy {
+
+class WireBlockService {
+ public:
+  // Maps a packed BlockId to its block; nullptr = unknown/failed server
+  // (the client sees kUnavailable and runs its normal failover).
+  using BlockResolver = std::function<Block*(uint64_t packed)>;
+
+  explicit WireBlockService(BlockResolver resolver)
+      : resolver_(std::move(resolver)) {}
+
+  // Handles one decoded request frame. Shaped for TcpServer::Handler.
+  WireResponse Handle(const DecodedRequest& req);
+
+ private:
+  WireResponse HandleKv(const DecodedRequest& req, Block* block);
+
+  BlockResolver resolver_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_WIRE_BLOCK_SERVICE_H_

@@ -1,0 +1,38 @@
+#include "src/wire/gateway.h"
+
+namespace jiffy {
+
+WireGateway::WireGateway(JiffyCluster* cluster, Options options)
+    : cluster_(cluster),
+      service_([cluster](uint64_t packed) {
+        return cluster->ResolveBlock(BlockId::FromPacked(packed));
+      }) {
+  TcpServer::Options server_options;
+  server_options.port = options.port;
+  server_options.threads = options.threads;
+  server_options.reorder_window = options.reorder_window;
+  server_options.reorder_seed = options.reorder_seed;
+  server_ = std::make_unique<TcpServer>(
+      [this](const DecodedRequest& req) { return service_.Handle(req); },
+      server_options);
+}
+
+WireMap WireGateway::MapFor(const PartitionMap& map) const {
+  WireMap out;
+  out.total_slots = cluster_->config().kv_hash_slots;
+  WireEndpoint ep;
+  ep.host = "127.0.0.1";
+  ep.port = server_->port();
+  out.endpoints.push_back(ep);
+  for (const PartitionEntry& entry : map.entries) {
+    WireRange range;
+    range.slot_lo = static_cast<uint32_t>(entry.lo);
+    range.slot_hi = static_cast<uint32_t>(entry.hi);
+    range.block = entry.block.Packed();
+    range.endpoint = 0;
+    out.ranges.push_back(range);
+  }
+  return out;
+}
+
+}  // namespace jiffy

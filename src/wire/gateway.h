@@ -1,0 +1,58 @@
+// WireGateway: serves an in-process JiffyCluster over the binary TCP
+// protocol (DESIGN.md §12).
+//
+// The gateway is how the existing single-process deployment grows a real
+// wire: it boots a TcpServer whose handler resolves packed BlockIds through
+// JiffyCluster::ResolveBlock — so failed servers are unreachable over the
+// wire exactly as they are in-process — and it snapshots a KvClient's
+// cached PartitionMap into the WireMap a WireKvClient routes by. Every
+// mixed-mode test and the loopback wire bench are built from this: same
+// blocks, same data, reachable both by direct call and by socket.
+
+#ifndef SRC_WIRE_GATEWAY_H_
+#define SRC_WIRE_GATEWAY_H_
+
+#include <memory>
+
+#include "src/cluster/cluster.h"
+#include "src/core/hierarchy.h"
+#include "src/net/tcp_server.h"
+#include "src/wire/block_service.h"
+#include "src/wire/wire_kv_client.h"
+
+namespace jiffy {
+
+class WireGateway {
+ public:
+  struct Options {
+    uint16_t port = 0;  // 0 = ephemeral.
+    int threads = 2;
+    // Test hooks, passed through to TcpServer.
+    size_t reorder_window = 0;
+    uint64_t reorder_seed = 1;
+  };
+
+  explicit WireGateway(JiffyCluster* cluster)
+      : WireGateway(cluster, Options()) {}
+  WireGateway(JiffyCluster* cluster, Options options);
+
+  Status Start() { return server_->Start(); }
+  void Stop() { server_->Stop(); }
+  uint16_t port() const { return server_->port(); }
+  TcpServer* server() { return server_.get(); }
+
+  // Routing snapshot for a KV prefix's partition map, with every range
+  // served by this gateway's endpoint. `total_slots` comes from the cluster
+  // config. Chain reads over the wire hit the entry's primary block (the
+  // map carries no per-replica endpoints yet; DESIGN.md §12).
+  WireMap MapFor(const PartitionMap& map) const;
+
+ private:
+  JiffyCluster* cluster_;
+  WireBlockService service_;
+  std::unique_ptr<TcpServer> server_;
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_WIRE_GATEWAY_H_

@@ -1,0 +1,314 @@
+// jiffy_server: standalone wire data-plane server + multi-process launcher
+// (DESIGN.md §12, README "Multi-process launch").
+//
+// Standalone mode hosts one MemoryServer's worth of KV blocks behind the
+// binary TCP protocol and serves until SIGTERM:
+//
+//   jiffy_server --port 0 --server-id 0 --blocks 2 --slots 1024 \
+//                --slot-lo 0 --slot-hi 512
+//
+// On boot it prints exactly one line the launcher (or an operator script)
+// parses to discover the kernel-assigned port:
+//
+//   LISTENING <port> server=<id> blocks=<n> slots=<lo>-<hi>
+//
+// Launcher mode forks N such servers as real OS processes, splits the slot
+// space evenly, and optionally drives a verification workload across them
+// with a WireKvClient before shutting the fleet down:
+//
+//   jiffy_server --spawn 3 --probe 200
+//
+// The probe exercises the full stack — binary frames over loopback TCP into
+// three separate processes, completions matched by tag — and exits 0 only
+// when every routed put/get/delete answered correctly.
+
+#include <signal.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/block/block.h"
+#include "src/ds/kv_content.h"
+#include "src/net/tcp_server.h"
+#include "src/wire/block_service.h"
+#include "src/wire/wire_kv_client.h"
+
+namespace jiffy {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+struct ServerArgs {
+  uint16_t port = 0;
+  int threads = 2;
+  uint32_t server_id = 0;
+  uint32_t blocks = 1;
+  size_t block_bytes = 1u << 20;
+  uint32_t slots = 1024;
+  uint32_t slot_lo = 0;
+  uint32_t slot_hi = 1024;
+  int spawn = 0;
+  int probe = 0;
+};
+
+// Slot share of block `b` of `nblocks` covering [lo, hi) — the single
+// definition both a serving child and the probing parent compute from.
+void BlockShare(uint32_t lo, uint32_t hi, uint32_t b, uint32_t nblocks,
+                uint32_t* out_lo, uint32_t* out_hi) {
+  const uint64_t span = hi - lo;
+  *out_lo = lo + static_cast<uint32_t>(span * b / nblocks);
+  *out_hi = lo + static_cast<uint32_t>(span * (b + 1) / nblocks);
+}
+
+// Serves `args`'s slot share until SIGTERM. `announce_fd` receives the
+// LISTENING line (a launcher pipe, or 1 for standalone stdout).
+int RunServer(const ServerArgs& args, int announce_fd) {
+  signal(SIGTERM, OnSignal);
+  signal(SIGINT, OnSignal);
+
+  MemoryServer server(args.server_id, args.blocks, args.block_bytes);
+  for (uint32_t b = 0; b < args.blocks; ++b) {
+    uint32_t lo = 0, hi = 0;
+    BlockShare(args.slot_lo, args.slot_hi, b, args.blocks, &lo, &hi);
+    Block* block = server.block(b);
+    block->InstallContent(
+        std::make_unique<KvShard>(args.block_bytes, lo, hi, args.slots));
+    block->set_allocated(true);
+  }
+
+  WireBlockService service([&server, &args](uint64_t packed) -> Block* {
+    const BlockId id = BlockId::FromPacked(packed);
+    if (id.server_id != args.server_id || server.failed()) {
+      return nullptr;
+    }
+    return server.block(id.slot);
+  });
+
+  TcpServer::Options options;
+  options.port = args.port;
+  options.threads = args.threads;
+  TcpServer tcp([&service](const DecodedRequest& req) {
+    return service.Handle(req);
+  }, options);
+  const Status st = tcp.Start();
+  if (!st.ok()) {
+    fprintf(stderr, "jiffy_server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  char line[128];
+  const int len = snprintf(line, sizeof(line),
+                           "LISTENING %u server=%u blocks=%u slots=%u-%u\n",
+                           tcp.port(), args.server_id, args.blocks,
+                           args.slot_lo, args.slot_hi);
+  if (write(announce_fd, line, static_cast<size_t>(len)) != len) {
+    return 1;
+  }
+
+  while (!g_stop.load()) {
+    usleep(50 * 1000);
+  }
+  tcp.Stop();
+  return 0;
+}
+
+struct Child {
+  pid_t pid = 0;
+  int pipe_rd = -1;
+  uint16_t port = 0;
+  ServerArgs args;
+};
+
+int RunLauncher(const ServerArgs& base) {
+  std::vector<Child> children;
+  for (int i = 0; i < base.spawn; ++i) {
+    Child child;
+    child.args = base;
+    child.args.server_id = static_cast<uint32_t>(i);
+    child.args.port = 0;  // Every child takes an ephemeral port.
+    BlockShare(0, base.slots, static_cast<uint32_t>(i),
+               static_cast<uint32_t>(base.spawn), &child.args.slot_lo,
+               &child.args.slot_hi);
+    int fds[2];
+    if (pipe(fds) != 0) {
+      perror("pipe");
+      return 1;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      close(fds[0]);
+      const int rc = RunServer(child.args, fds[1]);
+      close(fds[1]);
+      _exit(rc);
+    }
+    close(fds[1]);
+    child.pid = pid;
+    child.pipe_rd = fds[0];
+    children.push_back(child);
+  }
+
+  auto shutdown = [&children](int exit_code) {
+    for (const Child& c : children) {
+      kill(c.pid, SIGTERM);
+    }
+    for (const Child& c : children) {
+      int status = 0;
+      waitpid(c.pid, &status, 0);
+      close(c.pipe_rd);
+    }
+    return exit_code;
+  };
+
+  // Discover each child's port from its LISTENING line.
+  for (Child& child : children) {
+    char buf[128] = {0};
+    size_t got = 0;
+    while (got < sizeof(buf) - 1 && (got == 0 || buf[got - 1] != '\n')) {
+      const ssize_t n = read(child.pipe_rd, buf + got, 1);
+      if (n <= 0) {
+        break;
+      }
+      got += static_cast<size_t>(n);
+    }
+    unsigned port = 0;
+    if (sscanf(buf, "LISTENING %u", &port) != 1 || port == 0) {
+      fprintf(stderr, "launcher: child %d announced nothing\n", child.pid);
+      return shutdown(1);
+    }
+    child.port = static_cast<uint16_t>(port);
+    printf("launcher: server %u pid=%d port=%u slots=%u-%u\n",
+           child.args.server_id, child.pid, port, child.args.slot_lo,
+           child.args.slot_hi);
+  }
+
+  if (base.probe <= 0) {
+    printf("launcher: %d servers up; SIGTERM to stop\n", base.spawn);
+    signal(SIGTERM, OnSignal);
+    signal(SIGINT, OnSignal);
+    while (!g_stop.load()) {
+      usleep(100 * 1000);
+    }
+    return shutdown(0);
+  }
+
+  // --- Probe: real traffic through every process ---------------------------
+  WireMap map;
+  map.total_slots = base.slots;
+  for (const Child& child : children) {
+    WireEndpoint ep;
+    ep.port = child.port;
+    ep.server_id = child.args.server_id;
+    map.endpoints.push_back(ep);
+    for (uint32_t b = 0; b < child.args.blocks; ++b) {
+      uint32_t lo = 0, hi = 0;
+      BlockShare(child.args.slot_lo, child.args.slot_hi, b,
+                 child.args.blocks, &lo, &hi);
+      WireRange range;
+      range.slot_lo = lo;
+      range.slot_hi = hi;
+      range.block = BlockId{child.args.server_id, b}.Packed();
+      range.endpoint = map.endpoints.size() - 1;
+      map.ranges.push_back(range);
+    }
+  }
+  WireKvClient client(std::move(map));
+
+  const int n = base.probe;
+  std::vector<std::string> keys, values;
+  keys.reserve(static_cast<size_t>(n));
+  values.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    keys.push_back("probe-key-" + std::to_string(i));
+    values.push_back("value-" + std::to_string(i * 7));
+  }
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+  std::vector<std::string_view> key_views;
+  for (int i = 0; i < n; ++i) {
+    pairs.emplace_back(keys[static_cast<size_t>(i)],
+                       values[static_cast<size_t>(i)]);
+    key_views.emplace_back(keys[static_cast<size_t>(i)]);
+  }
+  size_t failures = 0;
+  for (const Status& st : client.MultiPut(pairs)) {
+    failures += st.ok() ? 0 : 1;
+  }
+  WireValues got = client.MultiGet(key_views);
+  for (int i = 0; i < n; ++i) {
+    if (!got[static_cast<size_t>(i)].ok() ||
+        *got[static_cast<size_t>(i)] != values[static_cast<size_t>(i)]) {
+      ++failures;
+    }
+  }
+  for (const Status& st : client.MultiDelete(key_views)) {
+    failures += st.ok() ? 0 : 1;
+  }
+  printf("PROBE %s ops=%d rpcs=%llu servers=%d failures=%zu\n",
+         failures == 0 ? "ok" : "FAILED", 3 * n,
+         static_cast<unsigned long long>(client.rpcs_sent()), base.spawn,
+         failures);
+  return shutdown(failures == 0 ? 0 : 1);
+}
+
+int Main(int argc, char** argv) {
+  ServerArgs args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> long {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "missing value for %s\n", flag);
+        exit(2);
+      }
+      return atol(argv[++i]);
+    };
+    if (strcmp(argv[i], "--port") == 0) {
+      args.port = static_cast<uint16_t>(next("--port"));
+    } else if (strcmp(argv[i], "--threads") == 0) {
+      args.threads = static_cast<int>(next("--threads"));
+    } else if (strcmp(argv[i], "--server-id") == 0) {
+      args.server_id = static_cast<uint32_t>(next("--server-id"));
+    } else if (strcmp(argv[i], "--blocks") == 0) {
+      args.blocks = static_cast<uint32_t>(next("--blocks"));
+    } else if (strcmp(argv[i], "--block-bytes") == 0) {
+      args.block_bytes = static_cast<size_t>(next("--block-bytes"));
+    } else if (strcmp(argv[i], "--slots") == 0) {
+      args.slots = static_cast<uint32_t>(next("--slots"));
+      args.slot_hi = args.slots;
+    } else if (strcmp(argv[i], "--slot-lo") == 0) {
+      args.slot_lo = static_cast<uint32_t>(next("--slot-lo"));
+    } else if (strcmp(argv[i], "--slot-hi") == 0) {
+      args.slot_hi = static_cast<uint32_t>(next("--slot-hi"));
+    } else if (strcmp(argv[i], "--spawn") == 0) {
+      args.spawn = static_cast<int>(next("--spawn"));
+    } else if (strcmp(argv[i], "--probe") == 0) {
+      args.probe = static_cast<int>(next("--probe"));
+    } else {
+      fprintf(stderr,
+              "usage: jiffy_server [--port P] [--threads T] [--server-id I]\n"
+              "                    [--blocks B] [--block-bytes BYTES]\n"
+              "                    [--slots H] [--slot-lo L] [--slot-hi U]\n"
+              "                    [--spawn N [--probe OPS]]\n");
+      return 2;
+    }
+  }
+  if (args.spawn > 0) {
+    return RunLauncher(args);
+  }
+  return RunServer(args, 1);
+}
+
+}  // namespace
+}  // namespace jiffy
+
+int main(int argc, char** argv) { return jiffy::Main(argc, argv); }
