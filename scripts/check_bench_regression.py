@@ -27,11 +27,24 @@ A third mode gates the real-wire bench (fig17_wire) instead:
    deltas: the ratio already normalizes away machine speed (both axes run
    on the same host), so a committed baseline is not compared.
 
+A fourth mode gates the thread-per-core bench (fig18_affinity):
+
+4. Affinity gate (``--affinity``): NEW.json is a BENCH_fig18_affinity.json
+   document. Checks the ISSUE-9 acceptance criteria — uniform 8-block
+   modeled-cores scaling at 4 loops vs 1 at least ``--min-scaling``
+   (default 2.5), hot-block serial-section bound of the affinity path at
+   least ``--min-hot-ratio`` (default 1.3) times the PR-8 shared-mutex
+   bound, and zero server-side payload bytes copied per MultiGet item.
+   Like the wire gate these are absolute: every ratio divides two CPU
+   measurements taken on the same host in the same run.
+
 Usage:
     check_bench_regression.py NEW.json BASELINE.json [--threshold 0.30]
                               [--prefix BM_KvMultiPut --prefix BM_KvMultiGet]
     check_bench_regression.py --wire BENCH_fig17_wire.json
                               [--min-wire-ratio 0.5] [--min-inflight 32]
+    check_bench_regression.py --affinity BENCH_fig18_affinity.json
+                              [--min-scaling 2.5] [--min-hot-ratio 1.3]
 
 Exit code 0 when every gate passes, 1 otherwise.
 """
@@ -105,6 +118,51 @@ def check_wire(path, min_ratio, min_inflight):
     return 1 if failed else 0
 
 
+def check_affinity(path, min_scaling, min_hot_ratio):
+    """Gates a BENCH_fig18_affinity.json document against the thread-per-core
+    acceptance criteria. Returns the process exit code."""
+    with open(path) as f:
+        doc = json.load(f)
+    failed = False
+
+    scaling = doc.get("uniform", {}).get("scaling")
+    if scaling is None:
+        print(f"FAIL: {path} has no uniform.scaling")
+        failed = True
+    elif scaling < min_scaling:
+        print(f"FAIL: uniform 8-block modeled-cores scaling {scaling:.3f} "
+              f"< {min_scaling} (4 loops vs 1)")
+        failed = True
+    else:
+        print(f"ok: uniform 8-block scaling {scaling:.3f}x at 4 loops "
+              f"(>= {min_scaling})")
+
+    hot = doc.get("hot", {}).get("ratio")
+    if hot is None:
+        print(f"FAIL: {path} has no hot.ratio")
+        failed = True
+    elif hot < min_hot_ratio:
+        print(f"FAIL: hot-block serial-section bound, affinity vs PR-8 "
+              f"shared mutex: {hot:.3f} < {min_hot_ratio}")
+        failed = True
+    else:
+        print(f"ok: hot-block affinity/shared-mutex bound {hot:.3f}x "
+              f"(>= {min_hot_ratio})")
+
+    copied = doc.get("server_copied_bytes_per_get")
+    if copied is None:
+        print(f"FAIL: {path} has no server_copied_bytes_per_get")
+        failed = True
+    elif copied != 0:
+        print(f"FAIL: server copied {copied} payload bytes per MultiGet "
+              f"item under affinity; the fast path must stay zero-copy")
+        failed = True
+    else:
+        print("ok: affinity MultiGet serialization copied 0 payload bytes")
+
+    return 1 if failed else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new_json")
@@ -126,13 +184,27 @@ def main():
     parser.add_argument("--min-inflight", type=int, default=32,
                         help="minimum in-flight RPCs observed on one "
                              "connection (default 32)")
+    parser.add_argument("--affinity", action="store_true",
+                        help="gate a BENCH_fig18_affinity.json document "
+                             "against the thread-per-core acceptance "
+                             "criteria instead")
+    parser.add_argument("--min-scaling", type=float, default=2.5,
+                        help="minimum uniform 8-block modeled-cores scaling "
+                             "at 4 loops vs 1 (default 2.5)")
+    parser.add_argument("--min-hot-ratio", type=float, default=1.3,
+                        help="minimum hot-block serial-section bound ratio, "
+                             "affinity vs PR-8 shared mutex (default 1.3)")
     args = parser.parse_args()
 
     if args.wire:
         return check_wire(args.new_json, args.min_wire_ratio,
                           args.min_inflight)
+    if args.affinity:
+        return check_affinity(args.new_json, args.min_scaling,
+                              args.min_hot_ratio)
     if args.baseline_json is None:
-        parser.error("baseline_json is required unless --wire is given")
+        parser.error("baseline_json is required unless --wire or "
+                     "--affinity is given")
     prefixes = args.prefix or ["BM_KvMultiPut", "BM_KvMultiGet"]
 
     new_doc, new_runs = load_runs(args.new_json)

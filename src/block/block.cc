@@ -1,6 +1,31 @@
 #include "src/block/block.h"
 
+#include "src/obs/trace.h"
+
 namespace jiffy {
+
+Block::OpLock::OpLock(Block& block, const char* wait_span) : block_(block) {
+  if (wait_span != nullptr && obs::TracingEnabled()) {
+    const TimeNs start = RealClock::Instance()->Now();
+    block_.mu_.lock();
+    obs::Tracer::Global()->RecordComplete(
+        wait_span, "lock", start, RealClock::Instance()->Now() - start);
+  } else {
+    block_.mu_.lock();
+  }
+  // Revoke the wire-loop bias AFTER taking mu(): a grant issued while we
+  // waited on the mutex must not survive into our critical section.
+  if (block_.bias_.load(std::memory_order_relaxed) != kSharedBias) {
+    block_.bias_.store(kSharedBias, std::memory_order_seq_cst);
+    block_.bias_revokes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Wait out a biased operator that announced itself before observing the
+  // revoke. The owner never blocks mid-op, so this spin is bounded by one
+  // operator's execution.
+  while (block_.biased_active_.load(std::memory_order_seq_cst)) {
+    std::this_thread::yield();
+  }
+}
 
 const char* DsTypeName(DsType type) {
   switch (type) {
@@ -49,7 +74,7 @@ std::string Block::owner_prefix() const {
 }
 
 double Block::UsageFraction() {
-  std::lock_guard<std::mutex> lock(mu_);
+  OpLock lock(*this);
   if (content_ == nullptr || capacity_ == 0) {
     return 0.0;
   }
@@ -58,7 +83,7 @@ double Block::UsageFraction() {
 }
 
 size_t Block::UsedBytes() {
-  std::lock_guard<std::mutex> lock(mu_);
+  OpLock lock(*this);
   return content_ == nullptr ? 0 : content_->used_bytes();
 }
 

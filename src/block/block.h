@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/block/block_id.h"
@@ -70,10 +71,16 @@ ContentT* ContentAs(BlockContent* content) {
              : nullptr;
 }
 
-// One fixed-size memory block. Thread-safety: callers must hold mu() across
-// content access; seq numbers and metadata fields are atomic.
+// One fixed-size memory block. Thread-safety: callers must acquire the
+// block through Block::OpLock across content access — it takes mu() AND
+// revokes any wire-loop bias, so the holder is the unique content accessor
+// even while a thread-per-core wire server executes lock-free (DESIGN.md
+// §13). Seq numbers and metadata fields are atomic.
 class Block {
  public:
+  // bias() value meaning "no owning loop": every accessor locks via OpLock.
+  static constexpr uint64_t kSharedBias = 0;
+
   Block(BlockId id, size_t capacity_bytes);
 
   Block(const Block&) = delete;
@@ -83,8 +90,78 @@ class Block {
   size_t capacity() const { return capacity_; }
 
   // Per-block operation mutex: Jiffy executes individual data-structure
-  // operators atomically (§4.1).
+  // operators atomically (§4.1). Prefer Block::OpLock — locking mu() bare is
+  // only safe for state that biased wire execution never touches.
   std::mutex& mu() { return mu_; }
+
+  // --- Wire-loop bias: single-writer execution without mu() (DESIGN.md §13)
+  //
+  // A thread-per-core wire server routes every block to one owning event
+  // loop. That loop may GrantBias(tag) to itself (while inside an OpLock)
+  // and from then on execute operators lock-free via the
+  // TryBeginBiasedOp/EndBiasedOp pair. Everyone else — in-process clients,
+  // the repartitioner, split/merge, stats — acquires the block through
+  // OpLock, which clears the bias and then waits out any in-flight biased
+  // operator (a Dekker-style seq_cst handshake on bias_/biased_active_), so
+  // the two modes are mutually exclusive without the owner ever blocking.
+
+  // Owner fast path. Returns true when the calling thread (whose loop tag
+  // must equal the current bias) may execute ONE operator without mu();
+  // pair with EndBiasedOp(). Returns false when the bias is gone — fall
+  // back to OpLock.
+  bool TryBeginBiasedOp(uint64_t tag) {
+    if (tag == kSharedBias ||
+        bias_.load(std::memory_order_relaxed) != tag) {
+      return false;
+    }
+    biased_active_.store(true, std::memory_order_seq_cst);
+    if (bias_.load(std::memory_order_seq_cst) != tag) {
+      // A revoker won the race; it is spinning on biased_active_ right now.
+      biased_active_.store(false, std::memory_order_release);
+      return false;
+    }
+    biased_ops_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  void EndBiasedOp() {
+    biased_active_.store(false, std::memory_order_release);
+  }
+
+  // Grants the bias to `tag`. Caller MUST hold the block through an OpLock
+  // (the grant only becomes load-bearing for accessors that lock later, and
+  // those revoke it before touching content).
+  void GrantBias(uint64_t tag) {
+    bias_.store(tag, std::memory_order_release);
+  }
+
+  uint64_t bias() const { return bias_.load(std::memory_order_acquire); }
+  // Operators executed on the lock-free owner path / biases revoked by
+  // shared accessors (diagnostics; tests assert the fast path engaged).
+  uint64_t biased_ops() const {
+    return biased_ops_.load(std::memory_order_relaxed);
+  }
+  uint64_t bias_revokes() const {
+    return bias_revokes_.load(std::memory_order_relaxed);
+  }
+
+  // Revoking block lock: the ONLY correct way to reach content from outside
+  // the owning wire loop. Acquires mu(), strips the bias, and waits for a
+  // straggler biased operator to finish. Construction order (mu first, then
+  // revoke) closes the re-grant race: a bias granted while we waited on
+  // mu() is cleared before we touch content.
+  class OpLock {
+   public:
+    // `wait_span` mirrors obs::TracedLockGuard: non-null names the lock-wait
+    // span recorded when tracing is on.
+    explicit OpLock(Block& block, const char* wait_span = nullptr);
+    ~OpLock() { block_.mu_.unlock(); }
+
+    OpLock(const OpLock&) = delete;
+    OpLock& operator=(const OpLock&) = delete;
+
+   private:
+    Block& block_;
+  };
 
   // Content management (call with mu() held unless single-threaded setup).
   BlockContent* content() { return content_.get(); }
@@ -142,6 +219,10 @@ class Block {
   const size_t capacity_;
   std::mutex mu_;
   std::unique_ptr<BlockContent> content_;
+  std::atomic<uint64_t> bias_{kSharedBias};
+  std::atomic<bool> biased_active_{false};
+  std::atomic<uint64_t> biased_ops_{0};
+  std::atomic<uint64_t> bias_revokes_{0};
   std::atomic<bool> allocated_{false};
   std::atomic<bool> repartition_flagged_{false};
   std::atomic<uint64_t> seq_no_{0};

@@ -47,7 +47,7 @@ Result<std::string> CustomDsClient::RunOp(
     Result<std::string> r = Internal("unreached");
     bool content_gone = false;
     {
-      obs::TracedLockGuard lock(block->mu(), "custom.block_wait");
+      Block::OpLock lock(*block, "custom.block_wait");
       JIFFY_TRACE_SPAN("block.custom_op", "block");
       auto* content = ContentAs<CustomContent>(block->content());
       if (content == nullptr) {

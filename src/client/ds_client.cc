@@ -165,7 +165,7 @@ void DsClient::MaybePersist(const PartitionEntry& entry) {
   }
   std::string payload;
   {
-    std::lock_guard<std::mutex> lock(block->mu());
+    Block::OpLock lock(*block);
     if (block->content() == nullptr) {
       return;
     }

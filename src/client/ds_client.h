@@ -165,7 +165,7 @@ class DsClient {
         continue;
       }
       {
-        obs::TracedLockGuard lock(rb->mu(), "chain.block_wait");
+        Block::OpLock lock(*rb, "chain.block_wait");
         JIFFY_TRACE_SPAN("block.chain_apply", "block");
         auto* content = ContentAs<ContentT>(rb->content());
         if (content != nullptr) {
@@ -193,7 +193,7 @@ class DsClient {
         continue;
       }
       {
-        obs::TracedLockGuard lock(rb->mu(), "chain.block_wait");
+        Block::OpLock lock(*rb, "chain.block_wait");
         JIFFY_TRACE_SPAN("block.chain_apply", "block");
         auto* content = ContentAs<ContentT>(rb->content());
         if (content != nullptr) {

@@ -82,7 +82,7 @@ Result<uint64_t> FileClient::Append(std::string_view data) {
     bool content_gone = false;
     bool tail_capped = false;
     {
-      obs::TracedLockGuard lock(block->mu(), "file.block_wait");
+      Block::OpLock lock(*block, "file.block_wait");
       JIFFY_TRACE_SPAN("block.file_append", "block");
       auto* chunk = ContentAs<FileChunk>(block->content());
       if (chunk == nullptr) {
@@ -227,7 +227,7 @@ Result<uint64_t> FileClient::AppendVec(
     bool content_gone = false;
     bool tail_capped = false;
     {
-      obs::TracedLockGuard lock(block->mu(), "file.block_wait");
+      Block::OpLock lock(*block, "file.block_wait");
       JIFFY_TRACE_SPAN("block.file_append_vec", "block");
       auto* chunk = ContentAs<FileChunk>(block->content());
       if (chunk == nullptr) {
@@ -374,7 +374,7 @@ Result<std::string> FileClient::Read(uint64_t offset, size_t len) {
     std::string_view piece;
     ArenaPin pin;
     {
-      obs::TracedLockGuard lock(block->mu(), "file.block_wait");
+      Block::OpLock lock(*block, "file.block_wait");
       JIFFY_TRACE_SPAN("block.file_read", "block");
       auto* chunk = ContentAs<FileChunk>(block->content());
       if (chunk == nullptr) {
@@ -489,7 +489,7 @@ std::vector<Result<std::string>> FileClient::ReadVec(
       ArenaPin pin;
       bool content_gone = false;
       {
-        obs::TracedLockGuard lock(block->mu(), "file.block_wait");
+        Block::OpLock lock(*block, "file.block_wait");
         JIFFY_TRACE_SPAN("block.file_read_vec", "block");
         auto* chunk = ContentAs<FileChunk>(block->content());
         if (chunk == nullptr) {
@@ -604,7 +604,7 @@ Result<uint64_t> FileClient::Size() {
     op.Success();   // Failover worked; the retry reports its own outcome.
     return Size();  // Recursive call owns its own scope.
   }
-  obs::TracedLockGuard lock(block->mu(), "file.block_wait");
+  Block::OpLock lock(*block, "file.block_wait");
   JIFFY_TRACE_SPAN("block.file_size", "block");
   auto* chunk = ContentAs<FileChunk>(block->content());
   if (chunk == nullptr) {

@@ -64,7 +64,7 @@ Status KvClient::Put(std::string_view key, std::string_view value) {
     uint32_t slot_span = 0;
     bool content_gone = false;
     {
-      obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+      Block::OpLock lock(*block, "kv.block_wait");
       JIFFY_TRACE_SPAN("block.kv_put", "block");
       auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
@@ -128,7 +128,7 @@ Result<std::string> KvClient::Get(std::string_view key) {
     Result<std::string> r = NotFound("");
     bool content_gone = false;
     {
-      obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+      Block::OpLock lock(*block, "kv.block_wait");
       JIFFY_TRACE_SPAN("block.kv_get", "block");
       auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
@@ -193,7 +193,7 @@ Status KvClient::Delete(std::string_view key) {
     double usage = 0.0;
     bool content_gone = false;
     {
-      obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+      Block::OpLock lock(*block, "kv.block_wait");
       JIFFY_TRACE_SPAN("block.kv_delete", "block");
       auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
@@ -251,7 +251,7 @@ Status KvClient::Accumulate(std::string_view key, std::string_view update,
     bool content_gone = false;
     std::string merged;
     {
-      obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+      Block::OpLock lock(*block, "kv.block_wait");
       JIFFY_TRACE_SPAN("block.kv_accumulate", "block");
       auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr) {
@@ -382,7 +382,7 @@ std::vector<Status> KvClient::MultiPut(
       double usage = 0.0;
       uint32_t slot_span = 0;
       {
-        obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+        Block::OpLock lock(*block, "kv.block_wait");
         JIFFY_TRACE_SPAN("block.kv_multi_put", "block");
         auto* shard = ContentAs<KvShard>(block->content());
         if (shard == nullptr) {
@@ -564,7 +564,7 @@ KvClient::PinnedValues KvClient::MultiGetPinned(
       std::vector<Result<std::string_view>> item_results;
       bool content_gone = false;
       {
-        obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+        Block::OpLock lock(*block, "kv.block_wait");
         JIFFY_TRACE_SPAN("block.kv_multi_get", "block");
         auto* shard = ContentAs<KvShard>(block->content());
         if (shard == nullptr) {
@@ -697,7 +697,7 @@ std::vector<Status> KvClient::MultiDelete(
       bool content_gone = false;
       double usage = 0.0;
       {
-        obs::TracedLockGuard lock(block->mu(), "kv.block_wait");
+        Block::OpLock lock(*block, "kv.block_wait");
         JIFFY_TRACE_SPAN("block.kv_multi_delete", "block");
         auto* shard = ContentAs<KvShard>(block->content());
         if (shard == nullptr) {
@@ -823,7 +823,7 @@ Status KvClient::TrySplit(const PartitionEntry& entry) {
     {
       // Re-validate against the live shard: a racing split may already have
       // relieved the pressure.
-      std::lock_guard<std::mutex> lock(block->mu());
+      Block::OpLock lock(*block);
       auto* shard = ContentAs<KvShard>(block->content());
       if (shard == nullptr || shard->slot_span() < 2) {
         return Status::Ok();
@@ -855,8 +855,8 @@ Status KvClient::TrySplit(const PartitionEntry& entry) {
       std::swap(first, second);
     }
     {
-      std::lock_guard<std::mutex> lock1(first->mu());
-      std::lock_guard<std::mutex> lock2(second->mu());
+      Block::OpLock lock1(*first);
+      Block::OpLock lock2(*second);
       auto* old_shard = ContentAs<KvShard>(block->content());
       auto* fresh = ContentAs<KvShard>(new_block->content());
       if (old_shard == nullptr || fresh == nullptr) {
@@ -966,8 +966,8 @@ Status KvClient::TryMerge(const PartitionEntry& entry) {
     }
     uint64_t new_lo = 0, new_hi = 0;
     {
-      std::lock_guard<std::mutex> lock1(first->mu());
-      std::lock_guard<std::mutex> lock2(second->mu());
+      Block::OpLock lock1(*first);
+      Block::OpLock lock2(*second);
       auto* src = ContentAs<KvShard>(dying->content());
       auto* dst = ContentAs<KvShard>(target->content());
       if (src == nullptr || dst == nullptr) {
@@ -1020,7 +1020,7 @@ Result<size_t> KvClient::CountPairs() {
     if (block == nullptr) {
       continue;
     }
-    std::lock_guard<std::mutex> lock(block->mu());
+    Block::OpLock lock(*block);
     auto* shard = ContentAs<KvShard>(block->content());
     if (shard != nullptr) {
       total += shard->pair_count();

@@ -100,7 +100,7 @@ Status QueueClient::Enqueue(std::string_view item) {
     bool content_gone = false;
     double usage = 0.0;
     {
-      obs::TracedLockGuard lock(block->mu(), "queue.block_wait");
+      Block::OpLock lock(*block, "queue.block_wait");
       JIFFY_TRACE_SPAN("block.queue_enqueue", "block");
       auto* seg = ContentAs<QueueSegment>(block->content());
       if (seg == nullptr) {
@@ -195,7 +195,7 @@ Status QueueClient::EnqueueBatch(const std::vector<std::string_view>& items) {
     bool content_gone = false;
     double usage = 0.0;
     {
-      obs::TracedLockGuard lock(block->mu(), "queue.block_wait");
+      Block::OpLock lock(*block, "queue.block_wait");
       JIFFY_TRACE_SPAN("block.queue_enqueue_batch", "block");
       auto* seg = ContentAs<QueueSegment>(block->content());
       if (seg == nullptr) {
@@ -294,7 +294,7 @@ Result<std::string> QueueClient::Dequeue() {
     bool got = false;
     bool content_gone = false;
     {
-      obs::TracedLockGuard lock(block->mu(), "queue.block_wait");
+      Block::OpLock lock(*block, "queue.block_wait");
       JIFFY_TRACE_SPAN("block.queue_dequeue", "block");
       auto* seg = ContentAs<QueueSegment>(block->content());
       if (seg == nullptr) {
@@ -410,7 +410,7 @@ Result<std::vector<std::string>> QueueClient::DequeueBatch(size_t max_n) {
     std::vector<std::string> popped;
     bool content_gone = false;
     {
-      obs::TracedLockGuard lock(block->mu(), "queue.block_wait");
+      Block::OpLock lock(*block, "queue.block_wait");
       JIFFY_TRACE_SPAN("block.queue_dequeue_batch", "block");
       auto* seg = ContentAs<QueueSegment>(block->content());
       if (seg == nullptr) {

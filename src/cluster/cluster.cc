@@ -194,7 +194,7 @@ Status JiffyCluster::InitBlock(BlockId id, DsType type, uint64_t lo,
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(block->mu());
+  Block::OpLock lock(*block);
   block->InstallContent(std::move(content));
   block->set_allocated(true);
   block->SetOwner(job, prefix);
@@ -208,7 +208,7 @@ Result<std::string> JiffyCluster::SerializeBlock(BlockId id) {
   if (block == nullptr) {
     return Internal("SerializeBlock: unknown block " + id.ToString());
   }
-  std::lock_guard<std::mutex> lock(block->mu());
+  Block::OpLock lock(*block);
   if (block->content() == nullptr) {
     return FailedPrecondition("block " + id.ToString() + " has no content");
   }
@@ -268,7 +268,7 @@ Status JiffyCluster::RestoreBlock(BlockId id, DsType type,
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(block->mu());
+  Block::OpLock lock(*block);
   block->InstallContent(std::move(content));
   block->set_allocated(true);
   block->SetOwner(job, prefix);
@@ -282,7 +282,7 @@ Status JiffyCluster::ResetBlock(BlockId id) {
   if (block == nullptr) {
     return Internal("ResetBlock: unknown block " + id.ToString());
   }
-  std::lock_guard<std::mutex> lock(block->mu());
+  Block::OpLock lock(*block);
   block->RemoveContent();
   block->set_allocated(false);
   block->SetOwner("", "");

@@ -187,7 +187,7 @@ void Repartitioner::Process(const Hint& hint) {
       hint.pressure == Pressure::kOverload && block != nullptr) {
     bool still_over = false;
     {
-      std::lock_guard<std::mutex> lock(block->mu());
+      Block::OpLock lock(*block);
       auto* shard = ContentAs<KvShard>(block->content());
       still_over = shard != nullptr && shard->slot_span() > 1 &&
                    static_cast<double>(shard->used_bytes()) >=
@@ -224,7 +224,7 @@ bool Repartitioner::HandleKvOverload(const Hint& hint, Controller* ctl,
   {
     // Re-validate under the lock: the pressure may have drained since the
     // flag was raised, or the shard may have been remapped.
-    std::lock_guard<std::mutex> lock(src->mu());
+    Block::OpLock lock(*src);
     auto* shard = ContentAs<KvShard>(src->content());
     if (shard == nullptr || shard->slot_lo() != lo || shard->slot_hi() != hi ||
         static_cast<double>(shard->used_bytes()) <
@@ -290,7 +290,7 @@ bool Repartitioner::HandleKvUnderload(const Hint& hint, Controller* ctl,
   }
   size_t src_used = 0;
   {
-    std::lock_guard<std::mutex> lock(src->mu());
+    Block::OpLock lock(*src);
     auto* shard = ContentAs<KvShard>(src->content());
     if (shard == nullptr || shard->slot_lo() != entry->lo ||
         shard->slot_hi() != entry->hi ||
@@ -367,7 +367,7 @@ Status Repartitioner::MigrateKvRange(const Hint& hint, Controller* ctl,
   // Phase 1: snapshot + start dirty tracking (short source hold).
   {
     const TimeNs h0 = clock_->Now();
-    std::lock_guard<std::mutex> lock(src->mu());
+    Block::OpLock lock(*src);
     auto* shard = ContentAs<KvShard>(src->content());
     if (shard == nullptr) {
       ctl->EndMigration(hint.job, hint.prefix, hint.block);
@@ -398,7 +398,7 @@ Status Repartitioner::MigrateKvRange(const Hint& hint, Controller* ctl,
     bool src_gone = false;
     {
       const TimeNs h0 = clock_->Now();
-      std::lock_guard<std::mutex> lock(src->mu());
+      Block::OpLock lock(*src);
       auto* shard = ContentAs<KvShard>(src->content());
       if (shard == nullptr) {
         src_gone = true;  // Abort below, outside the lock.
@@ -422,7 +422,7 @@ Status Repartitioner::MigrateKvRange(const Hint& hint, Controller* ctl,
     }
     Status st = Status::Ok();
     {
-      std::lock_guard<std::mutex> lock(dest->mu());
+      Block::OpLock lock(*dest);
       auto* dshard = ContentAs<KvShard>(dest->content());
       st = dshard == nullptr
                ? Internal("migration destination content vanished")
@@ -445,7 +445,7 @@ Status Repartitioner::MigrateKvRange(const Hint& hint, Controller* ctl,
     size_t delta_bytes = 0;
     bool src_gone = false;
     {
-      std::lock_guard<std::mutex> lock(src->mu());
+      Block::OpLock lock(*src);
       auto* shard = ContentAs<KvShard>(src->content());
       if (shard == nullptr) {
         src_gone = true;  // Abort below, outside the lock.
@@ -472,7 +472,7 @@ Status Repartitioner::MigrateKvRange(const Hint& hint, Controller* ctl,
     }
     Status st = Status::Ok();
     {
-      std::lock_guard<std::mutex> lock(dest->mu());
+      Block::OpLock lock(*dest);
       auto* dshard = ContentAs<KvShard>(dest->content());
       if (dshard == nullptr) {
         st = Internal("migration destination content vanished in catch-up");
@@ -503,8 +503,8 @@ Status Repartitioner::MigrateKvRange(const Hint& hint, Controller* ctl,
   {
     Block* first = src->id() < dest->id() ? src : dest;
     Block* second = first == src ? dest : src;
-    std::lock_guard<std::mutex> lock_a(first->mu());
-    std::lock_guard<std::mutex> lock_b(second->mu());
+    Block::OpLock lock_a(*first);
+    Block::OpLock lock_b(*second);
     auto* shard = ContentAs<KvShard>(src->content());
     auto* dshard = ContentAs<KvShard>(dest->content());
     if (shard == nullptr || dshard == nullptr) {
@@ -568,7 +568,7 @@ void Repartitioner::AbortKvMigration(const Hint& hint, Controller* ctl,
                                      bool dest_unmapped, uint32_t from_slot,
                                      uint32_t end_slot) {
   {
-    std::lock_guard<std::mutex> lock(src->mu());
+    Block::OpLock lock(*src);
     auto* shard = ContentAs<KvShard>(src->content());
     if (shard != nullptr) {
       // The source kept all its data (chunks were copies), so aborting only
@@ -581,7 +581,7 @@ void Repartitioner::AbortKvMigration(const Hint& hint, Controller* ctl,
   } else {
     // Live merge target: remove the foreign pairs installed for a range it
     // never came to own.
-    std::lock_guard<std::mutex> lock(dest->mu());
+    Block::OpLock lock(*dest);
     auto* dshard = ContentAs<KvShard>(dest->content());
     if (dshard != nullptr) {
       dshard->DropRange(from_slot, end_slot);
@@ -610,7 +610,7 @@ bool Repartitioner::HandleQueueOverload(const Hint& hint, Controller* ctl,
     return false;
   }
   {
-    std::lock_guard<std::mutex> lock(block->mu());
+    Block::OpLock lock(*block);
     auto* seg = ContentAs<QueueSegment>(block->content());
     if (seg == nullptr) {
       return false;
@@ -657,7 +657,7 @@ bool Repartitioner::HandleQueueUnderload(const Hint& hint, Controller* ctl,
     return false;
   }
   {
-    std::lock_guard<std::mutex> lock(block->mu());
+    Block::OpLock lock(*block);
     auto* seg = ContentAs<QueueSegment>(block->content());
     if (seg == nullptr || !seg->Drained()) {
       return false;
@@ -693,7 +693,7 @@ bool Repartitioner::HandleFileOverload(const Hint& hint, Controller* ctl,
   }
   uint64_t end_offset = 0;
   {
-    std::lock_guard<std::mutex> lock(block->mu());
+    Block::OpLock lock(*block);
     auto* chunk = ContentAs<FileChunk>(block->content());
     if (chunk == nullptr || chunk->capped()) {
       return false;  // An inline (overflow) grow got here first.

@@ -350,4 +350,48 @@ Status NextFrame(std::string_view buf, size_t* offset, std::string_view* body) {
   return Status::Ok();
 }
 
+Status FrameReader::Next(std::string_view buf, std::string_view* body) {
+  if (pending_len_ == 0) {
+    if (buf.size() - offset_ < kLenPrefixBytes) {
+      return Unavailable("short");
+    }
+    uint32_t body_len = 0;
+    std::memcpy(&body_len, buf.data() + offset_, 4);
+    if (body_len == 0 || body_len > kMaxFrameBytes) {
+      return Malformed("bad length word");
+    }
+    pending_len_ = body_len;
+  }
+  if (buf.size() - offset_ - kLenPrefixBytes < pending_len_) {
+    return Unavailable("short");
+  }
+  *body = buf.substr(offset_ + kLenPrefixBytes, pending_len_);
+  offset_ += kLenPrefixBytes + pending_len_;
+  pending_len_ = 0;
+  return Status::Ok();
+}
+
+Status PeekRequestHeader(std::string_view body, WireOp* op, uint64_t* tag,
+                         uint64_t* block) {
+  if (body.size() < kRequestHeaderBytes) {
+    return Malformed("truncated header");
+  }
+  uint32_t magic = 0;
+  std::memcpy(&magic, body.data(), 4);
+  if (magic != kRequestMagic) {
+    return Malformed("bad request magic");
+  }
+  if (static_cast<uint8_t>(body[4]) != kWireVersion) {
+    return Malformed("unsupported version");
+  }
+  const uint8_t opcode = static_cast<uint8_t>(body[5]);
+  if (!ValidOp(opcode)) {
+    return Malformed("unknown opcode");
+  }
+  *op = static_cast<WireOp>(opcode);
+  std::memcpy(tag, body.data() + 8, 8);
+  std::memcpy(block, body.data() + 16, 8);
+  return Status::Ok();
+}
+
 }  // namespace jiffy

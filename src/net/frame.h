@@ -183,6 +183,38 @@ Status DecodeResponse(std::string_view body, DecodedResponse* out);
 // with a corrupt length is impossible.
 Status NextFrame(std::string_view buf, size_t* offset, std::string_view* body);
 
+// Stateful reassembler: same contract as NextFrame(), but the decoded length
+// word is cached until its frame completes, so a receive buffer that grows
+// mid-frame does not re-parse (and re-validate) the header on every read.
+// One FrameReader per connection, tracking that connection's stream offset.
+class FrameReader {
+ public:
+  // Pulls the next complete frame body out of `buf` starting at the cached
+  // offset. kOk advances past the frame; kUnavailable needs more bytes;
+  // kInvalidArgument means the stream is unrecoverable.
+  Status Next(std::string_view buf, std::string_view* body);
+
+  // Consumed prefix of the stream buffer (bytes the caller may discard).
+  size_t offset() const { return offset_; }
+
+  // The caller compacted the buffer by erasing its first `n` (consumed)
+  // bytes; the cached frame header survives the shift.
+  void Rebase(size_t n) { offset_ -= n; }
+
+ private:
+  size_t offset_ = 0;
+  // Cached body length of the in-progress frame; 0 = between frames, the
+  // next 4 bytes at offset_ are an undecoded length word.
+  uint32_t pending_len_ = 0;
+};
+
+// Peeks opcode, tag, and target block out of a request frame body without
+// decoding the item vectors. The thread-per-core server routes the frame to
+// its owning loop on this before any full decode. Rejects short bodies and
+// bad magic/version/opcode just like DecodeRequest.
+Status PeekRequestHeader(std::string_view body, WireOp* op, uint64_t* tag,
+                         uint64_t* block);
+
 // --- Owning batched-read result ----------------------------------------------
 //
 // Values decoded from response frames: one owned buffer per wire exchange

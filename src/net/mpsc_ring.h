@@ -1,0 +1,128 @@
+// Bounded multi-producer ring for cross-loop handoff (DESIGN.md §13).
+//
+// The thread-per-core wire server forwards a request that arrived on the
+// wrong loop to the block's owning loop through one of these, and the owner
+// pushes the finished response back the same way. Vyukov-style bounded MPMC
+// queue (per-cell sequence numbers) — we only ever use it MPSC, but the MPMC
+// form costs nothing extra and keeps Pop symmetric with Push.
+//
+// Wakeup elision rides on top: Push reports whether the ring was observed
+// empty, and only that producer writes the consumer's eventfd. A loop
+// draining a hot ring is woken once per quiet period, not once per element.
+
+#ifndef SRC_NET_MPSC_RING_H_
+#define SRC_NET_MPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace jiffy {
+
+template <typename T>
+class MpscRing {
+ public:
+  // `capacity` rounds up to a power of two; minimum 2.
+  explicit MpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  // Enqueues by move. Returns false when the ring is full (caller decides:
+  // execute inline in shared mode, or spin — completion rings spin, since
+  // the consumer is an event loop that always drains). `*was_empty` (may be
+  // null) is set true when this push transitioned the ring from empty, i.e.
+  // the producer that should wake the consumer.
+  bool Push(T&& item, bool* was_empty = nullptr) {
+    Cell* cell;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // Full.
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->item = std::move(item);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    if (was_empty != nullptr) {
+      // Empty-transition heuristic: we were the element at the consumer's
+      // cursor. A spurious extra wake is harmless; a missed one is not, so
+      // the consumer re-checks its rings after arming the eventfd.
+      *was_empty = pos == head_.load(std::memory_order_acquire);
+    }
+    return true;
+  }
+
+  // Dequeues into *item; false when empty. Single consumer.
+  bool Pop(T* item) {
+    const size_t pos = head_.load(std::memory_order_relaxed);
+    Cell* cell = &cells_[pos & mask_];
+    const size_t seq = cell->seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+      return false;
+    }
+    *item = std::move(cell->item);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Drains everything currently visible into *out; returns count.
+  size_t DrainInto(std::vector<T>* out) {
+    size_t n = 0;
+    T item;
+    while (Pop(&item)) {
+      out->push_back(std::move(item));
+      ++n;
+    }
+    return n;
+  }
+
+  bool Empty() const {
+    const size_t pos = head_.load(std::memory_order_acquire);
+    const Cell& cell = cells_[pos & mask_];
+    return static_cast<intptr_t>(cell.seq.load(std::memory_order_acquire)) -
+               static_cast<intptr_t>(pos + 1) <
+           0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T item;
+  };
+
+  static constexpr size_t kCacheLine = 64;
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};  // Producers.
+  alignas(kCacheLine) std::atomic<size_t> head_{0};  // Consumer.
+};
+
+}  // namespace jiffy
+
+#endif  // SRC_NET_MPSC_RING_H_

@@ -54,7 +54,7 @@ Result<Fd> TcpListen(uint16_t port, uint16_t* bound_port) {
   return fd;
 }
 
-Result<Fd> TcpConnect(const std::string& host, uint16_t port) {
+Result<Fd> TcpConnect(const std::string& host, uint16_t port, bool nodelay) {
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) {
     return Errno("socket");
@@ -72,7 +72,9 @@ Result<Fd> TcpConnect(const std::string& host, uint16_t port) {
   if (rc != 0) {
     return Errno("connect");
   }
-  JIFFY_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  if (nodelay) {
+    JIFFY_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  }
   return fd;
 }
 
@@ -90,6 +92,17 @@ Status SetNoDelay(int fd) {
     return Errno("setsockopt TCP_NODELAY");
   }
   return Status::Ok();
+}
+
+void SetSocketBufs(int fd, int sndbuf_bytes, int rcvbuf_bytes) {
+  if (sndbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf_bytes,
+                 sizeof(sndbuf_bytes));
+  }
+  if (rcvbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
 }
 
 Status WriteFull(int fd, const void* data, size_t len) {

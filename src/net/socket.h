@@ -53,11 +53,18 @@ class Fd {
 Result<Fd> TcpListen(uint16_t port, uint16_t* bound_port);
 
 // Blocking connect to `host`:`port`; the socket stays blocking (the client
-// uses a dedicated reader thread, not an event loop) with TCP_NODELAY set.
-Result<Fd> TcpConnect(const std::string& host, uint16_t port);
+// uses a dedicated reader thread, not an event loop). TCP_NODELAY is set
+// unless `nodelay` is false (benchmarks use that to reproduce the
+// pre-NODELAY wire path; production callers keep the default).
+Result<Fd> TcpConnect(const std::string& host, uint16_t port,
+                      bool nodelay = true);
 
 Status SetNonBlocking(int fd);
 Status SetNoDelay(int fd);
+
+// Applies SO_SNDBUF / SO_RCVBUF when the value is > 0 (0 = kernel default).
+// Best-effort: the kernel clamps to its limits, so failures are ignored.
+void SetSocketBufs(int fd, int sndbuf_bytes, int rcvbuf_bytes);
 
 // Writes all `len` bytes, looping over partial writes and EINTR.
 Status WriteFull(int fd, const void* data, size_t len);

@@ -21,8 +21,9 @@ WireReply TransportError(Status st) {
 
 Result<std::unique_ptr<TcpConnection>> TcpConnection::Connect(
     const std::string& host, uint16_t port, Options options) {
-  auto fd = TcpConnect(host, port);
+  auto fd = TcpConnect(host, port, options.nodelay);
   JIFFY_RETURN_IF_ERROR(fd.status());
+  SetSocketBufs(fd->get(), options.sndbuf, options.rcvbuf);
   return std::unique_ptr<TcpConnection>(
       new TcpConnection(std::move(*fd), std::move(options)));
 }
@@ -35,10 +36,17 @@ TcpConnection::TcpConnection(Fd fd, Options options)
       window_(options_.max_in_flight),
       fault_rng_(options_.faults.seed) {
   reader_ = std::thread([this] { ReaderLoop(); });
+  if (options_.coalesce_min_inflight > 0) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
 }
 
 TcpConnection::~TcpConnection() {
   closing_.store(true, std::memory_order_release);
+  flush_cv_.notify_all();
+  if (flusher_.joinable()) {
+    flusher_.join();  // Drains wbuf_ on its way out (best effort).
+  }
   // Shutdown wakes the reader out of read(); it then fails all pending.
   ::shutdown(fd_.get(), SHUT_RDWR);
   if (reader_.joinable()) {
@@ -113,9 +121,36 @@ void TcpConnection::Submit(std::string frame, uint64_t tag, Callback cb) {
     std::lock_guard<std::mutex> lock(pending_mu_);
     pending_.emplace(tag, std::move(cb));
   }
+  // Adaptive coalescing: a busy pipe (≥ min_inflight outstanding) buffers
+  // the frame for the flusher; an idle one writes it now. The buffered
+  // frame's RPC is already counted in the window, so its completion is
+  // covered by FailAllPending if the connection dies before the flush.
+  if (options_.coalesce_min_inflight > 0 &&
+      window_.in_flight() >= options_.coalesce_min_inflight) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (wbuf_.empty()) {
+      wbuf_deadline_ = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(options_.coalesce_window_us);
+    }
+    wbuf_.append(frame);
+    coalesced_frames_.fetch_add(1, std::memory_order_relaxed);
+    if (wbuf_.size() >= options_.coalesce_max_bytes) {
+      FlushBufferLocked();
+    } else {
+      flush_cv_.notify_one();
+    }
+    return;
+  }
   Status st;
   {
     std::lock_guard<std::mutex> lock(write_mu_);
+    if (!wbuf_.empty()) {
+      // Piggyback any buffered frames so they never queue behind an
+      // immediate write.
+      wbuf_.append(frame);
+      FlushBufferLocked();
+      return;
+    }
     st = WriteFull(fd_.get(), frame.data(), frame.size());
   }
   if (!st.ok()) {
@@ -136,6 +171,40 @@ void TcpConnection::Submit(std::string frame, uint64_t tag, Callback cb) {
   }
 }
 
+void TcpConnection::FlushBufferLocked() {
+  if (wbuf_.empty()) {
+    return;
+  }
+  const Status st = WriteFull(fd_.get(), wbuf_.data(), wbuf_.size());
+  wbuf_.clear();
+  coalesced_flushes_.fetch_add(1, std::memory_order_relaxed);
+  if (!st.ok()) {
+    // The buffer held frames for many tags; tear the connection down so the
+    // reader's FailAllPending completes every one of them.
+    alive_.store(false, std::memory_order_release);
+    ::shutdown(fd_.get(), SHUT_RDWR);
+  }
+}
+
+void TcpConnection::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(write_mu_);
+  while (!closing_.load(std::memory_order_acquire)) {
+    if (wbuf_.empty()) {
+      flush_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    // Sleep until the oldest buffered frame's budget expires; submitters
+    // may flush (max_bytes) or extend the buffer meanwhile.
+    const auto deadline = wbuf_deadline_;
+    if (std::chrono::steady_clock::now() < deadline) {
+      flush_cv_.wait_until(lock, deadline);
+      continue;  // Re-evaluate: the buffer may have been flushed already.
+    }
+    FlushBufferLocked();
+  }
+  FlushBufferLocked();  // Drain the tail so no submitted frame is stranded.
+}
+
 WireReply TcpConnection::Call(std::string frame, uint64_t tag) {
   std::promise<WireReply> promise;
   std::future<WireReply> future = promise.get_future();
@@ -146,7 +215,7 @@ WireReply TcpConnection::Call(std::string frame, uint64_t tag) {
 
 void TcpConnection::ReaderLoop() {
   std::string buf;
-  size_t offset = 0;
+  FrameReader reader;
   for (;;) {
     const size_t old_size = buf.size();
     buf.resize(old_size + kReadChunk);
@@ -160,7 +229,7 @@ void TcpConnection::ReaderLoop() {
     buf.resize(old_size + *n);
     for (;;) {
       std::string_view body;
-      const Status st = NextFrame(buf, &offset, &body);
+      const Status st = reader.Next(buf, &body);
       if (st.code() == StatusCode::kUnavailable) {
         break;
       }
@@ -198,12 +267,13 @@ void TcpConnection::ReaderLoop() {
       window_.Complete(dec.tag, Status::Ok());
       cb(std::move(reply));
     }
-    if (offset == buf.size()) {
+    const size_t consumed = reader.offset();
+    if (consumed == buf.size()) {
       buf.clear();
-      offset = 0;
-    } else if (offset >= (1u << 20)) {
-      buf.erase(0, offset);
-      offset = 0;
+      reader.Rebase(consumed);
+    } else if (consumed >= (1u << 20)) {
+      buf.erase(0, consumed);
+      reader.Rebase(consumed);
     }
   }
 }

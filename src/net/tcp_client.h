@@ -17,6 +17,7 @@
 #define SRC_NET_TCP_CLIENT_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -58,6 +59,19 @@ class TcpConnection {
 
   struct Options {
     size_t max_in_flight = 64;  // Window bound for BeginTag (0 = unbounded).
+    // Adaptive send coalescing: with at least `coalesce_min_inflight` RPCs
+    // outstanding the pipe is busy anyway, so frames buffer up to
+    // `coalesce_window_us` (or until `coalesce_max_bytes` accumulate) and
+    // leave in one write; below the threshold every frame is written
+    // immediately — an idle pipe never waits. 0 disables buffering.
+    size_t coalesce_min_inflight = 0;
+    uint64_t coalesce_window_us = 40;
+    size_t coalesce_max_bytes = 256 * 1024;
+    // SO_SNDBUF / SO_RCVBUF; 0 = kernel default.
+    int sndbuf = 0;
+    int rcvbuf = 0;
+    // TCP_NODELAY. Off only for benchmarking the pre-NODELAY wire path.
+    bool nodelay = true;
     // Fault injection (off unless faults_on). `endpoint` identifies this
     // connection's server for outage windows; `clock` supplies the time
     // axis those windows are defined on (defaults to RealClock).
@@ -103,10 +117,20 @@ class TcpConnection {
   uint64_t fault_delays() const { return fault_delays_.load(); }
   uint64_t fault_outages() const { return fault_outages_.load(); }
 
+  // Coalescing diagnostics: frames that took the buffered path, and the
+  // writes that flushed them (frames/flushes = achieved batching factor).
+  uint64_t coalesced_frames() const { return coalesced_frames_.load(); }
+  uint64_t coalesced_flushes() const { return coalesced_flushes_.load(); }
+
  private:
   TcpConnection(Fd fd, Options options);
 
   void ReaderLoop();
+  void FlusherLoop();
+  // Writes the coalesce buffer; caller holds write_mu_. On failure the
+  // connection is torn down (shutdown + alive_=false) so the reader fails
+  // every pending tag — including the buffered ones.
+  void FlushBufferLocked();
   void FailAllPending(const Status& why);
   // Evaluates the fault plan for one submission. Returns true when the
   // submission was consumed (callback already completed); may sleep for
@@ -121,6 +145,14 @@ class TcpConnection {
   std::atomic<bool> closing_{false};
 
   std::mutex write_mu_;  // Serializes frame writes from submitters.
+  // Coalesce state, guarded by write_mu_. `wbuf_deadline_` is the
+  // steady-clock instant the flusher must push `wbuf_` out by (set when the
+  // first frame lands in an empty buffer).
+  std::string wbuf_;
+  std::chrono::steady_clock::time_point wbuf_deadline_{};
+  std::condition_variable flush_cv_;
+  std::atomic<uint64_t> coalesced_frames_{0};
+  std::atomic<uint64_t> coalesced_flushes_{0};
 
   std::mutex pending_mu_;
   std::unordered_map<uint64_t, Callback> pending_;
@@ -133,6 +165,7 @@ class TcpConnection {
   std::atomic<uint64_t> fault_outages_{0};
 
   std::thread reader_;
+  std::thread flusher_;  // Only spawned when coalescing is enabled.
 };
 
 // Lazily-connected cache of one TcpConnection per endpoint string

@@ -1,16 +1,20 @@
 #include "src/net/tcp_server.h"
 
 #include <errno.h>
+#include <pthread.h>
 #include <string.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <unordered_map>
 #include <utility>
+
+#include "src/net/mpsc_ring.h"
 
 namespace jiffy {
 
@@ -19,40 +23,104 @@ namespace {
 constexpr size_t kReadChunk = 64 * 1024;
 constexpr int kMaxEvents = 64;
 constexpr size_t kMaxIov = 64;
+constexpr size_t kRingCapacity = 1024;
+
+// Process-unique bias-tag allocator: each TcpServer claims a disjoint range
+// so two servers in one process (the gateway spawns one per memory server)
+// can never alias loop tags on a block.
+std::atomic<uint64_t> g_tag_base{1};
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
 
 }  // namespace
 
 // One accepted connection, owned by exactly one loop (no cross-loop access,
-// so per-connection state needs no locking).
+// so per-connection state needs no locking — owners address it by conn id
+// through the completion ring, never directly).
 struct TcpServer::Connection {
+  uint64_t id = 0;
   Fd fd;
   std::string rdbuf;       // Unconsumed inbound bytes.
-  size_t rd_offset = 0;    // Consumed prefix of rdbuf.
+  FrameReader reader;      // Stream offset + cached in-progress frame header.
   // Outbound responses in write order; `write_offset` is the progress into
   // the front response (head + payloads, as one logical byte sequence).
   std::deque<WireResponse> outq;
   size_t write_offset = 0;
   bool want_write = false;  // EPOLLOUT currently armed.
+  bool dirty = false;       // Queued for this iteration's coalesced flush.
   // Reorder hook: responses held back for a shuffled release.
   std::vector<WireResponse> held;
 };
 
+// A frame forwarded to its block's owning loop. The body is an owned copy:
+// the home loop's receive buffer compacts underneath views. The request is
+// decoded on the ARRIVAL loop so the owning loop — the serial section for a
+// hot block — spends its cycles on operator execution only; `req`'s views
+// point into `body`, which is never SSO-inline (a peekable frame body is
+// ≥ 24 bytes), so they survive the moves into and out of the ring.
+struct TcpServer::ForwardedRequest {
+  uint64_t conn_id = 0;
+  size_t home = 0;  // Loop index the completion returns to.
+  std::string body;
+  DecodedRequest req;
+};
+
+struct TcpServer::Completion {
+  uint64_t conn_id = 0;
+  WireResponse resp;
+};
+
 struct TcpServer::Loop {
+  size_t index = 0;
+  uint64_t tag = 0;  // Bias tag this loop grants itself (affinity mode).
   Fd epoll;
-  Fd wake;  // eventfd: pending connections / stop.
+  Fd wake;  // eventfd: pending connections / forwarded work / stop.
   std::thread thread;
   std::mutex pending_mu;
   std::deque<Fd> pending;  // Accepted fds awaiting registration.
-  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;  // By fd.
+  std::unordered_map<uint64_t, Connection*> by_id;
+  MpscRing<ForwardedRequest> reqs{kRingCapacity};
+  MpscRing<Completion> completions{kRingCapacity};
+  // True while the loop is parked (or about to park) in epoll_wait; ring
+  // producers elide the eventfd write otherwise. Dekker-style seq_cst
+  // handshake against ring emptiness — see RunLoop / WakeIfIdle.
+  std::atomic<bool> idle{false};
+  std::vector<uint64_t> dirty;  // Conn ids to flush this iteration.
+  // CPU accounting: clockid of the running loop thread; final total once it
+  // exits (the clockid dies with the thread).
+  clockid_t cpu_clock{};
+  std::atomic<bool> cpu_clock_valid{false};
+  std::atomic<uint64_t> cpu_ns{0};
   Rng reorder_rng{1};
 };
 
-TcpServer::TcpServer(Handler handler, Options options)
+TcpServer::TcpServer(ExecHandler handler, Options options)
     : handler_(std::move(handler)), options_(options) {
   options_.threads = std::max(1, options_.threads);
+  tag_base_ = g_tag_base.fetch_add(1024, std::memory_order_relaxed);
+}
+
+TcpServer::TcpServer(Handler handler, Options options)
+    : TcpServer(
+          [h = std::move(handler)](const DecodedRequest& req,
+                                   const ExecContext&) { return h(req); },
+          options) {
+  // A context-free handler cannot take the biased fast path; affinity
+  // routing would add forwarding hops for nothing.
+  options_.affinity = false;
 }
 
 TcpServer::~TcpServer() { Stop(); }
+
+size_t TcpServer::OwnerLoop(uint64_t packed_block, size_t nloops) {
+  return nloops <= 1 ? 0 : SplitMix64(packed_block) % nloops;
+}
 
 Status TcpServer::Start() {
   if (started_.exchange(true)) {
@@ -65,6 +133,8 @@ Status TcpServer::Start() {
   loops_.reserve(static_cast<size_t>(options_.threads));
   for (int i = 0; i < options_.threads; ++i) {
     auto loop = std::make_unique<Loop>();
+    loop->index = static_cast<size_t>(i);
+    loop->tag = tag_base_ + static_cast<uint64_t>(i);
     loop->epoll = Fd(::epoll_create1(EPOLL_CLOEXEC));
     loop->wake = Fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
     if (!loop->epoll.valid() || !loop->wake.valid()) {
@@ -106,8 +176,37 @@ void TcpServer::Stop() {
       loop->thread.join();
     }
     loop->conns.clear();
+    loop->by_id.clear();
   }
   listener_.Reset();
+}
+
+std::vector<double> TcpServer::LoopCpuSeconds() const {
+  std::vector<double> out;
+  out.reserve(loops_.size());
+  for (const auto& loop : loops_) {
+    uint64_t ns = loop->cpu_ns.load(std::memory_order_acquire);
+    if (loop->cpu_clock_valid.load(std::memory_order_acquire)) {
+      timespec ts{};
+      if (::clock_gettime(loop->cpu_clock, &ts) == 0) {
+        ns = static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+             static_cast<uint64_t>(ts.tv_nsec);
+      }
+    }
+    out.push_back(static_cast<double>(ns) * 1e-9);
+  }
+  return out;
+}
+
+void TcpServer::WakeIfIdle(Loop* loop) {
+  // Producer side of the park handshake: the ring push (seq_cst store in
+  // MpscRing) precedes this idle check, mirroring the consumer's
+  // idle-then-ring-check order, so at least one side observes the other.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (loop->idle.load(std::memory_order_seq_cst)) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(loop->wake.get(), &one, sizeof(one));
+  }
 }
 
 void TcpServer::AcceptPending(Loop* loop) {
@@ -118,6 +217,7 @@ void TcpServer::AcceptPending(Loop* loop) {
   }
   for (Fd& fd : pending) {
     auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
     conn->fd = std::move(fd);
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -126,21 +226,32 @@ void TcpServer::AcceptPending(Loop* loop) {
         0) {
       continue;  // Connection dropped; client sees ECONNRESET.
     }
+    loop->by_id.emplace(conn->id, conn.get());
     loop->conns.emplace(conn->fd.get(), std::move(conn));
   }
 }
 
 void TcpServer::RunLoop(Loop* loop) {
+  if (::pthread_getcpuclockid(::pthread_self(), &loop->cpu_clock) == 0) {
+    loop->cpu_clock_valid.store(true, std::memory_order_release);
+  }
   epoll_event events[kMaxEvents];
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(loop->epoll.get(), events, kMaxEvents, 100);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return;
+    // Park handshake: declare idle, then re-check the rings. A producer
+    // pushes, fences, then checks idle — the seq_cst pairing guarantees
+    // either we see the push here or it sees idle and writes the eventfd.
+    int timeout_ms = 100;
+    loop->idle.store(true, std::memory_order_seq_cst);
+    if (!loop->reqs.Empty() || !loop->completions.Empty()) {
+      timeout_ms = 0;
     }
-    for (int i = 0; i < n; ++i) {
+    const int n = ::epoll_wait(loop->epoll.get(), events, kMaxEvents,
+                               timeout_ms);
+    loop->idle.store(false, std::memory_order_seq_cst);
+    if (n < 0 && errno != EINTR) {
+      break;
+    }
+    for (int i = 0; i < std::max(n, 0); ++i) {
       const int fd = events[i].data.fd;
       if (fd == loop->wake.get()) {
         uint64_t drain = 0;
@@ -157,7 +268,10 @@ void TcpServer::RunLoop(Loop* loop) {
           if (cfd < 0) {
             break;
           }
-          SetNoDelay(cfd);
+          if (options_.nodelay) {
+            SetNoDelay(cfd);
+          }
+          SetSocketBufs(cfd, options_.sndbuf, options_.rcvbuf);
           accepted_.fetch_add(1, std::memory_order_relaxed);
           Loop* target =
               loops_[next_loop_.fetch_add(1) % loops_.size()].get();
@@ -193,6 +307,54 @@ void TcpServer::RunLoop(Loop* loop) {
         }
       }
     }
+    DrainForwarded(loop);
+    DrainCompletions(loop);
+    // Coalesced flush: every response queued this iteration — local,
+    // forwarded-back, or reorder-released — leaves in one writev per
+    // connection.
+    FlushDirty(loop);
+  }
+  // Final CPU total; the thread-backed clockid dies with us.
+  timespec ts{};
+  if (loop->cpu_clock_valid.load(std::memory_order_acquire) &&
+      ::clock_gettime(loop->cpu_clock, &ts) == 0) {
+    loop->cpu_ns.store(static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+                           static_cast<uint64_t>(ts.tv_nsec),
+                       std::memory_order_release);
+  }
+  loop->cpu_clock_valid.store(false, std::memory_order_release);
+}
+
+void TcpServer::ExecuteLocal(Loop* loop, Connection* conn,
+                             std::string_view body, const ExecContext& ctx) {
+  DecodedRequest req;
+  const Status ds = DecodeRequest(body, &req);
+  WireResponse resp = ds.ok() ? handler_(req, ctx)
+                              : ErrorResponse(WireOp::kPing, req.tag,
+                                              StatusCode::kInvalidArgument);
+  EnqueueResponse(loop, conn, std::move(resp));
+}
+
+void TcpServer::EnqueueResponse(Loop* loop, Connection* conn,
+                                WireResponse resp) {
+  if (options_.reorder_window > 1) {
+    conn->held.push_back(std::move(resp));
+    if (conn->held.size() >= options_.reorder_window) {
+      for (size_t i = conn->held.size(); i > 1; --i) {
+        std::swap(conn->held[i - 1],
+                  conn->held[loop->reorder_rng.NextBelow(i)]);
+      }
+      for (WireResponse& r : conn->held) {
+        conn->outq.push_back(std::move(r));
+      }
+      conn->held.clear();
+    }
+  } else {
+    conn->outq.push_back(std::move(resp));
+  }
+  if (!conn->dirty) {
+    conn->dirty = true;
+    loop->dirty.push_back(conn->id);
   }
 }
 
@@ -227,9 +389,10 @@ void TcpServer::HandleReadable(Loop* loop, Connection* conn) {
   }
 
   // Process every complete frame buffered so far.
+  const size_t nloops = loops_.size();
   for (;;) {
     std::string_view body;
-    const Status st = NextFrame(conn->rdbuf, &conn->rd_offset, &body);
+    const Status st = conn->reader.Next(conn->rdbuf, &body);
     if (st.code() == StatusCode::kUnavailable) {
       break;  // Need more bytes.
     }
@@ -238,31 +401,42 @@ void TcpServer::HandleReadable(Loop* loop, Connection* conn) {
       CloseConnection(loop, conn);
       return;
     }
-    DecodedRequest req;
-    const Status ds = DecodeRequest(body, &req);
-    WireResponse resp =
-        ds.ok() ? handler_(req)
-                : ErrorResponse(WireOp::kPing, req.tag,
-                                StatusCode::kInvalidArgument);
     frames_.fetch_add(1, std::memory_order_relaxed);
-    if (options_.reorder_window > 1) {
-      conn->held.push_back(std::move(resp));
-      if (conn->held.size() < options_.reorder_window) {
-        continue;
-      }
-    } else {
-      conn->outq.push_back(std::move(resp));
+    if (!options_.affinity || nloops <= 1) {
+      ExecuteLocal(loop, conn, body,
+                   ExecContext{options_.affinity, loop->tag});
       continue;
     }
-    // Window full: release the held responses in shuffled order.
-    for (size_t i = conn->held.size(); i > 1; --i) {
-      std::swap(conn->held[i - 1],
-                conn->held[loop->reorder_rng.NextBelow(i)]);
+    WireOp op = WireOp::kPing;
+    uint64_t tag = 0, block = 0;
+    if (!PeekRequestHeader(body, &op, &tag, &block).ok()) {
+      // Let the full decoder produce the error response locally.
+      ExecuteLocal(loop, conn, body, ExecContext{false, 0});
+      continue;
     }
-    for (WireResponse& r : conn->held) {
-      conn->outq.push_back(std::move(r));
+    // Pings probe the connection, not a block — always local.
+    const size_t owner =
+        op == WireOp::kPing ? loop->index : OwnerLoop(block, nloops);
+    if (owner == loop->index) {
+      ExecuteLocal(loop, conn, body, ExecContext{true, loop->tag});
+      continue;
     }
-    conn->held.clear();
+    Loop* target = loops_[owner].get();
+    ForwardedRequest fwd{conn->id, loop->index, std::string(body), {}};
+    if (!DecodeRequest(fwd.body, &fwd.req).ok()) {
+      // Peek passed but the item vectors are malformed; answer locally.
+      ExecuteLocal(loop, conn, body, ExecContext{false, 0});
+      continue;
+    }
+    if (target->reqs.Push(std::move(fwd))) {
+      forwarded_.fetch_add(1, std::memory_order_relaxed);
+      WakeIfIdle(target);
+    } else {
+      // Owner's ring is full — execute here in shared mode (OpLock revokes
+      // the owner's bias, so this is correct, just slower).
+      shared_fallback_.fetch_add(1, std::memory_order_relaxed);
+      ExecuteLocal(loop, conn, body, ExecContext{false, 0});
+    }
   }
 
   // Read batch over: flush any short reorder tail so a client waiting on
@@ -275,17 +449,71 @@ void TcpServer::HandleReadable(Loop* loop, Connection* conn) {
       conn->outq.push_back(std::move(r));
     }
     conn->held.clear();
+    if (!conn->dirty) {
+      conn->dirty = true;
+      loop->dirty.push_back(conn->id);
+    }
   }
 
-  // Compact the consumed prefix once it dominates the buffer.
-  if (conn->rd_offset > 0 && (conn->rd_offset == conn->rdbuf.size() ||
-                              conn->rd_offset >= (1u << 20))) {
-    conn->rdbuf.erase(0, conn->rd_offset);
-    conn->rd_offset = 0;
+  // Compact the consumed prefix once it dominates the buffer. The reader's
+  // cached header survives the shift (FrameReader::Rebase).
+  const size_t consumed = conn->reader.offset();
+  if (consumed > 0 &&
+      (consumed == conn->rdbuf.size() || consumed >= (1u << 20))) {
+    conn->rdbuf.erase(0, consumed);
+    conn->reader.Rebase(consumed);
   }
+}
 
-  if (!FlushWrites(loop, conn)) {
-    CloseConnection(loop, conn);
+void TcpServer::DrainForwarded(Loop* loop) {
+  ForwardedRequest fwd;
+  while (loop->reqs.Pop(&fwd)) {
+    // Affine execution: this loop owns the request's block by construction
+    // of the forward, and the arrival loop already decoded into fwd.req.
+    // Response payloads view pinned arena memory (held by keepalives),
+    // never `fwd.body`, so the body can die with this scope.
+    WireResponse resp = handler_(fwd.req, ExecContext{true, loop->tag});
+    Loop* home = loops_[fwd.home].get();
+    Completion done{fwd.conn_id, std::move(resp)};
+    while (!home->completions.Push(std::move(done))) {
+      // Home always drains its completion ring each iteration, so this is a
+      // bounded wait; draining our own ring meanwhile breaks the symmetric
+      // two-loops-full cycle.
+      DrainCompletions(loop);
+      std::this_thread::yield();
+    }
+    WakeIfIdle(home);
+  }
+}
+
+void TcpServer::DrainCompletions(Loop* loop) {
+  Completion done;
+  while (loop->completions.Pop(&done)) {
+    auto it = loop->by_id.find(done.conn_id);
+    if (it == loop->by_id.end()) {
+      continue;  // Connection closed while the owner executed; pins drop.
+    }
+    EnqueueResponse(loop, it->second, std::move(done.resp));
+  }
+}
+
+void TcpServer::FlushDirty(Loop* loop) {
+  if (loop->dirty.empty()) {
+    return;
+  }
+  // Swap out: CloseConnection during the flush may re-enter via conns.
+  std::vector<uint64_t> dirty;
+  dirty.swap(loop->dirty);
+  for (uint64_t id : dirty) {
+    auto it = loop->by_id.find(id);
+    if (it == loop->by_id.end()) {
+      continue;
+    }
+    Connection* conn = it->second;
+    conn->dirty = false;
+    if (!FlushWrites(loop, conn)) {
+      CloseConnection(loop, conn);
+    }
   }
 }
 
@@ -361,6 +589,7 @@ bool TcpServer::FlushWrites(Loop* loop, Connection* conn) {
 
 void TcpServer::CloseConnection(Loop* loop, Connection* conn) {
   ::epoll_ctl(loop->epoll.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
+  loop->by_id.erase(conn->id);
   loop->conns.erase(conn->fd.get());
 }
 

@@ -1,12 +1,25 @@
-// Epoll TCP server for the binary wire protocol (DESIGN.md §12).
+// Epoll TCP server for the binary wire protocol (DESIGN.md §12, §13).
 //
 // The server owns N event-loop threads, each running epoll over its share
 // of connections. Loop 0 additionally owns the listener and hands accepted
 // connections to loops round-robin (eventfd wakeup). Complete frames are
-// decoded and dispatched to the installed Handler on the loop thread; the
+// decoded and dispatched to the installed handler on a loop thread; the
 // returned WireResponse is written with writev straight from its payload
 // views — header/meta from the owned head buffer, values from whatever the
 // handler pinned (arena memory), so the server never copies a payload byte.
+//
+// Thread-per-core affinity (Options::affinity): every BlockId hashes to one
+// owning loop. A frame that arrives on its owner executes there with
+// ExecContext::affine set, letting the block service run the operator as
+// the block's single writer — no Block::mu() on that path. A frame that
+// arrives elsewhere is forwarded to the owner through a bounded MPSC ring
+// (eventfd wakeup, elided while the consumer is awake); the owner pushes
+// the finished response back to the connection's home loop the same way.
+// If a forward ring is full the frame executes where it landed in shared
+// mode (OpLock), which is always correct — affinity is a fast path, never
+// a correctness dependency. Responses completed within one loop iteration
+// for the same connection are flushed as a single writev (server-side
+// coalescing).
 //
 // The transport below the handler is deliberately dumb: it has no notion of
 // blocks or data structures. The block-aware dispatcher lives in src/wire.
@@ -31,16 +44,40 @@
 
 namespace jiffy {
 
+// How a request reached its executor — the block service keys its locking
+// mode off this (DESIGN.md §13).
+struct ExecContext {
+  // True when the executing thread is the owning loop of the request's
+  // block: the handler may run the operator under the block's bias
+  // (single-writer, no mu()) and grant itself the bias when it is not held.
+  bool affine = false;
+  // Process-unique tag identifying the executing loop; the value passed to
+  // Block::TryBeginBiasedOp/GrantBias. kSharedBias (0) when !affine.
+  uint64_t loop_tag = 0;
+};
+
 class TcpServer {
  public:
   // Produces the response for one decoded request. Runs on an event-loop
   // thread; the request's views die when the handler returns, the
   // response's payload views must stay valid until its keepalives drop.
   using Handler = std::function<WireResponse(const DecodedRequest&)>;
+  using ExecHandler =
+      std::function<WireResponse(const DecodedRequest&, const ExecContext&)>;
 
   struct Options {
     uint16_t port = 0;   // 0 = ephemeral; see port() after Start().
-    int threads = 2;     // Event-loop threads (>= 1).
+    int threads = 2;     // Event-loop threads (>= 1); `--loops` at the CLI.
+    // Thread-per-core block→loop routing + single-writer execution. Off =
+    // PR-8 behavior: every frame executes on its arrival loop in shared
+    // mode.
+    bool affinity = false;
+    // SO_SNDBUF / SO_RCVBUF for accepted sockets; 0 = kernel default.
+    int sndbuf = 0;
+    int rcvbuf = 0;
+    // TCP_NODELAY on accepted sockets. Off only for benchmarking the
+    // pre-NODELAY wire path.
+    bool nodelay = true;
     // Test hook: hold up to `reorder_window` responses per connection and
     // release them in seeded-shuffled order, so completion-tag matching is
     // exercised under genuine reordering. 0/1 = respond in arrival order.
@@ -48,6 +85,9 @@ class TcpServer {
     uint64_t reorder_seed = 1;
   };
 
+  // Context-aware handler (affinity-capable dispatchers).
+  TcpServer(ExecHandler handler, Options options);
+  // Context-free handler; runs every frame in shared mode.
   TcpServer(Handler handler, Options options);
   ~TcpServer();
 
@@ -62,31 +102,63 @@ class TcpServer {
 
   uint16_t port() const { return port_; }
 
+  // Owning loop of a packed BlockId among `nloops` (splitmix64 mod nloops).
+  // Exposed so benches/tests can construct uniform or colliding block sets.
+  static size_t OwnerLoop(uint64_t packed_block, size_t nloops);
+
   // Connections accepted / frames served since Start (diagnostics).
   uint64_t connections_accepted() const { return accepted_.load(); }
   uint64_t frames_served() const { return frames_.load(); }
+  // Frames forwarded to their owning loop / executed on arrival loop in
+  // shared mode because the forward ring was full (affinity mode only).
+  uint64_t frames_forwarded() const { return forwarded_.load(); }
+  uint64_t frames_shared_fallback() const { return shared_fallback_.load(); }
+
+  // Per-loop CPU seconds consumed so far (CLOCK_THREAD_CPUTIME_ID). The
+  // 1-CPU bench host cannot show wall-clock loop scaling, so fig18 reports
+  // makespan over these as its modeled-cores axis. Empty before Start().
+  std::vector<double> LoopCpuSeconds() const;
 
  private:
   struct Connection;
   struct Loop;
+  struct ForwardedRequest;
+  struct Completion;
 
   void AcceptPending(Loop* loop);
   void RunLoop(Loop* loop);
   void HandleReadable(Loop* loop, Connection* conn);
+  // Executes one frame body on this loop (affine or shared per `ctx`) and
+  // queues the response on `conn`.
+  void ExecuteLocal(Loop* loop, Connection* conn, std::string_view body,
+                    const ExecContext& ctx);
+  // Queues a response on `conn` (reorder hook applies) and marks the
+  // connection for the end-of-iteration coalesced flush.
+  void EnqueueResponse(Loop* loop, Connection* conn, WireResponse resp);
+  void DrainForwarded(Loop* loop);
+  void DrainCompletions(Loop* loop);
+  void FlushDirty(Loop* loop);
+  // Wakes `loop` iff it is parked in epoll_wait (eventfd write elided while
+  // the consumer is provably awake).
+  void WakeIfIdle(Loop* loop);
   // Serializes queued responses to the socket; arms EPOLLOUT on partial
   // writes. Returns false when the connection died.
   bool FlushWrites(Loop* loop, Connection* conn);
   void CloseConnection(Loop* loop, Connection* conn);
 
-  Handler handler_;
+  ExecHandler handler_;
   Options options_;
   Fd listener_;
   uint16_t port_ = 0;
+  uint64_t tag_base_ = 0;  // Process-unique bias-tag range for this server.
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> frames_{0};
+  std::atomic<uint64_t> forwarded_{0};
+  std::atomic<uint64_t> shared_fallback_{0};
   std::atomic<size_t> next_loop_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
   std::vector<std::unique_ptr<Loop>> loops_;
 };
 

@@ -1,17 +1,27 @@
-// Block-aware dispatcher for the wire data plane (DESIGN.md §12).
+// Block-aware dispatcher for the wire data plane (DESIGN.md §12, §13).
 //
 // The TCP server below this layer is protocol-only; WireBlockService is
 // where decoded frames meet block operators. It resolves the request's
 // packed BlockId through an injected resolver (an in-process cluster, or a
-// standalone jiffy_server's own block table), applies the batch under one
-// block-mutex hold — the same single acquisition the in-process batch path
-// pays — and builds the response frame.
+// standalone jiffy_server's own block table) and applies the batch under
+// the block's single-writer discipline:
+//
+//   - Affine execution (ctx.affine, thread-per-core server): the executing
+//     thread is the block's owning event loop. If the block is biased to
+//     this loop the whole batch runs WITHOUT Block::mu() — the bias
+//     handshake guarantees no shared-mode accessor is inside the block. If
+//     the bias is not held (first touch, or a repartitioner/in-process
+//     client revoked it), the batch falls back to one OpLock hold and
+//     re-grants the bias on the way out, so steady state returns to
+//     lock-free.
+//   - Shared execution (!ctx.affine): one OpLock hold, exactly the
+//     in-process batch path's cost.
 //
 // Zero-copy contract: for MultiGet the values in the response are
 // string_views into the shard's arena, pinned (ArenaPin, taken while the
-// mutex is still held) and carried as the response's keepalive, so the
-// bytes flow read-op → writev with no server-side materialization. The
-// CopyMeter tally is untouched by this layer.
+// block is still held in either mode) and carried as the response's
+// keepalive, so the bytes flow read-op → writev with no server-side
+// materialization. The CopyMeter tally is untouched by this layer.
 
 #ifndef SRC_WIRE_BLOCK_SERVICE_H_
 #define SRC_WIRE_BLOCK_SERVICE_H_
@@ -21,6 +31,7 @@
 
 #include "src/block/block.h"
 #include "src/net/frame.h"
+#include "src/net/tcp_server.h"
 
 namespace jiffy {
 
@@ -30,16 +41,38 @@ class WireBlockService {
   // (the client sees kUnavailable and runs its normal failover).
   using BlockResolver = std::function<Block*(uint64_t packed)>;
 
+  // Observes post-op block usage (fraction of capacity) after a mutating
+  // batch, OUTSIDE the block hold. The gateway wires this to the cluster's
+  // background repartitioner so wire-only traffic raises the same §9
+  // overload pressure an in-process client would (Repartitioner::Flag
+  // dedupes, so calling per batch is cheap).
+  using PressureHook = std::function<void(Block* block, double usage)>;
+
   explicit WireBlockService(BlockResolver resolver)
       : resolver_(std::move(resolver)) {}
 
-  // Handles one decoded request frame. Shaped for TcpServer::Handler.
-  WireResponse Handle(const DecodedRequest& req);
+  void set_pressure_hook(PressureHook hook) { pressure_ = std::move(hook); }
+
+  // Handles one decoded request frame. Shaped for TcpServer::ExecHandler.
+  WireResponse Handle(const DecodedRequest& req, const ExecContext& ctx);
+
+  // Shared-mode convenience (legacy Handler shape; tests).
+  WireResponse Handle(const DecodedRequest& req) {
+    return Handle(req, ExecContext{});
+  }
 
  private:
-  WireResponse HandleKv(const DecodedRequest& req, Block* block);
+  WireResponse HandleKv(const DecodedRequest& req, Block* block,
+                        const ExecContext& ctx);
+  // Runs the batch against the block's content and fills `builder`. The
+  // caller guarantees exclusive content access (biased op or OpLock).
+  // `usage_after` (may be null) receives used/capacity after a mutating op,
+  // -1 when the op mutated nothing.
+  void ExecuteKv(const DecodedRequest& req, Block* block,
+                 ResponseBuilder* builder, double* usage_after);
 
   BlockResolver resolver_;
+  PressureHook pressure_;
 };
 
 }  // namespace jiffy

@@ -27,6 +27,14 @@ class WireGateway {
   struct Options {
     uint16_t port = 0;  // 0 = ephemeral.
     int threads = 2;
+    // Thread-per-core block→loop routing with single-writer execution
+    // (DESIGN.md §13), passed through to TcpServer.
+    bool affinity = false;
+    // Socket buffer knobs for accepted connections (0 = kernel default).
+    int sndbuf = 0;
+    int rcvbuf = 0;
+    // TCP_NODELAY on accepted sockets; off only for baseline benches.
+    bool nodelay = true;
     // Test hooks, passed through to TcpServer.
     size_t reorder_window = 0;
     uint64_t reorder_seed = 1;

@@ -49,7 +49,10 @@ void OnSignal(int) { g_stop.store(true); }
 
 struct ServerArgs {
   uint16_t port = 0;
-  int threads = 2;
+  int threads = 2;       // --loops / --threads.
+  int affinity = 1;      // Thread-per-core block→loop routing (DESIGN.md §13).
+  int sndbuf = 0;        // SO_SNDBUF for accepted sockets; 0 = kernel default.
+  int rcvbuf = 0;        // SO_RCVBUF; 0 = kernel default.
   uint32_t server_id = 0;
   uint32_t blocks = 1;
   size_t block_bytes = 1u << 20;
@@ -96,9 +99,15 @@ int RunServer(const ServerArgs& args, int announce_fd) {
   TcpServer::Options options;
   options.port = args.port;
   options.threads = args.threads;
-  TcpServer tcp([&service](const DecodedRequest& req) {
-    return service.Handle(req);
-  }, options);
+  options.affinity = args.affinity != 0;
+  options.sndbuf = args.sndbuf;
+  options.rcvbuf = args.rcvbuf;
+  TcpServer tcp(
+      TcpServer::ExecHandler(
+          [&service](const DecodedRequest& req, const ExecContext& ctx) {
+            return service.Handle(req, ctx);
+          }),
+      options);
   const Status st = tcp.Start();
   if (!st.ok()) {
     fprintf(stderr, "jiffy_server: %s\n", st.ToString().c_str());
@@ -274,8 +283,15 @@ int Main(int argc, char** argv) {
     };
     if (strcmp(argv[i], "--port") == 0) {
       args.port = static_cast<uint16_t>(next("--port"));
-    } else if (strcmp(argv[i], "--threads") == 0) {
-      args.threads = static_cast<int>(next("--threads"));
+    } else if (strcmp(argv[i], "--threads") == 0 ||
+               strcmp(argv[i], "--loops") == 0) {
+      args.threads = static_cast<int>(next("--loops"));
+    } else if (strcmp(argv[i], "--affinity") == 0) {
+      args.affinity = static_cast<int>(next("--affinity"));
+    } else if (strcmp(argv[i], "--sndbuf") == 0) {
+      args.sndbuf = static_cast<int>(next("--sndbuf"));
+    } else if (strcmp(argv[i], "--rcvbuf") == 0) {
+      args.rcvbuf = static_cast<int>(next("--rcvbuf"));
     } else if (strcmp(argv[i], "--server-id") == 0) {
       args.server_id = static_cast<uint32_t>(next("--server-id"));
     } else if (strcmp(argv[i], "--blocks") == 0) {
@@ -295,9 +311,11 @@ int Main(int argc, char** argv) {
       args.probe = static_cast<int>(next("--probe"));
     } else {
       fprintf(stderr,
-              "usage: jiffy_server [--port P] [--threads T] [--server-id I]\n"
-              "                    [--blocks B] [--block-bytes BYTES]\n"
-              "                    [--slots H] [--slot-lo L] [--slot-hi U]\n"
+              "usage: jiffy_server [--port P] [--loops T] [--affinity 0|1]\n"
+              "                    [--sndbuf BYTES] [--rcvbuf BYTES]\n"
+              "                    [--server-id I] [--blocks B]\n"
+              "                    [--block-bytes BYTES] [--slots H]\n"
+              "                    [--slot-lo L] [--slot-hi U]\n"
               "                    [--spawn N [--probe OPS]]\n");
       return 2;
     }

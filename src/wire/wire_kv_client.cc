@@ -62,6 +62,10 @@ WireKvClient::WireKvClient(WireMap map, Options options)
       pool_([this] {
         TcpConnection::Options defaults;
         defaults.max_in_flight = options_.max_in_flight;
+        defaults.coalesce_min_inflight = options_.coalesce_min_inflight;
+        defaults.coalesce_window_us = options_.coalesce_window_us;
+        defaults.sndbuf = options_.sndbuf;
+        defaults.rcvbuf = options_.rcvbuf;
         defaults.faults = options_.faults;
         defaults.faults_on = options_.faults_on;
         defaults.clock = clock_;
@@ -315,6 +319,17 @@ void WireKvClient::Run(
       }
       if (reply.overall != StatusCode::kOk ||
           reply.codes.size() != group.items.size()) {
+        // kFailedPrecondition = the routed block's content is gone — a
+        // split/merge landed after our snapshot (the in-process client's
+        // "content vanished" signal). Stale, not fatal: refresh + re-route.
+        if (reply.overall == StatusCode::kFailedPrecondition ||
+            reply.overall == StatusCode::kStaleMetadata) {
+          need_refresh = true;
+          for (size_t i : group.items) {
+            stale.push_back(i);
+          }
+          continue;
+        }
         const Status st =
             reply.overall != StatusCode::kOk
                 ? CodeStatus(reply.overall, "wire group failed")

@@ -74,6 +74,16 @@ class WireKvClient {
   struct Options {
     RetryPolicy retry;
     size_t max_in_flight = 64;  // Per pooled connection.
+    // Adaptive send coalescing on the pooled connections (tcp_client.h):
+    // once ≥ `coalesce_min_inflight` RPCs are outstanding on a connection,
+    // frames batch up to `coalesce_window_us` and leave in one write; an
+    // idle pipe always flushes immediately. 0 = off (every frame is its
+    // own write, the PR-8 behavior).
+    size_t coalesce_min_inflight = 16;
+    uint64_t coalesce_window_us = 40;
+    // SO_SNDBUF / SO_RCVBUF for dialed connections; 0 = kernel default.
+    int sndbuf = 0;
+    int rcvbuf = 0;
     Clock* clock = nullptr;     // Default RealClock.
     // Client-frame-layer fault injection (wire parity with the modeled
     // transport's FaultPlan; see tcp_client.h).

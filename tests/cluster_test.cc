@@ -80,7 +80,7 @@ TEST(ClusterTest, HooksRoundTripAllTypes) {
   ASSERT_TRUE(cluster.InitBlock(id, DsType::kFile, 0, 4096, "j", "p").ok());
   Block* block = cluster.ResolveBlock(id);
   {
-    std::lock_guard<std::mutex> lock(block->mu());
+    Block::OpLock lock(*block);
     dynamic_cast<FileChunk*>(block->content())->Append("hook-bytes");
   }
   auto data = cluster.SerializeBlock(id);
@@ -89,7 +89,7 @@ TEST(ClusterTest, HooksRoundTripAllTypes) {
   EXPECT_FALSE(block->allocated());
   ASSERT_TRUE(cluster.RestoreBlock(id, DsType::kFile, *data, 0, 4096, "j", "p").ok());
   {
-    std::lock_guard<std::mutex> lock(block->mu());
+    Block::OpLock lock(*block);
     auto* chunk = dynamic_cast<FileChunk*>(block->content());
     ASSERT_NE(chunk, nullptr);
     EXPECT_EQ(*chunk->ReadAt(0, 10), "hook-bytes");

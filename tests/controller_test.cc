@@ -120,7 +120,7 @@ TEST_F(ControllerTest, LeaseExpiryFlushesAndReclaims) {
   Block* block = cluster_->ResolveBlock(
       ctl_->GetPartitionMap("j", "t")->entries[0].block);
   {
-    std::lock_guard<std::mutex> lock(block->mu());
+    Block::OpLock lock(*block);
     auto* chunk = dynamic_cast<FileChunk*>(block->content());
     ASSERT_NE(chunk, nullptr);
     chunk->Append("ephemeral-state");
@@ -160,7 +160,7 @@ TEST_F(ControllerTest, LoadRevivesExpiredPrefix) {
   auto map = ctl_->GetPartitionMap("j", "t");
   Block* block = cluster_->ResolveBlock(map->entries[0].block);
   {
-    std::lock_guard<std::mutex> lock(block->mu());
+    Block::OpLock lock(*block);
     dynamic_cast<FileChunk*>(block->content())->Append("revive-me");
   }
   clock_.AdvanceBy(2 * kSecond);
@@ -171,7 +171,7 @@ TEST_F(ControllerTest, LoadRevivesExpiredPrefix) {
   ASSERT_TRUE(revived.ok());
   ASSERT_EQ(revived->entries.size(), 1u);
   Block* nb = cluster_->ResolveBlock(revived->entries[0].block);
-  std::lock_guard<std::mutex> lock(nb->mu());
+  Block::OpLock lock(*nb);
   auto* chunk = dynamic_cast<FileChunk*>(nb->content());
   ASSERT_NE(chunk, nullptr);
   EXPECT_EQ(*chunk->ReadAt(0, 9), "revive-me");

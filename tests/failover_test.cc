@@ -121,7 +121,7 @@ TEST_F(FailoverTest, PromotedStandbyServesLiveData) {
     for (const auto& entry : map->entries) {
       Block* block = cluster_->ResolveBlock(entry.block);
       ASSERT_NE(block, nullptr);
-      std::lock_guard<std::mutex> lock(block->mu());
+      Block::OpLock lock(*block);
       auto* shard = dynamic_cast<KvShard*>(block->content());
       if (shard != nullptr && shard->Get("k" + std::to_string(i)).ok()) {
         found = true;

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/block/block_id.h"
 #include "src/common/random.h"
 #include "src/net/completion.h"
 #include "src/net/frame.h"
@@ -371,6 +372,121 @@ TEST(CompletionWindow, DepthBoundsOutstanding) {
   window.Complete(t2, Status::Ok());
   EXPECT_TRUE(window.Drain().ok());
   EXPECT_EQ(window.max_in_flight(), 2u);
+}
+
+// --- FrameReader: cached-header stream reassembly ----------------------------
+
+TEST(FrameCodec, FrameReaderDeliversFramesAcrossPartialReceives) {
+  std::string stream;
+  EncodeKeysRequest(WireOp::kMultiGet, 7, 42, {"alpha", "beta"}, &stream);
+  EncodePingRequest(9, &stream);
+
+  // Feed the stream one byte at a time: the reader must report short reads
+  // until each frame completes, and the cached header must carry across
+  // every intermediate growth.
+  FrameReader reader;
+  std::string buf;
+  std::vector<std::string> bodies;
+  for (char c : stream) {
+    buf.push_back(c);
+    std::string_view body;
+    const Status st = reader.Next(buf, &body);
+    if (st.ok()) {
+      bodies.emplace_back(body);
+    } else {
+      ASSERT_EQ(st.code(), StatusCode::kUnavailable);
+    }
+  }
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_EQ(reader.offset(), stream.size());
+
+  DecodedRequest req;
+  ASSERT_TRUE(DecodeRequest(bodies[0], &req).ok());
+  EXPECT_EQ(req.op, WireOp::kMultiGet);
+  EXPECT_EQ(req.tag, 7u);
+  EXPECT_EQ(req.block, 42u);
+  ASSERT_TRUE(DecodeRequest(bodies[1], &req).ok());
+  EXPECT_EQ(req.op, WireOp::kPing);
+}
+
+TEST(FrameCodec, FrameReaderRebaseKeepsCachedHeaderThroughCompaction) {
+  std::string first, second;
+  EncodePingRequest(1, &first);
+  EncodeKeysRequest(WireOp::kMultiDelete, 2, 5, {"k"}, &second);
+
+  // Buffer holds the whole first frame plus ONLY the length word of the
+  // second — the reader caches the second header, then the consumed prefix
+  // is compacted away underneath it.
+  FrameReader reader;
+  std::string buf = first + second.substr(0, kLenPrefixBytes);
+  std::string_view body;
+  ASSERT_TRUE(reader.Next(buf, &body).ok());
+  EXPECT_EQ(reader.Next(buf, &body).code(), StatusCode::kUnavailable);
+
+  const size_t consumed = reader.offset();
+  ASSERT_EQ(consumed, first.size());
+  buf.erase(0, consumed);
+  reader.Rebase(consumed);
+  EXPECT_EQ(reader.offset(), 0u);
+
+  buf.append(second.substr(kLenPrefixBytes));
+  ASSERT_TRUE(reader.Next(buf, &body).ok());
+  DecodedRequest req;
+  ASSERT_TRUE(DecodeRequest(body, &req).ok());
+  EXPECT_EQ(req.op, WireOp::kMultiDelete);
+  EXPECT_EQ(req.tag, 2u);
+}
+
+TEST(FrameCodec, FrameReaderRejectsCorruptLengths) {
+  FrameReader reader;
+  std::string_view body;
+
+  std::string zero(kLenPrefixBytes, '\0');
+  EXPECT_EQ(reader.Next(zero, &body).code(), StatusCode::kInvalidArgument);
+
+  FrameReader reader2;
+  const uint32_t huge = static_cast<uint32_t>(kMaxFrameBytes) + 1;
+  std::string oversized(reinterpret_cast<const char*>(&huge), 4);
+  EXPECT_EQ(reader2.Next(oversized, &body).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- PeekRequestHeader: routing without decoding -----------------------------
+
+TEST(FrameCodec, PeekRequestHeaderMatchesFullDecode) {
+  std::string frame;
+  EncodeMultiPutRequest(0xBEEF, BlockId{3, 9}.Packed(),
+                        {{"key", "value"}}, &frame);
+  const std::string_view body = BodyOf(frame);
+
+  WireOp op = WireOp::kPing;
+  uint64_t tag = 0, block = 0;
+  ASSERT_TRUE(PeekRequestHeader(body, &op, &tag, &block).ok());
+
+  DecodedRequest req;
+  ASSERT_TRUE(DecodeRequest(body, &req).ok());
+  EXPECT_EQ(op, req.op);
+  EXPECT_EQ(tag, req.tag);
+  EXPECT_EQ(block, req.block);
+}
+
+TEST(FrameCodec, PeekRequestHeaderRejectsGarbage) {
+  WireOp op = WireOp::kPing;
+  uint64_t tag = 0, block = 0;
+
+  // Too short to hold a request header.
+  EXPECT_FALSE(PeekRequestHeader("tiny", &op, &tag, &block).ok());
+
+  // Right size, wrong magic.
+  std::string junk(kRequestHeaderBytes, 'x');
+  EXPECT_FALSE(PeekRequestHeader(junk, &op, &tag, &block).ok());
+
+  // Valid frame with the opcode byte corrupted.
+  std::string frame;
+  EncodePingRequest(1, &frame);
+  frame[kLenPrefixBytes + 5] = 0x7f;
+  EXPECT_FALSE(
+      PeekRequestHeader(BodyOf(frame), &op, &tag, &block).ok());
 }
 
 }  // namespace

@@ -60,7 +60,7 @@ TEST_F(ReplicationTest, WritesReachAllReplicas) {
   for (const BlockId& rid : map.entries[0].replicas) {
     Block* rb = cluster_->ResolveBlock(rid);
     ASSERT_NE(rb, nullptr);
-    std::lock_guard<std::mutex> lock(rb->mu());
+    Block::OpLock lock(*rb);
     auto* shard = dynamic_cast<KvShard*>(rb->content());
     ASSERT_NE(shard, nullptr);
     EXPECT_EQ(shard->pair_count(), 20u);
@@ -124,7 +124,7 @@ TEST_F(ReplicationTest, ReReplicationRestoresFactor) {
   // The new replica holds a full copy.
   Block* rb = cluster_->ResolveBlock(map.entries[0].replicas[0]);
   ASSERT_NE(rb, nullptr);
-  std::lock_guard<std::mutex> lock(rb->mu());
+  Block::OpLock lock(*rb);
   auto* shard = dynamic_cast<KvShard*>(rb->content());
   ASSERT_NE(shard, nullptr);
   EXPECT_EQ(shard->pair_count(), 10u);

@@ -10,8 +10,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -19,6 +21,8 @@
 #include <vector>
 
 #include "src/block/arena.h"
+#include "src/block/block.h"
+#include "src/block/block_id.h"
 #include "src/client/jiffy_client.h"
 #include "src/client/pipeline.h"
 #include "src/ds/kv_content.h"
@@ -442,6 +446,427 @@ TEST_F(WireGatewayTest, OutageWindowFailsFast) {
                                wire.map().endpoints[0].port, 0);
   ASSERT_TRUE(conn.ok());
   EXPECT_GT((*conn)->fault_outages(), 0u);
+}
+
+// --- Thread-per-core affinity (DESIGN.md §13) --------------------------------
+
+// With affinity on, every block executes on exactly ONE loop thread — frames
+// arriving on other loops are forwarded through the MPSC rings. The handler
+// records which thread executed each block; blocks are picked so their
+// OwnerLoop spans all four loops, proving both routing and forwarding.
+TEST(WireServer, AffinityExecutesEachBlockOnItsOwningLoop) {
+  constexpr size_t kLoops = 4;
+  TcpServer::Options sopts;
+  sopts.threads = static_cast<int>(kLoops);
+  sopts.affinity = true;
+  std::mutex mu;
+  std::map<uint64_t, std::set<std::thread::id>> executors;
+  int non_affine = 0;
+  TcpServer server(
+      TcpServer::ExecHandler(
+          [&](const DecodedRequest& req, const ExecContext& ctx) {
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              executors[req.block].insert(std::this_thread::get_id());
+              if (!ctx.affine) {
+                ++non_affine;
+              }
+            }
+            return EchoHandler(req);
+          }),
+      sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // One packed block per owning loop, found via the public hash.
+  std::vector<uint64_t> blocks(kLoops, 0);
+  size_t found = 0;
+  for (uint64_t b = 1; found < kLoops; ++b) {
+    const size_t owner = TcpServer::OwnerLoop(b, kLoops);
+    if (blocks[owner] == 0) {
+      blocks[owner] = b;
+      ++found;
+    }
+  }
+
+  auto conn = TcpConnection::Connect("127.0.0.1", server.port(), {});
+  ASSERT_TRUE(conn.ok());
+  for (int round = 0; round < 8; ++round) {
+    for (uint64_t block : blocks) {
+      const std::string key = "k" + std::to_string(round);
+      const uint64_t tag = (*conn)->BeginTag();
+      std::string frame;
+      EncodeKeysRequest(WireOp::kMultiGet, tag, block, {key}, &frame);
+      WireReply reply = (*conn)->Call(std::move(frame), tag);
+      ASSERT_TRUE(reply.transport.ok());
+      ASSERT_EQ(reply.values.size(), 1u);
+      EXPECT_EQ(reply.values[0], "echo:" + key);
+    }
+  }
+
+  std::set<std::thread::id> distinct;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(executors.size(), kLoops);
+    for (const auto& [block, threads] : executors) {
+      EXPECT_EQ(threads.size(), 1u)
+          << "block " << block << " executed on multiple loops";
+      distinct.insert(*threads.begin());
+    }
+    EXPECT_EQ(non_affine, 0);
+  }
+  // Four blocks owned by four different loops must run on four threads, and
+  // the three not owned by the connection's home loop were forwarded.
+  EXPECT_EQ(distinct.size(), kLoops);
+  EXPECT_GT(server.frames_forwarded(), 0u);
+  server.Stop();
+}
+
+class WireAffinityTest : public WireGatewayTest {
+ protected:
+  WireAffinityTest() {
+    gateway_->Stop();
+    WireGateway::Options gopts;
+    gopts.threads = 4;
+    gopts.affinity = true;
+    gateway_ = std::make_unique<WireGateway>(cluster_.get(), gopts);
+    EXPECT_TRUE(gateway_->Start().ok());
+  }
+
+  uint64_t SumOverBlocks(const WireMap& map,
+                         uint64_t (Block::*counter)() const) {
+    uint64_t total = 0;
+    std::set<uint64_t> seen;
+    for (const WireRange& r : map.ranges) {
+      if (!seen.insert(r.block).second) {
+        continue;
+      }
+      Block* block = cluster_->ResolveBlock(BlockId::FromPacked(r.block));
+      if (block != nullptr) {
+        total += (block->*counter)();
+      }
+    }
+    return total;
+  }
+};
+
+// Batched put/get/delete parity under affinity: results identical to shared
+// mode, frames for non-home blocks forwarded, and repeat touches engage the
+// lock-free single-writer path (biased_ops advances).
+TEST_F(WireAffinityTest, BatchedOpsForwardAndRunSingleWriter) {
+  WireKvClient wire = WireClient();
+  std::vector<std::string> keys, values;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back("aff-" + std::to_string(i));
+    values.push_back("value-" + std::to_string(i * 7));
+  }
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+  std::vector<std::string_view> key_views;
+  for (int i = 0; i < 64; ++i) {
+    pairs.emplace_back(keys[i], values[i]);
+    key_views.emplace_back(keys[i]);
+  }
+  // Two rounds: the first grants each touched block's bias to its owning
+  // loop (inside the shared fallback), the second runs on the granted bias.
+  for (int round = 0; round < 2; ++round) {
+    for (const Status& st : wire.MultiPut(pairs)) {
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    WireValues got = wire.MultiGet(key_views);
+    ASSERT_EQ(got.size(), 64u);
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i].ok()) << "item " << i;
+      EXPECT_EQ(*got[i], values[i]);
+    }
+  }
+  std::vector<Status> deleted = wire.MultiDelete(key_views);
+  for (const Status& st : deleted) {
+    EXPECT_TRUE(st.ok());
+  }
+  EXPECT_EQ(wire.Get(keys[0]).status().code(), StatusCode::kNotFound);
+
+  EXPECT_GT(gateway_->server()->frames_forwarded(), 0u);
+  EXPECT_GT(SumOverBlocks(wire.map(), &Block::biased_ops), 0u);
+}
+
+// The zero-copy acceptance bar holds on the affine path too: single-writer
+// execution still serves MultiGet straight out of pinned arena memory.
+TEST_F(WireAffinityTest, MultiGetStaysZeroCopyUnderAffinity) {
+  std::vector<std::string> keys, values;
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+  for (int i = 0; i < 32; ++i) {
+    keys.push_back("affzc-" + std::to_string(i));
+    values.push_back(std::string(256, static_cast<char>('a' + i % 26)));
+  }
+  for (int i = 0; i < 32; ++i) {
+    pairs.emplace_back(keys[i], values[i]);
+  }
+  WireKvClient wire = WireClient();
+  for (const Status& st : wire.MultiPut(pairs)) {
+    ASSERT_TRUE(st.ok());
+  }
+  std::vector<std::string_view> key_views(keys.begin(), keys.end());
+  // Two rounds so the second MultiGet definitely runs on the biased fast
+  // path — both must stay at zero payload copies.
+  const uint64_t copied_before = CopyMeter::Total();
+  for (int round = 0; round < 2; ++round) {
+    WireValues got = wire.MultiGet(key_views);
+    for (size_t i = 0; i < key_views.size(); ++i) {
+      ASSERT_TRUE(got[i].ok());
+      EXPECT_EQ(*got[i], values[i]);
+    }
+  }
+  EXPECT_EQ(CopyMeter::Total() - copied_before, 0u)
+      << "affine MultiGet serialization must not materialize values";
+}
+
+// In-process clients keep working while wire loops hold biases: each OpLock
+// revokes the bias (Dekker handshake), then the next affine op re-grants it.
+// Data stays coherent across both paths and revocations are observed.
+TEST_F(WireAffinityTest, InProcessAccessRevokesAndRegrantsBias) {
+  WireKvClient wire = WireClient();
+  for (int i = 0; i < 32; ++i) {
+    const std::string key = "mix-" + std::to_string(i);
+    // Wire put (grants/uses bias) → in-process read (revokes) → in-process
+    // put (shared mode) → wire read (re-grants).
+    ASSERT_TRUE(wire.Put(key, "from-wire").ok());
+    auto in_proc = kv_->Get(key);
+    ASSERT_TRUE(in_proc.ok());
+    EXPECT_EQ(*in_proc, "from-wire");
+    ASSERT_TRUE(kv_->Put(key, "from-inproc").ok());
+    auto over_wire = wire.Get(key);
+    ASSERT_TRUE(over_wire.ok());
+    EXPECT_EQ(*over_wire, "from-inproc");
+  }
+  EXPECT_GT(SumOverBlocks(wire.map(), &Block::biased_ops), 0u);
+  EXPECT_GT(SumOverBlocks(wire.map(), &Block::bias_revokes), 0u);
+}
+
+// --- Affinity under repartition churn ----------------------------------------
+
+// Satellite 3: wire writers drive chunked splits while the affinity server
+// executes single-writer; stale routes refresh and re-route, and the final
+// state is exactly-once. Suite name contains "Wire" for the TSan CI job.
+TEST(WireAffinityChurnTest, SplitsUnderWireWritersKeepExactlyOnce) {
+  JiffyCluster::Options opts;
+  opts.config.num_memory_servers = 4;
+  opts.config.blocks_per_server = 256;
+  opts.config.block_size_bytes = 4096;
+  opts.config.repartition_chunk_bytes = 512;
+  opts.config.lease_duration = 3600 * kSecond;
+  auto cluster = std::make_unique<JiffyCluster>(opts);
+  JiffyClient client(cluster.get());
+  ASSERT_TRUE(client.RegisterJob("job").ok());
+  ASSERT_TRUE(client.CreateAddrPrefix("/job/kv", {}).ok());
+
+  WireGateway::Options gopts;
+  gopts.threads = 4;
+  gopts.affinity = true;
+  WireGateway gateway(cluster.get(), gopts);
+  ASSERT_TRUE(gateway.Start().ok());
+
+  constexpr int kWriters = 4;
+  constexpr int kKeysPerWriter = 250;
+  constexpr int kBatch = 25;
+  auto key_of = [](int w, int i) {
+    return "w" + std::to_string(w) + "-" + std::to_string(i);
+  };
+  auto value_of = [](int w, int i) {
+    return "v" + std::to_string(w) + ":" + std::to_string(i) +
+           std::string(48, 'd');
+  };
+  // ~60 KiB of pairs into 4 KiB blocks with 512-byte migration chunks: the
+  // repartitioner splits blocks — moving them to NEW BlockIds owned by
+  // different loops — while these writers' batches are in flight.
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto kv = client.OpenKv("/job/kv");
+      ASSERT_TRUE(kv.ok());
+      WireKvClient::Options wopts;
+      wopts.map_refresher = [&gateway,
+                             kvp = kv->get()]() -> Result<WireMap> {
+        JIFFY_RETURN_IF_ERROR(kvp->RefreshMap());
+        return gateway.MapFor(kvp->CachedMap());
+      };
+      WireKvClient wire(gateway.MapFor((*kv)->CachedMap()), std::move(wopts));
+      std::vector<std::string> keys(kBatch), values(kBatch);
+      for (int base = 0; base < kKeysPerWriter; base += kBatch) {
+        std::vector<std::pair<std::string_view, std::string_view>> pairs;
+        for (int j = 0; j < kBatch; ++j) {
+          keys[j] = key_of(w, base + j);
+          values[j] = value_of(w, base + j);
+          pairs.emplace_back(keys[j], values[j]);
+        }
+        const std::vector<Status> statuses = wire.MultiPut(pairs);
+        ASSERT_EQ(statuses.size(), pairs.size());
+        for (size_t j = 0; j < statuses.size(); ++j) {
+          ASSERT_TRUE(statuses[j].ok())
+              << keys[j] << ": " << statuses[j].ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  ASSERT_NE(cluster->repartitioner(), nullptr);
+  cluster->repartitioner()->WaitIdle();
+  EXPECT_GT(cluster->repartitioner()->splits(), 0u);
+  EXPECT_GT(gateway.server()->frames_forwarded(), 0u);
+
+  // Exactly-once: no pair lost (per-key read-back) and none duplicated
+  // (CountPairs over the post-split map is exact).
+  auto kv = client.OpenKv("/job/kv");
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE((*kv)->RefreshMap().ok());
+  EXPECT_GT((*kv)->CachedMap().entries.size(), 1u);
+  EXPECT_EQ(*(*kv)->CountPairs(),
+            static_cast<size_t>(kWriters) * kKeysPerWriter);
+
+  // Read everything back OVER THE WIRE through the post-churn map.
+  WireKvClient::Options ropts;
+  ropts.map_refresher = [&gateway, kvp = kv->get()]() -> Result<WireMap> {
+    JIFFY_RETURN_IF_ERROR(kvp->RefreshMap());
+    return gateway.MapFor(kvp->CachedMap());
+  };
+  WireKvClient reader(gateway.MapFor((*kv)->CachedMap()), std::move(ropts));
+  for (int w = 0; w < kWriters; ++w) {
+    std::vector<std::string> keys;
+    std::vector<std::string_view> views;
+    for (int i = 0; i < kKeysPerWriter; ++i) {
+      keys.push_back(key_of(w, i));
+    }
+    for (const std::string& k : keys) {
+      views.emplace_back(k);
+    }
+    WireValues got = reader.MultiGet(views);
+    ASSERT_EQ(got.size(), keys.size());
+    for (int i = 0; i < kKeysPerWriter; ++i) {
+      ASSERT_TRUE(got[i].ok()) << keys[i] << ": " << got[i].status();
+      EXPECT_EQ(*got[i], value_of(w, i)) << keys[i];
+    }
+  }
+
+  // Phase 2: in-process thinning (deletes raise underload pressure, driving
+  // merges that move slot ranges to surviving blocks — i.e. to DIFFERENT
+  // owning loops) while a wire reader keeps hitting survivor keys. Stale
+  // routes must refresh and re-route mid-migration.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> wire_reads{0};
+  std::thread wire_reader([&] {
+    auto rkv = client.OpenKv("/job/kv");
+    ASSERT_TRUE(rkv.ok());
+    WireKvClient::Options o2;
+    o2.map_refresher = [&gateway, kvp = rkv->get()]() -> Result<WireMap> {
+      JIFFY_RETURN_IF_ERROR(kvp->RefreshMap());
+      return gateway.MapFor(kvp->CachedMap());
+    };
+    ASSERT_TRUE((*rkv)->RefreshMap().ok());
+    WireKvClient r2(gateway.MapFor((*rkv)->CachedMap()), std::move(o2));
+    for (uint64_t i = 0; !stop.load(std::memory_order_acquire); ++i) {
+      const int w = static_cast<int>(i % kWriters);
+      const int k =
+          static_cast<int>((i * 10) % kKeysPerWriter) / 10 * 10;  // Survivor.
+      auto got = r2.Get(key_of(w, k));
+      ASSERT_TRUE(got.ok()) << key_of(w, k) << ": " << got.status();
+      ASSERT_EQ(*got, value_of(w, k));
+      wire_reads.fetch_add(1);
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kKeysPerWriter; ++i) {
+      if (i % 10 == 0) {
+        continue;  // Survivors the wire reader is verifying.
+      }
+      ASSERT_TRUE((*kv)->Delete(key_of(w, i)).ok()) << key_of(w, i);
+    }
+  }
+  cluster->repartitioner()->WaitIdle();
+  stop.store(true, std::memory_order_release);
+  wire_reader.join();
+  EXPECT_GT(wire_reads.load(), 0u);
+
+  const size_t survivors =
+      static_cast<size_t>(kWriters) * ((kKeysPerWriter + 9) / 10);
+  ASSERT_TRUE((*kv)->RefreshMap().ok());
+  EXPECT_EQ(*(*kv)->CountPairs(), survivors);
+  gateway.Stop();
+}
+
+// --- Client-side adaptive coalescing -----------------------------------------
+
+// With the threshold at 1 every submission rides the buffered path; frames
+// batch into strictly fewer (or equal) writes and every reply still matches
+// its tag.
+TEST(WireCoalescing, BusyPipeBatchesFramesIntoFewerWrites) {
+  TcpServer::Options sopts;
+  sopts.threads = 2;
+  TcpServer server(EchoHandler, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpConnection::Options copts;
+  copts.max_in_flight = 64;
+  copts.coalesce_min_inflight = 1;  // Always considered busy.
+  copts.coalesce_window_us = 200;
+  auto conn = TcpConnection::Connect("127.0.0.1", server.port(), copts);
+  ASSERT_TRUE(conn.ok());
+
+  constexpr int kRpcs = 128;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  int mismatches = 0;
+  for (int i = 0; i < kRpcs; ++i) {
+    const std::string key = "co-" + std::to_string(i);
+    const uint64_t tag = (*conn)->BeginTag();
+    std::string frame;
+    EncodeKeysRequest(WireOp::kMultiGet, tag, 1, {key}, &frame);
+    (*conn)->Submit(std::move(frame), tag,
+                    [&, expect = "echo:" + key](WireReply reply) {
+                      std::lock_guard<std::mutex> lock(mu);
+                      if (!reply.transport.ok() || reply.values.size() != 1 ||
+                          reply.values[0] != expect) {
+                        ++mismatches;
+                      }
+                      ++done;
+                      cv.notify_all();
+                    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return done == kRpcs; }));
+  }
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_EQ((*conn)->coalesced_frames(), static_cast<uint64_t>(kRpcs));
+  EXPECT_GE((*conn)->coalesced_flushes(), 1u);
+  EXPECT_LE((*conn)->coalesced_flushes(), (*conn)->coalesced_frames());
+  server.Stop();
+}
+
+// Below the in-flight threshold the adaptive path never buffers: sequential
+// round trips write immediately, exactly the PR-8 latency behavior.
+TEST(WireCoalescing, IdlePipeWritesImmediately) {
+  TcpServer::Options sopts;
+  TcpServer server(EchoHandler, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpConnection::Options copts;
+  copts.coalesce_min_inflight = 64;  // Sequential calls never reach this.
+  auto conn = TcpConnection::Connect("127.0.0.1", server.port(), copts);
+  ASSERT_TRUE(conn.ok());
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "seq-" + std::to_string(i);
+    const uint64_t tag = (*conn)->BeginTag();
+    std::string frame;
+    EncodeKeysRequest(WireOp::kMultiGet, tag, 1, {key}, &frame);
+    WireReply reply = (*conn)->Call(std::move(frame), tag);
+    ASSERT_TRUE(reply.transport.ok());
+    ASSERT_EQ(reply.values.size(), 1u);
+    EXPECT_EQ(reply.values[0], "echo:" + key);
+  }
+  EXPECT_EQ((*conn)->coalesced_frames(), 0u);
+  server.Stop();
 }
 
 // --- Pipeline over the completion window -------------------------------------
