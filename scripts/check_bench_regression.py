@@ -163,6 +163,64 @@ def check_affinity(path, min_scaling, min_hot_ratio):
     return 1 if failed else 0
 
 
+def check_ctlrep(path, max_mutation_ratio, max_lookup_ratio, max_failover_ms):
+    """Gates a BENCH_fig19_ctlrep.json document against the replicated
+    control-plane acceptance criteria. Returns the process exit code."""
+    with open(path) as f:
+        doc = json.load(f)
+    failed = False
+
+    ratio = doc.get("mutation_p50_ratio")
+    if ratio is None:
+        print(f"FAIL: {path} has no mutation_p50_ratio")
+        failed = True
+    elif ratio > max_mutation_ratio:
+        print(f"FAIL: quorum/single metadata mutation p50 ratio {ratio:.3f} "
+              f"> {max_mutation_ratio} (quorum commit must stay within "
+              f"{max_mutation_ratio}x of a single controller)")
+        failed = True
+    else:
+        print(f"ok: quorum/single mutation p50 ratio {ratio:.3f}x "
+              f"(<= {max_mutation_ratio})")
+
+    lookup = doc.get("lookup_p50_ratio")
+    if lookup is None:
+        print(f"FAIL: {path} has no lookup_p50_ratio")
+        failed = True
+    elif lookup > max_lookup_ratio:
+        print(f"FAIL: quorum/single lookup p50 ratio {lookup:.3f} "
+              f"> {max_lookup_ratio}; leased reads must stay local")
+        failed = True
+    else:
+        print(f"ok: quorum/single lookup p50 ratio {lookup:.3f}x "
+              f"(<= {max_lookup_ratio}, local leased reads)")
+
+    window = doc.get("failover", {}).get("window_ms")
+    if window is None:
+        print(f"FAIL: {path} has no failover.window_ms")
+        failed = True
+    elif window <= 0 or window > max_failover_ms:
+        print(f"FAIL: leader-failover window {window:.3f} ms outside "
+              f"(0, {max_failover_ms}] — expected ~election timeout plus a "
+              f"few control RTTs")
+        failed = True
+    else:
+        print(f"ok: leader-failover window {window:.3f} ms "
+              f"(<= {max_failover_ms})")
+
+    new_leader = doc.get("failover", {}).get("new_leader", -1)
+    old_leader = doc.get("failover", {}).get("old_leader", -1)
+    if new_leader < 0 or new_leader == old_leader:
+        print(f"FAIL: failover did not promote a new leader "
+              f"(old={old_leader}, new={new_leader})")
+        failed = True
+    else:
+        print(f"ok: failover promoted replica {new_leader} "
+              f"(was {old_leader})")
+
+    return 1 if failed else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new_json")
@@ -194,6 +252,19 @@ def main():
     parser.add_argument("--min-hot-ratio", type=float, default=1.3,
                         help="minimum hot-block serial-section bound ratio, "
                              "affinity vs PR-8 shared mutex (default 1.3)")
+    parser.add_argument("--ctlrep", action="store_true",
+                        help="gate a BENCH_fig19_ctlrep.json document "
+                             "against the replicated control-plane "
+                             "acceptance criteria instead")
+    parser.add_argument("--max-mutation-ratio", type=float, default=2.0,
+                        help="maximum quorum/single metadata mutation p50 "
+                             "ratio (default 2.0)")
+    parser.add_argument("--max-lookup-ratio", type=float, default=1.3,
+                        help="maximum quorum/single metadata lookup p50 "
+                             "ratio (default 1.3; reads stay local)")
+    parser.add_argument("--max-failover-ms", type=float, default=2000.0,
+                        help="maximum client-visible leader-failover window "
+                             "in ms (default 2000)")
     args = parser.parse_args()
 
     if args.wire:
@@ -202,9 +273,12 @@ def main():
     if args.affinity:
         return check_affinity(args.new_json, args.min_scaling,
                               args.min_hot_ratio)
+    if args.ctlrep:
+        return check_ctlrep(args.new_json, args.max_mutation_ratio,
+                            args.max_lookup_ratio, args.max_failover_ms)
     if args.baseline_json is None:
-        parser.error("baseline_json is required unless --wire or "
-                     "--affinity is given")
+        parser.error("baseline_json is required unless --wire, --affinity, "
+                     "or --ctlrep is given")
     prefixes = args.prefix or ["BM_KvMultiPut", "BM_KvMultiGet"]
 
     new_doc, new_runs = load_runs(args.new_json)

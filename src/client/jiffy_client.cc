@@ -1,11 +1,43 @@
 #include "src/client/jiffy_client.h"
 
+#include <atomic>
+
 #include "src/core/address.h"
 
 namespace jiffy {
 
+namespace {
+
+// Whether a controller answer means "mid-failover, ask the (new) leader".
+bool Retryable(const Status& s) {
+  return s.code() == StatusCode::kUnavailable;
+}
+template <typename T>
+bool Retryable(const Result<T>& r) {
+  return !r.ok() && r.status().code() == StatusCode::kUnavailable;
+}
+
+std::atomic<uint64_t> g_client_counter{0};
+
+}  // namespace
+
 JiffyClient::JiffyClient(JiffyCluster* cluster, std::string principal)
-    : cluster_(cluster), principal_(std::move(principal)) {}
+    : cluster_(cluster),
+      principal_(std::move(principal)),
+      client_id_("client-" +
+                 std::to_string(g_client_counter.fetch_add(1) + 1)) {}
+
+template <typename Fn>
+auto JiffyClient::WithMetaRetry(const std::string& job, Fn&& fn)
+    -> decltype(fn(static_cast<Controller*>(nullptr))) {
+  constexpr int kAttempts = 4;
+  auto result = fn(cluster_->ControllerFor(job));
+  for (int attempt = 1; attempt < kAttempts && Retryable(result); ++attempt) {
+    // ControllerFor re-resolves the shard leader, electing one if needed.
+    result = fn(cluster_->ControllerFor(job));
+  }
+  return result;
+}
 
 Result<std::pair<std::string, std::string>> JiffyClient::SplitAddr(
     const std::string& addr) {
@@ -13,19 +45,21 @@ Result<std::pair<std::string, std::string>> JiffyClient::SplitAddr(
   if (path.depth() < 2) {
     return InvalidArgument("address must be /job/task...: " + addr);
   }
-  JIFFY_RETURN_IF_ERROR(
-      cluster_->ControllerFor(path.job())->ValidatePath(path));
+  JIFFY_RETURN_IF_ERROR(WithMetaRetry(
+      path.job(), [&](Controller* ctl) { return ctl->ValidatePath(path); }));
   return std::make_pair(path.job(), path.leaf());
 }
 
 Status JiffyClient::RegisterJob(const std::string& job) {
   cluster_->control_transport()->RoundTrip(64, 64);
-  return cluster_->ControllerFor(job)->RegisterJob(job);
+  return WithMetaRetry(
+      job, [&](Controller* ctl) { return ctl->RegisterJob(job); });
 }
 
 Status JiffyClient::DeregisterJob(const std::string& job) {
   cluster_->control_transport()->RoundTrip(64, 64);
-  return cluster_->ControllerFor(job)->DeregisterJob(job);
+  return WithMetaRetry(
+      job, [&](Controller* ctl) { return ctl->DeregisterJob(job); });
 }
 
 Status JiffyClient::CreateAddrPrefix(const std::string& addr,
@@ -36,8 +70,9 @@ Status JiffyClient::CreateAddrPrefix(const std::string& addr,
   if (path.depth() < 2) {
     return InvalidArgument("address must be /job/task: " + addr);
   }
-  return cluster_->ControllerFor(path.job())
-      ->CreateAddrPrefix(path.job(), path.leaf(), parents, opts);
+  return WithMetaRetry(path.job(), [&](Controller* ctl) {
+    return ctl->CreateAddrPrefix(path.job(), path.leaf(), parents, opts);
+  });
 }
 
 Status JiffyClient::CreateHierarchy(
@@ -45,48 +80,73 @@ Status JiffyClient::CreateHierarchy(
     const std::vector<std::pair<std::string, std::vector<std::string>>>& dag,
     const CreateOptions& opts) {
   cluster_->control_transport()->RoundTrip(64 + 32 * dag.size(), 64);
-  return cluster_->ControllerFor(job)->CreateHierarchy(job, dag, opts);
+  return WithMetaRetry(job, [&](Controller* ctl) {
+    return ctl->CreateHierarchy(job, dag, opts);
+  });
 }
 
 Result<DurationNs> JiffyClient::GetLeaseDuration(const std::string& addr) {
   cluster_->control_transport()->RoundTrip(64, 64);
   JIFFY_ASSIGN_OR_RETURN(auto split, SplitAddr(addr));
-  return cluster_->ControllerFor(split.first)
-      ->GetLeaseDuration(split.first, split.second);
+  return WithMetaRetry(split.first, [&](Controller* ctl) {
+    return ctl->GetLeaseDuration(split.first, split.second);
+  });
 }
 
 Status JiffyClient::RenewLease(const std::string& addr) {
   cluster_->control_transport()->RoundTrip(64, 64);
   JIFFY_ASSIGN_OR_RETURN(auto split, SplitAddr(addr));
-  auto renewed = cluster_->ControllerFor(split.first)
-                     ->RenewLease(split.first, split.second);
+  // Lease renewal is idempotent, so riding through a leader crash with a
+  // blind retry is safe even when the first attempt actually committed.
+  auto renewed = WithMetaRetry(split.first, [&](Controller* ctl) {
+    return ctl->RenewLease(split.first, split.second);
+  });
   if (!renewed.ok()) {
     return renewed.status();
   }
   return Status::Ok();
 }
 
+Result<Controller::CasResult> JiffyClient::Cas(const std::string& addr,
+                                               const std::string& key,
+                                               const std::string& expected,
+                                               const std::string& desired) {
+  cluster_->control_transport()->RoundTrip(128, 64);
+  JIFFY_ASSIGN_OR_RETURN(auto split, SplitAddr(addr));
+  // One sequence number per logical Cas: retries after a mid-commit leader
+  // crash replay the same (client, seq) and get the recorded outcome back
+  // from the session table instead of applying twice.
+  const uint64_t seq = ++cas_seq_;
+  return WithMetaRetry(split.first, [&](Controller* ctl) {
+    return ctl->CasTag(split.first, split.second, key, expected, desired,
+                       client_id_, seq);
+  });
+}
+
 Status JiffyClient::FlushAddrPrefix(const std::string& addr,
                                     const std::string& external_path) {
   cluster_->control_transport()->RoundTrip(128, 64);
   JIFFY_ASSIGN_OR_RETURN(auto split, SplitAddr(addr));
-  return cluster_->ControllerFor(split.first)
-      ->FlushAddrPrefix(split.first, split.second, external_path);
+  return WithMetaRetry(split.first, [&](Controller* ctl) {
+    return ctl->FlushAddrPrefix(split.first, split.second, external_path);
+  });
 }
 
 Status JiffyClient::LoadAddrPrefix(const std::string& addr,
                                    const std::string& external_path) {
   cluster_->control_transport()->RoundTrip(128, 64);
   JIFFY_ASSIGN_OR_RETURN(auto split, SplitAddr(addr));
-  return cluster_->ControllerFor(split.first)
-      ->LoadAddrPrefix(split.first, split.second, external_path);
+  return WithMetaRetry(split.first, [&](Controller* ctl) {
+    return ctl->LoadAddrPrefix(split.first, split.second, external_path);
+  });
 }
 
 Status JiffyClient::PrepareForLoad(const std::string& addr, DsType type) {
   cluster_->control_transport()->RoundTrip(128, 64);
   JIFFY_ASSIGN_OR_RETURN(auto split, SplitAddr(addr));
-  return cluster_->ControllerFor(split.first)
-      ->PrepareForLoad(split.first, split.second, type);
+  return WithMetaRetry(split.first, [&](Controller* ctl) {
+    return ctl->PrepareForLoad(split.first, split.second, type);
+  });
 }
 
 template <typename ClientT>

@@ -56,6 +56,19 @@ class JiffyClient {
   Result<DurationNs> GetLeaseDuration(const std::string& addr);
   Status RenewLease(const std::string& addr);
 
+  // --- Metadata compare-and-swap --------------------------------------------
+
+  // Atomically sets tag `key` on prefix `addr` to `desired` iff its current
+  // value is `expected` ("" = unset). Linearizable under the replicated
+  // control plane: each call carries (client id, sequence number), so a
+  // retry after a leader crash observes the original outcome exactly once
+  // instead of re-applying. Returns the previous value and whether the
+  // swap applied.
+  Result<Controller::CasResult> Cas(const std::string& addr,
+                                    const std::string& key,
+                                    const std::string& expected,
+                                    const std::string& desired);
+
   // --- Flush / load -----------------------------------------------------------
 
   Status FlushAddrPrefix(const std::string& addr,
@@ -96,8 +109,20 @@ class JiffyClient {
   Result<std::unique_ptr<ClientT>> OpenDs(const std::string& addr, DsType type,
                                           uint64_t initial_capacity_bytes);
 
+  // Runs `fn(controller-for-job)` with bounded retries on kUnavailable —
+  // the status a replicated group returns mid-failover. Each attempt
+  // re-resolves the shard leader (ControllerFor triggers an election), so
+  // metadata ops ride through a controller crash transparently.
+  template <typename Fn>
+  auto WithMetaRetry(const std::string& job, Fn&& fn)
+      -> decltype(fn(static_cast<Controller*>(nullptr)));
+
   JiffyCluster* cluster_;
   std::string principal_;
+  // Exactly-once identity for Cas: a stable per-client id plus a monotonic
+  // sequence number the controller's replay table is keyed on.
+  std::string client_id_;
+  uint64_t cas_seq_ = 0;
 };
 
 }  // namespace jiffy

@@ -24,9 +24,10 @@ JiffyCluster::JiffyCluster(const Options& options)
     servers_.push_back(std::make_unique<MemoryServer>(
         s, config_.blocks_per_server, config_.block_size_bytes));
   }
-  const uint32_t shards = std::max<uint32_t>(config_.controller_shards, 1);
-  controllers_.reserve(shards);
-  for (uint32_t i = 0; i < shards; ++i) {
+  shards_ = std::max<uint32_t>(config_.controller_shards, 1);
+  replicas_per_shard_ = std::max<uint32_t>(config_.controller_replicas, 1);
+  controllers_.reserve(shards_ * replicas_per_shard_);
+  for (uint32_t i = 0; i < shards_ * replicas_per_shard_; ++i) {
     controllers_.push_back(std::make_unique<Controller>(
         config_, clock_, allocator_, this, backing_));
   }
@@ -34,13 +35,25 @@ JiffyCluster::JiffyCluster(const Options& options)
       options.net_model, options.net_mode, clock_, /*seed=*/7);
   data_transport_ = std::make_unique<Transport>(
       options.net_model, options.net_mode, clock_, /*seed=*/8);
+  if (replicas_per_shard_ > 1) {
+    groups_.reserve(shards_);
+    for (uint32_t s = 0; s < shards_; ++s) {
+      std::vector<Controller*> members;
+      members.reserve(replicas_per_shard_);
+      for (uint32_t r = 0; r < replicas_per_shard_; ++r) {
+        members.push_back(controllers_[s * replicas_per_shard_ + r].get());
+      }
+      groups_.push_back(std::make_unique<rsm::ControllerGroup>(
+          config_, clock_, std::move(members), control_transport_.get()));
+    }
+  }
 
   // Bind every component to the cluster-wide metrics registry.
   allocator_->BindMetrics(&metrics_);
   for (auto& server : servers_) {
     server->BindMetrics(&metrics_);
   }
-  for (uint32_t i = 0; i < shards; ++i) {
+  for (uint32_t i = 0; i < controllers_.size(); ++i) {
     controllers_[i]->BindMetrics(&metrics_, i);
   }
   control_transport_->BindMetrics(&metrics_, "control");
@@ -75,9 +88,16 @@ JiffyCluster::~JiffyCluster() {
   }
 }
 
+Controller* JiffyCluster::controller_shard(uint32_t i) {
+  if (!groups_.empty()) {
+    return groups_[i]->LeaderController();
+  }
+  return controllers_[i].get();
+}
+
 Controller* JiffyCluster::ControllerFor(const std::string& job) {
-  const size_t idx = Fnv1a64(job) % controllers_.size();
-  return controllers_[idx].get();
+  return controller_shard(
+      static_cast<uint32_t>(Fnv1a64(job) % shards_));
 }
 
 Block* JiffyCluster::ResolveBlock(BlockId id) {
@@ -105,9 +125,11 @@ void JiffyCluster::FailServer(uint32_t i) {
   // Repair the metadata plane eagerly: promote live replicas of every chain
   // that lost a member, re-replicate to restore chain length, and flag
   // entries with no survivor — otherwise GetPartitionMap keeps handing out
-  // dead addresses until some client happens to trip FailOver.
-  for (auto& ctl : controllers_) {
-    ctl->HandleServerFailure(i);
+  // dead addresses until some client happens to trip FailOver. Under a
+  // replicated control plane only each shard's leader holds metadata; the
+  // repair itself quorum-commits like any other mutation.
+  for (uint32_t s = 0; s < shards_; ++s) {
+    controller_shard(s)->HandleServerFailure(i);
   }
 }
 

@@ -27,6 +27,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/slo.h"
 #include "src/persistent/persistent_store.h"
+#include "src/rsm/group.h"
 
 namespace jiffy {
 
@@ -55,12 +56,24 @@ class JiffyCluster : public DataPlaneHooks {
   const JiffyConfig& config() const { return config_; }
   Clock* clock() { return clock_; }
 
-  uint32_t num_controller_shards() const {
-    return static_cast<uint32_t>(controllers_.size());
-  }
-  Controller* controller_shard(uint32_t i) { return controllers_[i].get(); }
+  uint32_t num_controller_shards() const { return shards_; }
+  // The shard's serving controller. Unreplicated: the shard's only
+  // controller. Replicated (controller_replicas >= 3): the group's current
+  // leader, running an election first if none is valid (DESIGN.md §14).
+  Controller* controller_shard(uint32_t i);
   // Shard responsible for `job` (hash partitioning, §4.2.1).
   Controller* ControllerFor(const std::string& job);
+
+  // Replica `r` of shard `i` regardless of leadership (tests / bench).
+  Controller* controller_replica(uint32_t i, uint32_t r) {
+    return controllers_[i * replicas_per_shard_ + r].get();
+  }
+  uint32_t controller_replicas() const { return replicas_per_shard_; }
+  // The shard's replication group; null when the control plane is
+  // unreplicated (controller_replicas == 1).
+  rsm::ControllerGroup* controller_group(uint32_t i) {
+    return groups_.empty() ? nullptr : groups_[i].get();
+  }
 
   MemoryServer* memory_server(uint32_t i) { return servers_[i].get(); }
   uint32_t num_memory_servers() const {
@@ -132,13 +145,21 @@ class JiffyCluster : public DataPlaneHooks {
   PersistentStore* backing_;
   std::shared_ptr<BlockAllocator> allocator_;
   std::vector<std::unique_ptr<MemoryServer>> servers_;
+  // Shard-major: controller for (shard s, replica r) lives at index
+  // s * replicas_per_shard_ + r. All replicas of a shard share the data
+  // plane; only the leader's metadata is materialized.
   std::vector<std::unique_ptr<Controller>> controllers_;
+  uint32_t shards_ = 1;
+  uint32_t replicas_per_shard_ = 1;
   DsRegistry registry_;
   std::unique_ptr<Transport> control_transport_;
   std::unique_ptr<Transport> data_transport_;
   // Stopped explicitly at the top of ~JiffyCluster so its worker thread never
   // touches servers/controllers mid-teardown.
   std::unique_ptr<Repartitioner> repartitioner_;
+  // Declared after controllers_ / control_transport_ (destroyed first):
+  // groups hold raw pointers into both.
+  std::vector<std::unique_ptr<rsm::ControllerGroup>> groups_;
 
   // Owned per cluster (no process-global registry) so tests that build
   // several clusters never share metrics. Bound components cache raw metric

@@ -80,6 +80,32 @@ struct JiffyConfig {
   // hosts with fewer cores than shards.
   bool controller_service_sleeps = false;
 
+  // --- Replicated control plane (DESIGN.md §14) -----------------------------
+
+  // Controller replicas per shard. 1 (default) = no replication: the single
+  // controller mutates its metadata directly, exactly the pre-§14 behavior.
+  // >= 3 = a Raft-style group per shard: mutations quorum-commit through a
+  // metadata log before they are acknowledged, lookups stay local reads on
+  // the leaseholding leader, and killing the leader loses nothing committed.
+  uint32_t controller_replicas = 1;
+
+  // Election timeout: a replica that hears nothing from a leader for this
+  // long starts an election. Heartbeats are sent at rsm_heartbeat_period
+  // (must be well under the election timeout).
+  DurationNs rsm_election_timeout = 150 * kMillisecond;
+  DurationNs rsm_heartbeat_period = 40 * kMillisecond;
+
+  // Leader read-lease window: each successful quorum contact lets the leader
+  // answer reads locally for this long without re-consulting the group.
+  // Safety requires it <= rsm_election_timeout (a new leader cannot be
+  // elected while a previous leader may still be serving leased reads).
+  DurationNs rsm_read_lease = 100 * kMillisecond;
+
+  // Log-compaction threshold: once the applied prefix of the metadata log
+  // exceeds this many entries, the leader snapshots the controller state
+  // (Controller::Snapshot stamped with the applied index) and truncates.
+  uint64_t rsm_snapshot_threshold = 512;
+
   // Total data-plane capacity implied by this configuration.
   size_t TotalCapacityBytes() const {
     return static_cast<size_t>(num_memory_servers) * blocks_per_server *

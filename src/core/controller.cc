@@ -8,6 +8,45 @@
 
 namespace jiffy {
 
+namespace {
+
+// Set while this thread executes a controller method as the `fn` of a
+// MetadataLog::Replicate call: mutating entry points skip their replication
+// preamble (the op is already being logged) and lookup paths skip the read-
+// lease gate (the leader is executing on its own behalf).
+thread_local bool tls_replicated_apply = false;
+
+// Non-null inside a ReplicatedApplyScope: destructive block frees are
+// recorded here instead of performed, so a failed quorum can roll the
+// metadata back to blobs that still reference those blocks.
+thread_local std::vector<BlockId>* tls_deferred_frees = nullptr;
+
+}  // namespace
+
+Controller::ReplicatedApplyScope::ReplicatedApplyScope(
+    std::vector<BlockId>* deferred) {
+  tls_replicated_apply = true;
+  tls_deferred_frees = deferred;
+}
+
+Controller::ReplicatedApplyScope::~ReplicatedApplyScope() {
+  tls_replicated_apply = false;
+  tls_deferred_frees = nullptr;
+}
+
+bool Controller::ShouldReplicate() const {
+  return meta_log_ != nullptr && !tls_replicated_apply;
+}
+
+Status Controller::CheckReadLease() const {
+  if (meta_log_ == nullptr || tls_replicated_apply ||
+      meta_log_->MayServeReads()) {
+    return Status::Ok();
+  }
+  return Unavailable("not the metadata leader (leader hint: replica " +
+                     std::to_string(meta_log_->LeaderHint()) + ")");
+}
+
 Controller::Controller(const JiffyConfig& config, Clock* clock,
                        std::shared_ptr<BlockAllocator> allocator,
                        DataPlaneHooks* hooks, PersistentStore* backing)
@@ -109,6 +148,10 @@ std::vector<std::shared_ptr<Controller::JobSlot>> Controller::PinAllJobs()
 }
 
 Status Controller::RegisterJob(const std::string& job_id) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("RegisterJob", {job_id},
+                       [&] { return RegisterJob(job_id); });
+  }
   ChargeOp();
   if (!IsValidPathSegment(job_id)) {
     return InvalidArgument("bad job id '" + job_id + "'");
@@ -124,6 +167,10 @@ Status Controller::RegisterJob(const std::string& job_id) {
 }
 
 Status Controller::DeregisterJob(const std::string& job_id) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("DeregisterJob", {job_id},
+                       [&] { return DeregisterJob(job_id); });
+  }
   ChargeOp();
   std::shared_ptr<JobSlot> slot;
   {
@@ -166,6 +213,11 @@ Status Controller::CreateAddrPrefix(const std::string& job,
                                     const std::string& name,
                                     const std::vector<std::string>& parents,
                                     const CreateOptions& opts) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("CreateAddrPrefix", {job}, [&] {
+      return CreateAddrPrefix(job, name, parents, opts);
+    });
+  }
   JIFFY_TRACE_SPAN("ctl.create_prefix", "control");
   ChargeOp();
   {
@@ -194,12 +246,17 @@ Status Controller::CreateHierarchy(
     const std::string& job,
     const std::vector<std::pair<std::string, std::vector<std::string>>>& dag,
     const CreateOptions& opts) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("CreateHierarchy", {job},
+                       [&] { return CreateHierarchy(job, dag, opts); });
+  }
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   return locked.hier()->CreateFromDag(dag, clock_->Now(), opts.lease_duration);
 }
 
 Status Controller::ValidatePath(const AddressPath& path) {
+  JIFFY_RETURN_IF_ERROR(CheckReadLease());
   ChargeOp();
   if (path.depth() < 2) {
     return InvalidArgument("path must be /job/task...: " + path.ToString());
@@ -216,6 +273,7 @@ Status Controller::ValidatePath(const AddressPath& path) {
 
 Result<DurationNs> Controller::GetLeaseDuration(const std::string& job,
                                                 const std::string& prefix) {
+  JIFFY_RETURN_IF_ERROR(CheckReadLease());
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
@@ -224,6 +282,10 @@ Result<DurationNs> Controller::GetLeaseDuration(const std::string& job,
 
 Result<uint64_t> Controller::RenewLease(const std::string& job,
                                         const std::string& prefix) {
+  if (ShouldReplicate()) {
+    return ReplicateResult<uint64_t>(
+        "RenewLease", {job}, [&] { return RenewLease(job, prefix); });
+  }
   JIFFY_TRACE_SPAN("ctl.renew_lease", "control");
   obs::ScopedTimer timer(m_renew_ns_);
   ChargeOp();
@@ -237,6 +299,12 @@ Result<uint64_t> Controller::RenewLease(const std::string& job,
 }
 
 uint64_t Controller::RunExpiryScan() {
+  if (ShouldReplicate()) {
+    // Cross-job sweep: the entry captures every job. A follower's expiry
+    // worker lands here, gets kUnavailable from the log, and reports 0 —
+    // only the leader expires leases.
+    return ReplicateCount("RunExpiryScan", [&] { return RunExpiryScan(); });
+  }
   JIFFY_TRACE_SPAN("ctl.expiry_scan", "control");
   ChargeOp();
   const TimeNs now = clock_->Now();
@@ -287,12 +355,31 @@ uint64_t Controller::RunExpiryScan() {
 }
 
 void Controller::ReleaseBlockLocked(BlockId id) {
+  if (tls_deferred_frees != nullptr) {
+    // Inside a replicated operation: record the free, perform it only once
+    // the entry quorum-commits (PerformDeferredFrees). Until then the block
+    // keeps its content, so a rollback to the pre-op blobs — which still
+    // reference it — leaves a fully consistent world.
+    tls_deferred_frees->push_back(id);
+    return;
+  }
   if (hooks_ != nullptr && hooks_->IsBlockLive(id)) {
     hooks_->ResetBlock(id);
   }
   allocator_->Free(id);
   obs::Inc(m_blocks_reclaimed_);
   stats_.blocks_reclaimed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Controller::PerformDeferredFrees(const std::vector<BlockId>& blocks) {
+  for (const BlockId& id : blocks) {
+    if (hooks_ != nullptr && hooks_->IsBlockLive(id)) {
+      hooks_->ResetBlock(id);
+    }
+    allocator_->Free(id);
+    obs::Inc(m_blocks_reclaimed_);
+    stats_.blocks_reclaimed.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 Status Controller::FillReplicasLocked(TaskNode* node, PartitionEntry* entry,
@@ -407,6 +494,12 @@ Status Controller::FlushNodeLocked(JobHierarchy* hier, TaskNode* node,
 Result<PartitionMap> Controller::InitDataStructure(
     const std::string& job, const std::string& prefix, DsType type,
     uint64_t initial_capacity_bytes, const std::string& custom_type) {
+  if (ShouldReplicate()) {
+    return ReplicateResult<PartitionMap>("InitDataStructure", {job}, [&] {
+      return InitDataStructure(job, prefix, type, initial_capacity_bytes,
+                               custom_type);
+    });
+  }
   JIFFY_TRACE_SPAN("ctl.init_ds", "control");
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
@@ -477,6 +570,7 @@ Result<PartitionMap> Controller::InitDataStructure(
 
 Result<PartitionMap> Controller::GetPartitionMap(const std::string& job,
                                                  const std::string& prefix) {
+  JIFFY_RETURN_IF_ERROR(CheckReadLease());
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
@@ -523,6 +617,10 @@ Result<BlockId> Controller::AddBlockLocked(TaskNode* node,
 Result<BlockId> Controller::AddBlock(const std::string& job,
                                      const std::string& prefix, uint64_t lo,
                                      uint64_t hi) {
+  if (ShouldReplicate()) {
+    return ReplicateResult<BlockId>(
+        "AddBlock", {job}, [&] { return AddBlock(job, prefix, lo, hi); });
+  }
   JIFFY_TRACE_SPAN("ctl.add_block", "control");
   obs::ScopedTimer timer(m_alloc_block_ns_);
   ChargeOp();
@@ -538,6 +636,11 @@ Result<BlockId> Controller::AddBlockIfTail(const std::string& job,
                                            const std::string& prefix,
                                            BlockId expected_tail, uint64_t lo,
                                            uint64_t hi) {
+  if (ShouldReplicate()) {
+    return ReplicateResult<BlockId>("AddBlockIfTail", {job}, [&] {
+      return AddBlockIfTail(job, prefix, expected_tail, lo, hi);
+    });
+  }
   JIFFY_TRACE_SPAN("ctl.add_block", "control");
   obs::ScopedTimer timer(m_alloc_block_ns_);
   ChargeOp();
@@ -559,6 +662,11 @@ Result<BlockId> Controller::AddBlockIfTail(const std::string& job,
 Status Controller::UpdateEntryRange(const std::string& job,
                                     const std::string& prefix, BlockId block,
                                     uint64_t lo, uint64_t hi) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("UpdateEntryRange", {job}, [&] {
+      return UpdateEntryRange(job, prefix, block, lo, hi);
+    });
+  }
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
@@ -576,6 +684,10 @@ Status Controller::UpdateEntryRange(const std::string& job,
 
 Status Controller::RemoveBlock(const std::string& job,
                                const std::string& prefix, BlockId block) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("RemoveBlock", {job},
+                       [&] { return RemoveBlock(job, prefix, block); });
+  }
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
@@ -599,6 +711,10 @@ Status Controller::RemoveBlock(const std::string& job,
 
 Status Controller::PrepareForLoad(const std::string& job,
                                   const std::string& prefix, DsType type) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("PrepareForLoad", {job},
+                       [&] { return PrepareForLoad(job, prefix, type); });
+  }
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
@@ -619,6 +735,11 @@ Status Controller::PrepareForLoad(const std::string& job,
 Result<BlockId> Controller::AllocateUnmapped(const std::string& job,
                                              const std::string& prefix,
                                              uint64_t lo, uint64_t hi) {
+  if (ShouldReplicate()) {
+    return ReplicateResult<BlockId>("AllocateUnmapped", {job}, [&] {
+      return AllocateUnmapped(job, prefix, lo, hi);
+    });
+  }
   JIFFY_TRACE_SPAN("ctl.allocate_unmapped", "control");
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
@@ -646,7 +767,14 @@ Result<BlockId> Controller::AllocateUnmapped(const std::string& job,
 Status Controller::CommitSplit(const std::string& job,
                                const std::string& prefix, BlockId old_block,
                                uint64_t old_lo, uint64_t old_hi,
-                               const PartitionEntry& new_entry) {
+                               const PartitionEntry& new_entry,
+                               bool require_migrating) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("CommitSplit", {job}, [&] {
+      return CommitSplit(job, prefix, old_block, old_lo, old_hi, new_entry,
+                         require_migrating);
+    });
+  }
   JIFFY_TRACE_SPAN("ctl.commit_split", "control");
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
@@ -654,6 +782,14 @@ Status Controller::CommitSplit(const std::string& job,
   bool found = false;
   for (auto& entry : node->partition.entries) {
     if (entry.block == old_block) {
+      if (require_migrating && !entry.migrating) {
+        // The BeginMigration bracket is gone (cleared by a failover repair
+        // or never replayed on this controller): refuse to publish — the
+        // caller un-flips the moved pairs back into the source instead.
+        return FailedPrecondition("split source block " +
+                                  old_block.ToString() +
+                                  " lost its migration bracket");
+      }
       entry.lo = old_lo;
       entry.hi = old_hi;
       entry.migrating = false;
@@ -675,7 +811,13 @@ Status Controller::CommitSplit(const std::string& job,
 Status Controller::CommitMerge(const std::string& job,
                                const std::string& prefix, BlockId removed,
                                BlockId sibling, uint64_t sib_lo,
-                               uint64_t sib_hi) {
+                               uint64_t sib_hi, bool require_migrating) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("CommitMerge", {job}, [&] {
+      return CommitMerge(job, prefix, removed, sibling, sib_lo, sib_hi,
+                         require_migrating);
+    });
+  }
   JIFFY_TRACE_SPAN("ctl.commit_merge", "control");
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
@@ -686,6 +828,10 @@ Status Controller::CommitMerge(const std::string& job,
   if (rit == entries.end()) {
     return NotFound("merge source block " + removed.ToString() +
                     " is not mapped under '" + prefix + "'");
+  }
+  if (require_migrating && !rit->migrating) {
+    return FailedPrecondition("merge source block " + removed.ToString() +
+                              " lost its migration bracket");
   }
   bool found = false;
   for (auto& entry : entries) {
@@ -726,6 +872,10 @@ Status Controller::AbortUnmapped(BlockId block) {
 
 Status Controller::BeginMigration(const std::string& job,
                                   const std::string& prefix, BlockId block) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("BeginMigration", {job},
+                       [&] { return BeginMigration(job, prefix, block); });
+  }
   JIFFY_TRACE_SPAN("ctl.begin_migration", "control");
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
@@ -746,6 +896,10 @@ Status Controller::BeginMigration(const std::string& job,
 
 Status Controller::EndMigration(const std::string& job,
                                 const std::string& prefix, BlockId block) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("EndMigration", {job},
+                       [&] { return EndMigration(job, prefix, block); });
+  }
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
@@ -762,6 +916,10 @@ Status Controller::EndMigration(const std::string& job,
 Status Controller::SetQueueHead(const std::string& job,
                                 const std::string& prefix,
                                 uint32_t head_index) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("SetQueueHead", {job},
+                       [&] { return SetQueueHead(job, prefix, head_index); });
+  }
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
@@ -771,6 +929,60 @@ Status Controller::SetQueueHead(const std::string& job,
   node->partition.queue_head = head_index;
   node->partition.version++;
   return Status::Ok();
+}
+
+Result<Controller::CasResult> Controller::CasTag(
+    const std::string& job, const std::string& prefix, const std::string& key,
+    const std::string& expected, const std::string& desired,
+    const std::string& client_id, uint64_t seq) {
+  if (ShouldReplicate()) {
+    return ReplicateResult<CasResult>("CasTag", {job}, [&] {
+      return CasTag(job, prefix, key, expected, desired, client_id, seq);
+    });
+  }
+  JIFFY_TRACE_SPAN("ctl.cas_tag", "control");
+  ChargeOp();
+  JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
+  // Exactly-once replay: a retried sequence number returns the recorded
+  // response without touching the tag again. The session table lives in the
+  // job state, so it rides the same log entry as the tag mutation — a
+  // retry against a freshly promoted leader finds it there.
+  auto& sessions = locked.hier()->cas_sessions();
+  if (!client_id.empty()) {
+    auto it = sessions.find(client_id);
+    if (it != sessions.end() && seq <= it->second.seq) {
+      if (seq < it->second.seq) {
+        return FailedPrecondition("Cas sequence " + std::to_string(seq) +
+                                  " from '" + client_id +
+                                  "' is older than the recorded " +
+                                  std::to_string(it->second.seq));
+      }
+      CasResult cached;
+      cached.previous = it->second.previous;
+      cached.applied = it->second.applied;
+      return cached;
+    }
+  }
+  JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
+  CasResult out;
+  auto tag = node->tags.find(key);
+  out.previous = tag == node->tags.end() ? std::string() : tag->second;
+  out.applied = out.previous == expected;
+  if (out.applied) {
+    // An empty desired value deletes the tag (so "" consistently means
+    // "absent" on both sides of the comparison).
+    if (desired.empty()) {
+      if (tag != node->tags.end()) {
+        node->tags.erase(tag);
+      }
+    } else {
+      node->tags[key] = desired;
+    }
+  }
+  if (!client_id.empty()) {
+    sessions[client_id] = CasSession{seq, out.previous, out.applied};
+  }
+  return out;
 }
 
 Status Controller::FlushAddrPrefix(const std::string& job,
@@ -786,6 +998,11 @@ Status Controller::FlushAddrPrefix(const std::string& job,
 Status Controller::LoadAddrPrefix(const std::string& job,
                                   const std::string& prefix,
                                   const std::string& external_path) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("LoadAddrPrefix", {job}, [&] {
+      return LoadAddrPrefix(job, prefix, external_path);
+    });
+  }
   JIFFY_TRACE_SPAN("ctl.load_prefix", "control");
   ChargeOp();
   if (backing_ == nullptr || hooks_ == nullptr) {
@@ -852,6 +1069,10 @@ Status Controller::LoadAddrPrefix(const std::string& job,
 
 Status Controller::RepairEntry(const std::string& job,
                                const std::string& prefix, BlockId hint) {
+  if (ShouldReplicate()) {
+    return ReplicateOp("RepairEntry", {job},
+                       [&] { return RepairEntry(job, prefix, hint); });
+  }
   // Child of the failing client op's span (repair runs on the client's
   // thread, inside FailOver, so the TLS context carries the link).
   JIFFY_TRACE_SPAN("ctl.repair_entry", "control");
@@ -903,6 +1124,10 @@ Status Controller::RepairEntry(const std::string& job,
 
 Result<uint32_t> Controller::ReReplicate(const std::string& job,
                                          const std::string& prefix) {
+  if (ShouldReplicate()) {
+    return ReplicateResult<uint32_t>(
+        "ReReplicate", {job}, [&] { return ReReplicate(job, prefix); });
+  }
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
@@ -955,6 +1180,10 @@ void Controller::MarkServerDead(uint32_t server_id) {
 }
 
 uint64_t Controller::HandleServerFailure(uint32_t server_id) {
+  if (ShouldReplicate()) {
+    return ReplicateCount("HandleServerFailure",
+                          [&] { return HandleServerFailure(server_id); });
+  }
   ChargeOp();
   allocator_->MarkServerDead(server_id);
   uint64_t repaired = 0;
@@ -1032,6 +1261,7 @@ Result<PartitionMap> Controller::GetPartitionMapAs(const std::string& principal,
                                                    const std::string& job,
                                                    const std::string& prefix,
                                                    bool for_write) {
+  JIFFY_RETURN_IF_ERROR(CheckReadLease());
   ChargeOp();
   JIFFY_ASSIGN_OR_RETURN(LockedJob locked, LockJob(job));
   JIFFY_ASSIGN_OR_RETURN(TaskNode * node, locked.hier()->GetNode(prefix));
@@ -1052,60 +1282,201 @@ Result<PartitionMap> Controller::GetPartitionMapAs(const std::string& principal,
   return node->partition;
 }
 
-std::string Controller::Snapshot() const {
+void Controller::SerializeJobLocked(const JobHierarchy& hier,
+                                    std::string* blob) {
+  PutString(blob, hier.job_id());
+  const auto names = hier.NodeNames();
+  PutU32(blob, static_cast<uint32_t>(names.size()));
+  for (const auto& name : names) {
+    auto node_r = const_cast<JobHierarchy&>(hier).GetNode(name);
+    const TaskNode* node = *node_r;
+    PutString(blob, node->name);
+    PutU32(blob, static_cast<uint32_t>(node->parents.size()));
+    for (const auto& p : node->parents) {
+      PutString(blob, p);
+    }
+    PutU64(blob, static_cast<uint64_t>(node->lease_renewed_at));
+    PutU64(blob, static_cast<uint64_t>(node->lease_duration));
+    PutU32(blob, (node->expired ? 1u : 0u) | (node->has_ds ? 2u : 0u) |
+                     (node->persist_writes ? 4u : 0u) |
+                     (node->perms.world_readable ? 8u : 0u) |
+                     (node->perms.world_writable ? 16u : 0u));
+    PutU32(blob, node->replication_factor);
+    PutString(blob, node->perms.owner);
+    // v3: Cas metadata tags.
+    PutU32(blob, static_cast<uint32_t>(node->tags.size()));
+    for (const auto& [k, v] : node->tags) {
+      PutString(blob, k);
+      PutString(blob, v);
+    }
+    // Partition map.
+    PutU64(blob, node->partition.version);
+    PutU32(blob, static_cast<uint32_t>(node->partition.type));
+    PutString(blob, node->partition.custom_type);
+    // v3: the queue head index (pre-v3 snapshots silently reset it, which
+    // made a promoted standby re-serve drained queue segments).
+    PutU32(blob, node->partition.queue_head);
+    PutU32(blob, static_cast<uint32_t>(node->partition.entries.size()));
+    for (const auto& entry : node->partition.entries) {
+      PutU64(blob, entry.block.Packed());
+      PutU64(blob, entry.lo);
+      PutU64(blob, entry.hi);
+      PutU32(blob, static_cast<uint32_t>(entry.replicas.size()));
+      for (const BlockId& r : entry.replicas) {
+        PutU64(blob, r.Packed());
+      }
+      // Per-entry flags: bit0 = lost (v2+), bit1 = migrating (v3; see
+      // PartitionEntry for who clears it on restore).
+      PutU32(blob, (entry.lost ? 1u : 0u) | (entry.migrating ? 2u : 0u));
+    }
+  }
+  // v3: exactly-once Cas replay table.
+  const auto& sessions = hier.cas_sessions();
+  PutU32(blob, static_cast<uint32_t>(sessions.size()));
+  for (const auto& [client, session] : sessions) {
+    PutString(blob, client);
+    PutU64(blob, session.seq);
+    PutString(blob, session.previous);
+    PutU32(blob, session.applied ? 1u : 0u);
+  }
+}
+
+Result<std::shared_ptr<Controller::JobSlot>> Controller::ParseJobSection(
+    SerdeReader* reader, uint32_t version, bool preserve_migrating) const {
+  JIFFY_ASSIGN_OR_RETURN(std::string job_id, reader->ReadString());
+  auto slot = std::make_shared<JobSlot>(job_id, clock_->Now(),
+                                        config_.lease_duration,
+                                        config_.lease_propagation);
+  JobHierarchy* hier = &slot->hier;
+  JIFFY_ASSIGN_OR_RETURN(uint32_t num_nodes, reader->ReadU32());
+  // First pass data, applied in dependency order below.
+  struct NodeRec {
+    std::string name;
+    std::vector<std::string> parents;
+    TimeNs renewed;
+    DurationNs lease;
+    uint32_t flags;
+    uint32_t replication;
+    std::string owner;
+    std::map<std::string, std::string> tags;
+    PartitionMap partition;
+  };
+  std::vector<NodeRec> recs;
+  recs.reserve(num_nodes);
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    NodeRec rec;
+    JIFFY_ASSIGN_OR_RETURN(rec.name, reader->ReadString());
+    JIFFY_ASSIGN_OR_RETURN(uint32_t num_parents, reader->ReadU32());
+    for (uint32_t p = 0; p < num_parents; ++p) {
+      JIFFY_ASSIGN_OR_RETURN(std::string parent, reader->ReadString());
+      rec.parents.push_back(std::move(parent));
+    }
+    JIFFY_ASSIGN_OR_RETURN(uint64_t renewed, reader->ReadU64());
+    JIFFY_ASSIGN_OR_RETURN(uint64_t lease, reader->ReadU64());
+    rec.renewed = static_cast<TimeNs>(renewed);
+    rec.lease = static_cast<DurationNs>(lease);
+    JIFFY_ASSIGN_OR_RETURN(rec.flags, reader->ReadU32());
+    JIFFY_ASSIGN_OR_RETURN(rec.replication, reader->ReadU32());
+    JIFFY_ASSIGN_OR_RETURN(rec.owner, reader->ReadString());
+    if (version >= 3) {
+      JIFFY_ASSIGN_OR_RETURN(uint32_t num_tags, reader->ReadU32());
+      for (uint32_t t = 0; t < num_tags; ++t) {
+        JIFFY_ASSIGN_OR_RETURN(std::string k, reader->ReadString());
+        JIFFY_ASSIGN_OR_RETURN(std::string v, reader->ReadString());
+        rec.tags.emplace(std::move(k), std::move(v));
+      }
+    }
+    JIFFY_ASSIGN_OR_RETURN(rec.partition.version, reader->ReadU64());
+    JIFFY_ASSIGN_OR_RETURN(uint32_t type, reader->ReadU32());
+    rec.partition.type = static_cast<DsType>(type);
+    JIFFY_ASSIGN_OR_RETURN(rec.partition.custom_type, reader->ReadString());
+    if (version >= 3) {
+      JIFFY_ASSIGN_OR_RETURN(rec.partition.queue_head, reader->ReadU32());
+    }
+    rec.partition.persist_writes = (rec.flags & 4u) != 0;
+    JIFFY_ASSIGN_OR_RETURN(uint32_t num_entries, reader->ReadU32());
+    for (uint32_t e = 0; e < num_entries; ++e) {
+      PartitionEntry entry;
+      JIFFY_ASSIGN_OR_RETURN(uint64_t packed, reader->ReadU64());
+      entry.block = BlockId::FromPacked(packed);
+      JIFFY_ASSIGN_OR_RETURN(entry.lo, reader->ReadU64());
+      JIFFY_ASSIGN_OR_RETURN(entry.hi, reader->ReadU64());
+      JIFFY_ASSIGN_OR_RETURN(uint32_t num_replicas, reader->ReadU32());
+      for (uint32_t r = 0; r < num_replicas; ++r) {
+        JIFFY_ASSIGN_OR_RETURN(uint64_t rpacked, reader->ReadU64());
+        entry.replicas.push_back(BlockId::FromPacked(rpacked));
+      }
+      if (version >= 2) {
+        JIFFY_ASSIGN_OR_RETURN(uint32_t entry_flags, reader->ReadU32());
+        entry.lost = (entry_flags & 1u) != 0;
+        entry.migrating = preserve_migrating && (entry_flags & 2u) != 0;
+      }
+      rec.partition.entries.push_back(std::move(entry));
+    }
+    recs.push_back(std::move(rec));
+  }
+  // Insert nodes in dependency order (a node's parents first).
+  std::vector<std::pair<std::string, std::vector<std::string>>> dag;
+  dag.reserve(recs.size());
+  for (const NodeRec& rec : recs) {
+    dag.emplace_back(rec.name, rec.parents);
+  }
+  JIFFY_RETURN_IF_ERROR(hier->CreateFromDag(dag, clock_->Now(), 0));
+  for (NodeRec& rec : recs) {
+    JIFFY_ASSIGN_OR_RETURN(TaskNode * node, hier->GetNode(rec.name));
+    node->lease_renewed_at = rec.renewed;
+    node->lease_duration = rec.lease;
+    node->expired = (rec.flags & 1u) != 0;
+    node->has_ds = (rec.flags & 2u) != 0;
+    node->persist_writes = (rec.flags & 4u) != 0;
+    node->perms.world_readable = (rec.flags & 8u) != 0;
+    node->perms.world_writable = (rec.flags & 16u) != 0;
+    node->replication_factor = rec.replication;
+    node->perms.owner = rec.owner;
+    node->tags = std::move(rec.tags);
+    node->partition = std::move(rec.partition);
+  }
+  if (version >= 3) {
+    auto& sessions = hier->cas_sessions();
+    JIFFY_ASSIGN_OR_RETURN(uint32_t num_sessions, reader->ReadU32());
+    for (uint32_t s = 0; s < num_sessions; ++s) {
+      JIFFY_ASSIGN_OR_RETURN(std::string client, reader->ReadString());
+      CasSession session;
+      JIFFY_ASSIGN_OR_RETURN(session.seq, reader->ReadU64());
+      JIFFY_ASSIGN_OR_RETURN(session.previous, reader->ReadString());
+      JIFFY_ASSIGN_OR_RETURN(uint32_t applied, reader->ReadU32());
+      session.applied = applied != 0;
+      sessions.emplace(std::move(client), std::move(session));
+    }
+  }
+  // Whatever replaced this hierarchy, any renewal plan memoized against the
+  // previous one is dead (stale TaskNode pointers, possibly stale blocks).
+  hier->InvalidateRenewalPlans();
+  return slot;
+}
+
+std::string Controller::Snapshot(uint64_t applied_index) const {
   // Serialize each job under its own mutex (quiesce one job at a time), then
   // assemble. Per-job state is exactly consistent; the job set is the set
   // pinned at the start of the snapshot minus jobs deregistered meanwhile.
+  // Cross-job consistency is the RSM layer's job: it calls this at an
+  // applied-index barrier (no replicated mutation in flight) and stamps the
+  // covered index into the header.
   std::vector<std::string> job_blobs;
   for (const auto& slot : PinAllJobs()) {
     std::lock_guard<std::mutex> lock(slot->mu);
     if (slot->defunct) {
       continue;
     }
-    JobHierarchy* hier = &slot->hier;
     std::string blob;
-    PutString(&blob, hier->job_id());
-    const auto names = hier->NodeNames();
-    PutU32(&blob, static_cast<uint32_t>(names.size()));
-    for (const auto& name : names) {
-      auto node_r = hier->GetNode(name);
-      const TaskNode* node = *node_r;
-      PutString(&blob, node->name);
-      PutU32(&blob, static_cast<uint32_t>(node->parents.size()));
-      for (const auto& p : node->parents) {
-        PutString(&blob, p);
-      }
-      PutU64(&blob, static_cast<uint64_t>(node->lease_renewed_at));
-      PutU64(&blob, static_cast<uint64_t>(node->lease_duration));
-      PutU32(&blob, (node->expired ? 1u : 0u) | (node->has_ds ? 2u : 0u) |
-                        (node->persist_writes ? 4u : 0u) |
-                        (node->perms.world_readable ? 8u : 0u) |
-                        (node->perms.world_writable ? 16u : 0u));
-      PutU32(&blob, node->replication_factor);
-      PutString(&blob, node->perms.owner);
-      // Partition map.
-      PutU64(&blob, node->partition.version);
-      PutU32(&blob, static_cast<uint32_t>(node->partition.type));
-      PutString(&blob, node->partition.custom_type);
-      PutU32(&blob, static_cast<uint32_t>(node->partition.entries.size()));
-      for (const auto& entry : node->partition.entries) {
-        PutU64(&blob, entry.block.Packed());
-        PutU64(&blob, entry.lo);
-        PutU64(&blob, entry.hi);
-        PutU32(&blob, static_cast<uint32_t>(entry.replicas.size()));
-        for (const BlockId& r : entry.replicas) {
-          PutU64(&blob, r.Packed());
-        }
-        // v2 per-entry flags. `migrating` is deliberately not serialized
-        // (see PartitionEntry); `lost` is — a promoted standby must not
-        // resurrect dead addresses.
-        PutU32(&blob, entry.lost ? 1u : 0u);
-      }
-    }
+    SerializeJobLocked(slot->hier, &blob);
     job_blobs.push_back(std::move(blob));
   }
   std::string out;
-  PutU32(&out, 2);  // Snapshot format version (v2 adds per-entry flags).
+  // v3 adds the applied-index stamp, Cas tags + replay table, queue head,
+  // and the migrating bit in per-entry flags.
+  PutU32(&out, 3);
+  PutU64(&out, applied_index);
   PutU32(&out, static_cast<uint32_t>(job_blobs.size()));
   for (const std::string& blob : job_blobs) {
     out += blob;
@@ -1113,7 +1484,18 @@ std::string Controller::Snapshot() const {
   return out;
 }
 
-Status Controller::Restore(const std::string& snapshot) {
+uint64_t Controller::SnapshotAppliedIndex(const std::string& snapshot) {
+  SerdeReader reader(snapshot);
+  auto version = reader.ReadU32();
+  if (!version.ok() || *version < 3) {
+    return 0;
+  }
+  auto applied = reader.ReadU64();
+  return applied.ok() ? *applied : 0;
+}
+
+Status Controller::Restore(const std::string& snapshot,
+                           bool preserve_migrating) {
   std::unique_lock<std::shared_mutex> table(jobs_mu_);
   if (!jobs_.empty()) {
     return FailedPrecondition(
@@ -1121,94 +1503,150 @@ Status Controller::Restore(const std::string& snapshot) {
   }
   SerdeReader reader(snapshot);
   JIFFY_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
-  if (version != 1 && version != 2) {
+  if (version < 1 || version > 3) {
     return InvalidArgument("unknown snapshot version " +
                            std::to_string(version));
   }
+  if (version >= 3) {
+    JIFFY_RETURN_IF_ERROR(reader.ReadU64().status());  // applied_index stamp
+  }
   JIFFY_ASSIGN_OR_RETURN(uint32_t num_jobs, reader.ReadU32());
   for (uint32_t j = 0; j < num_jobs; ++j) {
-    JIFFY_ASSIGN_OR_RETURN(std::string job_id, reader.ReadString());
-    auto slot = std::make_shared<JobSlot>(job_id, clock_->Now(),
-                                          config_.lease_duration,
-                                          config_.lease_propagation);
-    JobHierarchy* hier = &slot->hier;
-    JIFFY_ASSIGN_OR_RETURN(uint32_t num_nodes, reader.ReadU32());
-    // First pass data, applied in dependency order below.
-    struct NodeRec {
-      std::string name;
-      std::vector<std::string> parents;
-      TimeNs renewed;
-      DurationNs lease;
-      uint32_t flags;
-      uint32_t replication;
-      std::string owner;
-      PartitionMap partition;
-    };
-    std::vector<NodeRec> recs;
-    recs.reserve(num_nodes);
-    for (uint32_t n = 0; n < num_nodes; ++n) {
-      NodeRec rec;
-      JIFFY_ASSIGN_OR_RETURN(rec.name, reader.ReadString());
-      JIFFY_ASSIGN_OR_RETURN(uint32_t num_parents, reader.ReadU32());
-      for (uint32_t p = 0; p < num_parents; ++p) {
-        JIFFY_ASSIGN_OR_RETURN(std::string parent, reader.ReadString());
-        rec.parents.push_back(std::move(parent));
-      }
-      JIFFY_ASSIGN_OR_RETURN(uint64_t renewed, reader.ReadU64());
-      JIFFY_ASSIGN_OR_RETURN(uint64_t lease, reader.ReadU64());
-      rec.renewed = static_cast<TimeNs>(renewed);
-      rec.lease = static_cast<DurationNs>(lease);
-      JIFFY_ASSIGN_OR_RETURN(rec.flags, reader.ReadU32());
-      JIFFY_ASSIGN_OR_RETURN(rec.replication, reader.ReadU32());
-      JIFFY_ASSIGN_OR_RETURN(rec.owner, reader.ReadString());
-      JIFFY_ASSIGN_OR_RETURN(rec.partition.version, reader.ReadU64());
-      JIFFY_ASSIGN_OR_RETURN(uint32_t type, reader.ReadU32());
-      rec.partition.type = static_cast<DsType>(type);
-      JIFFY_ASSIGN_OR_RETURN(rec.partition.custom_type, reader.ReadString());
-      rec.partition.persist_writes = (rec.flags & 4u) != 0;
-      JIFFY_ASSIGN_OR_RETURN(uint32_t num_entries, reader.ReadU32());
-      for (uint32_t e = 0; e < num_entries; ++e) {
-        PartitionEntry entry;
-        JIFFY_ASSIGN_OR_RETURN(uint64_t packed, reader.ReadU64());
-        entry.block = BlockId::FromPacked(packed);
-        JIFFY_ASSIGN_OR_RETURN(entry.lo, reader.ReadU64());
-        JIFFY_ASSIGN_OR_RETURN(entry.hi, reader.ReadU64());
-        JIFFY_ASSIGN_OR_RETURN(uint32_t num_replicas, reader.ReadU32());
-        for (uint32_t r = 0; r < num_replicas; ++r) {
-          JIFFY_ASSIGN_OR_RETURN(uint64_t rpacked, reader.ReadU64());
-          entry.replicas.push_back(BlockId::FromPacked(rpacked));
-        }
-        if (version >= 2) {
-          JIFFY_ASSIGN_OR_RETURN(uint32_t entry_flags, reader.ReadU32());
-          entry.lost = (entry_flags & 1u) != 0;
-        }
-        rec.partition.entries.push_back(std::move(entry));
-      }
-      recs.push_back(std::move(rec));
-    }
-    // Insert nodes in dependency order (a node's parents first).
-    std::vector<std::pair<std::string, std::vector<std::string>>> dag;
-    dag.reserve(recs.size());
-    for (const NodeRec& rec : recs) {
-      dag.emplace_back(rec.name, rec.parents);
-    }
-    JIFFY_RETURN_IF_ERROR(hier->CreateFromDag(dag, clock_->Now(), 0));
-    for (NodeRec& rec : recs) {
-      JIFFY_ASSIGN_OR_RETURN(TaskNode * node, hier->GetNode(rec.name));
-      node->lease_renewed_at = rec.renewed;
-      node->lease_duration = rec.lease;
-      node->expired = (rec.flags & 1u) != 0;
-      node->has_ds = (rec.flags & 2u) != 0;
-      node->persist_writes = (rec.flags & 4u) != 0;
-      node->perms.world_readable = (rec.flags & 8u) != 0;
-      node->perms.world_writable = (rec.flags & 16u) != 0;
-      node->replication_factor = rec.replication;
-      node->perms.owner = rec.owner;
-      node->partition = std::move(rec.partition);
-    }
+    JIFFY_ASSIGN_OR_RETURN(
+        std::shared_ptr<JobSlot> slot,
+        ParseJobSection(&reader, version, preserve_migrating));
+    const std::string job_id = slot->hier.job_id();
     jobs_.emplace(job_id, std::move(slot));
   }
   return Status::Ok();
+}
+
+std::string Controller::CaptureJob(const std::string& job) const {
+  auto locked = LockJob(job);
+  if (!locked.ok()) {
+    return std::string();  // "job dropped" marker.
+  }
+  std::string blob;
+  SerializeJobLocked(*locked->hier(), &blob);
+  return blob;
+}
+
+Status Controller::InstallJobBlob(const std::string& job,
+                                  const std::string& blob) {
+  std::shared_ptr<JobSlot> fresh;
+  if (!blob.empty()) {
+    SerdeReader reader(blob);
+    JIFFY_ASSIGN_OR_RETURN(
+        fresh, ParseJobSection(&reader, 3, /*preserve_migrating=*/true));
+    if (fresh->hier.job_id() != job) {
+      return InvalidArgument("job blob for '" + fresh->hier.job_id() +
+                             "' installed under '" + job + "'");
+    }
+  }
+  std::shared_ptr<JobSlot> old;
+  {
+    std::unique_lock<std::shared_mutex> table(jobs_mu_);
+    auto it = jobs_.find(job);
+    if (it != jobs_.end()) {
+      old = std::move(it->second);
+      jobs_.erase(it);
+    }
+    if (fresh != nullptr) {
+      jobs_.emplace(job, std::move(fresh));
+    }
+  }
+  if (old != nullptr) {
+    // Metadata-only swap: in-flight requests pinned on the old slot see
+    // `defunct` and retry; no block is touched (the data plane's state is
+    // the log entry's concern, not the blob installer's).
+    std::lock_guard<std::mutex> lock(old->mu);
+    old->defunct = true;
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> Controller::JobIds() const {
+  std::shared_lock<std::shared_mutex> table(jobs_mu_);
+  std::vector<std::string> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [job_id, slot] : jobs_) {
+    (void)slot;
+    ids.push_back(job_id);
+  }
+  return ids;
+}
+
+std::vector<uint64_t> Controller::JobBlockRefs(const std::string& job) const {
+  auto locked = LockJob(job);
+  if (!locked.ok()) {
+    return {};
+  }
+  std::vector<uint64_t> refs;
+  JobHierarchy* hier = locked->hier();
+  for (const auto& name : hier->NodeNames()) {
+    auto node_r = hier->GetNode(name);
+    if (!node_r.ok()) {
+      continue;
+    }
+    for (const auto& entry : (*node_r)->partition.entries) {
+      refs.push_back(entry.block.Packed());
+      for (const BlockId& r : entry.replicas) {
+        refs.push_back(r.Packed());
+      }
+    }
+  }
+  std::sort(refs.begin(), refs.end());
+  return refs;
+}
+
+void Controller::ReleaseBlocksById(const std::vector<uint64_t>& packed) {
+  for (uint64_t p : packed) {
+    const BlockId id = BlockId::FromPacked(p);
+    if (hooks_ != nullptr && hooks_->IsBlockLive(id)) {
+      hooks_->ResetBlock(id);
+    }
+    allocator_->Free(id);
+  }
+}
+
+void Controller::ResetMetadata() {
+  std::map<std::string, std::shared_ptr<JobSlot>> drained;
+  {
+    std::unique_lock<std::shared_mutex> table(jobs_mu_);
+    drained.swap(jobs_);
+  }
+  for (auto& [job_id, slot] : drained) {
+    (void)job_id;
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->defunct = true;
+  }
+}
+
+void Controller::InvalidateRenewalPlans() {
+  for (const auto& slot : PinAllJobs()) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (!slot->defunct) {
+      slot->hier.InvalidateRenewalPlans();
+    }
+  }
+}
+
+void Controller::AbortInFlightMigrations() {
+  for (const auto& slot : PinAllJobs()) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->defunct) {
+      continue;
+    }
+    for (const auto& name : slot->hier.NodeNames()) {
+      auto node_r = slot->hier.GetNode(name);
+      if (!node_r.ok()) {
+        continue;
+      }
+      for (auto& entry : (*node_r)->partition.entries) {
+        entry.migrating = false;
+      }
+    }
+  }
 }
 
 ControllerStats Controller::Stats() const {

@@ -48,9 +48,12 @@
 #include "src/common/status.h"
 #include "src/core/allocator.h"
 #include "src/core/hierarchy.h"
+#include "src/core/meta_log.h"
 #include "src/persistent/persistent_store.h"
 
 namespace jiffy {
+
+class SerdeReader;
 
 // Controller → data plane callbacks. Implemented by the cluster assembly
 // (src/cluster/), which knows how to reach MemoryServers and how each data
@@ -227,15 +230,22 @@ class Controller {
                                    const std::string& prefix, uint64_t lo,
                                    uint64_t hi);
   // Atomically shrinks `old_block`'s range to [old_lo, old_hi) and maps
-  // `new_entry`.
+  // `new_entry`. With `require_migrating`, fails with kFailedPrecondition
+  // unless the source entry is still inside a BeginMigration bracket — the
+  // background Repartitioner passes true so a commit that raced a failover
+  // repair (which may have cleared or never seen the bracket) is refused
+  // instead of publishing a stale range. The legacy inline split path has
+  // no bracket and keeps the default.
   Status CommitSplit(const std::string& job, const std::string& prefix,
                      BlockId old_block, uint64_t old_lo, uint64_t old_hi,
-                     const PartitionEntry& new_entry);
+                     const PartitionEntry& new_entry,
+                     bool require_migrating = false);
   // Atomically unmaps `removed` (resetting + freeing it) and extends
-  // `sibling` to [sib_lo, sib_hi).
+  // `sibling` to [sib_lo, sib_hi). `require_migrating` as in CommitSplit
+  // (the bracket sits on the `removed` source entry).
   Status CommitMerge(const std::string& job, const std::string& prefix,
                      BlockId removed, BlockId sibling, uint64_t sib_lo,
-                     uint64_t sib_hi);
+                     uint64_t sib_hi, bool require_migrating = false);
   // Releases a block obtained via AllocateUnmapped when the move fails.
   Status AbortUnmapped(BlockId block);
 
@@ -246,9 +256,11 @@ class Controller {
   // kFailedPrecondition (a merge target may hold foreign pairs for a range
   // it does not own yet). Fails with kFailedPrecondition when the entry is
   // already migrating (one migration per entry at a time). The mark is
-  // cleared by CommitSplit/CommitMerge on success or EndMigration on abort;
-  // it is deliberately not serialized in Snapshot — a standby promoted
-  // mid-migration abandons the in-flight move (the source keeps all data).
+  // cleared by CommitSplit/CommitMerge on success or EndMigration on abort.
+  // Snapshot format v3 serializes it so a replicated standby promoted
+  // mid-migration keeps deferring expiry until the migration commits or
+  // aborts against the new leader; the cold-standby Restore() path clears
+  // it instead (the old Repartitioner is gone — source keeps all data).
   Status BeginMigration(const std::string& job, const std::string& prefix,
                         BlockId block);
   Status EndMigration(const std::string& job, const std::string& prefix,
@@ -298,6 +310,25 @@ class Controller {
   Status SetQueueHead(const std::string& job, const std::string& prefix,
                       uint32_t head_index);
 
+  // --- Linearizable Cas on the metadata path (DESIGN.md §14) ----------------
+
+  // Compare-and-swap of the small metadata tag `key` on `prefix`: if the
+  // tag's current value equals `expected` (an absent tag reads as ""), it
+  // is set to `desired`. Returns the *witnessed previous value* plus
+  // whether the swap applied, so callers decide success by inspection —
+  // the RSM-client shape. (`client_id`, `seq`) make retries exactly-once:
+  // a re-sent sequence number returns the recorded response instead of
+  // re-applying, and the replay table replicates with the job, so the
+  // guarantee holds across controller failover.
+  struct CasResult {
+    std::string previous;
+    bool applied = false;
+  };
+  Result<CasResult> CasTag(const std::string& job, const std::string& prefix,
+                           const std::string& key, const std::string& expected,
+                           const std::string& desired,
+                           const std::string& client_id, uint64_t seq);
+
   // --- Flush / load (Table 1) ----------------------------------------------
 
   // Serializes the prefix's blocks to `external_path` on the backing store
@@ -324,12 +355,96 @@ class Controller {
   // Serializes the complete control-plane state. Quiesces one job at a time
   // (each job's state is internally consistent; jobs deregistered while the
   // snapshot runs are omitted, jobs registered meanwhile may be missed —
-  // the same guarantee a streaming primary gives its backup).
-  std::string Snapshot() const;
+  // the same guarantee a streaming primary gives its backup). For a
+  // snapshot that is consistent *across* jobs, call through the RSM layer:
+  // it invokes the applied-index overload below while holding the submit
+  // lock, so no replicated mutation is in flight anywhere.
+  std::string Snapshot() const { return Snapshot(0); }
+
+  // Same, stamped with the metadata-log index the snapshot covers (format
+  // v3 header). The plain Snapshot() stamps 0 ("no log attached").
+  std::string Snapshot(uint64_t applied_index) const;
+
+  // Peeks the applied-index stamp of a v3 snapshot (0 for v1/v2/garbage).
+  static uint64_t SnapshotAppliedIndex(const std::string& snapshot);
 
   // Rebuilds state from a snapshot. Precondition: no jobs registered yet
-  // (fresh standby). Does not touch the data plane.
-  Status Restore(const std::string& snapshot);
+  // (fresh standby). Does not touch the data plane. `preserve_migrating`
+  // keeps serialized in-flight migration brackets (v3) — the RSM
+  // materialization path passes true because the shared Repartitioner
+  // survives a leader change and will complete or abort the move against
+  // the promoted controller; a cold standby keeps the default false, which
+  // drops the brackets (its Repartitioner is gone, the source still owns
+  // all data) so expiry/flush can never be blocked forever. All memoized
+  // renewal fan-out plans are invalidated either way.
+  Status Restore(const std::string& snapshot, bool preserve_migrating = false);
+
+  // --- Replicated-log integration (src/rsm/, DESIGN.md §14) -----------------
+  //
+  // These entry points exist for the RSM layer; they are not part of the
+  // client-facing API.
+
+  // Routes every subsequent mutating operation through `log` (leader
+  // executes + captures job blobs + quorum-commits; see MetadataLog) and
+  // gates lookup paths on the leader read lease. Null detaches.
+  void AttachMetadataLog(MetadataLog* log) { meta_log_ = log; }
+  MetadataLog* metadata_log() const { return meta_log_; }
+
+  // Serializes one job's complete metadata (the v3 per-job snapshot
+  // section). Empty string when the job is not registered — the log's
+  // "job dropped" marker.
+  std::string CaptureJob(const std::string& job) const;
+
+  // Installs a blob from CaptureJob, replacing (or creating) the job's
+  // entire metadata state; an empty blob drops the job. Pure metadata swap:
+  // never touches the data plane or the allocator, which is what makes
+  // follower apply deterministic and free of double-allocation.
+  Status InstallJobBlob(const std::string& job, const std::string& blob);
+
+  // Registered job ids in deterministic order.
+  std::vector<std::string> JobIds() const;
+
+  // Packed ids of every block a job's metadata references (primaries +
+  // replica chains). The RSM rollback path diffs these across a failed
+  // speculative execution to find blocks that must be returned to the pool.
+  std::vector<uint64_t> JobBlockRefs(const std::string& job) const;
+
+  // Resets (if live) and frees the given packed block ids. Used by RSM
+  // rollback (speculatively allocated blocks of an uncommitted entry) and
+  // crash-time orphan reclamation.
+  void ReleaseBlocksById(const std::vector<uint64_t>& packed);
+
+  // Performs block releases that a replicated operation deferred until
+  // quorum commit (see ReplicatedApplyScope).
+  void PerformDeferredFrees(const std::vector<BlockId>& blocks);
+
+  // Drops all job metadata without touching the data plane, returning the
+  // controller to the fresh state Restore requires. Promotion re-
+  // materializes a (possibly stale) replica: clear, restore the latest
+  // snapshot, then install the latest committed blob per job.
+  void ResetMetadata();
+
+  // Invalidates every job's memoized renewal fan-out plans. Called on
+  // leader change so a promoted replica can never stamp a pre-failover
+  // plan (Restore/InstallJobBlob invalidate implicitly by rebuilding).
+  void InvalidateRenewalPlans();
+
+  // Clears every in-flight migration bracket (the cold-standby promotion
+  // path, where the Repartitioner that owned the bracket is gone).
+  void AbortInFlightMigrations();
+
+  // RAII bracket the RSM layer holds while re-invoking a controller method
+  // as the replicated `fn`: suppresses re-replication (the thread is
+  // already inside Replicate) and defers destructive block frees into
+  // `deferred` so a failed quorum can roll back without having destroyed
+  // block contents the committed metadata still references.
+  class ReplicatedApplyScope {
+   public:
+    explicit ReplicatedApplyScope(std::vector<BlockId>* deferred);
+    ~ReplicatedApplyScope();
+    ReplicatedApplyScope(const ReplicatedApplyScope&) = delete;
+    ReplicatedApplyScope& operator=(const ReplicatedApplyScope&) = delete;
+  };
 
   // --- Introspection --------------------------------------------------------
 
@@ -417,8 +532,59 @@ class Controller {
                             const std::string& job, const std::string& prefix,
                             bool copy_primary);
 
-  // Resets (if live) and frees one block, tolerating dead servers.
+  // Resets (if live) and frees one block, tolerating dead servers. Inside a
+  // ReplicatedApplyScope the free is recorded instead of performed (it runs
+  // after quorum commit, or never if the entry rolls back).
   void ReleaseBlockLocked(BlockId id);
+
+  // True when the next mutating call must be routed through meta_log_
+  // (a log is attached and this thread is not already inside Replicate).
+  bool ShouldReplicate() const;
+
+  // Status/Result/count wrappers around meta_log_->Replicate (see the
+  // preamble each mutating method starts with).
+  template <typename Fn>
+  Status ReplicateOp(const char* op, std::vector<std::string> jobs, Fn&& fn) {
+    return meta_log_->Replicate(op, std::move(jobs),
+                                [&fn]() -> Status { return fn(); });
+  }
+  template <typename T, typename Fn>
+  Result<T> ReplicateResult(const char* op, std::vector<std::string> jobs,
+                            Fn&& fn) {
+    Result<T> out = Internal("replicated op never executed");
+    Status st = meta_log_->Replicate(op, std::move(jobs), [&]() -> Status {
+      out = fn();
+      return out.status();
+    });
+    if (!st.ok()) {
+      return st;
+    }
+    return out;
+  }
+  template <typename Fn>
+  uint64_t ReplicateCount(const char* op, Fn&& fn) {
+    uint64_t out = 0;
+    // Cross-job sweeps pass an empty job list = "all registered jobs".
+    Status st = meta_log_->Replicate(op, {}, [&]() -> Status {
+      out = fn();
+      return Status::Ok();
+    });
+    return st.ok() ? out : 0;
+  }
+
+  // kUnavailable (with a leader hint) when a log is attached and this
+  // replica does not hold the leader read lease; lookup paths serve only
+  // when this passes, so a deposed controller can never return stale maps.
+  Status CheckReadLease() const;
+
+  // Serializes one job's state as a v3 snapshot section, job id included
+  // (job mutex held by the caller).
+  static void SerializeJobLocked(const JobHierarchy& hier, std::string* blob);
+
+  // Parses one per-job snapshot section of `version` (job id first) into a
+  // fresh JobSlot. `preserve_migrating` keeps v3 migration brackets.
+  Result<std::shared_ptr<JobSlot>> ParseJobSection(
+      SerdeReader* reader, uint32_t version, bool preserve_migrating) const;
 
   std::string OwnerTag(const std::string& job, const std::string& prefix) const {
     return job + "/" + prefix;
@@ -433,6 +599,8 @@ class Controller {
   std::shared_ptr<BlockAllocator> allocator_;
   DataPlaneHooks* hooks_;
   PersistentStore* backing_;
+  // Replicated metadata log (null = standalone controller, the default).
+  MetadataLog* meta_log_ = nullptr;
 
   // Level 1: the job table (see the locking hierarchy at the top of this
   // file). std::map keeps PinAllJobs/Snapshot order deterministic.

@@ -56,9 +56,11 @@ struct PartitionEntry {
   // entry's range into an unmapped destination block. The controller defers
   // lease-expiry eviction and explicit flushes for prefixes with a migrating
   // entry (a flush would serialize half-moved state and leak the unmapped
-  // destination). Cleared by CommitSplit/CommitMerge/EndMigration. Not
-  // serialized in snapshots: a standby promoted mid-migration simply
-  // abandons the in-flight move (the source still holds all data).
+  // destination). Cleared by CommitSplit/CommitMerge/EndMigration.
+  // Serialized in snapshot format v3 so a replicated standby promoted
+  // mid-migration keeps deferring expiry until the (re-resolved) migration
+  // commits or aborts; the cold-standby Restore() path clears it instead,
+  // because there the old Repartitioner is gone for good (DESIGN.md §14).
   bool migrating = false;
 
   // True when every chain member of this entry died before a survivor could
@@ -121,6 +123,24 @@ struct TaskNode {
   // Monotonic counters for §6.4-style accounting.
   uint64_t blocks_ever_allocated = 0;
   uint64_t lease_renewals = 0;
+
+  // Small metadata tags settable via the linearizable Cas primitive
+  // (DESIGN.md §14): compare-and-swap coordination values (barriers, epoch
+  // markers, leader hints) that ride on the replicated metadata path.
+  // Serialized in snapshot format v3.
+  std::map<std::string, std::string> tags;
+};
+
+// Exactly-once bookkeeping for the client-visible Cas primitive: the last
+// (sequence, witnessed-previous-value, applied) response per client session.
+// A retried Cas with a sequence number <= the recorded one returns the
+// recorded response instead of re-applying — this is what makes Cas
+// exactly-once across controller failover, so the table lives inside the
+// job state that replicates through the metadata log (DESIGN.md §14).
+struct CasSession {
+  uint64_t seq = 0;
+  std::string previous;
+  bool applied = false;
 };
 
 // The DAG of task nodes for one job.
@@ -180,6 +200,21 @@ class JobHierarchy {
   // All node names (deterministic order).
   std::vector<std::string> NodeNames() const;
 
+  // Drops every memoized renewal fan-out plan. Called on DAG mutation
+  // (internally), and externally whenever this hierarchy's backing state
+  // was replaced wholesale — Controller::Restore(), replicated-log apply,
+  // and leader promotion — so a promoted replica can never stamp a plan
+  // whose TaskNode pointers belong to a pre-failover hierarchy object.
+  void InvalidateRenewalPlans() { renewal_plans_.clear(); }
+
+  // Per-client exactly-once Cas state (replicated with the job; see
+  // CasSession above). Exposed as plain storage: the controller mutates it
+  // under the per-job lock, snapshot/restore serialize it.
+  std::map<std::string, CasSession>& cas_sessions() { return cas_sessions_; }
+  const std::map<std::string, CasSession>& cas_sessions() const {
+    return cas_sessions_;
+  }
+
   // Total blocks currently mapped across all partitions.
   size_t MappedBlockCount() const;
 
@@ -202,8 +237,11 @@ class JobHierarchy {
   DurationNs default_lease_;
   LeasePropagation propagation_;
   std::map<std::string, TaskNode> nodes_;
-  // Cleared whenever the DAG mutates (CreateNode).
+  // Cleared whenever the DAG mutates (CreateNode) and via
+  // InvalidateRenewalPlans() on restore/apply/promotion.
   std::unordered_map<std::string, RenewalPlan> renewal_plans_;
+  // Client id -> last Cas response (exactly-once replay table).
+  std::map<std::string, CasSession> cas_sessions_;
 };
 
 }  // namespace jiffy

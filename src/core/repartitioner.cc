@@ -253,8 +253,13 @@ bool Repartitioner::HandleKvOverload(const Hint& hint, Controller* ctl,
         fresh.block = *dest_r;
         fresh.lo = mid;
         fresh.hi = hi;
-        return ctl->CommitSplit(hint.job, hint.prefix, hint.block, lo, mid,
-                                fresh);
+        // Commit against the controller that owns the job *now* (a failover
+        // may have promoted a standby since the hint was dequeued), and
+        // require the migration bracket to still be present — a promoted
+        // controller that lost or cleared it must refuse the commit.
+        return CurrentController(hint, ctl)
+            ->CommitSplit(hint.job, hint.prefix, hint.block, lo, mid, fresh,
+                          /*require_migrating=*/true);
       });
   if (!st.ok()) {
     JIFFY_LOG(WARNING) << "background KV split aborted for " << hint.job << "/"
@@ -344,8 +349,10 @@ bool Repartitioner::HandleKvUnderload(const Hint& hint, Controller* ctl,
   const Status st = MigrateKvRange(
       hint, ctl, src, dest, static_cast<uint32_t>(entry->lo),
       static_cast<uint32_t>(entry->hi), /*dest_unmapped=*/false, [&]() {
-        return ctl->CommitMerge(hint.job, hint.prefix, hint.block, sibling_id,
-                                new_lo, new_hi);
+        // See the split commit lambda: current controller + bracket check.
+        return CurrentController(hint, ctl)
+            ->CommitMerge(hint.job, hint.prefix, hint.block, sibling_id,
+                          new_lo, new_hi, /*require_migrating=*/true);
       });
   if (!st.ok()) {
     JIFFY_LOG(WARNING) << "background KV merge aborted for " << hint.job << "/"
@@ -370,17 +377,19 @@ Status Repartitioner::MigrateKvRange(const Hint& hint, Controller* ctl,
     Block::OpLock lock(*src);
     auto* shard = ContentAs<KvShard>(src->content());
     if (shard == nullptr) {
-      ctl->EndMigration(hint.job, hint.prefix, hint.block);
+      Controller* cur = CurrentController(hint, ctl);
+      cur->EndMigration(hint.job, hint.prefix, hint.block);
       if (dest_unmapped) {
-        ctl->AbortUnmapped(dest->id());
+        cur->AbortUnmapped(dest->id());
       }
       return Internal("migration source content vanished");
     }
     const Status st = shard->BeginMigration(from_slot);
     if (!st.ok()) {
-      ctl->EndMigration(hint.job, hint.prefix, hint.block);
+      Controller* cur = CurrentController(hint, ctl);
+      cur->EndMigration(hint.job, hint.prefix, hint.block);
       if (dest_unmapped) {
-        ctl->AbortUnmapped(dest->id());
+        cur->AbortUnmapped(dest->id());
       }
       return st;
     }
@@ -550,17 +559,60 @@ Status Repartitioner::MigrateKvRange(const Hint& hint, Controller* ctl,
 
   const Status cst = commit();
   if (!cst.ok()) {
-    // The job/prefix vanished under us (deregistration race). The source
-    // already dropped the range, but the metadata is gone with the job —
-    // just make sure an unmapped destination is not leaked.
+    // Commit refused: the job/prefix vanished (deregistration race), or a
+    // promoted controller no longer carries the migration bracket
+    // (require_migrating). The content already flipped in phase 4, so move
+    // the range's pairs *back* into the source before unwinding — if the
+    // job still exists, its authoritative map names the source for this
+    // range, and leaving the pairs in an unmapped (about-to-be-freed) or
+    // foreign destination would lose them.
+    UnflipKvRange(src, dest, from_slot, end_slot);
+    Controller* cur = CurrentController(hint, ctl);
     if (dest_unmapped) {
-      ctl->AbortUnmapped(dest->id());
+      cur->AbortUnmapped(dest->id());
     }
+    // Clear a still-set bracket so the prefix's expiry/flush are not
+    // deferred forever (benign kNotFound when the job is gone or a
+    // failover repair already dropped it).
+    cur->EndMigration(hint.job, hint.prefix, hint.block);
     aborts_.fetch_add(1, std::memory_order_relaxed);
     obs::Inc(m_aborts_);
     return cst;
   }
   return Status::Ok();
+}
+
+Controller* Repartitioner::CurrentController(const Hint& hint,
+                                             Controller* fallback) const {
+  Controller* cur = hooks_.controller(hint.job);
+  return cur != nullptr ? cur : fallback;
+}
+
+void Repartitioner::UnflipKvRange(Block* src, Block* dest, uint32_t from_slot,
+                                  uint32_t end_slot) {
+  Block* first = src->id() < dest->id() ? src : dest;
+  Block* second = first == src ? dest : src;
+  Block::OpLock lock_a(*first);
+  Block::OpLock lock_b(*second);
+  auto* shard = ContentAs<KvShard>(src->content());
+  auto* dshard = ContentAs<KvShard>(dest->content());
+  if (shard == nullptr || dshard == nullptr) {
+    return;  // Content gone — nothing recoverable.
+  }
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (dshard->slot_lo() == from_slot && dshard->slot_hi() > end_slot) {
+    // Merge target above the source: the moved range is the *lower* part of
+    // the combined range.
+    dshard->SplitOffLower(end_slot, &pairs);
+  } else {
+    // Split destination (owns exactly [from_slot, end_slot)) or a merge
+    // target below the source: the moved range is the upper part.
+    dshard->SplitOff(from_slot, &pairs);
+  }
+  if (!shard->ExtendRange(from_slot, end_slot).ok()) {
+    return;  // Source range diverged (concurrent repair) — cannot restore.
+  }
+  shard->MoveInPairs(from_slot, end_slot, &pairs);
 }
 
 void Repartitioner::AbortKvMigration(const Hint& hint, Controller* ctl,
@@ -576,8 +628,11 @@ void Repartitioner::AbortKvMigration(const Hint& hint, Controller* ctl,
       shard->AbortMigration();
     }
   }
+  // Unwind against the controller that owns the job now — a failover may
+  // have happened since this migration started.
+  Controller* cur = CurrentController(hint, ctl);
   if (dest_unmapped) {
-    ctl->AbortUnmapped(dest->id());
+    cur->AbortUnmapped(dest->id());
   } else {
     // Live merge target: remove the foreign pairs installed for a range it
     // never came to own.
@@ -587,7 +642,7 @@ void Repartitioner::AbortKvMigration(const Hint& hint, Controller* ctl,
       dshard->DropRange(from_slot, end_slot);
     }
   }
-  ctl->EndMigration(hint.job, hint.prefix, hint.block);
+  cur->EndMigration(hint.job, hint.prefix, hint.block);
   aborts_.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(m_aborts_);
 }

@@ -149,6 +149,21 @@ class Repartitioner {
                         bool dest_unmapped,
                         const std::function<Status()>& commit);
 
+  // Re-resolves the controller responsible for the hint's job at call time.
+  // A replicated control plane can change leaders while a chunked migration
+  // is in flight; commit/abort must land on the *current* controller, not
+  // the (possibly demoted) one captured when the hint was dequeued. Falls
+  // back to `fallback` when the job is no longer routable.
+  Controller* CurrentController(const Hint& hint, Controller* fallback) const;
+
+  // Reverses the phase-4 content flip after a rejected commit: extracts the
+  // moved range's pairs out of `dest`, restores both shard slot ranges, and
+  // reinstalls the pairs in `src` — so the authoritative partition map
+  // (which still names the source for the range) matches the content again
+  // and no data is orphaned in an unmapped or foreign block.
+  void UnflipKvRange(Block* src, Block* dest, uint32_t from_slot,
+                     uint32_t end_slot);
+
   // Abort helper: unwinds shard + controller migration state.
   void AbortKvMigration(const Hint& hint, Controller* ctl, Block* src,
                         Block* dest, bool dest_unmapped, uint32_t from_slot,

@@ -145,6 +145,28 @@ size_t KvShard::SplitOff(
   return moved;
 }
 
+size_t KvShard::SplitOffLower(
+    uint32_t up_to_slot,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  const uint32_t total = total_slots_;
+  size_t moved_bytes = 0;
+  out->reserve(out->size() + map_.size());
+  const size_t moved = map_.ExtractIf(
+      [&](std::string_view key) {
+        const uint32_t slot = KvSlotOf(key, total);
+        return slot >= slot_lo_ && slot < up_to_slot;
+      },
+      [&](std::string_view k, std::string_view v) {
+        moved_bytes += k.size() + v.size() + kPerPairOverhead;
+        CopyMeter::Add(k.size() + v.size());
+        out->emplace_back(std::string(k), std::string(v));
+      });
+  used_bytes_ -= moved_bytes;
+  slot_lo_ = up_to_slot;
+  MaybeCompact();
+  return moved;
+}
+
 Status KvShard::Absorb(uint32_t other_lo, uint32_t other_hi,
                        std::vector<std::pair<std::string, std::string>>* pairs) {
   if (other_hi != slot_lo_ && other_lo != slot_hi_) {

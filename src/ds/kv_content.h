@@ -106,6 +106,14 @@ class KvShard : public BlockContent {
   size_t SplitOff(uint32_t from_slot,
                   std::vector<std::pair<std::string, std::string>>* out);
 
+  // Mirror of SplitOff for the low end of the range: removes every pair
+  // whose slot is in [slot_lo, up_to_slot) into `out` and shrinks this
+  // shard's range to [up_to_slot, slot_hi). Used when un-flipping a failed
+  // merge whose target sits *above* the drained source (the moved range is
+  // the lower part of the combined range).
+  size_t SplitOffLower(uint32_t up_to_slot,
+                       std::vector<std::pair<std::string, std::string>>* out);
+
   // Absorbs pairs (from a merging sibling) and extends the owned range to
   // [min(slot_lo, other_lo), max(slot_hi, other_hi)). The sibling's range
   // must be adjacent. All-or-nothing: any pair outside [other_lo, other_hi)

@@ -1,0 +1,147 @@
+// A replicated controller group: N Replicas over one shard's metadata
+// (DESIGN.md §14).
+//
+// The group is the in-process model of a Raft deployment: replicas exchange
+// AppendEntries / RequestVote / InstallSnapshot as direct calls whose wire
+// cost is charged to the control-plane Transport, and the fault surface —
+// crash, restart, partition, armed crash points — is explicit so tests can
+// kill the leader at every point of the commit protocol.
+//
+// Elections are demand-driven rather than timer-driven: EnsureLeader() is
+// called on every leader lookup (JiffyCluster::ControllerFor) and runs a
+// synchronous election when the known leader is crashed or cut off from a
+// quorum. This keeps the group deterministic and free of background
+// threads; the election-timeout knob is charged as modeled time on
+// sleeping transports so benches still observe a realistic failover window.
+//
+// Read-lease safety: a leader may serve lookups locally until
+// `rsm_read_lease` after its last quorum contact. A new leader elected
+// while the old one is partitioned (not crashed) therefore refuses reads
+// until the old lease has provably lapsed (reads_ok_after_), which is what
+// keeps reads linearizable across failover.
+
+#ifndef SRC_RSM_GROUP_H_
+#define SRC_RSM_GROUP_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/config.h"
+#include "src/common/status.h"
+#include "src/core/controller.h"
+#include "src/net/network.h"
+#include "src/rsm/replica.h"
+
+namespace jiffy {
+namespace rsm {
+
+class ControllerGroup {
+ public:
+  // `controllers` are the shard's replica controllers (not owned; one per
+  // replica, all wired to the same shared data plane). The group attaches
+  // itself to each via Controller::AttachMetadataLog. `net` models the
+  // replication wire (may be null: zero-cost messages).
+  ControllerGroup(const JiffyConfig& config, Clock* clock,
+                  std::vector<Controller*> controllers, Transport* net);
+
+  ControllerGroup(const ControllerGroup&) = delete;
+  ControllerGroup& operator=(const ControllerGroup&) = delete;
+
+  int size() const { return static_cast<int>(replicas_.size()); }
+  int QuorumSize() const { return size() / 2 + 1; }
+
+  // Elects a leader if none is reachable and valid. kUnavailable when no
+  // candidate can reach a quorum (e.g. a majority crashed).
+  Status EnsureLeader();
+
+  // The current leader's controller (electing one first if needed),
+  // heartbeat-refreshing its read lease when it is half-expired. Falls back
+  // to some live replica's controller when no quorum exists — operations
+  // against it fail with kUnavailable, which is the honest answer.
+  Controller* LeaderController();
+
+  // Index of the current leader, -1 when none. Does not trigger elections.
+  int leader_index() const;
+
+  Replica* replica(int i) { return replicas_[i].get(); }
+
+  // --- Fault injection (tests / bench) --------------------------------------
+
+  // Fail-stop: volatile state is lost (commit index, lease, materialized
+  // controller); the log, term, vote, and snapshot survive to Restart().
+  void Crash(int i);
+  void Restart(int i);
+
+  // Isolates replica `i` from every other replica (both directions). A
+  // partitioned leader keeps serving leased reads until its lease lapses —
+  // exactly the window the read-lease safety argument covers.
+  void Partition(int i);
+  void Heal();
+
+  // Arms a one-shot crash of replica `i` at the given protocol point.
+  void ArmCrash(int i, CrashPoint point);
+
+  // Forces log compaction on the current leader regardless of the
+  // threshold (test hook for the snapshot-install path).
+  Status CompactNow();
+
+ private:
+  friend class Replica;
+
+  bool ReachableLocked(int a, int b) const {
+    return !partitioned_[a] && !partitioned_[b];
+  }
+  bool AliveLocked(int i) const { return !replicas_[i]->crashed(); }
+  // Peers (including self) replica `i` can currently exchange messages
+  // with; an election or commit from `i` needs QuorumSize() of them.
+  int ReachableCountLocked(int i) const;
+
+  // Charges one replication RPC to the modeled transport. Inside a
+  // broadcast the charge is accumulated and applied once as a batched
+  // exchange — the leader fans AppendEntries out in parallel, so the
+  // quorum latency is one round trip, not one per follower.
+  void ChargeMessage(size_t req_bytes, size_t resp_bytes);
+
+  // Fires an armed crash point. Returns true when replica `i` just
+  // crashed (the caller must unwind).
+  bool MaybeCrashLocked(int i, CrashPoint point);
+  void CrashLocked(int i);
+
+  // Brings follower `f` up to date with leader `li`'s log (snapshot +
+  // back-off append loop) and returns true when the follower acked the
+  // leader's full log.
+  bool SyncFollowerLocked(int li, int f);
+
+  // AppendEntries fan-out from leader `li` (entries the followers are
+  // missing + the leader's commit index). Returns the ack count including
+  // the leader itself.
+  int BroadcastAppendLocked(int li);
+
+  // Election + promotion internals.
+  Status EnsureLeaderLocked();
+  Status PromoteLocked(int i, TimeNs stale_lease_expiry);
+  void MaybeHeartbeatLocked(int li);
+  void MaybeCompactLocked(int li, bool force);
+
+  const JiffyConfig config_;
+  Clock* const clock_;
+  Transport* const net_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<bool> partitioned_;
+  std::vector<CrashPoint> armed_;
+  // Parallel fan-out accounting (all guarded by mu_).
+  bool charge_batching_ = false;
+  size_t batch_msgs_ = 0;
+  size_t batch_req_bytes_ = 0;
+  size_t batch_resp_bytes_ = 0;
+};
+
+}  // namespace rsm
+}  // namespace jiffy
+
+#endif  // SRC_RSM_GROUP_H_

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <set>
 #include <string_view>
@@ -665,6 +666,136 @@ TEST_F(FaultFailoverTest, RenewalStormAcrossControllerFailover) {
     ASSERT_TRUE(standby.RenewLease("job", "a").ok()) << i;
   }
   EXPECT_TRUE(standby.GetPartitionMap("job", "a").ok());
+}
+
+// --- Replicated control plane under fire (DESIGN.md §14) --------------------
+
+TEST(FaultRsmTest, RenewalStormRidesThroughLeaderCrash) {
+  JiffyCluster::Options copts;
+  copts.config.num_memory_servers = 4;
+  copts.config.blocks_per_server = 32;
+  copts.config.block_size_bytes = 16 << 10;
+  copts.config.controller_replicas = 3;
+  copts.config.lease_duration = 3600 * kSecond;  // No expiry mid-storm.
+  copts.config.background_repartition = false;
+  auto cluster = std::make_unique<JiffyCluster>(copts);
+  rsm::ControllerGroup* group = cluster->controller_group(0);
+  ASSERT_NE(group, nullptr);
+  JiffyClient client(cluster.get());
+  ASSERT_TRUE(client.RegisterJob("job").ok());
+  ASSERT_TRUE(client.CreateHierarchy("job", {{"a", {}}, {"b", {"a"}}}).ok());
+  // Concurrent renewal traffic from several clients while the leader is
+  // crashed mid-storm: the client retry layer re-resolves the new leader,
+  // and no renewal that was acknowledged may be lost.
+  std::atomic<uint64_t> acked{0};
+  std::atomic<int> running{0};
+  std::vector<std::thread> stormers;
+  for (int t = 0; t < 4; ++t) {
+    stormers.emplace_back([&] {
+      JiffyClient c(cluster.get());
+      running.fetch_add(1);
+      for (int i = 0; i < 250; ++i) {
+        if (c.RenewLease("/job/a").ok()) {
+          acked.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  while (running.load() < 4) {
+    std::this_thread::yield();
+  }
+  group->LeaderController();
+  const int leader = group->leader_index();
+  ASSERT_GE(leader, 0);
+  group->Crash(leader);
+  for (auto& th : stormers) {
+    th.join();
+  }
+  // Renewals are idempotent and retried, so every one is acknowledged.
+  EXPECT_EQ(acked.load(), 1000u);
+  // Post-failover the hierarchy is fully intact on the promoted leader.
+  EXPECT_TRUE(client.GetLeaseDuration("/job/a").ok());
+  EXPECT_TRUE(client.GetLeaseDuration("/job/b").ok());
+  EXPECT_NE(group->leader_index(), leader);
+}
+
+TEST(FaultRsmTest, ConcurrentMutationsAcrossArmedCrashesStayConsistent) {
+  // Several writer threads create prefixes while crash points fire on the
+  // leader; afterwards every acknowledged prefix must exist and the group's
+  // logs must agree (the TSan/ASan CI leg runs this under sanitizers).
+  JiffyCluster::Options copts;
+  copts.config.num_memory_servers = 4;
+  copts.config.blocks_per_server = 32;
+  copts.config.block_size_bytes = 16 << 10;
+  copts.config.controller_replicas = 3;
+  copts.config.background_repartition = false;
+  auto cluster = std::make_unique<JiffyCluster>(copts);
+  rsm::ControllerGroup* group = cluster->controller_group(0);
+  JiffyClient seed(cluster.get());
+  ASSERT_TRUE(seed.RegisterJob("job").ok());
+  ASSERT_TRUE(seed.CreateHierarchy("job", {{"a", {}}}).ok());
+  std::vector<std::vector<std::string>> acked(4);
+  std::vector<std::thread> writers;
+  std::atomic<int> running{0};
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      JiffyClient c(cluster.get());
+      running.fetch_add(1);
+      for (int i = 0; i < 40; ++i) {
+        const std::string name =
+            "w" + std::to_string(t) + "-" + std::to_string(i);
+        Status st = c.CreateAddrPrefix("/job/" + name, {"a"});
+        if (st.ok() || st.code() == StatusCode::kAlreadyExists) {
+          acked[t].push_back(name);
+        }
+      }
+    });
+  }
+  while (running.load() < 4) {
+    std::this_thread::yield();
+  }
+  // Fire a rolling sequence of crash/restart on whoever currently leads.
+  const rsm::CrashPoint points[] = {rsm::CrashPoint::kLeaderAfterAppend,
+                                    rsm::CrashPoint::kLeaderAfterReplicate,
+                                    rsm::CrashPoint::kLeaderAfterCommit};
+  for (const auto point : points) {
+    group->LeaderController();
+    const int leader = group->leader_index();
+    if (leader >= 0) {
+      group->ArmCrash(leader, point);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    for (int i = 0; i < group->size(); ++i) {
+      group->Restart(i);
+    }
+  }
+  for (auto& th : writers) {
+    th.join();
+  }
+  for (int i = 0; i < group->size(); ++i) {
+    group->Restart(i);
+  }
+  // Zero lost DAG mutations: every acknowledged create is present.
+  JiffyClient check(cluster.get());
+  for (const auto& per_writer : acked) {
+    for (const auto& name : per_writer) {
+      EXPECT_TRUE(check.GetLeaseDuration("/job/" + name).ok()) << name;
+    }
+  }
+  // And the replicas converge to identical logs. The first renewal may
+  // still trip an armed crash point left over from the storm; restart and
+  // renew once more so the whole group is alive for the comparison.
+  ASSERT_TRUE(check.RenewLease("/job/a").ok());
+  for (int i = 0; i < group->size(); ++i) {
+    group->Restart(i);
+  }
+  ASSERT_TRUE(check.RenewLease("/job/a").ok());
+  const int leader = group->leader_index();
+  ASSERT_GE(leader, 0);
+  for (int i = 0; i < group->size(); ++i) {
+    EXPECT_EQ(group->replica(i)->last_index(),
+              group->replica(leader)->last_index());
+  }
 }
 
 }  // namespace
